@@ -1,0 +1,58 @@
+//! GFC compression microbenchmarks (paper §IV-D, Figure 11).
+//!
+//! Measures the codec's real compress/decompress throughput and the ratio
+//! sensitivity to the segment count — the ablation behind the "match the
+//! GPU parallelism" segment choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qgpu_bench::{bench_state, noise_amplitudes};
+use qgpu_circuit::generators::Benchmark;
+use qgpu_compress::GfcCodec;
+
+fn bench_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gfc");
+    let n = 1usize << 16; // amplitudes
+    group.throughput(Throughput::Bytes((n * 16) as u64));
+
+    // Compressible input: a qaoa state (repeated discrete values).
+    let qaoa = bench_state(Benchmark::Qaoa, 16);
+    // Incompressible input: white noise.
+    let noise = noise_amplitudes(n, 99);
+
+    for (name, amps) in [("qaoa_state", qaoa.amps()), ("noise", noise.as_slice())] {
+        group.bench_function(format!("compress/{name}"), |b| {
+            let codec = GfcCodec::new(32);
+            b.iter(|| codec.compress_amplitudes(amps));
+        });
+        group.bench_function(format!("roundtrip/{name}"), |b| {
+            let codec = GfcCodec::new(32);
+            b.iter(|| {
+                let compressed = codec.compress_amplitudes(amps);
+                codec.decompress_amplitudes(&compressed)
+            });
+        });
+    }
+
+    // Ablation: segment count vs. (modeled warp parallelism) ratio.
+    for segments in [1usize, 4, 16, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("segments", segments),
+            &segments,
+            |b, &segments| {
+                let codec = GfcCodec::new(segments);
+                b.iter(|| codec.compress_amplitudes(qaoa.amps()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_compression
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Gate-kernel microbenchmarks: the functional substrate's throughput.
+//!
+//! Measures the real CPU kernels (dense 1-qubit, controlled, diagonal,
+//! 2-qubit dense, multithreaded variants) on a 2^18-amplitude state —
+//! the numbers behind the host-model calibration in `qgpu-device`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qgpu_bench::noise_amplitudes;
+use qgpu_circuit::access::GateAction;
+use qgpu_circuit::{Gate, Operation};
+use qgpu_statevec::{kernels, parallel};
+
+const QUBITS: usize = 18;
+
+fn action(g: Gate, qs: &[usize]) -> GateAction {
+    GateAction::from_operation(&Operation::new(g, qs.to_vec()))
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    let bytes = (1u64 << QUBITS) * 16;
+    group.throughput(Throughput::Bytes(bytes));
+
+    let cases = [
+        ("h_q0", action(Gate::H, &[0])),
+        ("h_q17", action(Gate::H, &[QUBITS - 1])),
+        ("cx", action(Gate::Cx, &[3, 11])),
+        ("rz_diagonal", action(Gate::Rz(0.7), &[5])),
+        ("cp_diagonal", action(Gate::Cp(0.4), &[2, 14])),
+        ("swap_dense2q", action(Gate::Swap, &[1, 16])),
+        ("ccx", action(Gate::Ccx, &[0, 9, 17])),
+    ];
+    for (name, act) in &cases {
+        group.bench_function(*name, |b| {
+            let mut amps = noise_amplitudes(1 << QUBITS, 42);
+            b.iter(|| kernels::apply_action(&mut amps, 0, act));
+        });
+    }
+
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("h_parallel", threads),
+            &threads,
+            |b, &threads| {
+                let act = action(Gate::H, &[7]);
+                let mut amps = noise_amplitudes(1 << QUBITS, 42);
+                b.iter(|| parallel::apply_action_parallel(&mut amps, &act, threads));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_kernels
+);
+criterion_main!(benches);

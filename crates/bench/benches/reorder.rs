@@ -1,0 +1,42 @@
+//! Reordering-pass benchmarks (paper §IV-C, Algorithms 2 and 3).
+//!
+//! The reorder passes run once per circuit at compile time; these benches
+//! confirm the compiler-pass cost is negligible next to simulation, even
+//! for the deep circuits of Table III.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qgpu_circuit::generators::{google_deep_circuit, Benchmark};
+use qgpu_sched::reorder::{forward_looking_order, greedy_order};
+
+fn bench_reorder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reorder");
+    for b in [Benchmark::Gs, Benchmark::Qft, Benchmark::Hchain] {
+        let circuit = b.generate(22);
+        group.bench_with_input(
+            BenchmarkId::new("greedy", b.abbrev()),
+            &circuit,
+            |bench, circuit| bench.iter(|| greedy_order(circuit)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("forward_looking", b.abbrev()),
+            &circuit,
+            |bench, circuit| bench.iter(|| forward_looking_order(circuit)),
+        );
+    }
+    // Deep circuit (Table III scale): thousands of gates.
+    let deep = google_deep_circuit(16);
+    group.bench_function("forward_looking/grqc_16", |bench| {
+        bench.iter(|| forward_looking_order(&deep))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_reorder
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Scheduling-machinery microbenchmarks: the per-gate costs the
+//! orchestrator pays besides kernels and transfers.
+//!
+//! These quantify that planning (Case 1/2 resolution), pruning tests, and
+//! dynamic chunk sizing are negligible next to amplitude processing —
+//! the implicit assumption behind the paper's "compiler-assisted" and
+//! "dynamic" design choices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qgpu_circuit::access::GateAction;
+use qgpu_circuit::generators::Benchmark;
+use qgpu_circuit::{Gate, Operation};
+use qgpu_sched::{GatePlan, InvolvementTracker};
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling");
+
+    // GatePlan construction: Case 1 vs Case 2 at paper-like chunk counts.
+    let low = GateAction::from_operation(&Operation::new(Gate::H, vec![2]));
+    let high = GateAction::from_operation(&Operation::new(Gate::H, vec![30]));
+    for (name, action) in [("plan_case1", &low), ("plan_case2", &high)] {
+        group.bench_function(name.to_string(), |b| {
+            b.iter(|| GatePlan::new(action, 21, 8192));
+        });
+    }
+
+    // Pruning scan over all chunks of a 34-qubit-scale layout.
+    group.bench_function("prune_scan_8192_chunks", |b| {
+        let mut tracker = InvolvementTracker::new(34);
+        tracker.involve_mask(0x3ff); // 10 qubits involved
+        let plan = GatePlan::new(&low, 21, 8192);
+        b.iter(|| plan.pruned_count(&tracker));
+    });
+
+    // Dynamic chunk-size decision.
+    group.bench_function("optimal_chunk_bits", |b| {
+        let mut tracker = InvolvementTracker::new(34);
+        tracker.involve_mask(0xffff);
+        b.iter(|| tracker.optimal_chunk_bits(21, 4096.0));
+    });
+
+    // Whole-circuit involvement replay (what the pruning pass pays once).
+    for bench in [Benchmark::Hchain, Benchmark::Qft] {
+        let circuit = bench.generate(22);
+        group.bench_with_input(
+            BenchmarkId::new("involve_replay", bench.abbrev()),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| {
+                    let mut t = InvolvementTracker::new(22);
+                    for op in circuit.iter() {
+                        t.involve(op);
+                    }
+                    t.mask()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_scheduling
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! End-to-end version benchmarks: real wall-clock of the full simulator
+//! (functional amplitudes + timing model) for each execution version.
+//!
+//! These complement the *modeled* times of Figure 12 with the actual cost
+//! of running the reproduction itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qgpu::{SimConfig, Simulator, Version};
+use qgpu_circuit::generators::Benchmark;
+
+fn bench_versions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("versions");
+    group.sample_size(10);
+    let qubits = 12;
+    for b in [Benchmark::Gs, Benchmark::Iqp, Benchmark::Qft] {
+        let circuit = b.generate(qubits);
+        for v in Version::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(b.abbrev(), v.label()),
+                &v,
+                |bench, &v| {
+                    let sim =
+                        Simulator::new(SimConfig::scaled_paper(qubits).with_version(v).timing_only());
+                    bench.iter(|| sim.run(&circuit));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_versions
+);
+criterion_main!(benches);

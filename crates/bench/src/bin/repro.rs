@@ -1,0 +1,173 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment> [--qubits N] [--json]
+//! repro all [--qubits N] [--json]
+//! repro list
+//! ```
+//!
+//! `--json` emits each table as a JSON object (title/headers/rows) instead
+//! of markdown — for downstream plotting scripts.
+//!
+//! Experiments: fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig12 fig13
+//! fig14 fig15 fig16 fig17 fig19 tab2 tab3. Default sizes are chosen so
+//! `repro all` finishes in minutes on a laptop while preserving the
+//! paper's shapes; pass `--qubits` to push larger.
+
+use std::env;
+use std::process::ExitCode;
+
+use qgpu::experiments;
+use qgpu_circuit::generators::Benchmark;
+
+struct Args {
+    experiment: String,
+    qubits: Option<usize>,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = env::args().skip(1);
+    let experiment = args.next().ok_or_else(usage)?;
+    let mut qubits = None;
+    let mut json = false;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--qubits" | "-q" => {
+                let v = args.next().ok_or("missing value after --qubits")?;
+                qubits = Some(v.parse::<usize>().map_err(|_| format!("bad qubit count '{v}'"))?);
+            }
+            "--json" => json = true,
+            other => return Err(format!("unknown argument '{other}'\n{}", usage())),
+        }
+    }
+    Ok(Args {
+        experiment,
+        qubits,
+        json,
+    })
+}
+
+fn usage() -> String {
+    "usage: repro <experiment|all|list> [--qubits N] [--json]".to_string()
+}
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("fig2", "baseline execution time breakdown"),
+    ("fig3", "naive version normalized time"),
+    ("fig4", "naive execution breakdown"),
+    ("fig6", "timeline of each optimization"),
+    ("fig7", "hchain amplitude distribution"),
+    ("fig8", "gs_5 reordering walk-through"),
+    ("fig9", "involvement under three gate orders"),
+    ("fig10", "residual distributions / compressibility"),
+    ("fig12", "normalized execution time, all versions (headline)"),
+    ("fig13", "normalized data transfer time"),
+    ("fig14", "compression/decompression overheads"),
+    ("fig15", "roofline analysis"),
+    ("fig16", "comparison with Qsim-Cirq and QDK"),
+    ("fig17", "V100 and A100 platforms"),
+    ("fig19", "multi-GPU platforms"),
+    ("tab2", "operations before full involvement (34 qubits)"),
+    ("tab3", "deep circuits"),
+    ("scaling", "figure 12 geomeans across qubit counts"),
+    ("abl-chunks", "ablation: chunk count"),
+    ("abl-dynamic", "ablation: dynamic vs fixed chunk size"),
+    ("abl-reorder", "ablation: greedy vs forward-looking, end to end"),
+    ("abl-buffer", "ablation: double-buffer split fraction"),
+    ("ext-batching", "extension: gate batching over Q-GPU"),
+];
+
+fn collect(name: &str, qubits: Option<usize>) -> Result<(Vec<qgpu::experiments::Table>, String), String> {
+    // Default sizes: simulation-bearing experiments run at 14 qubits
+    // (seconds each), analysis-only ones at the paper's own sizes.
+    let q_sim = qubits.unwrap_or(14);
+    let mut extra = String::new();
+    let tables = match name {
+        "fig2" => vec![experiments::fig2::run(q_sim)],
+        "fig3" => vec![experiments::fig3_4::run(q_sim).0],
+        "fig4" => vec![experiments::fig3_4::run(q_sim).1],
+        "fig6" => {
+            extra = experiments::fig6::gantt(Benchmark::Qft, q_sim.min(10), 100);
+            vec![experiments::fig6::run(Benchmark::Qft, q_sim.min(12))]
+        }
+        "fig7" => vec![experiments::fig7::run(qubits.unwrap_or(10), &[0, 30, 60, 90])],
+        "fig8" => vec![experiments::fig8::run()],
+        "fig9" => vec![experiments::fig9::run(qubits.unwrap_or(22))],
+        "fig10" => vec![experiments::fig10::run(qubits.unwrap_or(16))],
+        "fig12" => vec![experiments::fig12::run(q_sim)],
+        "fig13" => vec![experiments::fig13::run(q_sim)],
+        "fig14" => vec![experiments::fig14::run(q_sim)],
+        "fig15" => vec![experiments::fig15::run(q_sim)],
+        "fig16" => {
+            let (a, b) = experiments::fig16::run(q_sim);
+            vec![a, b]
+        }
+        "fig17" => vec![experiments::fig17::run(q_sim)],
+        "fig19" => vec![experiments::fig19::run(q_sim)],
+        "tab2" => vec![experiments::tab2::run(qubits.unwrap_or(34))],
+        "tab3" => vec![experiments::tab3::run(qubits.unwrap_or(12))],
+        "scaling" => {
+            let top = qubits.unwrap_or(14);
+            let sizes: Vec<usize> = (10..=top).step_by(2).collect();
+            vec![experiments::fig12::run_scaling(&sizes)]
+        }
+        "abl-chunks" => vec![experiments::ablations::chunk_count(q_sim)],
+        "abl-dynamic" => vec![experiments::ablations::dynamic_chunk_size(q_sim)],
+        "abl-reorder" => vec![experiments::ablations::reorder_strategy(q_sim)],
+        "abl-buffer" => vec![experiments::ablations::buffer_split(q_sim)],
+        "ext-batching" => vec![experiments::ext_batching::run(q_sim)],
+        other => return Err(format!("unknown experiment '{other}' — try 'repro list'")),
+    };
+    Ok((tables, extra))
+}
+
+fn run_one(name: &str, qubits: Option<usize>, json: bool) -> Result<(), String> {
+    let (tables, extra) = collect(name, qubits)?;
+    for t in &tables {
+        if json {
+            println!("{}", t.to_json());
+        } else {
+            println!("{t}");
+        }
+    }
+    if !json && !extra.is_empty() {
+        println!("{extra}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match args.experiment.as_str() {
+        "list" => {
+            for (name, desc) in EXPERIMENTS {
+                println!("{name:8} {desc}");
+            }
+            ExitCode::SUCCESS
+        }
+        "all" => {
+            for (name, _) in EXPERIMENTS {
+                eprintln!("[repro] running {name} …");
+                if let Err(e) = run_one(name, args.qubits, args.json) {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        name => match run_one(name, args.qubits, args.json) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

@@ -1,0 +1,262 @@
+//! Classification of how a gate touches the state vector.
+//!
+//! Chunked execution (paper §III-B) cares about *which* amplitudes a gate
+//! mixes:
+//!
+//! * **diagonal** gates multiply each amplitude by a phase — they never
+//!   pair amplitudes, so every chunk can be updated in place regardless of
+//!   qubit position;
+//! * **controlled** gates only mix amplitudes whose control bits are 1 — a
+//!   control above the chunk boundary merely *selects* chunks;
+//! * **mixing** qubits are the ones whose bit differs between paired
+//!   amplitudes — a mixing qubit at or above the chunk boundary forces
+//!   chunks to be processed in groups (the paper's "Case 2").
+//!
+//! [`GateAction`] is the executable form of an [`Operation`]: a diagonal
+//! vector or a controls + dense-submatrix pair, with qubit positions
+//! resolved.
+
+use qgpu_math::Complex64;
+
+use crate::gate::{Matrix, Operation};
+
+/// The executable form of a gate: either a diagonal phase vector or a
+/// controlled dense matrix over the mixing qubits.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_circuit::{Gate, Operation, access::GateAction};
+///
+/// let cx = GateAction::from_operation(&Operation::new(Gate::Cx, vec![2, 5]));
+/// match &cx {
+///     GateAction::ControlledDense { controls, mixing, .. } => {
+///         assert_eq!(controls.as_slice(), &[2]);
+///         assert_eq!(mixing.as_slice(), &[5]);
+///     }
+///     _ => panic!("cx is not diagonal"),
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateAction {
+    /// Multiply amplitude `a_i` by `dvec[s]`, where `s` gathers the bits
+    /// of `i` at `qubits` (argument order = bit order).
+    Diagonal {
+        /// Qubit positions, in gate-argument order.
+        qubits: Vec<usize>,
+        /// The `2^qubits.len()` diagonal entries.
+        dvec: Vec<Complex64>,
+    },
+    /// Apply `matrix` (dimension `2^mixing.len()`) to the amplitudes
+    /// enumerated over `mixing`, restricted to indices where every
+    /// `controls` bit is 1.
+    ControlledDense {
+        /// Control qubit positions (may be empty).
+        controls: Vec<usize>,
+        /// Mixing qubit positions, in matrix bit order.
+        mixing: Vec<usize>,
+        /// Dense submatrix over the mixing qubits.
+        matrix: Matrix,
+    },
+}
+
+impl GateAction {
+    /// Builds the action for an operation.
+    ///
+    /// Diagonal gates become [`GateAction::Diagonal`]; everything else is
+    /// decomposed into control and mixing qubits with the dense submatrix
+    /// extracted from the gate's full unitary.
+    pub fn from_operation(op: &Operation) -> GateAction {
+        let gate = op.gate();
+        let qubits = op.qubits();
+        let matrix = gate.matrix();
+        if gate.is_diagonal() {
+            let dim = matrix.dim();
+            let dvec = (0..dim).map(|i| matrix.get(i, i)).collect();
+            return GateAction::Diagonal {
+                qubits: qubits.to_vec(),
+                dvec,
+            };
+        }
+        // Argument positions (bit indices into the gate matrix) that act
+        // as controls: the matrix is identity wherever that bit is 0.
+        let k = qubits.len();
+        let control_args: Vec<usize> = (0..k)
+            .filter(|&arg| is_control_bit(&matrix, arg))
+            .collect();
+        let mixing_args: Vec<usize> = (0..k).filter(|a| !control_args.contains(a)).collect();
+        debug_assert!(!mixing_args.is_empty(), "non-diagonal gate must mix");
+
+        // Extract the submatrix over mixing bits with all control bits 1.
+        let control_mask: usize = control_args.iter().map(|&a| 1usize << a).sum();
+        let sub_dim = 1usize << mixing_args.len();
+        let mut data = vec![Complex64::ZERO; sub_dim * sub_dim];
+        let expand = |s: usize| -> usize {
+            let mut idx = control_mask;
+            for (bit, &arg) in mixing_args.iter().enumerate() {
+                idx |= ((s >> bit) & 1) << arg;
+            }
+            idx
+        };
+        for r in 0..sub_dim {
+            for c in 0..sub_dim {
+                data[r * sub_dim + c] = matrix.get(expand(r), expand(c));
+            }
+        }
+        GateAction::ControlledDense {
+            controls: control_args.iter().map(|&a| qubits[a]).collect(),
+            mixing: mixing_args.iter().map(|&a| qubits[a]).collect(),
+            matrix: Matrix::new(sub_dim, data),
+        }
+    }
+
+    /// Returns `true` for diagonal actions.
+    pub fn is_diagonal(&self) -> bool {
+        matches!(self, GateAction::Diagonal { .. })
+    }
+
+    /// The mixing qubit positions (empty for diagonal actions).
+    pub fn mixing_qubits(&self) -> &[usize] {
+        match self {
+            GateAction::Diagonal { .. } => &[],
+            GateAction::ControlledDense { mixing, .. } => mixing,
+        }
+    }
+
+    /// The control qubit positions (empty for diagonal actions).
+    pub fn control_qubits(&self) -> &[usize] {
+        match self {
+            GateAction::Diagonal { .. } => &[],
+            GateAction::ControlledDense { controls, .. } => controls,
+        }
+    }
+}
+
+/// Returns `true` if the matrix acts as identity whenever bit `arg` of the
+/// index is 0 and never maps a `bit=1` index onto a `bit=0` one — i.e.
+/// `arg` is a control.
+fn is_control_bit(m: &Matrix, arg: usize) -> bool {
+    let dim = m.dim();
+    let bit = 1usize << arg;
+    for r in 0..dim {
+        for c in 0..dim {
+            let v = m.get(r, c);
+            if (r & bit) == 0 || (c & bit) == 0 {
+                // Outside the controls-on block the matrix must be identity.
+                let expected = if r == c { Complex64::ONE } else { Complex64::ZERO };
+                if !v.approx_eq(expected, 1e-14) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Splits qubit positions into those below and those at-or-above the chunk
+/// boundary — the paper's Case 1 / Case 2 distinction.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_circuit::access::split_by_boundary;
+/// let (low, high) = split_by_boundary(&[1, 4, 9], 4);
+/// assert_eq!(low, vec![1]);
+/// assert_eq!(high, vec![4, 9]);
+/// ```
+pub fn split_by_boundary(qubits: &[usize], chunk_bits: u32) -> (Vec<usize>, Vec<usize>) {
+    let mut low = Vec::new();
+    let mut high = Vec::new();
+    for &q in qubits {
+        if (q as u32) < chunk_bits {
+            low.push(q);
+        } else {
+            high.push(q);
+        }
+    }
+    (low, high)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    #[test]
+    fn single_qubit_gates_have_one_mixing_qubit() {
+        for g in [Gate::H, Gate::X, Gate::Y, Gate::Sx, Gate::Rx(0.3), Gate::U(1.0, 0.2, 0.3)] {
+            let a = GateAction::from_operation(&Operation::new(g, vec![7]));
+            assert_eq!(a.mixing_qubits(), &[7], "{}", g.name());
+            assert!(a.control_qubits().is_empty());
+        }
+    }
+
+    #[test]
+    fn diagonal_gates_are_diagonal_actions() {
+        for (g, qs) in [
+            (Gate::Z, vec![0]),
+            (Gate::T, vec![3]),
+            (Gate::Rz(0.5), vec![1]),
+            (Gate::Cz, vec![0, 2]),
+            (Gate::Cp(0.9), vec![4, 1]),
+            (Gate::Rzz(1.3), vec![2, 3]),
+        ] {
+            let a = GateAction::from_operation(&Operation::new(g, qs));
+            assert!(a.is_diagonal(), "{}", g.name());
+        }
+    }
+
+    #[test]
+    fn cx_splits_into_control_and_target() {
+        let a = GateAction::from_operation(&Operation::new(Gate::Cx, vec![3, 1]));
+        assert_eq!(a.control_qubits(), &[3]);
+        assert_eq!(a.mixing_qubits(), &[1]);
+        if let GateAction::ControlledDense { matrix, .. } = &a {
+            // Submatrix is X.
+            assert_eq!(matrix.dim(), 2);
+            assert!(matrix.get(0, 1).approx_eq(Complex64::ONE, 1e-14));
+            assert!(matrix.get(1, 0).approx_eq(Complex64::ONE, 1e-14));
+        }
+    }
+
+    #[test]
+    fn ccx_has_two_controls() {
+        let a = GateAction::from_operation(&Operation::new(Gate::Ccx, vec![5, 2, 0]));
+        assert_eq!(a.control_qubits(), &[5, 2]);
+        assert_eq!(a.mixing_qubits(), &[0]);
+    }
+
+    #[test]
+    fn swap_mixes_both_qubits() {
+        let a = GateAction::from_operation(&Operation::new(Gate::Swap, vec![1, 4]));
+        assert!(a.control_qubits().is_empty());
+        assert_eq!(a.mixing_qubits(), &[1, 4]);
+    }
+
+    #[test]
+    fn cy_control_detected() {
+        let a = GateAction::from_operation(&Operation::new(Gate::Cy, vec![0, 1]));
+        assert_eq!(a.control_qubits(), &[0]);
+        assert_eq!(a.mixing_qubits(), &[1]);
+    }
+
+    #[test]
+    fn diagonal_vector_matches_matrix() {
+        let op = Operation::new(Gate::Rzz(0.7), vec![0, 1]);
+        if let GateAction::Diagonal { dvec, .. } = GateAction::from_operation(&op) {
+            let m = Gate::Rzz(0.7).matrix();
+            for (i, d) in dvec.iter().enumerate() {
+                assert!(d.approx_eq(m.get(i, i), 1e-14));
+            }
+        } else {
+            panic!("rzz should be diagonal");
+        }
+    }
+
+    #[test]
+    fn boundary_split() {
+        let (low, high) = split_by_boundary(&[0, 3, 7, 8], 8);
+        assert_eq!(low, vec![0, 3, 7]);
+        assert_eq!(high, vec![8]);
+    }
+}

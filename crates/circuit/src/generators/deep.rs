@@ -1,0 +1,57 @@
+//! Deep random circuits for the paper's Table III.
+
+use crate::circuit::Circuit;
+
+use super::rqc::random_quantum_circuit;
+
+/// The "Google deep circuit" (`grqc`) of Table III: a random quantum
+/// circuit with very many cycles (the paper's `grqc_32` has 7241
+/// operations, ~226 per qubit).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_circuit::generators::google_deep_circuit;
+///
+/// let c = google_deep_circuit(12);
+/// assert!(c.len() > 100 * 12 / 4, "grqc is deep");
+/// ```
+pub fn google_deep_circuit(n: usize) -> Circuit {
+    let mut c = random_quantum_circuit(n, 120, 0x6712c);
+    c.set_name(format!("grqc_{n}"));
+    c
+}
+
+/// A deep random circuit (`rqc_31` / `rqc_32` in Table III, ~20 operations
+/// per qubit).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn deep_random_circuit(n: usize) -> Circuit {
+    let mut c = random_quantum_circuit(n, 12, 0xdeeb);
+    c.set_name(format!("rqc_deep_{n}"));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grqc_is_much_deeper_than_rqc_deep() {
+        let grqc = google_deep_circuit(10);
+        let rqc = deep_random_circuit(10);
+        assert!(grqc.len() > 5 * rqc.len());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(google_deep_circuit(8).name(), "grqc_8");
+        assert_eq!(deep_random_circuit(8).name(), "rqc_deep_8");
+    }
+}

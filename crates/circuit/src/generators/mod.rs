@@ -1,0 +1,247 @@
+//! Generators for the paper's benchmark circuits (Table I).
+//!
+//! Each generator produces a deterministic circuit for a given qubit count
+//! (random choices are seeded from the circuit family and size), so that
+//! experiments are reproducible run-to-run.
+//!
+//! The generators aim to match the *involvement structure* reported in the
+//! paper's Table II — which circuits involve all qubits early (`qft`,
+//! `qaoa`, `qf`), late (`iqp`), or gradually (`gs`, `hlf`, `rqc`, `bv`,
+//! `hchain`) — since that structure is what drives the pruning and
+//! reordering results. Exact gate counts differ from the paper's Qiskit
+//! constructions; see `EXPERIMENTS.md`.
+
+mod bv;
+mod deep;
+mod gs;
+mod hchain;
+mod hlf;
+mod iqp;
+mod qaoa;
+mod qf;
+mod qft;
+mod rqc;
+
+pub use bv::bernstein_vazirani;
+pub use deep::{deep_random_circuit, google_deep_circuit};
+pub use gs::graph_state;
+pub use hchain::hydrogen_chain;
+pub use hlf::hidden_linear_function;
+pub use iqp::instantaneous_quantum_polynomial;
+pub use qaoa::qaoa_maxcut;
+pub use qf::quadratic_form;
+pub use qft::{
+    quantum_fourier_transform, quantum_fourier_transform_approx,
+    quantum_fourier_transform_inverse,
+};
+pub use rqc::random_quantum_circuit;
+
+use crate::circuit::Circuit;
+
+/// The nine benchmark circuits of the paper's Table I.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_circuit::generators::Benchmark;
+///
+/// for b in Benchmark::ALL {
+///     let c = b.generate(8);
+///     assert_eq!(c.num_qubits(), 8);
+///     assert!(!c.is_empty());
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Linear hydrogen atom chain (quantum chemistry, deep circuit).
+    Hchain,
+    /// Google random quantum circuit.
+    Rqc,
+    /// Quantum approximate optimization algorithm (MaxCut).
+    Qaoa,
+    /// Graph state preparation.
+    Gs,
+    /// Hidden linear function.
+    Hlf,
+    /// Quantum Fourier transform.
+    Qft,
+    /// Instantaneous quantum polynomial-time.
+    Iqp,
+    /// Quadratic form.
+    Qf,
+    /// Bernstein–Vazirani.
+    Bv,
+}
+
+impl Benchmark {
+    /// All nine benchmarks, in the paper's Table I order.
+    pub const ALL: [Benchmark; 9] = [
+        Benchmark::Hchain,
+        Benchmark::Rqc,
+        Benchmark::Qaoa,
+        Benchmark::Gs,
+        Benchmark::Hlf,
+        Benchmark::Qft,
+        Benchmark::Iqp,
+        Benchmark::Qf,
+        Benchmark::Bv,
+    ];
+
+    /// The paper's abbreviation for the circuit.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Benchmark::Hchain => "hchain",
+            Benchmark::Rqc => "rqc",
+            Benchmark::Qaoa => "qaoa",
+            Benchmark::Gs => "gs",
+            Benchmark::Hlf => "hlf",
+            Benchmark::Qft => "qft",
+            Benchmark::Iqp => "iqp",
+            Benchmark::Qf => "qf",
+            Benchmark::Bv => "bv",
+        }
+    }
+
+    /// Parses a paper abbreviation (e.g. `"qft"`).
+    pub fn from_abbrev(s: &str) -> Option<Benchmark> {
+        Benchmark::ALL.into_iter().find(|b| b.abbrev() == s)
+    }
+
+    /// Generates the benchmark circuit on `n` qubits with default
+    /// parameters and a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is smaller than the circuit family's minimum (2 for
+    /// most, 3 for `qf` and `bv`).
+    pub fn generate(self, n: usize) -> Circuit {
+        self.generate_seeded(n, default_seed(self, n))
+    }
+
+    /// Generates the benchmark with an explicit seed for its random
+    /// choices (graph edges, secret strings, gate draws) — for workload
+    /// variation studies. `qft` and `hchain` are deterministic and ignore
+    /// the seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same size constraints as [`Benchmark::generate`].
+    pub fn generate_seeded(self, n: usize, seed: u64) -> Circuit {
+        let mut c = match self {
+            Benchmark::Hchain => hydrogen_chain(n, 4),
+            Benchmark::Rqc => random_quantum_circuit(n, 4, seed),
+            Benchmark::Qaoa => qaoa_maxcut(n, 8, seed),
+            Benchmark::Gs => graph_state(n, seed),
+            Benchmark::Hlf => hidden_linear_function(n, seed),
+            Benchmark::Qft => quantum_fourier_transform(n),
+            Benchmark::Iqp => instantaneous_quantum_polynomial(n, seed),
+            Benchmark::Qf => quadratic_form(n, seed),
+            Benchmark::Bv => bernstein_vazirani(n, seed),
+        };
+        c.set_name(format!("{}_{}", self.abbrev(), n));
+        c
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// Deterministic seed for a benchmark family and size.
+fn default_seed(b: Benchmark, n: usize) -> u64 {
+    // Simple FNV-style mix of the family name and the size.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in b.abbrev().bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ (n as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::involvement::summarize;
+
+    #[test]
+    fn all_benchmarks_generate() {
+        for b in Benchmark::ALL {
+            let c = b.generate(10);
+            assert_eq!(c.num_qubits(), 10, "{b}");
+            assert!(c.len() > 5, "{b} too small: {} ops", c.len());
+            assert_eq!(c.name(), format!("{}_10", b.abbrev()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for b in Benchmark::ALL {
+            assert_eq!(b.generate(9), b.generate(9), "{b} not deterministic");
+        }
+    }
+
+    #[test]
+    fn abbrev_roundtrip() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::from_abbrev(b.abbrev()), Some(b));
+        }
+        assert_eq!(Benchmark::from_abbrev("nope"), None);
+    }
+
+    #[test]
+    fn all_qubits_touched() {
+        // Every benchmark must involve every qubit by the end.
+        use crate::involvement::{full_mask, involvement_sequence};
+        for b in Benchmark::ALL {
+            let c = b.generate(12);
+            let last = *involvement_sequence(&c).last().expect("non-empty");
+            assert_eq!(last, full_mask(12), "{b} leaves qubits untouched");
+        }
+    }
+
+    #[test]
+    fn table2_qualitative_ordering() {
+        // The paper's Table II shape: iqp involves qubits latest; qft,
+        // qaoa and qf earliest.
+        let pct =
+            |b: Benchmark| summarize(&b.generate(20)).percentage;
+        let iqp = pct(Benchmark::Iqp);
+        for early in [Benchmark::Qft, Benchmark::Qaoa, Benchmark::Qf] {
+            assert!(
+                iqp > pct(early) + 30.0,
+                "iqp ({iqp:.1}%) should involve much later than {early}"
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_vary_random_families_only() {
+        use crate::involvement::{full_mask, involvement_sequence};
+        for b in Benchmark::ALL {
+            let a = b.generate_seeded(12, 1);
+            let c = b.generate_seeded(12, 2);
+            match b {
+                Benchmark::Qft | Benchmark::Hchain => assert_eq!(a, c, "{b} is deterministic"),
+                _ => assert_ne!(a, c, "{b} should vary with the seed"),
+            }
+            // Every seed still yields a full-involvement circuit.
+            assert_eq!(
+                involvement_sequence(&c).last(),
+                Some(&full_mask(12)),
+                "{b} seed variant leaves qubits untouched"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_scales_to_34_qubits() {
+        // Table II is computed at 34 qubits: generation (not simulation)
+        // must be cheap at that size.
+        for b in Benchmark::ALL {
+            let c = b.generate(34);
+            assert_eq!(c.num_qubits(), 34);
+        }
+    }
+}

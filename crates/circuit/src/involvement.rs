@@ -1,0 +1,213 @@
+//! Qubit-involvement analysis (paper §IV-B).
+//!
+//! A qubit is *involved* once any gate has acted on it. Until then, its
+//! state remains |0⟩ and every amplitude with that qubit's bit set is
+//! guaranteed zero — the source of Q-GPU's pruning opportunity. This
+//! module computes the involvement trajectory of a circuit, which drives
+//! Table II ("operations before all qubits are involved") and Figure 9
+//! (involvement curves under different gate orders).
+
+use crate::circuit::Circuit;
+
+/// The involvement mask after each operation of a circuit.
+///
+/// `masks[k]` is the `u64` bitmask of involved qubits after operations
+/// `0..=k` have been applied (so `masks.len() == circuit.len()`).
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_circuit::{Circuit, involvement::involvement_sequence};
+///
+/// let mut c = Circuit::new(3);
+/// c.h(0).cx(0, 2).h(1);
+/// let seq = involvement_sequence(&c);
+/// assert_eq!(seq, vec![0b001, 0b101, 0b111]);
+/// ```
+pub fn involvement_sequence(circuit: &Circuit) -> Vec<u64> {
+    let mut mask = 0u64;
+    circuit
+        .iter()
+        .map(|op| {
+            mask |= op.qubit_mask();
+            mask
+        })
+        .collect()
+}
+
+/// Number of operations executed before every qubit has been involved.
+///
+/// Returns `circuit.len()` if some qubit is never touched. This is the
+/// "number of operations before all qubit involvement" column of the
+/// paper's Table II.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_circuit::{Circuit, involvement::ops_until_full_involvement};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).z(0).cx(0, 1).h(1);
+/// assert_eq!(ops_until_full_involvement(&c), 3);
+/// ```
+pub fn ops_until_full_involvement(circuit: &Circuit) -> usize {
+    let full = full_mask(circuit.num_qubits());
+    let mut mask = 0u64;
+    for (i, op) in circuit.iter().enumerate() {
+        mask |= op.qubit_mask();
+        if mask == full {
+            return i + 1;
+        }
+    }
+    circuit.len()
+}
+
+/// Number of involved qubits after each operation (the y-axis of the
+/// paper's Figure 9, with the involvement mask reduced to a count).
+pub fn involvement_counts(circuit: &Circuit) -> Vec<u32> {
+    involvement_sequence(circuit)
+        .into_iter()
+        .map(|m| m.count_ones())
+        .collect()
+}
+
+/// Area under the involvement curve, normalized to `[0, 1]`: the mean
+/// fraction of qubits involved across the circuit's operations. Lower
+/// means more of the circuit executes with prunable subspace — a single
+/// scalar ranking of gate orders, sharper than "ops before full
+/// involvement" when curves cross (used alongside the paper's Figure 9).
+///
+/// Returns 1.0 for an empty circuit (nothing prunable).
+pub fn involvement_integral(circuit: &Circuit) -> f64 {
+    if circuit.is_empty() {
+        return 1.0;
+    }
+    let n = circuit.num_qubits() as f64;
+    let counts = involvement_counts(circuit);
+    counts.iter().map(|&c| c as f64 / n).sum::<f64>() / counts.len() as f64
+}
+
+/// The all-involved mask for `n` qubits.
+///
+/// # Panics
+///
+/// Panics if `n` is 0 or greater than 64.
+pub fn full_mask(n: usize) -> u64 {
+    assert!(n > 0 && n <= 64);
+    if n == 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Summary row of Table II for one circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvolvementSummary {
+    /// Total number of operations in the circuit.
+    pub total_ops: usize,
+    /// Operations before all qubits are involved.
+    pub ops_before_full: usize,
+    /// `ops_before_full / total_ops`, as the paper's percentage column.
+    pub percentage: f64,
+}
+
+/// Computes the Table II row for `circuit`.
+pub fn summarize(circuit: &Circuit) -> InvolvementSummary {
+    let total_ops = circuit.len();
+    let ops_before_full = ops_until_full_involvement(circuit);
+    InvolvementSummary {
+        total_ops,
+        ops_before_full,
+        percentage: if total_ops == 0 {
+            0.0
+        } else {
+            100.0 * ops_before_full as f64 / total_ops as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::Benchmark;
+
+    #[test]
+    fn sequence_is_monotone() {
+        let c = Benchmark::Hchain.generate(8);
+        let seq = involvement_sequence(&c);
+        for w in seq.windows(2) {
+            assert_eq!(w[0] & w[1], w[0], "involvement must only grow");
+        }
+    }
+
+    #[test]
+    fn full_mask_boundaries() {
+        assert_eq!(full_mask(1), 1);
+        assert_eq!(full_mask(3), 0b111);
+        assert_eq!(full_mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn untouched_qubit_reports_total_len() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1); // qubit 2 never involved
+        assert_eq!(ops_until_full_involvement(&c), 2);
+        assert_eq!(involvement_sequence(&c).last(), Some(&0b011));
+    }
+
+    #[test]
+    fn counts_match_sequence() {
+        let c = Benchmark::Gs.generate(6);
+        let seq = involvement_sequence(&c);
+        let counts = involvement_counts(&c);
+        for (m, c) in seq.iter().zip(counts.iter()) {
+            assert_eq!(m.count_ones(), *c);
+        }
+    }
+
+    #[test]
+    fn summary_percentage() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).h(0).h(1);
+        let s = summarize(&c);
+        assert_eq!(s.total_ops, 4);
+        assert_eq!(s.ops_before_full, 2);
+        assert!((s.percentage - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integral_ranks_orders() {
+        // A circuit that involves everything at once integrates to ~1;
+        // one that ramps up linearly integrates to ~0.5.
+        let mut eager = Circuit::new(4);
+        eager.h(0).h(1).h(2).h(3);
+        for _ in 0..20 {
+            eager.t(0);
+        }
+        let mut lazy = Circuit::new(4);
+        for q in 0..4 {
+            lazy.h(q);
+            for _ in 0..5 {
+                lazy.t(q);
+            }
+        }
+        assert!(involvement_integral(&eager) > 0.9);
+        assert!(involvement_integral(&lazy) < 0.75);
+        assert_eq!(involvement_integral(&Circuit::new(3)), 1.0);
+    }
+
+    #[test]
+    fn iqp_involves_late_qft_early() {
+        // The qualitative property behind Table II: iqp has a much larger
+        // fraction of operations before full involvement than qft.
+        let iqp = summarize(&Benchmark::Iqp.generate(16));
+        let qft = summarize(&Benchmark::Qft.generate(16));
+        assert!(
+            iqp.percentage > 2.0 * qft.percentage,
+            "iqp {:.1}% should dwarf qft {:.1}%",
+            iqp.percentage,
+            qft.percentage
+        );
+    }
+}

@@ -1,0 +1,539 @@
+//! OpenQASM 2.0 emission and parsing.
+//!
+//! The paper exports its benchmarks as OpenQASM programs to run them on
+//! Google Qsim-Cirq and Microsoft QDK (§V-C). This module supports the
+//! same interchange: [`to_qasm`] emits a program using only standard
+//! `qelib1` gates, and [`parse`] reads the subset of OpenQASM 2.0 those
+//! programs use (one quantum register, the gate set of
+//! [`crate::Gate`], `barrier`/`measure`/`creg` accepted and ignored).
+
+use std::fmt::Write as _;
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, Operation};
+
+/// Error produced when parsing an OpenQASM program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseQasmError {
+    /// 1-based line of the error.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseQasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseQasmError {}
+
+/// Emits `circuit` as an OpenQASM 2.0 program.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_circuit::{Circuit, qasm};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1);
+/// let text = qasm::to_qasm(&c);
+/// assert!(text.contains("h q[0];"));
+/// assert!(text.contains("cx q[0],q[1];"));
+/// ```
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\n");
+    out.push_str("include \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
+    for op in circuit.iter() {
+        let params = op.gate().params();
+        if params.is_empty() {
+            let _ = write!(out, "{}", op.gate().name());
+        } else {
+            let joined = params
+                .iter()
+                .map(|p| format!("{p:.17}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            let _ = write!(out, "{}({})", op.gate().name(), joined);
+        }
+        let qs = op
+            .qubits()
+            .iter()
+            .map(|q| format!("q[{q}]"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let _ = writeln!(out, " {qs};");
+    }
+    out
+}
+
+/// Parses an OpenQASM 2.0 program into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`ParseQasmError`] on malformed syntax, unknown gates, missing
+/// `qreg`, or out-of-range qubit indices.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_circuit::qasm;
+///
+/// let c = qasm::parse(
+///     "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0],q[1];",
+/// )?;
+/// assert_eq!(c.len(), 2);
+/// # Ok::<(), qgpu_circuit::qasm::ParseQasmError>(())
+/// ```
+pub fn parse(text: &str) -> Result<Circuit, ParseQasmError> {
+    let mut circuit: Option<Circuit> = None;
+    let mut reg_name = String::new();
+
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let line = lineno + 1;
+        // Strip comments.
+        let stripped = match raw_line.find("//") {
+            Some(pos) => &raw_line[..pos],
+            None => raw_line,
+        };
+        for stmt in stripped.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            if stmt.starts_with("OPENQASM") || stmt.starts_with("include") {
+                continue;
+            }
+            if let Some(rest) = stmt.strip_prefix("qreg") {
+                let (name, size) = parse_reg(rest.trim(), line)?;
+                if circuit.is_some() {
+                    return Err(err(line, "multiple qreg declarations are unsupported"));
+                }
+                if size == 0 || size > 64 {
+                    return Err(err(line, format!("unsupported register size {size}")));
+                }
+                reg_name = name;
+                circuit = Some(Circuit::new(size));
+                continue;
+            }
+            if stmt.starts_with("creg") || stmt.starts_with("barrier") || stmt.starts_with("measure")
+            {
+                continue;
+            }
+            let c = circuit
+                .as_mut()
+                .ok_or_else(|| err(line, "gate before qreg declaration"))?;
+            let op = parse_gate_stmt(stmt, &reg_name, c.num_qubits(), line)?;
+            c.push(op);
+        }
+    }
+    circuit.ok_or_else(|| err(text.lines().count(), "no qreg declaration found"))
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseQasmError {
+    ParseQasmError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses `name[size]`.
+fn parse_reg(s: &str, line: usize) -> Result<(String, usize), ParseQasmError> {
+    let open = s.find('[').ok_or_else(|| err(line, "expected [size]"))?;
+    let close = s.find(']').ok_or_else(|| err(line, "expected ]"))?;
+    let name = s[..open].trim().to_string();
+    let size = s[open + 1..close]
+        .trim()
+        .parse::<usize>()
+        .map_err(|_| err(line, "bad register size"))?;
+    Ok((name, size))
+}
+
+fn parse_gate_stmt(
+    stmt: &str,
+    reg: &str,
+    num_qubits: usize,
+    line: usize,
+) -> Result<Operation, ParseQasmError> {
+    // Split "name(params) args" into head and qubit args. The parameter
+    // list may contain nested parentheses, so scan for the balancing ')'.
+    let (head, args) = match stmt.find('(') {
+        Some(open) => {
+            let mut depth = 0usize;
+            let mut close = None;
+            for (i, ch) in stmt.char_indices().skip(open) {
+                match ch {
+                    '(' => depth += 1,
+                    ')' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            close = Some(i);
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let close = close.ok_or_else(|| err(line, "unbalanced ("))?;
+            (&stmt[..=close], stmt[close + 1..].trim())
+        }
+        None => {
+            let space = stmt
+                .find(char::is_whitespace)
+                .ok_or_else(|| err(line, "expected qubit arguments"))?;
+            (&stmt[..space], stmt[space..].trim())
+        }
+    };
+
+    let (name, params) = match head.find('(') {
+        Some(open) => {
+            let close = head.rfind(')').ok_or_else(|| err(line, "unbalanced ("))?;
+            let name = head[..open].trim();
+            let params = head[open + 1..close]
+                .split(',')
+                .map(|e| eval_expr(e.trim(), line))
+                .collect::<Result<Vec<f64>, _>>()?;
+            (name, params)
+        }
+        None => (head.trim(), Vec::new()),
+    };
+
+    let qubits = args
+        .split(',')
+        .map(|a| parse_qubit(a.trim(), reg, num_qubits, line))
+        .collect::<Result<Vec<usize>, _>>()?;
+
+    let gate = gate_from_name(name, &params)
+        .ok_or_else(|| err(line, format!("unknown gate '{name}' with {} params", params.len())))?;
+    if gate.arity() != qubits.len() {
+        return Err(err(
+            line,
+            format!("gate {name} expects {} qubits, got {}", gate.arity(), qubits.len()),
+        ));
+    }
+    Ok(Operation::new(gate, qubits))
+}
+
+fn parse_qubit(s: &str, reg: &str, num_qubits: usize, line: usize) -> Result<usize, ParseQasmError> {
+    let open = s.find('[').ok_or_else(|| err(line, "expected q[i]"))?;
+    let close = s.find(']').ok_or_else(|| err(line, "expected ]"))?;
+    let name = s[..open].trim();
+    if !reg.is_empty() && name != reg {
+        return Err(err(line, format!("unknown register '{name}'")));
+    }
+    let idx = s[open + 1..close]
+        .trim()
+        .parse::<usize>()
+        .map_err(|_| err(line, "bad qubit index"))?;
+    if idx >= num_qubits {
+        return Err(err(line, format!("qubit index {idx} out of range")));
+    }
+    Ok(idx)
+}
+
+fn gate_from_name(name: &str, params: &[f64]) -> Option<Gate> {
+    Some(match (name, params.len()) {
+        ("h", 0) => Gate::H,
+        ("x", 0) => Gate::X,
+        ("y", 0) => Gate::Y,
+        ("z", 0) => Gate::Z,
+        ("s", 0) => Gate::S,
+        ("sdg", 0) => Gate::Sdg,
+        ("t", 0) => Gate::T,
+        ("tdg", 0) => Gate::Tdg,
+        ("sx", 0) => Gate::Sx,
+        ("sy", 0) => Gate::Sy,
+        ("rx", 1) => Gate::Rx(params[0]),
+        ("ry", 1) => Gate::Ry(params[0]),
+        ("rz", 1) => Gate::Rz(params[0]),
+        ("p" | "u1", 1) => Gate::Phase(params[0]),
+        ("u" | "u3", 3) => Gate::U(params[0], params[1], params[2]),
+        ("u2", 2) => Gate::U(std::f64::consts::FRAC_PI_2, params[0], params[1]),
+        ("cx" | "CX", 0) => Gate::Cx,
+        ("cy", 0) => Gate::Cy,
+        ("cz", 0) => Gate::Cz,
+        ("cp" | "cu1", 1) => Gate::Cp(params[0]),
+        ("rzz", 1) => Gate::Rzz(params[0]),
+        ("swap", 0) => Gate::Swap,
+        ("ccx", 0) => Gate::Ccx,
+        _ => return None,
+    })
+}
+
+/// Evaluates an OpenQASM angle expression: numbers, `pi`, unary minus,
+/// `+ - * /`, and parentheses.
+fn eval_expr(expr: &str, line: usize) -> Result<f64, ParseQasmError> {
+    let tokens = tokenize(expr, line)?;
+    let mut pos = 0;
+    let v = parse_sum(&tokens, &mut pos, line)?;
+    if pos != tokens.len() {
+        return Err(err(line, format!("trailing tokens in expression '{expr}'")));
+    }
+    Ok(v)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Num(f64),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+}
+
+fn tokenize(expr: &str, line: usize) -> Result<Vec<Tok>, ParseQasmError> {
+    let mut toks = Vec::new();
+    let bytes = expr.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' => i += 1,
+            '+' => {
+                toks.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                toks.push(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '/' => {
+                toks.push(Tok::Slash);
+                i += 1;
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            _ if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && i > start
+                            && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+                {
+                    i += 1;
+                }
+                let num = expr[start..i]
+                    .parse::<f64>()
+                    .map_err(|_| err(line, format!("bad number in '{expr}'")))?;
+                toks.push(Tok::Num(num));
+            }
+            _ if c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_alphanumeric() {
+                    i += 1;
+                }
+                match &expr[start..i] {
+                    "pi" => toks.push(Tok::Num(std::f64::consts::PI)),
+                    other => return Err(err(line, format!("unknown identifier '{other}'"))),
+                }
+            }
+            _ => return Err(err(line, format!("unexpected character '{c}'"))),
+        }
+    }
+    Ok(toks)
+}
+
+fn parse_sum(toks: &[Tok], pos: &mut usize, line: usize) -> Result<f64, ParseQasmError> {
+    let mut v = parse_product(toks, pos, line)?;
+    while *pos < toks.len() {
+        match toks[*pos] {
+            Tok::Plus => {
+                *pos += 1;
+                v += parse_product(toks, pos, line)?;
+            }
+            Tok::Minus => {
+                *pos += 1;
+                v -= parse_product(toks, pos, line)?;
+            }
+            _ => break,
+        }
+    }
+    Ok(v)
+}
+
+fn parse_product(toks: &[Tok], pos: &mut usize, line: usize) -> Result<f64, ParseQasmError> {
+    let mut v = parse_atom(toks, pos, line)?;
+    while *pos < toks.len() {
+        match toks[*pos] {
+            Tok::Star => {
+                *pos += 1;
+                v *= parse_atom(toks, pos, line)?;
+            }
+            Tok::Slash => {
+                *pos += 1;
+                v /= parse_atom(toks, pos, line)?;
+            }
+            _ => break,
+        }
+    }
+    Ok(v)
+}
+
+fn parse_atom(toks: &[Tok], pos: &mut usize, line: usize) -> Result<f64, ParseQasmError> {
+    match toks.get(*pos) {
+        Some(Tok::Num(v)) => {
+            *pos += 1;
+            Ok(*v)
+        }
+        Some(Tok::Minus) => {
+            *pos += 1;
+            Ok(-parse_atom(toks, pos, line)?)
+        }
+        Some(Tok::Plus) => {
+            *pos += 1;
+            parse_atom(toks, pos, line)
+        }
+        Some(Tok::LParen) => {
+            *pos += 1;
+            let v = parse_sum(toks, pos, line)?;
+            if toks.get(*pos) != Some(&Tok::RParen) {
+                return Err(err(line, "expected )"));
+            }
+            *pos += 1;
+            Ok(v)
+        }
+        _ => Err(err(line, "expected a value")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::Benchmark;
+
+    #[test]
+    fn roundtrip_bell() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let parsed = parse(&to_qasm(&c)).expect("parse");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed.ops()[1].gate(), Gate::Cx);
+    }
+
+    #[test]
+    fn roundtrip_all_benchmarks() {
+        for b in Benchmark::ALL {
+            let c = b.generate(8);
+            let parsed = parse(&to_qasm(&c)).unwrap_or_else(|e| panic!("{b}: {e}"));
+            assert_eq!(parsed.len(), c.len(), "{b}");
+            for (a, b_op) in c.iter().zip(parsed.iter()) {
+                assert_eq!(a.qubits(), b_op.qubits());
+                assert_eq!(a.gate().name(), b_op.gate().name());
+                for (pa, pb) in a.gate().params().iter().zip(b_op.gate().params()) {
+                    assert!((pa - pb).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parses_pi_expressions() {
+        let src = "qreg q[1]; rz(pi/4) q[0]; rz(-pi/2) q[0]; rz(2*pi) q[0]; rz((pi+1)/2) q[0];";
+        let c = parse(src).expect("parse");
+        let angles: Vec<f64> = c.iter().map(|op| op.gate().params()[0]).collect();
+        use std::f64::consts::PI;
+        assert!((angles[0] - PI / 4.0).abs() < 1e-12);
+        assert!((angles[1] + PI / 2.0).abs() < 1e-12);
+        assert!((angles[2] - 2.0 * PI).abs() < 1e-12);
+        assert!((angles[3] - (PI + 1.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ignores_creg_barrier_measure_comments() {
+        let src = "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\n// comment\nh q[0]; barrier q[0];\nmeasure q[0] -> c[0];\n";
+        let c = parse(src).expect("parse");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn u2_maps_to_u3() {
+        let c = parse("qreg q[1]; u2(0,pi) q[0];").expect("parse");
+        assert!(matches!(c.ops()[0].gate(), Gate::U(..)));
+    }
+
+    #[test]
+    fn error_unknown_gate() {
+        let e = parse("qreg q[1]; frob q[0];").unwrap_err();
+        assert!(e.message.contains("unknown gate"));
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn error_out_of_range() {
+        let e = parse("qreg q[2]; h q[5];").unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn error_gate_before_qreg() {
+        let e = parse("h q[0]; qreg q[1];").unwrap_err();
+        assert!(e.message.contains("before qreg"));
+    }
+
+    #[test]
+    fn error_no_qreg() {
+        assert!(parse("OPENQASM 2.0;").is_err());
+    }
+
+    #[test]
+    fn error_arity_mismatch() {
+        let e = parse("qreg q[2]; cx q[0];").unwrap_err();
+        assert!(e.message.contains("expects 2 qubits"));
+    }
+
+    #[test]
+    fn error_unbalanced_paren() {
+        let e = parse("qreg q[1]; rz((pi q[0];").unwrap_err();
+        assert!(e.message.contains("unbalanced") || e.message.contains("expected"));
+    }
+
+    #[test]
+    fn error_unknown_identifier_in_expr() {
+        let e = parse("qreg q[1]; rz(tau) q[0];").unwrap_err();
+        assert!(e.message.contains("unknown identifier"));
+    }
+
+    #[test]
+    fn error_bad_number() {
+        assert!(parse("qreg q[1]; rz(1..2) q[0];").is_err());
+    }
+
+    #[test]
+    fn error_division_chain_precedence() {
+        // 8/2/2 must parse left-associative: 2, not 8.
+        let c = parse("qreg q[1]; rz(8/2/2) q[0];").expect("parse");
+        assert!((c.ops()[0].gate().params()[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scientific_notation_angles() {
+        let c = parse("qreg q[1]; rz(1.5e-3) q[0]; rz(2E2) q[0];").expect("parse");
+        assert!((c.ops()[0].gate().params()[0] - 1.5e-3).abs() < 1e-15);
+        assert!((c.ops()[1].gate().params()[0] - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiple_statements_per_line() {
+        let c = parse("qreg q[2]; h q[0]; h q[1]; cz q[0],q[1];").expect("parse");
+        assert_eq!(c.len(), 3);
+    }
+}

@@ -1,0 +1,345 @@
+//! Decomposition of multi-qubit gates into a `{single-qubit, CX}` basis.
+//!
+//! The paper feeds its benchmarks to simulators with narrower gate sets
+//! than Qiskit's (§V-C: "not all the transformed circuits can run on
+//! Qsim-Cirq … the cp gate cannot be recognized"). This pass rewrites a
+//! circuit using only single-qubit gates and CNOT — the least common
+//! denominator every state-vector simulator accepts — using the standard
+//! textbook decompositions. The rewritten circuit simulates to the
+//! identical state (up to global phase; exactly, for the gates below).
+
+use std::f64::consts::FRAC_PI_2;
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, Operation};
+
+/// Rewrites `circuit` using only single-qubit gates and CX.
+///
+/// Gates already in the basis pass through untouched; `cz`, `cy`, `cp`,
+/// `rzz`, `swap` and `ccx` are decomposed exactly.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_circuit::{Circuit, transpile};
+///
+/// let mut c = Circuit::new(3);
+/// c.ccx(0, 1, 2);
+/// let basis = transpile::to_cx_basis(&c);
+/// assert!(basis.iter().all(|op| op.qubits().len() == 1 || op.gate().name() == "cx"));
+/// ```
+pub fn to_cx_basis(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::with_name(circuit.num_qubits(), circuit.name().to_string());
+    for op in circuit.iter() {
+        decompose_into(op, &mut out);
+    }
+    out
+}
+
+fn decompose_into(op: &Operation, out: &mut Circuit) {
+    let q = op.qubits();
+    match op.gate() {
+        // Already in the basis.
+        g if g.arity() == 1 => {
+            out.push(op.clone());
+        }
+        Gate::Cx => {
+            out.push(op.clone());
+        }
+        // cz(a,b) = h(b) cx(a,b) h(b)
+        Gate::Cz => {
+            out.h(q[1]).cx(q[0], q[1]).h(q[1]);
+        }
+        // cy(c,t) = sdg(t) cx(c,t) s(t)
+        Gate::Cy => {
+            out.sdg(q[1]).cx(q[0], q[1]).s(q[1]);
+        }
+        // cp(θ) = p(θ/2)(a) p(θ/2)(b) cx(a,b) p(-θ/2)(b) cx(a,b)
+        Gate::Cp(theta) => {
+            out.p(theta / 2.0, q[0])
+                .p(theta / 2.0, q[1])
+                .cx(q[0], q[1])
+                .p(-theta / 2.0, q[1])
+                .cx(q[0], q[1]);
+        }
+        // rzz(θ) = cx(a,b) rz(θ)(b) cx(a,b)
+        Gate::Rzz(theta) => {
+            out.cx(q[0], q[1]).rz(theta, q[1]).cx(q[0], q[1]);
+        }
+        // swap = cx(a,b) cx(b,a) cx(a,b)
+        Gate::Swap => {
+            out.cx(q[0], q[1]).cx(q[1], q[0]).cx(q[0], q[1]);
+        }
+        // Standard 6-CX Toffoli decomposition.
+        Gate::Ccx => {
+            let (a, b, t) = (q[0], q[1], q[2]);
+            out.h(t)
+                .cx(b, t)
+                .tdg(t)
+                .cx(a, t)
+                .t(t)
+                .cx(b, t)
+                .tdg(t)
+                .cx(a, t)
+                .t(b)
+                .t(t)
+                .h(t)
+                .cx(a, b)
+                .t(a)
+                .tdg(b)
+                .cx(a, b);
+        }
+        other => unreachable!("gate {} has no decomposition rule", other.name()),
+    }
+}
+
+/// Counts two-qubit gates in a circuit — the usual cost metric after
+/// transpilation.
+pub fn two_qubit_gate_count(circuit: &Circuit) -> usize {
+    circuit
+        .iter()
+        .filter(|op| op.qubits().len() >= 2)
+        .count()
+}
+
+/// Rewrites the `sx`/`sy` roots as `U` rotations (some backends reject
+/// them); everything else passes through.
+pub fn canonicalize_roots(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::with_name(circuit.num_qubits(), circuit.name().to_string());
+    for op in circuit.iter() {
+        match op.gate() {
+            Gate::Sx => {
+                out.rx(FRAC_PI_2, op.qubits()[0]);
+                // rx(π/2) = sx up to global phase e^{-iπ/4}.
+            }
+            Gate::Sy => {
+                out.ry(FRAC_PI_2, op.qubits()[0]);
+            }
+            _ => {
+                out.push(op.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Peephole optimization: cancels adjacent inverse pairs and merges
+/// consecutive rotations on the same qubits.
+///
+/// "Adjacent" is with respect to the dependency DAG: two gates on the
+/// same qubit vector with no intervening gate touching any of those
+/// qubits. Every gate the pass removes reduces the bytes the Q-GPU
+/// pipeline must stream, so this composes with all four of the paper's
+/// optimizations.
+///
+/// The pass runs to a fixpoint (cancellations can cascade); the result
+/// simulates to the identical state, enforced by integration tests.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_circuit::{Circuit, transpile};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).t(1).h(0).cx(0, 1).cx(0, 1);
+/// let optimized = transpile::peephole(&c);
+/// assert_eq!(optimized.len(), 1); // only t(1) survives
+/// ```
+pub fn peephole(circuit: &Circuit) -> Circuit {
+    let mut ops: Vec<Operation> = circuit.ops().to_vec();
+    loop {
+        let (next, changed) = peephole_pass(circuit.num_qubits(), &ops);
+        ops = next;
+        if !changed {
+            break;
+        }
+    }
+    let mut out = Circuit::with_name(circuit.num_qubits(), circuit.name().to_string());
+    for op in ops {
+        out.push(op);
+    }
+    out
+}
+
+/// One forward pass; returns the rewritten ops and whether anything
+/// changed.
+fn peephole_pass(num_qubits: usize, ops: &[Operation]) -> (Vec<Operation>, bool) {
+    let mut out: Vec<Option<Operation>> = Vec::with_capacity(ops.len());
+    // Index into `out` of the last surviving op touching each qubit.
+    let mut last_on_qubit: Vec<Option<usize>> = vec![None; num_qubits];
+    let mut changed = false;
+
+    for op in ops {
+        // The candidate predecessor must be the last op on *all* of this
+        // op's qubits, must touch exactly the same qubit vector, and must
+        // still be alive.
+        let preds: Vec<Option<usize>> = op.qubits().iter().map(|&q| last_on_qubit[q]).collect();
+        let candidate = match preds.first().copied().flatten() {
+            Some(i)
+                if preds.iter().all(|&p| p == Some(i))
+                    && out[i]
+                        .as_ref()
+                        .is_some_and(|prev| prev.qubits() == op.qubits()) =>
+            {
+                Some(i)
+            }
+            _ => None,
+        };
+
+        if let Some(i) = candidate {
+            let prev = out[i].as_ref().expect("alive");
+            if prev.gate() == op.gate().inverse() {
+                // Exact cancellation: drop both.
+                out[i] = None;
+                for &q in op.qubits() {
+                    last_on_qubit[q] = None;
+                }
+                changed = true;
+                continue;
+            }
+            if let Some(merged) = merge_rotations(prev.gate(), op.gate()) {
+                changed = true;
+                match merged {
+                    Some(g) => {
+                        out[i] = Some(Operation::new(g, op.qubits().to_vec()));
+                    }
+                    None => {
+                        // Angles summed to (numerically) zero: drop both.
+                        out[i] = None;
+                        for &q in op.qubits() {
+                            last_on_qubit[q] = None;
+                        }
+                    }
+                }
+                continue;
+            }
+        }
+
+        let idx = out.len();
+        out.push(Some(op.clone()));
+        for &q in op.qubits() {
+            last_on_qubit[q] = Some(idx);
+        }
+    }
+    (out.into_iter().flatten().collect(), changed)
+}
+
+/// Merges two same-axis rotations; `Some(None)` means they annihilate.
+#[allow(clippy::option_option)]
+fn merge_rotations(a: Gate, b: Gate) -> Option<Option<Gate>> {
+    let merged = match (a, b) {
+        (Gate::Rx(x), Gate::Rx(y)) => Gate::Rx(x + y),
+        (Gate::Ry(x), Gate::Ry(y)) => Gate::Ry(x + y),
+        (Gate::Rz(x), Gate::Rz(y)) => Gate::Rz(x + y),
+        (Gate::Phase(x), Gate::Phase(y)) => Gate::Phase(x + y),
+        (Gate::Cp(x), Gate::Cp(y)) => Gate::Cp(x + y),
+        (Gate::Rzz(x), Gate::Rzz(y)) => Gate::Rzz(x + y),
+        _ => return None,
+    };
+    let angle = merged.params()[0];
+    if angle.abs() < 1e-12 {
+        Some(None)
+    } else {
+        Some(Some(merged))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::Benchmark;
+
+    #[test]
+    fn output_is_in_basis() {
+        for b in Benchmark::ALL {
+            let c = to_cx_basis(&b.generate(8));
+            for op in c.iter() {
+                let ok = op.qubits().len() == 1 || op.gate() == Gate::Cx;
+                assert!(ok, "{b}: {} not in basis", op.gate().name());
+            }
+        }
+    }
+
+    #[test]
+    fn two_qubit_count_only_counts_wide_gates() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ccx(0, 1, 2).t(2);
+        assert_eq!(two_qubit_gate_count(&c), 2);
+    }
+
+    #[test]
+    fn peephole_cancels_adjacent_inverses() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(0).cx(1, 2).cx(1, 2).t(0).tdg(0).s(1).sdg(1);
+        assert!(peephole(&c).is_empty());
+    }
+
+    #[test]
+    fn peephole_sees_through_commuting_spacers() {
+        // h(0), t(1), h(0): the t(1) does not touch qubit 0, so the
+        // Hadamards are DAG-adjacent and cancel.
+        let mut c = Circuit::new(2);
+        c.h(0).t(1).h(0);
+        let out = peephole(&c);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.ops()[0].gate(), Gate::T);
+    }
+
+    #[test]
+    fn peephole_respects_qubit_order() {
+        // cx(0,1) then cx(1,0) is NOT an inverse pair.
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(1, 0);
+        assert_eq!(peephole(&c).len(), 2);
+    }
+
+    #[test]
+    fn peephole_merges_rotations() {
+        let mut c = Circuit::new(2);
+        c.rz(0.3, 0).rz(0.4, 0).rzz(0.1, 0, 1).rzz(-0.1, 0, 1);
+        let out = peephole(&c);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out.ops()[0].gate(), Gate::Rz(t) if (t - 0.7).abs() < 1e-12));
+    }
+
+    #[test]
+    fn peephole_cascades_to_fixpoint() {
+        // x s s x: the inner pair merges to z-ish... use exact pairs:
+        // h x x h collapses completely only after the inner xx cancels.
+        let mut c = Circuit::new(1);
+        c.h(0).x(0).x(0).h(0);
+        assert!(peephole(&c).is_empty());
+    }
+
+    #[test]
+    fn peephole_collapses_circuit_plus_inverse() {
+        for b in [Benchmark::Qft, Benchmark::Gs, Benchmark::Hlf] {
+            let c = b.generate(6);
+            let mut round = c.clone();
+            round.extend_from(&c.inverse());
+            let out = peephole(&round);
+            // sx/sy invert to rx/ry (global phase), which don't cancel
+            // syntactically; everything else must vanish.
+            let residual = out
+                .iter()
+                .filter(|op| !matches!(op.gate(), Gate::Rx(_) | Gate::Ry(_) | Gate::Sx | Gate::Sy))
+                .count();
+            assert_eq!(residual, 0, "{b}: {} ops left", out.len());
+        }
+    }
+
+    #[test]
+    fn peephole_leaves_irreducible_circuits_alone() {
+        let c = Benchmark::Qft.generate(6);
+        assert_eq!(peephole(&c).len(), c.len());
+    }
+
+    #[test]
+    fn canonicalize_removes_roots() {
+        let mut c = Circuit::new(2);
+        c.sx(0).sy(1).h(0);
+        let out = canonicalize_roots(&c);
+        assert!(out.iter().all(|op| !matches!(op.gate(), Gate::Sx | Gate::Sy)));
+        assert_eq!(out.len(), 3);
+    }
+}

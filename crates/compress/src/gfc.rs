@@ -1,0 +1,524 @@
+//! The GFC lossless double-precision compressor.
+//!
+//! Faithful reimplementation of the algorithm Q-GPU runs as GPU kernels
+//! (paper §IV-D and Figure 11): segments map to warps, micro-chunks of 32
+//! values map to warp lanes, and each residual is stored as a 4-bit
+//! sign/length prefix plus its non-zero low-order bytes.
+
+use std::fmt;
+
+use qgpu_math::Complex64;
+use serde::{Deserialize, Serialize};
+
+use crate::stats::CompressionStats;
+
+/// Error returned when a compressed buffer cannot be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeGfcError {
+    /// Index of the offending segment.
+    pub segment: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl fmt::Display for DecodeGfcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "corrupt GFC segment {}: {}", self.segment, self.message)
+    }
+}
+
+impl std::error::Error for DecodeGfcError {}
+
+/// Number of values per micro-chunk — one per thread of a 32-lane warp.
+pub const MICRO_CHUNK: usize = 32;
+
+/// A compressed buffer: independently compressed segments plus enough
+/// metadata to restore the original length.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_compress::GfcCodec;
+///
+/// let codec = GfcCodec::new(2);
+/// let c = codec.compress(&[0.0; 100]);
+/// assert_eq!(c.num_values(), 100);
+/// assert!(c.total_bytes() < 800);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Compressed {
+    num_values: usize,
+    segments: Vec<Vec<u8>>,
+}
+
+impl Compressed {
+    /// Number of `f64` values the buffer decodes to.
+    pub fn num_values(&self) -> usize {
+        self.num_values
+    }
+
+    /// Number of independently compressed segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total compressed payload in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.segments.iter().map(|s| s.len()).sum()
+    }
+
+    /// Raw bytes of segment `i` (for persistence formats).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn segment(&self, i: usize) -> &[u8] {
+        &self.segments[i]
+    }
+
+    /// Reassembles a buffer from persisted parts. `num_values` is the
+    /// decoded `f64` count the buffer must produce; decoding validates it.
+    pub fn from_parts(num_values: usize, segments: Vec<Vec<u8>>) -> Self {
+        Compressed {
+            num_values,
+            segments,
+        }
+    }
+
+    /// Compression statistics against the uncompressed size.
+    pub fn stats(&self) -> CompressionStats {
+        CompressionStats::new(self.num_values * 8, self.total_bytes())
+    }
+}
+
+/// The GFC codec: configuration (segment count) plus compress/decompress
+/// entry points.
+///
+/// The segment count trades parallelism (each segment is one warp's work)
+/// against ratio (each segment restarts the residual predictor). The
+/// paper chooses it "to match the GPU parallelism".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GfcCodec {
+    num_segments: usize,
+}
+
+impl GfcCodec {
+    /// Creates a codec with the given segment count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_segments == 0`.
+    pub fn new(num_segments: usize) -> Self {
+        assert!(num_segments > 0, "need at least one segment");
+        GfcCodec { num_segments }
+    }
+
+    /// The configured segment count.
+    pub fn num_segments(&self) -> usize {
+        self.num_segments
+    }
+
+    /// Compresses a slice of doubles.
+    pub fn compress(&self, data: &[f64]) -> Compressed {
+        let seg_len = segment_len(data.len(), self.num_segments);
+        let segments = if seg_len == 0 {
+            vec![compress_segment(data)]
+        } else {
+            data.chunks(seg_len).map(compress_segment).collect()
+        };
+        Compressed {
+            num_values: data.len(),
+            segments,
+        }
+    }
+
+    /// Compresses a complex-amplitude slice (viewed as interleaved
+    /// `re, im` doubles, exactly how the simulator stores chunks).
+    pub fn compress_amplitudes(&self, amps: &[Complex64]) -> Compressed {
+        self.compress(amps_as_f64(amps))
+    }
+
+    /// Decompresses back into doubles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is corrupt; use [`GfcCodec::try_decompress`]
+    /// to handle untrusted data.
+    pub fn decompress(&self, c: &Compressed) -> Vec<f64> {
+        self.try_decompress(c).expect("corrupt compressed buffer")
+    }
+
+    /// Decompresses back into doubles, reporting corruption as an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeGfcError`] when a segment header is truncated, the
+    /// declared lengths disagree with the payload, or the total value
+    /// count does not match the buffer's metadata.
+    pub fn try_decompress(&self, c: &Compressed) -> Result<Vec<f64>, DecodeGfcError> {
+        let mut out = Vec::with_capacity(c.num_values);
+        for (i, seg) in c.segments.iter().enumerate() {
+            decompress_segment(seg, &mut out)
+                .map_err(|message| DecodeGfcError { segment: i, message })?;
+        }
+        if out.len() != c.num_values {
+            return Err(DecodeGfcError {
+                segment: c.segments.len(),
+                message: "decoded value count does not match metadata",
+            });
+        }
+        Ok(out)
+    }
+
+    /// Decompresses into complex amplitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is corrupt or holds an odd number of doubles;
+    /// use [`GfcCodec::try_decompress_amplitudes`] for untrusted data.
+    pub fn decompress_amplitudes(&self, c: &Compressed) -> Vec<Complex64> {
+        self.try_decompress_amplitudes(c)
+            .expect("corrupt compressed buffer")
+    }
+
+    /// Decompresses into complex amplitudes, reporting corruption.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeGfcError`] on corrupt buffers or an odd number of
+    /// decoded doubles.
+    pub fn try_decompress_amplitudes(
+        &self,
+        c: &Compressed,
+    ) -> Result<Vec<Complex64>, DecodeGfcError> {
+        let doubles = self.try_decompress(c)?;
+        if doubles.len() % 2 != 0 {
+            return Err(DecodeGfcError {
+                segment: c.segments.len(),
+                message: "odd number of doubles for a complex buffer",
+            });
+        }
+        Ok(doubles
+            .chunks_exact(2)
+            .map(|p| Complex64::new(p[0], p[1]))
+            .collect())
+    }
+}
+
+impl Default for GfcCodec {
+    /// 32 segments — enough warps to saturate a small GPU.
+    fn default() -> Self {
+        GfcCodec::new(32)
+    }
+}
+
+/// Reinterprets amplitudes as interleaved doubles (zero-copy).
+fn amps_as_f64(amps: &[Complex64]) -> &[f64] {
+    // Safety: Complex64 is repr(C) with exactly two f64 fields.
+    unsafe { std::slice::from_raw_parts(amps.as_ptr().cast::<f64>(), amps.len() * 2) }
+}
+
+/// Rounds the per-segment length up to a micro-chunk multiple.
+fn segment_len(total: usize, num_segments: usize) -> usize {
+    let raw = total.div_ceil(num_segments);
+    raw.div_ceil(MICRO_CHUNK) * MICRO_CHUNK
+}
+
+fn compress_segment(values: &[f64]) -> Vec<u8> {
+    // Layout: [u32 count][u32 payload_len][packed 4-bit headers][payload].
+    let n = values.len();
+    let mut headers = Vec::with_capacity(n.div_ceil(2));
+    let mut payload: Vec<u8> = Vec::with_capacity(n * 4);
+    let mut pending_header: Option<u8> = None;
+
+    for (i, &v) in values.iter().enumerate() {
+        // Lane j of micro-chunk k predicts from lane j of micro-chunk k-1.
+        let prev = if i >= MICRO_CHUNK {
+            values[i - MICRO_CHUNK].to_bits()
+        } else {
+            0
+        };
+        let cur = v.to_bits();
+        let residual = cur.wrapping_sub(prev) as i64;
+        let (sign, magnitude) = if residual < 0 {
+            (1u8, residual.unsigned_abs())
+        } else {
+            (0u8, residual as u64)
+        };
+        // Leading-zero *bytes* of the magnitude, clamped to 7 so at least
+        // one payload byte is always written for the value.
+        let lzb = (magnitude.leading_zeros() / 8).min(7) as u8;
+        let header = (sign << 3) | lzb;
+        match pending_header.take() {
+            None => pending_header = Some(header),
+            Some(first) => headers.push((first << 4) | header),
+        }
+        let keep = 8 - lzb as usize;
+        payload.extend_from_slice(&magnitude.to_le_bytes()[..keep]);
+    }
+    if let Some(first) = pending_header {
+        headers.push(first << 4);
+    }
+
+    let mut out = Vec::with_capacity(8 + headers.len() + payload.len());
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&headers);
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn decompress_segment(seg: &[u8], out: &mut Vec<f64>) -> Result<(), &'static str> {
+    if seg.len() < 8 {
+        return Err("segment shorter than its header");
+    }
+    let n = u32::from_le_bytes(seg[0..4].try_into().expect("4 bytes")) as usize;
+    let payload_len = u32::from_le_bytes(seg[4..8].try_into().expect("4 bytes")) as usize;
+    let header_len = n.div_ceil(2);
+    if seg.len() != 8 + header_len + payload_len {
+        return Err("declared lengths disagree with segment size");
+    }
+    let headers = &seg[8..8 + header_len];
+    let payload = &seg[8 + header_len..];
+
+    let start = out.len();
+    let mut pos = 0usize;
+    for i in 0..n {
+        let packed = headers[i / 2];
+        let header = if i % 2 == 0 { packed >> 4 } else { packed & 0x0f };
+        let sign = (header >> 3) & 1;
+        let lzb = (header & 0x7) as usize;
+        let keep = 8 - lzb;
+        if pos + keep > payload.len() {
+            return Err("payload truncated");
+        }
+        let mut bytes = [0u8; 8];
+        bytes[..keep].copy_from_slice(&payload[pos..pos + keep]);
+        pos += keep;
+        let magnitude = u64::from_le_bytes(bytes);
+        let residual = if sign == 1 {
+            (magnitude as i64).wrapping_neg()
+        } else {
+            magnitude as i64
+        };
+        let prev = if i >= MICRO_CHUNK {
+            out[start + i - MICRO_CHUNK].to_bits()
+        } else {
+            0
+        };
+        let cur = prev.wrapping_add(residual as u64);
+        out.push(f64::from_bits(cur));
+    }
+    if pos != payload.len() {
+        return Err("trailing payload bytes");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn roundtrip(codec: &GfcCodec, data: &[f64]) {
+        let c = codec.compress(data);
+        let d = codec.decompress(&c);
+        assert_eq!(d.len(), data.len());
+        for (a, b) in data.iter().zip(d.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "lossless roundtrip violated");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        roundtrip(&GfcCodec::new(4), &[]);
+    }
+
+    #[test]
+    fn zeros_compress_extremely_well() {
+        let codec = GfcCodec::new(4);
+        let data = vec![0.0f64; 4096];
+        let c = codec.compress(&data);
+        // 4 bits header + 1 byte payload per value + segment overhead.
+        assert!(c.total_bytes() < data.len() * 2, "{} bytes", c.total_bytes());
+        roundtrip(&codec, &data);
+    }
+
+    #[test]
+    fn smooth_data_compresses() {
+        let codec = GfcCodec::default();
+        let data: Vec<f64> = (0..8192).map(|i| (i as f64 * 1e-4).sin() * 0.25).collect();
+        let c = codec.compress(&data);
+        assert!(
+            c.total_bytes() < 8 * data.len(),
+            "smooth data should compress: {} vs {}",
+            c.total_bytes(),
+            8 * data.len()
+        );
+        roundtrip(&codec, &data);
+    }
+
+    #[test]
+    fn random_data_does_not_explode() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let data: Vec<f64> = (0..4096).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let codec = GfcCodec::new(8);
+        let c = codec.compress(&data);
+        // Worst case: 0.5 byte header + 8 bytes payload per value + overhead.
+        assert!(c.total_bytes() <= data.len() * 9 + 8 * 8);
+        roundtrip(&codec, &data);
+    }
+
+    #[test]
+    fn special_values_roundtrip() {
+        let data = vec![
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MAX,
+            f64::MIN,
+            f64::MIN_POSITIVE,
+            -0.0,
+            0.0,
+            f64::EPSILON,
+        ];
+        roundtrip(&GfcCodec::new(1), &data);
+    }
+
+    #[test]
+    fn nan_payload_preserved() {
+        let data = vec![f64::from_bits(0x7ff8_0000_dead_beef), 1.0, f64::NAN];
+        let codec = GfcCodec::new(1);
+        let c = codec.compress(&data);
+        let d = codec.decompress(&c);
+        for (a, b) in data.iter().zip(d.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn segment_count_respected() {
+        let codec = GfcCodec::new(8);
+        let data = vec![1.0; 1024];
+        let c = codec.compress(&data);
+        assert_eq!(c.num_segments(), 8);
+        // 1024 / 8 = 128 values per segment, a micro-chunk multiple.
+        roundtrip(&codec, &data);
+    }
+
+    #[test]
+    fn ragged_tail_segment() {
+        // Length not divisible by segments * MICRO_CHUNK.
+        let data: Vec<f64> = (0..1000).map(|i| i as f64 * 0.125).collect();
+        roundtrip(&GfcCodec::new(4), &data);
+        roundtrip(&GfcCodec::new(3), &data);
+        roundtrip(&GfcCodec::new(7), &data);
+    }
+
+    #[test]
+    fn more_segments_than_values() {
+        let data = vec![2.5; 5];
+        roundtrip(&GfcCodec::new(64), &data);
+    }
+
+    #[test]
+    fn complex_amplitudes_roundtrip() {
+        let amps: Vec<Complex64> = (0..512)
+            .map(|i| Complex64::new((i as f64).cos() * 0.1, (i as f64).sin() * 0.1))
+            .collect();
+        let codec = GfcCodec::new(4);
+        let c = codec.compress_amplitudes(&amps);
+        let d = codec.decompress_amplitudes(&c);
+        assert_eq!(amps.len(), d.len());
+        for (a, b) in amps.iter().zip(d.iter()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn stats_ratio() {
+        let codec = GfcCodec::new(2);
+        let c = codec.compress(&vec![0.0; 1024]);
+        let stats = c.stats();
+        assert!(stats.ratio() > 4.0, "ratio = {}", stats.ratio());
+    }
+
+    #[test]
+    fn repeated_value_stream() {
+        // Identical values across micro-chunks give zero residuals.
+        let codec = GfcCodec::new(1);
+        let data = vec![std::f64::consts::PI; 2048];
+        let c = codec.compress(&data);
+        // First micro-chunk stores full values; the rest collapse.
+        assert!(c.total_bytes() < 2048 * 2 + 32 * 8);
+        roundtrip(&codec, &data);
+    }
+
+    #[test]
+    fn try_decompress_reports_segment_index() {
+        let codec = GfcCodec::new(4);
+        let mut c = codec.compress(&vec![1.0; 256]);
+        c.segments[2].pop();
+        let err = codec.try_decompress(&c).expect_err("corrupt");
+        assert_eq!(err.segment, 2);
+        assert!(err.to_string().contains("segment 2"));
+    }
+
+    #[test]
+    fn try_decompress_detects_count_mismatch() {
+        let codec = GfcCodec::new(1);
+        let mut c = codec.compress(&vec![0.5; 64]);
+        // Drop a whole segment worth of values by replacing with an empty
+        // but well-formed segment (count 0, payload 0).
+        c.segments[0] = vec![0, 0, 0, 0, 0, 0, 0, 0];
+        let err = codec.try_decompress(&c).expect_err("count mismatch");
+        assert!(err.message.contains("count"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn roundtrip_is_bit_exact(
+            data in proptest::collection::vec(
+                proptest::num::f64::ANY, 0..600),
+            segs in 1usize..16,
+        ) {
+            let codec = GfcCodec::new(segs);
+            let c = codec.compress(&data);
+            let d = codec.decompress(&c);
+            prop_assert_eq!(d.len(), data.len());
+            for (a, b) in data.iter().zip(d.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        #[test]
+        fn corrupted_buffers_are_rejected_not_miscoded(
+            data in proptest::collection::vec(-1.0f64..1.0, 32..300),
+            flip_byte in 0usize..64,
+        ) {
+            let codec = GfcCodec::new(2);
+            let mut c = codec.compress(&data);
+            // Truncate the first segment: must error, never panic or
+            // silently decode.
+            if !c.segments[0].is_empty() {
+                let cut = flip_byte % c.segments[0].len();
+                c.segments[0].truncate(cut);
+                prop_assert!(codec.try_decompress(&c).is_err());
+            }
+        }
+
+        #[test]
+        fn compressed_size_bounded(
+            data in proptest::collection::vec(-1.0f64..1.0, 0..600),
+        ) {
+            let codec = GfcCodec::default();
+            let c = codec.compress(&data);
+            // Never more than 9 bytes per value plus per-segment overhead.
+            prop_assert!(c.total_bytes() <= data.len() * 9 + 9 * c.num_segments());
+        }
+    }
+}

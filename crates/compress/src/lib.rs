@@ -1,0 +1,36 @@
+//! Lossless floating-point compression for non-zero state amplitudes.
+//!
+//! Q-GPU compresses updated chunks on the GPU before copying them back to
+//! the host, using the GFC algorithm (O'Neil & Burtscher, *Floating-point
+//! data compression at 75 GB/s on a GPU*). This crate implements GFC
+//! bit-exactly:
+//!
+//! * a chunk is split into [`segments`](gfc::GfcCodec) (one per warp in
+//!   the paper's Figure 11), compressed independently;
+//! * each segment is processed in *micro-chunks* of 32 doubles (one per
+//!   warp lane); each lane subtracts its value in the previous micro-chunk
+//!   as a 64-bit integer residual;
+//! * each residual is encoded as a 4-bit prefix (1 sign bit + 3 bits of
+//!   leading-zero-byte count) followed by the remaining bytes.
+//!
+//! The [`residual`] module reproduces the compressibility analysis of the
+//! paper's Figure 10.
+//!
+//! # Examples
+//!
+//! ```
+//! use qgpu_compress::gfc::GfcCodec;
+//!
+//! let codec = GfcCodec::new(4);
+//! let data: Vec<f64> = (0..256).map(|i| 1.0 + i as f64 * 1e-6).collect();
+//! let compressed = codec.compress(&data);
+//! assert!(compressed.total_bytes() < 8 * data.len());
+//! assert_eq!(codec.decompress(&compressed), data);
+//! ```
+
+pub mod gfc;
+pub mod residual;
+pub mod stats;
+
+pub use gfc::{Compressed, GfcCodec};
+pub use stats::CompressionStats;

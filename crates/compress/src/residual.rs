@@ -1,0 +1,125 @@
+//! Residual-distribution analysis (paper Figure 10).
+//!
+//! The paper demonstrates compressibility by plotting the residuals of
+//! consecutive state amplitudes: circuits whose amplitudes vary smoothly
+//! along the state vector (`qaoa`) have residuals concentrated near zero,
+//! while circuits with dispersed amplitudes (`iqp`) do not — predicting
+//! which circuits benefit from GFC compression.
+
+use qgpu_math::stats::{Histogram, OnlineStats};
+use qgpu_math::Complex64;
+use serde::{Deserialize, Serialize};
+
+/// Summary of the consecutive-amplitude residual distribution of a state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResidualProfile {
+    /// Fraction of residuals with magnitude below `1e-6`.
+    pub near_zero_fraction: f64,
+    /// Mean absolute residual.
+    pub mean_abs: f64,
+    /// Maximum absolute residual.
+    pub max_abs: f64,
+    /// Histogram of residual values.
+    pub histogram: Histogram,
+}
+
+/// Computes the residuals of consecutive doubles in the interleaved
+/// `re, im` amplitude stream — exactly the stream GFC compresses.
+pub fn residuals(amps: &[Complex64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(amps.len().saturating_sub(1) * 2);
+    for w in amps.windows(2) {
+        out.push(w[1].re - w[0].re);
+        out.push(w[1].im - w[0].im);
+    }
+    out
+}
+
+/// Profiles the residual distribution of a state's amplitudes.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_compress::residual::profile;
+/// use qgpu_math::Complex64;
+///
+/// // A perfectly uniform state has all-zero residuals.
+/// let amps = vec![Complex64::new(0.5, 0.0); 64];
+/// let p = profile(&amps);
+/// assert_eq!(p.near_zero_fraction, 1.0);
+/// ```
+pub fn profile(amps: &[Complex64]) -> ResidualProfile {
+    let rs = residuals(amps);
+    let mut stats = OnlineStats::new();
+    let mut near_zero = 0usize;
+    let mut max_abs: f64 = 0.0;
+    for &r in &rs {
+        let a = r.abs();
+        stats.push(a);
+        max_abs = max_abs.max(a);
+        if a < 1e-6 {
+            near_zero += 1;
+        }
+    }
+    let range = max_abs.max(1e-12);
+    let mut histogram = Histogram::new(-range, range + f64::MIN_POSITIVE, 41);
+    for &r in &rs {
+        histogram.push(r);
+    }
+    ResidualProfile {
+        near_zero_fraction: if rs.is_empty() {
+            1.0
+        } else {
+            near_zero as f64 / rs.len() as f64
+        },
+        mean_abs: stats.mean(),
+        max_abs,
+        histogram,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_state_is_perfectly_smooth() {
+        let amps = vec![Complex64::new(0.1, -0.2); 100];
+        let p = profile(&amps);
+        assert_eq!(p.near_zero_fraction, 1.0);
+        assert_eq!(p.max_abs, 0.0);
+    }
+
+    #[test]
+    fn alternating_state_is_rough() {
+        let amps: Vec<Complex64> = (0..100)
+            .map(|i| Complex64::from_real(if i % 2 == 0 { 1.0 } else { -1.0 }))
+            .collect();
+        let p = profile(&amps);
+        // Imaginary parts are constant (zero residuals); every real-part
+        // residual jumps by 2.
+        assert_eq!(p.near_zero_fraction, 0.5);
+        assert!((p.max_abs - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_count() {
+        let amps = vec![Complex64::ZERO; 10];
+        assert_eq!(residuals(&amps).len(), 18); // (10-1) pairs × 2 parts
+    }
+
+    #[test]
+    fn single_amplitude_has_no_residuals() {
+        let p = profile(&[Complex64::ONE]);
+        assert_eq!(p.near_zero_fraction, 1.0);
+    }
+
+    #[test]
+    fn histogram_centered() {
+        let amps: Vec<Complex64> = (0..50)
+            .map(|i| Complex64::from_real(i as f64 * 0.01))
+            .collect();
+        let p = profile(&amps);
+        assert!(p.histogram.total() > 0);
+        assert_eq!(p.histogram.underflow(), 0);
+    }
+}

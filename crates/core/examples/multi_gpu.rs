@@ -1,0 +1,56 @@
+//! Multi-GPU scaling (paper §V-E): round-robin chunk streaming across
+//! 1, 2 and 4 modeled GPUs on both of the paper's servers.
+//!
+//! ```text
+//! cargo run --release -p qgpu --example multi_gpu
+//! ```
+
+use qgpu::{SimConfig, Simulator, Version};
+use qgpu_circuit::generators::Benchmark;
+use qgpu_device::Platform;
+
+fn with_gpus(base: &Platform, count: usize) -> Platform {
+    let mut p = base.clone();
+    p.gpus.truncate(count);
+    p.links.truncate(count);
+    p.name = format!("{}x{}", count, p.gpus[0].name);
+    p
+}
+
+fn main() {
+    let n = 13;
+    let circuit = Benchmark::Qft.generate(n);
+    println!("circuit: {} ({} ops)\n", circuit.name(), circuit.len());
+
+    for server in [
+        Platform::quad_p4_pcie().miniaturize(n, 496.0 / 8192.0 / 4.0),
+        Platform::quad_v100_nvlink().miniaturize(n, 496.0 / 8192.0 / 4.0),
+    ] {
+        println!("--- server: {} ---", server.name);
+        println!("{:<10} {:>14} {:>10}", "gpus", "Q-GPU (ms)", "scaling");
+        let mut one_gpu_time = None;
+        for count in [1usize, 2, 4] {
+            let platform = with_gpus(&server, count);
+            let r = Simulator::new(
+                SimConfig::new(platform).with_version(Version::QGpu).timing_only(),
+            )
+            .run(&circuit);
+            let t = r.report.total_time * 1e3;
+            let base = *one_gpu_time.get_or_insert(t);
+            println!("{count:<10} {t:>14.3} {:>9.2}x", base / t);
+        }
+        // And the baseline the paper compares against.
+        let baseline = Simulator::new(
+            SimConfig::new(server.clone()).with_version(Version::Baseline).timing_only(),
+        )
+        .run(&circuit);
+        let qgpu = Simulator::new(
+            SimConfig::new(server.clone()).with_version(Version::QGpu).timing_only(),
+        )
+        .run(&circuit);
+        println!(
+            "4-GPU Q-GPU vs 4-GPU Qiskit baseline: {:.2}x speedup (paper: ~3x)\n",
+            baseline.report.total_time / qgpu.report.total_time
+        );
+    }
+}

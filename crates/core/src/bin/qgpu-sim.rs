@@ -1,0 +1,266 @@
+//! `qgpu-sim` — simulate an OpenQASM 2.0 circuit (or a built-in
+//! benchmark) through the Q-GPU pipeline.
+//!
+//! ```text
+//! qgpu-sim circuit.qasm [options]
+//! qgpu-sim --benchmark qft --qubits 16 [options]
+//!
+//! options:
+//!   --version <baseline|naive|overlap|pruning|reorder|qgpu>   (default qgpu)
+//!   --shots <N>        sample N measurement outcomes (default 0)
+//!   --seed <N>         sampling seed (default 1)
+//!   --chunks <log2>    chunk-count exponent (default 8)
+//!   --platform <p100|v100|a100|4xp4|4xv100>   modeled platform (default p100)
+//!   --top <N>          print the N most likely basis states (default 8)
+//!   --batching         enable the gate-batching extension
+//!   --peephole         run the peephole optimizer before simulating
+//!   --cx-basis         transpile to the {1-qubit, CX} basis first
+//!   --report           print the modeled execution report
+//!   --save <path>      write the final state as a compressed checkpoint
+//! ```
+
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+
+use qgpu::{SimConfig, Simulator, Version};
+use qgpu_circuit::generators::Benchmark;
+use qgpu_device::Platform;
+use qgpu_circuit::{qasm, Circuit};
+use qgpu_statevec::measure;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Options {
+    source: Source,
+    version: Version,
+    shots: usize,
+    seed: u64,
+    chunks_log2: u32,
+    top: usize,
+    batching: bool,
+    report: bool,
+    save: Option<String>,
+    platform: String,
+    peephole: bool,
+    cx_basis: bool,
+}
+
+enum Source {
+    File(String),
+    Benchmark { name: String, qubits: usize },
+}
+
+fn parse_version(s: &str) -> Result<Version, String> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "baseline" => Version::Baseline,
+        "naive" => Version::Naive,
+        "overlap" => Version::Overlap,
+        "pruning" => Version::Pruning,
+        "reorder" => Version::Reorder,
+        "qgpu" | "q-gpu" => Version::QGpu,
+        other => return Err(format!("unknown version '{other}'")),
+    })
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = env::args().skip(1).peekable();
+    let mut file = None;
+    let mut benchmark = None;
+    let mut qubits = None;
+    let mut version = Version::QGpu;
+    let mut shots = 0usize;
+    let mut seed = 1u64;
+    let mut chunks_log2 = 8u32;
+    let mut top = 8usize;
+    let mut batching = false;
+    let mut report = false;
+    let mut save = None;
+    let mut platform = "p100".to_string();
+    let mut peephole = false;
+    let mut cx_basis = false;
+
+    let take = |args: &mut std::iter::Peekable<std::iter::Skip<env::Args>>,
+                    flag: &str|
+     -> Result<String, String> {
+        args.next().ok_or(format!("missing value after {flag}"))
+    };
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--benchmark" | "-b" => benchmark = Some(take(&mut args, "--benchmark")?),
+            "--qubits" | "-q" => {
+                qubits = Some(
+                    take(&mut args, "--qubits")?
+                        .parse()
+                        .map_err(|_| "bad qubit count")?,
+                )
+            }
+            "--version" | "-v" => version = parse_version(&take(&mut args, "--version")?)?,
+            "--shots" => shots = take(&mut args, "--shots")?.parse().map_err(|_| "bad shots")?,
+            "--seed" => seed = take(&mut args, "--seed")?.parse().map_err(|_| "bad seed")?,
+            "--chunks" => {
+                chunks_log2 = take(&mut args, "--chunks")?.parse().map_err(|_| "bad chunks")?
+            }
+            "--top" => top = take(&mut args, "--top")?.parse().map_err(|_| "bad top")?,
+            "--batching" => batching = true,
+            "--report" | "-r" => report = true,
+            "--save" => save = Some(take(&mut args, "--save")?),
+            "--platform" | "-p" => platform = take(&mut args, "--platform")?,
+            "--peephole" => peephole = true,
+            "--cx-basis" => cx_basis = true,
+            "--help" | "-h" => return Err(HELP.to_string()),
+            other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
+            other => return Err(format!("unknown argument '{other}'\n{HELP}")),
+        }
+    }
+    let source = match (file, benchmark) {
+        (Some(f), None) => Source::File(f),
+        (None, Some(name)) => Source::Benchmark {
+            name,
+            qubits: qubits.ok_or("--benchmark requires --qubits")?,
+        },
+        (Some(_), Some(_)) => return Err("give either a file or --benchmark, not both".into()),
+        (None, None) => return Err(HELP.to_string()),
+    };
+    Ok(Options {
+        source,
+        version,
+        shots,
+        seed,
+        chunks_log2,
+        top,
+        batching,
+        report,
+        save,
+        platform,
+        peephole,
+        cx_basis,
+    })
+}
+
+const HELP: &str = "usage: qgpu-sim <file.qasm> | --benchmark <name> --qubits <N>\n  [--version baseline|naive|overlap|pruning|reorder|qgpu] [--shots N]\n  [--seed N] [--chunks log2] [--top N] [--batching] [--report] [--save path]";
+
+fn platform_for(name: &str, qubits: usize) -> Result<Platform, String> {
+    let ratio = 496.0 / 8192.0;
+    Ok(match name {
+        "p100" => Platform::scaled_paper_p100(qubits),
+        "v100" => Platform::paper_v100().miniaturize(qubits, 0.10),
+        "a100" => Platform::paper_a100().miniaturize(qubits, 0.45),
+        "4xp4" => Platform::quad_p4_pcie().miniaturize(qubits, ratio / 4.0),
+        "4xv100" => Platform::quad_v100_nvlink().miniaturize(qubits, ratio / 4.0),
+        other => return Err(format!("unknown platform '{other}'")),
+    })
+}
+
+fn load_circuit(source: &Source) -> Result<Circuit, String> {
+    match source {
+        Source::File(path) => {
+            let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            qasm::parse(&text).map_err(|e| e.to_string())
+        }
+        Source::Benchmark { name, qubits } => {
+            let b = Benchmark::from_abbrev(name)
+                .ok_or(format!("unknown benchmark '{name}' (try qft, iqp, gs, …)"))?;
+            Ok(b.generate(*qubits))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut circuit = match load_circuit(&opts.source) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.cx_basis {
+        let before = circuit.len();
+        circuit = qgpu_circuit::transpile::to_cx_basis(&circuit);
+        eprintln!("[qgpu-sim] cx-basis: {before} -> {} ops", circuit.len());
+    }
+    if opts.peephole {
+        let before = circuit.len();
+        circuit = qgpu_circuit::transpile::peephole(&circuit);
+        eprintln!("[qgpu-sim] peephole: {before} -> {} ops", circuit.len());
+    }
+    let n = circuit.num_qubits();
+    eprintln!(
+        "[qgpu-sim] {} qubits, {} ops, version {}",
+        n,
+        circuit.len(),
+        opts.version
+    );
+
+    let platform = match platform_for(&opts.platform, n) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut config = SimConfig::new(platform)
+        .with_version(opts.version)
+        .with_chunk_count_log2(opts.chunks_log2);
+    if opts.batching {
+        config = config.with_gate_batching();
+    }
+    let result = Simulator::new(config).run(&circuit);
+    let state = result.state.as_ref().expect("state collected");
+
+    // Most likely outcomes.
+    let mut probs: Vec<(usize, f64)> = state
+        .probabilities()
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, p)| p > 1e-12)
+        .collect();
+    probs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    println!("top basis states:");
+    for &(basis, p) in probs.iter().take(opts.top) {
+        println!("  |{basis:0n$b}>  p = {p:.6}");
+    }
+
+    if opts.shots > 0 {
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        println!("\n{} samples:", opts.shots);
+        for (basis, count) in measure::sample_counts(state, opts.shots, &mut rng) {
+            println!("  |{basis:0n$b}>  x{count}");
+        }
+    }
+
+    if let Some(path) = &opts.save {
+        match qgpu::checkpoint::save(state, path) {
+            Ok(()) => eprintln!("[qgpu-sim] checkpoint written to {path}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if opts.report {
+        let r = &result.report;
+        println!("\nmodeled execution report ({}):", opts.version);
+        println!("  total time        : {:.6} s", r.total_time);
+        println!("  host update       : {:.6} s", r.host_time);
+        println!("  gpu compute       : {:.6} s", r.gpu_time);
+        println!("  transfer busy     : {:.6} s", r.transfer_time);
+        println!("  bytes H2D / D2H   : {} / {}", r.bytes_h2d, r.bytes_d2h);
+        println!(
+            "  chunks pruned     : {} of {}",
+            r.chunks_pruned,
+            r.chunks_pruned + r.chunks_processed
+        );
+        println!("  compression ratio : {:.3}x", r.compression_ratio());
+    }
+    ExitCode::SUCCESS
+}

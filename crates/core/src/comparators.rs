@@ -1,0 +1,346 @@
+//! Comparator simulators (paper §V-A, §V-C, Figures 12 and 16).
+//!
+//! The paper compares Q-GPU against three CPU simulators. We re-implement
+//! their characteristic execution strategies on the same functional
+//! substrate and charge them to the same host model, so the comparison is
+//! driven by algorithmic properties rather than codebase details:
+//!
+//! * [`cpu_parallel`] — Qiskit-Aer's **CPU-OpenMP** engine: one
+//!   full-state pass per gate at the host's effective multithreaded
+//!   bandwidth;
+//! * [`fusion`] + [`qsim_like`] — Google **Qsim-Cirq**: gate fusion merges
+//!   runs of adjacent gates into small dense unitaries, trading fewer
+//!   state passes for heavier per-pass math;
+//! * [`qdk_like`] — Microsoft **QDK**: a straightforward engine whose
+//!   state passes run without the aggressive multithreaded tuning
+//!   (calibrated to the relative performance the paper observes).
+
+use qgpu_circuit::access::GateAction;
+use qgpu_circuit::{Circuit, Matrix, Operation};
+use qgpu_device::HostSpec;
+use qgpu_math::Complex64;
+use qgpu_statevec::StateVector;
+
+/// A comparator run: the real final state plus the modeled time.
+#[derive(Debug, Clone)]
+pub struct ComparatorResult {
+    /// Which engine produced it.
+    pub engine: &'static str,
+    /// Modeled wall-clock seconds.
+    pub total_time: f64,
+    /// The final state.
+    pub state: StateVector,
+}
+
+/// Derating of Qsim-like passes vs. the tuned OpenMP loop: a fused
+/// 3-qubit dense pass does 8× the per-amplitude math of a specialized
+/// 1-qubit kernel plus gather/scatter, so each pass is markedly slower
+/// even though there are fewer of them. Calibrated so the Qsim-like
+/// engine lands ≈ 1.3–1.4× behind CPU-OpenMP end-to-end, matching the
+/// ratio implied by the paper's Figures 12 and 16 (2.02× / 1.49×).
+const QSIM_PASS_EFFICIENCY: f64 = 0.30;
+
+/// Single-thread fraction of the host's multithreaded bandwidth plus
+/// engine overhead, calibrated to the ≈ 7× gap between QDK and the
+/// OpenMP engine implied by the paper's Figure 16 (10.82× / 1.49×).
+const QDK_BANDWIDTH_FRACTION: f64 = 0.14;
+
+/// Runs the Qiskit-Aer CPU-OpenMP comparator.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu::comparators::cpu_parallel;
+/// use qgpu_circuit::generators::Benchmark;
+/// use qgpu_device::HostSpec;
+///
+/// let c = Benchmark::Bv.generate(8);
+/// let r = cpu_parallel(&c, &HostSpec::dual_xeon_4114());
+/// assert!(r.total_time > 0.0);
+/// assert!((r.state.norm() - 1.0).abs() < 1e-9);
+/// ```
+pub fn cpu_parallel(circuit: &Circuit, host: &HostSpec) -> ComparatorResult {
+    let n = circuit.num_qubits();
+    let state_bytes = (1u64 << n) as f64 * 16.0;
+    let mut state = StateVector::new_zero(n);
+    // Functional execution really is multithreaded (like the OpenMP
+    // engine it models); the *modeled* time still comes from the host
+    // spec so comparisons against the device model stay consistent.
+    let threads = (host.cores as usize).clamp(1, 8);
+    state.run_parallel(circuit, threads);
+    let time =
+        circuit.len() as f64 * (state_bytes / host.update_bw + host.sync_latency);
+    ComparatorResult {
+        engine: "cpu-openmp",
+        total_time: time,
+        state,
+    }
+}
+
+/// Runs the Qsim-Cirq-like comparator: gate fusion, then one pass per
+/// fused unitary.
+pub fn qsim_like(circuit: &Circuit, host: &HostSpec) -> ComparatorResult {
+    let fused = fusion::fuse(circuit, 3);
+    let n = circuit.num_qubits();
+    let state_bytes = (1u64 << n) as f64 * 16.0;
+    let mut state = StateVector::new_zero(n);
+    let mut time = 0.0;
+    for cluster in &fused {
+        cluster.apply_to(&mut state);
+        time += state_bytes / (host.update_bw * QSIM_PASS_EFFICIENCY) + host.sync_latency;
+    }
+    ComparatorResult {
+        engine: "qsim-like",
+        total_time: time,
+        state,
+    }
+}
+
+/// Runs the QDK-like comparator: one plain pass per gate at single-thread
+/// throughput.
+pub fn qdk_like(circuit: &Circuit, host: &HostSpec) -> ComparatorResult {
+    let n = circuit.num_qubits();
+    let state_bytes = (1u64 << n) as f64 * 16.0;
+    let mut state = StateVector::new_zero(n);
+    let mut time = 0.0;
+    for op in circuit.iter() {
+        state.apply(op);
+        time += state_bytes / (host.update_bw * QDK_BANDWIDTH_FRACTION) + host.sync_latency;
+    }
+    ComparatorResult {
+        engine: "qdk-like",
+        total_time: time,
+        state,
+    }
+}
+
+/// Gate fusion: merging adjacent gates into small dense unitaries.
+pub mod fusion {
+    use super::*;
+
+    /// A fused cluster: a dense unitary over up to `max_qubits` qubits.
+    #[derive(Debug, Clone)]
+    pub struct FusedCluster {
+        qubits: Vec<usize>,
+        matrix: Matrix,
+    }
+
+    impl FusedCluster {
+        /// The qubits the cluster acts on (matrix bit order).
+        pub fn qubits(&self) -> &[usize] {
+            &self.qubits
+        }
+
+        /// The fused unitary.
+        pub fn matrix(&self) -> &Matrix {
+            &self.matrix
+        }
+
+        fn from_op(op: &Operation) -> Self {
+            FusedCluster {
+                qubits: op.qubits().to_vec(),
+                matrix: op.gate().matrix(),
+            }
+        }
+
+        /// Returns `true` if absorbing `op` keeps the cluster within
+        /// `max_qubits`.
+        fn can_absorb(&self, op: &Operation, max_qubits: usize) -> bool {
+            let mut qs = self.qubits.clone();
+            for &q in op.qubits() {
+                if !qs.contains(&q) {
+                    qs.push(q);
+                }
+            }
+            qs.len() <= max_qubits
+        }
+
+        /// Absorbs `op` into the cluster: the cluster's unitary becomes
+        /// `embed(op) · self`.
+        fn absorb(&mut self, op: &Operation) {
+            // Grow the qubit set.
+            for &q in op.qubits() {
+                if !self.qubits.contains(&q) {
+                    self.qubits.push(q);
+                    self.matrix = expand_matrix(&self.matrix, 1);
+                }
+            }
+            let embedded = embed(op, &self.qubits);
+            self.matrix = embedded.matmul(&self.matrix);
+        }
+
+        /// Applies the fused unitary to a state.
+        pub fn apply_to(&self, state: &mut StateVector) {
+            let op_like = GateAction::ControlledDense {
+                controls: Vec::new(),
+                mixing: self.qubits.clone(),
+                matrix: self.matrix.clone(),
+            };
+            state.apply_action(&op_like);
+        }
+    }
+
+    /// Tensor the matrix with a 1-qubit identity (new qubit becomes the
+    /// highest matrix bit).
+    fn expand_matrix(m: &Matrix, extra_qubits: usize) -> Matrix {
+        let old = m.dim();
+        let new = old << extra_qubits;
+        let mut data = vec![Complex64::ZERO; new * new];
+        for hi in 0..(1 << extra_qubits) {
+            for r in 0..old {
+                for c in 0..old {
+                    data[(hi * old + r) * new + (hi * old + c)] = m.get(r, c);
+                }
+            }
+        }
+        Matrix::new(new, data)
+    }
+
+    /// Embeds `op`'s unitary into the cluster's qubit space.
+    fn embed(op: &Operation, cluster_qubits: &[usize]) -> Matrix {
+        let k = cluster_qubits.len();
+        let dim = 1usize << k;
+        let gm = op.gate().matrix();
+        // Position of each op qubit within the cluster.
+        let pos: Vec<usize> = op
+            .qubits()
+            .iter()
+            .map(|q| {
+                cluster_qubits
+                    .iter()
+                    .position(|cq| cq == q)
+                    .expect("op qubit inside cluster")
+            })
+            .collect();
+        let mut data = vec![Complex64::ZERO; dim * dim];
+        for col in 0..dim {
+            // Extract the op-subspace index of this column.
+            let mut sub = 0usize;
+            for (bit, &p) in pos.iter().enumerate() {
+                sub |= ((col >> p) & 1) << bit;
+            }
+            for row_sub in 0..gm.dim() {
+                let v = gm.get(row_sub, sub);
+                if v.is_zero() {
+                    continue;
+                }
+                // Build the full row index: col with op bits replaced.
+                let mut row = col;
+                for (bit, &p) in pos.iter().enumerate() {
+                    row = (row & !(1 << p)) | (((row_sub >> bit) & 1) << p);
+                }
+                data[row * dim + col] = v;
+            }
+        }
+        Matrix::new(dim, data)
+    }
+
+    /// Greedy gate fusion: scan the circuit, absorbing each gate into the
+    /// previous cluster when the union of qubits stays within
+    /// `max_qubits`; otherwise start a new cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_qubits` is 0 or greater than 10 (dense matrices
+    /// beyond that are unreasonable).
+    pub fn fuse(circuit: &Circuit, max_qubits: usize) -> Vec<FusedCluster> {
+        assert!((1..=10).contains(&max_qubits));
+        let mut clusters: Vec<FusedCluster> = Vec::new();
+        for op in circuit.iter() {
+            match clusters.last_mut() {
+                Some(last) if last.can_absorb(op, max_qubits) => last.absorb(op),
+                _ => clusters.push(FusedCluster::from_op(op)),
+            }
+        }
+        clusters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgpu_circuit::generators::Benchmark;
+
+    fn reference(c: &Circuit) -> StateVector {
+        let mut s = StateVector::new_zero(c.num_qubits());
+        s.run(c);
+        s
+    }
+
+    #[test]
+    fn all_comparators_compute_the_same_state() {
+        let host = HostSpec::dual_xeon_4114();
+        for b in [Benchmark::Gs, Benchmark::Hlf, Benchmark::Qft, Benchmark::Iqp] {
+            let c = b.generate(9);
+            let r = reference(&c);
+            for result in [
+                cpu_parallel(&c, &host),
+                qsim_like(&c, &host),
+                qdk_like(&c, &host),
+            ] {
+                let dev = result.state.max_deviation(&r);
+                assert!(dev < 1e-9, "{b}/{}: deviation {dev}", result.engine);
+            }
+        }
+    }
+
+    #[test]
+    fn relative_speeds_match_paper_ordering() {
+        // OpenMP < qsim-like < qdk-like in time. Use a zero-sync host so
+        // the small test state exercises the bandwidth terms, as large
+        // states would.
+        let mut host = HostSpec::dual_xeon_4114();
+        host.sync_latency = 0.0;
+        let c = Benchmark::Qft.generate(10);
+        let omp = cpu_parallel(&c, &host).total_time;
+        let qsim = qsim_like(&c, &host).total_time;
+        let qdk = qdk_like(&c, &host).total_time;
+        assert!(omp < qsim, "openmp {omp} < qsim {qsim}");
+        assert!(qsim < qdk, "qsim {qsim} < qdk {qdk}");
+        // Ballpark ratios from the paper: qdk/omp ≈ 7.
+        assert!(qdk / omp > 3.0 && qdk / omp < 15.0, "qdk/omp = {}", qdk / omp);
+    }
+
+    #[test]
+    fn fusion_reduces_pass_count() {
+        let c = Benchmark::Qft.generate(10);
+        let clusters = fusion::fuse(&c, 3);
+        assert!(
+            clusters.len() < c.len() / 2,
+            "fusion should merge: {} clusters from {} gates",
+            clusters.len(),
+            c.len()
+        );
+    }
+
+    #[test]
+    fn fused_clusters_are_unitary() {
+        let c = Benchmark::Gs.generate(8);
+        for cluster in fusion::fuse(&c, 3) {
+            assert!(
+                cluster.matrix().is_unitary(1e-9),
+                "fused cluster on {:?} is not unitary",
+                cluster.qubits()
+            );
+        }
+    }
+
+    #[test]
+    fn fusion_with_max_one_qubit_only_merges_single_qubit_runs() {
+        let mut c = Circuit::new(2);
+        c.h(0).t(0).h(1).cx(0, 1);
+        let clusters = fusion::fuse(&c, 1);
+        // h+t fuse; h(1) separate; cx cannot fit in 1 qubit -> new cluster.
+        assert_eq!(clusters.len(), 3);
+    }
+
+    #[test]
+    fn qdk_time_scales_with_gates() {
+        let host = HostSpec::dual_xeon_4114();
+        let c1 = Benchmark::Gs.generate(8);
+        let c2 = Benchmark::Hchain.generate(8);
+        let t1 = qdk_like(&c1, &host).total_time;
+        let t2 = qdk_like(&c2, &host).total_time;
+        assert!(t2 > t1, "deeper circuit must take longer");
+    }
+}

@@ -1,0 +1,254 @@
+//! The baseline engine: Qiskit-Aer-style static allocation (paper §III-B).
+//!
+//! Chunks `0..resident` are pinned in GPU memory (striped round-robin
+//! across devices on multi-GPU platforms); the rest live on the host. Per
+//! gate:
+//!
+//! * chunk tasks entirely on one device update there (GPU kernel or the
+//!   host's *chunked* update path, which is slower than a plain loop —
+//!   see [`qgpu_device::HostSpec::chunk_penalty`]);
+//! * mixed tasks trigger the paper's **reactive chunk exchange**: the
+//!   off-device members are copied in, the group updated, and the members
+//!   copied back — synchronously, one task at a time;
+//! * every gate ends with a host↔device synchronization.
+//!
+//! This reproduces the paper's Figure 2: with a large state vector almost
+//! all time is CPU update, roughly 10% is exchange, and the GPU is idle.
+
+use qgpu_circuit::access::GateAction;
+use qgpu_circuit::Circuit;
+use qgpu_device::timeline::{Engine, TaskKind, Timeline};
+use qgpu_device::ExecutionReport;
+use qgpu_sched::plan::{ChunkTask, GatePlan};
+use qgpu_statevec::ChunkedState;
+
+use crate::config::SimConfig;
+use crate::engine::flops_per_amp;
+use crate::engine::streaming::copy_with_dma;
+use crate::result::RunResult;
+
+/// Where a chunk lives under the striped static allocation.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    Host,
+    Gpu(usize),
+}
+
+pub(crate) fn run(circuit: &Circuit, cfg: &SimConfig) -> RunResult {
+    let n = circuit.num_qubits();
+    let chunk_bits = cfg.chunk_bits_for(n);
+    let num_chunks = 1usize << (n as u32 - chunk_bits);
+    let chunk_bytes = 16u64 << chunk_bits;
+    let num_gpus = cfg.platform.num_gpus();
+
+    // Static allocation: as many chunks as fit, striped across GPUs.
+    let per_gpu_cap: Vec<usize> = (0..num_gpus)
+        .map(|g| cfg.platform.gpu_chunk_capacity(g, chunk_bytes))
+        .collect();
+    let resident: usize = per_gpu_cap.iter().sum::<usize>().min(num_chunks);
+    let loc = |chunk: usize| -> Loc {
+        if chunk < resident {
+            Loc::Gpu(chunk % num_gpus)
+        } else {
+            Loc::Host
+        }
+    };
+
+    let mut state = ChunkedState::new_zero(n, chunk_bits);
+    let mut tl = if cfg.trace_events > 0 {
+        Timeline::with_trace(cfg.trace_events)
+    } else {
+        Timeline::new()
+    };
+
+    let host = &cfg.platform.host;
+    let mut gate_ready = 0.0f64;
+    let mut flops_gpu = 0.0f64;
+    let mut chunks_processed = 0u64;
+
+    for op in circuit.iter() {
+        let action = GateAction::from_operation(op);
+        let plan = GatePlan::new(&action, chunk_bits, num_chunks);
+        let fpa = flops_per_amp(&action);
+
+        // Partition tasks: same-device batches vs. mixed groups.
+        let mut host_bytes = 0u64;
+        let mut gpu_bytes = vec![0u64; num_gpus];
+        let mut mixed: Vec<&ChunkTask> = Vec::new();
+        for task in plan.tasks() {
+            let locs: Vec<Loc> = task.chunks().iter().map(|&c| loc(c)).collect();
+            let bytes = task.len() as u64 * chunk_bytes;
+            if locs.iter().all(|&l| l == Loc::Host) {
+                host_bytes += bytes;
+            } else if locs.windows(2).all(|w| w[0] == w[1]) {
+                let Loc::Gpu(g) = locs[0] else { unreachable!() };
+                gpu_bytes[g] += bytes;
+            } else {
+                mixed.push(task);
+            }
+            chunks_processed += task.len() as u64;
+        }
+
+        let mut gate_end = gate_ready;
+        if host_bytes > 0 {
+            let t = host_bytes as f64 / host.chunked_update_bw();
+            let span = tl.schedule(Engine::Host, gate_ready, t, TaskKind::HostUpdate, host_bytes);
+            gate_end = gate_end.max(span.end);
+        }
+        for (g, &bytes) in gpu_bytes.iter().enumerate() {
+            if bytes == 0 {
+                continue;
+            }
+            let t = bytes as f64 / cfg.platform.gpu(g).update_bw() + cfg.platform.gpu(g).kernel_launch;
+            let span = tl.schedule(Engine::GpuCompute(g), gate_ready, t, TaskKind::Kernel, bytes);
+            flops_gpu += (bytes as f64 / 16.0) * fpa;
+            gate_end = gate_end.max(span.end);
+        }
+
+        // Reactive exchange: mixed groups processed synchronously, one at
+        // a time, on the primary GPU of the group — *after* the update
+        // batches, since the scheduler blocks when it reaches the
+        // boundary (the paper's Figure 2 splits the makespan into CPU
+        // time then exchange time).
+        let mut chain = gate_end;
+        for task in &mixed {
+            let primary = task
+                .chunks()
+                .iter()
+                .find_map(|&c| match loc(c) {
+                    Loc::Gpu(g) => Some(g),
+                    Loc::Host => None,
+                })
+                .unwrap_or(0);
+            let off_device_bytes: u64 = task
+                .chunks()
+                .iter()
+                .filter(|&&c| loc(c) != Loc::Gpu(primary))
+                .count() as u64
+                * chunk_bytes;
+            let link = cfg.platform.link(primary);
+            let h2d = copy_with_dma(
+                &mut tl,
+                Engine::HostDmaOut,
+                Engine::H2d(primary),
+                TaskKind::H2dCopy,
+                chain,
+                off_device_bytes,
+                link,
+                cfg.platform.host.copy_bw,
+            );
+            let group_bytes = task.len() as u64 * chunk_bytes;
+            let kt = group_bytes as f64 / cfg.platform.gpu(primary).update_bw()
+                + cfg.platform.gpu(primary).kernel_launch;
+            let kernel = tl.schedule(
+                Engine::GpuCompute(primary),
+                h2d.end,
+                kt,
+                TaskKind::Kernel,
+                group_bytes,
+            );
+            flops_gpu += (group_bytes as f64 / 16.0) * fpa;
+            let d2h = copy_with_dma(
+                &mut tl,
+                Engine::HostDmaIn,
+                Engine::D2h(primary),
+                TaskKind::D2hCopy,
+                kernel.end,
+                off_device_bytes,
+                link,
+                cfg.platform.host.copy_bw,
+            );
+            chain = d2h.end;
+        }
+        gate_end = gate_end.max(chain);
+
+        // Per-gate synchronization between the scheduler and the device.
+        let sync = tl.schedule(Engine::Host, gate_end, host.sync_latency, TaskKind::Sync, 0);
+        gate_ready = sync.end;
+
+        // Functional update (identical across versions).
+        for task in plan.tasks() {
+            match task {
+                ChunkTask::Single(c) => state.apply_local(&action, *c),
+                ChunkTask::Group(g) => state.apply_group(&action, g),
+            }
+        }
+    }
+
+    let mut report = ExecutionReport::from_timeline(&tl, num_gpus);
+    report.flops_gpu = flops_gpu;
+    report.chunks_processed = chunks_processed;
+    RunResult {
+        version: cfg.version,
+        circuit_name: circuit.name().to_string(),
+        state: cfg.collect_state.then(|| state.to_flat()),
+        report,
+        trace: tl.trace().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Version;
+    use qgpu_circuit::generators::Benchmark;
+    use qgpu_device::Platform;
+
+    fn run_cfg(c: &Circuit, cfg: SimConfig) -> RunResult {
+        run(c, &cfg.with_version(Version::Baseline))
+    }
+
+    #[test]
+    fn capacity_exceeded_is_host_dominated() {
+        // The paper's Figure 2: ~89% CPU time, ~10% exchange, ~1% GPU.
+        let c = Benchmark::Qft.generate(12);
+        let r = run_cfg(&c, SimConfig::scaled_paper(12));
+        assert!(
+            r.report.host_fraction() > 0.6,
+            "host fraction {:.2} too small",
+            r.report.host_fraction()
+        );
+        assert!(r.report.gpu_fraction() < 0.2);
+    }
+
+    #[test]
+    fn state_fits_gpu_runs_entirely_on_gpu() {
+        // Below 30 qubits (here: GPU memory not scaled down) the whole
+        // state fits and the baseline uses only the GPU.
+        let c = Benchmark::Qft.generate(10);
+        let cfg = SimConfig::new(Platform::paper_p100()).with_version(Version::Baseline);
+        let r = run(&c, &cfg);
+        assert_eq!(r.report.host_time, 0.0);
+        assert_eq!(r.report.bytes_h2d, 0);
+        assert!(r.report.gpu_time > 0.0);
+    }
+
+    #[test]
+    fn exchange_happens_only_with_cross_boundary_mixing() {
+        // A circuit of purely chunk-local gates never exchanges.
+        let mut c = Circuit::new(10);
+        for q in 0..3 {
+            c.h(q);
+        }
+        c.cx(0, 1).cz(1, 2);
+        let r = run_cfg(&c, SimConfig::scaled_paper(10));
+        assert_eq!(r.report.bytes_h2d, 0, "no mixed groups expected");
+    }
+
+    #[test]
+    fn functional_state_is_correct() {
+        let c = Benchmark::Gs.generate(9);
+        let r = run_cfg(&c, SimConfig::scaled_paper(9));
+        let mut reference = qgpu_statevec::StateVector::new_zero(9);
+        reference.run(&c);
+        assert!(r.state.expect("collected").max_deviation(&reference) < 1e-10);
+    }
+
+    #[test]
+    fn sync_time_accumulates_per_gate() {
+        let c = Benchmark::Bv.generate(8);
+        let r = run_cfg(&c, SimConfig::scaled_paper(8));
+        let expected = c.len() as f64 * Platform::scaled_paper_p100(8).host.sync_latency;
+        assert!((r.report.sync_time - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,135 @@
+//! The execution engines: functional simulation driven through the device
+//! timing model.
+//!
+//! [`Simulator`] dispatches on the configured [`Version`]:
+//!
+//! * [`Version::Baseline`] → [`baseline`]: static chunk allocation, CPU
+//!   updates host chunks, reactive synchronous exchange;
+//! * everything else → [`streaming`]: chunks stream through the GPU(s),
+//!   with overlap / pruning / reordering / compression layered on
+//!   according to the version.
+//!
+//! Both engines walk the *same* [`qgpu_sched::GatePlan`] per gate, apply
+//! the amplitudes for real on a [`qgpu_statevec::ChunkedState`], and charge
+//! each chunk task to the [`qgpu_device::Timeline`]. The result is a
+//! bit-identical final state across versions with version-specific timing.
+
+pub mod baseline;
+pub mod streaming;
+
+use qgpu_circuit::access::GateAction;
+use qgpu_circuit::Circuit;
+
+use crate::config::{SimConfig, Version};
+use crate::result::RunResult;
+
+/// Floating-point operations per amplitude for a gate action: a dense
+/// matrix over `k` mixing qubits costs one `2^k`-point complex dot product
+/// per amplitude; a diagonal action one complex multiply.
+pub(crate) fn flops_per_amp(action: &GateAction) -> f64 {
+    match action {
+        GateAction::Diagonal { .. } => 6.0,
+        GateAction::ControlledDense { matrix, .. } => matrix.dim() as f64 * 8.0,
+    }
+}
+
+/// The Q-GPU simulator: runs circuits under a [`SimConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use qgpu::{SimConfig, Simulator, Version};
+/// use qgpu_circuit::Circuit;
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// let result = Simulator::new(SimConfig::scaled_paper(2).with_version(Version::Baseline))
+///     .run(&bell);
+/// let state = result.state.expect("collected");
+/// assert!((state.probabilities()[0] - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: SimConfig) -> Self {
+        Simulator { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs a circuit, returning the final state (if collected) and the
+    /// modeled execution report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has zero qubits (unconstructible) or more
+    /// qubits than fit in memory.
+    pub fn run(&self, circuit: &Circuit) -> RunResult {
+        match self.config.version {
+            Version::Baseline => baseline::run(circuit, &self.config),
+            _ => streaming::run(circuit, &self.config),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgpu_circuit::generators::Benchmark;
+    use qgpu_statevec::StateVector;
+
+    #[test]
+    fn all_versions_produce_identical_states() {
+        // The paper's correctness claim: pruning, reordering and
+        // compression "do not affect the simulation results".
+        for b in [Benchmark::Gs, Benchmark::Iqp, Benchmark::Qft] {
+            let c = b.generate(9);
+            let mut reference = StateVector::new_zero(9);
+            reference.run(&c);
+            for v in Version::ALL {
+                let cfg = SimConfig::scaled_paper(9).with_version(v);
+                let r = Simulator::new(cfg).run(&c);
+                let state = r.state.expect("state collected");
+                let dev = state.max_deviation(&reference);
+                assert!(dev < 1e-10, "{b}/{v}: deviation {dev}");
+            }
+        }
+    }
+
+    #[test]
+    fn recipe_improves_monotonically_in_the_large() {
+        // On a pruning-friendly circuit the full recipe must beat the
+        // naive version substantially and the baseline overall.
+        let c = Benchmark::Iqp.generate(12);
+        let time = |v: Version| {
+            Simulator::new(SimConfig::scaled_paper(12).with_version(v).timing_only())
+                .run(&c)
+                .report
+                .total_time
+        };
+        let baseline = time(Version::Baseline);
+        let naive = time(Version::Naive);
+        let overlap = time(Version::Overlap);
+        let pruning = time(Version::Pruning);
+        let qgpu = time(Version::QGpu);
+        assert!(naive > overlap, "overlap must beat naive");
+        assert!(overlap > pruning, "pruning must beat overlap on iqp");
+        assert!(qgpu < baseline, "the full recipe must beat the baseline");
+    }
+
+    #[test]
+    fn flops_estimates() {
+        use qgpu_circuit::{Gate, Operation};
+        let h = GateAction::from_operation(&Operation::new(Gate::H, vec![0]));
+        assert_eq!(flops_per_amp(&h), 16.0);
+        let z = GateAction::from_operation(&Operation::new(Gate::Z, vec![0]));
+        assert_eq!(flops_per_amp(&z), 6.0);
+    }
+}

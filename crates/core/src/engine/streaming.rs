@@ -1,0 +1,729 @@
+//! The streaming engines: Naive, Overlap, Pruning, Reorder, Q-GPU.
+//!
+//! All five share one loop: per gate, the [`GatePlan`]'s chunk tasks
+//! stream through the GPU(s) as *H2D copy → (decompress) → kernel →
+//! (compress) → D2H copy*. The version decides:
+//!
+//! * **Naive** — every step chains after the previous one (one CUDA
+//!   stream, no overlap) and every gate ends with a synchronization;
+//! * **Overlap** — the copy engines and compute pipeline freely, limited
+//!   by a double-buffer window of half the GPU memory (paper §IV-A), and
+//!   the pipeline flows *across* gates (proactive prefetch);
+//! * **Pruning** — tasks whose chunks are provably zero under the
+//!   involvement mask are skipped, and the chunk size adapts to the
+//!   involvement (paper §IV-B, Algorithm 1);
+//! * **Reorder** — the forward-looking pass (§IV-C) runs first;
+//! * **Q-GPU** — non-zero chunks move in GFC-compressed form, paying
+//!   (de)compression kernel time (§IV-D). Compressed sizes come from
+//!   running the real codec on the real amplitudes.
+//!
+//! Multi-GPU platforms deal tasks round-robin across devices
+//! (paper §V-E, Figure 18).
+
+use std::collections::{HashMap, VecDeque};
+
+use qgpu_circuit::access::GateAction;
+use qgpu_circuit::Circuit;
+use qgpu_compress::{CompressionStats, GfcCodec};
+use qgpu_device::timeline::{Engine, TaskKind, Timeline};
+use qgpu_device::ExecutionReport;
+use qgpu_math::Complex64;
+use qgpu_sched::plan::{ChunkTask, GatePlan};
+use qgpu_sched::residency::RoundRobin;
+use qgpu_sched::InvolvementTracker;
+use qgpu_statevec::ChunkedState;
+
+use crate::config::SimConfig;
+use crate::engine::flops_per_amp;
+use crate::result::RunResult;
+
+/// Longest run of chunk-local gates merged into one chunk visit by the
+/// gate-batching extension (bounds involvement-staleness of the pruning
+/// decision, which is evaluated once per batch).
+const MAX_BATCH: usize = 64;
+
+/// Per-GPU double-buffer window: chunks in flight on the device.
+#[derive(Default)]
+struct Window {
+    slots: VecDeque<(f64, usize)>, // (d2h end, chunks held)
+    inflight: usize,
+}
+
+/// Schedules a CPU↔GPU copy: the transfer holds its per-GPU link engine
+/// for `bytes/link_bw` *and* reserves the shared host-DRAM DMA path for
+/// `bytes/copy_bw`, so aggregate traffic across all GPUs never exceeds
+/// what host memory can stage (the paper's §V-E observation that CPU↔GPU
+/// movement, not GPU↔GPU links, bounds multi-GPU scaling).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn copy_with_dma(
+    tl: &mut Timeline,
+    dma_engine: Engine,
+    link_engine: Engine,
+    kind: TaskKind,
+    ready: f64,
+    bytes: u64,
+    link: &qgpu_device::LinkSpec,
+    copy_bw: f64,
+) -> qgpu_device::Span {
+    let dma = tl.schedule(
+        dma_engine,
+        ready,
+        bytes as f64 / copy_bw,
+        TaskKind::HostDma,
+        0,
+    );
+    tl.schedule(link_engine, dma.start, link.transfer_time(bytes), kind, bytes)
+}
+
+pub(crate) fn run(circuit: &Circuit, cfg: &SimConfig) -> RunResult {
+    let version = cfg.version;
+    let circuit_owned;
+    let circuit = if version.has_reorder() {
+        circuit_owned = cfg.reorder_strategy.reorder(circuit);
+        &circuit_owned
+    } else {
+        circuit
+    };
+
+    let n = circuit.num_qubits();
+    let base_chunk_bits = cfg.chunk_bits_for(n);
+    let num_gpus = cfg.platform.num_gpus();
+    let rr = RoundRobin::new(num_gpus);
+    // One GFC segment per warp, but never so many that a segment degrades
+    // to a single (history-less) micro-chunk: keep ≥ 8 micro-chunks of 32
+    // doubles per segment. (The paper: "we empirically choose the number
+    // of segments to match the GPU parallelism".)
+    let codec_for = |chunk_bits: u32| {
+        let doubles = 2usize << chunk_bits;
+        GfcCodec::new((doubles / 256).clamp(1, cfg.compress_segments))
+    };
+
+    // Fixed per-task cost in byte-equivalents at link speed: a round trip
+    // pays two transfer latencies and one kernel launch.
+    let overhead_bytes = (2.0 * cfg.platform.link(0).latency
+        + cfg.platform.gpu(0).kernel_launch)
+        * cfg.platform.link(0).bw_per_direction;
+
+    let mut tracker = InvolvementTracker::new(n);
+    let dynamic_chunks = version.has_pruning() && cfg.dynamic_chunk_size;
+    let mut chunk_bits = if dynamic_chunks {
+        tracker.optimal_chunk_bits(base_chunk_bits, overhead_bytes)
+    } else {
+        base_chunk_bits
+    };
+    let mut codec = codec_for(chunk_bits);
+    let mut state = ChunkedState::new_zero(n, chunk_bits);
+    let mut tl = if cfg.trace_events > 0 {
+        Timeline::with_trace(cfg.trace_events)
+    } else {
+        Timeline::new()
+    };
+
+    // Compressed representation held by the CPU, per chunk (bytes).
+    let mut compressed: HashMap<usize, usize> = HashMap::new();
+    // Pipeline state.
+    let mut last_d2h: HashMap<usize, f64> = HashMap::new();
+    let mut windows: Vec<Window> = (0..num_gpus).map(|_| Window::default()).collect();
+    let mut epoch_floor = 0.0f64;
+    let mut chain = 0.0f64; // Naive's single-stream chain.
+    let mut task_counter = 0usize;
+
+    // Accounting.
+    let mut flops_gpu = 0.0f64;
+    let mut chunks_pruned = 0u64;
+    let mut chunks_processed = 0u64;
+    let mut comp_stats = CompressionStats::empty();
+    // Compressed size of an all-zero chunk, per chunk_bits (cached).
+    let mut zero_chunk_size: HashMap<u32, usize> = HashMap::new();
+
+    let ops = circuit.ops();
+    let mut idx = 0usize;
+    while idx < ops.len() {
+        // Dynamic chunk sizing (Algorithm 1's getChunkSize).
+        if dynamic_chunks {
+            let nb = tracker.optimal_chunk_bits(base_chunk_bits, overhead_bytes);
+            if nb != chunk_bits {
+                chunk_bits = nb;
+                state.set_chunk_bits(nb);
+                codec = codec_for(nb);
+                // Re-partitioning is a synchronization point: the pipeline
+                // drains and chunk-indexed caches reset.
+                epoch_floor = tl.makespan();
+                chain = chain.max(epoch_floor);
+                last_d2h.clear();
+                compressed.clear();
+                for w in &mut windows {
+                    w.slots.clear();
+                    w.inflight = 0;
+                }
+            }
+        }
+
+        let num_chunks = 1usize << (n as u32 - chunk_bits);
+        let chunk_bytes = 16u64 << chunk_bits;
+        let op = &ops[idx];
+        let action = GateAction::from_operation(op);
+
+        // ---- gate-batching extension ---------------------------------
+        // A run of chunk-local gates shares a single chunk round trip.
+        let is_local = |a: &GateAction| {
+            a.mixing_qubits().iter().all(|&q| (q as u32) < chunk_bits)
+        };
+        if cfg.batch_local_gates && is_local(&action) {
+            let mut batch: Vec<(&qgpu_circuit::Operation, GateAction)> = vec![(op, action)];
+            idx += 1;
+            while idx < ops.len() && batch.len() < MAX_BATCH {
+                let next = GateAction::from_operation(&ops[idx]);
+                if !is_local(&next) {
+                    break;
+                }
+                batch.push((&ops[idx], next));
+                idx += 1;
+            }
+            // Involvement after the whole batch decides what moves back;
+            // a chunk provably zero *before* the batch stays zero through
+            // it (local gates cannot move amplitude across chunks).
+            let mut tracker_end = tracker;
+            for (bop, _) in &batch {
+                tracker_end.involve(bop);
+            }
+            // Chunk-index bits each op requires set (high controls).
+            let control_masks: Vec<usize> = batch
+                .iter()
+                .map(|(_, a)| {
+                    a.control_qubits()
+                        .iter()
+                        .filter(|&&c| (c as u32) >= chunk_bits)
+                        .map(|&c| 1usize << (c as u32 - chunk_bits))
+                        .sum()
+                })
+                .collect();
+
+            for chunk in 0..num_chunks {
+                if version.has_pruning() && tracker.chunk_is_zero(chunk, chunk_bits) {
+                    chunks_pruned += batch.len() as u64;
+                    continue;
+                }
+                let applicable: Vec<usize> = (0..batch.len())
+                    .filter(|&i| chunk & control_masks[i] == control_masks[i])
+                    .collect();
+                if applicable.is_empty() {
+                    continue;
+                }
+                let gpu = rr.gpu_for_task(task_counter);
+                task_counter += 1;
+                let link = cfg.platform.link(gpu);
+                let gspec = cfg.platform.gpu(gpu);
+
+                // Upload once.
+                let (h2d_bytes, raw_up_compressed) =
+                    match (version.has_compression(), compressed.get(&chunk)) {
+                        (true, Some(&sz)) => (sz as u64, chunk_bytes),
+                        _ => (chunk_bytes, 0),
+                    };
+                let mut ready = epoch_floor;
+                if let Some(&t) = last_d2h.get(&chunk) {
+                    ready = ready.max(t);
+                }
+                if version.has_overlap() {
+                    let w = &mut windows[gpu];
+                    let cap = ((gspec.mem_bytes as f64 * cfg.buffer_split) as u64
+                        / chunk_bytes)
+                        .max(1) as usize;
+                    while w.inflight + 1 > cap {
+                        match w.slots.pop_front() {
+                            Some((end, held)) => {
+                                ready = ready.max(end);
+                                w.inflight -= held;
+                            }
+                            None => break,
+                        }
+                    }
+                } else {
+                    ready = ready.max(chain);
+                }
+                let h2d = copy_with_dma(
+                    &mut tl,
+                    Engine::HostDmaOut,
+                    Engine::H2d(gpu),
+                    TaskKind::H2dCopy,
+                    ready,
+                    h2d_bytes,
+                    link,
+                    cfg.platform.host.copy_bw,
+                );
+                let mut compute_ready = h2d.end;
+                if raw_up_compressed > 0 {
+                    let d = tl.schedule(
+                        Engine::GpuCompute(gpu),
+                        compute_ready,
+                        raw_up_compressed as f64 / gspec.compress_bw(),
+                        TaskKind::Decompress,
+                        raw_up_compressed,
+                    );
+                    compute_ready = d.end;
+                }
+                // One kernel per applicable gate over the resident chunk.
+                for &i in &applicable {
+                    let kernel = tl.schedule(
+                        Engine::GpuCompute(gpu),
+                        compute_ready,
+                        chunk_bytes as f64 / gspec.update_bw() + gspec.kernel_launch,
+                        TaskKind::Kernel,
+                        chunk_bytes,
+                    );
+                    compute_ready = kernel.end;
+                    flops_gpu += (chunk_bytes as f64 / 16.0) * flops_per_amp(&batch[i].1);
+                    state.apply_local(&batch[i].1, chunk);
+                }
+                chunks_processed += applicable.len() as u64;
+
+                // Download once.
+                let mut d2h_ready = compute_ready;
+                let mut d2h_bytes = 0u64;
+                if version.has_pruning() && tracker_end.chunk_is_zero(chunk, chunk_bits) {
+                    compressed.remove(&chunk);
+                } else if version.has_compression() {
+                    let sz = match state.chunk(chunk) {
+                        Some(amps) => compressed_size(&codec, amps, chunk_bytes as usize),
+                        None => *zero_chunk_size.entry(chunk_bits).or_insert_with(|| {
+                            let zeros = vec![Complex64::ZERO; 1 << chunk_bits];
+                            compressed_size(&codec, &zeros, chunk_bytes as usize)
+                        }),
+                    };
+                    comp_stats.merge(&CompressionStats::new(chunk_bytes as usize, sz));
+                    compressed.insert(chunk, sz);
+                    d2h_bytes = sz as u64;
+                    let cspan = tl.schedule(
+                        Engine::GpuCompute(gpu),
+                        d2h_ready,
+                        chunk_bytes as f64 / gspec.compress_bw(),
+                        TaskKind::Compress,
+                        chunk_bytes,
+                    );
+                    d2h_ready = cspan.end;
+                } else {
+                    d2h_bytes = chunk_bytes;
+                }
+                let d2h = copy_with_dma(
+                    &mut tl,
+                    Engine::HostDmaIn,
+                    Engine::D2h(gpu),
+                    TaskKind::D2hCopy,
+                    d2h_ready,
+                    d2h_bytes,
+                    link,
+                    cfg.platform.host.copy_bw,
+                );
+                last_d2h.insert(chunk, d2h.end);
+                if version.has_overlap() {
+                    windows[gpu].slots.push_back((d2h.end, 1));
+                    windows[gpu].inflight += 1;
+                } else {
+                    chain = d2h.end;
+                }
+            }
+            if !version.has_overlap() {
+                let s = tl.schedule(
+                    Engine::Host,
+                    chain,
+                    cfg.platform.host.sync_latency,
+                    TaskKind::Sync,
+                    0,
+                );
+                chain = s.end;
+            }
+            tracker = tracker_end;
+            continue;
+        }
+        idx += 1;
+
+        let plan = GatePlan::new(&action, chunk_bits, num_chunks);
+        let fpa = flops_per_amp(&action);
+
+        // Involvement after this gate: decides which members move back.
+        let mut tracker_after = tracker;
+        tracker_after.involve(op);
+
+        let tasks: Vec<&ChunkTask> = if version.has_pruning() {
+            plan.pruned_tasks(&tracker).collect()
+        } else {
+            plan.tasks().iter().collect()
+        };
+        let kept_chunks: usize = tasks.iter().map(|t| t.len()).sum();
+        chunks_pruned += (plan.total_chunks() - kept_chunks) as u64;
+        chunks_processed += kept_chunks as u64;
+
+        for task in tasks {
+            let gpu = rr.gpu_for_task(task_counter);
+            task_counter += 1;
+            let link = cfg.platform.link(gpu);
+            let gspec = cfg.platform.gpu(gpu);
+            let members = task.chunks();
+
+            // ---- upload --------------------------------------------------
+            // Pruning versions skip provably-zero members; others move all.
+            let mut h2d_bytes = 0u64;
+            let mut raw_up_compressed = 0u64; // raw bytes arriving compressed
+            for &m in members {
+                let provably_zero =
+                    version.has_pruning() && tracker.chunk_is_zero(m, chunk_bits);
+                if provably_zero {
+                    continue;
+                }
+                match (version.has_compression(), compressed.get(&m)) {
+                    (true, Some(&sz)) => {
+                        h2d_bytes += sz as u64;
+                        raw_up_compressed += chunk_bytes;
+                    }
+                    _ => h2d_bytes += chunk_bytes,
+                }
+            }
+
+            // ---- readiness ----------------------------------------------
+            let mut ready = epoch_floor;
+            for &m in members {
+                if let Some(&t) = last_d2h.get(&m) {
+                    ready = ready.max(t);
+                }
+            }
+            if version.has_overlap() {
+                let w = &mut windows[gpu];
+                let cap = ((gspec.mem_bytes as f64 * cfg.buffer_split) as u64 / chunk_bytes)
+                    .max(members.len() as u64) as usize;
+                while w.inflight + members.len() > cap {
+                    match w.slots.pop_front() {
+                        Some((end, held)) => {
+                            ready = ready.max(end);
+                            w.inflight -= held;
+                        }
+                        None => break,
+                    }
+                }
+            } else {
+                ready = ready.max(chain);
+            }
+
+            // ---- H2D → decompress → kernel ------------------------------
+            let h2d = copy_with_dma(
+                &mut tl,
+                Engine::HostDmaOut,
+                Engine::H2d(gpu),
+                TaskKind::H2dCopy,
+                ready,
+                h2d_bytes,
+                link,
+                cfg.platform.host.copy_bw,
+            );
+            let mut compute_ready = h2d.end;
+            if raw_up_compressed > 0 {
+                let d = tl.schedule(
+                    Engine::GpuCompute(gpu),
+                    compute_ready,
+                    raw_up_compressed as f64 / gspec.compress_bw(),
+                    TaskKind::Decompress,
+                    raw_up_compressed,
+                );
+                compute_ready = d.end;
+            }
+            let task_bytes = members.len() as u64 * chunk_bytes;
+            let kernel = tl.schedule(
+                Engine::GpuCompute(gpu),
+                compute_ready,
+                task_bytes as f64 / gspec.update_bw() + gspec.kernel_launch,
+                TaskKind::Kernel,
+                task_bytes,
+            );
+            flops_gpu += (task_bytes as f64 / 16.0) * fpa;
+
+            // ---- functional update --------------------------------------
+            match task {
+                ChunkTask::Single(c) => state.apply_local(&action, *c),
+                ChunkTask::Group(g) => state.apply_group(&action, g),
+            }
+
+            // ---- compress → D2H ------------------------------------------
+            let mut d2h_ready = kernel.end;
+            let mut d2h_bytes = 0u64;
+            let mut raw_down_compressed = 0u64;
+            for &m in members {
+                let provably_zero =
+                    version.has_pruning() && tracker_after.chunk_is_zero(m, chunk_bits);
+                if provably_zero {
+                    compressed.remove(&m);
+                    continue;
+                }
+                if version.has_compression() {
+                    let sz = match state.chunk(m) {
+                        Some(amps) => compressed_size(&codec, amps, chunk_bytes as usize),
+                        None => *zero_chunk_size.entry(chunk_bits).or_insert_with(|| {
+                            let zeros = vec![Complex64::ZERO; 1 << chunk_bits];
+                            compressed_size(&codec, &zeros, chunk_bytes as usize)
+                        }),
+                    };
+                    comp_stats.merge(&CompressionStats::new(chunk_bytes as usize, sz));
+                    compressed.insert(m, sz);
+                    d2h_bytes += sz as u64;
+                    raw_down_compressed += chunk_bytes;
+                } else {
+                    d2h_bytes += chunk_bytes;
+                }
+            }
+            if raw_down_compressed > 0 {
+                let cspan = tl.schedule(
+                    Engine::GpuCompute(gpu),
+                    d2h_ready,
+                    raw_down_compressed as f64 / gspec.compress_bw(),
+                    TaskKind::Compress,
+                    raw_down_compressed,
+                );
+                d2h_ready = cspan.end;
+            }
+            let d2h = copy_with_dma(
+                &mut tl,
+                Engine::HostDmaIn,
+                Engine::D2h(gpu),
+                TaskKind::D2hCopy,
+                d2h_ready,
+                d2h_bytes,
+                link,
+                cfg.platform.host.copy_bw,
+            );
+
+            for &m in members {
+                last_d2h.insert(m, d2h.end);
+            }
+            if version.has_overlap() {
+                windows[gpu].slots.push_back((d2h.end, members.len()));
+                windows[gpu].inflight += members.len();
+            } else {
+                chain = d2h.end;
+            }
+        }
+
+        if !version.has_overlap() {
+            // Naive: a full synchronization after every gate.
+            let s = tl.schedule(
+                Engine::Host,
+                chain,
+                cfg.platform.host.sync_latency,
+                TaskKind::Sync,
+                0,
+            );
+            chain = s.end;
+        }
+        tracker.involve(op);
+    }
+
+    let mut report = ExecutionReport::from_timeline(&tl, num_gpus);
+    report.flops_gpu = flops_gpu;
+    report.chunks_pruned = chunks_pruned;
+    report.chunks_processed = chunks_processed;
+    report.bytes_before_compress = comp_stats.in_bytes();
+    report.bytes_after_compress = comp_stats.out_bytes();
+    RunResult {
+        version,
+        circuit_name: circuit.name().to_string(),
+        state: cfg.collect_state.then(|| state.to_flat()),
+        report,
+        trace: tl.trace().to_vec(),
+    }
+}
+
+/// Real GFC size of a chunk, capped at raw size (the scheme falls back to
+/// the raw representation if compression would expand the data).
+fn compressed_size(codec: &GfcCodec, amps: &[Complex64], raw_bytes: usize) -> usize {
+    codec.compress_amplitudes(amps).total_bytes().min(raw_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Version;
+    use crate::engine::Simulator;
+    use qgpu_circuit::generators::Benchmark;
+
+    fn run_version(b: Benchmark, n: usize, v: Version) -> RunResult {
+        let c = b.generate(n);
+        Simulator::new(SimConfig::scaled_paper(n).with_version(v)).run(&c)
+    }
+
+    #[test]
+    fn naive_moves_the_whole_state_per_gate() {
+        let n = 10;
+        let c = Benchmark::Qft.generate(n);
+        let r = Simulator::new(SimConfig::scaled_paper(n).with_version(Version::Naive)).run(&c);
+        // Every gate uploads and downloads every byte of the state.
+        let state_bytes = (1u64 << n) * 16;
+        assert_eq!(r.report.bytes_h2d, state_bytes * c.len() as u64);
+        assert_eq!(r.report.bytes_d2h, state_bytes * c.len() as u64);
+        assert_eq!(r.report.host_time, 0.0);
+    }
+
+    #[test]
+    fn overlap_beats_naive_with_same_bytes() {
+        let naive = run_version(Benchmark::Qft, 11, Version::Naive);
+        let overlap = run_version(Benchmark::Qft, 11, Version::Overlap);
+        assert_eq!(naive.report.bytes_h2d, overlap.report.bytes_h2d);
+        assert!(
+            overlap.report.total_time < 0.8 * naive.report.total_time,
+            "overlap {:.4} vs naive {:.4}",
+            overlap.report.total_time,
+            naive.report.total_time
+        );
+    }
+
+    #[test]
+    fn pruning_reduces_bytes_on_late_involving_circuits() {
+        let overlap = run_version(Benchmark::Iqp, 12, Version::Overlap);
+        let pruning = run_version(Benchmark::Iqp, 12, Version::Pruning);
+        assert!(
+            pruning.report.bytes_h2d < overlap.report.bytes_h2d / 2,
+            "pruning {} vs overlap {}",
+            pruning.report.bytes_h2d,
+            overlap.report.bytes_h2d
+        );
+        assert!(pruning.report.chunks_pruned > 0);
+    }
+
+    #[test]
+    fn pruning_barely_helps_qft() {
+        // Paper: qft involves all qubits immediately; pruning is weak.
+        let overlap = run_version(Benchmark::Qft, 12, Version::Overlap);
+        let pruning = run_version(Benchmark::Qft, 12, Version::Pruning);
+        let saving = 1.0
+            - pruning.report.bytes_h2d as f64 / overlap.report.bytes_h2d.max(1) as f64;
+        assert!(saving < 0.35, "qft pruning saving {saving:.2} too large");
+    }
+
+    #[test]
+    fn compression_reduces_transfer_on_smooth_states() {
+        // qaoa's repetitive amplitudes compress well (paper Figure 10);
+        // 14 qubits so chunks carry enough GFC prediction context.
+        let reorder = run_version(Benchmark::Qaoa, 14, Version::Reorder);
+        let qgpu = run_version(Benchmark::Qaoa, 14, Version::QGpu);
+        assert!(
+            qgpu.report.bytes_d2h < reorder.report.bytes_d2h,
+            "compression should reduce D2H bytes: {} vs {}",
+            qgpu.report.bytes_d2h,
+            reorder.report.bytes_d2h
+        );
+        assert!(qgpu.report.compression_ratio() > 1.2);
+    }
+
+    #[test]
+    fn compression_overhead_is_bounded() {
+        // Paper Figure 14: compress ~3.3%, decompress ~2.8% of exec time.
+        let qgpu = run_version(Benchmark::Qaoa, 14, Version::QGpu);
+        assert!(
+            qgpu.report.compression_overhead() < 0.25,
+            "overhead {:.3}",
+            qgpu.report.compression_overhead()
+        );
+    }
+
+    #[test]
+    fn states_identical_across_streaming_versions() {
+        let c = Benchmark::Hlf.generate(10);
+        let reference = {
+            let mut s = qgpu_statevec::StateVector::new_zero(10);
+            s.run(&c);
+            s
+        };
+        for v in [Version::Naive, Version::Overlap, Version::Pruning, Version::Reorder, Version::QGpu] {
+            let r = Simulator::new(SimConfig::scaled_paper(10).with_version(v)).run(&c);
+            let dev = r.state.expect("collected").max_deviation(&reference);
+            assert!(dev < 1e-10, "{v}: deviation {dev}");
+        }
+    }
+
+    #[test]
+    fn multi_gpu_scales_streaming_until_host_dma_saturates() {
+        use qgpu_device::Platform;
+        let c = Benchmark::Qft.generate(12);
+        // P4 server: 4 x PCIe (54 GB/s aggregate) against a 45 GB/s host
+        // DMA path -> ~3.3x scaling, like the paper's ~3x.
+        let quad = Simulator::new(
+            SimConfig::new(Platform::quad_p4_pcie().miniaturize(12, 0.05))
+                .with_version(Version::Overlap),
+        );
+        let mut one_gpu_platform = Platform::quad_p4_pcie().miniaturize(12, 0.05);
+        one_gpu_platform.gpus.truncate(1);
+        one_gpu_platform.links.truncate(1);
+        let single_gpu =
+            Simulator::new(SimConfig::new(one_gpu_platform).with_version(Version::Overlap));
+        let t4 = quad.run(&c).report.total_time;
+        let t1 = single_gpu.run(&c).report.total_time;
+        let scaling = t1 / t4;
+        assert!(
+            (2.0..4.2).contains(&scaling),
+            "4xP4 scaling {scaling:.2}x should approach but not exceed 4x"
+        );
+    }
+
+    #[test]
+    fn gate_batching_preserves_state_and_reduces_transfers() {
+        for b in [Benchmark::Qft, Benchmark::Iqp, Benchmark::Hchain] {
+            let c = b.generate(11);
+            let plain = Simulator::new(
+                SimConfig::scaled_paper(11).with_version(Version::QGpu),
+            )
+            .run(&c);
+            let batched = Simulator::new(
+                SimConfig::scaled_paper(11)
+                    .with_version(Version::QGpu)
+                    .with_gate_batching(),
+            )
+            .run(&c);
+            let dev = batched
+                .state
+                .expect("collected")
+                .max_deviation(plain.state.as_ref().expect("collected"));
+            assert!(dev < 1e-10, "{b}: batching changed the state ({dev})");
+            assert!(
+                batched.report.bytes_h2d < plain.report.bytes_h2d,
+                "{b}: batching must reduce uploads ({} vs {})",
+                batched.report.bytes_h2d,
+                plain.report.bytes_h2d
+            );
+            assert!(
+                batched.report.total_time <= plain.report.total_time * 1.02,
+                "{b}: batching must not slow execution"
+            );
+        }
+    }
+
+    #[test]
+    fn gate_batching_handles_cross_boundary_gates() {
+        // A circuit alternating local and high-mixing gates exercises
+        // batch flushing around Case-2 gates.
+        let mut c = qgpu_circuit::Circuit::new(10);
+        for q in 0..10 {
+            c.h(q);
+        }
+        c.cx(0, 9).t(1).swap(2, 9).rz(0.3, 0).cx(9, 1);
+        let mut reference = qgpu_statevec::StateVector::new_zero(10);
+        reference.run(&c);
+        for v in [Version::Naive, Version::Overlap, Version::QGpu] {
+            let r = Simulator::new(
+                SimConfig::scaled_paper(10)
+                    .with_version(v)
+                    .with_gate_batching(),
+            )
+            .run(&c);
+            let dev = r.state.expect("collected").max_deviation(&reference);
+            assert!(dev < 1e-10, "{v}: deviation {dev}");
+        }
+    }
+
+    #[test]
+    fn trace_events_recorded() {
+        let c = Benchmark::Gs.generate(8);
+        let cfg = SimConfig::scaled_paper(8)
+            .with_version(Version::Overlap)
+            .with_trace(500);
+        let r = Simulator::new(cfg).run(&c);
+        assert!(!r.trace.is_empty());
+        assert!(r.trace.len() <= 500);
+    }
+}

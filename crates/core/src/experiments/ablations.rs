@@ -1,0 +1,202 @@
+//! Ablation studies of Q-GPU's design choices.
+//!
+//! The paper motivates several decisions without isolating them; these
+//! experiments quantify each one:
+//!
+//! * [`chunk_count`] — how many chunks to split the state into (transfer
+//!   granularity vs. per-task overhead vs. exchange frequency);
+//! * [`dynamic_chunk_size`] — Algorithm 1's adaptive `getChunkSize`
+//!   against a fixed chunk size;
+//! * [`reorder_strategy`] — greedy (Algorithm 2) vs. forward-looking
+//!   (Algorithm 3), end to end rather than by involvement curves;
+//! * [`buffer_split`] — the §IV-A half/half split of GPU memory between
+//!   the working and prefetch buffers.
+
+use qgpu_circuit::generators::Benchmark;
+use qgpu_math::stats::geometric_mean;
+use qgpu_sched::reorder::ReorderStrategy;
+
+use crate::config::{SimConfig, Version};
+use crate::engine::Simulator;
+use crate::experiments::{f2, Table};
+
+/// Sweep the chunk-count exponent for the full Q-GPU version.
+pub fn chunk_count(qubits: usize) -> Table {
+    let mut table = Table::new(
+        &format!("Ablation: chunk count, Q-GPU geomean time in ms ({qubits} qubits)"),
+        ["chunks (log2)", "geomean time", "vs default"],
+    );
+    let exponents: Vec<u32> = (4..=(qubits as u32 - 2).min(11)).collect();
+    let geomean_for = |log2: u32| -> f64 {
+        geometric_mean(Benchmark::ALL.iter().map(|&b| {
+            let c = b.generate(qubits);
+            Simulator::new(
+                SimConfig::scaled_paper(qubits)
+                    .with_version(Version::QGpu)
+                    .with_chunk_count_log2(log2)
+                    .timing_only(),
+            )
+            .run(&c)
+            .report
+            .total_time
+        }))
+    };
+    let default = geomean_for(SimConfig::scaled_paper(qubits).chunk_count_log2);
+    for log2 in exponents {
+        let t = geomean_for(log2);
+        table.row([
+            log2.to_string(),
+            f2(t * 1e3),
+            format!("{:+.1}%", 100.0 * (t - default) / default),
+        ]);
+    }
+    table
+}
+
+/// Dynamic (Algorithm 1) vs. fixed chunk size under the Pruning version.
+///
+/// Run with few, large chunks (2^4), mirroring the paper's regime where a
+/// 32 MB chunk spans 21 qubits and early involvement covers far fewer —
+/// exactly when shrinking the chunk to the involved block pays off. With
+/// many small chunks, chunk-level pruning already captures the savings
+/// and the dynamic size is near-neutral (also visible in this table by
+/// comparison with `chunk_count`).
+pub fn dynamic_chunk_size(qubits: usize) -> Table {
+    let mut table = Table::new(
+        &format!(
+            "Ablation: dynamic vs fixed chunk size, Pruning version, 2^4 chunks ({qubits} qubits)"
+        ),
+        ["circuit", "fixed (ms)", "dynamic (ms)", "dynamic saves"],
+    );
+    for b in Benchmark::ALL {
+        let c = b.generate(qubits);
+        let time = |dynamic: bool| {
+            let mut cfg = SimConfig::scaled_paper(qubits)
+                .with_version(Version::Pruning)
+                .with_chunk_count_log2(4)
+                .timing_only();
+            if !dynamic {
+                cfg = cfg.fixed_chunk_size();
+            }
+            Simulator::new(cfg).run(&c).report.total_time
+        };
+        let fixed = time(false);
+        let dynamic = time(true);
+        table.row([
+            b.abbrev().to_string(),
+            f2(fixed * 1e3),
+            f2(dynamic * 1e3),
+            format!("{:+.1}%", 100.0 * (1.0 - dynamic / fixed)),
+        ]);
+    }
+    table
+}
+
+/// Greedy vs. forward-looking reordering, measured end to end on the
+/// Reorder version (the paper compares involvement curves only).
+pub fn reorder_strategy(qubits: usize) -> Table {
+    let mut table = Table::new(
+        &format!("Ablation: reorder strategy, Reorder version time in ms ({qubits} qubits)"),
+        ["circuit", "original", "greedy", "forward-looking"],
+    );
+    for b in Benchmark::ALL {
+        let c = b.generate(qubits);
+        let time = |strategy: ReorderStrategy| {
+            Simulator::new(
+                SimConfig::scaled_paper(qubits)
+                    .with_version(Version::Reorder)
+                    .with_reorder_strategy(strategy)
+                    .timing_only(),
+            )
+            .run(&c)
+            .report
+            .total_time
+                * 1e3
+        };
+        table.row([
+            b.abbrev().to_string(),
+            f2(time(ReorderStrategy::Original)),
+            f2(time(ReorderStrategy::Greedy)),
+            f2(time(ReorderStrategy::ForwardLooking)),
+        ]);
+    }
+    table
+}
+
+/// Sweep the double-buffer split fraction for the Overlap version.
+pub fn buffer_split(qubits: usize) -> Table {
+    let mut table = Table::new(
+        &format!("Ablation: double-buffer split, Overlap geomean time in ms ({qubits} qubits)"),
+        ["window fraction", "geomean time"],
+    );
+    for split in [0.1, 0.25, 0.5, 0.75, 0.9] {
+        let t = geometric_mean(Benchmark::ALL.iter().map(|&b| {
+            let c = b.generate(qubits);
+            Simulator::new(
+                SimConfig::scaled_paper(qubits)
+                    .with_version(Version::Overlap)
+                    .with_buffer_split(split)
+                    .timing_only(),
+            )
+            .run(&c)
+            .report
+            .total_time
+        }));
+        table.row([format!("{split}"), f2(t * 1e3)]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_chunk_size_helps_late_involvers() {
+        let t = dynamic_chunk_size(11);
+        let saves = |name: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == name)
+                .expect("row")[3]
+                .trim_end_matches('%')
+                .parse()
+                .expect("number")
+        };
+        // iqp spends most of its life with few involved qubits: small
+        // dynamic chunks prune far more precisely.
+        assert!(saves("iqp") > 2.0, "iqp dynamic saving {}", saves("iqp"));
+        // And it must never substantially hurt.
+        for b in Benchmark::ALL {
+            assert!(saves(b.abbrev()) > -5.0, "{b}: {}", saves(b.abbrev()));
+        }
+    }
+
+    #[test]
+    fn forward_looking_never_loses_to_original() {
+        let t = reorder_strategy(10);
+        for row in &t.rows {
+            let original: f64 = row[1].parse().expect("number");
+            let fl: f64 = row[3].parse().expect("number");
+            assert!(
+                fl <= original * 1.05,
+                "{}: forward-looking {fl} vs original {original}",
+                row[0]
+            );
+        }
+    }
+
+    #[test]
+    fn starved_buffer_hurts_overlap() {
+        let t = buffer_split(10);
+        let time = |row: usize| -> f64 { t.cell(row, 1).parse().expect("number") };
+        // 0.1 window (row 0) must be no faster than the 0.5 default (row 2).
+        assert!(time(0) >= time(2) * 0.99, "{} vs {}", time(0), time(2));
+    }
+
+    #[test]
+    fn chunk_count_sweep_has_rows() {
+        let t = chunk_count(10);
+        assert!(t.rows.len() >= 4);
+    }
+}

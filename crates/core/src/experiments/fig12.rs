@@ -1,0 +1,162 @@
+//! Figure 12: normalized execution time of all versions (the headline
+//! result).
+//!
+//! The paper reports, at 34 qubits: Overlap 24.03%, Pruning 47.69%,
+//! Reorder 58.60%, Compression/Q-GPU 71.89% average execution-time
+//! reduction over the baseline, and a 1.49× speedup over CPU-OpenMP.
+
+use qgpu_circuit::generators::Benchmark;
+use qgpu_math::stats::geometric_mean;
+
+use crate::comparators::cpu_parallel;
+use crate::config::{SimConfig, Version};
+use crate::engine::Simulator;
+use crate::experiments::{f2, Table};
+
+/// One circuit's normalized times.
+#[derive(Debug, Clone)]
+pub struct Fig12Row {
+    /// Circuit abbreviation.
+    pub circuit: String,
+    /// Times of the six versions normalized to baseline.
+    pub versions: [f64; 6],
+    /// CPU-OpenMP time normalized to baseline.
+    pub cpu_openmp: f64,
+}
+
+/// Runs the full sweep at one size, returning structured rows (the nine
+/// circuits run concurrently; each simulation is single-threaded).
+pub fn measure(qubits: usize) -> Vec<Fig12Row> {
+    crate::experiments::par_map(&Benchmark::ALL, |&b| {
+            let circuit = b.generate(qubits);
+            let times: Vec<f64> = Version::ALL
+                .iter()
+                .map(|&v| {
+                    Simulator::new(SimConfig::scaled_paper(qubits).with_version(v).timing_only())
+                        .run(&circuit)
+                        .report
+                        .total_time
+                })
+                .collect();
+            let baseline = times[0];
+            let host = SimConfig::scaled_paper(qubits).platform.host;
+            let cpu = cpu_parallel(&circuit, &host).total_time;
+            let mut versions = [0.0; 6];
+            for (slot, t) in versions.iter_mut().zip(times.iter()) {
+                *slot = t / baseline;
+            }
+            Fig12Row {
+                circuit: b.abbrev().to_string(),
+                versions,
+                cpu_openmp: cpu / baseline,
+            }
+    })
+}
+
+/// Runs the sweep and renders the paper-style table.
+pub fn run(qubits: usize) -> Table {
+    let rows = measure(qubits);
+    let mut table = Table::new(
+        &format!("Figure 12: execution time normalized to baseline ({qubits} qubits)"),
+        [
+            "circuit", "Baseline", "Naive", "Overlap", "Pruning", "Reorder", "Q-GPU", "CPU-OpenMP",
+        ],
+    );
+    for r in &rows {
+        let mut cells = vec![r.circuit.clone()];
+        cells.extend(r.versions.iter().map(|&v| f2(v)));
+        cells.push(f2(r.cpu_openmp));
+        table.row(cells);
+    }
+    // Geometric means, as the paper averages speedups across circuits.
+    let mut means = vec!["geomean".to_string()];
+    for i in 0..6 {
+        means.push(f2(geometric_mean(rows.iter().map(|r| r.versions[i]))));
+    }
+    means.push(f2(geometric_mean(rows.iter().map(|r| r.cpu_openmp))));
+    table.row(means);
+    table
+}
+
+/// Scalability view of Figure 12: geomean normalized time per version as
+/// the qubit count grows (the paper's per-circuit bar groups at
+/// 30/31/…/34 qubits show Q-GPU's advantage widening with scale).
+pub fn run_scaling(sizes: &[usize]) -> Table {
+    let mut table = Table::new(
+        "Figure 12 (scaling): geomean normalized time vs qubit count",
+        [
+            "qubits", "Naive", "Overlap", "Pruning", "Reorder", "Q-GPU", "CPU-OpenMP",
+        ],
+    );
+    for &q in sizes {
+        let rows = measure(q);
+        let mut cells = vec![q.to_string()];
+        for i in 1..6 {
+            cells.push(f2(geometric_mean(rows.iter().map(|r| r.versions[i]))));
+        }
+        cells.push(f2(geometric_mean(rows.iter().map(|r| r.cpu_openmp))));
+        table.row(cells);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_table_shapes() {
+        let t = run_scaling(&[9, 11]);
+        assert_eq!(t.rows.len(), 2);
+        // Q-GPU (col 5) beats baseline at both sizes.
+        for row in &t.rows {
+            let qgpu: f64 = row[5].parse().expect("number");
+            assert!(qgpu < 1.0);
+        }
+    }
+
+    #[test]
+    fn recipe_shape_matches_paper() {
+        // The step-wise improvement of the recipe on average:
+        // naive > 1 > overlap > pruning ≥ reorder ≥ qgpu.
+        let rows = measure(11);
+        let mean = |i: usize| geometric_mean(rows.iter().map(|r| r.versions[i]));
+        let naive = mean(1);
+        let overlap = mean(2);
+        let pruning = mean(3);
+        let reorder = mean(4);
+        let qgpu = mean(5);
+        assert!(naive > 1.0, "naive {naive} must lose to baseline");
+        assert!(overlap < 1.0, "overlap {overlap} must beat baseline");
+        assert!(pruning < overlap, "pruning {pruning} < overlap {overlap}");
+        assert!(reorder <= pruning + 1e-9, "reorder {reorder} ≤ pruning {pruning}");
+        assert!(qgpu < reorder + 1e-9, "qgpu {qgpu} ≤ reorder {reorder}");
+        // The full recipe should save a large fraction (paper: 71.89% at
+        // 34 qubits; scaled runs land in the same region).
+        assert!(qgpu < 0.7, "qgpu normalized time {qgpu}");
+    }
+
+    #[test]
+    fn qgpu_competitive_with_cpu_openmp() {
+        // Paper: Q-GPU is 1.49x over CPU-OpenMP on average.
+        let rows = measure(11);
+        let qgpu = geometric_mean(rows.iter().map(|r| r.versions[5]));
+        let cpu = geometric_mean(rows.iter().map(|r| r.cpu_openmp));
+        assert!(
+            qgpu < cpu * 1.5,
+            "Q-GPU ({qgpu}) should be at least competitive with CPU-OpenMP ({cpu})"
+        );
+    }
+
+    #[test]
+    fn per_circuit_variation_matches_paper() {
+        // hchain and rqc benefit least from reorder+compression (dense
+        // dependencies, dispersed amplitudes); iqp and gs benefit most
+        // from pruning.
+        let rows = measure(11);
+        let get = |name: &str, i: usize| -> f64 {
+            rows.iter().find(|r| r.circuit == name).expect("row").versions[i]
+        };
+        assert!(get("iqp", 3) < get("qft", 3), "iqp prunes better than qft");
+    }
+}

@@ -1,0 +1,86 @@
+//! Figure 13: data transfer time normalized to the Naive version.
+//!
+//! The paper reports a step-wise reduction: Overlap cuts transfer time
+//! ~44.56% uniformly (bidirectional engines), Pruning and Reorder cut it
+//! circuit-dependently, Compression helps smooth-amplitude circuits.
+
+use qgpu_circuit::generators::Benchmark;
+
+use crate::config::{SimConfig, Version};
+use crate::engine::Simulator;
+use crate::experiments::{f2, Table};
+
+/// Wall-clock attributable to data transfer: the interval engines are
+/// collectively moving data, approximated by the slower direction's busy
+/// time per GPU (directions overlap under proactive transfer).
+fn transfer_wallclock(report: &qgpu_device::ExecutionReport, overlapped: bool) -> f64 {
+    if overlapped {
+        report.transfer_time / 2.0
+    } else {
+        report.transfer_time
+    }
+}
+
+/// Runs the normalized-transfer-time comparison.
+pub fn run(qubits: usize) -> Table {
+    let mut table = Table::new(
+        &format!("Figure 13: data transfer time normalized to Naive ({qubits} qubits)"),
+        ["circuit", "Naive", "Overlap", "Pruning", "Reorder", "Q-GPU"],
+    );
+    let versions = [
+        Version::Naive,
+        Version::Overlap,
+        Version::Pruning,
+        Version::Reorder,
+        Version::QGpu,
+    ];
+    for b in Benchmark::ALL {
+        let circuit = b.generate(qubits);
+        let times: Vec<f64> = versions
+            .iter()
+            .map(|&v| {
+                let r = Simulator::new(
+                    SimConfig::scaled_paper(qubits).with_version(v).timing_only(),
+                )
+                .run(&circuit);
+                transfer_wallclock(&r.report, v.has_overlap())
+            })
+            .collect();
+        let naive = times[0];
+        let mut cells = vec![b.abbrev().to_string()];
+        cells.extend(times.iter().map(|&t| f2(t / naive)));
+        table.row(cells);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stepwise_reduction() {
+        let t = run(11);
+        for row in &t.rows {
+            let overlap: f64 = row[2].parse().expect("number");
+            let qgpu: f64 = row[5].parse().expect("number");
+            assert!(overlap < 0.75, "{}: overlap transfer {overlap}", row[0]);
+            assert!(qgpu <= overlap + 1e-9, "{}: qgpu {qgpu} > overlap {overlap}", row[0]);
+        }
+    }
+
+    #[test]
+    fn pruning_gain_is_circuit_dependent() {
+        let t = run(11);
+        let get = |name: &str, col: usize| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == name)
+                .expect("row")[col]
+                .parse()
+                .expect("number")
+        };
+        // iqp prunes much more transfer than qft (paper §V-A).
+        assert!(get("iqp", 3) < get("qft", 3));
+    }
+}

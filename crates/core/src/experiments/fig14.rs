@@ -1,0 +1,83 @@
+//! Figure 14: compression and decompression overheads.
+//!
+//! The paper measures 3.31% (compression) and 2.84% (decompression) of
+//! execution time on average.
+
+use qgpu_circuit::generators::Benchmark;
+
+use crate::config::{SimConfig, Version};
+use crate::engine::Simulator;
+use crate::experiments::{f2, pct, Table};
+
+/// Runs the overhead measurement for the full Q-GPU version.
+pub fn run(qubits: usize) -> Table {
+    let mut table = Table::new(
+        &format!("Figure 14: compression/decompression overhead ({qubits} qubits)"),
+        ["circuit", "compress", "decompress", "compression ratio"],
+    );
+    let mut sums = [0.0f64; 2];
+    for b in Benchmark::ALL {
+        let circuit = b.generate(qubits);
+        let r = Simulator::new(
+            SimConfig::scaled_paper(qubits)
+                .with_version(Version::QGpu)
+                .timing_only(),
+        )
+        .run(&circuit);
+        let total = r.report.total_time;
+        let comp = r.report.compress_time / total;
+        let decomp = r.report.decompress_time / total;
+        sums[0] += comp;
+        sums[1] += decomp;
+        table.row([
+            b.abbrev().to_string(),
+            pct(comp),
+            pct(decomp),
+            f2(r.report.compression_ratio()),
+        ]);
+    }
+    let n = Benchmark::ALL.len() as f64;
+    table.row([
+        "average".to_string(),
+        pct(sums[0] / n),
+        pct(sums[1] / n),
+        String::new(),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overheads_are_small() {
+        let t = run(11);
+        let avg = t.rows.last().expect("average row");
+        let comp: f64 = avg[1].trim_end_matches('%').parse().expect("number");
+        let decomp: f64 = avg[2].trim_end_matches('%').parse().expect("number");
+        assert!(comp < 20.0, "compress {comp}% (paper: 3.31%)");
+        assert!(decomp < 20.0, "decompress {decomp}% (paper: 2.84%)");
+    }
+
+    #[test]
+    fn qaoa_compresses_better_than_iqp() {
+        // 13 qubits so chunks are large enough for GFC's warp-lane
+        // prediction to have history (the paper's Figure 10 pair).
+        let t = run(14);
+        let ratio = |name: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == name)
+                .expect("row")[3]
+                .parse()
+                .expect("number")
+        };
+        assert!(
+            ratio("qaoa") > ratio("iqp"),
+            "paper: qaoa smooth ({}), iqp dispersed ({})",
+            ratio("qaoa"),
+            ratio("iqp")
+        );
+    }
+}

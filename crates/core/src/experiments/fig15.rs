@@ -1,0 +1,96 @@
+//! Figure 15: roofline analysis of QCS on a V100.
+//!
+//! The paper plots qft and iqp at several sizes under Baseline, Naive and
+//! Q-GPU: all points sit under the bandwidth roof (memory-bound); the
+//! baseline's FLOP rate collapses once the state exceeds GPU memory,
+//! Naive recovers FLOPs but loses intensity, Q-GPU recovers both.
+
+use qgpu_circuit::generators::Benchmark;
+use qgpu_device::roofline::{attainable_flops, RooflinePoint};
+use qgpu_device::{GpuSpec, Platform};
+
+use crate::config::{SimConfig, Version};
+use crate::engine::Simulator;
+use crate::experiments::Table;
+
+/// Runs the roofline measurement for qft and iqp.
+pub fn run(qubits: usize) -> Table {
+    let gpu = GpuSpec::v100_16gb();
+    let mut table = Table::new(
+        &format!(
+            "Figure 15: roofline on V100 ({qubits} qubits; ridge at {:.2} flop/byte)",
+            qgpu_device::roofline::ridge_intensity(&gpu)
+        ),
+        [
+            "circuit",
+            "version",
+            "intensity (flop/B)",
+            "achieved GFLOPS",
+            "roof GFLOPS",
+            "memory bound",
+        ],
+    );
+    for b in [Benchmark::Qft, Benchmark::Iqp] {
+        let circuit = b.generate(qubits);
+        for v in [Version::Baseline, Version::Naive, Version::QGpu] {
+            let platform = Platform::single(
+                "V100-scaled",
+                qgpu_device::HostSpec::xeon_6133_8c(),
+                gpu.clone(),
+                qgpu_device::LinkSpec::pcie3_x16(),
+            )
+            .miniaturize(qubits, 496.0 / 8192.0);
+            let r = Simulator::new(SimConfig::new(platform).with_version(v).timing_only())
+                .run(&circuit);
+            let bytes = r.report.bytes_gpu + r.report.bytes_h2d + r.report.bytes_d2h;
+            let point = RooflinePoint::new(r.report.flops_gpu.max(1.0), bytes, r.report.total_time);
+            let roof = attainable_flops(&gpu, point.intensity);
+            table.row([
+                b.abbrev().to_string(),
+                v.label().to_string(),
+                format!("{:.3}", point.intensity),
+                format!("{:.2}", point.achieved_flops / 1e9),
+                format!("{:.2}", roof / 1e9),
+                qgpu_device::roofline::is_memory_bound(&gpu, point.intensity).to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_points_under_the_roof() {
+        let t = run(11);
+        for row in &t.rows {
+            let achieved: f64 = row[3].parse().expect("number");
+            let roof: f64 = row[4].parse().expect("number");
+            assert!(
+                achieved <= roof * 1.001,
+                "{} {}: achieved {achieved} exceeds roof {roof}",
+                row[0],
+                row[1]
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_flops_collapse_and_qgpu_recovers() {
+        let t = run(11);
+        let gflops = |circuit: &str, version: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == circuit && r[1] == version)
+                .expect("row")[3]
+                .parse()
+                .expect("number")
+        };
+        assert!(
+            gflops("qft", "Q-GPU") > gflops("qft", "Baseline"),
+            "Q-GPU must recover FLOPs over the capacity-exceeded baseline"
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 19: multi-GPU platforms (paper §V-E).
+//!
+//! Server-1: 4 × P4 over PCIe; Server-2: 4 × V100 over NVLink. Q-GPU's
+//! round-robin streaming (Figure 18) is compared against the Qiskit-Aer
+//! multi-GPU baseline (static allocation across devices). The paper
+//! reports 2.97× and 2.98× speedups.
+
+use qgpu_circuit::generators::Benchmark;
+use qgpu_device::Platform;
+use qgpu_math::stats::geometric_mean;
+
+use crate::config::{SimConfig, Version};
+use crate::engine::Simulator;
+use crate::experiments::{f2, Table};
+
+/// Runs the two-server comparison.
+pub fn run(qubits: usize) -> Table {
+    let mut table = Table::new(
+        &format!(
+            "Figure 19: multi-GPU execution time normalized to Qiskit multi-GPU ({qubits} qubits)"
+        ),
+        ["circuit", "4xP4/PCIe Q-GPU", "4xV100/NVLink Q-GPU"],
+    );
+    // Each GPU holds a quarter of the paper's residency ratio so the
+    // aggregate matches the single-GPU experiments.
+    let servers = [
+        Platform::quad_p4_pcie().miniaturize(qubits, 496.0 / 8192.0 / 4.0),
+        Platform::quad_v100_nvlink().miniaturize(qubits, 496.0 / 8192.0 / 4.0),
+    ];
+    let mut norms: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    for b in Benchmark::ALL {
+        let circuit = b.generate(qubits);
+        let mut cells = vec![b.abbrev().to_string()];
+        for (i, server) in servers.iter().enumerate() {
+            let time = |v: Version| {
+                Simulator::new(SimConfig::new(server.clone()).with_version(v).timing_only())
+                    .run(&circuit)
+                    .report
+                    .total_time
+            };
+            let norm = time(Version::QGpu) / time(Version::Baseline);
+            norms[i].push(norm);
+            cells.push(f2(norm));
+        }
+        table.row(cells);
+    }
+    table.row([
+        "geomean".to_string(),
+        f2(geometric_mean(norms[0].iter().copied())),
+        f2(geometric_mean(norms[1].iter().copied())),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qgpu_beats_multi_gpu_baseline_on_both_servers() {
+        let t = run(11);
+        let avg = t.rows.last().expect("geomean");
+        for col in [1, 2] {
+            let norm: f64 = avg[col].parse().expect("number");
+            assert!(
+                norm < 0.8,
+                "Q-GPU must clearly beat the multi-GPU baseline (col {col}: {norm})"
+            );
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Figure 2: baseline execution time breakdown.
+//!
+//! The paper finds that with a capacity-exceeded GPU, on average 88.89% of
+//! baseline time is CPU update, 10.29% amplitude exchange and
+//! synchronization, and 0.82% GPU compute.
+
+use qgpu_circuit::generators::Benchmark;
+
+use crate::config::{SimConfig, Version};
+use crate::engine::Simulator;
+use crate::experiments::{pct, Table};
+
+/// Runs the breakdown at the given circuit size.
+pub fn run(qubits: usize) -> Table {
+    let mut table = Table::new(
+        &format!("Figure 2: baseline execution breakdown ({qubits} qubits)"),
+        ["circuit", "cpu", "exchange+sync", "gpu"],
+    );
+    let mut sums = [0.0f64; 3];
+    for b in Benchmark::ALL {
+        let circuit = b.generate(qubits);
+        let cfg = SimConfig::scaled_paper(qubits)
+            .with_version(Version::Baseline)
+            .timing_only();
+        let r = Simulator::new(cfg).run(&circuit);
+        let total = r.report.total_time;
+        let cpu = r.report.host_time / total;
+        let exchange = (r.report.transfer_time + r.report.sync_time) / total;
+        let gpu = r.report.gpu_time / total;
+        sums[0] += cpu;
+        sums[1] += exchange;
+        sums[2] += gpu;
+        table.row([b.abbrev().to_string(), pct(cpu), pct(exchange), pct(gpu)]);
+    }
+    let n = Benchmark::ALL.len() as f64;
+    table.row([
+        "average".to_string(),
+        pct(sums[0] / n),
+        pct(sums[1] / n),
+        pct(sums[2] / n),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_is_cpu_dominated() {
+        let t = run(10);
+        // The average row: CPU fraction far larger than GPU fraction.
+        let avg = t.rows.last().expect("average row");
+        let cpu: f64 = avg[1].trim_end_matches('%').parse().expect("number");
+        let gpu: f64 = avg[3].trim_end_matches('%').parse().expect("number");
+        assert!(cpu > 50.0, "cpu = {cpu}%");
+        assert!(gpu < 20.0, "gpu = {gpu}%");
+    }
+
+    #[test]
+    fn one_row_per_circuit_plus_average() {
+        let t = run(8);
+        assert_eq!(t.rows.len(), 10);
+    }
+}

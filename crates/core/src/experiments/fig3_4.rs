@@ -1,0 +1,70 @@
+//! Figures 3 and 4: the naive dynamic-allocation version.
+//!
+//! Figure 3 normalizes the naive version's execution time to the baseline
+//! (the paper: "none of the quantum circuits we studied show
+//! improvements"); Figure 4 breaks its time down and finds data movement
+//! dominant.
+
+use qgpu_circuit::generators::Benchmark;
+
+use crate::config::{SimConfig, Version};
+use crate::engine::Simulator;
+use crate::experiments::{f2, pct, Table};
+
+/// Runs both figures at the given size; returns (fig3, fig4).
+pub fn run(qubits: usize) -> (Table, Table) {
+    let mut fig3 = Table::new(
+        &format!("Figure 3: naive time normalized to baseline ({qubits} qubits)"),
+        ["circuit", "normalized time"],
+    );
+    let mut fig4 = Table::new(
+        &format!("Figure 4: naive execution breakdown ({qubits} qubits)"),
+        ["circuit", "data movement", "gpu", "other"],
+    );
+    for b in Benchmark::ALL {
+        let circuit = b.generate(qubits);
+        let run_v = |v: Version| {
+            Simulator::new(SimConfig::scaled_paper(qubits).with_version(v).timing_only())
+                .run(&circuit)
+        };
+        let baseline = run_v(Version::Baseline);
+        let naive = run_v(Version::Naive);
+        fig3.row([
+            b.abbrev().to_string(),
+            f2(naive.report.total_time / baseline.report.total_time),
+        ]);
+        let total = naive.report.total_time;
+        let movement = naive.report.transfer_time / total;
+        let gpu = naive.report.gpu_time / total;
+        fig4.row([
+            b.abbrev().to_string(),
+            pct(movement),
+            pct(gpu),
+            pct((1.0 - movement - gpu).max(0.0)),
+        ]);
+    }
+    (fig3, fig4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_never_improves() {
+        let (fig3, _) = run(10);
+        for row in &fig3.rows {
+            let norm: f64 = row[1].parse().expect("number");
+            assert!(norm > 1.0, "{}: naive should not beat baseline ({norm})", row[0]);
+        }
+    }
+
+    #[test]
+    fn naive_is_movement_dominated() {
+        let (_, fig4) = run(10);
+        for row in &fig4.rows {
+            let movement: f64 = row[1].trim_end_matches('%').parse().expect("number");
+            assert!(movement > 50.0, "{}: movement = {movement}%", row[0]);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Figure 6: the execution timeline of each optimization.
+//!
+//! The paper's Figure 6 is a schematic timeline; here each version runs
+//! with tracing enabled and the table reports the measures the schematic
+//! illustrates — makespan, per-engine busy time, and how much of the
+//! H2D/D2H traffic overlaps.
+
+use qgpu_circuit::generators::Benchmark;
+use qgpu_device::timeline::{Engine, TraceEvent};
+
+use crate::config::{SimConfig, Version};
+use crate::engine::Simulator;
+use crate::experiments::{f2, Table};
+
+/// Runs the timeline comparison on one circuit.
+pub fn run(benchmark: Benchmark, qubits: usize) -> Table {
+    let circuit = benchmark.generate(qubits);
+    let mut table = Table::new(
+        &format!(
+            "Figure 6: timeline of each optimization ({} @ {qubits} qubits, times in ms)",
+            benchmark.abbrev()
+        ),
+        [
+            "version",
+            "makespan",
+            "host busy",
+            "gpu busy",
+            "h2d busy",
+            "d2h busy",
+            "transfer overlap",
+        ],
+    );
+    for v in Version::ALL {
+        let cfg = SimConfig::scaled_paper(qubits)
+            .with_version(v)
+            .timing_only()
+            .with_trace(200_000);
+        let r = Simulator::new(cfg).run(&circuit);
+        let ms = 1e3;
+        let h2d: f64 = sum_busy(&r.trace, |e| matches!(e, Engine::H2d(_)));
+        let d2h: f64 = sum_busy(&r.trace, |e| matches!(e, Engine::D2h(_)));
+        let overlap = transfer_overlap(&r.trace);
+        table.row([
+            v.label().to_string(),
+            f2(r.report.total_time * ms),
+            f2(r.report.host_time * ms),
+            f2(r.report.gpu_time * ms),
+            f2(h2d * ms),
+            f2(d2h * ms),
+            f2(overlap * ms),
+        ]);
+    }
+    table
+}
+
+/// ASCII Gantt charts of each version's opening pipeline — a direct
+/// visual analogue of the paper's Figure 6 schematic.
+pub fn gantt(benchmark: Benchmark, qubits: usize, columns: usize) -> String {
+    use std::fmt::Write as _;
+    let circuit = benchmark.generate(qubits);
+    let mut out = String::new();
+    for v in Version::ALL {
+        let cfg = SimConfig::scaled_paper(qubits)
+            .with_version(v)
+            .timing_only()
+            .with_trace(4_000);
+        let r = Simulator::new(cfg).run(&circuit);
+        let _ = writeln!(out, "--- {} ---", v.label());
+        out.push_str(&qgpu_device::gantt::render(&r.trace, columns));
+    }
+    out
+}
+
+fn sum_busy(trace: &[TraceEvent], pred: impl Fn(&Engine) -> bool) -> f64 {
+    trace
+        .iter()
+        .filter(|e| pred(&e.engine))
+        .map(|e| e.span.duration())
+        .sum()
+}
+
+/// Time during which an H2D and a D2H copy run simultaneously — zero in
+/// the serialized versions, substantial once proactive transfer is on.
+fn transfer_overlap(trace: &[TraceEvent]) -> f64 {
+    let mut h2d: Vec<(f64, f64)> = Vec::new();
+    let mut d2h: Vec<(f64, f64)> = Vec::new();
+    for e in trace {
+        match e.engine {
+            Engine::H2d(_) => h2d.push((e.span.start, e.span.end)),
+            Engine::D2h(_) => d2h.push((e.span.start, e.span.end)),
+            _ => {}
+        }
+    }
+    let mut overlap = 0.0;
+    let mut j = 0;
+    for &(s, e) in &h2d {
+        while j < d2h.len() && d2h[j].1 <= s {
+            j += 1;
+        }
+        let mut k = j;
+        while k < d2h.len() && d2h[k].0 < e {
+            overlap += (e.min(d2h[k].1) - s.max(d2h[k].0)).max(0.0);
+            k += 1;
+        }
+    }
+    overlap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_version_overlaps_transfers() {
+        let t = run(Benchmark::Qft, 10);
+        // Row order matches Version::ALL; column 6 is transfer overlap.
+        let naive_overlap: f64 = t.cell(1, 6).parse().expect("number");
+        let overlap_overlap: f64 = t.cell(2, 6).parse().expect("number");
+        assert!(naive_overlap < 1e-9, "naive must serialize: {naive_overlap}");
+        assert!(
+            overlap_overlap > naive_overlap,
+            "proactive transfer must overlap: {overlap_overlap}"
+        );
+    }
+
+    #[test]
+    fn makespans_shrink_along_the_recipe() {
+        let t = run(Benchmark::Iqp, 10);
+        let get = |i: usize| t.cell(i, 1).parse::<f64>().expect("number");
+        // Q-GPU (row 5) beats Naive (row 1).
+        assert!(get(5) < get(1));
+    }
+}

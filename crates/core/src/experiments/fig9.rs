@@ -1,0 +1,103 @@
+//! Figure 9: qubit involvement during simulation under three gate orders.
+//!
+//! The paper plots the involvement curve of gs_22, qft_22 and qaoa_22
+//! under the original, greedy, and forward-looking orders; the "speed" of
+//! reaching full involvement indicates the pruning potential. The table
+//! samples each curve at fixed fractions of the circuit.
+
+use qgpu_circuit::generators::Benchmark;
+use qgpu_circuit::involvement::{involvement_counts, involvement_integral};
+use qgpu_sched::reorder::ReorderStrategy;
+
+use crate::experiments::Table;
+
+/// The circuits the paper shows.
+pub const CIRCUITS: [Benchmark; 3] = [Benchmark::Gs, Benchmark::Qft, Benchmark::Qaoa];
+
+/// Runs the involvement-curve comparison.
+pub fn run(qubits: usize) -> Table {
+    let mut table = Table::new(
+        &format!("Figure 9: involvement during simulation ({qubits} qubits)"),
+        [
+            "circuit",
+            "order",
+            "25% ops",
+            "50% ops",
+            "75% ops",
+            "100% ops",
+            "full at op",
+            "integral",
+        ],
+    );
+    for b in CIRCUITS {
+        let c = b.generate(qubits);
+        for strategy in ReorderStrategy::ALL {
+            let reordered = strategy.reorder(&c);
+            let counts = involvement_counts(&reordered);
+            let sample = |frac: f64| -> u32 {
+                let idx = ((counts.len() as f64 * frac).ceil() as usize).clamp(1, counts.len());
+                counts[idx - 1]
+            };
+            let full_at = counts
+                .iter()
+                .position(|&x| x as usize == qubits)
+                .map(|p| (p + 1).to_string())
+                .unwrap_or_else(|| "never".to_string());
+            table.row([
+                b.abbrev().to_string(),
+                strategy.label().to_string(),
+                sample(0.25).to_string(),
+                sample(0.5).to_string(),
+                sample(0.75).to_string(),
+                sample(1.0).to_string(),
+                full_at,
+                format!("{:.3}", involvement_integral(&reordered)),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gs_benefits_from_forward_looking() {
+        let t = run(12);
+        let full_at = |circuit: &str, order: &str| -> usize {
+            t.rows
+                .iter()
+                .find(|r| r[0] == circuit && r[1] == order)
+                .expect("row")[6]
+                .parse()
+                .expect("number")
+        };
+        assert!(
+            full_at("gs", "forward-looking") > full_at("gs", "original"),
+            "forward-looking must delay gs involvement"
+        );
+    }
+
+    #[test]
+    fn qaoa_is_mostly_unchanged() {
+        let t = run(12);
+        let full_at = |order: &str| -> usize {
+            t.rows
+                .iter()
+                .find(|r| r[0] == "qaoa" && r[1] == order)
+                .expect("row")[6]
+                .parse()
+                .expect("number")
+        };
+        let orig = full_at("original");
+        let fl = full_at("forward-looking");
+        // Some movement is possible, but qaoa stays early-involving.
+        assert!(fl < 4 * orig, "qaoa moved too much: {orig} -> {fl}");
+    }
+
+    #[test]
+    fn nine_rows() {
+        assert_eq!(run(10).rows.len(), 9);
+    }
+}

@@ -1,0 +1,76 @@
+//! Table II: operations before all qubits are involved.
+//!
+//! Generation only — no simulation — so this runs at the paper's full 34
+//! qubits.
+
+use qgpu_circuit::generators::Benchmark;
+use qgpu_circuit::involvement::summarize;
+
+use crate::experiments::Table;
+
+/// Builds Table II at the given circuit size (the paper uses 34).
+pub fn run(qubits: usize) -> Table {
+    let mut table = Table::new(
+        &format!("Table II: operations before full involvement ({qubits} qubits)"),
+        ["circuit", "total ops", "ops before full involvement", "percentage"],
+    );
+    for b in Benchmark::ALL {
+        let c = b.generate(qubits);
+        let s = summarize(&c);
+        table.row([
+            b.abbrev().to_string(),
+            s.total_ops.to_string(),
+            s.ops_before_full.to_string(),
+            format!("{:.2}%", s.percentage),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_at_paper_scale() {
+        let t = run(34);
+        assert_eq!(t.rows.len(), 9);
+    }
+
+    #[test]
+    fn iqp_has_highest_percentage() {
+        let t = run(34);
+        let pct = |name: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == name)
+                .expect("row")[3]
+                .trim_end_matches('%')
+                .parse()
+                .expect("number")
+        };
+        let iqp = pct("iqp");
+        for b in Benchmark::ALL {
+            if b.abbrev() != "iqp" {
+                assert!(iqp >= pct(b.abbrev()), "iqp should lead, vs {b}");
+            }
+        }
+        assert!(iqp > 60.0, "iqp = {iqp}% (paper: 90.41%)");
+    }
+
+    #[test]
+    fn early_involvers_have_low_percentage() {
+        let t = run(34);
+        for name in ["qft", "qaoa"] {
+            let p: f64 = t
+                .rows
+                .iter()
+                .find(|r| r[0] == name)
+                .expect("row")[3]
+                .trim_end_matches('%')
+                .parse()
+                .expect("number");
+            assert!(p < 15.0, "{name} = {p}% (paper: 7.07% / 2.51%)");
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Table III: deep circuits (paper §V-F).
+//!
+//! Pruning + reordering on the Google deep circuit (`grqc`) and two deep
+//! random circuits; the paper reports 41.47% and ~17.7% execution time
+//! reductions of Reorder over Overlap.
+
+use qgpu_circuit::generators::{deep_random_circuit, google_deep_circuit};
+use qgpu_circuit::Circuit;
+
+use crate::config::{SimConfig, Version};
+use crate::engine::Simulator;
+use crate::experiments::{f2, Table};
+
+/// Runs the deep-circuit study. `qubits` sizes the random circuits; the
+/// paper uses 31/32, scaled runs use smaller states.
+pub fn run(qubits: usize) -> Table {
+    let mut table = Table::new(
+        &format!("Table III: pruning + reordering on deep circuits ({qubits} qubits)"),
+        ["circuit", "total ops", "Overlap (s)", "Reorder (s)", "reduction"],
+    );
+    let circuits: Vec<Circuit> = vec![
+        google_deep_circuit(qubits),
+        deep_random_circuit(qubits.saturating_sub(1).max(2)),
+        deep_random_circuit(qubits),
+    ];
+    for c in &circuits {
+        let n = c.num_qubits();
+        let time = |v: Version| {
+            Simulator::new(SimConfig::scaled_paper(n).with_version(v).timing_only())
+                .run(c)
+                .report
+                .total_time
+        };
+        let overlap = time(Version::Overlap);
+        let reorder = time(Version::Reorder);
+        table.row([
+            c.name().to_string(),
+            c.len().to_string(),
+            f2(overlap),
+            f2(reorder),
+            format!("{:.2}%", 100.0 * (1.0 - reorder / overlap)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reorder_helps_deep_circuits() {
+        let t = run(10);
+        for row in &t.rows {
+            let reduction: f64 = row[4].trim_end_matches('%').parse().expect("number");
+            assert!(
+                reduction > -5.0,
+                "{}: reorder should not substantially hurt ({reduction}%)",
+                row[0]
+            );
+        }
+        // At least one deep circuit must benefit noticeably.
+        let best: f64 = t
+            .rows
+            .iter()
+            .map(|r| r[4].trim_end_matches('%').parse::<f64>().expect("number"))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(best > 2.0, "best reduction {best}% (paper: 17-41%)");
+    }
+
+    #[test]
+    fn grqc_is_the_deepest() {
+        let t = run(9);
+        let ops: Vec<usize> = t.rows.iter().map(|r| r[1].parse().expect("number")).collect();
+        assert!(ops[0] > ops[1] && ops[0] > ops[2]);
+    }
+}

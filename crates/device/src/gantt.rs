@@ -1,0 +1,149 @@
+//! ASCII Gantt rendering of timeline traces.
+//!
+//! The paper's Figure 6 shows each optimization as a timeline of engine
+//! activity; [`render`] draws the same picture from a recorded trace —
+//! one row per engine, time flowing left to right.
+//!
+//! ```text
+//! host     |ssssss                                            |
+//! gpu0     |    KK  KK  KK                                    |
+//! h2d0     |>>>>  >>>>  >>>>                                  |
+//! d2h0     |      <<<<  <<<<  <<<<                            |
+//! ```
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::timeline::{Engine, TaskKind, TraceEvent};
+
+/// The glyph for a task kind.
+fn glyph(kind: TaskKind) -> char {
+    match kind {
+        TaskKind::HostUpdate => 'H',
+        TaskKind::Kernel => 'K',
+        TaskKind::H2dCopy => '>',
+        TaskKind::D2hCopy => '<',
+        TaskKind::Compress => 'C',
+        TaskKind::Decompress => 'D',
+        TaskKind::Sync => 's',
+        TaskKind::HostDma => '.',
+    }
+}
+
+/// Short label for an engine row.
+fn engine_label(e: Engine) -> String {
+    match e {
+        Engine::Host => "host".to_string(),
+        Engine::GpuCompute(g) => format!("gpu{g}"),
+        Engine::H2d(g) => format!("h2d{g}"),
+        Engine::D2h(g) => format!("d2h{g}"),
+        Engine::HostDmaOut => "dma>".to_string(),
+        Engine::HostDmaIn => "dma<".to_string(),
+    }
+}
+
+/// Renders a trace as an ASCII Gantt chart `columns` characters wide.
+///
+/// Host-DMA reservation rows are omitted (they shadow the copy rows).
+/// Returns an empty string for an empty trace.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_device::timeline::{Engine, TaskKind, Timeline};
+/// use qgpu_device::gantt;
+///
+/// let mut tl = Timeline::with_trace(100);
+/// tl.schedule(Engine::H2d(0), 0.0, 1.0, TaskKind::H2dCopy, 0);
+/// tl.schedule(Engine::GpuCompute(0), 1.0, 1.0, TaskKind::Kernel, 0);
+/// let chart = gantt::render(tl.trace(), 20);
+/// assert!(chart.contains('>'));
+/// assert!(chart.contains('K'));
+/// ```
+pub fn render(trace: &[TraceEvent], columns: usize) -> String {
+    let columns = columns.max(10);
+    let makespan = trace
+        .iter()
+        .map(|e| e.span.end)
+        .fold(0.0f64, f64::max);
+    if makespan <= 0.0 || trace.is_empty() {
+        return String::new();
+    }
+    let engines: BTreeSet<Engine> = trace
+        .iter()
+        .map(|e| e.engine)
+        .filter(|e| !matches!(e, Engine::HostDmaOut | Engine::HostDmaIn))
+        .collect();
+    let scale = columns as f64 / makespan;
+
+    let mut out = String::new();
+    for engine in engines {
+        let mut row = vec![' '; columns];
+        for ev in trace.iter().filter(|e| e.engine == engine) {
+            let lo = (ev.span.start * scale).floor() as usize;
+            let hi = ((ev.span.end * scale).ceil() as usize).min(columns);
+            for cell in row.iter_mut().take(hi.max(lo + 1).min(columns)).skip(lo) {
+                *cell = glyph(ev.kind);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{:<6}|{}|",
+            engine_label(engine),
+            row.into_iter().collect::<String>()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::Timeline;
+
+    fn demo_trace() -> Timeline {
+        let mut tl = Timeline::with_trace(100);
+        let h2d = tl.schedule(Engine::H2d(0), 0.0, 2.0, TaskKind::H2dCopy, 0);
+        let k = tl.schedule(Engine::GpuCompute(0), h2d.end, 1.0, TaskKind::Kernel, 0);
+        tl.schedule(Engine::D2h(0), k.end, 2.0, TaskKind::D2hCopy, 0);
+        tl.schedule(Engine::Host, 0.0, 0.5, TaskKind::Sync, 0);
+        tl
+    }
+
+    #[test]
+    fn renders_one_row_per_engine() {
+        let tl = demo_trace();
+        let chart = render(tl.trace(), 40);
+        assert_eq!(chart.lines().count(), 4);
+        assert!(chart.contains("gpu0"));
+        assert!(chart.contains("h2d0"));
+        assert!(chart.contains("d2h0"));
+        assert!(chart.contains("host"));
+    }
+
+    #[test]
+    fn glyph_positions_respect_time_order() {
+        let tl = demo_trace();
+        let chart = render(tl.trace(), 50);
+        let h2d_row = chart.lines().find(|l| l.starts_with("h2d0")).expect("row");
+        let d2h_row = chart.lines().find(|l| l.starts_with("d2h0")).expect("row");
+        let first_upload = h2d_row.find('>').expect("upload glyph");
+        let first_download = d2h_row.find('<').expect("download glyph");
+        assert!(first_upload < first_download, "upload precedes download");
+    }
+
+    #[test]
+    fn empty_trace_renders_empty() {
+        assert_eq!(render(&[], 40), "");
+    }
+
+    #[test]
+    fn dma_rows_are_hidden() {
+        let mut tl = Timeline::with_trace(10);
+        tl.schedule(Engine::HostDmaOut, 0.0, 1.0, TaskKind::HostDma, 0);
+        tl.schedule(Engine::H2d(0), 0.0, 1.0, TaskKind::H2dCopy, 0);
+        let chart = render(tl.trace(), 20);
+        assert!(!chart.contains("dma"));
+        assert_eq!(chart.lines().count(), 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! Execution reports: the model's answer to `nvprof`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::timeline::{Engine, TaskKind, Timeline};
+
+/// Aggregated metrics of one simulated execution — everything the paper's
+/// evaluation plots are built from.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_device::timeline::{Engine, TaskKind, Timeline};
+/// use qgpu_device::ExecutionReport;
+///
+/// let mut tl = Timeline::new();
+/// tl.schedule(Engine::Host, 0.0, 8.0, TaskKind::HostUpdate, 800);
+/// tl.schedule(Engine::H2d(0), 0.0, 2.0, TaskKind::H2dCopy, 200);
+/// let report = ExecutionReport::from_timeline(&tl, 1);
+/// assert_eq!(report.total_time, 8.0);
+/// assert!(report.host_fraction() > 0.7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Modeled wall-clock time in seconds.
+    pub total_time: f64,
+    /// Host busy time (state updates).
+    pub host_time: f64,
+    /// Summed GPU compute busy time (kernels + (de)compression).
+    pub gpu_time: f64,
+    /// Summed copy-engine busy time, both directions.
+    pub transfer_time: f64,
+    /// Scheduler/driver synchronization time.
+    pub sync_time: f64,
+    /// Compression kernel time.
+    pub compress_time: f64,
+    /// Decompression kernel time.
+    pub decompress_time: f64,
+    /// Bytes copied host → device.
+    pub bytes_h2d: u64,
+    /// Bytes copied device → host.
+    pub bytes_d2h: u64,
+    /// Amplitude bytes processed on the host.
+    pub bytes_host: u64,
+    /// Amplitude bytes processed on GPUs.
+    pub bytes_gpu: u64,
+    /// Floating-point operations executed on GPUs.
+    pub flops_gpu: f64,
+    /// Chunk updates skipped by zero-amplitude pruning.
+    pub chunks_pruned: u64,
+    /// Chunk updates performed.
+    pub chunks_processed: u64,
+    /// Bytes entering the compressor (0 when compression is off).
+    pub bytes_before_compress: u64,
+    /// Bytes leaving the compressor.
+    pub bytes_after_compress: u64,
+    /// Number of GPUs in the platform.
+    pub num_gpus: usize,
+}
+
+impl ExecutionReport {
+    /// Collects a report from a finished timeline.
+    pub fn from_timeline(tl: &Timeline, num_gpus: usize) -> Self {
+        let mut gpu_time = 0.0;
+        for g in 0..num_gpus {
+            gpu_time += tl.engine_busy(Engine::GpuCompute(g));
+        }
+        let mut transfer_time = 0.0;
+        for g in 0..num_gpus {
+            transfer_time += tl.engine_busy(Engine::H2d(g)) + tl.engine_busy(Engine::D2h(g));
+        }
+        ExecutionReport {
+            total_time: tl.makespan(),
+            host_time: tl.kind_busy(TaskKind::HostUpdate),
+            gpu_time,
+            transfer_time,
+            sync_time: tl.kind_busy(TaskKind::Sync),
+            compress_time: tl.kind_busy(TaskKind::Compress),
+            decompress_time: tl.kind_busy(TaskKind::Decompress),
+            bytes_h2d: tl.kind_bytes(TaskKind::H2dCopy),
+            bytes_d2h: tl.kind_bytes(TaskKind::D2hCopy),
+            bytes_host: tl.kind_bytes(TaskKind::HostUpdate),
+            bytes_gpu: tl.kind_bytes(TaskKind::Kernel),
+            flops_gpu: 0.0,
+            chunks_pruned: 0,
+            chunks_processed: 0,
+            bytes_before_compress: tl.kind_bytes(TaskKind::Compress),
+            bytes_after_compress: tl.kind_bytes(TaskKind::Decompress),
+            num_gpus,
+        }
+    }
+
+    /// Fraction of total time the host spends updating amplitudes
+    /// (the dominant bar of the paper's Figure 2).
+    pub fn host_fraction(&self) -> f64 {
+        safe_div(self.host_time, self.total_time)
+    }
+
+    /// Fraction of total time attributable to data movement, measured as
+    /// copy-engine busy time relative to the makespan. With overlap this
+    /// can exceed 1 when both directions run concurrently.
+    pub fn transfer_fraction(&self) -> f64 {
+        safe_div(self.transfer_time, self.total_time)
+    }
+
+    /// Fraction of total time GPUs spend computing.
+    pub fn gpu_fraction(&self) -> f64 {
+        safe_div(self.gpu_time, self.total_time)
+    }
+
+    /// Fraction of chunk updates eliminated by pruning.
+    pub fn prune_fraction(&self) -> f64 {
+        let total = self.chunks_pruned + self.chunks_processed;
+        if total == 0 {
+            0.0
+        } else {
+            self.chunks_pruned as f64 / total as f64
+        }
+    }
+
+    /// Achieved compression ratio (1.0 when compression is off).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.bytes_after_compress == 0 {
+            1.0
+        } else {
+            self.bytes_before_compress as f64 / self.bytes_after_compress as f64
+        }
+    }
+
+    /// Compression + decompression time as a fraction of total time
+    /// (the paper's Figure 14).
+    pub fn compression_overhead(&self) -> f64 {
+        safe_div(self.compress_time + self.decompress_time, self.total_time)
+    }
+
+    /// Achieved GPU FLOP rate (0 when no GPU compute ran).
+    pub fn achieved_gpu_flops(&self) -> f64 {
+        safe_div(self.flops_gpu, self.total_time)
+    }
+
+    /// GPU arithmetic intensity in FLOP/byte, counting kernel bytes plus
+    /// transferred bytes (the roofline x-axis of the paper's Figure 15).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = self.bytes_gpu + self.bytes_h2d + self.bytes_d2h;
+        if bytes == 0 {
+            0.0
+        } else {
+            self.flops_gpu / bytes as f64
+        }
+    }
+}
+
+fn safe_div(num: f64, den: f64) -> f64 {
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_timeline() -> Timeline {
+        let mut tl = Timeline::new();
+        tl.schedule(Engine::Host, 0.0, 6.0, TaskKind::HostUpdate, 600);
+        tl.schedule(Engine::H2d(0), 0.0, 1.0, TaskKind::H2dCopy, 100);
+        tl.schedule(Engine::GpuCompute(0), 1.0, 0.5, TaskKind::Kernel, 100);
+        tl.schedule(Engine::D2h(0), 1.5, 1.0, TaskKind::D2hCopy, 100);
+        tl.schedule(Engine::Host, 0.0, 0.5, TaskKind::Sync, 0);
+        tl
+    }
+
+    #[test]
+    fn report_collects_categories() {
+        let r = ExecutionReport::from_timeline(&sample_timeline(), 1);
+        assert_eq!(r.total_time, 6.5);
+        assert_eq!(r.host_time, 6.0);
+        assert_eq!(r.gpu_time, 0.5);
+        assert_eq!(r.transfer_time, 2.0);
+        assert_eq!(r.sync_time, 0.5);
+        assert_eq!(r.bytes_h2d, 100);
+        assert_eq!(r.bytes_d2h, 100);
+    }
+
+    #[test]
+    fn fractions() {
+        let r = ExecutionReport::from_timeline(&sample_timeline(), 1);
+        assert!((r.host_fraction() - 6.0 / 6.5).abs() < 1e-12);
+        assert!((r.transfer_fraction() - 2.0 / 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prune_fraction() {
+        let r = ExecutionReport {
+            chunks_pruned: 30,
+            chunks_processed: 70,
+            ..ExecutionReport::default()
+        };
+        assert!((r.prune_fraction() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compression_ratio_defaults_to_one() {
+        let r = ExecutionReport::default();
+        assert_eq!(r.compression_ratio(), 1.0);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = ExecutionReport::default();
+        assert_eq!(r.host_fraction(), 0.0);
+        assert_eq!(r.arithmetic_intensity(), 0.0);
+        assert_eq!(r.achieved_gpu_flops(), 0.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Roofline analysis (paper §V-B, Figure 15).
+//!
+//! The roofline model bounds achievable FLOP/s by
+//! `min(peak_flops, arithmetic_intensity × memory_bandwidth)`. State-vector
+//! simulation sits far left of the ridge point (≈ 0.9 FLOP/byte for a
+//! dense single-qubit gate), which is why the paper finds QCS memory-bound
+//! on every GPU.
+
+use serde::{Deserialize, Serialize};
+
+use crate::specs::GpuSpec;
+
+/// A point on the roofline plot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Arithmetic intensity in FLOP/byte.
+    pub intensity: f64,
+    /// Achieved FLOP/s.
+    pub achieved_flops: f64,
+}
+
+impl RooflinePoint {
+    /// Creates a point from raw totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds <= 0`.
+    pub fn new(flops: f64, bytes: u64, seconds: f64) -> Self {
+        assert!(seconds > 0.0, "execution time must be positive");
+        RooflinePoint {
+            intensity: if bytes == 0 { 0.0 } else { flops / bytes as f64 },
+            achieved_flops: flops / seconds,
+        }
+    }
+
+    /// Fraction of the device's attainable performance this point reaches.
+    pub fn efficiency(&self, gpu: &GpuSpec) -> f64 {
+        let bound = attainable_flops(gpu, self.intensity);
+        if bound == 0.0 {
+            0.0
+        } else {
+            self.achieved_flops / bound
+        }
+    }
+}
+
+/// The attainable FLOP/s at a given arithmetic intensity.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_device::{GpuSpec, roofline};
+///
+/// let p100 = GpuSpec::p100();
+/// // At QCS-like intensity (~0.9 FLOP/byte) the bound is bandwidth-set.
+/// let bound = roofline::attainable_flops(&p100, 0.9);
+/// assert!(bound < p100.peak_flops);
+/// ```
+pub fn attainable_flops(gpu: &GpuSpec, intensity: f64) -> f64 {
+    (intensity * gpu.mem_bw).min(gpu.peak_flops)
+}
+
+/// The ridge point: the intensity above which the device becomes
+/// compute-bound.
+pub fn ridge_intensity(gpu: &GpuSpec) -> f64 {
+    gpu.peak_flops / gpu.mem_bw
+}
+
+/// Returns `true` if a workload of this intensity is memory-bound on the
+/// device.
+pub fn is_memory_bound(gpu: &GpuSpec, intensity: f64) -> bool {
+    intensity < ridge_intensity(gpu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qcs_is_memory_bound_on_hpc_gpus() {
+        for gpu in [GpuSpec::p100(), GpuSpec::v100_16gb(), GpuSpec::a100_40gb()] {
+            assert!(is_memory_bound(&gpu, 0.9), "{}", gpu.name);
+        }
+        // The P4's FP64 rate is a token 1/32 of FP32, so state updates are
+        // (barely) compute-bound there — a real property of that card.
+        assert!(!is_memory_bound(&GpuSpec::p4(), 0.9));
+    }
+
+    #[test]
+    fn ridge_point_separates_regimes() {
+        let gpu = GpuSpec::p100();
+        let ridge = ridge_intensity(&gpu);
+        assert!(attainable_flops(&gpu, ridge * 2.0) == gpu.peak_flops);
+        assert!(attainable_flops(&gpu, ridge / 2.0) < gpu.peak_flops);
+    }
+
+    #[test]
+    fn point_efficiency_bounded() {
+        let gpu = GpuSpec::p100();
+        let p = RooflinePoint::new(1e9, 2_000_000_000, 1.0);
+        let e = p.efficiency(&gpu);
+        assert!(e > 0.0 && e <= 1.0);
+    }
+
+    #[test]
+    fn zero_bytes_zero_intensity() {
+        let p = RooflinePoint::new(10.0, 0, 1.0);
+        assert_eq!(p.intensity, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_time_panics() {
+        let _ = RooflinePoint::new(1.0, 1, 0.0);
+    }
+}

@@ -1,0 +1,314 @@
+//! The discrete-event timeline: engines, spans, and busy accounting.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// An execution engine that serializes its own tasks but runs concurrently
+/// with every other engine — exactly the CUDA execution model the paper
+/// exploits (compute overlapping both copy directions, §IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Engine {
+    /// The host CPU (all cores together; the functional engines already
+    /// model intra-host parallelism through their effective bandwidth).
+    Host,
+    /// GPU `i`'s compute queue.
+    GpuCompute(usize),
+    /// GPU `i`'s host-to-device copy engine.
+    H2d(usize),
+    /// GPU `i`'s device-to-host copy engine.
+    D2h(usize),
+    /// The host's outbound DMA staging path, shared by every GPU's H2D
+    /// traffic: aggregate outbound bandwidth is bounded by host DRAM.
+    HostDmaOut,
+    /// The host's inbound DMA staging path, shared by every GPU's D2H
+    /// traffic.
+    HostDmaIn,
+}
+
+/// What a task is doing — used for the per-category breakdowns of the
+/// paper's Figures 2, 4 and 14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// State update on the host.
+    HostUpdate,
+    /// State update kernel on a GPU.
+    Kernel,
+    /// Host-to-device chunk copy.
+    H2dCopy,
+    /// Device-to-host chunk copy.
+    D2hCopy,
+    /// GFC compression kernel.
+    Compress,
+    /// GFC decompression kernel.
+    Decompress,
+    /// Scheduler/driver synchronization overhead.
+    Sync,
+    /// Host-DRAM DMA staging reservation (rate limiting only; the bytes
+    /// are counted by the matching copy task).
+    HostDma,
+}
+
+impl TaskKind {
+    /// All task kinds (for report iteration).
+    pub const ALL: [TaskKind; 8] = [
+        TaskKind::HostUpdate,
+        TaskKind::Kernel,
+        TaskKind::H2dCopy,
+        TaskKind::D2hCopy,
+        TaskKind::Compress,
+        TaskKind::Decompress,
+        TaskKind::Sync,
+        TaskKind::HostDma,
+    ];
+}
+
+/// A scheduled interval on an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// Start time in seconds.
+    pub start: f64,
+    /// End time in seconds.
+    pub end: f64,
+}
+
+impl Span {
+    /// Span duration.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// One recorded event (only kept when tracing is enabled).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Engine the task ran on.
+    pub engine: Engine,
+    /// Category.
+    pub kind: TaskKind,
+    /// Interval.
+    pub span: Span,
+    /// Bytes involved (0 for sync tasks).
+    pub bytes: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+struct EngineState {
+    available: f64,
+    busy: f64,
+}
+
+/// A deterministic discrete-event timeline.
+///
+/// Tasks are scheduled in program order: each engine starts a task at
+/// `max(engine_available, ready)`; dependencies are expressed by passing a
+/// predecessor's [`Span::end`] as `ready`.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_device::timeline::{Engine, TaskKind, Timeline};
+///
+/// let mut tl = Timeline::new();
+/// let a = tl.schedule(Engine::Host, 0.0, 2.0, TaskKind::HostUpdate, 100);
+/// // Independent engine: overlaps with the host task.
+/// let b = tl.schedule(Engine::H2d(0), 0.0, 1.5, TaskKind::H2dCopy, 100);
+/// assert_eq!(a.start, 0.0);
+/// assert_eq!(b.start, 0.0);
+/// assert_eq!(tl.makespan(), 2.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    engines: BTreeMap<Engine, EngineState>,
+    kind_busy: BTreeMap<TaskKind, f64>,
+    kind_bytes: BTreeMap<TaskKind, u64>,
+    makespan: f64,
+    trace: Option<Vec<TraceEvent>>,
+    trace_cap: usize,
+}
+
+impl Timeline {
+    /// Creates an empty timeline with tracing disabled.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Creates a timeline that records up to `cap` trace events
+    /// (for the paper's Figure 6 timeline plots).
+    pub fn with_trace(cap: usize) -> Self {
+        Timeline {
+            trace: Some(Vec::new()),
+            trace_cap: cap,
+            ..Timeline::default()
+        }
+    }
+
+    /// Schedules a task and returns its span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is negative or not finite.
+    pub fn schedule(
+        &mut self,
+        engine: Engine,
+        ready: f64,
+        duration: f64,
+        kind: TaskKind,
+        bytes: u64,
+    ) -> Span {
+        assert!(
+            duration.is_finite() && duration >= 0.0,
+            "bad task duration {duration}"
+        );
+        let state = self.engines.entry(engine).or_default();
+        let start = state.available.max(ready);
+        let end = start + duration;
+        state.available = end;
+        state.busy += duration;
+        *self.kind_busy.entry(kind).or_default() += duration;
+        *self.kind_bytes.entry(kind).or_default() += bytes;
+        self.makespan = self.makespan.max(end);
+        if let Some(trace) = &mut self.trace {
+            if trace.len() < self.trace_cap {
+                trace.push(TraceEvent {
+                    engine,
+                    kind,
+                    span: Span { start, end },
+                    bytes,
+                });
+            }
+        }
+        Span { start, end }
+    }
+
+    /// The time the engine becomes free (0 if never used).
+    pub fn engine_available(&self, engine: Engine) -> f64 {
+        self.engines.get(&engine).map_or(0.0, |s| s.available)
+    }
+
+    /// Total busy time of an engine.
+    pub fn engine_busy(&self, engine: Engine) -> f64 {
+        self.engines.get(&engine).map_or(0.0, |s| s.busy)
+    }
+
+    /// Total busy time across all engines of one task category.
+    pub fn kind_busy(&self, kind: TaskKind) -> f64 {
+        self.kind_busy.get(&kind).copied().unwrap_or(0.0)
+    }
+
+    /// Total bytes accounted to one task category.
+    pub fn kind_bytes(&self, kind: TaskKind) -> u64 {
+        self.kind_bytes.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// End of the last scheduled task — the modeled wall-clock time.
+    pub fn makespan(&self) -> f64 {
+        self.makespan
+    }
+
+    /// Recorded events (empty when tracing is disabled).
+    pub fn trace(&self) -> &[TraceEvent] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Engines that have been used, with their busy time.
+    pub fn engine_summary(&self) -> Vec<(Engine, f64)> {
+        self.engines.iter().map(|(e, s)| (*e, s.busy)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_on_one_engine() {
+        let mut tl = Timeline::new();
+        let a = tl.schedule(Engine::Host, 0.0, 1.0, TaskKind::HostUpdate, 10);
+        let b = tl.schedule(Engine::Host, 0.0, 2.0, TaskKind::HostUpdate, 20);
+        assert_eq!(a.end, 1.0);
+        assert_eq!(b.start, 1.0);
+        assert_eq!(tl.makespan(), 3.0);
+        assert_eq!(tl.engine_busy(Engine::Host), 3.0);
+        assert_eq!(tl.kind_bytes(TaskKind::HostUpdate), 30);
+    }
+
+    #[test]
+    fn parallel_engines_overlap() {
+        let mut tl = Timeline::new();
+        tl.schedule(Engine::H2d(0), 0.0, 5.0, TaskKind::H2dCopy, 0);
+        tl.schedule(Engine::D2h(0), 0.0, 5.0, TaskKind::D2hCopy, 0);
+        tl.schedule(Engine::GpuCompute(0), 0.0, 5.0, TaskKind::Kernel, 0);
+        assert_eq!(tl.makespan(), 5.0);
+    }
+
+    #[test]
+    fn dependency_delays_start() {
+        let mut tl = Timeline::new();
+        let copy = tl.schedule(Engine::H2d(0), 0.0, 3.0, TaskKind::H2dCopy, 0);
+        let kernel = tl.schedule(Engine::GpuCompute(0), copy.end, 1.0, TaskKind::Kernel, 0);
+        assert_eq!(kernel.start, 3.0);
+        assert_eq!(tl.makespan(), 4.0);
+    }
+
+    #[test]
+    fn ready_in_the_past_starts_at_available() {
+        let mut tl = Timeline::new();
+        tl.schedule(Engine::Host, 0.0, 4.0, TaskKind::HostUpdate, 0);
+        let s = tl.schedule(Engine::Host, 1.0, 1.0, TaskKind::HostUpdate, 0);
+        assert_eq!(s.start, 4.0);
+    }
+
+    #[test]
+    fn pipeline_throughput() {
+        // Classic 3-stage pipeline: with N items of equal stage cost t the
+        // makespan approaches N*t, not 3*N*t.
+        let mut tl = Timeline::new();
+        let t = 1.0;
+        let n = 10;
+        let mut prev_kernel_end = 0.0;
+        for _ in 0..n {
+            let h2d = tl.schedule(Engine::H2d(0), 0.0, t, TaskKind::H2dCopy, 0);
+            let k = tl.schedule(
+                Engine::GpuCompute(0),
+                h2d.end.max(prev_kernel_end),
+                t,
+                TaskKind::Kernel,
+                0,
+            );
+            prev_kernel_end = k.end;
+            tl.schedule(Engine::D2h(0), k.end, t, TaskKind::D2hCopy, 0);
+        }
+        let makespan = tl.makespan();
+        assert!(
+            makespan <= (n as f64 + 2.0) * t + 1e-9,
+            "pipeline should stream: {makespan}"
+        );
+    }
+
+    #[test]
+    fn trace_recording_and_cap() {
+        let mut tl = Timeline::with_trace(2);
+        for _ in 0..5 {
+            tl.schedule(Engine::Host, 0.0, 1.0, TaskKind::HostUpdate, 0);
+        }
+        assert_eq!(tl.trace().len(), 2);
+        assert_eq!(tl.trace()[1].span.start, 1.0);
+    }
+
+    #[test]
+    fn multi_gpu_engines_are_independent() {
+        let mut tl = Timeline::new();
+        tl.schedule(Engine::GpuCompute(0), 0.0, 2.0, TaskKind::Kernel, 0);
+        tl.schedule(Engine::GpuCompute(1), 0.0, 2.0, TaskKind::Kernel, 0);
+        assert_eq!(tl.makespan(), 2.0);
+        assert_eq!(tl.engine_busy(Engine::GpuCompute(1)), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad task duration")]
+    fn negative_duration_panics() {
+        let mut tl = Timeline::new();
+        tl.schedule(Engine::Host, 0.0, -1.0, TaskKind::Sync, 0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Bit-manipulation helpers for amplitude indexing and chunk bookkeeping.
+//!
+//! Gate kernels enumerate amplitude pairs by inserting a zero bit at the
+//! target-qubit position of a compressed index (see
+//! [`insert_zero_bit`]); the pruning machinery of Q-GPU (Algorithm 1 in the
+//! paper) works with qubit *involvement* masks built from these helpers.
+
+/// Inserts a `0` bit at position `pos` of `index`, shifting the bits at and
+/// above `pos` left by one.
+///
+/// Given a compressed index over `n-1` bits, this produces the full `n`-bit
+/// amplitude index whose `pos`-th bit is `0`; OR-ing with `1 << pos` yields
+/// its partner with bit `pos` set. This is the standard enumeration of
+/// amplitude pairs for a single-qubit gate (Equation 8 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_math::bits::insert_zero_bit;
+/// assert_eq!(insert_zero_bit(0b101, 1), 0b1001);
+/// assert_eq!(insert_zero_bit(0b111, 0), 0b1110);
+/// ```
+#[inline]
+pub fn insert_zero_bit(index: usize, pos: u32) -> usize {
+    let low_mask = (1usize << pos) - 1;
+    let low = index & low_mask;
+    let high = index & !low_mask;
+    (high << 1) | low
+}
+
+/// Inserts `0` bits at the (distinct) positions listed in `positions`,
+/// lowest-position first.
+///
+/// `positions` must be sorted ascending; each position refers to the bit
+/// index in the *output* value.
+///
+/// # Panics
+///
+/// Debug-asserts that `positions` is sorted and free of duplicates.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_math::bits::insert_zero_bits;
+/// // Insert zeros at output bits 0 and 2: 0b11 -> 0b1010
+/// assert_eq!(insert_zero_bits(0b11, &[0, 2]), 0b1010);
+/// ```
+#[inline]
+pub fn insert_zero_bits(mut index: usize, positions: &[u32]) -> usize {
+    debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+    for &pos in positions {
+        index = insert_zero_bit(index, pos);
+    }
+    index
+}
+
+/// Returns a mask with the lowest `n` bits set.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_math::bits::low_mask;
+/// assert_eq!(low_mask(3), 0b111);
+/// assert_eq!(low_mask(0), 0);
+/// ```
+#[inline]
+pub fn low_mask(n: u32) -> usize {
+    if n as usize >= usize::BITS as usize {
+        usize::MAX
+    } else {
+        (1usize << n) - 1
+    }
+}
+
+/// Returns the position of the lowest set bit, or `None` for zero.
+///
+/// Used by the dynamic chunk-size selection of Algorithm 1: the chunk size
+/// is chosen as the position of the least non-zero bit of the involvement
+/// mask.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_math::bits::lowest_set_bit;
+/// assert_eq!(lowest_set_bit(0b1100), Some(2));
+/// assert_eq!(lowest_set_bit(0), None);
+/// ```
+#[inline]
+pub fn lowest_set_bit(x: u64) -> Option<u32> {
+    if x == 0 {
+        None
+    } else {
+        Some(x.trailing_zeros())
+    }
+}
+
+/// Integer base-2 logarithm of a power of two.
+///
+/// # Panics
+///
+/// Panics if `x` is not a power of two.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_math::bits::log2_exact;
+/// assert_eq!(log2_exact(1024), 10);
+/// ```
+#[inline]
+pub fn log2_exact(x: usize) -> u32 {
+    assert!(x.is_power_of_two(), "log2_exact of non-power-of-two {x}");
+    x.trailing_zeros()
+}
+
+/// Ceiling division for `usize`.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_math::bits::ceil_div;
+/// assert_eq!(ceil_div(10, 3), 4);
+/// assert_eq!(ceil_div(9, 3), 3);
+/// ```
+#[inline]
+pub fn ceil_div(a: usize, b: usize) -> usize {
+    a.div_ceil(b)
+}
+
+/// Iterator over the positions of set bits in a `u64` mask, ascending.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_math::bits::iter_set_bits;
+/// let v: Vec<u32> = iter_set_bits(0b1011).collect();
+/// assert_eq!(v, [0, 1, 3]);
+/// ```
+pub fn iter_set_bits(mask: u64) -> impl Iterator<Item = u32> {
+    SetBits { mask }
+}
+
+struct SetBits {
+    mask: u64,
+}
+
+impl Iterator for SetBits {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.mask == 0 {
+            return None;
+        }
+        let pos = self.mask.trailing_zeros();
+        self.mask &= self.mask - 1;
+        Some(pos)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.mask.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_zero_bit_at_top() {
+        // Inserting at a position above all bits is a no-op on the value.
+        assert_eq!(insert_zero_bit(0b101, 10), 0b101);
+    }
+
+    #[test]
+    fn insert_zero_bit_enumerates_pairs() {
+        // For target qubit 1 in a 3-qubit system, the 4 compressed indices
+        // must enumerate exactly the indices with bit 1 clear.
+        let got: Vec<usize> = (0..4).map(|i| insert_zero_bit(i, 1)).collect();
+        assert_eq!(got, [0b000, 0b001, 0b100, 0b101]);
+    }
+
+    #[test]
+    fn insert_zero_bits_two_targets() {
+        // Targets {0, 2}: compressed 2-bit index spreads into bits 1 and 3.
+        let got: Vec<usize> = (0..4).map(|i| insert_zero_bits(i, &[0, 2])).collect();
+        assert_eq!(got, [0b0000, 0b0010, 0b1000, 0b1010]);
+    }
+
+    #[test]
+    fn low_mask_saturates() {
+        assert_eq!(low_mask(usize::BITS), usize::MAX);
+    }
+
+    #[test]
+    fn set_bits_roundtrip() {
+        let mask = 0b1010_0110_u64;
+        let rebuilt = iter_set_bits(mask).fold(0u64, |m, b| m | (1 << b));
+        assert_eq!(rebuilt, mask);
+    }
+
+    proptest! {
+        #[test]
+        fn insert_zero_bit_clears_target(idx in 0usize..(1 << 20), pos in 0u32..20) {
+            let full = insert_zero_bit(idx, pos);
+            prop_assert_eq!(full & (1 << pos), 0);
+        }
+
+        #[test]
+        fn insert_zero_bit_is_injective(a in 0usize..(1 << 16), b in 0usize..(1 << 16), pos in 0u32..16) {
+            prop_assume!(a != b);
+            prop_assert_ne!(insert_zero_bit(a, pos), insert_zero_bit(b, pos));
+        }
+
+        #[test]
+        fn insert_zero_bit_preserves_other_bits(idx in 0usize..(1 << 20), pos in 0u32..20) {
+            let full = insert_zero_bit(idx, pos);
+            // Removing the inserted bit recovers the original index.
+            let low = full & ((1 << pos) - 1);
+            let high = (full >> 1) & !((1usize << pos) - 1);
+            prop_assert_eq!(high | low, idx);
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! A minimal `f64` complex number type.
+//!
+//! The simulator stores state vectors as flat arrays of [`Complex64`]. The
+//! type is `repr(C)`, `Copy`, and exactly 16 bytes, so a state chunk can be
+//! reinterpreted as a `&[f64]` for compression (see the `qgpu-compress`
+//! crate) without any conversion cost.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A complex number backed by two `f64`s.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_math::Complex64;
+///
+/// let i = Complex64::I;
+/// assert_eq!(i * i, -Complex64::ONE);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[repr(C)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qgpu_math::Complex64;
+    /// let z = Complex64::new(3.0, -4.0);
+    /// assert_eq!(z.abs(), 5.0);
+    /// ```
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Returns `e^(i·theta)` — a unit complex number at angle `theta` radians.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qgpu_math::Complex64;
+    /// let z = Complex64::cis(std::f64::consts::PI);
+    /// assert!((z.re + 1.0).abs() < 1e-15);
+    /// ```
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Returns the complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Returns `|z|²`, the squared magnitude.
+    ///
+    /// For a state amplitude this is the measurement probability of the
+    /// corresponding basis state.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Returns `|z|`, the magnitude.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Returns the argument (phase angle) in radians.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex64 {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// Returns `true` if both parts are exactly zero.
+    ///
+    /// Zero-amplitude pruning in Q-GPU relies on *exact* zeros: an amplitude
+    /// that has never been touched by a gate is bit-exactly `0.0`, so no
+    /// epsilon is needed.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.re == 0.0 && self.im == 0.0
+    }
+
+    /// Returns `true` if `self` and `other` differ by at most `eps` in both
+    /// components.
+    #[inline]
+    pub fn approx_eq(self, other: Complex64, eps: f64) -> bool {
+        (self.re - other.re).abs() <= eps && (self.im - other.im).abs() <= eps
+    }
+
+    /// Fused multiply-add: `self * b + c`.
+    ///
+    /// This is the inner operation of every gate kernel
+    /// (`amp' = m00 * a0 + m01 * a1`).
+    #[inline]
+    pub fn mul_add(self, b: Complex64, c: Complex64) -> Complex64 {
+        Complex64 {
+            re: self.re * b.re - self.im * b.im + c.re,
+            im: self.re * b.im + self.im * b.re + c.im,
+        }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Complex64) -> Complex64 {
+        let d = rhs.norm_sqr();
+        Complex64 {
+            re: (self.re * rhs.re + self.im * rhs.im) / d,
+            im: (self.im * rhs.re - self.re * rhs.im) / d,
+        }
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64 {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |acc, z| acc + z)
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex64::from_real(re)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn constants() {
+        assert_eq!(Complex64::ZERO.norm_sqr(), 0.0);
+        assert_eq!(Complex64::ONE.norm_sqr(), 1.0);
+        assert_eq!(Complex64::I.norm_sqr(), 1.0);
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(Complex64::I * Complex64::I, -Complex64::ONE);
+    }
+
+    #[test]
+    fn mul_matches_formula() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        let c = a * b;
+        assert!((c.re - 5.0).abs() < EPS);
+        assert!((c.im - 5.0).abs() < EPS);
+    }
+
+    #[test]
+    fn div_inverts_mul() {
+        let a = Complex64::new(0.3, -0.7);
+        let b = Complex64::new(-1.5, 0.2);
+        let c = (a * b) / b;
+        assert!(c.approx_eq(a, EPS));
+    }
+
+    #[test]
+    fn cis_is_unit() {
+        for k in 0..16 {
+            let z = Complex64::cis(k as f64 * 0.5);
+            assert!((z.norm_sqr() - 1.0).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn conj_negates_phase() {
+        let z = Complex64::cis(0.7);
+        assert!((z.conj().arg() + 0.7).abs() < EPS);
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let a = Complex64::new(1.5, -0.5);
+        let b = Complex64::new(0.25, 2.0);
+        let c = Complex64::new(-3.0, 1.0);
+        assert!(a.mul_add(b, c).approx_eq(a * b + c, EPS));
+    }
+
+    #[test]
+    fn is_zero_is_exact() {
+        assert!(Complex64::ZERO.is_zero());
+        assert!(!Complex64::new(1e-300, 0.0).is_zero());
+    }
+
+    #[test]
+    fn sum_of_amplitudes() {
+        let v = vec![Complex64::ONE, Complex64::I, Complex64::new(-1.0, -1.0)];
+        let s: Complex64 = v.into_iter().sum();
+        assert!(s.approx_eq(Complex64::ZERO, EPS));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_c() -> impl Strategy<Value = Complex64> {
+            (-1e6f64..1e6, -1e6f64..1e6).prop_map(|(re, im)| Complex64::new(re, im))
+        }
+
+        proptest! {
+            #[test]
+            fn conj_is_involutive(z in arb_c()) {
+                prop_assert_eq!(z.conj().conj(), z);
+            }
+
+            #[test]
+            fn norm_sqr_is_z_times_conj(z in arb_c()) {
+                let w = z * z.conj();
+                prop_assert!((w.re - z.norm_sqr()).abs() <= 1e-6 * z.norm_sqr().max(1.0));
+                prop_assert!(w.im.abs() <= 1e-6 * z.norm_sqr().max(1.0));
+            }
+
+            #[test]
+            fn multiplication_commutes(a in arb_c(), b in arb_c()) {
+                let x = a * b;
+                let y = b * a;
+                prop_assert!(x.approx_eq(y, 1e-6 * (x.abs().max(1.0))));
+            }
+
+            #[test]
+            fn distributive_law(a in arb_c(), b in arb_c(), c in arb_c()) {
+                let lhs = a * (b + c);
+                let rhs = a * b + a * c;
+                let scale = lhs.abs().max(1.0);
+                prop_assert!(lhs.approx_eq(rhs, 1e-6 * scale));
+            }
+
+            #[test]
+            fn cis_multiplication_adds_angles(a in -3.0f64..3.0, b in -3.0f64..3.0) {
+                let lhs = Complex64::cis(a) * Complex64::cis(b);
+                let rhs = Complex64::cis(a + b);
+                prop_assert!(lhs.approx_eq(rhs, 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+    }
+}

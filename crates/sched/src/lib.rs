@@ -1,0 +1,32 @@
+//! Scheduling machinery for Q-GPU: pruning, reordering, planning,
+//! residency.
+//!
+//! * [`involvement::InvolvementTracker`] — the qubit-involvement bitmask
+//!   and the zero-chunk test of the paper's Algorithm 1, including dynamic
+//!   chunk sizing;
+//! * [`reorder`] — the dependency-aware gate reordering passes: *greedy*
+//!   (Algorithm 2) and *forward-looking* (Algorithm 3);
+//! * [`plan::GatePlan`] — which chunks a gate touches and how they group
+//!   across the chunk boundary (the paper's Case 1 / Case 2);
+//! * [`residency`] — where chunks live: the baseline's static split, and
+//!   round-robin assignment for multi-GPU streaming (paper §V-E).
+//!
+//! # Examples
+//!
+//! ```
+//! use qgpu_circuit::generators::Benchmark;
+//! use qgpu_sched::reorder::ReorderStrategy;
+//!
+//! let c = Benchmark::Gs.generate(8);
+//! let reordered = ReorderStrategy::ForwardLooking.reorder(&c);
+//! assert_eq!(reordered.len(), c.len()); // a permutation, same gates
+//! ```
+
+pub mod involvement;
+pub mod plan;
+pub mod reorder;
+pub mod residency;
+
+pub use involvement::InvolvementTracker;
+pub use plan::{ChunkTask, GatePlan};
+pub use reorder::ReorderStrategy;

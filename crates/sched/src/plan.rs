@@ -1,0 +1,284 @@
+//! Per-gate chunk plans: which chunks a gate touches, and how.
+//!
+//! A [`GatePlan`] resolves one gate against a chunked state layout:
+//!
+//! * diagonal gates and gates whose mixing qubits are all inside a chunk
+//!   produce independent [`ChunkTask::Single`] tasks (the paper's Case 1);
+//! * a mixing qubit at or above the chunk boundary produces
+//!   [`ChunkTask::Group`] tasks of `2^high_mixing` chunks that must be
+//!   co-resident (Case 2);
+//! * a *control* qubit above the boundary merely filters which chunks
+//!   participate — those with the control bit clear are untouched and
+//!   never moved.
+//!
+//! The plan is purely combinatorial; the orchestrator pairs it with an
+//! [`crate::InvolvementTracker`] to drop all-zero tasks (pruning) and with
+//! the device model to charge transfer and kernel time.
+
+use qgpu_circuit::access::GateAction;
+
+use crate::involvement::InvolvementTracker;
+
+/// One unit of chunk work for a gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkTask {
+    /// An independently updatable chunk (Case 1).
+    Single(usize),
+    /// Chunks that must be processed together (Case 2), ordered by
+    /// high-mixing bit pattern.
+    Group(Vec<usize>),
+}
+
+impl ChunkTask {
+    /// The chunks this task touches.
+    pub fn chunks(&self) -> &[usize] {
+        match self {
+            ChunkTask::Single(c) => std::slice::from_ref(c),
+            ChunkTask::Group(g) => g,
+        }
+    }
+
+    /// Number of chunks in the task.
+    pub fn len(&self) -> usize {
+        self.chunks().len()
+    }
+
+    /// Tasks always touch at least one chunk.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// The resolved chunk plan of one gate.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_circuit::{Gate, Operation, access::GateAction};
+/// use qgpu_sched::GatePlan;
+///
+/// // H on qubit 5 with 3-qubit chunks over 8 qubits: a high mixing qubit
+/// // forces pairs of chunks.
+/// let action = GateAction::from_operation(&Operation::new(Gate::H, vec![5]));
+/// let plan = GatePlan::new(&action, 3, 32);
+/// assert_eq!(plan.tasks().len(), 16);
+/// assert_eq!(plan.tasks()[0].len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatePlan {
+    tasks: Vec<ChunkTask>,
+    high_mixing: Vec<usize>,
+    chunk_bits: u32,
+}
+
+impl GatePlan {
+    /// Resolves an action against a chunk layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_chunks` is not a power of two.
+    pub fn new(action: &GateAction, chunk_bits: u32, num_chunks: usize) -> Self {
+        assert!(num_chunks.is_power_of_two());
+        let (high_controls_mask, high_mixing) = match action {
+            GateAction::Diagonal { .. } => (0usize, Vec::new()),
+            GateAction::ControlledDense {
+                controls, mixing, ..
+            } => {
+                let mask = controls
+                    .iter()
+                    .filter(|&&c| (c as u32) >= chunk_bits)
+                    .map(|&c| 1usize << (c as u32 - chunk_bits))
+                    .sum();
+                let high: Vec<usize> = mixing
+                    .iter()
+                    .copied()
+                    .filter(|&q| (q as u32) >= chunk_bits)
+                    .collect();
+                (mask, high)
+            }
+        };
+
+        let mut tasks = Vec::new();
+        if high_mixing.is_empty() {
+            for c in 0..num_chunks {
+                if c & high_controls_mask == high_controls_mask {
+                    tasks.push(ChunkTask::Single(c));
+                }
+            }
+        } else {
+            let group_mask: usize = high_mixing
+                .iter()
+                .map(|&q| 1usize << (q as u32 - chunk_bits))
+                .sum();
+            for c in 0..num_chunks {
+                if c & group_mask != 0 {
+                    continue; // not the canonical group representative
+                }
+                if c & high_controls_mask != high_controls_mask {
+                    continue; // a high control bit is 0 for this group
+                }
+                let members: Vec<usize> = (0..1usize << high_mixing.len())
+                    .map(|pattern| {
+                        let mut idx = c;
+                        for (b, &q) in high_mixing.iter().enumerate() {
+                            if (pattern >> b) & 1 == 1 {
+                                idx |= 1usize << (q as u32 - chunk_bits);
+                            }
+                        }
+                        idx
+                    })
+                    .collect();
+                tasks.push(ChunkTask::Group(members));
+            }
+        }
+        GatePlan {
+            tasks,
+            high_mixing,
+            chunk_bits,
+        }
+    }
+
+    /// The task list, in chunk order.
+    pub fn tasks(&self) -> &[ChunkTask] {
+        &self.tasks
+    }
+
+    /// The mixing qubits above the chunk boundary (empty for Case 1).
+    pub fn high_mixing(&self) -> &[usize] {
+        &self.high_mixing
+    }
+
+    /// Returns `true` if the gate requires chunk grouping (Case 2).
+    pub fn needs_grouping(&self) -> bool {
+        !self.high_mixing.is_empty()
+    }
+
+    /// Tasks surviving zero-amplitude pruning: a task is dropped when all
+    /// of its chunks are provably zero under `tracker`.
+    ///
+    /// (Dropping such tasks is exact: a linear map keeps an all-zero
+    /// subspace zero, per the paper's §IV-C correctness argument.)
+    pub fn pruned_tasks<'a>(
+        &'a self,
+        tracker: &'a InvolvementTracker,
+    ) -> impl Iterator<Item = &'a ChunkTask> + 'a {
+        let chunk_bits = self.chunk_bits;
+        self.tasks.iter().filter(move |t| {
+            t.chunks()
+                .iter()
+                .any(|&c| !tracker.chunk_is_zero(c, chunk_bits))
+        })
+    }
+
+    /// Number of tasks dropped by pruning under `tracker`.
+    pub fn pruned_count(&self, tracker: &InvolvementTracker) -> usize {
+        self.tasks.len() - self.pruned_tasks(tracker).count()
+    }
+
+    /// Total chunks touched by the unpruned plan.
+    pub fn total_chunks(&self) -> usize {
+        self.tasks.iter().map(|t| t.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgpu_circuit::access::GateAction;
+    use qgpu_circuit::{Gate, Operation};
+
+    fn action(g: Gate, qs: &[usize]) -> GateAction {
+        GateAction::from_operation(&Operation::new(g, qs.to_vec()))
+    }
+
+    #[test]
+    fn case1_low_target_touches_every_chunk() {
+        let plan = GatePlan::new(&action(Gate::H, &[1]), 3, 16);
+        assert!(!plan.needs_grouping());
+        assert_eq!(plan.tasks().len(), 16);
+        assert!(matches!(plan.tasks()[0], ChunkTask::Single(0)));
+    }
+
+    #[test]
+    fn case2_high_target_pairs_chunks() {
+        // Qubit 4 with 3-qubit chunks: chunk-index bit 1.
+        let plan = GatePlan::new(&action(Gate::H, &[4]), 3, 16);
+        assert!(plan.needs_grouping());
+        assert_eq!(plan.tasks().len(), 8);
+        assert_eq!(plan.tasks()[0], ChunkTask::Group(vec![0, 2]));
+        assert_eq!(plan.tasks()[1], ChunkTask::Group(vec![1, 3]));
+        // The paper's Figure 1 example: (chunk0, chunk2), (chunk1, chunk3)…
+    }
+
+    #[test]
+    fn diagonal_never_groups() {
+        let plan = GatePlan::new(&action(Gate::Cp(0.5), &[1, 7]), 3, 32);
+        assert!(!plan.needs_grouping());
+        assert_eq!(plan.tasks().len(), 32);
+    }
+
+    #[test]
+    fn high_control_filters_chunks() {
+        // CX control on qubit 4 (chunk bit 1), target on qubit 0.
+        let plan = GatePlan::new(&action(Gate::Cx, &[4, 0]), 3, 16);
+        assert!(!plan.needs_grouping());
+        // Only chunks with bit 1 set participate: 8 of 16.
+        assert_eq!(plan.tasks().len(), 8);
+        for t in plan.tasks() {
+            let ChunkTask::Single(c) = t else { panic!() };
+            assert_eq!(c & 0b10, 0b10);
+        }
+    }
+
+    #[test]
+    fn swap_across_boundary_groups_four() {
+        // Both mixing qubits high: groups of 4.
+        let plan = GatePlan::new(&action(Gate::Swap, &[4, 5]), 3, 32);
+        assert!(plan.needs_grouping());
+        assert_eq!(plan.tasks().len(), 8);
+        assert_eq!(plan.tasks()[0].len(), 4);
+    }
+
+    #[test]
+    fn high_control_with_high_mixing() {
+        // CCX: controls 6,7 (high), target 4 (high) with 3-bit chunks.
+        let plan = GatePlan::new(&action(Gate::Ccx, &[6, 7, 4]), 3, 32);
+        assert!(plan.needs_grouping());
+        // Groups must have chunk bits 3 and 4 (qubits 6,7) set: canonical
+        // representatives have bit 1 (qubit 4) clear → 4 groups... of the
+        // 32 chunks, those with bits {3,4} set: 8; grouped in pairs → 4.
+        assert_eq!(plan.tasks().len(), 4);
+        for t in plan.tasks() {
+            for &c in t.chunks() {
+                assert_eq!(c & 0b11000, 0b11000);
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_drops_zero_tasks() {
+        let plan = GatePlan::new(&action(Gate::H, &[0]), 2, 16);
+        let mut tracker = InvolvementTracker::new(6);
+        // Nothing involved: only chunk 0 can be non-zero.
+        assert_eq!(plan.pruned_tasks(&tracker).count(), 1);
+        assert_eq!(plan.pruned_count(&tracker), 15);
+        tracker.involve_mask(0b111111);
+        assert_eq!(plan.pruned_count(&tracker), 0);
+    }
+
+    #[test]
+    fn group_survives_if_any_member_nonzero() {
+        // H on qubit 5 (high): group {0, 8}; chunk 0 non-zero initially.
+        let plan = GatePlan::new(&action(Gate::H, &[5]), 2, 16);
+        let tracker = InvolvementTracker::new(6);
+        let survivors: Vec<_> = plan.pruned_tasks(&tracker).collect();
+        assert_eq!(survivors.len(), 1);
+        assert_eq!(survivors[0].chunks(), &[0, 8]);
+    }
+
+    #[test]
+    fn total_chunks_counts_members() {
+        let plan = GatePlan::new(&action(Gate::Swap, &[4, 5]), 3, 32);
+        assert_eq!(plan.total_chunks(), 32);
+    }
+}

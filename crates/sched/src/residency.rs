@@ -1,0 +1,172 @@
+//! Chunk residency: where each chunk lives during execution.
+//!
+//! The baseline (paper §III-B, Step 2) statically pins the first chunks
+//! that fit into GPU memory and leaves the rest on the host; the Q-GPU
+//! versions stream every chunk through the GPU instead. Multi-GPU
+//! execution (paper §V-E, Figure 18) deals chunk groups round-robin
+//! across devices.
+
+use serde::{Deserialize, Serialize};
+
+/// Where a chunk resides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Location {
+    /// Host memory.
+    Host,
+    /// Device memory of GPU `i`.
+    Gpu(usize),
+}
+
+/// The baseline's static allocation: chunks `0..gpu_resident` live on the
+/// GPU, the rest on the host.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_sched::residency::{Location, StaticAllocation};
+///
+/// // The paper's P100@34q ratio: 496 of 8192 chunks resident.
+/// let alloc = StaticAllocation::new(496, 8192);
+/// assert_eq!(alloc.location(0), Location::Gpu(0));
+/// assert_eq!(alloc.location(496), Location::Host);
+/// assert!((alloc.gpu_fraction() - 0.0605).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticAllocation {
+    gpu_resident: usize,
+    num_chunks: usize,
+}
+
+impl StaticAllocation {
+    /// Creates an allocation with the first `gpu_resident` chunks on GPU 0.
+    ///
+    /// `gpu_resident` is clamped to `num_chunks`.
+    pub fn new(gpu_resident: usize, num_chunks: usize) -> Self {
+        StaticAllocation {
+            gpu_resident: gpu_resident.min(num_chunks),
+            num_chunks,
+        }
+    }
+
+    /// Where chunk `i` lives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn location(&self, chunk: usize) -> Location {
+        assert!(chunk < self.num_chunks, "chunk {chunk} out of range");
+        if chunk < self.gpu_resident {
+            Location::Gpu(0)
+        } else {
+            Location::Host
+        }
+    }
+
+    /// Number of GPU-resident chunks.
+    pub fn gpu_resident(&self) -> usize {
+        self.gpu_resident
+    }
+
+    /// Total chunks.
+    pub fn num_chunks(&self) -> usize {
+        self.num_chunks
+    }
+
+    /// Fraction of the state resident on the GPU.
+    pub fn gpu_fraction(&self) -> f64 {
+        if self.num_chunks == 0 {
+            0.0
+        } else {
+            self.gpu_resident as f64 / self.num_chunks as f64
+        }
+    }
+}
+
+/// Round-robin assignment of chunk tasks to GPUs (the paper's Figure 18:
+/// groups dealt to G0, G1, G0, G1, …).
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_sched::residency::RoundRobin;
+///
+/// let rr = RoundRobin::new(2);
+/// assert_eq!(rr.gpu_for_task(0), 0);
+/// assert_eq!(rr.gpu_for_task(1), 1);
+/// assert_eq!(rr.gpu_for_task(2), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundRobin {
+    num_gpus: usize,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin dealer over `num_gpus` devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_gpus == 0`.
+    pub fn new(num_gpus: usize) -> Self {
+        assert!(num_gpus > 0, "need at least one GPU");
+        RoundRobin { num_gpus }
+    }
+
+    /// The GPU that processes task number `task_index`.
+    pub fn gpu_for_task(&self, task_index: usize) -> usize {
+        task_index % self.num_gpus
+    }
+
+    /// Number of GPUs.
+    pub fn num_gpus(&self) -> usize {
+        self.num_gpus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_allocation_clamps() {
+        let a = StaticAllocation::new(100, 10);
+        assert_eq!(a.gpu_resident(), 10);
+        assert_eq!(a.gpu_fraction(), 1.0);
+    }
+
+    #[test]
+    fn static_allocation_boundary() {
+        let a = StaticAllocation::new(3, 8);
+        assert_eq!(a.location(2), Location::Gpu(0));
+        assert_eq!(a.location(3), Location::Host);
+        assert_eq!(a.location(7), Location::Host);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn static_allocation_checks_range() {
+        let a = StaticAllocation::new(3, 8);
+        let _ = a.location(8);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let rr = RoundRobin::new(4);
+        let gpus: Vec<usize> = (0..8).map(|i| rr.gpu_for_task(i)).collect();
+        assert_eq!(gpus, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn round_robin_balances() {
+        let rr = RoundRobin::new(3);
+        let mut counts = [0usize; 3];
+        for i in 0..300 {
+            counts[rr.gpu_for_task(i)] += 1;
+        }
+        assert_eq!(counts, [100, 100, 100]);
+    }
+
+    #[test]
+    fn empty_allocation_fraction() {
+        assert_eq!(StaticAllocation::new(0, 0).gpu_fraction(), 0.0);
+    }
+}

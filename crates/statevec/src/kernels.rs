@@ -1,0 +1,362 @@
+//! Low-level gate application kernels.
+//!
+//! Every kernel operates on a contiguous amplitude slice `amps` that
+//! represents global indices `base .. base + amps.len()`. Passing the full
+//! state vector with `base = 0` gives whole-vector semantics; passing a
+//! chunk with its global base gives chunk-local semantics (diagonal gates
+//! need the base to read qubit bits above the chunk boundary).
+//!
+//! Kernels for mixing gates require all referenced qubit positions to be
+//! *local* (below `log2(amps.len())`); the chunked layer regroups chunks
+//! so this always holds (the paper's Case 2 handling).
+
+use qgpu_circuit::access::GateAction;
+use qgpu_math::bits::{insert_zero_bit, insert_zero_bits};
+use qgpu_math::Complex64;
+use qgpu_circuit::Matrix;
+
+/// Applies a diagonal action: `amps[off] *= dvec[s]` where `s` gathers the
+/// bits of the *global* index `base + off` at `qubits`.
+///
+/// Works for any qubit positions, including those above the slice's local
+/// range — that is exactly why diagonal gates never force chunk exchange.
+///
+/// # Panics
+///
+/// Panics if `dvec.len() != 2^qubits.len()`.
+pub fn apply_diagonal(amps: &mut [Complex64], base: usize, qubits: &[usize], dvec: &[Complex64]) {
+    assert_eq!(dvec.len(), 1 << qubits.len());
+    match qubits.len() {
+        1 => {
+            let q = qubits[0];
+            let (d0, d1) = (dvec[0], dvec[1]);
+            for (off, amp) in amps.iter_mut().enumerate() {
+                let bit = ((base + off) >> q) & 1;
+                *amp *= if bit == 0 { d0 } else { d1 };
+            }
+        }
+        2 => {
+            let (q0, q1) = (qubits[0], qubits[1]);
+            for (off, amp) in amps.iter_mut().enumerate() {
+                let g = base + off;
+                let s = ((g >> q0) & 1) | (((g >> q1) & 1) << 1);
+                *amp *= dvec[s];
+            }
+        }
+        _ => {
+            for (off, amp) in amps.iter_mut().enumerate() {
+                let g = base + off;
+                let mut s = 0usize;
+                for (bit, &q) in qubits.iter().enumerate() {
+                    s |= ((g >> q) & 1) << bit;
+                }
+                *amp *= dvec[s];
+            }
+        }
+    }
+}
+
+/// Applies a dense single-qubit matrix to local target `target`, restricted
+/// to indices where all local `controls` bits are 1.
+///
+/// # Panics
+///
+/// Panics if `amps.len()` is not a power of two, or if `target`/`controls`
+/// are not local to the slice.
+pub fn apply_controlled_1q(
+    amps: &mut [Complex64],
+    controls: &[usize],
+    target: usize,
+    m: &Matrix,
+) {
+    assert!(amps.len().is_power_of_two());
+    let local_bits = amps.len().trailing_zeros();
+    assert!((target as u32) < local_bits, "target must be local");
+    assert!(
+        controls.iter().all(|&c| (c as u32) < local_bits),
+        "controls must be local"
+    );
+    let (m00, m01, m10, m11) = (m.get(0, 0), m.get(0, 1), m.get(1, 0), m.get(1, 1));
+
+    if controls.is_empty() {
+        let pairs = amps.len() >> 1;
+        for c in 0..pairs {
+            let i0 = insert_zero_bit(c, target as u32);
+            let i1 = i0 | (1 << target);
+            let a0 = amps[i0];
+            let a1 = amps[i1];
+            amps[i0] = m00 * a0 + m01 * a1;
+            amps[i1] = m10 * a0 + m11 * a1;
+        }
+    } else {
+        // Enumerate indices with target bit 0 and all control bits 1.
+        let mut positions: Vec<u32> = controls.iter().map(|&c| c as u32).collect();
+        positions.push(target as u32);
+        positions.sort_unstable();
+        let control_mask: usize = controls.iter().map(|&c| 1usize << c).sum();
+        let count = amps.len() >> positions.len();
+        for c in 0..count {
+            let i0 = insert_zero_bits(c, &positions) | control_mask;
+            let i1 = i0 | (1 << target);
+            let a0 = amps[i0];
+            let a1 = amps[i1];
+            amps[i0] = m00 * a0 + m01 * a1;
+            amps[i1] = m10 * a0 + m11 * a1;
+        }
+    }
+}
+
+/// Applies a dense matrix over `mixing` local qubits (matrix bit order =
+/// `mixing` order), restricted to indices where all local `controls` bits
+/// are 1.
+///
+/// # Panics
+///
+/// Panics if the matrix dimension does not match `2^mixing.len()`, or if
+/// any qubit is not local to the slice.
+pub fn apply_controlled_dense(
+    amps: &mut [Complex64],
+    controls: &[usize],
+    mixing: &[usize],
+    m: &Matrix,
+) {
+    let k = mixing.len();
+    assert_eq!(m.dim(), 1 << k, "matrix dimension mismatch");
+    if k == 1 {
+        return apply_controlled_1q(amps, controls, mixing[0], m);
+    }
+    assert!(amps.len().is_power_of_two());
+    let local_bits = amps.len().trailing_zeros();
+    let mut positions: Vec<u32> = mixing
+        .iter()
+        .chain(controls.iter())
+        .map(|&q| q as u32)
+        .collect();
+    assert!(positions.iter().all(|&p| p < local_bits), "qubits must be local");
+    positions.sort_unstable();
+    let control_mask: usize = controls.iter().map(|&c| 1usize << c).sum();
+
+    let dim = 1usize << k;
+    // Offset of each matrix basis index within the amplitude array.
+    let offsets: Vec<usize> = (0..dim)
+        .map(|s| {
+            let mut off = 0usize;
+            for (bit, &q) in mixing.iter().enumerate() {
+                off |= ((s >> bit) & 1) << q;
+            }
+            off
+        })
+        .collect();
+
+    let count = amps.len() >> positions.len();
+    let mut gathered = vec![Complex64::ZERO; dim];
+    for c in 0..count {
+        let ibase = insert_zero_bits(c, &positions) | control_mask;
+        for (s, g) in gathered.iter_mut().enumerate() {
+            *g = amps[ibase + offsets[s]];
+        }
+        for (r, &off) in offsets.iter().enumerate() {
+            let mut acc = Complex64::ZERO;
+            for (s, &g) in gathered.iter().enumerate() {
+                acc = m.get(r, s).mul_add(g, acc);
+            }
+            amps[ibase + off] = acc;
+        }
+    }
+}
+
+/// Applies a full [`GateAction`] to a slice with the given global base.
+///
+/// For mixing actions, every control and mixing qubit must be local to the
+/// slice (the chunked layer guarantees this by grouping chunks).
+///
+/// # Panics
+///
+/// Panics if a mixing action references a non-local qubit.
+pub fn apply_action(amps: &mut [Complex64], base: usize, action: &GateAction) {
+    match action {
+        GateAction::Diagonal { qubits, dvec } => apply_diagonal(amps, base, qubits, dvec),
+        GateAction::ControlledDense {
+            controls,
+            mixing,
+            matrix,
+        } => {
+            // High controls (at or above the local range) select whole
+            // slices: if the base has the control bit 0, nothing happens.
+            let local_bits = amps.len().trailing_zeros() as usize;
+            let mut local_controls = Vec::with_capacity(controls.len());
+            for &c in controls {
+                if c < local_bits {
+                    local_controls.push(c);
+                } else if (base >> c) & 1 == 0 {
+                    return; // control bit is 0 for this whole slice
+                }
+            }
+            apply_controlled_dense(amps, &local_controls, mixing, matrix);
+        }
+    }
+}
+
+/// Number of floating-point operations a gate action performs per
+/// *processed* amplitude pair/group — used by the device timing model.
+///
+/// A complex multiply counts 6 flops, an add 2.
+pub fn action_flops_per_group(action: &GateAction) -> u64 {
+    match action {
+        GateAction::Diagonal { .. } => 6,
+        GateAction::ControlledDense { matrix, .. } => {
+            let dim = matrix.dim() as u64;
+            // dim outputs, each a dot product of dim: mul (6) + add (2).
+            dim * dim * 8
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgpu_circuit::access::GateAction;
+    use qgpu_circuit::{Gate, Operation};
+
+    fn zero_state(n: usize) -> Vec<Complex64> {
+        let mut v = vec![Complex64::ZERO; 1 << n];
+        v[0] = Complex64::ONE;
+        v
+    }
+
+    fn action(g: Gate, qs: &[usize]) -> GateAction {
+        GateAction::from_operation(&Operation::new(g, qs.to_vec()))
+    }
+
+    #[test]
+    fn h_on_zero_gives_plus() {
+        let mut amps = zero_state(1);
+        apply_action(&mut amps, 0, &action(Gate::H, &[0]));
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(amps[0].approx_eq(Complex64::from_real(h), 1e-12));
+        assert!(amps[1].approx_eq(Complex64::from_real(h), 1e-12));
+    }
+
+    #[test]
+    fn x_flips_basis_state() {
+        let mut amps = zero_state(3);
+        apply_action(&mut amps, 0, &action(Gate::X, &[1]));
+        assert!(amps[0].is_zero());
+        assert!(amps[2].approx_eq(Complex64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn cx_needs_control_set() {
+        let mut amps = zero_state(2);
+        apply_action(&mut amps, 0, &action(Gate::Cx, &[0, 1]));
+        // |00> unchanged.
+        assert!(amps[0].approx_eq(Complex64::ONE, 1e-12));
+        // Now set control: X(0), then CX.
+        apply_action(&mut amps, 0, &action(Gate::X, &[0]));
+        apply_action(&mut amps, 0, &action(Gate::Cx, &[0, 1]));
+        assert!(amps[3].approx_eq(Complex64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn diagonal_with_high_qubit_uses_base() {
+        // A 2-qubit slice representing global indices 4..8 of a 3-qubit
+        // state; Z on qubit 2 must negate everything (bit 2 of base is 1).
+        let mut amps = vec![Complex64::ONE; 4];
+        apply_action(&mut amps, 4, &action(Gate::Z, &[2]));
+        for a in &amps {
+            assert!(a.approx_eq(-Complex64::ONE, 1e-12));
+        }
+        // Base 0: bit 2 is 0 everywhere, so Z does nothing.
+        let mut amps = vec![Complex64::ONE; 4];
+        apply_action(&mut amps, 0, &action(Gate::Z, &[2]));
+        for a in &amps {
+            assert!(a.approx_eq(Complex64::ONE, 1e-12));
+        }
+    }
+
+    #[test]
+    fn high_control_selects_slice() {
+        // CX with control qubit 2 on a slice with base 0 (control bit 0):
+        // no-op. With base 4 (control bit 1): X on target.
+        let act = action(Gate::Cx, &[2, 0]);
+        let mut amps = zero_state(2);
+        apply_action(&mut amps, 0, &act);
+        assert!(amps[0].approx_eq(Complex64::ONE, 1e-12));
+        let mut amps = zero_state(2);
+        apply_action(&mut amps, 4, &act);
+        assert!(amps[1].approx_eq(Complex64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn swap_exchanges_amplitudes() {
+        let mut amps = zero_state(2);
+        amps[1] = Complex64::new(0.6, 0.0); // |01>
+        amps[0] = Complex64::new(0.8, 0.0);
+        apply_action(&mut amps, 0, &action(Gate::Swap, &[0, 1]));
+        assert!(amps[2].approx_eq(Complex64::new(0.6, 0.0), 1e-12)); // -> |10>
+        assert!(amps[0].approx_eq(Complex64::new(0.8, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn dense_matches_composition_of_gates() {
+        // swap = cx(a,b) cx(b,a) cx(a,b): verify the dense 2-qubit kernel
+        // against three 1-qubit controlled kernels.
+        let mut rng_state = 0x12345u64;
+        let mut rnd = || {
+            // xorshift
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            (rng_state as f64 / u64::MAX as f64) - 0.5
+        };
+        let mut a: Vec<Complex64> = (0..16).map(|_| Complex64::new(rnd(), rnd())).collect();
+        let mut b = a.clone();
+        apply_action(&mut a, 0, &action(Gate::Swap, &[1, 3]));
+        apply_action(&mut b, 0, &action(Gate::Cx, &[1, 3]));
+        apply_action(&mut b, 0, &action(Gate::Cx, &[3, 1]));
+        apply_action(&mut b, 0, &action(Gate::Cx, &[1, 3]));
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!(x.approx_eq(*y, 1e-12));
+        }
+    }
+
+    #[test]
+    fn ccx_only_fires_with_both_controls() {
+        let mut amps = zero_state(3);
+        amps[0] = Complex64::ZERO;
+        amps[0b011] = Complex64::ONE; // both controls set, target 0
+        apply_action(&mut amps, 0, &action(Gate::Ccx, &[0, 1, 2]));
+        assert!(amps[0b111].approx_eq(Complex64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn norm_preserved_by_unitaries() {
+        let mut amps = zero_state(4);
+        for (g, qs) in [
+            (Gate::H, vec![0]),
+            (Gate::Cx, vec![0, 1]),
+            (Gate::Ry(0.77), vec![2]),
+            (Gate::Cp(1.1), vec![1, 3]),
+            (Gate::Ccx, vec![0, 1, 2]),
+            (Gate::Swap, vec![2, 3]),
+        ] {
+            apply_action(&mut amps, 0, &action(g, &qs));
+        }
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flop_estimates() {
+        assert_eq!(action_flops_per_group(&action(Gate::Z, &[0])), 6);
+        assert_eq!(action_flops_per_group(&action(Gate::H, &[0])), 32);
+        assert_eq!(action_flops_per_group(&action(Gate::Swap, &[0, 1])), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "target must be local")]
+    fn mixing_high_qubit_panics() {
+        let mut amps = zero_state(2);
+        apply_action(&mut amps, 0, &action(Gate::H, &[5]));
+    }
+}

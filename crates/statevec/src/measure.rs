@@ -1,0 +1,150 @@
+//! End-of-circuit measurement: probabilities and sampling.
+//!
+//! The paper's scope is measurement at the end of circuits (§II-B); this
+//! module provides basis-state sampling and per-qubit marginals over a
+//! final [`StateVector`].
+
+use rand::Rng;
+
+use crate::state::StateVector;
+
+/// Probability that measuring `qubit` yields 1.
+///
+/// # Panics
+///
+/// Panics if `qubit` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_statevec::{StateVector, measure};
+/// use qgpu_circuit::{Gate, Operation};
+///
+/// let mut s = StateVector::new_zero(2);
+/// s.apply(&Operation::new(Gate::H, vec![0]));
+/// let p = measure::prob_one(&s, 0);
+/// assert!((p - 0.5).abs() < 1e-12);
+/// ```
+pub fn prob_one(state: &StateVector, qubit: usize) -> f64 {
+    assert!(qubit < state.num_qubits());
+    let bit = 1usize << qubit;
+    state
+        .amps()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i & bit != 0)
+        .map(|(_, a)| a.norm_sqr())
+        .sum()
+}
+
+/// Samples one basis-state outcome from the measurement distribution.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_statevec::{StateVector, measure};
+/// use rand::SeedableRng;
+///
+/// let s = StateVector::new_zero(3);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// assert_eq!(measure::sample(&s, &mut rng), 0); // |000> always measures 0
+/// ```
+pub fn sample<R: Rng + ?Sized>(state: &StateVector, rng: &mut R) -> usize {
+    let r: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (i, a) in state.amps().iter().enumerate() {
+        acc += a.norm_sqr();
+        if r < acc {
+            return i;
+        }
+    }
+    state.len() - 1
+}
+
+/// Draws `shots` samples and returns `(basis_state, count)` pairs sorted
+/// by descending count.
+pub fn sample_counts<R: Rng + ?Sized>(
+    state: &StateVector,
+    shots: usize,
+    rng: &mut R,
+) -> Vec<(usize, usize)> {
+    let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for _ in 0..shots {
+        *counts.entry(sample(state, rng)).or_insert(0) += 1;
+    }
+    let mut v: Vec<(usize, usize)> = counts.into_iter().collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v
+}
+
+/// The most likely basis state and its probability.
+pub fn most_likely(state: &StateVector) -> (usize, f64) {
+    state
+        .amps()
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (i, a.norm_sqr()))
+        .fold((0, 0.0), |best, cur| if cur.1 > best.1 { cur } else { best })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgpu_circuit::Circuit;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bell() -> StateVector {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let mut s = StateVector::new_zero(2);
+        s.run(&c);
+        s
+    }
+
+    #[test]
+    fn bell_marginals_are_half() {
+        let s = bell();
+        assert!((prob_one(&s, 0) - 0.5).abs() < 1e-12);
+        assert!((prob_one(&s, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_samples_are_correlated() {
+        let s = bell();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let outcome = sample(&s, &mut rng);
+            assert!(outcome == 0 || outcome == 3, "bell never measures 01/10");
+        }
+    }
+
+    #[test]
+    fn sample_counts_sum_to_shots() {
+        let s = bell();
+        let mut rng = StdRng::seed_from_u64(3);
+        let counts = sample_counts(&s, 500, &mut rng);
+        assert_eq!(counts.iter().map(|(_, c)| c).sum::<usize>(), 500);
+        // Roughly balanced between |00> and |11>.
+        assert_eq!(counts.len(), 2);
+        assert!(counts[0].1 > 150 && counts[0].1 < 350);
+    }
+
+    #[test]
+    fn most_likely_of_basis_state() {
+        let mut s = StateVector::new_zero(3);
+        let mut c = Circuit::new(3);
+        c.x(1);
+        s.run(&c);
+        assert_eq!(most_likely(&s), (2, 1.0));
+    }
+
+    #[test]
+    fn deterministic_state_always_samples_same() {
+        let s = StateVector::new_zero(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            assert_eq!(sample(&s, &mut rng), 0);
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Pauli-string observables and expectation values.
+//!
+//! Chemistry and optimization workloads (the paper's `hchain` and `qaoa`)
+//! are ultimately judged by expectation values ⟨ψ|P|ψ⟩ of Pauli strings;
+//! this module computes them directly from a final [`StateVector`]
+//! without materializing the operator.
+
+use std::fmt;
+
+use qgpu_math::Complex64;
+
+use crate::state::StateVector;
+
+/// A single-qubit Pauli factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pauli {
+    /// Identity.
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+}
+
+/// A tensor product of Pauli factors on specific qubits (identity
+/// elsewhere).
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_statevec::observable::{Pauli, PauliString};
+///
+/// let zz = PauliString::new([(0, Pauli::Z), (1, Pauli::Z)]);
+/// assert_eq!(zz.to_string(), "Z0 Z1");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PauliString {
+    factors: Vec<(usize, Pauli)>,
+}
+
+impl PauliString {
+    /// Builds a Pauli string from `(qubit, factor)` pairs; identity
+    /// factors are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit appears twice.
+    pub fn new<I: IntoIterator<Item = (usize, Pauli)>>(factors: I) -> Self {
+        let mut fs: Vec<(usize, Pauli)> = factors
+            .into_iter()
+            .filter(|&(_, p)| p != Pauli::I)
+            .collect();
+        fs.sort_by_key(|&(q, _)| q);
+        for w in fs.windows(2) {
+            assert_ne!(w[0].0, w[1].0, "qubit {} repeated in Pauli string", w[0].0);
+        }
+        PauliString { factors: fs }
+    }
+
+    /// The identity string.
+    pub fn identity() -> Self {
+        PauliString {
+            factors: Vec::new(),
+        }
+    }
+
+    /// Single-qubit `Z`.
+    pub fn z(q: usize) -> Self {
+        PauliString::new([(q, Pauli::Z)])
+    }
+
+    /// Single-qubit `X`.
+    pub fn x(q: usize) -> Self {
+        PauliString::new([(q, Pauli::X)])
+    }
+
+    /// The non-identity factors, sorted by qubit.
+    pub fn factors(&self) -> &[(usize, Pauli)] {
+        &self.factors
+    }
+
+    /// Largest qubit index referenced (None for identity).
+    pub fn max_qubit(&self) -> Option<usize> {
+        self.factors.last().map(|&(q, _)| q)
+    }
+
+    /// Expectation value ⟨ψ|P|ψ⟩ (always real for Hermitian P).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string references a qubit outside the state.
+    pub fn expectation(&self, state: &StateVector) -> f64 {
+        if let Some(q) = self.max_qubit() {
+            assert!(q < state.num_qubits(), "qubit {q} outside state");
+        }
+        // ⟨ψ|P|ψ⟩ = Σ_i conj(a_i) · (P a)_i; P maps basis |i⟩ to
+        // phase(i) · |i ^ flip_mask⟩.
+        let mut flip = 0usize;
+        for &(q, p) in &self.factors {
+            if matches!(p, Pauli::X | Pauli::Y) {
+                flip |= 1 << q;
+            }
+        }
+        let mut acc = Complex64::ZERO;
+        for (i, amp) in state.amps().iter().enumerate() {
+            if amp.is_zero() {
+                continue;
+            }
+            let j = i ^ flip;
+            let mut coeff = Complex64::ONE;
+            for &(q, p) in &self.factors {
+                let bit = (i >> q) & 1;
+                coeff *= match (p, bit) {
+                        (Pauli::Z, 0) => Complex64::ONE,
+                        (Pauli::Z, _) => -Complex64::ONE,
+                        (Pauli::X, _) => Complex64::ONE,
+                        // Y|0> = i|1>, Y|1> = -i|0>.
+                        (Pauli::Y, 0) => Complex64::I,
+                        (Pauli::Y, _) => -Complex64::I,
+                        (Pauli::I, _) => Complex64::ONE,
+                    };
+            }
+            // ⟨j| P |i⟩ = coeff, so the term is conj(a_j) * coeff * a_i.
+            acc += state.amp(j).conj() * coeff * *amp;
+        }
+        debug_assert!(acc.im.abs() < 1e-9, "Hermitian expectation must be real");
+        acc.re
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.factors.is_empty() {
+            return f.write_str("I");
+        }
+        let mut first = true;
+        for &(q, p) in &self.factors {
+            if !first {
+                f.write_str(" ")?;
+            }
+            first = false;
+            let label = match p {
+                Pauli::I => "I",
+                Pauli::X => "X",
+                Pauli::Y => "Y",
+                Pauli::Z => "Z",
+            };
+            write!(f, "{label}{q}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A real-weighted sum of Pauli strings (a Hamiltonian).
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_statevec::observable::{Hamiltonian, Pauli, PauliString};
+/// use qgpu_statevec::StateVector;
+///
+/// // H = -Z0 on |0>: energy -1.
+/// let mut h = Hamiltonian::new();
+/// h.add(-1.0, PauliString::z(0));
+/// let state = StateVector::new_zero(1);
+/// assert!((h.expectation(&state) + 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Hamiltonian {
+    terms: Vec<(f64, PauliString)>,
+}
+
+impl Hamiltonian {
+    /// An empty (zero) Hamiltonian.
+    pub fn new() -> Self {
+        Hamiltonian::default()
+    }
+
+    /// Adds a weighted term.
+    pub fn add(&mut self, weight: f64, term: PauliString) -> &mut Self {
+        self.terms.push((weight, term));
+        self
+    }
+
+    /// The `(weight, string)` terms.
+    pub fn terms(&self) -> &[(f64, PauliString)] {
+        &self.terms
+    }
+
+    /// Expectation value ⟨ψ|H|ψ⟩.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any term references a qubit outside the state.
+    pub fn expectation(&self, state: &StateVector) -> f64 {
+        self.terms
+            .iter()
+            .map(|(w, p)| w * p.expectation(state))
+            .sum()
+    }
+
+    /// The MaxCut cost Hamiltonian Σ_(a,b) (1 - Z_a Z_b)/2 for the given
+    /// edges — what `qaoa` optimizes.
+    pub fn maxcut<I: IntoIterator<Item = (usize, usize)>>(edges: I) -> Self {
+        let mut h = Hamiltonian::new();
+        for (a, b) in edges {
+            h.add(0.5, PauliString::identity());
+            h.add(-0.5, PauliString::new([(a, Pauli::Z), (b, Pauli::Z)]));
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgpu_circuit::Circuit;
+
+    fn run(c: &Circuit) -> StateVector {
+        let mut s = StateVector::new_zero(c.num_qubits());
+        s.run(c);
+        s
+    }
+
+    #[test]
+    fn z_on_basis_states() {
+        let zero = StateVector::new_zero(2);
+        assert!((PauliString::z(0).expectation(&zero) - 1.0).abs() < 1e-12);
+        let mut c = Circuit::new(2);
+        c.x(0);
+        let one = run(&c);
+        assert!((PauliString::z(0).expectation(&one) + 1.0).abs() < 1e-12);
+        // Z on an untouched qubit stays +1.
+        assert!((PauliString::z(1).expectation(&one) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_on_plus_state() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let plus = run(&c);
+        assert!((PauliString::x(0).expectation(&plus) - 1.0).abs() < 1e-12);
+        assert!(PauliString::z(0).expectation(&plus).abs() < 1e-12);
+    }
+
+    #[test]
+    fn y_expectation() {
+        // |+i> = S H |0> has <Y> = 1.
+        let mut c = Circuit::new(1);
+        c.h(0).s(0);
+        let plus_i = run(&c);
+        assert!(
+            (PauliString::new([(0, Pauli::Y)]).expectation(&plus_i) - 1.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn zz_correlation_of_bell_pair() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let bell = run(&c);
+        let zz = PauliString::new([(0, Pauli::Z), (1, Pauli::Z)]);
+        assert!((zz.expectation(&bell) - 1.0).abs() < 1e-12);
+        let xx = PauliString::new([(0, Pauli::X), (1, Pauli::X)]);
+        assert!((xx.expectation(&bell) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_expectation_is_one() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(2);
+        let s = run(&c);
+        assert!((PauliString::identity().expectation(&s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maxcut_counts_cut_edges() {
+        // |01>: the single edge (0,1) is cut -> cost 1.
+        let mut c = Circuit::new(2);
+        c.x(0);
+        let s = run(&c);
+        let h = Hamiltonian::maxcut([(0, 1)]);
+        assert!((h.expectation(&s) - 1.0).abs() < 1e-12);
+        // |00>: nothing cut.
+        let s0 = StateVector::new_zero(2);
+        assert!(h.expectation(&s0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_state_cuts_half() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2);
+        let s = run(&c);
+        let h = Hamiltonian::maxcut([(0, 1), (1, 2), (0, 2)]);
+        assert!((h.expectation(&s) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn repeated_qubit_rejected() {
+        let _ = PauliString::new([(0, Pauli::Z), (0, Pauli::X)]);
+    }
+
+    #[test]
+    fn display() {
+        let p = PauliString::new([(2, Pauli::X), (0, Pauli::Z)]);
+        assert_eq!(p.to_string(), "Z0 X2");
+        assert_eq!(PauliString::identity().to_string(), "I");
+    }
+}

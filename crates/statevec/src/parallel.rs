@@ -1,0 +1,227 @@
+//! Multi-threaded gate application for the flat layout.
+//!
+//! Used by the CPU comparator engines (the "CPU OpenMP" baseline of the
+//! paper's Figure 12) and to speed up large functional simulations. Work
+//! is split over the compressed pair-index space; each thread owns a
+//! disjoint set of amplitude indices, so the unsynchronized writes through
+//! a shared pointer are race-free.
+
+use qgpu_circuit::access::GateAction;
+use qgpu_math::bits::{insert_zero_bit, insert_zero_bits};
+use qgpu_math::Complex64;
+
+/// Raw amplitude pointer that can cross thread boundaries.
+///
+/// Safety: each thread derived from a distinct compressed-index range
+/// touches a disjoint set of amplitudes.
+#[derive(Clone, Copy)]
+struct AmpPtr(*mut Complex64);
+unsafe impl Send for AmpPtr {}
+unsafe impl Sync for AmpPtr {}
+
+/// Applies a gate action to `amps` using up to `threads` worker threads.
+///
+/// Semantically identical to [`crate::kernels::apply_action`] with
+/// `base = 0`; small inputs fall back to the single-threaded kernel.
+///
+/// # Panics
+///
+/// Panics if the action references a qubit outside the state, or if
+/// `threads == 0`.
+pub fn apply_action_parallel(amps: &mut [Complex64], action: &GateAction, threads: usize) {
+    assert!(threads > 0, "need at least one thread");
+    assert!(amps.len().is_power_of_two());
+    // Below this size thread spawn overhead dominates.
+    const MIN_PARALLEL: usize = 1 << 14;
+    if threads == 1 || amps.len() < MIN_PARALLEL {
+        return crate::kernels::apply_action(amps, 0, action);
+    }
+
+    match action {
+        GateAction::Diagonal { qubits, dvec } => {
+            let n = amps.len();
+            let per = n.div_ceil(threads);
+            crossbeam::scope(|scope| {
+                for (t, piece) in amps.chunks_mut(per).enumerate() {
+                    let base = t * per;
+                    let qubits = qubits.clone();
+                    let dvec = dvec.clone();
+                    scope.spawn(move |_| {
+                        crate::kernels::apply_diagonal(piece, base, &qubits, &dvec);
+                    });
+                }
+            })
+            .expect("worker thread panicked");
+        }
+        GateAction::ControlledDense {
+            controls,
+            mixing,
+            matrix,
+        } => {
+            let local_bits = amps.len().trailing_zeros() as usize;
+            for &q in controls.iter().chain(mixing.iter()) {
+                assert!(q < local_bits, "qubit {q} outside state");
+            }
+            let mut positions: Vec<u32> = mixing
+                .iter()
+                .chain(controls.iter())
+                .map(|&q| q as u32)
+                .collect();
+            positions.sort_unstable();
+            let control_mask: usize = controls.iter().map(|&c| 1usize << c).sum();
+            let dim = matrix.dim();
+            let offsets: Vec<usize> = (0..dim)
+                .map(|s| {
+                    let mut off = 0usize;
+                    for (bit, &q) in mixing.iter().enumerate() {
+                        off |= ((s >> bit) & 1) << q;
+                    }
+                    off
+                })
+                .collect();
+            let count = amps.len() >> positions.len();
+            let per = count.div_ceil(threads);
+            let ptr = AmpPtr(amps.as_mut_ptr());
+            crossbeam::scope(|scope| {
+                for t in 0..threads {
+                    let lo = t * per;
+                    let hi = ((t + 1) * per).min(count);
+                    if lo >= hi {
+                        break;
+                    }
+                    let positions = positions.clone();
+                    let offsets = offsets.clone();
+                    let matrix = matrix.clone();
+                    scope.spawn(move |_| {
+                        let ptr = ptr; // move the Send wrapper
+                        let mut gathered = vec![Complex64::ZERO; dim];
+                        for c in lo..hi {
+                            let ibase = insert_zero_bits(c, &positions) | control_mask;
+                            if dim == 2 {
+                                // Fast path for single-qubit gates.
+                                let i0 = ibase + offsets[0];
+                                let i1 = ibase + offsets[1];
+                                unsafe {
+                                    let a0 = *ptr.0.add(i0);
+                                    let a1 = *ptr.0.add(i1);
+                                    *ptr.0.add(i0) =
+                                        matrix.get(0, 0) * a0 + matrix.get(0, 1) * a1;
+                                    *ptr.0.add(i1) =
+                                        matrix.get(1, 0) * a0 + matrix.get(1, 1) * a1;
+                                }
+                            } else {
+                                unsafe {
+                                    for (s, g) in gathered.iter_mut().enumerate() {
+                                        *g = *ptr.0.add(ibase + offsets[s]);
+                                    }
+                                    for (r, &off) in offsets.iter().enumerate() {
+                                        let mut acc = Complex64::ZERO;
+                                        for (s, &g) in gathered.iter().enumerate() {
+                                            acc = matrix.get(r, s).mul_add(g, acc);
+                                        }
+                                        *ptr.0.add(ibase + off) = acc;
+                                    }
+                                }
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("worker thread panicked");
+        }
+    }
+    // Keep the helper import used in both paths.
+    let _ = insert_zero_bit;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::StateVector;
+    use qgpu_circuit::access::GateAction;
+    use qgpu_circuit::generators::Benchmark;
+    use qgpu_circuit::Operation;
+
+    fn run_parallel(n: usize, b: Benchmark, threads: usize) -> StateVector {
+        let c = b.generate(n);
+        let mut s = StateVector::new_zero(n);
+        for op in c.iter() {
+            let action = GateAction::from_operation(op);
+            apply_action_parallel(s.amps_mut(), &action, threads);
+        }
+        s
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        // 16 qubits crosses the MIN_PARALLEL threshold.
+        for b in [Benchmark::Qft, Benchmark::Gs, Benchmark::Hchain] {
+            let serial = {
+                let c = b.generate(16);
+                let mut s = StateVector::new_zero(16);
+                s.run(&c);
+                s
+            };
+            let par = run_parallel(16, b, 4);
+            assert!(
+                par.max_deviation(&serial) < 1e-10,
+                "{b} parallel mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn single_thread_falls_back() {
+        let serial = {
+            let c = Benchmark::Bv.generate(10);
+            let mut s = StateVector::new_zero(10);
+            s.run(&c);
+            s
+        };
+        let par = run_parallel(10, Benchmark::Bv, 1);
+        assert!(par.max_deviation(&serial) < 1e-12);
+    }
+
+    #[test]
+    fn odd_thread_counts() {
+        let serial = {
+            let c = Benchmark::Iqp.generate(15);
+            let mut s = StateVector::new_zero(15);
+            s.run(&c);
+            s
+        };
+        for threads in [2, 3, 5, 7] {
+            let par = run_parallel(15, Benchmark::Iqp, threads);
+            assert!(
+                par.max_deviation(&serial) < 1e-10,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_qubit_dense_parallel() {
+        // Swap has a 4-dimensional dense matrix: exercises the generic path.
+        use qgpu_circuit::Gate;
+        let mut a = StateVector::new_zero(15);
+        let mut b = StateVector::new_zero(15);
+        let prep = Benchmark::Rqc.generate(15);
+        a.run(&prep);
+        for op in prep.iter() {
+            let action = GateAction::from_operation(op);
+            apply_action_parallel(b.amps_mut(), &action, 4);
+        }
+        let sw = Operation::new(Gate::Swap, vec![3, 12]);
+        a.apply(&sw);
+        apply_action_parallel(b.amps_mut(), &GateAction::from_operation(&sw), 4);
+        assert!(a.max_deviation(&b) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let mut s = StateVector::new_zero(4);
+        let op = Operation::new(qgpu_circuit::Gate::H, vec![0]);
+        apply_action_parallel(s.amps_mut(), &GateAction::from_operation(&op), 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Dense-operator reference implementation: an independent oracle.
+//!
+//! For small systems, a circuit can be evaluated by materializing each
+//! gate as a full `2^n × 2^n` operator and multiplying state vectors
+//! directly. This is exponentially expensive and exists purely as an
+//! *independent check* on the optimized kernels: the two paths share no
+//! indexing code, so agreement is strong evidence both are right.
+
+use qgpu_circuit::{Circuit, Matrix, Operation};
+use qgpu_math::Complex64;
+
+use crate::state::StateVector;
+
+/// Largest system the dense path accepts (a 2^12 × 2^12 operator is 256 MB).
+pub const MAX_DENSE_QUBITS: usize = 12;
+
+/// Builds the full `2^n × 2^n` operator of a single gate.
+///
+/// # Panics
+///
+/// Panics if `n > MAX_DENSE_QUBITS` or the operation is out of range.
+pub fn operator_of(op: &Operation, n: usize) -> Matrix {
+    assert!(n <= MAX_DENSE_QUBITS, "dense operator would be too large");
+    assert!(op.max_qubit() < n);
+    let dim = 1usize << n;
+    let gm = op.gate().matrix();
+    let qubits = op.qubits();
+    let k = qubits.len();
+    let mut data = vec![Complex64::ZERO; dim * dim];
+    for col in 0..dim {
+        // Sub-index of the gate's qubits within this column.
+        let mut sub = 0usize;
+        for (bit, &q) in qubits.iter().enumerate() {
+            sub |= ((col >> q) & 1) << bit;
+        }
+        for row_sub in 0..(1 << k) {
+            let v = gm.get(row_sub, sub);
+            if v.is_zero() {
+                continue;
+            }
+            let mut row = col;
+            for (bit, &q) in qubits.iter().enumerate() {
+                row = (row & !(1 << q)) | (((row_sub >> bit) & 1) << q);
+            }
+            data[row * dim + col] = v;
+        }
+    }
+    Matrix::new(dim, data)
+}
+
+/// Runs a circuit by dense operator application.
+///
+/// # Panics
+///
+/// Panics if the circuit has more than [`MAX_DENSE_QUBITS`] qubits.
+pub fn run_dense(circuit: &Circuit) -> StateVector {
+    let n = circuit.num_qubits();
+    assert!(n <= MAX_DENSE_QUBITS);
+    let dim = 1usize << n;
+    let mut amps = vec![Complex64::ZERO; dim];
+    amps[0] = Complex64::ONE;
+    for op in circuit.iter() {
+        let m = operator_of(op, n);
+        let mut next = vec![Complex64::ZERO; dim];
+        for (row, out) in next.iter_mut().enumerate() {
+            let mut acc = Complex64::ZERO;
+            for (col, &a) in amps.iter().enumerate() {
+                if !a.is_zero() {
+                    acc = m.get(row, col).mul_add(a, acc);
+                }
+            }
+            *out = acc;
+        }
+        amps = next;
+    }
+    StateVector::from_amplitudes(amps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgpu_circuit::generators::Benchmark;
+    use qgpu_circuit::Gate;
+
+    #[test]
+    fn dense_operators_are_unitary() {
+        for (g, qs) in [
+            (Gate::H, vec![2]),
+            (Gate::Cx, vec![0, 3]),
+            (Gate::Swap, vec![1, 2]),
+            (Gate::Ccx, vec![3, 0, 2]),
+            (Gate::Cp(0.7), vec![2, 1]),
+        ] {
+            let op = Operation::new(g, qs);
+            let m = operator_of(&op, 4);
+            assert!(m.is_unitary(1e-10), "{}", op);
+        }
+    }
+
+    #[test]
+    fn dense_path_agrees_with_kernels_on_benchmarks() {
+        for b in Benchmark::ALL {
+            let c = b.generate(6);
+            let dense = run_dense(&c);
+            let mut fast = StateVector::new_zero(6);
+            fast.run(&c);
+            let dev = fast.max_deviation(&dense);
+            assert!(dev < 1e-9, "{b}: kernels deviate from dense oracle by {dev}");
+        }
+    }
+
+    #[test]
+    fn dense_path_agrees_on_awkward_qubit_orders() {
+        // Reversed and interleaved argument orders stress the bit
+        // embedding on both paths.
+        let mut c = Circuit::new(5);
+        c.h(4)
+            .cx(4, 0)
+            .ccx(3, 1, 0)
+            .swap(0, 4)
+            .cp(1.234, 4, 2)
+            .rzz(0.5, 3, 0)
+            .cy(2, 4);
+        let dense = run_dense(&c);
+        let mut fast = StateVector::new_zero(5);
+        fast.run(&c);
+        assert!(fast.max_deviation(&dense) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn dense_operator_size_capped() {
+        let op = Operation::new(Gate::H, vec![0]);
+        let _ = operator_of(&op, 20);
+    }
+}

@@ -1,0 +1,4 @@
+//! Integration-test crate: all tests live in the `tests/` subdirectory.
+//! See `tests/` for cross-crate invariants (state equivalence across
+//! versions, OpenQASM round trips, experiment smoke tests, property
+//! tests).

@@ -1,0 +1,159 @@
+//! Edge cases across the stack: extreme chunk configurations, minimal
+//! circuits, and platform corner cases.
+
+use qgpu::{SimConfig, Simulator, Version};
+use qgpu_circuit::generators::Benchmark;
+use qgpu_circuit::{Circuit, Gate, Operation};
+use qgpu_device::Platform;
+use qgpu_statevec::{ChunkedState, StateVector};
+
+#[test]
+fn single_chunk_state_runs_every_version() {
+    // chunk_count_log2 = 0 → the whole state is one chunk; Case 2 can
+    // never occur and every gate is chunk-local.
+    let c = Benchmark::Gs.generate(8);
+    let mut reference = StateVector::new_zero(8);
+    reference.run(&c);
+    for v in Version::ALL {
+        let cfg = SimConfig::scaled_paper(8)
+            .with_version(v)
+            .with_chunk_count_log2(0);
+        let r = Simulator::new(cfg).run(&c);
+        let dev = r.state.expect("collected").max_deviation(&reference);
+        assert!(dev < 1e-10, "{v}: {dev}");
+    }
+}
+
+#[test]
+fn two_amplitude_chunks_run_every_version() {
+    // Minimal chunks: every multi-qubit gate crosses the boundary.
+    let c = Benchmark::Qft.generate(7);
+    let mut reference = StateVector::new_zero(7);
+    reference.run(&c);
+    for v in Version::ALL {
+        let cfg = SimConfig::scaled_paper(7)
+            .with_version(v)
+            .with_chunk_count_log2(6); // chunk_bits = 1
+        let r = Simulator::new(cfg).run(&c);
+        let dev = r.state.expect("collected").max_deviation(&reference);
+        assert!(dev < 1e-10, "{v}: {dev}");
+    }
+}
+
+#[test]
+fn one_gate_circuit() {
+    let mut c = Circuit::new(6);
+    c.h(5);
+    for v in Version::ALL {
+        let r = Simulator::new(SimConfig::scaled_paper(6).with_version(v)).run(&c);
+        let s = r.state.expect("collected");
+        assert!((s.amp(0).norm_sqr() - 0.5).abs() < 1e-12, "{v}");
+        assert!((s.amp(32).norm_sqr() - 0.5).abs() < 1e-12, "{v}");
+    }
+}
+
+#[test]
+fn diagonal_only_circuit_never_transfers_under_pruning() {
+    // All-diagonal gates on the zero state do nothing; with pruning every
+    // chunk but chunk 0 is skipped, and chunk 0 holds |0…0⟩.
+    let mut c = Circuit::new(8);
+    c.t(0).cz(1, 2).rz(0.5, 7).cp(0.3, 3, 6).rzz(0.7, 4, 5);
+    let r = Simulator::new(SimConfig::scaled_paper(8).with_version(Version::Pruning)).run(&c);
+    let s = r.state.expect("collected");
+    // rz/rzz phase the |0…0⟩ amplitude (e^{-iθ/2}) but it keeps unit
+    // magnitude, and every other amplitude stays exactly zero.
+    assert!((s.amp(0).norm_sqr() - 1.0).abs() < 1e-12);
+    assert_eq!(s.zero_count(), s.len() - 1);
+    // Only the live chunk moves, once per gate, and dynamic sizing keeps
+    // it far below the 4 KB full state.
+    assert!(r.report.bytes_h2d < 2 << 10, "bytes = {}", r.report.bytes_h2d);
+}
+
+#[test]
+fn gpu_larger_than_state_behaves_like_pure_gpu_baseline() {
+    let c = Benchmark::Bv.generate(9);
+    let platform = Platform::paper_p100(); // 16 GB for an 8 KB state
+    let r = Simulator::new(SimConfig::new(platform).with_version(Version::Baseline)).run(&c);
+    assert_eq!(r.report.host_time, 0.0);
+    assert_eq!(r.report.bytes_h2d, 0);
+}
+
+#[test]
+fn chunked_state_handles_full_width_gates() {
+    // A gate whose mixing qubit is the very top bit with maximal chunks.
+    let mut s = ChunkedState::new_zero(6, 1);
+    s.apply_operation(&Operation::new(Gate::H, vec![5]));
+    s.apply_operation(&Operation::new(Gate::Cx, vec![5, 0]));
+    let flat = s.to_flat();
+    let mut reference = StateVector::new_zero(6);
+    reference.apply(&Operation::new(Gate::H, vec![5]));
+    reference.apply(&Operation::new(Gate::Cx, vec![5, 0]));
+    assert!(flat.max_deviation(&reference) < 1e-12);
+}
+
+#[test]
+fn sixty_four_qubit_circuit_analysis_only() {
+    // Analysis (not simulation) must work at the involvement mask's edge.
+    let mut c = Circuit::new(64);
+    for q in 0..64 {
+        c.h(q);
+    }
+    c.cx(0, 63);
+    let summary = qgpu_circuit::involvement::summarize(&c);
+    assert_eq!(summary.ops_before_full, 64);
+    let order = qgpu_sched::reorder::forward_looking_order(&c);
+    assert_eq!(order.len(), c.len());
+}
+
+#[test]
+fn empty_benchmark_sizes_rejected() {
+    // The smallest supported benchmark sizes still generate.
+    for b in Benchmark::ALL {
+        let min = if matches!(b, Benchmark::Qf) { 4 } else { 2 };
+        let c = b.generate(min);
+        assert!(!c.is_empty(), "{b}");
+    }
+}
+
+#[test]
+fn batching_with_single_chunk_collapses_all_transfers() {
+    let c = Benchmark::Hchain.generate(8);
+    let cfg = SimConfig::scaled_paper(8)
+        .with_version(Version::Overlap)
+        .with_chunk_count_log2(0)
+        .with_gate_batching();
+    let r = Simulator::new(cfg).run(&c);
+    // Everything is local to the single chunk: one round trip per
+    // MAX_BATCH gates rather than per gate.
+    let state_bytes = (1u64 << 8) * 16;
+    assert!(
+        r.report.bytes_h2d <= state_bytes * (c.len() as u64 / 32),
+        "bytes_h2d = {}",
+        r.report.bytes_h2d
+    );
+    let mut reference = StateVector::new_zero(8);
+    reference.run(&c);
+    assert!(r.state.expect("collected").max_deviation(&reference) < 1e-10);
+}
+
+#[test]
+fn inverse_circuits_return_to_zero_state() {
+    use qgpu_circuit::generators::{
+        quantum_fourier_transform, quantum_fourier_transform_inverse,
+    };
+    let n = 7;
+    let mut c = quantum_fourier_transform(n);
+    c.extend_from(&quantum_fourier_transform_inverse(n));
+    let mut s = StateVector::new_zero(n);
+    s.run(&c);
+    assert!((s.amp(0).norm_sqr() - 1.0).abs() < 1e-10);
+    assert!(s.probabilities()[1..].iter().all(|&p| p < 1e-10));
+
+    // Same for an arbitrary benchmark and its inverse.
+    let b = Benchmark::Hlf.generate(7);
+    let mut round_trip = b.clone();
+    round_trip.extend_from(&b.inverse());
+    let mut s = StateVector::new_zero(7);
+    s.run(&round_trip);
+    assert!((s.amp(0).norm_sqr() - 1.0).abs() < 1e-9);
+}

@@ -1,0 +1,58 @@
+//! Smoke tests: every experiment driver runs end to end at small sizes
+//! and produces well-formed tables — `repro all` in miniature.
+
+use qgpu::experiments;
+use qgpu_circuit::generators::Benchmark;
+
+#[test]
+fn every_experiment_produces_rows() {
+    let tables = vec![
+        experiments::fig2::run(9),
+        experiments::fig3_4::run(9).0,
+        experiments::fig3_4::run(9).1,
+        experiments::fig6::run(Benchmark::Gs, 9),
+        experiments::fig7::run(9, &[0, 20, 40]),
+        experiments::fig8::run(),
+        experiments::fig9::run(10),
+        experiments::fig10::run(10),
+        experiments::fig12::run(9),
+        experiments::fig13::run(9),
+        experiments::fig14::run(9),
+        experiments::fig15::run(9),
+        experiments::fig16::run(9).0,
+        experiments::fig16::run(9).1,
+        experiments::fig17::run(9),
+        experiments::fig19::run(9),
+        experiments::tab2::run(20),
+        experiments::tab3::run(9),
+    ];
+    for t in &tables {
+        assert!(!t.rows.is_empty(), "{}: no rows", t.title);
+        for row in &t.rows {
+            assert_eq!(row.len(), t.headers.len(), "{}: ragged row", t.title);
+        }
+        // Rendering must not panic and must contain the title.
+        let rendered = t.to_string();
+        assert!(rendered.contains(&t.title));
+    }
+}
+
+#[test]
+fn headline_numbers_have_paper_shape() {
+    // One consolidated check of the reproduction's headline claims at a
+    // small-but-meaningful size.
+    let rows = experiments::fig12::measure(11);
+    let geo = |i: usize| {
+        qgpu_math::stats::geometric_mean(rows.iter().map(|r| r.versions[i]))
+    };
+    // Paper (34 qubits): Overlap 0.76, Pruning 0.52, Reorder 0.41, Q-GPU 0.28.
+    let overlap = geo(2);
+    let pruning = geo(3);
+    let reorder = geo(4);
+    let qgpu = geo(5);
+    assert!((0.5..1.0).contains(&overlap), "overlap {overlap}");
+    assert!(pruning < overlap, "pruning {pruning}");
+    assert!(reorder <= pruning, "reorder {reorder}");
+    assert!(qgpu <= reorder, "qgpu {qgpu}");
+    assert!(qgpu < 0.45, "full recipe should at least halve the time: {qgpu}");
+}

@@ -1,0 +1,60 @@
+//! OpenQASM interchange across the whole stack: emit → parse → simulate
+//! must agree with direct simulation, for every benchmark family — the
+//! flow the paper uses to feed its circuits to Qsim-Cirq and QDK (§V-C).
+
+use qgpu_circuit::generators::Benchmark;
+use qgpu_circuit::qasm;
+use qgpu_statevec::StateVector;
+
+#[test]
+fn roundtrip_preserves_simulation_semantics() {
+    let n = 9;
+    for b in Benchmark::ALL {
+        let original = b.generate(n);
+        let parsed = qasm::parse(&qasm::to_qasm(&original))
+            .unwrap_or_else(|e| panic!("{b}: {e}"));
+
+        let mut s1 = StateVector::new_zero(n);
+        s1.run(&original);
+        let mut s2 = StateVector::new_zero(n);
+        s2.run(&parsed);
+
+        let dev = s1.max_deviation(&s2);
+        assert!(dev < 1e-12, "{b}: roundtrip deviation {dev}");
+    }
+}
+
+#[test]
+fn double_roundtrip_is_stable() {
+    let original = Benchmark::Qf.generate(8);
+    let once = qasm::to_qasm(&original);
+    let twice = qasm::to_qasm(&qasm::parse(&once).expect("first parse"));
+    assert_eq!(once, twice, "emission must be a fixed point");
+}
+
+#[test]
+fn qasm_headers_are_standard() {
+    let text = qasm::to_qasm(&Benchmark::Bv.generate(5));
+    assert!(text.starts_with("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n"));
+    assert!(text.contains("qreg q[5];"));
+}
+
+#[test]
+fn parses_external_style_program() {
+    // A program in the style another toolchain would emit: mixed
+    // whitespace, comments, u-gates, measurement boilerplate.
+    let src = r#"
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+u2(0,pi) q[0];   // Hadamard as u2
+cx q[0], q[1];
+u1(pi/4) q[2];
+barrier q[0], q[1], q[2];
+measure q[0] -> c[0];
+"#;
+    let c = qasm::parse(src).expect("parse external program");
+    assert_eq!(c.len(), 3);
+    assert_eq!(c.num_qubits(), 3);
+}

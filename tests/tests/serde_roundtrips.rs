@@ -1,0 +1,60 @@
+//! Serde and common-trait conformance for the configuration and report
+//! types that downstream tooling persists.
+//!
+//! No JSON/binary codec is in the dependency set, so serializability is
+//! asserted at compile time via trait bounds; value-level checks go
+//! through `Clone`/`PartialEq`.
+
+use qgpu::{SimConfig, Version};
+use qgpu_device::{ExecutionReport, GpuSpec, HostSpec, LinkSpec, Platform};
+
+fn assert_serializable<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn core_types_implement_serde() {
+    assert_serializable::<Platform>();
+    assert_serializable::<GpuSpec>();
+    assert_serializable::<HostSpec>();
+    assert_serializable::<LinkSpec>();
+    assert_serializable::<ExecutionReport>();
+    assert_serializable::<SimConfig>();
+    assert_serializable::<Version>();
+    assert_serializable::<qgpu::experiments::Table>();
+    assert_serializable::<qgpu_math::Complex64>();
+    assert_serializable::<qgpu_compress::Compressed>();
+}
+
+#[test]
+fn core_types_are_send_sync() {
+    // Required for the parallel experiment runner and any multithreaded
+    // embedding (C-SEND-SYNC).
+    assert_send_sync::<SimConfig>();
+    assert_send_sync::<Platform>();
+    assert_send_sync::<qgpu::RunResult>();
+    assert_send_sync::<qgpu_statevec::StateVector>();
+    assert_send_sync::<qgpu_statevec::ChunkedState>();
+    assert_send_sync::<qgpu_circuit::Circuit>();
+    assert_send_sync::<qgpu_compress::GfcCodec>();
+}
+
+#[test]
+fn errors_are_well_behaved() {
+    // Error types implement Error + Send + Sync + 'static (C-GOOD-ERR).
+    fn assert_error<T: std::error::Error + Send + Sync + 'static>() {}
+    assert_error::<qgpu_circuit::qasm::ParseQasmError>();
+    assert_error::<qgpu_compress::gfc::DecodeGfcError>();
+}
+
+#[test]
+fn presets_are_cloneable_and_equal() {
+    for p in [
+        Platform::paper_p100(),
+        Platform::paper_v100(),
+        Platform::paper_a100(),
+        Platform::quad_p4_pcie(),
+        Platform::quad_v100_nvlink(),
+    ] {
+        assert_eq!(p.clone(), p);
+    }
+}

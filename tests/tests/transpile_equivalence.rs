@@ -1,0 +1,130 @@
+//! Transpilation must preserve simulation semantics: every benchmark
+//! decomposed to the {1-qubit, CX} basis simulates to the identical state
+//! (exactly — the decompositions used carry no global phase).
+
+use qgpu_circuit::generators::Benchmark;
+use qgpu_circuit::transpile;
+use qgpu_circuit::{Circuit, Gate};
+use qgpu_statevec::StateVector;
+
+fn run(c: &Circuit) -> StateVector {
+    let mut s = StateVector::new_zero(c.num_qubits());
+    s.run(c);
+    s
+}
+
+#[test]
+fn cx_basis_matches_original_on_all_benchmarks() {
+    for b in Benchmark::ALL {
+        let original = b.generate(9);
+        let basis = transpile::to_cx_basis(&original);
+        let dev = run(&basis).max_deviation(&run(&original));
+        assert!(dev < 1e-10, "{b}: transpile deviation {dev}");
+    }
+}
+
+#[test]
+fn each_decomposition_rule_is_exact() {
+    // One circuit per decomposed gate, on states that exercise all basis
+    // components (Hadamard preamble).
+    let cases: Vec<Circuit> = vec![
+        {
+            let mut c = Circuit::new(2);
+            c.h(0).h(1).cz(0, 1);
+            c
+        },
+        {
+            let mut c = Circuit::new(2);
+            c.h(0).h(1).cy(0, 1);
+            c
+        },
+        {
+            let mut c = Circuit::new(2);
+            c.h(0).h(1).cp(0.873, 1, 0);
+            c
+        },
+        {
+            let mut c = Circuit::new(2);
+            c.h(0).h(1).rzz(-1.41, 0, 1);
+            c
+        },
+        {
+            let mut c = Circuit::new(2);
+            c.h(0).t(0).swap(0, 1);
+            c
+        },
+        {
+            let mut c = Circuit::new(3);
+            c.h(0).h(1).h(2).ccx(2, 0, 1);
+            c
+        },
+    ];
+    for c in &cases {
+        let basis = transpile::to_cx_basis(c);
+        let dev = run(&basis).max_deviation(&run(c));
+        assert!(
+            dev < 1e-12,
+            "{}: deviation {dev}",
+            c.ops().last().expect("non-empty").gate().name()
+        );
+    }
+}
+
+#[test]
+fn transpiled_circuits_roundtrip_through_qasm() {
+    let c = transpile::to_cx_basis(&Benchmark::Qf.generate(8));
+    let parsed = qgpu_circuit::qasm::parse(&qgpu_circuit::qasm::to_qasm(&c)).expect("parse");
+    assert!(run(&parsed).max_deviation(&run(&c)) < 1e-12);
+}
+
+#[test]
+fn canonicalized_roots_match_up_to_global_phase() {
+    let mut c = Circuit::new(2);
+    c.sx(0).sy(1).cx(0, 1).sx(1);
+    let canon = transpile::canonicalize_roots(&c);
+    assert!(canon.iter().all(|op| !matches!(op.gate(), Gate::Sx | Gate::Sy)));
+    let a = run(&c);
+    let b = run(&canon);
+    // Fidelity 1 even though amplitudes differ by a global phase.
+    assert!((a.fidelity(&b) - 1.0).abs() < 1e-10);
+}
+
+#[test]
+fn transpilation_grows_two_qubit_count_predictably() {
+    let mut c = Circuit::new(3);
+    c.swap(0, 1).ccx(0, 1, 2).cz(1, 2);
+    let basis = transpile::to_cx_basis(&c);
+    // swap -> 3 cx, ccx -> 6 cx, cz -> 1 cx.
+    assert_eq!(transpile::two_qubit_gate_count(&basis), 10);
+}
+
+#[test]
+fn peephole_preserves_semantics_on_benchmarks() {
+    for b in Benchmark::ALL {
+        // Pad each benchmark with redundant gates, then optimize.
+        let mut c = b.generate(8);
+        let mut padded = Circuit::new(8);
+        for (i, op) in c.iter().enumerate() {
+            padded.push(op.clone());
+            if i % 3 == 0 {
+                let q = op.qubits()[0];
+                padded.x(q).x(q); // redundant pair
+            }
+        }
+        c = padded;
+        let optimized = transpile::peephole(&c);
+        assert!(optimized.len() < c.len(), "{b}: nothing removed");
+        let dev = run(&optimized).max_deviation(&run(&c));
+        assert!(dev < 1e-10, "{b}: peephole deviation {dev}");
+    }
+}
+
+#[test]
+fn peephole_after_cx_basis_shrinks_decompositions() {
+    // cz(a,b) cz(a,b) decomposes to h cx h h cx h: peephole collapses it
+    // entirely.
+    let mut c = Circuit::new(2);
+    c.cz(0, 1).cz(0, 1);
+    let optimized = transpile::peephole(&transpile::to_cx_basis(&c));
+    assert!(optimized.is_empty(), "{} ops left", optimized.len());
+}

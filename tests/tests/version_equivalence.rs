@@ -1,0 +1,96 @@
+//! The paper's central correctness claim, end to end: every execution
+//! version — across chunk sizes, platforms, and GPU counts — produces the
+//! identical final state, and pruning/reordering/compression "do not
+//! affect the simulation results nor introduce error" (§IV-C).
+
+use qgpu::{SimConfig, Simulator, Version};
+use qgpu_circuit::generators::Benchmark;
+use qgpu_device::Platform;
+use qgpu_statevec::StateVector;
+
+fn reference(b: Benchmark, n: usize) -> StateVector {
+    let c = b.generate(n);
+    let mut s = StateVector::new_zero(n);
+    s.run(&c);
+    s
+}
+
+#[test]
+fn all_versions_all_benchmarks_match_reference() {
+    let n = 10;
+    for b in Benchmark::ALL {
+        let circuit = b.generate(n);
+        let expect = reference(b, n);
+        for v in Version::ALL {
+            let r = Simulator::new(SimConfig::scaled_paper(n).with_version(v)).run(&circuit);
+            let dev = r.state.expect("state collected").max_deviation(&expect);
+            assert!(dev < 1e-9, "{b}/{v}: deviation {dev}");
+        }
+    }
+}
+
+#[test]
+fn chunk_count_does_not_change_results() {
+    let n = 10;
+    let circuit = Benchmark::Hchain.generate(n);
+    let expect = reference(Benchmark::Hchain, n);
+    for chunk_count_log2 in [1, 3, 5, 7, 9] {
+        let cfg = SimConfig::scaled_paper(n)
+            .with_version(Version::QGpu)
+            .with_chunk_count_log2(chunk_count_log2);
+        let r = Simulator::new(cfg).run(&circuit);
+        let dev = r.state.expect("collected").max_deviation(&expect);
+        assert!(dev < 1e-9, "chunk_count_log2={chunk_count_log2}: {dev}");
+    }
+}
+
+#[test]
+fn multi_gpu_does_not_change_results() {
+    let n = 10;
+    for b in [Benchmark::Qft, Benchmark::Gs, Benchmark::Iqp] {
+        let circuit = b.generate(n);
+        let expect = reference(b, n);
+        for platform in [
+            Platform::quad_p4_pcie().miniaturize(n, 0.02),
+            Platform::quad_v100_nvlink().miniaturize(n, 0.02),
+        ] {
+            for v in [Version::Baseline, Version::Overlap, Version::QGpu] {
+                let r = Simulator::new(SimConfig::new(platform.clone()).with_version(v))
+                    .run(&circuit);
+                let dev = r.state.expect("collected").max_deviation(&expect);
+                assert!(dev < 1e-9, "{b}/{v} on {}: {dev}", platform.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn comparators_match_reference_too() {
+    use qgpu::comparators::{cpu_parallel, qdk_like, qsim_like};
+    use qgpu_device::HostSpec;
+    let n = 10;
+    let host = HostSpec::dual_xeon_4114();
+    for b in Benchmark::ALL {
+        let circuit = b.generate(n);
+        let expect = reference(b, n);
+        for result in [
+            cpu_parallel(&circuit, &host),
+            qsim_like(&circuit, &host),
+            qdk_like(&circuit, &host),
+        ] {
+            let dev = result.state.max_deviation(&expect);
+            assert!(dev < 1e-8, "{b}/{}: deviation {dev}", result.engine);
+        }
+    }
+}
+
+#[test]
+fn norm_is_preserved_by_the_full_pipeline() {
+    for b in Benchmark::ALL {
+        let circuit = b.generate(9);
+        let r = Simulator::new(SimConfig::scaled_paper(9).with_version(Version::QGpu))
+            .run(&circuit);
+        let norm = r.state.expect("collected").norm();
+        assert!((norm - 1.0).abs() < 1e-9, "{b}: norm {norm}");
+    }
+}
