@@ -7,8 +7,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use qgpu_bench::noise_amplitudes;
 use qgpu_circuit::access::GateAction;
+use qgpu_circuit::generators::Benchmark;
 use qgpu_circuit::{Gate, Operation};
-use qgpu_statevec::{kernels, parallel};
+use qgpu_statevec::{kernels, parallel, StateVector};
 
 const QUBITS: usize = 18;
 
@@ -51,12 +52,59 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+/// Whole-circuit execution: unfused gate-by-gate vs the fusion pass —
+/// exact replay, collapsed kernels, and collapsed + 4 worker threads — on
+/// the two most fusion-friendly paper benchmarks at 20 qubits. The
+/// acceptance target is fused+parallel ≥ 2× over the unfused seed path on
+/// `qft_20` (see EXPERIMENTS.md for recorded numbers).
+fn bench_fused(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/fused");
+    group.sample_size(10);
+    const N: usize = 20;
+    for (name, b) in [("qft_20", Benchmark::Qft), ("iqp_20", Benchmark::Iqp)] {
+        let circ = b.generate(N);
+        group.bench_with_input(BenchmarkId::new("unfused", name), &circ, |bch, circ| {
+            bch.iter(|| {
+                let mut s = StateVector::new_zero(N);
+                s.run(circ);
+                s.amp(0)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fused_exact", name), &circ, |bch, circ| {
+            bch.iter(|| {
+                let mut s = StateVector::new_zero(N);
+                s.run_fused(circ, 1);
+                s.amp(0)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fused", name), &circ, |bch, circ| {
+            bch.iter(|| {
+                let mut s = StateVector::new_zero(N);
+                s.run_fused_collapsed(circ, 1);
+                s.amp(0)
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("fused_parallel4", name),
+            &circ,
+            |bch, circ| {
+                bch.iter(|| {
+                    let mut s = StateVector::new_zero(N);
+                    s.run_fused_collapsed(circ, 4);
+                    s.amp(0)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(20);
-    targets = bench_kernels
+    targets = bench_kernels, bench_fused
 );
 criterion_main!(benches);

@@ -15,15 +15,14 @@ fn bench_versions(c: &mut Criterion) {
     for b in [Benchmark::Gs, Benchmark::Iqp, Benchmark::Qft] {
         let circuit = b.generate(qubits);
         for v in Version::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(b.abbrev(), v.label()),
-                &v,
-                |bench, &v| {
-                    let sim =
-                        Simulator::new(SimConfig::scaled_paper(qubits).with_version(v).timing_only());
-                    bench.iter(|| sim.run(&circuit));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(b.abbrev(), v.label()), &v, |bench, &v| {
+                let sim = Simulator::new(
+                    SimConfig::scaled_paper(qubits)
+                        .with_version(v)
+                        .timing_only(),
+                );
+                bench.iter(|| sim.run(&circuit));
+            });
         }
     }
     group.finish();

@@ -35,7 +35,10 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--qubits" | "-q" => {
                 let v = args.next().ok_or("missing value after --qubits")?;
-                qubits = Some(v.parse::<usize>().map_err(|_| format!("bad qubit count '{v}'"))?);
+                qubits = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("bad qubit count '{v}'"))?,
+                );
             }
             "--json" => json = true,
             other => return Err(format!("unknown argument '{other}'\n{}", usage())),
@@ -61,7 +64,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("fig8", "gs_5 reordering walk-through"),
     ("fig9", "involvement under three gate orders"),
     ("fig10", "residual distributions / compressibility"),
-    ("fig12", "normalized execution time, all versions (headline)"),
+    (
+        "fig12",
+        "normalized execution time, all versions (headline)",
+    ),
     ("fig13", "normalized data transfer time"),
     ("fig14", "compression/decompression overheads"),
     ("fig15", "roofline analysis"),
@@ -73,12 +79,18 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("scaling", "figure 12 geomeans across qubit counts"),
     ("abl-chunks", "ablation: chunk count"),
     ("abl-dynamic", "ablation: dynamic vs fixed chunk size"),
-    ("abl-reorder", "ablation: greedy vs forward-looking, end to end"),
+    (
+        "abl-reorder",
+        "ablation: greedy vs forward-looking, end to end",
+    ),
     ("abl-buffer", "ablation: double-buffer split fraction"),
     ("ext-batching", "extension: gate batching over Q-GPU"),
 ];
 
-fn collect(name: &str, qubits: Option<usize>) -> Result<(Vec<qgpu::experiments::Table>, String), String> {
+fn collect(
+    name: &str,
+    qubits: Option<usize>,
+) -> Result<(Vec<qgpu::experiments::Table>, String), String> {
     // Default sizes: simulation-bearing experiments run at 14 qubits
     // (seconds each), analysis-only ones at the paper's own sizes.
     let q_sim = qubits.unwrap_or(14);
@@ -91,7 +103,10 @@ fn collect(name: &str, qubits: Option<usize>) -> Result<(Vec<qgpu::experiments::
             extra = experiments::fig6::gantt(Benchmark::Qft, q_sim.min(10), 100);
             vec![experiments::fig6::run(Benchmark::Qft, q_sim.min(12))]
         }
-        "fig7" => vec![experiments::fig7::run(qubits.unwrap_or(10), &[0, 30, 60, 90])],
+        "fig7" => vec![experiments::fig7::run(
+            qubits.unwrap_or(10),
+            &[0, 30, 60, 90],
+        )],
         "fig8" => vec![experiments::fig8::run()],
         "fig9" => vec![experiments::fig9::run(qubits.unwrap_or(22))],
         "fig10" => vec![experiments::fig10::run(qubits.unwrap_or(16))],

@@ -81,9 +81,7 @@ impl GateAction {
         // Argument positions (bit indices into the gate matrix) that act
         // as controls: the matrix is identity wherever that bit is 0.
         let k = qubits.len();
-        let control_args: Vec<usize> = (0..k)
-            .filter(|&arg| is_control_bit(&matrix, arg))
-            .collect();
+        let control_args: Vec<usize> = (0..k).filter(|&arg| is_control_bit(&matrix, arg)).collect();
         let mixing_args: Vec<usize> = (0..k).filter(|a| !control_args.contains(a)).collect();
         debug_assert!(!mixing_args.is_empty(), "non-diagonal gate must mix");
 
@@ -143,7 +141,11 @@ fn is_control_bit(m: &Matrix, arg: usize) -> bool {
             let v = m.get(r, c);
             if (r & bit) == 0 || (c & bit) == 0 {
                 // Outside the controls-on block the matrix must be identity.
-                let expected = if r == c { Complex64::ONE } else { Complex64::ZERO };
+                let expected = if r == c {
+                    Complex64::ONE
+                } else {
+                    Complex64::ZERO
+                };
                 if !v.approx_eq(expected, 1e-14) {
                     return false;
                 }
@@ -184,7 +186,14 @@ mod tests {
 
     #[test]
     fn single_qubit_gates_have_one_mixing_qubit() {
-        for g in [Gate::H, Gate::X, Gate::Y, Gate::Sx, Gate::Rx(0.3), Gate::U(1.0, 0.2, 0.3)] {
+        for g in [
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Sx,
+            Gate::Rx(0.3),
+            Gate::U(1.0, 0.2, 0.3),
+        ] {
             let a = GateAction::from_operation(&Operation::new(g, vec![7]));
             assert_eq!(a.mixing_qubits(), &[7], "{}", g.name());
             assert!(a.control_qubits().is_empty());

@@ -38,7 +38,10 @@ impl Circuit {
     /// machinery uses `u64` masks, matching the paper's scope).
     pub fn new(num_qubits: usize) -> Self {
         assert!(num_qubits > 0, "circuit needs at least one qubit");
-        assert!(num_qubits <= 64, "circuits beyond 64 qubits are unsupported");
+        assert!(
+            num_qubits <= 64,
+            "circuits beyond 64 qubits are unsupported"
+        );
         Circuit {
             num_qubits,
             ops: Vec::new(),

@@ -168,10 +168,14 @@ impl Gate {
             Gate::Z => Matrix::new(2, vec![o, z, z, -o]),
             Gate::S => Matrix::new(2, vec![o, z, z, i]),
             Gate::Sdg => Matrix::new(2, vec![o, z, z, -i]),
-            Gate::T => Matrix::new(2, vec![o, z, z, Complex64::cis(std::f64::consts::FRAC_PI_4)]),
-            Gate::Tdg => {
-                Matrix::new(2, vec![o, z, z, Complex64::cis(-std::f64::consts::FRAC_PI_4)])
-            }
+            Gate::T => Matrix::new(
+                2,
+                vec![o, z, z, Complex64::cis(std::f64::consts::FRAC_PI_4)],
+            ),
+            Gate::Tdg => Matrix::new(
+                2,
+                vec![o, z, z, Complex64::cis(-std::f64::consts::FRAC_PI_4)],
+            ),
             Gate::Sx => {
                 let a = Complex64::new(0.5, 0.5);
                 let b = Complex64::new(0.5, -0.5);
@@ -313,7 +317,11 @@ impl Gate {
     /// Angle parameters of the gate, in OpenQASM argument order.
     pub fn params(self) -> Vec<f64> {
         match self {
-            Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) | Gate::Phase(t) | Gate::Cp(t)
+            Gate::Rx(t)
+            | Gate::Ry(t)
+            | Gate::Rz(t)
+            | Gate::Phase(t)
+            | Gate::Cp(t)
             | Gate::Rzz(t) => vec![t],
             Gate::U(a, b, c) => vec![a, b, c],
             _ => Vec::new(),
@@ -454,9 +462,7 @@ impl Matrix {
     /// Returns `true` if all off-diagonal entries are zero within `eps`.
     pub fn is_diagonal(&self, eps: f64) -> bool {
         let n = self.dim;
-        (0..n).all(|r| {
-            (0..n).all(|c| r == c || self.get(r, c).approx_eq(Complex64::ZERO, eps))
-        })
+        (0..n).all(|r| (0..n).all(|c| r == c || self.get(r, c).approx_eq(Complex64::ZERO, eps)))
     }
 }
 

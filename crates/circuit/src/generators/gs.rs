@@ -61,10 +61,7 @@ mod tests {
     #[test]
     fn touches_all_qubits() {
         let c = graph_state(12, 3);
-        assert_eq!(
-            involvement_sequence(&c).last(),
-            Some(&full_mask(12))
-        );
+        assert_eq!(involvement_sequence(&c).last(), Some(&full_mask(12)));
     }
 
     #[test]

@@ -31,8 +31,7 @@ pub use iqp::instantaneous_quantum_polynomial;
 pub use qaoa::qaoa_maxcut;
 pub use qf::quadratic_form;
 pub use qft::{
-    quantum_fourier_transform, quantum_fourier_transform_approx,
-    quantum_fourier_transform_inverse,
+    quantum_fourier_transform, quantum_fourier_transform_approx, quantum_fourier_transform_inverse,
 };
 pub use rqc::random_quantum_circuit;
 
@@ -205,8 +204,7 @@ mod tests {
     fn table2_qualitative_ordering() {
         // The paper's Table II shape: iqp involves qubits latest; qft,
         // qaoa and qf earliest.
-        let pct =
-            |b: Benchmark| summarize(&b.generate(20)).percentage;
+        let pct = |b: Benchmark| summarize(&b.generate(20)).percentage;
         let iqp = pct(Benchmark::Iqp);
         for early in [Benchmark::Qft, Benchmark::Qaoa, Benchmark::Qf] {
             assert!(

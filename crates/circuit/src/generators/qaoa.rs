@@ -78,7 +78,11 @@ mod tests {
     #[test]
     fn early_involvement_percentage() {
         let s = summarize(&qaoa_maxcut(20, 8, 2));
-        assert!(s.percentage < 10.0, "qaoa involves early: {:.1}%", s.percentage);
+        assert!(
+            s.percentage < 10.0,
+            "qaoa involves early: {:.1}%",
+            s.percentage
+        );
     }
 
     #[test]

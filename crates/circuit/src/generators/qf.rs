@@ -95,7 +95,11 @@ mod tests {
     #[test]
     fn early_involvement() {
         let s = summarize(&quadratic_form(20, 1));
-        assert!(s.percentage < 25.0, "qf involves early: {:.1}%", s.percentage);
+        assert!(
+            s.percentage < 25.0,
+            "qf involves early: {:.1}%",
+            s.percentage
+        );
     }
 
     #[test]

@@ -37,6 +37,7 @@
 pub mod access;
 pub mod circuit;
 pub mod dag;
+pub mod fuse;
 pub mod gate;
 pub mod generators;
 pub mod involvement;

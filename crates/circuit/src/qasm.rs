@@ -23,7 +23,11 @@ pub struct ParseQasmError {
 
 impl std::fmt::Display for ParseQasmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "qasm parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -119,7 +123,9 @@ pub fn parse(text: &str) -> Result<Circuit, ParseQasmError> {
                 circuit = Some(Circuit::new(size));
                 continue;
             }
-            if stmt.starts_with("creg") || stmt.starts_with("barrier") || stmt.starts_with("measure")
+            if stmt.starts_with("creg")
+                || stmt.starts_with("barrier")
+                || stmt.starts_with("measure")
             {
                 continue;
             }
@@ -206,18 +212,31 @@ fn parse_gate_stmt(
         .map(|a| parse_qubit(a.trim(), reg, num_qubits, line))
         .collect::<Result<Vec<usize>, _>>()?;
 
-    let gate = gate_from_name(name, &params)
-        .ok_or_else(|| err(line, format!("unknown gate '{name}' with {} params", params.len())))?;
+    let gate = gate_from_name(name, &params).ok_or_else(|| {
+        err(
+            line,
+            format!("unknown gate '{name}' with {} params", params.len()),
+        )
+    })?;
     if gate.arity() != qubits.len() {
         return Err(err(
             line,
-            format!("gate {name} expects {} qubits, got {}", gate.arity(), qubits.len()),
+            format!(
+                "gate {name} expects {} qubits, got {}",
+                gate.arity(),
+                qubits.len()
+            ),
         ));
     }
     Ok(Operation::new(gate, qubits))
 }
 
-fn parse_qubit(s: &str, reg: &str, num_qubits: usize, line: usize) -> Result<usize, ParseQasmError> {
+fn parse_qubit(
+    s: &str,
+    reg: &str,
+    num_qubits: usize,
+    line: usize,
+) -> Result<usize, ParseQasmError> {
     let open = s.find('[').ok_or_else(|| err(line, "expected q[i]"))?;
     let close = s.find(']').ok_or_else(|| err(line, "expected ]"))?;
     let name = s[..open].trim();

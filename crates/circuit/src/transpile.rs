@@ -96,10 +96,7 @@ fn decompose_into(op: &Operation, out: &mut Circuit) {
 /// Counts two-qubit gates in a circuit — the usual cost metric after
 /// transpilation.
 pub fn two_qubit_gate_count(circuit: &Circuit) -> usize {
-    circuit
-        .iter()
-        .filter(|op| op.qubits().len() >= 2)
-        .count()
+    circuit.iter().filter(|op| op.qubits().len() >= 2).count()
 }
 
 /// Rewrites the `sx`/`sy` roots as `U` rotations (some backends reject
@@ -339,7 +336,9 @@ mod tests {
         let mut c = Circuit::new(2);
         c.sx(0).sy(1).h(0);
         let out = canonicalize_roots(&c);
-        assert!(out.iter().all(|op| !matches!(op.gate(), Gate::Sx | Gate::Sy)));
+        assert!(out
+            .iter()
+            .all(|op| !matches!(op.gate(), Gate::Sx | Gate::Sy)));
         assert_eq!(out.len(), 3);
     }
 }

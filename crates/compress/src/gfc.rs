@@ -158,8 +158,10 @@ impl GfcCodec {
     pub fn try_decompress(&self, c: &Compressed) -> Result<Vec<f64>, DecodeGfcError> {
         let mut out = Vec::with_capacity(c.num_values);
         for (i, seg) in c.segments.iter().enumerate() {
-            decompress_segment(seg, &mut out)
-                .map_err(|message| DecodeGfcError { segment: i, message })?;
+            decompress_segment(seg, &mut out).map_err(|message| DecodeGfcError {
+                segment: i,
+                message,
+            })?;
         }
         if out.len() != c.num_values {
             return Err(DecodeGfcError {
@@ -285,7 +287,11 @@ fn decompress_segment(seg: &[u8], out: &mut Vec<f64>) -> Result<(), &'static str
     let mut pos = 0usize;
     for i in 0..n {
         let packed = headers[i / 2];
-        let header = if i % 2 == 0 { packed >> 4 } else { packed & 0x0f };
+        let header = if i % 2 == 0 {
+            packed >> 4
+        } else {
+            packed & 0x0f
+        };
         let sign = (header >> 3) & 1;
         let lzb = (header & 0x7) as usize;
         let keep = 8 - lzb;
@@ -342,7 +348,11 @@ mod tests {
         let data = vec![0.0f64; 4096];
         let c = codec.compress(&data);
         // 4 bits header + 1 byte payload per value + segment overhead.
-        assert!(c.total_bytes() < data.len() * 2, "{} bytes", c.total_bytes());
+        assert!(
+            c.total_bytes() < data.len() * 2,
+            "{} bytes",
+            c.total_bytes()
+        );
         roundtrip(&codec, &data);
     }
 

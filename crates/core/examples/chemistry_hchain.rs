@@ -27,7 +27,10 @@ fn main() {
     let mut reference = StateVector::new_zero(n);
     reference.run(&circuit);
 
-    println!("\n{:<10} {:>12} {:>12} {:>14}", "version", "time (ms)", "vs baseline", "state deviation");
+    println!(
+        "\n{:<10} {:>12} {:>12} {:>14}",
+        "version", "time (ms)", "vs baseline", "state deviation"
+    );
     let mut baseline_time = None;
     for v in Version::ALL {
         let result = Simulator::new(SimConfig::scaled_paper(n).with_version(v)).run(&circuit);
@@ -37,7 +40,13 @@ fn main() {
             .state
             .expect("state collected")
             .max_deviation(&reference);
-        println!("{:<10} {:>12.3} {:>11.2}x {:>14.2e}", v.label(), t, base / t, dev);
+        println!(
+            "{:<10} {:>12.3} {:>11.2}x {:>14.2e}",
+            v.label(),
+            t,
+            base / t,
+            dev
+        );
     }
 
     // Chemistry observables: per-site occupation and the chain's
@@ -61,5 +70,8 @@ fn main() {
     for i in 0..n {
         h.add(0.25, PauliString::z(i));
     }
-    println!("\ntight-binding energy ⟨H⟩ = {:.6}", h.expectation(&reference));
+    println!(
+        "\ntight-binding energy ⟨H⟩ = {:.6}",
+        h.expectation(&reference)
+    );
 }

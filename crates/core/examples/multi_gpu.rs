@@ -32,7 +32,9 @@ fn main() {
         for count in [1usize, 2, 4] {
             let platform = with_gpus(&server, count);
             let r = Simulator::new(
-                SimConfig::new(platform).with_version(Version::QGpu).timing_only(),
+                SimConfig::new(platform)
+                    .with_version(Version::QGpu)
+                    .timing_only(),
             )
             .run(&circuit);
             let t = r.report.total_time * 1e3;
@@ -41,11 +43,15 @@ fn main() {
         }
         // And the baseline the paper compares against.
         let baseline = Simulator::new(
-            SimConfig::new(server.clone()).with_version(Version::Baseline).timing_only(),
+            SimConfig::new(server.clone())
+                .with_version(Version::Baseline)
+                .timing_only(),
         )
         .run(&circuit);
         let qgpu = Simulator::new(
-            SimConfig::new(server.clone()).with_version(Version::QGpu).timing_only(),
+            SimConfig::new(server.clone())
+                .with_version(Version::QGpu)
+                .timing_only(),
         )
         .run(&circuit);
         println!(

@@ -28,8 +28,8 @@ fn main() {
     }
     circuit.extend_from(&quantum_fourier_transform(n));
 
-    let result = Simulator::new(SimConfig::scaled_paper(n).with_version(Version::QGpu))
-        .run(&circuit);
+    let result =
+        Simulator::new(SimConfig::scaled_paper(n).with_version(Version::QGpu)).run(&circuit);
     let state = result.state.expect("state collected");
 
     // Peaks appear at multiples of 2^n / period.
@@ -44,12 +44,13 @@ fn main() {
         .collect();
     peaks.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     for &(idx, p) in peaks.iter().take(period) {
-        println!("  peak at {idx:5} (stride multiple {}): p = {p:.4}", idx / expected_stride);
+        println!(
+            "  peak at {idx:5} (stride multiple {}): p = {p:.4}",
+            idx / expected_stride
+        );
     }
     let all_on_grid = peaks.iter().all(|&(idx, _)| idx % expected_stride == 0);
-    println!(
-        "\nall peaks on the 2^n/r grid: {all_on_grid} → recovered period r = {period}"
-    );
+    println!("\nall peaks on the 2^n/r grid: {all_on_grid} → recovered period r = {period}");
     println!(
         "modeled time: {:.3} ms ({} bytes moved, compression {:.2}x)",
         result.report.total_time * 1e3,

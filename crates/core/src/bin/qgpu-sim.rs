@@ -13,6 +13,8 @@
 //!   --platform <p100|v100|a100|4xp4|4xv100>   modeled platform (default p100)
 //!   --top <N>          print the N most likely basis states (default 8)
 //!   --batching         enable the gate-batching extension
+//!   --fuse             enable the gate-fusion pass
+//!   --threads <N>      functional worker threads (default 1)
 //!   --peephole         run the peephole optimizer before simulating
 //!   --cx-basis         transpile to the {1-qubit, CX} basis first
 //!   --report           print the modeled execution report
@@ -25,8 +27,8 @@ use std::process::ExitCode;
 
 use qgpu::{SimConfig, Simulator, Version};
 use qgpu_circuit::generators::Benchmark;
-use qgpu_device::Platform;
 use qgpu_circuit::{qasm, Circuit};
+use qgpu_device::Platform;
 use qgpu_statevec::measure;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,6 +41,8 @@ struct Options {
     chunks_log2: u32,
     top: usize,
     batching: bool,
+    fuse: bool,
+    threads: usize,
     report: bool,
     save: Option<String>,
     platform: String,
@@ -74,6 +78,8 @@ fn parse_args() -> Result<Options, String> {
     let mut chunks_log2 = 8u32;
     let mut top = 8usize;
     let mut batching = false;
+    let mut fuse = false;
+    let mut threads = 1usize;
     let mut report = false;
     let mut save = None;
     let mut platform = "p100".to_string();
@@ -81,7 +87,7 @@ fn parse_args() -> Result<Options, String> {
     let mut cx_basis = false;
 
     let take = |args: &mut std::iter::Peekable<std::iter::Skip<env::Args>>,
-                    flag: &str|
+                flag: &str|
      -> Result<String, String> {
         args.next().ok_or(format!("missing value after {flag}"))
     };
@@ -97,13 +103,28 @@ fn parse_args() -> Result<Options, String> {
                 )
             }
             "--version" | "-v" => version = parse_version(&take(&mut args, "--version")?)?,
-            "--shots" => shots = take(&mut args, "--shots")?.parse().map_err(|_| "bad shots")?,
+            "--shots" => {
+                shots = take(&mut args, "--shots")?
+                    .parse()
+                    .map_err(|_| "bad shots")?
+            }
             "--seed" => seed = take(&mut args, "--seed")?.parse().map_err(|_| "bad seed")?,
             "--chunks" => {
-                chunks_log2 = take(&mut args, "--chunks")?.parse().map_err(|_| "bad chunks")?
+                chunks_log2 = take(&mut args, "--chunks")?
+                    .parse()
+                    .map_err(|_| "bad chunks")?
             }
             "--top" => top = take(&mut args, "--top")?.parse().map_err(|_| "bad top")?,
             "--batching" => batching = true,
+            "--fuse" => fuse = true,
+            "--threads" => {
+                threads = take(&mut args, "--threads")?
+                    .parse()
+                    .map_err(|_| "bad thread count")?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+            }
             "--report" | "-r" => report = true,
             "--save" => save = Some(take(&mut args, "--save")?),
             "--platform" | "-p" => platform = take(&mut args, "--platform")?,
@@ -131,6 +152,8 @@ fn parse_args() -> Result<Options, String> {
         chunks_log2,
         top,
         batching,
+        fuse,
+        threads,
         report,
         save,
         platform,
@@ -139,7 +162,7 @@ fn parse_args() -> Result<Options, String> {
     })
 }
 
-const HELP: &str = "usage: qgpu-sim <file.qasm> | --benchmark <name> --qubits <N>\n  [--version baseline|naive|overlap|pruning|reorder|qgpu] [--shots N]\n  [--seed N] [--chunks log2] [--top N] [--batching] [--report] [--save path]";
+const HELP: &str = "usage: qgpu-sim <file.qasm> | --benchmark <name> --qubits <N>\n  [--version baseline|naive|overlap|pruning|reorder|qgpu] [--shots N]\n  [--seed N] [--chunks log2] [--top N] [--batching] [--fuse] [--threads N]\n  [--report] [--save path]";
 
 fn platform_for(name: &str, qubits: usize) -> Result<Platform, String> {
     let ratio = 496.0 / 8192.0;
@@ -213,6 +236,10 @@ fn main() -> ExitCode {
     if opts.batching {
         config = config.with_gate_batching();
     }
+    if opts.fuse {
+        config = config.with_gate_fusion();
+    }
+    config = config.with_threads(opts.threads);
     let result = Simulator::new(config).run(&circuit);
     let state = result.state.as_ref().expect("state collected");
 
@@ -261,6 +288,10 @@ fn main() -> ExitCode {
             r.chunks_pruned + r.chunks_processed
         );
         println!("  compression ratio : {:.3}x", r.compression_ratio());
+        if opts.fuse {
+            println!("  gates fused       : {}", r.gates_fused);
+            println!("  fused kernels     : {}", r.fused_kernels);
+        }
     }
     ExitCode::SUCCESS
 }

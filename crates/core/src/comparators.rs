@@ -68,8 +68,7 @@ pub fn cpu_parallel(circuit: &Circuit, host: &HostSpec) -> ComparatorResult {
     // spec so comparisons against the device model stay consistent.
     let threads = (host.cores as usize).clamp(1, 8);
     state.run_parallel(circuit, threads);
-    let time =
-        circuit.len() as f64 * (state_bytes / host.update_bw + host.sync_latency);
+    let time = circuit.len() as f64 * (state_bytes / host.update_bw + host.sync_latency);
     ComparatorResult {
         engine: "cpu-openmp",
         total_time: time,
@@ -270,7 +269,12 @@ mod tests {
     #[test]
     fn all_comparators_compute_the_same_state() {
         let host = HostSpec::dual_xeon_4114();
-        for b in [Benchmark::Gs, Benchmark::Hlf, Benchmark::Qft, Benchmark::Iqp] {
+        for b in [
+            Benchmark::Gs,
+            Benchmark::Hlf,
+            Benchmark::Qft,
+            Benchmark::Iqp,
+        ] {
             let c = b.generate(9);
             let r = reference(&c);
             for result in [
@@ -298,7 +302,11 @@ mod tests {
         assert!(omp < qsim, "openmp {omp} < qsim {qsim}");
         assert!(qsim < qdk, "qsim {qsim} < qdk {qdk}");
         // Ballpark ratios from the paper: qdk/omp ≈ 7.
-        assert!(qdk / omp > 3.0 && qdk / omp < 15.0, "qdk/omp = {}", qdk / omp);
+        assert!(
+            qdk / omp > 3.0 && qdk / omp < 15.0,
+            "qdk/omp = {}",
+            qdk / omp
+        );
     }
 
     #[test]

@@ -135,6 +135,17 @@ pub struct SimConfig {
     /// which the paper's baseline lineage cites. Off by default to match
     /// the paper's per-gate streaming.
     pub batch_local_gates: bool,
+    /// Worker threads for the functional update (the
+    /// [`qgpu_statevec::ChunkExecutor`] pool). Results are bitwise
+    /// identical at every thread count; 1 keeps the seed's serial path.
+    pub threads: usize,
+    /// Collapse runs of adjacent compatible gates (same-qubit 1q runs,
+    /// diagonal runs) into single fused kernels before execution, so each
+    /// chunk is visited once per fused run instead of once per gate. The
+    /// functional state is replayed exactly (bitwise identical to the
+    /// unfused run); the timing model launches one fused kernel per chunk
+    /// visit. Off by default to match the paper's per-gate execution.
+    pub gate_fusion: bool,
 }
 
 impl SimConfig {
@@ -151,6 +162,8 @@ impl SimConfig {
             reorder_strategy: ReorderStrategy::ForwardLooking,
             buffer_split: 0.5,
             batch_local_gates: false,
+            threads: 1,
+            gate_fusion: false,
         }
     }
 
@@ -212,6 +225,24 @@ impl SimConfig {
     /// [`SimConfig::batch_local_gates`]).
     pub fn with_gate_batching(mut self) -> Self {
         self.batch_local_gates = true;
+        self
+    }
+
+    /// Sets the functional-update worker-thread count (see
+    /// [`SimConfig::threads`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Enables gate fusion (see [`SimConfig::gate_fusion`]).
+    pub fn with_gate_fusion(mut self) -> Self {
+        self.gate_fusion = true;
         self
     }
 

@@ -15,12 +15,11 @@
 //! This reproduces the paper's Figure 2: with a large state vector almost
 //! all time is CPU update, roughly 10% is exchange, and the GPU is idle.
 
-use qgpu_circuit::access::GateAction;
 use qgpu_circuit::Circuit;
 use qgpu_device::timeline::{Engine, TaskKind, Timeline};
 use qgpu_device::ExecutionReport;
 use qgpu_sched::plan::{ChunkTask, GatePlan};
-use qgpu_statevec::ChunkedState;
+use qgpu_statevec::{ChunkExecutor, ChunkedState};
 
 use crate::config::SimConfig;
 use crate::engine::flops_per_amp;
@@ -65,11 +64,16 @@ pub(crate) fn run(circuit: &Circuit, cfg: &SimConfig) -> RunResult {
     let mut gate_ready = 0.0f64;
     let mut flops_gpu = 0.0f64;
     let mut chunks_processed = 0u64;
+    let mut fused_kernels = 0u64;
 
-    for op in circuit.iter() {
-        let action = GateAction::from_operation(op);
-        let plan = GatePlan::new(&action, chunk_bits, num_chunks);
-        let fpa = flops_per_amp(&action);
+    let executor = ChunkExecutor::new(cfg.threads);
+    let program = crate::engine::program_for(circuit, cfg);
+    let gates_fused = qgpu_circuit::fuse::gates_fused(&program) as u64;
+
+    for fop in &program {
+        let action = fop.collapsed();
+        let plan = GatePlan::new(action, chunk_bits, num_chunks);
+        let fpa = flops_per_amp(action);
 
         // Partition tasks: same-device batches vs. mixed groups.
         let mut host_bytes = 0u64;
@@ -92,16 +96,32 @@ pub(crate) fn run(circuit: &Circuit, cfg: &SimConfig) -> RunResult {
         let mut gate_end = gate_ready;
         if host_bytes > 0 {
             let t = host_bytes as f64 / host.chunked_update_bw();
-            let span = tl.schedule(Engine::Host, gate_ready, t, TaskKind::HostUpdate, host_bytes);
+            let span = tl.schedule(
+                Engine::Host,
+                gate_ready,
+                t,
+                TaskKind::HostUpdate,
+                host_bytes,
+            );
             gate_end = gate_end.max(span.end);
         }
         for (g, &bytes) in gpu_bytes.iter().enumerate() {
             if bytes == 0 {
                 continue;
             }
-            let t = bytes as f64 / cfg.platform.gpu(g).update_bw() + cfg.platform.gpu(g).kernel_launch;
-            let span = tl.schedule(Engine::GpuCompute(g), gate_ready, t, TaskKind::Kernel, bytes);
+            let t =
+                bytes as f64 / cfg.platform.gpu(g).update_bw() + cfg.platform.gpu(g).kernel_launch;
+            let span = tl.schedule(
+                Engine::GpuCompute(g),
+                gate_ready,
+                t,
+                TaskKind::Kernel,
+                bytes,
+            );
             flops_gpu += (bytes as f64 / 16.0) * fpa;
+            if fop.is_fused() {
+                fused_kernels += 1;
+            }
             gate_end = gate_end.max(span.end);
         }
 
@@ -148,6 +168,9 @@ pub(crate) fn run(circuit: &Circuit, cfg: &SimConfig) -> RunResult {
                 group_bytes,
             );
             flops_gpu += (group_bytes as f64 / 16.0) * fpa;
+            if fop.is_fused() {
+                fused_kernels += 1;
+            }
             let d2h = copy_with_dma(
                 &mut tl,
                 Engine::HostDmaIn,
@@ -166,18 +189,30 @@ pub(crate) fn run(circuit: &Circuit, cfg: &SimConfig) -> RunResult {
         let sync = tl.schedule(Engine::Host, gate_end, host.sync_latency, TaskKind::Sync, 0);
         gate_ready = sync.end;
 
-        // Functional update (identical across versions).
+        // Functional update (identical across versions): the executor
+        // replays the run's member gates chunk by chunk, bitwise identical
+        // to per-gate application at every thread count.
+        let mut singles: Vec<usize> = Vec::new();
+        let mut groups: Vec<&[usize]> = Vec::new();
         for task in plan.tasks() {
             match task {
-                ChunkTask::Single(c) => state.apply_local(&action, *c),
-                ChunkTask::Group(g) => state.apply_group(&action, g),
+                ChunkTask::Single(c) => singles.push(*c),
+                ChunkTask::Group(g) => groups.push(g),
             }
+        }
+        if !singles.is_empty() {
+            executor.apply_local_run(&mut state, fop.actions(), &singles);
+        }
+        if !groups.is_empty() {
+            executor.apply_group_runs(&mut state, fop.actions(), &groups, plan.high_mixing());
         }
     }
 
     let mut report = ExecutionReport::from_timeline(&tl, num_gpus);
     report.flops_gpu = flops_gpu;
     report.chunks_processed = chunks_processed;
+    report.fused_kernels = fused_kernels;
+    report.gates_fused = gates_fused;
     RunResult {
         version: cfg.version,
         circuit_name: circuit.name().to_string(),

@@ -9,19 +9,34 @@
 //!   with overlap / pruning / reordering / compression layered on
 //!   according to the version.
 //!
-//! Both engines walk the *same* [`qgpu_sched::GatePlan`] per gate, apply
-//! the amplitudes for real on a [`qgpu_statevec::ChunkedState`], and charge
-//! each chunk task to the [`qgpu_device::Timeline`]. The result is a
-//! bit-identical final state across versions with version-specific timing.
+//! Both engines walk the same program of [`qgpu_circuit::fuse::FusedOp`]s
+//! (one op per gate unless [`SimConfig::gate_fusion`] collapses runs),
+//! resolve each op's [`qgpu_sched::GatePlan`], apply the amplitudes for
+//! real on a [`qgpu_statevec::ChunkedState`] through the
+//! [`qgpu_statevec::ChunkExecutor`] worker pool, and charge each chunk
+//! task to the [`qgpu_device::Timeline`]. The result is a bit-identical
+//! final state across versions, thread counts and fusion settings, with
+//! version-specific timing.
 
 pub mod baseline;
 pub mod streaming;
 
 use qgpu_circuit::access::GateAction;
+use qgpu_circuit::fuse::{self, FusedOp};
 use qgpu_circuit::Circuit;
 
 use crate::config::{SimConfig, Version};
 use crate::result::RunResult;
+
+/// Lowers a circuit to the engines' executable program: fused runs when
+/// [`SimConfig::gate_fusion`] is on, a 1:1 lowering otherwise.
+pub(crate) fn program_for(circuit: &Circuit, cfg: &SimConfig) -> Vec<FusedOp> {
+    if cfg.gate_fusion {
+        fuse::fuse(circuit)
+    } else {
+        fuse::lower(circuit)
+    }
+}
 
 /// Floating-point operations per amplitude for a gate action: a dense
 /// matrix over `k` mixing qubits costs one `2^k`-point complex dot product
@@ -122,6 +137,87 @@ mod tests {
         assert!(naive > overlap, "overlap must beat naive");
         assert!(overlap > pruning, "pruning must beat overlap on iqp");
         assert!(qgpu < baseline, "the full recipe must beat the baseline");
+    }
+
+    #[test]
+    fn gate_fusion_is_bitwise_identical_to_per_gate_execution() {
+        // Fused runs are replayed member-by-member, so enabling fusion
+        // must not move a single bit of the functional state — in any
+        // version.
+        for b in [Benchmark::Qft, Benchmark::Iqp, Benchmark::Qaoa] {
+            let c = b.generate(10);
+            for v in Version::ALL {
+                let plain = Simulator::new(SimConfig::scaled_paper(10).with_version(v)).run(&c);
+                let fused = Simulator::new(
+                    SimConfig::scaled_paper(10)
+                        .with_version(v)
+                        .with_gate_fusion(),
+                )
+                .run(&c);
+                let pa = plain.state.expect("collected");
+                let fa = fused.state.expect("collected");
+                for i in 0..pa.len() {
+                    let (x, y) = (pa.amp(i), fa.amp(i));
+                    assert!(
+                        x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                        "{b}/{v}: amplitude {i} differs under fusion"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_is_bitwise_invisible() {
+        let c = Benchmark::Rqc.generate(10);
+        for v in [Version::Baseline, Version::QGpu] {
+            let base = SimConfig::scaled_paper(10)
+                .with_version(v)
+                .with_gate_fusion();
+            let one = Simulator::new(base.clone()).run(&c);
+            let oa = one.state.expect("collected");
+            for threads in [2, 4] {
+                let many = Simulator::new(base.clone().with_threads(threads)).run(&c);
+                let ma = many.state.expect("collected");
+                for i in 0..oa.len() {
+                    let (x, y) = (oa.amp(i), ma.amp(i));
+                    assert!(
+                        x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                        "{v}/threads {threads}: amplitude {i} differs"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_is_recorded_and_reduces_streaming_traffic() {
+        // qft is a fusion-friendly circuit (long controlled-phase runs):
+        // the report must show fused kernels, and Naive — which moves the
+        // whole state per op — must move fewer bytes with fewer ops.
+        let c = Benchmark::Qft.generate(10);
+        let plain =
+            Simulator::new(SimConfig::scaled_paper(10).with_version(Version::Naive)).run(&c);
+        let fused = Simulator::new(
+            SimConfig::scaled_paper(10)
+                .with_version(Version::Naive)
+                .with_gate_fusion(),
+        )
+        .run(&c);
+        assert_eq!(plain.report.fused_kernels, 0);
+        assert_eq!(plain.report.gates_fused, 0);
+        assert!(fused.report.gates_fused > 0, "qft must fuse gates");
+        assert!(
+            fused.report.fused_kernels > 0,
+            "fused kernels must be recorded"
+        );
+        assert!(
+            fused.report.bytes_h2d < plain.report.bytes_h2d / 2,
+            "fusion should at least halve naive qft uploads: {} vs {}",
+            fused.report.bytes_h2d,
+            plain.report.bytes_h2d
+        );
+        assert!(fused.report.total_time < plain.report.total_time);
     }
 
     #[test]

@@ -155,10 +155,7 @@ mod tests {
     fn dynamic_chunk_size_helps_late_involvers() {
         let t = dynamic_chunk_size(11);
         let saves = |name: &str| -> f64 {
-            t.rows
-                .iter()
-                .find(|r| r[0] == name)
-                .expect("row")[3]
+            t.rows.iter().find(|r| r[0] == name).expect("row")[3]
                 .trim_end_matches('%')
                 .parse()
                 .expect("number")

@@ -82,10 +82,7 @@ mod tests {
     fn deep_local_circuits_benefit_most() {
         let t = run(11);
         let speedup = |name: &str| -> f64 {
-            t.rows
-                .iter()
-                .find(|r| r[0] == name)
-                .expect("row")[3]
+            t.rows.iter().find(|r| r[0] == name).expect("row")[3]
                 .trim_end_matches('x')
                 .parse()
                 .expect("number")

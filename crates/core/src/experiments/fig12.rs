@@ -28,28 +28,32 @@ pub struct Fig12Row {
 /// circuits run concurrently; each simulation is single-threaded).
 pub fn measure(qubits: usize) -> Vec<Fig12Row> {
     crate::experiments::par_map(&Benchmark::ALL, |&b| {
-            let circuit = b.generate(qubits);
-            let times: Vec<f64> = Version::ALL
-                .iter()
-                .map(|&v| {
-                    Simulator::new(SimConfig::scaled_paper(qubits).with_version(v).timing_only())
-                        .run(&circuit)
-                        .report
-                        .total_time
-                })
-                .collect();
-            let baseline = times[0];
-            let host = SimConfig::scaled_paper(qubits).platform.host;
-            let cpu = cpu_parallel(&circuit, &host).total_time;
-            let mut versions = [0.0; 6];
-            for (slot, t) in versions.iter_mut().zip(times.iter()) {
-                *slot = t / baseline;
-            }
-            Fig12Row {
-                circuit: b.abbrev().to_string(),
-                versions,
-                cpu_openmp: cpu / baseline,
-            }
+        let circuit = b.generate(qubits);
+        let times: Vec<f64> = Version::ALL
+            .iter()
+            .map(|&v| {
+                Simulator::new(
+                    SimConfig::scaled_paper(qubits)
+                        .with_version(v)
+                        .timing_only(),
+                )
+                .run(&circuit)
+                .report
+                .total_time
+            })
+            .collect();
+        let baseline = times[0];
+        let host = SimConfig::scaled_paper(qubits).platform.host;
+        let cpu = cpu_parallel(&circuit, &host).total_time;
+        let mut versions = [0.0; 6];
+        for (slot, t) in versions.iter_mut().zip(times.iter()) {
+            *slot = t / baseline;
+        }
+        Fig12Row {
+            circuit: b.abbrev().to_string(),
+            versions,
+            cpu_openmp: cpu / baseline,
+        }
     })
 }
 
@@ -59,7 +63,14 @@ pub fn run(qubits: usize) -> Table {
     let mut table = Table::new(
         &format!("Figure 12: execution time normalized to baseline ({qubits} qubits)"),
         [
-            "circuit", "Baseline", "Naive", "Overlap", "Pruning", "Reorder", "Q-GPU", "CPU-OpenMP",
+            "circuit",
+            "Baseline",
+            "Naive",
+            "Overlap",
+            "Pruning",
+            "Reorder",
+            "Q-GPU",
+            "CPU-OpenMP",
         ],
     );
     for r in &rows {
@@ -85,7 +96,13 @@ pub fn run_scaling(sizes: &[usize]) -> Table {
     let mut table = Table::new(
         "Figure 12 (scaling): geomean normalized time vs qubit count",
         [
-            "qubits", "Naive", "Overlap", "Pruning", "Reorder", "Q-GPU", "CPU-OpenMP",
+            "qubits",
+            "Naive",
+            "Overlap",
+            "Pruning",
+            "Reorder",
+            "Q-GPU",
+            "CPU-OpenMP",
         ],
     );
     for &q in sizes {
@@ -129,7 +146,10 @@ mod tests {
         assert!(naive > 1.0, "naive {naive} must lose to baseline");
         assert!(overlap < 1.0, "overlap {overlap} must beat baseline");
         assert!(pruning < overlap, "pruning {pruning} < overlap {overlap}");
-        assert!(reorder <= pruning + 1e-9, "reorder {reorder} ≤ pruning {pruning}");
+        assert!(
+            reorder <= pruning + 1e-9,
+            "reorder {reorder} ≤ pruning {pruning}"
+        );
         assert!(qgpu < reorder + 1e-9, "qgpu {qgpu} ≤ reorder {reorder}");
         // The full recipe should save a large fraction (paper: 71.89% at
         // 34 qubits; scaled runs land in the same region).
@@ -155,7 +175,10 @@ mod tests {
         // from pruning.
         let rows = measure(11);
         let get = |name: &str, i: usize| -> f64 {
-            rows.iter().find(|r| r.circuit == name).expect("row").versions[i]
+            rows.iter()
+                .find(|r| r.circuit == name)
+                .expect("row")
+                .versions[i]
         };
         assert!(get("iqp", 3) < get("qft", 3), "iqp prunes better than qft");
     }

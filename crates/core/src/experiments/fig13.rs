@@ -40,7 +40,9 @@ pub fn run(qubits: usize) -> Table {
             .iter()
             .map(|&v| {
                 let r = Simulator::new(
-                    SimConfig::scaled_paper(qubits).with_version(v).timing_only(),
+                    SimConfig::scaled_paper(qubits)
+                        .with_version(v)
+                        .timing_only(),
                 )
                 .run(&circuit);
                 transfer_wallclock(&r.report, v.has_overlap())
@@ -65,7 +67,11 @@ mod tests {
             let overlap: f64 = row[2].parse().expect("number");
             let qgpu: f64 = row[5].parse().expect("number");
             assert!(overlap < 0.75, "{}: overlap transfer {overlap}", row[0]);
-            assert!(qgpu <= overlap + 1e-9, "{}: qgpu {qgpu} > overlap {overlap}", row[0]);
+            assert!(
+                qgpu <= overlap + 1e-9,
+                "{}: qgpu {qgpu} > overlap {overlap}",
+                row[0]
+            );
         }
     }
 
@@ -73,10 +79,7 @@ mod tests {
     fn pruning_gain_is_circuit_dependent() {
         let t = run(11);
         let get = |name: &str, col: usize| -> f64 {
-            t.rows
-                .iter()
-                .find(|r| r[0] == name)
-                .expect("row")[col]
+            t.rows.iter().find(|r| r[0] == name).expect("row")[col]
                 .parse()
                 .expect("number")
         };

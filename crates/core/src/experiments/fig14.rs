@@ -66,10 +66,7 @@ mod tests {
         // prediction to have history (the paper's Figure 10 pair).
         let t = run(14);
         let ratio = |name: &str| -> f64 {
-            t.rows
-                .iter()
-                .find(|r| r[0] == name)
-                .expect("row")[3]
+            t.rows.iter().find(|r| r[0] == name).expect("row")[3]
                 .parse()
                 .expect("number")
         };

@@ -18,7 +18,12 @@ use crate::experiments::{f2, Table};
 /// Circuits the paper could run on Qsim-Cirq.
 pub const QSIM_SET: [Benchmark; 2] = [Benchmark::Gs, Benchmark::Hlf];
 /// Circuits the paper could convert to Q# for QDK.
-pub const QDK_SET: [Benchmark; 4] = [Benchmark::Qft, Benchmark::Iqp, Benchmark::Hlf, Benchmark::Gs];
+pub const QDK_SET: [Benchmark; 4] = [
+    Benchmark::Qft,
+    Benchmark::Iqp,
+    Benchmark::Hlf,
+    Benchmark::Gs,
+];
 
 /// Runs both comparisons; returns (qsim table, qdk table).
 pub fn run(qubits: usize) -> (Table, Table) {
@@ -84,14 +89,24 @@ mod tests {
     #[test]
     fn qgpu_beats_qdk_substantially() {
         let (_, qdk) = run(11);
-        let speedup: f64 = qdk.rows.last().expect("geomean")[2].parse().expect("number");
-        assert!(speedup > 2.0, "Q-GPU vs QDK speedup = {speedup} (paper: 10.82x)");
+        let speedup: f64 = qdk.rows.last().expect("geomean")[2]
+            .parse()
+            .expect("number");
+        assert!(
+            speedup > 2.0,
+            "Q-GPU vs QDK speedup = {speedup} (paper: 10.82x)"
+        );
     }
 
     #[test]
     fn qgpu_competitive_with_qsim() {
         let (qsim, _) = run(11);
-        let speedup: f64 = qsim.rows.last().expect("geomean")[2].parse().expect("number");
-        assert!(speedup > 0.8, "Q-GPU vs Qsim speedup = {speedup} (paper: 2.02x)");
+        let speedup: f64 = qsim.rows.last().expect("geomean")[2]
+            .parse()
+            .expect("number");
+        assert!(
+            speedup > 0.8,
+            "Q-GPU vs Qsim speedup = {speedup} (paper: 2.02x)"
+        );
     }
 }

@@ -22,7 +22,9 @@ use crate::experiments::{f2, Table};
 /// better", shrinking Q-GPU's relative gain.
 pub fn run(qubits: usize) -> Table {
     let mut table = Table::new(
-        &format!("Figure 17: Q-GPU on V100 and A100 ({qubits} qubits, normalized to each baseline)"),
+        &format!(
+            "Figure 17: Q-GPU on V100 and A100 ({qubits} qubits, normalized to each baseline)"
+        ),
         ["circuit", "V100 Q-GPU", "A100 Q-GPU"],
     );
     let platforms = [
@@ -35,10 +37,14 @@ pub fn run(qubits: usize) -> Table {
         let mut cells = vec![b.abbrev().to_string()];
         for (platform, idx) in &platforms {
             let time = |v: Version| {
-                Simulator::new(SimConfig::new(platform.clone()).with_version(v).timing_only())
-                    .run(&circuit)
-                    .report
-                    .total_time
+                Simulator::new(
+                    SimConfig::new(platform.clone())
+                        .with_version(v)
+                        .timing_only(),
+                )
+                .run(&circuit)
+                .report
+                .total_time
             };
             let norm = time(Version::QGpu) / time(Version::Baseline);
             reductions[*idx].push(norm);

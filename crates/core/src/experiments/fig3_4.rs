@@ -24,8 +24,12 @@ pub fn run(qubits: usize) -> (Table, Table) {
     for b in Benchmark::ALL {
         let circuit = b.generate(qubits);
         let run_v = |v: Version| {
-            Simulator::new(SimConfig::scaled_paper(qubits).with_version(v).timing_only())
-                .run(&circuit)
+            Simulator::new(
+                SimConfig::scaled_paper(qubits)
+                    .with_version(v)
+                    .timing_only(),
+            )
+            .run(&circuit)
         };
         let baseline = run_v(Version::Baseline);
         let naive = run_v(Version::Naive);
@@ -55,7 +59,11 @@ mod tests {
         let (fig3, _) = run(10);
         for row in &fig3.rows {
             let norm: f64 = row[1].parse().expect("number");
-            assert!(norm > 1.0, "{}: naive should not beat baseline ({norm})", row[0]);
+            assert!(
+                norm > 1.0,
+                "{}: naive should not beat baseline ({norm})",
+                row[0]
+            );
         }
     }
 

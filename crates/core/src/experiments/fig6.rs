@@ -116,7 +116,10 @@ mod tests {
         // Row order matches Version::ALL; column 6 is transfer overlap.
         let naive_overlap: f64 = t.cell(1, 6).parse().expect("number");
         let overlap_overlap: f64 = t.cell(2, 6).parse().expect("number");
-        assert!(naive_overlap < 1e-9, "naive must serialize: {naive_overlap}");
+        assert!(
+            naive_overlap < 1e-9,
+            "naive must serialize: {naive_overlap}"
+        );
         assert!(
             overlap_overlap > naive_overlap,
             "proactive transfer must overlap: {overlap_overlap}"

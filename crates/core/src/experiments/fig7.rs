@@ -44,9 +44,8 @@ mod tests {
     #[test]
     fn zeros_shrink_as_gates_apply() {
         let t = run(10, &[0, 30, 60, 90]);
-        let zero = |i: usize| -> f64 {
-            t.cell(i, 1).trim_end_matches('%').parse().expect("number")
-        };
+        let zero =
+            |i: usize| -> f64 { t.cell(i, 1).trim_end_matches('%').parse().expect("number") };
         assert!(zero(0) > 99.0, "initial state is almost all zeros");
         assert!(
             zero(3) < zero(0),

@@ -174,8 +174,10 @@ impl fmt::Display for Table {
 ///
 /// Propagates panics from `f`.
 pub(crate) fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
-    let slots: Vec<parking_lot::Mutex<Option<U>>> =
-        items.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    let slots: Vec<parking_lot::Mutex<Option<U>>> = items
+        .iter()
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
     crossbeam::scope(|scope| {
         for (item, slot) in items.iter().zip(slots.iter()) {
             scope.spawn(|_| {

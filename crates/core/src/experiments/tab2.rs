@@ -12,7 +12,12 @@ use crate::experiments::Table;
 pub fn run(qubits: usize) -> Table {
     let mut table = Table::new(
         &format!("Table II: operations before full involvement ({qubits} qubits)"),
-        ["circuit", "total ops", "ops before full involvement", "percentage"],
+        [
+            "circuit",
+            "total ops",
+            "ops before full involvement",
+            "percentage",
+        ],
     );
     for b in Benchmark::ALL {
         let c = b.generate(qubits);
@@ -41,10 +46,7 @@ mod tests {
     fn iqp_has_highest_percentage() {
         let t = run(34);
         let pct = |name: &str| -> f64 {
-            t.rows
-                .iter()
-                .find(|r| r[0] == name)
-                .expect("row")[3]
+            t.rows.iter().find(|r| r[0] == name).expect("row")[3]
                 .trim_end_matches('%')
                 .parse()
                 .expect("number")
@@ -62,11 +64,7 @@ mod tests {
     fn early_involvers_have_low_percentage() {
         let t = run(34);
         for name in ["qft", "qaoa"] {
-            let p: f64 = t
-                .rows
-                .iter()
-                .find(|r| r[0] == name)
-                .expect("row")[3]
+            let p: f64 = t.rows.iter().find(|r| r[0] == name).expect("row")[3]
                 .trim_end_matches('%')
                 .parse()
                 .expect("number");

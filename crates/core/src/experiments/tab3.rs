@@ -16,7 +16,13 @@ use crate::experiments::{f2, Table};
 pub fn run(qubits: usize) -> Table {
     let mut table = Table::new(
         &format!("Table III: pruning + reordering on deep circuits ({qubits} qubits)"),
-        ["circuit", "total ops", "Overlap (s)", "Reorder (s)", "reduction"],
+        [
+            "circuit",
+            "total ops",
+            "Overlap (s)",
+            "Reorder (s)",
+            "reduction",
+        ],
     );
     let circuits: Vec<Circuit> = vec![
         google_deep_circuit(qubits),
@@ -71,7 +77,11 @@ mod tests {
     #[test]
     fn grqc_is_the_deepest() {
         let t = run(9);
-        let ops: Vec<usize> = t.rows.iter().map(|r| r[1].parse().expect("number")).collect();
+        let ops: Vec<usize> = t
+            .rows
+            .iter()
+            .map(|r| r[1].parse().expect("number"))
+            .collect();
         assert!(ops[0] > ops[1] && ops[0] > ops[2]);
     }
 }

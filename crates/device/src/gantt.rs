@@ -62,10 +62,7 @@ fn engine_label(e: Engine) -> String {
 /// ```
 pub fn render(trace: &[TraceEvent], columns: usize) -> String {
     let columns = columns.max(10);
-    let makespan = trace
-        .iter()
-        .map(|e| e.span.end)
-        .fold(0.0f64, f64::max);
+    let makespan = trace.iter().map(|e| e.span.end).fold(0.0f64, f64::max);
     if makespan <= 0.0 || trace.is_empty() {
         return String::new();
     }

@@ -54,6 +54,12 @@ pub struct ExecutionReport {
     pub bytes_before_compress: u64,
     /// Bytes leaving the compressor.
     pub bytes_after_compress: u64,
+    /// Kernel launches that executed a multi-gate fused run (0 when gate
+    /// fusion is off).
+    pub fused_kernels: u64,
+    /// Source gates eliminated by the fusion pass (gates in minus fused
+    /// ops out).
+    pub gates_fused: u64,
     /// Number of GPUs in the platform.
     pub num_gpus: usize,
 }
@@ -86,6 +92,8 @@ impl ExecutionReport {
             chunks_processed: 0,
             bytes_before_compress: tl.kind_bytes(TaskKind::Compress),
             bytes_after_compress: tl.kind_bytes(TaskKind::Decompress),
+            fused_kernels: 0,
+            gates_fused: 0,
             num_gpus,
         }
     }

@@ -28,7 +28,11 @@ impl RooflinePoint {
     pub fn new(flops: f64, bytes: u64, seconds: f64) -> Self {
         assert!(seconds > 0.0, "execution time must be positive");
         RooflinePoint {
-            intensity: if bytes == 0 { 0.0 } else { flops / bytes as f64 },
+            intensity: if bytes == 0 {
+                0.0
+            } else {
+                flops / bytes as f64
+            },
             achieved_flops: flops / seconds,
         }
     }

@@ -22,6 +22,7 @@
 
 pub mod bits;
 pub mod complex;
+pub mod reduce;
 pub mod stats;
 
 pub use complex::Complex64;

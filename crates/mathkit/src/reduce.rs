@@ -1,0 +1,154 @@
+//! Fixed-order reductions for bit-exact determinism.
+//!
+//! Floating-point addition is not associative, so a sum's bit pattern
+//! depends on the order partial results are combined. Completion-order
+//! accumulation (whichever thread finishes first adds first) makes norms
+//! and measurement probabilities vary run-to-run and with the thread
+//! count. This module pins the order instead:
+//!
+//! 1. the input is cut into fixed-size blocks of [`REDUCE_BLOCK`]
+//!    elements — block boundaries depend only on the input length, never
+//!    on how many threads computed them;
+//! 2. each block is summed left-to-right;
+//! 3. the per-block partials are combined with a deterministic pairwise
+//!    tree ([`pairwise_sum`] / [`pairwise_sum_complex`]), splitting at the
+//!    midpoint at every level.
+//!
+//! Any number of threads may compute step 2 in parallel (blocks are
+//! independent), and step 3 is a cheap serial pass — so the result is
+//! bitwise identical at every thread count, and as a bonus the pairwise
+//! tree has O(√n·ε)-style error growth instead of the serial O(n·ε).
+
+use crate::complex::Complex64;
+
+/// Number of elements per reduction block. A block of f64 norms is 32 KiB
+/// of amplitude reads — L1/L2 resident — and the partial-sum vector for a
+/// 2^30-amplitude state stays under 2 MiB.
+pub const REDUCE_BLOCK: usize = 4096;
+
+/// Sums `values` with a deterministic pairwise tree: split at the
+/// midpoint, sum each half recursively, add the two halves.
+///
+/// The association depends only on `values.len()`, so any two callers
+/// that produce the same slice get the bitwise-same sum.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_math::reduce::pairwise_sum;
+///
+/// let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+/// assert_eq!(pairwise_sum(&xs), 4950.0);
+/// assert_eq!(pairwise_sum(&[]), 0.0);
+/// ```
+pub fn pairwise_sum(values: &[f64]) -> f64 {
+    // Small base case: a short left-to-right run, still length-determined.
+    if values.len() <= 4 {
+        let mut acc = 0.0;
+        for &v in values {
+            acc += v;
+        }
+        return acc;
+    }
+    let mid = values.len() / 2;
+    pairwise_sum(&values[..mid]) + pairwise_sum(&values[mid..])
+}
+
+/// Complex counterpart of [`pairwise_sum`], with the identical tree shape.
+pub fn pairwise_sum_complex(values: &[Complex64]) -> Complex64 {
+    if values.len() <= 4 {
+        let mut acc = Complex64::ZERO;
+        for &v in values {
+            acc += v;
+        }
+        return acc;
+    }
+    let mid = values.len() / 2;
+    pairwise_sum_complex(&values[..mid]) + pairwise_sum_complex(&values[mid..])
+}
+
+/// Number of [`REDUCE_BLOCK`]-sized blocks covering `len` elements.
+pub fn num_blocks(len: usize) -> usize {
+    len.div_ceil(REDUCE_BLOCK)
+}
+
+/// The element range of block `block` for an input of `len` elements.
+pub fn block_range(block: usize, len: usize) -> core::ops::Range<usize> {
+    let start = block * REDUCE_BLOCK;
+    start..len.min(start + REDUCE_BLOCK)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(pairwise_sum(&[]), 0.0);
+        assert_eq!(pairwise_sum(&[2.5]), 2.5);
+        assert_eq!(pairwise_sum_complex(&[]), Complex64::ZERO);
+    }
+
+    #[test]
+    fn matches_exact_sum_on_integers() {
+        // Integer-valued f64s sum exactly in any order.
+        for n in [1usize, 2, 3, 5, 17, 100, 4097] {
+            let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            assert_eq!(pairwise_sum(&xs), (n * (n - 1) / 2) as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn tree_shape_is_length_determined() {
+        // Two slices with equal contents must reduce to the same bits.
+        let xs: Vec<f64> = (0..1000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let ys = xs.clone();
+        assert_eq!(pairwise_sum(&xs).to_bits(), pairwise_sum(&ys).to_bits());
+    }
+
+    #[test]
+    fn pairwise_beats_serial_on_ill_conditioned_sum() {
+        // 1 followed by many tiny values: serial accumulation loses them
+        // one by one; pairwise keeps them grouped.
+        let mut xs = vec![1.0f64];
+        xs.extend(std::iter::repeat_n(1e-16, 1 << 16));
+        let serial: f64 = xs.iter().sum();
+        let pairwise = pairwise_sum(&xs);
+        let exact = 1.0 + 1e-16 * (1 << 16) as f64;
+        assert!((pairwise - exact).abs() <= (serial - exact).abs());
+        assert!((pairwise - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complex_tree_matches_componentwise() {
+        let xs: Vec<Complex64> = (0..333)
+            .map(|i| Complex64::new(i as f64, -(i as f64) / 3.0))
+            .collect();
+        let s = pairwise_sum_complex(&xs);
+        let re: Vec<f64> = xs.iter().map(|c| c.re).collect();
+        let im: Vec<f64> = xs.iter().map(|c| c.im).collect();
+        assert_eq!(s.re.to_bits(), pairwise_sum(&re).to_bits());
+        assert_eq!(s.im.to_bits(), pairwise_sum(&im).to_bits());
+    }
+
+    #[test]
+    fn block_ranges_tile_the_input() {
+        for len in [
+            0usize,
+            1,
+            REDUCE_BLOCK - 1,
+            REDUCE_BLOCK,
+            REDUCE_BLOCK + 1,
+            3 * REDUCE_BLOCK + 7,
+        ] {
+            let mut covered = 0;
+            for b in 0..num_blocks(len) {
+                let r = block_range(b, len);
+                assert_eq!(r.start, covered);
+                assert!(!r.is_empty());
+                covered = r.end;
+            }
+            assert_eq!(covered, len);
+        }
+    }
+}

@@ -268,9 +268,8 @@ mod tests {
                     let mut t = InvolvementTracker::new(16);
                     t.involve_mask(mask & 0xffff);
                     let chosen = t.optimal_chunk_bits(max_bits, overhead);
-                    let cost = |b: u32| {
-                        t.surviving_chunks(b) as f64 * (overhead + (16u64 << b) as f64)
-                    };
+                    let cost =
+                        |b: u32| t.surviving_chunks(b) as f64 * (overhead + (16u64 << b) as f64);
                     for b in 1..=max_bits.min(16) {
                         prop_assert!(
                             cost(chosen) <= cost(b) + 1e-9,

@@ -327,10 +327,7 @@ mod tests {
     #[test]
     fn deterministic() {
         let c = Benchmark::Gs.generate(14);
-        assert_eq!(
-            forward_looking_order(&c),
-            forward_looking_order(&c)
-        );
+        assert_eq!(forward_looking_order(&c), forward_looking_order(&c));
         assert_eq!(greedy_order(&c), greedy_order(&c));
     }
 

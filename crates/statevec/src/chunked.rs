@@ -170,8 +170,21 @@ impl ChunkedState {
     /// Panics if `i` is out of range.
     pub fn chunk_mut_or_alloc(&mut self, i: usize) -> &mut [Complex64] {
         let len = self.chunk_len();
-        self.chunks[i]
-            .get_or_insert_with(|| vec![Complex64::ZERO; len].into_boxed_slice())
+        self.chunks[i].get_or_insert_with(|| vec![Complex64::ZERO; len].into_boxed_slice())
+    }
+
+    /// Reverts chunk `i` to sparse storage if its contents are all zero.
+    ///
+    /// Used by the run executor to undo speculative materialization: a
+    /// sparse chunk is materialized before a fused run so worker threads
+    /// can write it freely, then demoted again if the run left it zero —
+    /// matching the sparsity the per-gate path would have produced.
+    pub(crate) fn demote_if_zero(&mut self, i: usize) {
+        if let Some(c) = &self.chunks[i] {
+            if c.iter().all(|a| a.is_zero()) {
+                self.chunks[i] = None;
+            }
+        }
     }
 
     /// Re-partitions the state with a new chunk size, preserving contents.
@@ -305,9 +318,8 @@ impl ChunkedState {
         else {
             panic!("diagonal actions never require chunk groups");
         };
-        let (low_mixing, high_mixing): (Vec<usize>, Vec<usize>) = mixing
-            .iter()
-            .partition(|&&q| (q as u32) < self.chunk_bits);
+        let (low_mixing, high_mixing): (Vec<usize>, Vec<usize>) =
+            mixing.iter().partition(|&&q| (q as u32) < self.chunk_bits);
         assert_eq!(
             group.len(),
             1 << high_mixing.len(),

@@ -1,0 +1,983 @@
+//! Shared parallel executor for gate kernels over disjoint chunks.
+//!
+//! [`ChunkExecutor`] is the one place threading lives: every functional
+//! path — the flat comparators, the chunked engines, and the reduction
+//! helpers in [`crate::measure`] / [`crate::observable`] — asks it to
+//! spread work over a crossbeam-scoped worker pool. Each worker owns a
+//! disjoint set of amplitudes (distinct chunks, distinct blocks, or
+//! distinct compressed-index ranges), so no synchronization is needed
+//! beyond the scope join.
+//!
+//! # Determinism
+//!
+//! The executor guarantees *bit-exact* results at every thread count:
+//!
+//! * gate application is embarrassingly per-amplitude — partitioning the
+//!   index space differently changes which core performs an operation,
+//!   never the operation itself, so parallel application is bitwise
+//!   identical to serial;
+//! * fused runs are replayed member-by-member inside each chunk/block
+//!   visit (exact replay), performing the same floating-point ops in the
+//!   same per-amplitude order as the unfused circuit;
+//! * reductions never accumulate in completion order: block partials are
+//!   cut at fixed [`qgpu_math::reduce::REDUCE_BLOCK`] boundaries that
+//!   depend only on the input length, and combined with a deterministic
+//!   pairwise tree ([`qgpu_math::reduce::pairwise_sum`]).
+
+use std::ops::Range;
+
+use qgpu_circuit::access::GateAction;
+use qgpu_circuit::Matrix;
+use qgpu_math::bits::insert_zero_bits;
+use qgpu_math::reduce;
+use qgpu_math::Complex64;
+
+use crate::chunked::ChunkedState;
+use crate::kernels;
+
+/// Below this many amplitudes thread-spawn overhead dominates and the
+/// executor falls back to the serial path (which computes identical bits).
+const MIN_PARALLEL: usize = 1 << 14;
+
+/// Default block size (in qubits) for cache-blocked flat runs: 2^13
+/// amplitudes = 128 KiB, sized to sit in L2 while a fused run makes
+/// several passes over the block.
+const FLAT_BLOCK_BITS: u32 = 13;
+
+/// Raw amplitude pointer that can cross thread boundaries.
+///
+/// Safety: every spawn site hands each worker a disjoint set of
+/// amplitudes (distinct chunks, blocks, or compressed-index ranges).
+#[derive(Clone, Copy)]
+struct AmpPtr(*mut Complex64);
+unsafe impl Send for AmpPtr {}
+unsafe impl Sync for AmpPtr {}
+
+/// A worker pool applying gate kernels across disjoint chunks in
+/// parallel.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_statevec::{ChunkExecutor, StateVector};
+/// use qgpu_circuit::{access::GateAction, Gate, Operation};
+///
+/// let mut s = StateVector::new_zero(15);
+/// let h = GateAction::from_operation(&Operation::new(Gate::H, vec![3]));
+/// ChunkExecutor::new(4).apply_flat(s.amps_mut(), &h);
+/// assert!((s.norm() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkExecutor {
+    threads: usize,
+}
+
+impl ChunkExecutor {
+    /// Creates an executor using up to `threads` workers.
+    ///
+    /// The pool is clamped to the machine's available parallelism:
+    /// oversubscribing cores only adds spawn and context-switch overhead,
+    /// and the aligned partitioning makes results bitwise identical at
+    /// every worker count, so the clamp changes wall-clock only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        let cores = std::thread::available_parallelism().map_or(threads, |n| n.get());
+        ChunkExecutor {
+            threads: threads.min(cores),
+        }
+    }
+
+    /// Creates an executor with *exactly* `threads` workers, bypassing
+    /// the hardware clamp of [`ChunkExecutor::new`]. Results are
+    /// identical either way; this exists so the multi-worker partitioning
+    /// paths can be exercised even on machines with few cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_exact_threads(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        ChunkExecutor { threads }
+    }
+
+    /// The effective worker count (after the hardware clamp).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies one action to a flat amplitude slice, splitting the
+    /// compressed pair-index space over the workers.
+    ///
+    /// Semantically identical to [`crate::kernels::apply_action`] with
+    /// `base = 0`, and bitwise identical at every thread count; small
+    /// inputs fall back to the single-threaded kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the action references a qubit outside the state.
+    pub fn apply_flat(&self, amps: &mut [Complex64], action: &GateAction) {
+        assert!(amps.len().is_power_of_two());
+        if self.threads == 1 || amps.len() < MIN_PARALLEL {
+            return kernels::apply_action(amps, 0, action);
+        }
+        match action {
+            GateAction::Diagonal { qubits, dvec } => {
+                let per = amps.len().div_ceil(self.threads);
+                crossbeam::scope(|scope| {
+                    for (t, piece) in amps.chunks_mut(per).enumerate() {
+                        let base = t * per;
+                        scope.spawn(move |_| {
+                            kernels::apply_diagonal(piece, base, qubits, dvec);
+                        });
+                    }
+                })
+                .expect("worker thread panicked");
+            }
+            GateAction::ControlledDense {
+                controls,
+                mixing,
+                matrix,
+            } => {
+                let local_bits = amps.len().trailing_zeros() as usize;
+                for &q in controls.iter().chain(mixing.iter()) {
+                    assert!(q < local_bits, "qubit {q} outside state");
+                }
+                self.dense_over_ranges(amps, controls, mixing, matrix);
+            }
+        }
+    }
+
+    /// Applies a (merged) diagonal over a flat state with the strided
+    /// skip-identity kernel ([`kernels::apply_diagonal_strided`]): the
+    /// collapsed-execution fast path, one constant multiply per touched
+    /// amplitude and no memory traffic for exact-identity runs.
+    ///
+    /// Workers split on aligned whole-block boundaries (a block spans the
+    /// highest qubit), so per-amplitude arithmetic — and therefore the
+    /// result, bit for bit — is independent of the thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits` is empty, contains duplicates, references a
+    /// qubit outside the state, or `dvec.len() != 2^qubits.len()`.
+    pub fn apply_flat_diagonal(
+        &self,
+        amps: &mut [Complex64],
+        qubits: &[usize],
+        dvec: &[Complex64],
+    ) {
+        assert!(amps.len().is_power_of_two());
+        assert!(!qubits.is_empty(), "strided diagonal needs qubits");
+        // Gate actions list qubits in gate order (a controlled phase may
+        // put the control above the target); the strided kernel wants
+        // ascending positions, so sort and permute the table to match —
+        // a diagonal is invariant under qubit relabeling done this way.
+        let sorted_qubits: Vec<usize>;
+        let sorted_dvec: Vec<Complex64>;
+        let (qubits, dvec) = if qubits.windows(2).all(|w| w[0] < w[1]) {
+            (qubits, dvec)
+        } else {
+            let mut order: Vec<usize> = (0..qubits.len()).collect();
+            order.sort_unstable_by_key(|&i| qubits[i]);
+            sorted_qubits = order.iter().map(|&i| qubits[i]).collect();
+            sorted_dvec = (0..dvec.len())
+                .map(|s| {
+                    let mut old = 0usize;
+                    for (j, &i) in order.iter().enumerate() {
+                        old |= ((s >> j) & 1) << i;
+                    }
+                    dvec[old]
+                })
+                .collect();
+            (sorted_qubits.as_slice(), sorted_dvec.as_slice())
+        };
+        let top = *qubits.last().expect("strided diagonal needs qubits");
+        assert!(1usize << top < amps.len(), "qubit {top} outside state");
+        let block = 2usize << top;
+        let nblocks = amps.len() / block;
+        if self.threads == 1 || nblocks < 2 || amps.len() < MIN_PARALLEL {
+            return kernels::apply_diagonal_strided(amps, qubits, dvec);
+        }
+        let per = nblocks.div_ceil(self.threads) * block;
+        crossbeam::scope(|scope| {
+            for piece in amps.chunks_mut(per) {
+                scope.spawn(move |_| {
+                    kernels::apply_diagonal_strided(piece, qubits, dvec);
+                });
+            }
+        })
+        .expect("worker thread panicked");
+    }
+
+    /// Splits the compressed index space of a dense gate over the workers.
+    fn dense_over_ranges(
+        &self,
+        amps: &mut [Complex64],
+        controls: &[usize],
+        mixing: &[usize],
+        matrix: &Matrix,
+    ) {
+        let mut positions: Vec<u32> = mixing
+            .iter()
+            .chain(controls.iter())
+            .map(|&q| q as u32)
+            .collect();
+        positions.sort_unstable();
+        let control_mask: usize = controls.iter().map(|&c| 1usize << c).sum();
+        let dim = matrix.dim();
+        let offsets: Vec<usize> = (0..dim)
+            .map(|s| {
+                let mut off = 0usize;
+                for (bit, &q) in mixing.iter().enumerate() {
+                    off |= ((s >> bit) & 1) << q;
+                }
+                off
+            })
+            .collect();
+        let count = amps.len() >> positions.len();
+        let per = count.div_ceil(self.threads);
+        let ptr = AmpPtr(amps.as_mut_ptr());
+        crossbeam::scope(|scope| {
+            for t in 0..self.threads {
+                let lo = t * per;
+                let hi = ((t + 1) * per).min(count);
+                if lo >= hi {
+                    break;
+                }
+                let positions = &positions;
+                let offsets = &offsets;
+                scope.spawn(move |_| {
+                    let ptr = ptr; // move the Send wrapper
+                    let mut gathered = vec![Complex64::ZERO; dim];
+                    for c in lo..hi {
+                        let ibase = insert_zero_bits(c, positions) | control_mask;
+                        if dim == 2 {
+                            // Fast path for single-qubit gates.
+                            let i0 = ibase + offsets[0];
+                            let i1 = ibase + offsets[1];
+                            unsafe {
+                                let a0 = *ptr.0.add(i0);
+                                let a1 = *ptr.0.add(i1);
+                                *ptr.0.add(i0) = matrix.get(0, 0) * a0 + matrix.get(0, 1) * a1;
+                                *ptr.0.add(i1) = matrix.get(1, 0) * a0 + matrix.get(1, 1) * a1;
+                            }
+                        } else {
+                            unsafe {
+                                for (s, g) in gathered.iter_mut().enumerate() {
+                                    *g = *ptr.0.add(ibase + offsets[s]);
+                                }
+                                for (r, &off) in offsets.iter().enumerate() {
+                                    let mut acc = Complex64::ZERO;
+                                    for (s, &g) in gathered.iter().enumerate() {
+                                        acc = matrix.get(r, s).mul_add(g, acc);
+                                    }
+                                    *ptr.0.add(ibase + off) = acc;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+    }
+
+    /// Replays a fused run over a flat state in cache-sized blocks: each
+    /// block is brought in once and every member action is applied to it
+    /// before moving on, so the state makes one memory pass per *run*
+    /// instead of one per gate.
+    ///
+    /// Bitwise identical to applying the actions one by one over the whole
+    /// state (per-amplitude arithmetic is unchanged; only the visit order
+    /// differs), at every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an action references a qubit outside the state.
+    pub fn apply_flat_run(&self, amps: &mut [Complex64], actions: &[GateAction]) {
+        assert!(amps.len().is_power_of_two());
+        match actions {
+            [] => return,
+            [single] => return self.apply_flat(amps, single),
+            _ => {}
+        }
+        let n_bits = amps.len().trailing_zeros();
+        // Dense mixing qubits must be local to a block; raise the block
+        // size to cover the highest one. (High *controls* are fine: the
+        // kernel checks them against the block base.)
+        let mut block_bits = FLAT_BLOCK_BITS;
+        for a in actions {
+            for &q in a.mixing_qubits() {
+                block_bits = block_bits.max(q as u32 + 1);
+            }
+        }
+        let block_bits = block_bits.min(n_bits);
+        let block_len = 1usize << block_bits;
+        let num_blocks = amps.len() >> block_bits;
+
+        fn run_blocks(
+            piece: &mut [Complex64],
+            base: usize,
+            block_len: usize,
+            actions: &[GateAction],
+        ) {
+            for (i, block) in piece.chunks_mut(block_len).enumerate() {
+                let bbase = base + i * block_len;
+                for a in actions {
+                    kernels::apply_action(block, bbase, a);
+                }
+            }
+        }
+
+        if self.threads == 1 || num_blocks <= 1 || amps.len() < MIN_PARALLEL {
+            return run_blocks(amps, 0, block_len, actions);
+        }
+        let per = num_blocks.div_ceil(self.threads) << block_bits;
+        crossbeam::scope(|scope| {
+            for (t, piece) in amps.chunks_mut(per).enumerate() {
+                scope.spawn(move |_| run_blocks(piece, t * per, block_len, actions));
+            }
+        })
+        .expect("worker thread panicked");
+    }
+
+    /// Applies a fused run to the listed chunks (Case 1: every dense
+    /// mixing qubit below the chunk boundary), visiting each dense chunk
+    /// once and replaying the member actions inside the visit. Sparse
+    /// chunks are skipped, like [`ChunkedState::apply_local`].
+    ///
+    /// Chunks are distributed over the workers; results are bitwise
+    /// identical at every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an action has a mixing qubit at or above the boundary.
+    pub fn apply_local_run(
+        &self,
+        state: &mut ChunkedState,
+        actions: &[GateAction],
+        chunks: &[usize],
+    ) {
+        let chunk_bits = state.chunk_bits();
+        for a in actions {
+            assert!(
+                a.mixing_qubits().iter().all(|&q| (q as u32) < chunk_bits),
+                "apply_local_run called with a high mixing qubit"
+            );
+        }
+        // Collect (global base, pointer, length) of the dense chunks. The
+        // boxes backing them are stable, so the pointers stay valid for
+        // the whole run.
+        let chunk_len = state.chunk_len();
+        let mut work: Vec<(usize, AmpPtr)> = Vec::with_capacity(chunks.len());
+        for &c in chunks {
+            if state.is_zero_chunk(c) {
+                continue;
+            }
+            let slice = state.chunk_mut_or_alloc(c);
+            work.push((c << chunk_bits, AmpPtr(slice.as_mut_ptr())));
+        }
+
+        let run = |items: &[(usize, AmpPtr)]| {
+            for &(base, ptr) in items {
+                let slice = unsafe { std::slice::from_raw_parts_mut(ptr.0, chunk_len) };
+                for a in actions {
+                    kernels::apply_action(slice, base, a);
+                }
+            }
+        };
+        if self.threads == 1 || work.len() <= 1 || work.len() * chunk_len < MIN_PARALLEL {
+            return run(&work);
+        }
+        let per = work.len().div_ceil(self.threads);
+        crossbeam::scope(|scope| {
+            for piece in work.chunks(per) {
+                scope.spawn(move |_| run(piece));
+            }
+        })
+        .expect("worker thread panicked");
+    }
+
+    /// Applies a fused run to chunk groups (Case 2: a mixing qubit at or
+    /// above the boundary). Each group is gathered into a scratch buffer
+    /// once, every member action is applied with qubit positions remapped
+    /// into scratch coordinates, and the group is scattered back —
+    /// generalizing [`ChunkedState::apply_group`] from one gate to a run.
+    ///
+    /// Groups are distributed over the workers (each group's scratch is
+    /// worker-local); results are bitwise identical at every thread
+    /// count. Sparse members that remain all-zero after the run stay
+    /// sparse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a group's size is not `2^high_mixing.len()`, or if a
+    /// dense member mixes a high qubit not listed in `high_mixing`.
+    pub fn apply_group_runs(
+        &self,
+        state: &mut ChunkedState,
+        actions: &[GateAction],
+        groups: &[&[usize]],
+        high_mixing: &[usize],
+    ) {
+        let chunk_bits = state.chunk_bits();
+        let chunk_len = state.chunk_len();
+        let hm = high_mixing.len();
+        let prepared: Vec<Prepared> = actions
+            .iter()
+            .map(|a| Prepared::build(a, chunk_bits, high_mixing))
+            .collect();
+
+        // Select surviving groups and speculatively materialize their
+        // members so workers can write without allocation. Previously
+        // sparse members are demoted again after the run if still zero.
+        struct GroupWork {
+            anchor: usize,
+            members: Vec<(usize, AmpPtr, bool)>, // (chunk, ptr, was_sparse)
+        }
+        let mut work: Vec<GroupWork> = Vec::new();
+        for &group in groups {
+            assert_eq!(group.len(), 1 << hm, "group size must be 2^high_mixing");
+            if group.iter().all(|&m| state.is_zero_chunk(m)) {
+                continue;
+            }
+            let members = group
+                .iter()
+                .map(|&m| {
+                    let was_sparse = state.is_zero_chunk(m);
+                    let slice = state.chunk_mut_or_alloc(m);
+                    (m, AmpPtr(slice.as_mut_ptr()), was_sparse)
+                })
+                .collect();
+            work.push(GroupWork {
+                anchor: group[0],
+                members,
+            });
+        }
+
+        let process = |w: &GroupWork| {
+            let mut scratch = vec![Complex64::ZERO; chunk_len << hm];
+            for (j, &(_, ptr, _)) in w.members.iter().enumerate() {
+                let src = unsafe { std::slice::from_raw_parts(ptr.0, chunk_len) };
+                scratch[j * chunk_len..(j + 1) * chunk_len].copy_from_slice(src);
+            }
+            for p in &prepared {
+                p.apply(&mut scratch, w.anchor);
+            }
+            for (j, &(_, ptr, _)) in w.members.iter().enumerate() {
+                let dst = unsafe { std::slice::from_raw_parts_mut(ptr.0, chunk_len) };
+                dst.copy_from_slice(&scratch[j * chunk_len..(j + 1) * chunk_len]);
+            }
+        };
+        if self.threads == 1 || work.len() <= 1 {
+            for w in &work {
+                process(w);
+            }
+        } else {
+            let per = work.len().div_ceil(self.threads);
+            crossbeam::scope(|scope| {
+                for piece in work.chunks(per) {
+                    let process = &process;
+                    scope.spawn(move |_| {
+                        for w in piece {
+                            process(w);
+                        }
+                    });
+                }
+            })
+            .expect("worker thread panicked");
+        }
+
+        for w in &work {
+            for &(m, _, was_sparse) in &w.members {
+                if was_sparse {
+                    state.demote_if_zero(m);
+                }
+            }
+        }
+    }
+
+    /// Deterministic parallel sum of `block_sum` over fixed-size blocks
+    /// covering `0..len` (see [`qgpu_math::reduce`]): bitwise identical at
+    /// every thread count.
+    pub fn reduce_f64<F>(&self, len: usize, block_sum: F) -> f64
+    where
+        F: Fn(Range<usize>) -> f64 + Sync,
+    {
+        let nb = reduce::num_blocks(len);
+        let mut partials = vec![0.0f64; nb];
+        self.fill_partials(&mut partials, len, &block_sum);
+        reduce::pairwise_sum(&partials)
+    }
+
+    /// Complex counterpart of [`ChunkExecutor::reduce_f64`].
+    pub fn reduce_complex<F>(&self, len: usize, block_sum: F) -> Complex64
+    where
+        F: Fn(Range<usize>) -> Complex64 + Sync,
+    {
+        let nb = reduce::num_blocks(len);
+        let mut partials = vec![Complex64::ZERO; nb];
+        self.fill_partials(&mut partials, len, &block_sum);
+        reduce::pairwise_sum_complex(&partials)
+    }
+
+    fn fill_partials<T: Copy + Send>(
+        &self,
+        partials: &mut [T],
+        len: usize,
+        block_sum: &(dyn Fn(Range<usize>) -> T + Sync),
+    ) {
+        let nb = partials.len();
+        if self.threads == 1 || len < MIN_PARALLEL || nb <= 1 {
+            for (b, p) in partials.iter_mut().enumerate() {
+                *p = block_sum(reduce::block_range(b, len));
+            }
+            return;
+        }
+        let per = nb.div_ceil(self.threads);
+        crossbeam::scope(|scope| {
+            for (t, piece) in partials.chunks_mut(per).enumerate() {
+                scope.spawn(move |_| {
+                    for (i, p) in piece.iter_mut().enumerate() {
+                        *p = block_sum(reduce::block_range(t * per + i, len));
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+    }
+}
+
+/// A member action with qubit positions remapped into the scratch
+/// coordinates of a chunk group (high mixing qubit of rank `r` lives at
+/// scratch position `chunk_bits + r`).
+enum Prepared {
+    Dense {
+        local_controls: Vec<usize>,
+        /// Chunk-index bit positions of high controls, checked against
+        /// the group anchor (constant across the group).
+        high_control_bits: Vec<u32>,
+        mixing: Vec<usize>,
+        matrix: Matrix,
+    },
+    Diag {
+        qubits: Vec<usize>,
+        /// `(chunk-index bit, scratch position)` of qubits that are high
+        /// but not mixing: their value is constant across the group, so
+        /// they get virtual positions above the scratch and a base word
+        /// carrying the anchor's bits there.
+        virtual_bits: Vec<(u32, usize)>,
+        dvec: Vec<Complex64>,
+    },
+}
+
+impl Prepared {
+    fn build(action: &GateAction, chunk_bits: u32, high_mixing: &[usize]) -> Prepared {
+        let rank_of = |q: usize| {
+            chunk_bits as usize
+                + high_mixing
+                    .iter()
+                    .position(|&h| h == q)
+                    .expect("high mixing qubit of a member must be in the run's high_mixing")
+        };
+        match action {
+            GateAction::ControlledDense {
+                controls,
+                mixing,
+                matrix,
+            } => {
+                let mut local_controls = Vec::new();
+                let mut high_control_bits = Vec::new();
+                for &c in controls {
+                    if (c as u32) < chunk_bits {
+                        local_controls.push(c);
+                    } else {
+                        high_control_bits.push(c as u32 - chunk_bits);
+                    }
+                }
+                let mixing = mixing
+                    .iter()
+                    .map(|&q| {
+                        if (q as u32) < chunk_bits {
+                            q
+                        } else {
+                            rank_of(q)
+                        }
+                    })
+                    .collect();
+                Prepared::Dense {
+                    local_controls,
+                    high_control_bits,
+                    mixing,
+                    matrix: matrix.clone(),
+                }
+            }
+            GateAction::Diagonal { qubits, dvec } => {
+                let mut next_virtual = chunk_bits as usize + high_mixing.len();
+                let mut virtual_bits = Vec::new();
+                let qubits = qubits
+                    .iter()
+                    .map(|&q| {
+                        if (q as u32) < chunk_bits {
+                            q
+                        } else if high_mixing.contains(&q) {
+                            rank_of(q)
+                        } else {
+                            // Constant across the group: park it above the
+                            // scratch and feed its value via the base word.
+                            let pos = next_virtual;
+                            next_virtual += 1;
+                            virtual_bits.push((q as u32 - chunk_bits, pos));
+                            pos
+                        }
+                    })
+                    .collect();
+                Prepared::Diag {
+                    qubits,
+                    virtual_bits,
+                    dvec: dvec.clone(),
+                }
+            }
+        }
+    }
+
+    fn apply(&self, scratch: &mut [Complex64], anchor: usize) {
+        match self {
+            Prepared::Dense {
+                local_controls,
+                high_control_bits,
+                mixing,
+                matrix,
+            } => {
+                // High controls are constant across the group: skip the
+                // whole action when any is 0, like apply_group does.
+                if high_control_bits.iter().any(|&b| (anchor >> b) & 1 == 0) {
+                    return;
+                }
+                kernels::apply_controlled_dense(scratch, local_controls, mixing, matrix);
+            }
+            Prepared::Diag {
+                qubits,
+                virtual_bits,
+                dvec,
+            } => {
+                let base: usize = virtual_bits
+                    .iter()
+                    .map(|&(cb, pos)| ((anchor >> cb) & 1) << pos)
+                    .sum();
+                kernels::apply_diagonal(scratch, base, qubits, dvec);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::StateVector;
+    use qgpu_circuit::generators::Benchmark;
+    use qgpu_circuit::{fuse, Gate, Operation};
+
+    fn bits_equal(a: &StateVector, b: &StateVector) -> bool {
+        a.amps()
+            .iter()
+            .zip(b.amps().iter())
+            .all(|(x, y)| x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits())
+    }
+
+    fn actions_of(ops: &[(Gate, Vec<usize>)]) -> Vec<GateAction> {
+        ops.iter()
+            .map(|(g, qs)| GateAction::from_operation(&Operation::new(*g, qs.clone())))
+            .collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        ChunkExecutor::new(0);
+    }
+
+    #[test]
+    fn new_clamps_to_available_parallelism() {
+        let cores = std::thread::available_parallelism().map_or(usize::MAX, |n| n.get());
+        assert!(ChunkExecutor::new(1024).threads() <= cores.max(1));
+        assert_eq!(ChunkExecutor::with_exact_threads(1024).threads(), 1024);
+    }
+
+    #[test]
+    fn flat_run_is_bitwise_equal_to_sequential_at_any_thread_count() {
+        let c = Benchmark::Qft.generate(15);
+        let program = fuse::fuse(&c);
+        let mut reference = StateVector::new_zero(15);
+        reference.run(&c);
+        for threads in [1usize, 2, 3, 4, 8] {
+            let ex = ChunkExecutor::with_exact_threads(threads);
+            let mut s = StateVector::new_zero(15);
+            for fop in &program {
+                ex.apply_flat_run(s.amps_mut(), fop.actions());
+            }
+            assert!(bits_equal(&s, &reference), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn flat_run_handles_high_dense_qubits() {
+        // A run whose dense member mixes the top qubit forces block_bits
+        // up to the full state: exercises the single-block fallback.
+        let n = 15;
+        let run = actions_of(&[(Gate::H, vec![n - 1]), (Gate::T, vec![n - 1])]);
+        let mut a = StateVector::new_zero(n);
+        let mut b = StateVector::new_zero(n);
+        for act in &run {
+            kernels::apply_action(b.amps_mut(), 0, act);
+        }
+        ChunkExecutor::with_exact_threads(4).apply_flat_run(a.amps_mut(), &run);
+        assert!(bits_equal(&a, &b));
+    }
+
+    #[test]
+    fn empty_run_is_a_no_op() {
+        let mut s = StateVector::new_zero(4);
+        ChunkExecutor::with_exact_threads(2).apply_flat_run(s.amps_mut(), &[]);
+        assert!((s.amp(0) - Complex64::ONE).abs() < 1e-15);
+    }
+
+    /// Regression: a fused run whose target qubit sits *below* the
+    /// chunk-size exponent must go through the Case-1 path and match the
+    /// flat result bitwise.
+    #[test]
+    fn local_run_below_chunk_boundary_matches_flat() {
+        let n = 10;
+        let chunk_bits = 4;
+        let prep = Benchmark::Gs.generate(n);
+        let run = actions_of(&[(Gate::H, vec![2]), (Gate::T, vec![2]), (Gate::H, vec![2])]);
+
+        let mut flat = StateVector::new_zero(n);
+        flat.run(&prep);
+        let chunked = ChunkedState::from_flat(&flat, chunk_bits);
+        for act in &run {
+            kernels::apply_action(flat.amps_mut(), 0, act);
+        }
+        for threads in [1usize, 2, 4] {
+            let mut state = chunked.clone();
+            let chunks: Vec<usize> = (0..state.num_chunks()).collect();
+            ChunkExecutor::with_exact_threads(threads).apply_local_run(&mut state, &run, &chunks);
+            assert!(bits_equal(&state.to_flat(), &flat), "threads = {threads}");
+        }
+    }
+
+    /// Regression: a fused run whose target qubit sits *above* the
+    /// chunk-size exponent must go through the Case-2 group path and
+    /// match the flat result bitwise.
+    #[test]
+    fn group_run_above_chunk_boundary_matches_flat() {
+        let n = 10;
+        let chunk_bits: u32 = 3;
+        let target = 8usize; // above the boundary
+        let prep = Benchmark::Iqp.generate(n);
+        let run = actions_of(&[
+            (Gate::H, vec![target]),
+            (Gate::T, vec![target]),
+            (Gate::H, vec![target]),
+        ]);
+
+        let mut flat = StateVector::new_zero(n);
+        flat.run(&prep);
+        let chunked = ChunkedState::from_flat(&flat, chunk_bits);
+        for act in &run {
+            kernels::apply_action(flat.amps_mut(), 0, act);
+        }
+        let high_mixing = [target];
+        for threads in [1usize, 2, 4] {
+            let mut state = chunked.clone();
+            let group_bit = 1usize << (target as u32 - chunk_bits);
+            let groups_owned: Vec<Vec<usize>> = (0..state.num_chunks())
+                .filter(|c| c & group_bit == 0)
+                .map(|c| state.chunk_group(c, &high_mixing))
+                .collect();
+            let groups: Vec<&[usize]> = groups_owned.iter().map(|g| g.as_slice()).collect();
+            ChunkExecutor::with_exact_threads(threads).apply_group_runs(
+                &mut state,
+                &run,
+                &groups,
+                &high_mixing,
+            );
+            assert!(bits_equal(&state.to_flat(), &flat), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn group_run_sparsity_matches_per_gate_semantics() {
+        // |0…0⟩ chunked: only chunk 0 is dense. The run X·X on the top
+        // qubit moves the amplitude into the (sparse) top chunk and back:
+        // the top chunk was speculatively materialized but ends all-zero,
+        // so it must demote back to sparse. Chunk 0 was dense before the
+        // run, so it stays dense even while holding the amplitude — the
+        // same sparsity the per-gate path produces.
+        let n = 8;
+        let chunk_bits: u32 = 3;
+        let mut state = ChunkedState::new_zero(n, chunk_bits);
+        let top = n - 1;
+        let run = actions_of(&[(Gate::X, vec![top]), (Gate::X, vec![top])]);
+        let groups_owned: Vec<Vec<usize>> = vec![state.chunk_group(0, &[top])];
+        let groups: Vec<&[usize]> = groups_owned.iter().map(|g| g.as_slice()).collect();
+        ChunkExecutor::with_exact_threads(2).apply_group_runs(&mut state, &run, &groups, &[top]);
+        assert_eq!(state.dense_chunk_count(), 1);
+        assert!(
+            state.is_zero_chunk(state.num_chunks() - 1),
+            "speculatively materialized chunk must re-sparsify"
+        );
+        let flat = state.to_flat();
+        assert!((flat.amp(0) - Complex64::ONE).abs() < 1e-15);
+
+        // A single X leaves the amplitude in the top chunk: the sparse
+        // member stays dense, and chunk 0 — though now zero — was dense
+        // before the run and is not demoted.
+        let mut state = ChunkedState::new_zero(n, chunk_bits);
+        let run = actions_of(&[(Gate::X, vec![top])]);
+        ChunkExecutor::with_exact_threads(2).apply_group_runs(&mut state, &run, &groups, &[top]);
+        assert_eq!(state.dense_chunk_count(), 2);
+        assert!(!state.is_zero_chunk(0));
+        let flat = state.to_flat();
+        assert!((flat.amp(1 << top) - Complex64::ONE).abs() < 1e-15);
+    }
+
+    #[test]
+    fn group_run_respects_high_controls() {
+        // CX with a high control and high target: control bit selects
+        // half the groups; compare against the per-gate path bitwise.
+        let n = 9;
+        let chunk_bits: u32 = 3;
+        let prep = Benchmark::Rqc.generate(n);
+        let mut flat = StateVector::new_zero(n);
+        flat.run(&prep);
+        let op = Operation::new(Gate::Cx, vec![7, 8]);
+        let action = GateAction::from_operation(&op);
+
+        let mut expected = ChunkedState::from_flat(&flat, chunk_bits);
+        expected.apply_action(&action);
+
+        let mut state = ChunkedState::from_flat(&flat, chunk_bits);
+        let high_mixing = [8usize];
+        let group_bit = 1usize << (8 - chunk_bits);
+        let groups_owned: Vec<Vec<usize>> = (0..state.num_chunks())
+            .filter(|c| c & group_bit == 0)
+            .map(|c| state.chunk_group(c, &high_mixing))
+            .collect();
+        let groups: Vec<&[usize]> = groups_owned.iter().map(|g| g.as_slice()).collect();
+        ChunkExecutor::with_exact_threads(3).apply_group_runs(
+            &mut state,
+            &[action],
+            &groups,
+            &high_mixing,
+        );
+        assert!(bits_equal(&state.to_flat(), &expected.to_flat()));
+    }
+
+    #[test]
+    fn flat_diagonal_is_bitwise_identical_across_worker_counts() {
+        // Large enough to clear MIN_PARALLEL so the aligned-block split
+        // actually runs; compare every worker count against the serial
+        // strided kernel and the gather kernel, bit for bit (the state
+        // has no zero components, so zero-sign differences cannot arise).
+        let n = 15;
+        let amps0: Vec<Complex64> = (0..1usize << n)
+            .map(|i| Complex64::new(0.4 + 1e-5 * i as f64, -0.3 + 7e-6 * i as f64))
+            .collect();
+        let qubits = [1usize, 4, 9];
+        let dvec: Vec<Complex64> = (0..8)
+            .map(|s| match s {
+                3 => Complex64::cis(0.81),
+                6 => Complex64::new(-1.0, 0.0),
+                _ => Complex64::ONE,
+            })
+            .collect();
+        let mut reference = amps0.clone();
+        kernels::apply_diagonal(&mut reference, 0, &qubits, &dvec);
+        for threads in [1usize, 2, 3, 4, 8] {
+            let mut amps = amps0.clone();
+            ChunkExecutor::with_exact_threads(threads)
+                .apply_flat_diagonal(&mut amps, &qubits, &dvec);
+            for (i, (x, y)) in amps.iter().zip(reference.iter()).enumerate() {
+                assert!(
+                    x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                    "threads = {threads}, amp {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flat_diagonal_accepts_gate_ordered_qubits() {
+        // A controlled phase listed control-first puts the higher qubit
+        // position at table bit 0; the executor must sort and permute the
+        // table, matching the gather kernel on the original order bitwise.
+        let n = 15;
+        let amps0: Vec<Complex64> = (0..1usize << n)
+            .map(|i| Complex64::new(0.5 + 3e-6 * i as f64, 0.1 - 2e-6 * i as f64))
+            .collect();
+        let qubits = [9usize, 2];
+        let dvec = vec![
+            Complex64::ONE,
+            Complex64::ONE,
+            Complex64::cis(0.55),
+            Complex64::new(-1.0, 0.0),
+        ];
+        let mut reference = amps0.clone();
+        kernels::apply_diagonal(&mut reference, 0, &qubits, &dvec);
+        for threads in [1usize, 4] {
+            let mut amps = amps0.clone();
+            ChunkExecutor::with_exact_threads(threads)
+                .apply_flat_diagonal(&mut amps, &qubits, &dvec);
+            for (i, (x, y)) in amps.iter().zip(reference.iter()).enumerate() {
+                assert!(
+                    x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                    "threads = {threads}, amp {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_is_bitwise_identical_across_thread_counts() {
+        let c = Benchmark::Qaoa.generate(15);
+        let mut s = StateVector::new_zero(15);
+        s.run(&c);
+        let amps = s.amps();
+        let serial = ChunkExecutor::with_exact_threads(1)
+            .reduce_f64(amps.len(), |r| amps[r].iter().map(|a| a.norm_sqr()).sum());
+        for threads in [2usize, 3, 4, 8] {
+            let par = ChunkExecutor::with_exact_threads(threads)
+                .reduce_f64(amps.len(), |r| amps[r].iter().map(|a| a.norm_sqr()).sum());
+            assert_eq!(serial.to_bits(), par.to_bits(), "threads = {threads}");
+        }
+        assert!((serial - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reduce_complex_handles_odd_lengths() {
+        let values: Vec<Complex64> = (0..10_001)
+            .map(|i| Complex64::new(1.0 / (i as f64 + 1.0), -0.5 / (i as f64 + 2.0)))
+            .collect();
+        let a = ChunkExecutor::with_exact_threads(1).reduce_complex(values.len(), |r| {
+            let mut acc = Complex64::ZERO;
+            for v in &values[r] {
+                acc += *v;
+            }
+            acc
+        });
+        let b = ChunkExecutor::with_exact_threads(4).reduce_complex(values.len(), |r| {
+            let mut acc = Complex64::ZERO;
+            for v in &values[r] {
+                acc += *v;
+            }
+            acc
+        });
+        assert_eq!(a.re.to_bits(), b.re.to_bits());
+        assert_eq!(a.im.to_bits(), b.im.to_bits());
+    }
+}

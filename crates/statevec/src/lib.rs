@@ -11,6 +11,9 @@
 //! * [`ChunkedState`] — the paper's chunked layout (Figure 1): the state
 //!   split into `2^chunk_bits`-amplitude chunks, with all-zero chunks
 //!   stored sparsely (exactly what pruning exploits).
+//! * [`ChunkExecutor`] — the shared worker pool that applies gate
+//!   kernels (and fused runs) across disjoint chunks in parallel, with
+//!   bit-exact results at every thread count.
 //! * [`kernels`] — the low-level update routines shared by both layouts.
 //! * [`measure`] — probabilities and sampling.
 //!
@@ -33,6 +36,7 @@
 //! ```
 
 pub mod chunked;
+pub mod executor;
 pub mod kernels;
 pub mod measure;
 pub mod observable;
@@ -41,4 +45,5 @@ pub mod reference;
 pub mod state;
 
 pub use chunked::ChunkedState;
+pub use executor::ChunkExecutor;
 pub use state::StateVector;

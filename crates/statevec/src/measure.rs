@@ -6,9 +6,14 @@
 
 use rand::Rng;
 
+use crate::executor::ChunkExecutor;
 use crate::state::StateVector;
 
 /// Probability that measuring `qubit` yields 1.
+///
+/// Computed with the fixed-order tree reduction of
+/// [`prob_one_parallel`] at one thread, so serial and parallel callers
+/// agree bitwise.
 ///
 /// # Panics
 ///
@@ -26,15 +31,32 @@ use crate::state::StateVector;
 /// assert!((p - 0.5).abs() < 1e-12);
 /// ```
 pub fn prob_one(state: &StateVector, qubit: usize) -> f64 {
+    prob_one_parallel(state, qubit, 1)
+}
+
+/// Multi-threaded [`prob_one`].
+///
+/// The reduction never accumulates in thread-completion order: partial
+/// sums are cut at fixed block boundaries and combined with a
+/// deterministic pairwise tree (see [`qgpu_math::reduce`]), so the
+/// result is bitwise identical at every thread count.
+///
+/// # Panics
+///
+/// Panics if `qubit` is out of range or `threads == 0`.
+pub fn prob_one_parallel(state: &StateVector, qubit: usize, threads: usize) -> f64 {
     assert!(qubit < state.num_qubits());
     let bit = 1usize << qubit;
-    state
-        .amps()
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| i & bit != 0)
-        .map(|(_, a)| a.norm_sqr())
-        .sum()
+    let amps = state.amps();
+    ChunkExecutor::new(threads).reduce_f64(amps.len(), |r| {
+        let mut acc = 0.0;
+        for i in r {
+            if i & bit != 0 {
+                acc += amps[i].norm_sqr();
+            }
+        }
+        acc
+    })
 }
 
 /// Samples one basis-state outcome from the measurement distribution.
@@ -84,7 +106,10 @@ pub fn most_likely(state: &StateVector) -> (usize, f64) {
         .iter()
         .enumerate()
         .map(|(i, a)| (i, a.norm_sqr()))
-        .fold((0, 0.0), |best, cur| if cur.1 > best.1 { cur } else { best })
+        .fold(
+            (0, 0.0),
+            |best, cur| if cur.1 > best.1 { cur } else { best },
+        )
 }
 
 #[cfg(test)]
@@ -100,6 +125,44 @@ mod tests {
         let mut s = StateVector::new_zero(2);
         s.run(&c);
         s
+    }
+
+    #[test]
+    fn prob_one_is_bitwise_identical_across_thread_counts() {
+        // Pins the fixed-order tree reduction: the marginal must not
+        // depend on how many threads computed it, down to the last bit.
+        let c = qgpu_circuit::generators::Benchmark::Qaoa.generate(15);
+        let mut s = StateVector::new_zero(15);
+        s.run(&c);
+        for qubit in [0, 7, 14] {
+            let serial = prob_one_parallel(&s, qubit, 1);
+            assert_eq!(serial.to_bits(), prob_one(&s, qubit).to_bits());
+            for threads in [2, 3, 4, 8] {
+                let par = prob_one_parallel(&s, qubit, threads);
+                assert_eq!(
+                    serial.to_bits(),
+                    par.to_bits(),
+                    "qubit {qubit}, threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prob_one_matches_naive_sum() {
+        let c = qgpu_circuit::generators::Benchmark::Rqc.generate(12);
+        let mut s = StateVector::new_zero(12);
+        s.run(&c);
+        for qubit in 0..12 {
+            let naive: f64 = s
+                .amps()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i & (1 << qubit) != 0)
+                .map(|(_, a)| a.norm_sqr())
+                .sum();
+            assert!((prob_one(&s, qubit) - naive).abs() < 1e-12, "qubit {qubit}");
+        }
     }
 
     #[test]

@@ -92,6 +92,21 @@ impl PauliString {
     ///
     /// Panics if the string references a qubit outside the state.
     pub fn expectation(&self, state: &StateVector) -> f64 {
+        self.expectation_parallel(state, 1)
+    }
+
+    /// Multi-threaded [`PauliString::expectation`].
+    ///
+    /// Terms are accumulated over fixed-size index blocks and combined
+    /// with a deterministic pairwise tree (see [`qgpu_math::reduce`]),
+    /// never in thread-completion order — so the result is bitwise
+    /// identical at every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string references a qubit outside the state or
+    /// `threads == 0`.
+    pub fn expectation_parallel(&self, state: &StateVector, threads: usize) -> f64 {
         if let Some(q) = self.max_qubit() {
             assert!(q < state.num_qubits(), "qubit {q} outside state");
         }
@@ -103,16 +118,19 @@ impl PauliString {
                 flip |= 1 << q;
             }
         }
-        let mut acc = Complex64::ZERO;
-        for (i, amp) in state.amps().iter().enumerate() {
-            if amp.is_zero() {
-                continue;
-            }
-            let j = i ^ flip;
-            let mut coeff = Complex64::ONE;
-            for &(q, p) in &self.factors {
-                let bit = (i >> q) & 1;
-                coeff *= match (p, bit) {
+        let amps = state.amps();
+        let acc = crate::executor::ChunkExecutor::new(threads).reduce_complex(amps.len(), |r| {
+            let mut acc = Complex64::ZERO;
+            for (i, amp) in amps[r.clone()].iter().enumerate() {
+                let i = r.start + i;
+                if amp.is_zero() {
+                    continue;
+                }
+                let j = i ^ flip;
+                let mut coeff = Complex64::ONE;
+                for &(q, p) in &self.factors {
+                    let bit = (i >> q) & 1;
+                    coeff *= match (p, bit) {
                         (Pauli::Z, 0) => Complex64::ONE,
                         (Pauli::Z, _) => -Complex64::ONE,
                         (Pauli::X, _) => Complex64::ONE,
@@ -121,10 +139,12 @@ impl PauliString {
                         (Pauli::Y, _) => -Complex64::I,
                         (Pauli::I, _) => Complex64::ONE,
                     };
+                }
+                // ⟨j| P |i⟩ = coeff, so the term is conj(a_j) * coeff * a_i.
+                acc += amps[j].conj() * coeff * *amp;
             }
-            // ⟨j| P |i⟩ = coeff, so the term is conj(a_j) * coeff * a_i.
-            acc += state.amp(j).conj() * coeff * *amp;
-        }
+            acc
+        });
         debug_assert!(acc.im.abs() < 1e-9, "Hermitian expectation must be real");
         acc.re
     }
@@ -225,6 +245,27 @@ mod tests {
     }
 
     #[test]
+    fn expectation_is_bitwise_identical_across_thread_counts() {
+        // Pins the fixed-order tree reduction for observables: one thread
+        // and N threads must agree on every bit of the result.
+        let c = qgpu_circuit::generators::Benchmark::Qaoa.generate(15);
+        let s = run(&c);
+        let obs = [
+            PauliString::z(3),
+            PauliString::new([(0, Pauli::Z), (9, Pauli::Z)]),
+            PauliString::new([(2, Pauli::X), (5, Pauli::Y), (11, Pauli::Z)]),
+        ];
+        for p in &obs {
+            let serial = p.expectation_parallel(&s, 1);
+            assert_eq!(serial.to_bits(), p.expectation(&s).to_bits(), "{p}");
+            for threads in [2, 3, 4, 8] {
+                let par = p.expectation_parallel(&s, threads);
+                assert_eq!(serial.to_bits(), par.to_bits(), "{p}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
     fn z_on_basis_states() {
         let zero = StateVector::new_zero(2);
         assert!((PauliString::z(0).expectation(&zero) - 1.0).abs() < 1e-12);
@@ -251,9 +292,7 @@ mod tests {
         let mut c = Circuit::new(1);
         c.h(0).s(0);
         let plus_i = run(&c);
-        assert!(
-            (PauliString::new([(0, Pauli::Y)]).expectation(&plus_i) - 1.0).abs() < 1e-12
-        );
+        assert!((PauliString::new([(0, Pauli::Y)]).expectation(&plus_i) - 1.0).abs() < 1e-12);
     }
 
     #[test]

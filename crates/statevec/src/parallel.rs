@@ -1,137 +1,28 @@
 //! Multi-threaded gate application for the flat layout.
 //!
 //! Used by the CPU comparator engines (the "CPU OpenMP" baseline of the
-//! paper's Figure 12) and to speed up large functional simulations. Work
-//! is split over the compressed pair-index space; each thread owns a
-//! disjoint set of amplitude indices, so the unsynchronized writes through
-//! a shared pointer are race-free.
+//! paper's Figure 12) and to speed up large functional simulations. This
+//! module is a thin wrapper kept for API stability: the actual work-
+//! splitting lives in [`crate::executor::ChunkExecutor`], the shared
+//! worker pool used by every parallel path in the workspace.
 
 use qgpu_circuit::access::GateAction;
-use qgpu_math::bits::{insert_zero_bit, insert_zero_bits};
 use qgpu_math::Complex64;
 
-/// Raw amplitude pointer that can cross thread boundaries.
-///
-/// Safety: each thread derived from a distinct compressed-index range
-/// touches a disjoint set of amplitudes.
-#[derive(Clone, Copy)]
-struct AmpPtr(*mut Complex64);
-unsafe impl Send for AmpPtr {}
-unsafe impl Sync for AmpPtr {}
+use crate::executor::ChunkExecutor;
 
 /// Applies a gate action to `amps` using up to `threads` worker threads.
 ///
 /// Semantically identical to [`crate::kernels::apply_action`] with
-/// `base = 0`; small inputs fall back to the single-threaded kernel.
+/// `base = 0`, and bitwise identical at every thread count; small inputs
+/// fall back to the single-threaded kernel.
 ///
 /// # Panics
 ///
 /// Panics if the action references a qubit outside the state, or if
 /// `threads == 0`.
 pub fn apply_action_parallel(amps: &mut [Complex64], action: &GateAction, threads: usize) {
-    assert!(threads > 0, "need at least one thread");
-    assert!(amps.len().is_power_of_two());
-    // Below this size thread spawn overhead dominates.
-    const MIN_PARALLEL: usize = 1 << 14;
-    if threads == 1 || amps.len() < MIN_PARALLEL {
-        return crate::kernels::apply_action(amps, 0, action);
-    }
-
-    match action {
-        GateAction::Diagonal { qubits, dvec } => {
-            let n = amps.len();
-            let per = n.div_ceil(threads);
-            crossbeam::scope(|scope| {
-                for (t, piece) in amps.chunks_mut(per).enumerate() {
-                    let base = t * per;
-                    let qubits = qubits.clone();
-                    let dvec = dvec.clone();
-                    scope.spawn(move |_| {
-                        crate::kernels::apply_diagonal(piece, base, &qubits, &dvec);
-                    });
-                }
-            })
-            .expect("worker thread panicked");
-        }
-        GateAction::ControlledDense {
-            controls,
-            mixing,
-            matrix,
-        } => {
-            let local_bits = amps.len().trailing_zeros() as usize;
-            for &q in controls.iter().chain(mixing.iter()) {
-                assert!(q < local_bits, "qubit {q} outside state");
-            }
-            let mut positions: Vec<u32> = mixing
-                .iter()
-                .chain(controls.iter())
-                .map(|&q| q as u32)
-                .collect();
-            positions.sort_unstable();
-            let control_mask: usize = controls.iter().map(|&c| 1usize << c).sum();
-            let dim = matrix.dim();
-            let offsets: Vec<usize> = (0..dim)
-                .map(|s| {
-                    let mut off = 0usize;
-                    for (bit, &q) in mixing.iter().enumerate() {
-                        off |= ((s >> bit) & 1) << q;
-                    }
-                    off
-                })
-                .collect();
-            let count = amps.len() >> positions.len();
-            let per = count.div_ceil(threads);
-            let ptr = AmpPtr(amps.as_mut_ptr());
-            crossbeam::scope(|scope| {
-                for t in 0..threads {
-                    let lo = t * per;
-                    let hi = ((t + 1) * per).min(count);
-                    if lo >= hi {
-                        break;
-                    }
-                    let positions = positions.clone();
-                    let offsets = offsets.clone();
-                    let matrix = matrix.clone();
-                    scope.spawn(move |_| {
-                        let ptr = ptr; // move the Send wrapper
-                        let mut gathered = vec![Complex64::ZERO; dim];
-                        for c in lo..hi {
-                            let ibase = insert_zero_bits(c, &positions) | control_mask;
-                            if dim == 2 {
-                                // Fast path for single-qubit gates.
-                                let i0 = ibase + offsets[0];
-                                let i1 = ibase + offsets[1];
-                                unsafe {
-                                    let a0 = *ptr.0.add(i0);
-                                    let a1 = *ptr.0.add(i1);
-                                    *ptr.0.add(i0) =
-                                        matrix.get(0, 0) * a0 + matrix.get(0, 1) * a1;
-                                    *ptr.0.add(i1) =
-                                        matrix.get(1, 0) * a0 + matrix.get(1, 1) * a1;
-                                }
-                            } else {
-                                unsafe {
-                                    for (s, g) in gathered.iter_mut().enumerate() {
-                                        *g = *ptr.0.add(ibase + offsets[s]);
-                                    }
-                                    for (r, &off) in offsets.iter().enumerate() {
-                                        let mut acc = Complex64::ZERO;
-                                        for (s, &g) in gathered.iter().enumerate() {
-                                            acc = matrix.get(r, s).mul_add(g, acc);
-                                        }
-                                        *ptr.0.add(ibase + off) = acc;
-                                    }
-                                }
-                            }
-                        }
-                    });
-                }
-            })
-            .expect("worker thread panicked");
-        }
-    }
-    // Keep the helper import used in both paths.
-    let _ = insert_zero_bit;
+    ChunkExecutor::new(threads).apply_flat(amps, action);
 }
 
 #[cfg(test)]
@@ -163,10 +54,22 @@ mod tests {
                 s
             };
             let par = run_parallel(16, b, 4);
-            assert!(
-                par.max_deviation(&serial) < 1e-10,
-                "{b} parallel mismatch"
-            );
+            assert!(par.max_deviation(&serial) < 1e-10, "{b} parallel mismatch");
+        }
+    }
+
+    #[test]
+    fn parallel_is_bitwise_identical_to_serial() {
+        // Stronger than tolerance: partitioning work over threads must
+        // not change a single bit of any amplitude.
+        let serial = run_parallel(16, Benchmark::Qft, 1);
+        for threads in [2, 4, 8] {
+            let par = run_parallel(16, Benchmark::Qft, threads);
+            let same =
+                serial.amps().iter().zip(par.amps().iter()).all(|(a, b)| {
+                    a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits()
+                });
+            assert!(same, "threads = {threads}");
         }
     }
 
@@ -192,10 +95,7 @@ mod tests {
         };
         for threads in [2, 3, 5, 7] {
             let par = run_parallel(15, Benchmark::Iqp, threads);
-            assert!(
-                par.max_deviation(&serial) < 1e-10,
-                "threads = {threads}"
-            );
+            assert!(par.max_deviation(&serial) < 1e-10, "threads = {threads}");
         }
     }
 

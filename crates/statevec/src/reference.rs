@@ -105,7 +105,10 @@ mod tests {
             let mut fast = StateVector::new_zero(6);
             fast.run(&c);
             let dev = fast.max_deviation(&dense);
-            assert!(dev < 1e-9, "{b}: kernels deviate from dense oracle by {dev}");
+            assert!(
+                dev < 1e-9,
+                "{b}: kernels deviate from dense oracle by {dev}"
+            );
         }
     }
 

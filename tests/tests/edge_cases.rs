@@ -66,7 +66,11 @@ fn diagonal_only_circuit_never_transfers_under_pruning() {
     assert_eq!(s.zero_count(), s.len() - 1);
     // Only the live chunk moves, once per gate, and dynamic sizing keeps
     // it far below the 4 KB full state.
-    assert!(r.report.bytes_h2d < 2 << 10, "bytes = {}", r.report.bytes_h2d);
+    assert!(
+        r.report.bytes_h2d < 2 << 10,
+        "bytes = {}",
+        r.report.bytes_h2d
+    );
 }
 
 #[test]
@@ -138,9 +142,7 @@ fn batching_with_single_chunk_collapses_all_transfers() {
 
 #[test]
 fn inverse_circuits_return_to_zero_state() {
-    use qgpu_circuit::generators::{
-        quantum_fourier_transform, quantum_fourier_transform_inverse,
-    };
+    use qgpu_circuit::generators::{quantum_fourier_transform, quantum_fourier_transform_inverse};
     let n = 7;
     let mut c = quantum_fourier_transform(n);
     c.extend_from(&quantum_fourier_transform_inverse(n));

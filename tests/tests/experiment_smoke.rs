@@ -42,9 +42,7 @@ fn headline_numbers_have_paper_shape() {
     // One consolidated check of the reproduction's headline claims at a
     // small-but-meaningful size.
     let rows = experiments::fig12::measure(11);
-    let geo = |i: usize| {
-        qgpu_math::stats::geometric_mean(rows.iter().map(|r| r.versions[i]))
-    };
+    let geo = |i: usize| qgpu_math::stats::geometric_mean(rows.iter().map(|r| r.versions[i]));
     // Paper (34 qubits): Overlap 0.76, Pruning 0.52, Reorder 0.41, Q-GPU 0.28.
     let overlap = geo(2);
     let pruning = geo(3);
@@ -54,5 +52,8 @@ fn headline_numbers_have_paper_shape() {
     assert!(pruning < overlap, "pruning {pruning}");
     assert!(reorder <= pruning, "reorder {reorder}");
     assert!(qgpu <= reorder, "qgpu {qgpu}");
-    assert!(qgpu < 0.45, "full recipe should at least halve the time: {qgpu}");
+    assert!(
+        qgpu < 0.45,
+        "full recipe should at least halve the time: {qgpu}"
+    );
 }

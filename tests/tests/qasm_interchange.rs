@@ -11,8 +11,7 @@ fn roundtrip_preserves_simulation_semantics() {
     let n = 9;
     for b in Benchmark::ALL {
         let original = b.generate(n);
-        let parsed = qasm::parse(&qasm::to_qasm(&original))
-            .unwrap_or_else(|e| panic!("{b}: {e}"));
+        let parsed = qasm::parse(&qasm::to_qasm(&original)).unwrap_or_else(|e| panic!("{b}: {e}"));
 
         let mut s1 = StateVector::new_zero(n);
         s1.run(&original);

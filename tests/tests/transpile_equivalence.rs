@@ -82,7 +82,9 @@ fn canonicalized_roots_match_up_to_global_phase() {
     let mut c = Circuit::new(2);
     c.sx(0).sy(1).cx(0, 1).sx(1);
     let canon = transpile::canonicalize_roots(&c);
-    assert!(canon.iter().all(|op| !matches!(op.gate(), Gate::Sx | Gate::Sy)));
+    assert!(canon
+        .iter()
+        .all(|op| !matches!(op.gate(), Gate::Sx | Gate::Sy)));
     let a = run(&c);
     let b = run(&canon);
     // Fidelity 1 even though amplitudes differ by a global phase.

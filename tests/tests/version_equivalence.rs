@@ -6,6 +6,7 @@
 use qgpu::{SimConfig, Simulator, Version};
 use qgpu_circuit::generators::Benchmark;
 use qgpu_device::Platform;
+use qgpu_sched::reorder::ReorderStrategy;
 use qgpu_statevec::StateVector;
 
 fn reference(b: Benchmark, n: usize) -> StateVector {
@@ -13,6 +14,18 @@ fn reference(b: Benchmark, n: usize) -> StateVector {
     let mut s = StateVector::new_zero(n);
     s.run(&c);
     s
+}
+
+/// Asserts two states are equal down to the last bit of every amplitude.
+fn assert_bitwise_eq(a: &StateVector, b: &StateVector, ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: dimension mismatch");
+    for i in 0..a.len() {
+        let (x, y) = (a.amp(i), b.amp(i));
+        assert!(
+            x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+            "{ctx}: amplitude {i} differs ({x:?} vs {y:?})"
+        );
+    }
 }
 
 #[test]
@@ -45,6 +58,72 @@ fn chunk_count_does_not_change_results() {
 }
 
 #[test]
+fn all_versions_and_thread_counts_are_bitwise_identical() {
+    // The determinism harness: every (version, threads) pair — six
+    // versions × threads {1, 2, 4}, with and without gate fusion — must
+    // produce the *bit-identical* final state vector. Reordering is
+    // pinned to `Original` so every version executes the same gate order
+    // (a reorder legitimately changes rounding); with a fixed order the
+    // flat single-threaded reference is the golden state and chunking,
+    // threading and fusion must all be bitwise invisible.
+    let n = 10;
+    for b in [Benchmark::Qft, Benchmark::Qaoa, Benchmark::Rqc] {
+        let circuit = b.generate(n);
+        let golden = {
+            let mut s = StateVector::new_zero(n);
+            s.run(&circuit);
+            s
+        };
+        for fusion in [false, true] {
+            for v in Version::ALL {
+                for threads in [1usize, 2, 4] {
+                    let mut cfg = SimConfig::scaled_paper(n)
+                        .with_version(v)
+                        .with_reorder_strategy(ReorderStrategy::Original)
+                        .with_threads(threads);
+                    if fusion {
+                        cfg = cfg.with_gate_fusion();
+                    }
+                    let r = Simulator::new(cfg).run(&circuit);
+                    let state = r.state.expect("collected");
+                    assert_bitwise_eq(
+                        &golden,
+                        &state,
+                        &format!("{b}/{v}, threads {threads}, fusion {fusion}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reordering_versions_are_bitwise_stable_across_threads() {
+    // Under the default forward-looking reorder the executed gate order
+    // differs from the source order (so the flat reference only matches
+    // to tolerance), but within one version the result must still be
+    // bitwise independent of the thread count.
+    let n = 10;
+    let circuit = Benchmark::Hchain.generate(n);
+    for v in [Version::Reorder, Version::QGpu] {
+        let base = SimConfig::scaled_paper(n)
+            .with_version(v)
+            .with_gate_fusion();
+        let one = Simulator::new(base.clone())
+            .run(&circuit)
+            .state
+            .expect("collected");
+        for threads in [2usize, 4] {
+            let many = Simulator::new(base.clone().with_threads(threads))
+                .run(&circuit)
+                .state
+                .expect("collected");
+            assert_bitwise_eq(&one, &many, &format!("{v}, threads {threads}"));
+        }
+    }
+}
+
+#[test]
 fn multi_gpu_does_not_change_results() {
     let n = 10;
     for b in [Benchmark::Qft, Benchmark::Gs, Benchmark::Iqp] {
@@ -55,8 +134,8 @@ fn multi_gpu_does_not_change_results() {
             Platform::quad_v100_nvlink().miniaturize(n, 0.02),
         ] {
             for v in [Version::Baseline, Version::Overlap, Version::QGpu] {
-                let r = Simulator::new(SimConfig::new(platform.clone()).with_version(v))
-                    .run(&circuit);
+                let r =
+                    Simulator::new(SimConfig::new(platform.clone()).with_version(v)).run(&circuit);
                 let dev = r.state.expect("collected").max_deviation(&expect);
                 assert!(dev < 1e-9, "{b}/{v} on {}: {dev}", platform.name);
             }
@@ -88,8 +167,8 @@ fn comparators_match_reference_too() {
 fn norm_is_preserved_by_the_full_pipeline() {
     for b in Benchmark::ALL {
         let circuit = b.generate(9);
-        let r = Simulator::new(SimConfig::scaled_paper(9).with_version(Version::QGpu))
-            .run(&circuit);
+        let r =
+            Simulator::new(SimConfig::scaled_paper(9).with_version(Version::QGpu)).run(&circuit);
         let norm = r.state.expect("collected").norm();
         assert!((norm - 1.0).abs() < 1e-9, "{b}: norm {norm}");
     }

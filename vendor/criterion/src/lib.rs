@@ -1,0 +1,376 @@
+//! Minimal, dependency-free stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API this workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, throughput,
+//! `BenchmarkId`, `Bencher::iter`) on top of a simple median-of-samples
+//! timer. Behavior by invocation:
+//!
+//! - `cargo bench` (cargo passes `--bench`): warm up, take
+//!   `sample_size` samples, report median time and throughput;
+//! - `cargo test` (no `--bench` flag): run every routine once so benches
+//!   stay smoke-tested without burning CI time.
+//!
+//! A positional CLI argument filters benchmarks by substring, like the real
+//! crate.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Clone, Debug)]
+struct Settings {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            warm_up: Duration::from_secs(3),
+            measurement: Duration::from_secs(5),
+            sample_size: 100,
+        }
+    }
+}
+
+/// Top-level harness configuration, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    settings: Settings,
+    /// Full measurement (`cargo bench`) vs single-shot smoke run (`cargo test`).
+    measure: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut measure = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => measure = true,
+                "--test" => measure = false,
+                s if !s.starts_with('-') && filter.is_none() => filter = Some(s.to_string()),
+                _ => {}
+            }
+        }
+        Criterion {
+            settings: Settings::default(),
+            measure,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.settings.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.settings.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            settings_override: None,
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation for reporting, mirroring `criterion::Throughput`.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Benchmark identifier (`function_name/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepted first argument of `bench_function`.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    settings_override: Option<Settings>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    fn settings(&self) -> Settings {
+        self.settings_override
+            .clone()
+            .unwrap_or_else(|| self.criterion.settings.clone())
+    }
+
+    fn settings_mut(&mut self) -> &mut Settings {
+        if self.settings_override.is_none() {
+            self.settings_override = Some(self.criterion.settings.clone());
+        }
+        self.settings_override.as_mut().expect("just initialized")
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings_mut().sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings_mut().warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings_mut().measurement = d;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.run_one(&full, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.run_one(&full, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run_one(&self, full_name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.criterion.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let settings = self.settings();
+        let mut bencher = Bencher {
+            mode: if self.criterion.measure {
+                Mode::Measure(settings)
+            } else {
+                Mode::Smoke
+            },
+            median: None,
+        };
+        f(&mut bencher);
+        match bencher.median {
+            Some(median) => {
+                let thrpt = match self.throughput {
+                    Some(Throughput::Bytes(bytes)) if median > 0.0 => {
+                        let gib = bytes as f64 / median / (1u64 << 30) as f64;
+                        format!("  thrpt: [{gib:.3} GiB/s]")
+                    }
+                    Some(Throughput::Elements(n)) if median > 0.0 => {
+                        let meps = n as f64 / median / 1e6;
+                        format!("  thrpt: [{meps:.3} Melem/s]")
+                    }
+                    _ => String::new(),
+                };
+                println!("{full_name:<40} time: [{}]{thrpt}", format_time(median));
+            }
+            None => println!("{full_name:<40} ok (smoke run)"),
+        }
+    }
+
+    pub fn finish(self) {}
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.4} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.4} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.4} µs", seconds * 1e6)
+    } else {
+        format!("{:.4} ns", seconds * 1e9)
+    }
+}
+
+enum Mode {
+    /// Run the routine once (used under `cargo test`).
+    Smoke,
+    /// Warm up, then time `sample_size` samples.
+    Measure(Settings),
+}
+
+pub struct Bencher {
+    mode: Mode,
+    median: Option<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match &self.mode {
+            Mode::Smoke => {
+                black_box(routine());
+            }
+            Mode::Measure(settings) => {
+                // Warm-up, and estimate the per-iteration cost.
+                let warm_start = Instant::now();
+                let mut warm_iters = 0u64;
+                while warm_start.elapsed() < settings.warm_up || warm_iters == 0 {
+                    black_box(routine());
+                    warm_iters += 1;
+                }
+                let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+                // Size samples so the whole measurement fits the time budget.
+                let budget = settings.measurement.as_secs_f64() / settings.sample_size as f64;
+                let iters_per_sample = (budget / per_iter.max(1e-9)).ceil().max(1.0) as u64;
+
+                let mut samples = Vec::with_capacity(settings.sample_size);
+                for _ in 0..settings.sample_size {
+                    let start = Instant::now();
+                    for _ in 0..iters_per_sample {
+                        black_box(routine());
+                    }
+                    samples.push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
+                }
+                samples.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+                self.median = Some(samples[samples.len() / 2]);
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut criterion = Criterion {
+            settings: Settings::default(),
+            measure: false,
+            filter: None,
+        };
+        let mut count = 0u32;
+        let mut group = criterion.benchmark_group("g");
+        group.bench_function("once", |b| b.iter(|| count += 1));
+        group.finish();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn measure_mode_reports_median() {
+        let mut criterion = Criterion {
+            settings: Settings {
+                warm_up: Duration::from_millis(5),
+                measurement: Duration::from_millis(20),
+                sample_size: 5,
+            },
+            measure: true,
+            filter: None,
+        };
+        let mut group = criterion.benchmark_group("g");
+        group.throughput(Throughput::Bytes(1 << 20));
+        group.bench_function("busy", |b| b.iter(|| black_box((0..1000u64).sum::<u64>())));
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut criterion = Criterion {
+            settings: Settings::default(),
+            measure: false,
+            filter: Some("nomatch".to_string()),
+        };
+        let mut ran = false;
+        let mut group = criterion.benchmark_group("g");
+        group.bench_function("skipped", |b| b.iter(|| ran = true));
+        group.finish();
+        assert!(!ran);
+    }
+}

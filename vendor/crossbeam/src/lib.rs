@@ -1,0 +1,224 @@
+//! Minimal, dependency-free stand-in for `crossbeam`'s scoped threads.
+//!
+//! Only `crossbeam::scope` / `crossbeam::thread::scope` are provided — the
+//! single entry point this workspace uses. The implementation follows the
+//! same strategy as the real crate: spawned closures are lifetime-erased to
+//! `'static` (sound because `scope` joins every spawned thread before it
+//! returns, so no borrow outlives the call), and a panic in any spawned
+//! thread surfaces as the `Err` variant of the scope result.
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+pub mod thread {
+    pub use crate::{scope, Scope, ScopedJoinHandle};
+}
+
+type Panic = Box<dyn Any + Send + 'static>;
+
+type HandleSlot = Arc<Mutex<Option<JoinHandle<()>>>>;
+type PanicSlot = Arc<Mutex<Option<Panic>>>;
+
+#[derive(Default)]
+struct ScopeData {
+    /// Handle + panic-payload slot of every spawned thread. Slots are shared
+    /// with the corresponding [`ScopedJoinHandle`] so an explicit `join` and
+    /// the end-of-scope sweep cooperate on the same thread: whichever runs
+    /// first joins it, and a panic payload still sitting in its slot at end
+    /// of scope counts as unhandled.
+    handles: Mutex<Vec<(HandleSlot, PanicSlot)>>,
+}
+
+/// Scope handle passed to the `scope` closure, mirroring
+/// `crossbeam::thread::Scope<'env>`.
+pub struct Scope<'env> {
+    data: Arc<ScopeData>,
+    /// Invariant over `'env`, like the real crate.
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+/// Handle to a spawned thread, mirroring `crossbeam::thread::ScopedJoinHandle`.
+pub struct ScopedJoinHandle<'scope, T> {
+    slot: HandleSlot,
+    panic: PanicSlot,
+    result: Arc<Mutex<Option<T>>>,
+    _scope: PhantomData<&'scope ()>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish and returns its result (`Err` holds
+    /// the panic payload if the thread panicked).
+    pub fn join(self) -> Result<T, Panic> {
+        let handle = self.slot.lock().unwrap().take();
+        if let Some(handle) = handle {
+            // The worker wrapper never panics: the payload travels through
+            // the panic slot instead.
+            handle.join().expect("worker wrapper panicked");
+        }
+        // Taking the payload marks the panic as handled by this caller.
+        let payload = self.panic.lock().unwrap().take();
+        match payload {
+            Some(payload) => Err(payload),
+            None => Ok(self
+                .result
+                .lock()
+                .unwrap()
+                .take()
+                .expect("thread result missing after join")),
+        }
+    }
+}
+
+impl<'env> Scope<'env> {
+    /// Spawns a scoped thread. The closure receives this scope again so
+    /// nested spawns work, exactly like the real API.
+    pub fn spawn<'scope, F, T>(&'scope self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'env>) -> T + Send + 'env,
+        T: Send + 'env,
+    {
+        let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+        let panic: PanicSlot = Arc::new(Mutex::new(None));
+        let result_in = Arc::clone(&result);
+        let panic_in = Arc::clone(&panic);
+        let data = Arc::clone(&self.data);
+
+        let closure = move || {
+            let scope = Scope::<'env> {
+                data,
+                _env: PhantomData,
+            };
+            match catch_unwind(AssertUnwindSafe(|| f(&scope))) {
+                Ok(value) => *result_in.lock().unwrap() = Some(value),
+                Err(payload) => *panic_in.lock().unwrap() = Some(payload),
+            }
+        };
+        // Erase `'env`: `scope` joins every thread before returning, so the
+        // closure provably never outlives the borrows it captures.
+        let closure: Box<dyn FnOnce() + Send + 'env> = Box::new(closure);
+        let closure: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(closure) };
+
+        let handle = std::thread::spawn(closure);
+        let slot = Arc::new(Mutex::new(Some(handle)));
+        self.data
+            .handles
+            .lock()
+            .unwrap()
+            .push((Arc::clone(&slot), Arc::clone(&panic)));
+        ScopedJoinHandle {
+            slot,
+            panic,
+            result,
+            _scope: PhantomData,
+        }
+    }
+
+    /// Joins all threads spawned so far (including ones spawned while
+    /// joining). Returns `true` if any thread panicked.
+    fn join_all(&self) -> bool {
+        let mut any_panic = false;
+        loop {
+            let (slot, panic) = {
+                let mut handles = self.data.handles.lock().unwrap();
+                match handles.pop() {
+                    Some(s) => s,
+                    None => break,
+                }
+            };
+            let handle = slot.lock().unwrap().take();
+            if let Some(handle) = handle {
+                // The worker wrapper itself never panics.
+                handle.join().expect("worker wrapper panicked");
+            }
+            // A payload nobody claimed via `ScopedJoinHandle::join` means an
+            // unhandled child panic.
+            if panic.lock().unwrap().take().is_some() {
+                any_panic = true;
+            }
+        }
+        any_panic
+    }
+}
+
+/// Creates a scope in which threads borrowing from the environment may be
+/// spawned; all spawned threads are joined before `scope` returns.
+///
+/// Mirrors `crossbeam::scope`: the `Err` variant reports that the main
+/// closure or any spawned thread panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Panic>
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    let scope = Scope {
+        data: Arc::new(ScopeData::default()),
+        _env: PhantomData,
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+    let child_panicked = scope.join_all();
+    match outcome {
+        Ok(value) if !child_panicked => Ok(value),
+        Ok(_) => Err(Box::new("a scoped thread panicked")),
+        // A panic in the main closure is this caller's own bug — propagate
+        // it like the real crate does.
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_environment() {
+        let mut data = vec![0u64; 64];
+        let mid = data.len() / 2;
+        let (lo, hi) = data.split_at_mut(mid);
+        super::scope(|s| {
+            s.spawn(move |_| {
+                for (i, v) in lo.iter_mut().enumerate() {
+                    *v = i as u64;
+                }
+            });
+            s.spawn(move |_| {
+                for (i, v) in hi.iter_mut().enumerate() {
+                    *v = (mid + i) as u64;
+                }
+            });
+        })
+        .expect("threads join");
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64));
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let answer = super::scope(|s| {
+            let h = s.spawn(|_| 21 * 2);
+            h.join().expect("no panic")
+        })
+        .expect("scope ok");
+        assert_eq!(answer, 42);
+    }
+
+    #[test]
+    fn child_panic_is_reported_as_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let r = super::scope(|s| {
+            s.spawn(|s2| {
+                let h = s2.spawn(|_| 7);
+                h.join().expect("inner ok")
+            })
+            .join()
+            .expect("outer ok")
+        })
+        .expect("scope ok");
+        assert_eq!(r, 7);
+    }
+}

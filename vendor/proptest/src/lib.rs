@@ -1,0 +1,152 @@
+//! Minimal, dependency-free stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of the proptest API this workspace uses: the
+//! `proptest!` macro (with optional `#![proptest_config(..)]`), range and
+//! tuple strategies, `prop_map`/`prop_filter`, `prop_oneof!`,
+//! `collection::vec`, `num::f64::ANY`, `any::<T>()`, the `prop_assert*`
+//! macro family, and the low-level `TestRunner::run` entry point.
+//!
+//! Differences from the real crate, by design:
+//! - no shrinking — a failing case reports its inputs' seed and case index;
+//! - sampling is purely random (seeded deterministically per test name), so
+//!   runs are reproducible but regression files are not consulted.
+
+pub mod strategy;
+
+pub mod arbitrary;
+
+pub mod collection;
+
+pub mod num;
+
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Cap on rejected cases (filters/`prop_assume!`) before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// The macro heart of the crate: expands each `fn name(pat in strategy, ..)`
+/// item into a `#[test]` that samples the strategies `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __strategy = ($($strat,)+);
+            $crate::test_runner::run_proptest(
+                &__config,
+                stringify!($name),
+                &__strategy,
+                |__values| {
+                    let ($($pat,)+) = __values;
+                    let _ = $body;
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, $($fmt)+);
+    }};
+}
+
+/// Union of heterogeneous strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($item:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($item)),+
+        ])
+    };
+}

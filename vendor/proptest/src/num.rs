@@ -1,0 +1,38 @@
+//! Numeric `ANY` strategies.
+
+pub mod f64 {
+    use crate::strategy::{Rejection, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// Strategy over every `f64` bit pattern, with special values
+    /// (zeros, infinities, NaN, subnormals) sampled at an elevated rate so
+    /// bit-exactness properties exercise them reliably.
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    const SPECIALS: [u64; 8] = [
+        0x0000_0000_0000_0000, // +0.0
+        0x8000_0000_0000_0000, // -0.0
+        0x7ff0_0000_0000_0000, // +inf
+        0xfff0_0000_0000_0000, // -inf
+        0x7ff8_0000_0000_0000, // quiet NaN
+        0x0000_0000_0000_0001, // smallest subnormal
+        0x3ff0_0000_0000_0000, // 1.0
+        0x7fef_ffff_ffff_ffff, // MAX
+    ];
+
+    impl Strategy for Any {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> Result<f64, Rejection> {
+            let roll = rng.next_u64();
+            let bits = if roll.is_multiple_of(8) {
+                SPECIALS[(roll >> 32) as usize % SPECIALS.len()]
+            } else {
+                rng.next_u64()
+            };
+            Ok(f64::from_bits(bits))
+        }
+    }
+}

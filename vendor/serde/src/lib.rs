@@ -1,0 +1,31 @@
+//! Minimal, dependency-free stand-in for `serde`.
+//!
+//! No serialization format (JSON, bincode, ...) exists in this workspace's
+//! dependency set — `serde` is used purely at the *trait-bound* level
+//! (`#[derive(Serialize, Deserialize)]` plus generic bounds such as
+//! `T: Serialize + for<'de> Deserialize<'de>`). This shim therefore provides
+//! marker traits with blanket implementations and derive macros that expand
+//! to nothing. The moment a real codec is introduced, this crate must be
+//! replaced with the genuine article.
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+pub use serde_derive::{Deserialize, Serialize};
