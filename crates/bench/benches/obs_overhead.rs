@@ -1,0 +1,100 @@
+//! Observability overhead guard: spans-enabled vs spans-disabled
+//! wall-clock on the full Q-GPU pipeline.
+//!
+//! The recorder's contract is "zero-cost when disabled, cheap when
+//! enabled": disabled instrumentation is a branch on `None`, and enabled
+//! instrumentation records spans per *gate* (not per chunk) plus O(1)
+//! counter/histogram touches. This bench enforces the enabled side.
+//!
+//! Invocation follows the workspace's criterion convention:
+//!
+//! - `cargo bench` (cargo passes `--bench`): interleaved A/B runs of
+//!   qft_20, median per side, **asserts** the enabled median stays
+//!   within 2% of the disabled median;
+//! - `cargo test` (no `--bench`): one small smoke run of each side so
+//!   the guard stays compiled and the obs plumbing stays exercised
+//!   without burning CI minutes on wall-clock comparisons.
+
+use std::time::Instant;
+
+use qgpu::{SimConfig, Simulator, Version};
+use qgpu_circuit::generators::Benchmark;
+
+/// Maximum tolerated slowdown of the instrumented run (fractional).
+const MAX_OVERHEAD: f64 = 0.02;
+
+/// Interleaved samples per side under `cargo bench`; interleaving keeps
+/// slow drift (thermal, cache state) out of the A/B difference.
+const SAMPLES: usize = 3;
+
+fn run_once(qubits: usize, obs: bool) -> f64 {
+    let mut cfg = SimConfig::scaled_paper(qubits)
+        .with_version(Version::QGpu)
+        .timing_only();
+    if obs {
+        cfg = cfg.with_obs_spans();
+    }
+    let circuit = Benchmark::Qft.generate(qubits);
+    let sim = Simulator::new(cfg);
+    let start = Instant::now();
+    let result = sim.run(&circuit);
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(result.obs.is_some(), obs, "obs payload must match the flag");
+    elapsed
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let mut measure = false;
+    let mut filter: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--bench" => measure = true,
+            "--test" => measure = false,
+            s if !s.starts_with('-') && filter.is_none() => filter = Some(s.to_string()),
+            _ => {}
+        }
+    }
+    if let Some(f) = &filter {
+        if !"obs_overhead/qft".contains(f.as_str()) {
+            return;
+        }
+    }
+
+    if !measure {
+        // Smoke: exercise both sides on a small circuit.
+        run_once(12, false);
+        run_once(12, true);
+        println!("{:<40} ok (smoke run)", "obs_overhead/qft_12");
+        return;
+    }
+
+    let qubits = 20;
+    // Warm-up pair so first-touch allocation lands outside the samples.
+    run_once(qubits, false);
+    run_once(qubits, true);
+    let mut off = Vec::with_capacity(SAMPLES);
+    let mut on = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        off.push(run_once(qubits, false));
+        on.push(run_once(qubits, true));
+    }
+    let off_median = median(&mut off);
+    let on_median = median(&mut on);
+    let overhead = on_median / off_median - 1.0;
+    println!(
+        "obs_overhead/qft_{qubits}: disabled {off_median:.3} s, enabled {on_median:.3} s, \
+         overhead {:.2}%",
+        overhead * 100.0
+    );
+    assert!(
+        overhead < MAX_OVERHEAD,
+        "span recording costs {:.2}% (> {:.0}% budget) on qft_{qubits}",
+        overhead * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+}

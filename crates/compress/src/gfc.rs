@@ -8,6 +8,7 @@
 use std::fmt;
 
 use qgpu_math::Complex64;
+use qgpu_obs::{span_opt, Recorder, Stage, Track};
 use serde::{Deserialize, Serialize};
 
 use crate::stats::CompressionStats;
@@ -138,6 +139,25 @@ impl GfcCodec {
         self.compress(amps_as_f64(amps))
     }
 
+    /// [`GfcCodec::compress_amplitudes`] under observation: records a
+    /// [`Stage::Compress`] span and the per-chunk compression ratio (×100,
+    /// into the `compress.ratio.x100` histogram). With `rec == None` this
+    /// is exactly `compress_amplitudes` — no clock reads.
+    pub fn compress_amplitudes_observed(
+        &self,
+        amps: &[Complex64],
+        rec: Option<&Recorder>,
+    ) -> Compressed {
+        let _g = span_opt(rec, Track::Main, Stage::Compress, "gfc.compress");
+        let compressed = self.compress_amplitudes(amps);
+        if let Some(r) = rec {
+            let raw = std::mem::size_of_val(amps) as u64;
+            let out = compressed.total_bytes().max(1) as u64;
+            r.observe("compress.ratio.x100", raw * 100 / out);
+        }
+        compressed
+    }
+
     /// Decompresses back into doubles.
     ///
     /// # Panics
@@ -181,6 +201,22 @@ impl GfcCodec {
     pub fn decompress_amplitudes(&self, c: &Compressed) -> Vec<Complex64> {
         self.try_decompress_amplitudes(c)
             .expect("corrupt compressed buffer")
+    }
+
+    /// [`GfcCodec::decompress_amplitudes`] under observation: records a
+    /// [`Stage::Decompress`] span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is corrupt, like
+    /// [`GfcCodec::decompress_amplitudes`].
+    pub fn decompress_amplitudes_observed(
+        &self,
+        c: &Compressed,
+        rec: Option<&Recorder>,
+    ) -> Vec<Complex64> {
+        let _g = span_opt(rec, Track::Main, Stage::Decompress, "gfc.decompress");
+        self.decompress_amplitudes(c)
     }
 
     /// Decompresses into complex amplitudes, reporting corruption.

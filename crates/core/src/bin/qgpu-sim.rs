@@ -19,6 +19,11 @@
 //!   --cx-basis         transpile to the {1-qubit, CX} basis first
 //!   --report           print the modeled execution report
 //!   --save <path>      write the final state as a compressed checkpoint
+//!   --trace-out <path> write a two-track Chrome/Perfetto trace JSON
+//!   --metrics-out <path>  write recorded counters/histograms as JSON
+//!   --drift            print the modeled-vs-measured drift report
+//!   --drift-tol <pp>   drift flagging tolerance in percentage points
+//!   --gantt            print the modeled timeline as an ASCII Gantt chart
 //! ```
 
 use std::env;
@@ -48,6 +53,11 @@ struct Options {
     platform: String,
     peephole: bool,
     cx_basis: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    drift: bool,
+    drift_tol: f64,
+    gantt: bool,
 }
 
 enum Source {
@@ -85,6 +95,11 @@ fn parse_args() -> Result<Options, String> {
     let mut platform = "p100".to_string();
     let mut peephole = false;
     let mut cx_basis = false;
+    let mut trace_out = None;
+    let mut metrics_out = None;
+    let mut drift = false;
+    let mut drift_tol = qgpu_obs::drift::DEFAULT_TOLERANCE_PP;
+    let mut gantt = false;
 
     let take = |args: &mut std::iter::Peekable<std::iter::Skip<env::Args>>,
                 flag: &str|
@@ -130,6 +145,15 @@ fn parse_args() -> Result<Options, String> {
             "--platform" | "-p" => platform = take(&mut args, "--platform")?,
             "--peephole" => peephole = true,
             "--cx-basis" => cx_basis = true,
+            "--trace-out" => trace_out = Some(take(&mut args, "--trace-out")?),
+            "--metrics-out" => metrics_out = Some(take(&mut args, "--metrics-out")?),
+            "--drift" => drift = true,
+            "--drift-tol" => {
+                drift_tol = take(&mut args, "--drift-tol")?
+                    .parse()
+                    .map_err(|_| "bad drift tolerance")?
+            }
+            "--gantt" => gantt = true,
             "--help" | "-h" => return Err(HELP.to_string()),
             other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
             other => return Err(format!("unknown argument '{other}'\n{HELP}")),
@@ -159,10 +183,15 @@ fn parse_args() -> Result<Options, String> {
         platform,
         peephole,
         cx_basis,
+        trace_out,
+        metrics_out,
+        drift,
+        drift_tol,
+        gantt,
     })
 }
 
-const HELP: &str = "usage: qgpu-sim <file.qasm> | --benchmark <name> --qubits <N>\n  [--version baseline|naive|overlap|pruning|reorder|qgpu] [--shots N]\n  [--seed N] [--chunks log2] [--top N] [--batching] [--fuse] [--threads N]\n  [--report] [--save path]";
+const HELP: &str = "usage: qgpu-sim <file.qasm> | --benchmark <name> --qubits <N>\n  [--version baseline|naive|overlap|pruning|reorder|qgpu] [--shots N]\n  [--seed N] [--chunks log2] [--top N] [--batching] [--fuse] [--threads N]\n  [--report] [--save path] [--trace-out path] [--metrics-out path]\n  [--drift] [--drift-tol pp] [--gantt]";
 
 fn platform_for(name: &str, qubits: usize) -> Result<Platform, String> {
     let ratio = 496.0 / 8192.0;
@@ -240,6 +269,14 @@ fn main() -> ExitCode {
         config = config.with_gate_fusion();
     }
     config = config.with_threads(opts.threads);
+    if opts.trace_out.is_some() || opts.metrics_out.is_some() || opts.drift {
+        config = config.with_obs_spans();
+    }
+    if opts.trace_out.is_some() || opts.gantt {
+        // Bounded modeled track: ~30 MB of trace JSON at most, which
+        // Perfetto loads comfortably; million-chunk runs truncate.
+        config = config.with_trace(200_000);
+    }
     let result = Simulator::new(config).run(&circuit);
     let state = result.state.as_ref().expect("state collected");
 
@@ -292,6 +329,45 @@ fn main() -> ExitCode {
             println!("  gates fused       : {}", r.gates_fused);
             println!("  fused kernels     : {}", r.fused_kernels);
         }
+    }
+
+    if opts.gantt {
+        let chart = qgpu_device::gantt::render_full(&result.trace, 100);
+        if chart.is_empty() {
+            eprintln!("[qgpu-sim] --gantt: no timeline events recorded");
+        } else {
+            println!("\n{chart}");
+        }
+    }
+
+    if let Some(path) = &opts.trace_out {
+        let spans = result
+            .obs
+            .as_ref()
+            .map(|o| o.spans.as_slice())
+            .unwrap_or(&[]);
+        let trace = qgpu_obs::ChromeTrace::two_track(&result.trace, spans);
+        if let Err(e) = fs::write(path, trace.to_json_string()) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[qgpu-sim] trace written to {path}");
+    }
+
+    if let Some(path) = &opts.metrics_out {
+        let obs = result.obs.as_ref().expect("obs enabled with --metrics-out");
+        if let Err(e) = fs::write(path, obs.metrics.to_json_string()) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[qgpu-sim] metrics written to {path}");
+    }
+
+    if opts.drift {
+        let obs = result.obs.as_ref().expect("obs enabled with --drift");
+        let drift =
+            qgpu_obs::DriftReport::new(&result.report, &obs.spans, obs.wall_s, opts.drift_tol);
+        println!("\n{}", drift.render());
     }
     ExitCode::SUCCESS
 }

@@ -146,6 +146,13 @@ pub struct SimConfig {
     /// unfused run); the timing model launches one fused kernel per chunk
     /// visit. Off by default to match the paper's per-gate execution.
     pub gate_fusion: bool,
+    /// Record measured wall-clock spans and metrics while running (the
+    /// `qgpu-obs` recorder). The run result then carries an
+    /// [`crate::result::ObsData`] with per-stage spans, counters and
+    /// histograms — the measured half of the two-track trace and the
+    /// drift report. Off by default: disabled instrumentation is a
+    /// branch on `None`.
+    pub obs_spans: bool,
 }
 
 impl SimConfig {
@@ -164,6 +171,7 @@ impl SimConfig {
             batch_local_gates: false,
             threads: 1,
             gate_fusion: false,
+            obs_spans: false,
         }
     }
 
@@ -243,6 +251,13 @@ impl SimConfig {
     /// Enables gate fusion (see [`SimConfig::gate_fusion`]).
     pub fn with_gate_fusion(mut self) -> Self {
         self.gate_fusion = true;
+        self
+    }
+
+    /// Enables wall-clock span and metrics recording (see
+    /// [`SimConfig::obs_spans`]).
+    pub fn with_obs_spans(mut self) -> Self {
+        self.obs_spans = true;
         self
     }
 

@@ -15,9 +15,12 @@
 //! This reproduces the paper's Figure 2: with a large state vector almost
 //! all time is CPU update, roughly 10% is exchange, and the GPU is idle.
 
+use std::sync::Arc;
+
 use qgpu_circuit::Circuit;
 use qgpu_device::timeline::{Engine, TaskKind, Timeline};
 use qgpu_device::ExecutionReport;
+use qgpu_obs::{span_opt, Recorder, Stage, Track};
 use qgpu_sched::plan::{ChunkTask, GatePlan};
 use qgpu_statevec::{ChunkExecutor, ChunkedState};
 
@@ -33,7 +36,12 @@ enum Loc {
     Gpu(usize),
 }
 
-pub(crate) fn run(circuit: &Circuit, cfg: &SimConfig) -> RunResult {
+pub(crate) fn run(
+    circuit: &Circuit,
+    cfg: &SimConfig,
+    recorder: Option<&Arc<Recorder>>,
+) -> RunResult {
+    let rec = recorder.map(Arc::as_ref);
     let n = circuit.num_qubits();
     let chunk_bits = cfg.chunk_bits_for(n);
     let num_chunks = 1usize << (n as u32 - chunk_bits);
@@ -62,17 +70,20 @@ pub(crate) fn run(circuit: &Circuit, cfg: &SimConfig) -> RunResult {
 
     let host = &cfg.platform.host;
     let mut gate_ready = 0.0f64;
-    let mut flops_gpu = 0.0f64;
-    let mut chunks_processed = 0u64;
-    let mut fused_kernels = 0u64;
 
-    let executor = ChunkExecutor::new(cfg.threads);
-    let program = crate::engine::program_for(circuit, cfg);
-    let gates_fused = qgpu_circuit::fuse::gates_fused(&program) as u64;
+    let mut executor = ChunkExecutor::new(cfg.threads);
+    if let Some(arc) = recorder {
+        executor = executor.with_recorder(Arc::clone(arc));
+    }
+    let program = {
+        let _g = span_opt(rec, Track::Main, Stage::Plan, "engine.program");
+        crate::engine::program_for(circuit, cfg)
+    };
+    tl.set_gates_fused(qgpu_circuit::fuse::gates_fused(&program) as u64);
 
     for fop in &program {
         let action = fop.collapsed();
-        let plan = GatePlan::new(action, chunk_bits, num_chunks);
+        let plan = GatePlan::new_observed(action, chunk_bits, num_chunks, rec);
         let fpa = flops_per_amp(action);
 
         // Partition tasks: same-device batches vs. mixed groups.
@@ -90,7 +101,11 @@ pub(crate) fn run(circuit: &Circuit, cfg: &SimConfig) -> RunResult {
             } else {
                 mixed.push(task);
             }
-            chunks_processed += task.len() as u64;
+            tl.count_processed(task.len() as u64);
+            if let Some(r) = rec {
+                r.add("chunks.processed", task.len() as u64);
+                r.observe("chunk.bytes", chunk_bytes);
+            }
         }
 
         let mut gate_end = gate_ready;
@@ -118,9 +133,9 @@ pub(crate) fn run(circuit: &Circuit, cfg: &SimConfig) -> RunResult {
                 TaskKind::Kernel,
                 bytes,
             );
-            flops_gpu += (bytes as f64 / 16.0) * fpa;
+            tl.add_flops((bytes as f64 / 16.0) * fpa);
             if fop.is_fused() {
-                fused_kernels += 1;
+                tl.count_fused_kernel();
             }
             gate_end = gate_end.max(span.end);
         }
@@ -167,9 +182,9 @@ pub(crate) fn run(circuit: &Circuit, cfg: &SimConfig) -> RunResult {
                 TaskKind::Kernel,
                 group_bytes,
             );
-            flops_gpu += (group_bytes as f64 / 16.0) * fpa;
+            tl.add_flops((group_bytes as f64 / 16.0) * fpa);
             if fop.is_fused() {
-                fused_kernels += 1;
+                tl.count_fused_kernel();
             }
             let d2h = copy_with_dma(
                 &mut tl,
@@ -201,24 +216,23 @@ pub(crate) fn run(circuit: &Circuit, cfg: &SimConfig) -> RunResult {
             }
         }
         if !singles.is_empty() {
+            let _g = span_opt(rec, Track::Main, Stage::Update, "update.local");
             executor.apply_local_run(&mut state, fop.actions(), &singles);
         }
         if !groups.is_empty() {
+            let _g = span_opt(rec, Track::Main, Stage::Update, "update.group");
             executor.apply_group_runs(&mut state, fop.actions(), &groups, plan.high_mixing());
         }
     }
 
-    let mut report = ExecutionReport::from_timeline(&tl, num_gpus);
-    report.flops_gpu = flops_gpu;
-    report.chunks_processed = chunks_processed;
-    report.fused_kernels = fused_kernels;
-    report.gates_fused = gates_fused;
+    let report = ExecutionReport::from_timeline(&tl, num_gpus);
     RunResult {
         version: cfg.version,
         circuit_name: circuit.name().to_string(),
         state: cfg.collect_state.then(|| state.to_flat()),
         report,
         trace: tl.trace().to_vec(),
+        obs: None,
     }
 }
 
@@ -230,7 +244,7 @@ mod tests {
     use qgpu_device::Platform;
 
     fn run_cfg(c: &Circuit, cfg: SimConfig) -> RunResult {
-        run(c, &cfg.with_version(Version::Baseline))
+        run(c, &cfg.with_version(Version::Baseline), None)
     }
 
     #[test]
@@ -252,7 +266,7 @@ mod tests {
         // state fits and the baseline uses only the GPU.
         let c = Benchmark::Qft.generate(10);
         let cfg = SimConfig::new(Platform::paper_p100()).with_version(Version::Baseline);
-        let r = run(&c, &cfg);
+        let r = run(&c, &cfg, None);
         assert_eq!(r.report.host_time, 0.0);
         assert_eq!(r.report.bytes_h2d, 0);
         assert!(r.report.gpu_time > 0.0);

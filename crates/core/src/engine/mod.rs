@@ -21,12 +21,15 @@
 pub mod baseline;
 pub mod streaming;
 
+use std::sync::Arc;
+
 use qgpu_circuit::access::GateAction;
 use qgpu_circuit::fuse::{self, FusedOp};
 use qgpu_circuit::Circuit;
+use qgpu_obs::Recorder;
 
 use crate::config::{SimConfig, Version};
-use crate::result::RunResult;
+use crate::result::{ObsData, RunResult};
 
 /// Lowers a circuit to the engines' executable program: fused runs when
 /// [`SimConfig::gate_fusion`] is on, a 1:1 lowering otherwise.
@@ -87,10 +90,19 @@ impl Simulator {
     /// Panics if the circuit has zero qubits (unconstructible) or more
     /// qubits than fit in memory.
     pub fn run(&self, circuit: &Circuit) -> RunResult {
-        match self.config.version {
-            Version::Baseline => baseline::run(circuit, &self.config),
-            _ => streaming::run(circuit, &self.config),
+        let recorder = self.config.obs_spans.then(|| Arc::new(Recorder::new()));
+        let mut result = match self.config.version {
+            Version::Baseline => baseline::run(circuit, &self.config, recorder.as_ref()),
+            _ => streaming::run(circuit, &self.config, recorder.as_ref()),
+        };
+        if let Some(rec) = recorder {
+            result.obs = Some(ObsData {
+                spans: rec.spans(),
+                metrics: rec.metrics(),
+                wall_s: rec.elapsed_s(),
+            });
         }
+        result
     }
 }
 
@@ -218,6 +230,62 @@ mod tests {
             plain.report.bytes_h2d
         );
         assert!(fused.report.total_time < plain.report.total_time);
+    }
+
+    #[test]
+    fn obs_recording_captures_spans_and_agrees_with_the_report() {
+        let c = Benchmark::Qft.generate(10);
+        let cfg = SimConfig::scaled_paper(10)
+            .with_version(Version::QGpu)
+            .with_obs_spans();
+        let r = Simulator::new(cfg).run(&c);
+        let obs = r.obs.as_ref().expect("obs data collected");
+        assert!(!obs.spans.is_empty());
+        assert!(obs.wall_s > 0.0);
+        // The measured counters must agree with the modeled report —
+        // both now flow from the same engine loop.
+        assert_eq!(
+            obs.metrics.counter("chunks.processed"),
+            Some(r.report.chunks_processed)
+        );
+        assert_eq!(
+            obs.metrics.counter("chunks.pruned"),
+            Some(r.report.chunks_pruned)
+        );
+        // A drift report builds and renders from the collected data.
+        let drift = qgpu_obs::DriftReport::new(
+            &r.report,
+            &obs.spans,
+            obs.wall_s,
+            qgpu_obs::drift::DEFAULT_TOLERANCE_PP,
+        );
+        assert!(drift.render().contains("update"));
+        // Without the flag the run carries no obs payload.
+        let off = Simulator::new(SimConfig::scaled_paper(10).with_version(Version::QGpu)).run(&c);
+        assert!(off.obs.is_none());
+    }
+
+    #[test]
+    fn obs_recording_does_not_change_results() {
+        let c = Benchmark::Iqp.generate(10);
+        for v in [Version::Baseline, Version::QGpu] {
+            let plain = Simulator::new(SimConfig::scaled_paper(10).with_version(v)).run(&c);
+            let observed = Simulator::new(
+                SimConfig::scaled_paper(10)
+                    .with_version(v)
+                    .with_obs_spans()
+                    .with_threads(2),
+            )
+            .run(&c);
+            assert_eq!(plain.report.total_time, observed.report.total_time);
+            assert_eq!(plain.report.bytes_h2d, observed.report.bytes_h2d);
+            let pa = plain.state.expect("collected");
+            let oa = observed.state.expect("collected");
+            for i in 0..pa.len() {
+                let (x, y) = (pa.amp(i), oa.amp(i));
+                assert!(x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -21,14 +21,16 @@
 //! (paper §V-E, Figure 18).
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use qgpu_circuit::access::GateAction;
 use qgpu_circuit::fuse::FusedOp;
 use qgpu_circuit::Circuit;
-use qgpu_compress::{CompressionStats, GfcCodec};
+use qgpu_compress::GfcCodec;
 use qgpu_device::timeline::{Engine, TaskKind, Timeline};
 use qgpu_device::ExecutionReport;
 use qgpu_math::Complex64;
+use qgpu_obs::{span_opt, Recorder, Stage, Track};
 use qgpu_sched::plan::{ChunkTask, GatePlan};
 use qgpu_sched::residency::RoundRobin;
 use qgpu_sched::InvolvementTracker;
@@ -82,11 +84,16 @@ pub(crate) fn copy_with_dma(
     )
 }
 
-pub(crate) fn run(circuit: &Circuit, cfg: &SimConfig) -> RunResult {
+pub(crate) fn run(
+    circuit: &Circuit,
+    cfg: &SimConfig,
+    recorder: Option<&Arc<Recorder>>,
+) -> RunResult {
+    let rec = recorder.map(Arc::as_ref);
     let version = cfg.version;
     let circuit_owned;
     let circuit = if version.has_reorder() {
-        circuit_owned = cfg.reorder_strategy.reorder(circuit);
+        circuit_owned = cfg.reorder_strategy.reorder_observed(circuit, rec);
         &circuit_owned
     } else {
         circuit
@@ -134,21 +141,21 @@ pub(crate) fn run(circuit: &Circuit, cfg: &SimConfig) -> RunResult {
     let mut chain = 0.0f64; // Naive's single-stream chain.
     let mut task_counter = 0usize;
 
-    // Accounting.
-    let mut flops_gpu = 0.0f64;
-    let mut chunks_pruned = 0u64;
-    let mut chunks_processed = 0u64;
-    let mut fused_kernels = 0u64;
-    let mut comp_stats = CompressionStats::empty();
     // Compressed size of an all-zero chunk, per chunk_bits (cached).
     let mut zero_chunk_size: HashMap<u32, usize> = HashMap::new();
 
     // The executable program: fused runs (after any reorder) or a 1:1
     // lowering. Timing and chunk plans come from each op's collapsed
     // kernel; the functional update replays the member gates exactly.
-    let executor = ChunkExecutor::new(cfg.threads);
-    let program = crate::engine::program_for(circuit, cfg);
-    let gates_fused = qgpu_circuit::fuse::gates_fused(&program) as u64;
+    let mut executor = ChunkExecutor::new(cfg.threads);
+    if let Some(arc) = recorder {
+        executor = executor.with_recorder(Arc::clone(arc));
+    }
+    let program = {
+        let _g = span_opt(rec, Track::Main, Stage::Plan, "engine.program");
+        crate::engine::program_for(circuit, cfg)
+    };
+    tl.set_gates_fused(qgpu_circuit::fuse::gates_fused(&program) as u64);
 
     let mut idx = 0usize;
     while idx < program.len() {
@@ -213,7 +220,10 @@ pub(crate) fn run(circuit: &Circuit, cfg: &SimConfig) -> RunResult {
 
             for chunk in 0..num_chunks {
                 if version.has_pruning() && tracker.chunk_is_zero(chunk, chunk_bits) {
-                    chunks_pruned += batch.len() as u64;
+                    tl.count_pruned(batch.len() as u64);
+                    if let Some(r) = rec {
+                        r.add("chunks.pruned", batch.len() as u64);
+                    }
                     continue;
                 }
                 let applicable: Vec<usize> = (0..batch.len())
@@ -275,22 +285,31 @@ pub(crate) fn run(circuit: &Circuit, cfg: &SimConfig) -> RunResult {
                     compute_ready = d.end;
                 }
                 // One kernel per applicable op over the resident chunk.
-                for &i in &applicable {
-                    let kernel = tl.schedule(
-                        Engine::GpuCompute(gpu),
-                        compute_ready,
-                        chunk_bytes as f64 / gspec.update_bw() + gspec.kernel_launch,
-                        TaskKind::Kernel,
-                        chunk_bytes,
-                    );
-                    compute_ready = kernel.end;
-                    flops_gpu += (chunk_bytes as f64 / 16.0) * flops_per_amp(batch[i].collapsed());
-                    if batch[i].is_fused() {
-                        fused_kernels += 1;
+                {
+                    let _g = span_opt(rec, Track::Main, Stage::Update, "update.batch");
+                    for &i in &applicable {
+                        let kernel = tl.schedule(
+                            Engine::GpuCompute(gpu),
+                            compute_ready,
+                            chunk_bytes as f64 / gspec.update_bw() + gspec.kernel_launch,
+                            TaskKind::Kernel,
+                            chunk_bytes,
+                        );
+                        compute_ready = kernel.end;
+                        tl.add_flops(
+                            (chunk_bytes as f64 / 16.0) * flops_per_amp(batch[i].collapsed()),
+                        );
+                        if batch[i].is_fused() {
+                            tl.count_fused_kernel();
+                        }
+                        executor.apply_local_run(&mut state, batch[i].actions(), &[chunk]);
                     }
-                    executor.apply_local_run(&mut state, batch[i].actions(), &[chunk]);
                 }
-                chunks_processed += applicable.len() as u64;
+                tl.count_processed(applicable.len() as u64);
+                if let Some(r) = rec {
+                    r.add("chunks.processed", applicable.len() as u64);
+                    r.observe("chunk.bytes", chunk_bytes);
+                }
 
                 // Download once.
                 let mut d2h_ready = compute_ready;
@@ -298,14 +317,15 @@ pub(crate) fn run(circuit: &Circuit, cfg: &SimConfig) -> RunResult {
                 if version.has_pruning() && tracker_end.chunk_is_zero(chunk, chunk_bits) {
                     compressed.remove(&chunk);
                 } else if version.has_compression() {
+                    let _g = span_opt(rec, Track::Main, Stage::Compress, "gfc.compress");
                     let sz = match state.chunk(chunk) {
-                        Some(amps) => compressed_size(&codec, amps, chunk_bytes as usize),
+                        Some(amps) => compressed_size(&codec, amps, chunk_bytes as usize, rec),
                         None => *zero_chunk_size.entry(chunk_bits).or_insert_with(|| {
                             let zeros = vec![Complex64::ZERO; 1 << chunk_bits];
-                            compressed_size(&codec, &zeros, chunk_bytes as usize)
+                            compressed_size(&codec, &zeros, chunk_bytes as usize, rec)
                         }),
                     };
-                    comp_stats.merge(&CompressionStats::new(chunk_bytes as usize, sz));
+                    tl.record_compression(chunk_bytes, sz as u64);
                     compressed.insert(chunk, sz);
                     d2h_bytes = sz as u64;
                     let cspan = tl.schedule(
@@ -352,7 +372,7 @@ pub(crate) fn run(circuit: &Circuit, cfg: &SimConfig) -> RunResult {
         }
         idx += 1;
 
-        let plan = GatePlan::new(action, chunk_bits, num_chunks);
+        let plan = GatePlan::new_observed(action, chunk_bits, num_chunks, rec);
         let fpa = flops_per_amp(action);
 
         // Involvement after this op: decides which members move back.
@@ -365,8 +385,13 @@ pub(crate) fn run(circuit: &Circuit, cfg: &SimConfig) -> RunResult {
             plan.tasks().iter().collect()
         };
         let kept_chunks: usize = tasks.iter().map(|t| t.len()).sum();
-        chunks_pruned += (plan.total_chunks() - kept_chunks) as u64;
-        chunks_processed += kept_chunks as u64;
+        tl.count_pruned((plan.total_chunks() - kept_chunks) as u64);
+        tl.count_processed(kept_chunks as u64);
+        if let Some(r) = rec {
+            r.add("chunks.pruned", (plan.total_chunks() - kept_chunks) as u64);
+            r.add("chunks.processed", kept_chunks as u64);
+            r.observe_n("chunk.bytes", chunk_bytes, kept_chunks as u64);
+        }
 
         // ---- functional update --------------------------------------
         // Surviving tasks touch disjoint chunks, so applying them all up
@@ -381,10 +406,36 @@ pub(crate) fn run(circuit: &Circuit, cfg: &SimConfig) -> RunResult {
             }
         }
         if !singles.is_empty() {
+            let _g = span_opt(rec, Track::Main, Stage::Update, "update.local");
             executor.apply_local_run(&mut state, fop.actions(), &singles);
         }
         if !groups.is_empty() {
+            let _g = span_opt(rec, Track::Main, Stage::Update, "update.group");
             executor.apply_group_runs(&mut state, fop.actions(), &groups, plan.high_mixing());
+        }
+
+        // GFC sizes for every member moving back this gate, computed in
+        // one pass so the measured Compress span has per-gate — not
+        // per-chunk — granularity. Tasks touch disjoint chunks, so the
+        // sizes are identical to compressing inside the task loop below.
+        let mut new_sizes: HashMap<usize, usize> = HashMap::new();
+        if version.has_compression() {
+            let _g = span_opt(rec, Track::Main, Stage::Compress, "gfc.compress");
+            for task in &tasks {
+                for &m in task.chunks() {
+                    if version.has_pruning() && tracker_after.chunk_is_zero(m, chunk_bits) {
+                        continue;
+                    }
+                    let sz = match state.chunk(m) {
+                        Some(amps) => compressed_size(&codec, amps, chunk_bytes as usize, rec),
+                        None => *zero_chunk_size.entry(chunk_bits).or_insert_with(|| {
+                            let zeros = vec![Complex64::ZERO; 1 << chunk_bits];
+                            compressed_size(&codec, &zeros, chunk_bytes as usize, rec)
+                        }),
+                    };
+                    new_sizes.insert(m, sz);
+                }
+            }
         }
 
         for task in tasks {
@@ -466,9 +517,9 @@ pub(crate) fn run(circuit: &Circuit, cfg: &SimConfig) -> RunResult {
                 TaskKind::Kernel,
                 task_bytes,
             );
-            flops_gpu += (task_bytes as f64 / 16.0) * fpa;
+            tl.add_flops((task_bytes as f64 / 16.0) * fpa);
             if fop.is_fused() {
-                fused_kernels += 1;
+                tl.count_fused_kernel();
             }
 
             // ---- compress → D2H ------------------------------------------
@@ -483,14 +534,8 @@ pub(crate) fn run(circuit: &Circuit, cfg: &SimConfig) -> RunResult {
                     continue;
                 }
                 if version.has_compression() {
-                    let sz = match state.chunk(m) {
-                        Some(amps) => compressed_size(&codec, amps, chunk_bytes as usize),
-                        None => *zero_chunk_size.entry(chunk_bits).or_insert_with(|| {
-                            let zeros = vec![Complex64::ZERO; 1 << chunk_bits];
-                            compressed_size(&codec, &zeros, chunk_bytes as usize)
-                        }),
-                    };
-                    comp_stats.merge(&CompressionStats::new(chunk_bytes as usize, sz));
+                    let sz = new_sizes[&m];
+                    tl.record_compression(chunk_bytes, sz as u64);
                     compressed.insert(m, sz);
                     d2h_bytes += sz as u64;
                     raw_down_compressed += chunk_bytes;
@@ -530,6 +575,15 @@ pub(crate) fn run(circuit: &Circuit, cfg: &SimConfig) -> RunResult {
             }
         }
 
+        // Window occupancy, sampled once per gate per device.
+        if version.has_overlap() {
+            if let Some(r) = rec {
+                for w in &windows {
+                    r.observe("window.inflight", w.inflight as u64);
+                }
+            }
+        }
+
         if !version.has_overlap() {
             // Naive: a full synchronization after every gate.
             let s = tl.schedule(
@@ -544,27 +598,33 @@ pub(crate) fn run(circuit: &Circuit, cfg: &SimConfig) -> RunResult {
         tracker = tracker_after;
     }
 
-    let mut report = ExecutionReport::from_timeline(&tl, num_gpus);
-    report.flops_gpu = flops_gpu;
-    report.chunks_pruned = chunks_pruned;
-    report.chunks_processed = chunks_processed;
-    report.fused_kernels = fused_kernels;
-    report.gates_fused = gates_fused;
-    report.bytes_before_compress = comp_stats.in_bytes();
-    report.bytes_after_compress = comp_stats.out_bytes();
+    let report = ExecutionReport::from_timeline(&tl, num_gpus);
     RunResult {
         version,
         circuit_name: circuit.name().to_string(),
         state: cfg.collect_state.then(|| state.to_flat()),
         report,
         trace: tl.trace().to_vec(),
+        obs: None,
     }
 }
 
 /// Real GFC size of a chunk, capped at raw size (the scheme falls back to
-/// the raw representation if compression would expand the data).
-fn compressed_size(codec: &GfcCodec, amps: &[Complex64], raw_bytes: usize) -> usize {
-    codec.compress_amplitudes(amps).total_bytes().min(raw_bytes)
+/// the raw representation if compression would expand the data). Records
+/// the per-chunk ratio histogram; the wall-clock Compress span is opened
+/// by the caller at per-gate granularity (a span per chunk would swamp
+/// the recorder on million-chunk runs).
+fn compressed_size(
+    codec: &GfcCodec,
+    amps: &[Complex64],
+    raw_bytes: usize,
+    rec: Option<&Recorder>,
+) -> usize {
+    let out = codec.compress_amplitudes(amps).total_bytes().min(raw_bytes);
+    if let Some(r) = rec {
+        r.observe("compress.ratio.x100", (raw_bytes * 100 / out.max(1)) as u64);
+    }
+    out
 }
 
 #[cfg(test)]

@@ -42,4 +42,4 @@ pub mod result;
 
 pub use config::{SimConfig, Version};
 pub use engine::Simulator;
-pub use result::RunResult;
+pub use result::{ObsData, RunResult};

@@ -2,9 +2,24 @@
 
 use qgpu_device::timeline::TraceEvent;
 use qgpu_device::ExecutionReport;
+use qgpu_obs::{MetricsSnapshot, WallSpan};
 use qgpu_statevec::StateVector;
 
 use crate::config::Version;
+
+/// Measured observability data from one run (when
+/// [`crate::SimConfig::obs_spans`] was enabled): the wall-clock
+/// counterpart of the modeled [`ExecutionReport`].
+#[derive(Debug, Clone)]
+pub struct ObsData {
+    /// Every recorded wall-clock span, in recording order — the measured
+    /// track of the two-process Chrome trace.
+    pub spans: Vec<WallSpan>,
+    /// Counters and log₂ histograms collected during the run.
+    pub metrics: MetricsSnapshot,
+    /// Wall-clock seconds from recorder creation to run end.
+    pub wall_s: f64,
+}
 
 /// The outcome of one simulated execution.
 #[derive(Debug, Clone)]
@@ -19,6 +34,8 @@ pub struct RunResult {
     pub report: ExecutionReport,
     /// Timeline events (when tracing was enabled) — the paper's Figure 6.
     pub trace: Vec<TraceEvent>,
+    /// Measured spans and metrics (when `obs_spans` was enabled).
+    pub obs: Option<ObsData>,
 }
 
 impl RunResult {
@@ -57,6 +74,7 @@ mod tests {
             state: None,
             report,
             trace: Vec::new(),
+            obs: None,
         }
     }
 

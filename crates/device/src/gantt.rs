@@ -5,11 +5,15 @@
 //! one row per engine, time flowing left to right.
 //!
 //! ```text
-//! host     |ssssss                                            |
-//! gpu0     |    KK  KK  KK                                    |
-//! h2d0     |>>>>  >>>>  >>>>                                  |
-//! d2h0     |      <<<<  <<<<  <<<<                            |
+//! host  |ssssss                                            |   2.1%
+//! gpu0  |    KK  KK  KK                                    |  31.5%
+//! h2d0  |>>>>  >>>>  >>>>                                  |  48.0%
+//! d2h0  |      <<<<  <<<<  <<<<                            |  48.0%
+//! legend:  H=host update  K=kernel  >=h2d copy  <=d2h copy  ...
 //! ```
+//!
+//! Each row ends with the engine's busy fraction of the makespan;
+//! [`render_full`] appends the glyph legend.
 
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
@@ -76,7 +80,9 @@ pub fn render(trace: &[TraceEvent], columns: usize) -> String {
     let mut out = String::new();
     for engine in engines {
         let mut row = vec![' '; columns];
+        let mut busy = 0.0f64;
         for ev in trace.iter().filter(|e| e.engine == engine) {
+            busy += ev.span.duration();
             let lo = (ev.span.start * scale).floor() as usize;
             let hi = ((ev.span.end * scale).ceil() as usize).min(columns);
             for cell in row.iter_mut().take(hi.max(lo + 1).min(columns)).skip(lo) {
@@ -85,12 +91,42 @@ pub fn render(trace: &[TraceEvent], columns: usize) -> String {
         }
         let _ = writeln!(
             out,
-            "{:<6}|{}|",
+            "{:<6}|{}| {:5.1}%",
             engine_label(engine),
-            row.into_iter().collect::<String>()
+            row.into_iter().collect::<String>(),
+            100.0 * busy / makespan
         );
     }
     out
+}
+
+/// The glyph legend, one line, matching [`render`]'s output.
+pub fn legend() -> String {
+    let entries = [
+        (TaskKind::HostUpdate, "host update"),
+        (TaskKind::Kernel, "kernel"),
+        (TaskKind::H2dCopy, "h2d copy"),
+        (TaskKind::D2hCopy, "d2h copy"),
+        (TaskKind::Compress, "compress"),
+        (TaskKind::Decompress, "decompress"),
+        (TaskKind::Sync, "sync"),
+    ];
+    let mut out = String::from("legend:");
+    for (kind, name) in entries {
+        let _ = write!(out, "  {}={}", glyph(kind), name);
+    }
+    out.push('\n');
+    out
+}
+
+/// [`render`] plus the legend — the chart the CLI's `--gantt` prints.
+/// Returns an empty string for an empty trace.
+pub fn render_full(trace: &[TraceEvent], columns: usize) -> String {
+    let chart = render(trace, columns);
+    if chart.is_empty() {
+        return chart;
+    }
+    format!("{chart}{}", legend())
 }
 
 #[cfg(test)]
@@ -132,6 +168,31 @@ mod tests {
     #[test]
     fn empty_trace_renders_empty() {
         assert_eq!(render(&[], 40), "");
+        assert_eq!(render_full(&[], 40), "");
+    }
+
+    #[test]
+    fn rows_end_with_busy_fraction() {
+        let tl = demo_trace();
+        let chart = render(tl.trace(), 40);
+        // Makespan 5.0: h2d busy 2.0 → 40%, host sync 0.5 → 10%.
+        let h2d_row = chart.lines().find(|l| l.starts_with("h2d0")).expect("row");
+        assert!(h2d_row.ends_with("40.0%"), "row: {h2d_row}");
+        let host_row = chart.lines().find(|l| l.starts_with("host")).expect("row");
+        assert!(host_row.ends_with("10.0%"), "row: {host_row}");
+    }
+
+    #[test]
+    fn full_render_appends_legend_with_every_visible_glyph() {
+        let tl = demo_trace();
+        let chart = render_full(tl.trace(), 40);
+        let legend_line = chart.lines().last().expect("legend");
+        assert!(legend_line.starts_with("legend:"));
+        for glyph in ["H=", "K=", ">=", "<=", "C=", "D=", "s="] {
+            assert!(legend_line.contains(glyph), "missing {glyph}");
+        }
+        // Chart rows plus one legend line.
+        assert_eq!(chart.lines().count(), 5);
     }
 
     #[test]

@@ -75,6 +75,7 @@ impl ExecutionReport {
         for g in 0..num_gpus {
             transfer_time += tl.engine_busy(Engine::H2d(g)) + tl.engine_busy(Engine::D2h(g));
         }
+        let (bytes_before_compress, bytes_after_compress) = tl.compression_bytes();
         ExecutionReport {
             total_time: tl.makespan(),
             host_time: tl.kind_busy(TaskKind::HostUpdate),
@@ -87,13 +88,13 @@ impl ExecutionReport {
             bytes_d2h: tl.kind_bytes(TaskKind::D2hCopy),
             bytes_host: tl.kind_bytes(TaskKind::HostUpdate),
             bytes_gpu: tl.kind_bytes(TaskKind::Kernel),
-            flops_gpu: 0.0,
-            chunks_pruned: 0,
-            chunks_processed: 0,
-            bytes_before_compress: tl.kind_bytes(TaskKind::Compress),
-            bytes_after_compress: tl.kind_bytes(TaskKind::Decompress),
-            fused_kernels: 0,
-            gates_fused: 0,
+            flops_gpu: tl.flops_gpu(),
+            chunks_pruned: tl.chunks_pruned(),
+            chunks_processed: tl.chunks_processed(),
+            bytes_before_compress,
+            bytes_after_compress,
+            fused_kernels: tl.fused_kernels(),
+            gates_fused: tl.gates_fused(),
             num_gpus,
         }
     }
@@ -197,6 +198,88 @@ mod tests {
         let r = ExecutionReport::from_timeline(&sample_timeline(), 1);
         assert!((r.host_fraction() - 6.0 / 6.5).abs() < 1e-12);
         assert!((r.transfer_fraction() - 2.0 / 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeline_counters_flow_into_the_report() {
+        let mut tl = sample_timeline();
+        tl.add_flops(1.5e9);
+        tl.count_pruned(12);
+        tl.count_processed(20);
+        tl.count_fused_kernel();
+        tl.count_fused_kernel();
+        tl.set_gates_fused(7);
+        tl.record_compression(4096, 1024);
+        tl.record_compression(4096, 2048);
+        let r = ExecutionReport::from_timeline(&tl, 1);
+        assert_eq!(r.flops_gpu, 1.5e9);
+        assert_eq!(r.chunks_pruned, 12);
+        assert_eq!(r.chunks_processed, 20);
+        assert_eq!(r.fused_kernels, 2);
+        assert_eq!(r.gates_fused, 7);
+        assert_eq!(r.bytes_before_compress, 8192);
+        assert_eq!(r.bytes_after_compress, 3072);
+        assert!((r.prune_fraction() - 12.0 / 32.0).abs() < 1e-12);
+        assert!((r.compression_ratio() - 8.0 / 3.0).abs() < 1e-12);
+        assert!(r.achieved_gpu_flops() > 0.0);
+    }
+
+    #[test]
+    fn report_without_compression_keeps_ratio_one() {
+        // The timeline schedules (de)compression *kernels* but the
+        // compressor never ran: byte accounting must stay zero rather
+        // than misreading kernel bytes as compressor traffic.
+        let mut tl = Timeline::new();
+        tl.schedule(Engine::GpuCompute(0), 0.0, 1.0, TaskKind::Compress, 512);
+        tl.schedule(Engine::GpuCompute(0), 1.0, 1.0, TaskKind::Decompress, 512);
+        let r = ExecutionReport::from_timeline(&tl, 1);
+        assert_eq!(r.bytes_before_compress, 0);
+        assert_eq!(r.bytes_after_compress, 0);
+        assert_eq!(r.compression_ratio(), 1.0);
+        assert_eq!(r.compress_time, 1.0);
+        assert_eq!(r.decompress_time, 1.0);
+    }
+
+    fn multi_gpu_timeline(num_gpus: usize) -> Timeline {
+        let mut tl = Timeline::new();
+        // Host update overlapping per-GPU pipelines of different lengths.
+        tl.schedule(Engine::Host, 0.0, 4.0, TaskKind::HostUpdate, 400);
+        for g in 0..num_gpus {
+            let t = 1.0 + g as f64;
+            let h2d = tl.schedule(Engine::H2d(g), 0.0, t, TaskKind::H2dCopy, 100);
+            let k = tl.schedule(Engine::GpuCompute(g), h2d.end, t, TaskKind::Kernel, 100);
+            tl.schedule(Engine::D2h(g), k.end, t, TaskKind::D2hCopy, 100);
+        }
+        tl
+    }
+
+    #[test]
+    fn multi_gpu_fractions_sum_engines_across_devices() {
+        let num_gpus = 3;
+        let tl = multi_gpu_timeline(num_gpus);
+        let r = ExecutionReport::from_timeline(&tl, num_gpus);
+        // GPU 2's pipeline (3 s per stage) ends last: makespan 9 s.
+        assert_eq!(r.total_time, 9.0);
+        // gpu_time sums compute across devices: 1 + 2 + 3.
+        assert_eq!(r.gpu_time, 6.0);
+        // transfer_time sums both copy engines of every device.
+        assert_eq!(r.transfer_time, 12.0);
+        assert!((r.gpu_fraction() - 6.0 / 9.0).abs() < 1e-12);
+        assert!((r.host_fraction() - 4.0 / 9.0).abs() < 1e-12);
+        // Copy engines overlap each other, so the fraction may pass 1 —
+        // here 12/9.
+        assert!((r.transfer_fraction() - 12.0 / 9.0).abs() < 1e-12);
+        assert_eq!(r.num_gpus, num_gpus);
+    }
+
+    #[test]
+    fn undercounting_num_gpus_drops_unseen_engines() {
+        // Guard on the `num_gpus` contract: engines above the count are
+        // not summed (the caller owns the platform size).
+        let tl = multi_gpu_timeline(3);
+        let r = ExecutionReport::from_timeline(&tl, 2);
+        assert_eq!(r.gpu_time, 3.0);
+        assert_eq!(r.transfer_time, 6.0);
     }
 
     #[test]

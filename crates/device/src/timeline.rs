@@ -125,6 +125,16 @@ pub struct Timeline {
     makespan: f64,
     trace: Option<Vec<TraceEvent>>,
     trace_cap: usize,
+    // Engine-level accounting that scheduling alone cannot express; the
+    // engines feed these so `ExecutionReport::from_timeline` is complete
+    // without caller-side patching.
+    flops_gpu: f64,
+    chunks_pruned: u64,
+    chunks_processed: u64,
+    fused_kernels: u64,
+    gates_fused: u64,
+    bytes_before_compress: u64,
+    bytes_after_compress: u64,
 }
 
 impl Timeline {
@@ -209,6 +219,68 @@ impl Timeline {
     /// Recorded events (empty when tracing is disabled).
     pub fn trace(&self) -> &[TraceEvent] {
         self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Credits floating-point operations to the GPUs.
+    pub fn add_flops(&mut self, flops: f64) {
+        self.flops_gpu += flops;
+    }
+
+    /// Counts chunk updates skipped by zero-amplitude pruning.
+    pub fn count_pruned(&mut self, n: u64) {
+        self.chunks_pruned += n;
+    }
+
+    /// Counts chunk updates performed.
+    pub fn count_processed(&mut self, n: u64) {
+        self.chunks_processed += n;
+    }
+
+    /// Counts one kernel launch that executed a multi-gate fused run.
+    pub fn count_fused_kernel(&mut self) {
+        self.fused_kernels += 1;
+    }
+
+    /// Records how many source gates the fusion pass eliminated.
+    pub fn set_gates_fused(&mut self, n: u64) {
+        self.gates_fused = n;
+    }
+
+    /// Accounts one compressor invocation: `raw` bytes in, `compressed`
+    /// bytes out.
+    pub fn record_compression(&mut self, raw: u64, compressed: u64) {
+        self.bytes_before_compress += raw;
+        self.bytes_after_compress += compressed;
+    }
+
+    /// GPU floating-point operations credited so far.
+    pub fn flops_gpu(&self) -> f64 {
+        self.flops_gpu
+    }
+
+    /// Chunk updates skipped by pruning.
+    pub fn chunks_pruned(&self) -> u64 {
+        self.chunks_pruned
+    }
+
+    /// Chunk updates performed.
+    pub fn chunks_processed(&self) -> u64 {
+        self.chunks_processed
+    }
+
+    /// Kernel launches that executed a fused run.
+    pub fn fused_kernels(&self) -> u64 {
+        self.fused_kernels
+    }
+
+    /// Source gates eliminated by fusion.
+    pub fn gates_fused(&self) -> u64 {
+        self.gates_fused
+    }
+
+    /// `(raw, compressed)` byte totals over all compressor invocations.
+    pub fn compression_bytes(&self) -> (u64, u64) {
+        (self.bytes_before_compress, self.bytes_after_compress)
     }
 
     /// Engines that have been used, with their busy time.

@@ -1,0 +1,281 @@
+//! Modeled-vs-measured drift: does the device model predict where the
+//! time goes?
+//!
+//! The device timeline predicts how a real GPU platform would spend its
+//! time; the functional engines spend real wall-clock time on the host.
+//! Absolute times are incomparable (a modeled A100 is not this host),
+//! but the *shape* of the run — the share of time each phase claims —
+//! should agree. The drift report aligns the two per phase and flags
+//! phases whose share is mispredicted by more than a tolerance, in
+//! percentage points.
+//!
+//! Phase mapping:
+//!
+//! | phase        | modeled (from [`ExecutionReport`])                  | measured (Main-track [`WallSpan`]s)   |
+//! |--------------|-----------------------------------------------------|---------------------------------------|
+//! | `update`     | `host_time` + kernel-only GPU busy                  | [`Stage::Update`] spans               |
+//! | `compress`   | `compress_time`                                     | [`Stage::Compress`] spans             |
+//! | `decompress` | `decompress_time`                                   | [`Stage::Decompress`] spans           |
+//! | `sync`       | `sync_time`                                         | wall residual outside the above       |
+//!
+//! Worker-track spans are excluded: they overlap the orchestrator span
+//! that dispatched them and would double-count. A phase with no measured
+//! samples at all renders as `—` and is never flagged — e.g. the
+//! functional engines model decompression but never execute it, so a
+//! measured decompress column is absent by design.
+
+use serde::{Deserialize, Serialize};
+
+use qgpu_device::ExecutionReport;
+
+use crate::span::{Stage, Track, WallSpan};
+
+/// Default tolerance before a phase is flagged, in percentage points.
+pub const DEFAULT_TOLERANCE_PP: f64 = 10.0;
+
+/// One aligned phase row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftPhase {
+    /// Phase name (`update`, `compress`, `decompress`, `sync`).
+    pub name: &'static str,
+    /// Modeled seconds charged to this phase.
+    pub modeled_s: f64,
+    /// Modeled share of the phase-time total, in percent.
+    pub modeled_share_pct: f64,
+    /// Measured seconds (`None` when the phase was never measured).
+    pub measured_s: Option<f64>,
+    /// Measured share of wall time, in percent.
+    pub measured_share_pct: Option<f64>,
+    /// `measured_share − modeled_share`, in percentage points.
+    pub drift_pp: Option<f64>,
+    /// Whether `|drift_pp|` exceeds the tolerance.
+    pub flagged: bool,
+}
+
+/// The aligned modeled-vs-measured comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftReport {
+    /// Per-phase rows, in fixed order.
+    pub phases: Vec<DriftPhase>,
+    /// Flagging tolerance in percentage points.
+    pub tolerance_pp: f64,
+    /// Sum of modeled phase times in seconds (the share denominator;
+    /// engine overlap makes this differ from the modeled makespan).
+    pub modeled_total_s: f64,
+    /// Measured wall-clock seconds of the whole run.
+    pub wall_s: f64,
+}
+
+impl DriftReport {
+    /// Aligns a finished run's modeled report against its measured
+    /// spans. `wall_s` is the run's total wall-clock time and
+    /// `tolerance_pp` the flagging threshold in percentage points
+    /// ([`DEFAULT_TOLERANCE_PP`] is a reasonable default).
+    pub fn new(
+        report: &ExecutionReport,
+        spans: &[WallSpan],
+        wall_s: f64,
+        tolerance_pp: f64,
+    ) -> Self {
+        // Kernel-only GPU busy: the compute engines also run the modeled
+        // (de)compression kernels, which have their own phases.
+        let kernel_s = (report.gpu_time - report.compress_time - report.decompress_time).max(0.0);
+        let modeled = [
+            ("update", report.host_time + kernel_s),
+            ("compress", report.compress_time),
+            ("decompress", report.decompress_time),
+            ("sync", report.sync_time),
+        ];
+        let modeled_total_s: f64 = modeled.iter().map(|&(_, s)| s).sum();
+
+        let stage_measured = |stage: Stage| -> Option<f64> {
+            let mut total = 0.0;
+            let mut samples = 0u64;
+            for s in spans {
+                if s.track == Track::Main && s.stage == stage {
+                    total += s.dur_us / 1e6;
+                    samples += 1;
+                }
+            }
+            (samples > 0).then_some(total)
+        };
+        let upd = stage_measured(Stage::Update);
+        let cmp = stage_measured(Stage::Compress);
+        let dec = stage_measured(Stage::Decompress);
+        // Everything not measured as update/compress/decompress —
+        // planning, dispatch, allocation — is the measured counterpart
+        // of the model's sync/driver overhead.
+        let sync = (wall_s > 0.0).then(|| {
+            (wall_s - upd.unwrap_or(0.0) - cmp.unwrap_or(0.0) - dec.unwrap_or(0.0)).max(0.0)
+        });
+        let measured = [upd, cmp, dec, sync];
+
+        let phases = modeled
+            .iter()
+            .zip(measured)
+            .map(|(&(name, modeled_s), measured_s)| {
+                let modeled_share_pct = share_pct(modeled_s, modeled_total_s);
+                let measured_share_pct = measured_s.map(|m| share_pct(m, wall_s));
+                let drift_pp = measured_share_pct.map(|m| m - modeled_share_pct);
+                DriftPhase {
+                    name,
+                    modeled_s,
+                    modeled_share_pct,
+                    measured_s,
+                    measured_share_pct,
+                    drift_pp,
+                    flagged: drift_pp.is_some_and(|d| d.abs() > tolerance_pp),
+                }
+            })
+            .collect();
+
+        DriftReport {
+            phases,
+            tolerance_pp,
+            modeled_total_s,
+            wall_s,
+        }
+    }
+
+    /// Phases whose drift exceeds the tolerance.
+    pub fn flagged(&self) -> Vec<&DriftPhase> {
+        self.phases.iter().filter(|p| p.flagged).collect()
+    }
+
+    /// Renders the aligned table. Example:
+    ///
+    /// ```text
+    /// modeled vs measured phase drift (tolerance 10.0 pp)
+    ///   phase        modeled s  share%   measured s  share%  drift pp
+    ///   update        1.424e-2    92.1     8.113e-3    74.8     -17.3  <- DRIFT
+    ///   compress      8.000e-4     5.2     1.920e-3    17.7     +12.5  <- DRIFT
+    ///   decompress    2.000e-4     1.3            —       —         —
+    ///   sync          2.200e-4     1.4     8.150e-4     7.5      +6.1
+    ///   total         1.546e-2   100.0     1.085e-2
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "modeled vs measured phase drift (tolerance {:.1} pp)\n",
+            self.tolerance_pp
+        ));
+        out.push_str("  phase        modeled s  share%   measured s  share%  drift pp\n");
+        for p in &self.phases {
+            let measured = match p.measured_s {
+                Some(m) => format!("{m:>12.3e}"),
+                None => format!("{:>12}", "—"),
+            };
+            let mshare = match p.measured_share_pct {
+                Some(s) => format!("{s:>7.1}"),
+                None => format!("{:>7}", "—"),
+            };
+            let drift = match p.drift_pp {
+                Some(d) => format!("{d:>+9.1}"),
+                None => format!("{:>9}", "—"),
+            };
+            let flag = if p.flagged { "  <- DRIFT" } else { "" };
+            out.push_str(&format!(
+                "  {:<10} {:>11.3e} {:>7.1} {measured} {mshare} {drift}{flag}\n",
+                p.name, p.modeled_s, p.modeled_share_pct
+            ));
+        }
+        out.push_str(&format!(
+            "  {:<10} {:>11.3e} {:>7.1} {:>12.3e}\n",
+            "total", self.modeled_total_s, 100.0, self.wall_s
+        ));
+        out
+    }
+}
+
+fn share_pct(part: f64, total: f64) -> f64 {
+    if total == 0.0 {
+        0.0
+    } else {
+        100.0 * part / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(track: Track, stage: Stage, dur_us: f64) -> WallSpan {
+        WallSpan {
+            track,
+            stage,
+            name: "t",
+            start_us: 0.0,
+            dur_us,
+        }
+    }
+
+    fn report() -> ExecutionReport {
+        ExecutionReport {
+            host_time: 6.0,
+            gpu_time: 3.0,
+            compress_time: 0.5,
+            decompress_time: 0.5,
+            sync_time: 1.0,
+            ..ExecutionReport::default()
+        }
+        // Phases: update 6 + (3 − 1) = 8, compress 0.5, decompress 0.5,
+        // sync 1.0; total 10 → shares 80 / 5 / 5 / 10 %.
+    }
+
+    #[test]
+    fn matching_shares_are_not_flagged() {
+        // Measured mirrors the modeled shares on a 1 s wall clock.
+        let spans = [
+            span(Track::Main, Stage::Update, 0.80e6),
+            span(Track::Main, Stage::Compress, 0.05e6),
+            span(Track::Main, Stage::Decompress, 0.05e6),
+        ];
+        let d = DriftReport::new(&report(), &spans, 1.0, 5.0);
+        assert!(d.flagged().is_empty(), "{}", d.render());
+        let sync = &d.phases[3];
+        assert!((sync.measured_s.unwrap() - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mispredicted_share_is_flagged() {
+        // Measured update takes only 40% of the wall instead of 80%.
+        let spans = [
+            span(Track::Main, Stage::Update, 0.40e6),
+            span(Track::Main, Stage::Compress, 0.05e6),
+        ];
+        let d = DriftReport::new(&report(), &spans, 1.0, 10.0);
+        let flagged: Vec<&str> = d.flagged().iter().map(|p| p.name).collect();
+        assert!(flagged.contains(&"update"), "{}", d.render());
+        // Sync absorbs the residual (55%) and drifts +45 pp.
+        assert!(flagged.contains(&"sync"));
+    }
+
+    #[test]
+    fn unmeasured_phases_render_dash_and_never_flag() {
+        let spans = [span(Track::Main, Stage::Update, 0.9e6)];
+        let d = DriftReport::new(&report(), &spans, 1.0, 0.1);
+        let dec = &d.phases[2];
+        assert_eq!(dec.name, "decompress");
+        assert_eq!(dec.measured_s, None);
+        assert!(!dec.flagged);
+        assert!(d.render().contains('—'));
+    }
+
+    #[test]
+    fn worker_spans_do_not_double_count() {
+        let spans = [
+            span(Track::Main, Stage::Update, 0.5e6),
+            span(Track::Worker(0), Stage::Update, 0.5e6),
+            span(Track::Worker(1), Stage::Update, 0.5e6),
+        ];
+        let d = DriftReport::new(&report(), &spans, 1.0, 50.0);
+        assert!((d.phases[0].measured_s.unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_measurement_side_is_safe() {
+        let d = DriftReport::new(&report(), &[], 0.0, 5.0);
+        assert!(d.flagged().is_empty());
+        assert!(d.render().contains("total"));
+    }
+}

@@ -1,0 +1,366 @@
+//! Chrome trace-event / Perfetto JSON export.
+//!
+//! Emits the [trace-event format](https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+//! that both `chrome://tracing` and <https://ui.perfetto.dev> load
+//! natively: a top-level object with a `traceEvents` array of complete
+//! (`"ph": "X"`) events plus metadata (`"ph": "M"`) events naming
+//! processes and threads.
+//!
+//! Two process tracks are emitted so model and reality sit side by side
+//! in one trace:
+//!
+//! * **pid 1 — `modeled (device timeline)`**: the discrete-event
+//!   [`Timeline`](qgpu_device::Timeline) trace, one thread per
+//!   [`Engine`] (host, per-GPU compute and copy engines, DMA staging).
+//!   Modeled seconds map directly to trace microseconds.
+//! * **pid 2 — `measured (wall clock)`**: the [`WallSpan`]s recorded by
+//!   a [`Recorder`](crate::Recorder), one thread for the orchestrator
+//!   ([`Track::Main`]) plus one per executor worker.
+
+use serde::{Deserialize, Serialize};
+
+use qgpu_device::timeline::{Engine, TaskKind, TraceEvent};
+
+use crate::json::Json;
+use crate::span::{Track, WallSpan};
+
+/// Process id of the modeled-timeline track.
+pub const PID_MODELED: u64 = 1;
+/// Process id of the measured wall-clock track.
+pub const PID_MEASURED: u64 = 2;
+
+/// One trace-event-format entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChromeEvent {
+    /// Phase: `"X"` (complete event) or `"M"` (metadata).
+    pub ph: String,
+    /// Process id (track group).
+    pub pid: u64,
+    /// Thread id (row within the track).
+    pub tid: u64,
+    /// Event name (task kind / span site / metadata key).
+    pub name: String,
+    /// Category: `"modeled"` or `"measured"` (empty for metadata).
+    pub cat: String,
+    /// Start timestamp in microseconds.
+    pub ts: f64,
+    /// Duration in microseconds (`None` for metadata events).
+    pub dur: Option<f64>,
+    /// Extra key/value payload.
+    pub args: Vec<(String, Json)>,
+}
+
+impl ChromeEvent {
+    fn meta(pid: u64, tid: u64, key: &str, value: &str) -> Self {
+        ChromeEvent {
+            ph: "M".into(),
+            pid,
+            tid,
+            name: key.into(),
+            cat: String::new(),
+            ts: 0.0,
+            dur: None,
+            args: vec![("name".into(), Json::Str(value.into()))],
+        }
+    }
+}
+
+/// A full trace document: build with [`ChromeTrace::two_track`], write
+/// with [`ChromeTrace::to_json_string`], read back with
+/// [`ChromeTrace::from_json_str`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ChromeTrace {
+    /// All events, metadata first.
+    pub events: Vec<ChromeEvent>,
+}
+
+/// Stable thread id for a modeled engine: host rows first, then three
+/// rows per GPU in compute / H2D / D2H order.
+pub fn engine_tid(engine: Engine) -> u64 {
+    match engine {
+        Engine::Host => 0,
+        Engine::HostDmaOut => 1,
+        Engine::HostDmaIn => 2,
+        Engine::GpuCompute(g) => 10 + 3 * g as u64,
+        Engine::H2d(g) => 11 + 3 * g as u64,
+        Engine::D2h(g) => 12 + 3 * g as u64,
+    }
+}
+
+fn engine_name(engine: Engine) -> String {
+    match engine {
+        Engine::Host => "host".to_string(),
+        Engine::HostDmaOut => "dma-out".to_string(),
+        Engine::HostDmaIn => "dma-in".to_string(),
+        Engine::GpuCompute(g) => format!("gpu{g} compute"),
+        Engine::H2d(g) => format!("gpu{g} h2d"),
+        Engine::D2h(g) => format!("gpu{g} d2h"),
+    }
+}
+
+fn kind_name(kind: TaskKind) -> &'static str {
+    match kind {
+        TaskKind::HostUpdate => "host-update",
+        TaskKind::Kernel => "kernel",
+        TaskKind::H2dCopy => "h2d-copy",
+        TaskKind::D2hCopy => "d2h-copy",
+        TaskKind::Compress => "compress",
+        TaskKind::Decompress => "decompress",
+        TaskKind::Sync => "sync",
+        TaskKind::HostDma => "host-dma",
+    }
+}
+
+fn track_tid(track: Track) -> u64 {
+    match track {
+        Track::Main => 0,
+        Track::Worker(w) => 1 + w as u64,
+    }
+}
+
+fn track_name(track: Track) -> String {
+    match track {
+        Track::Main => "orchestrator".to_string(),
+        Track::Worker(w) => format!("worker {w}"),
+    }
+}
+
+impl ChromeTrace {
+    /// Builds the two-track trace: the modeled device timeline (pid 1)
+    /// and the measured wall-clock spans (pid 2). Either side may be
+    /// empty; both time axes start at 0 µs.
+    pub fn two_track(modeled: &[TraceEvent], measured: &[WallSpan]) -> Self {
+        let mut events = Vec::new();
+
+        if !modeled.is_empty() {
+            events.push(ChromeEvent::meta(
+                PID_MODELED,
+                0,
+                "process_name",
+                "modeled (device timeline)",
+            ));
+            let mut engines: Vec<Engine> = modeled.iter().map(|e| e.engine).collect();
+            engines.sort();
+            engines.dedup();
+            for e in &engines {
+                events.push(ChromeEvent::meta(
+                    PID_MODELED,
+                    engine_tid(*e),
+                    "thread_name",
+                    &engine_name(*e),
+                ));
+            }
+            for ev in modeled {
+                events.push(ChromeEvent {
+                    ph: "X".into(),
+                    pid: PID_MODELED,
+                    tid: engine_tid(ev.engine),
+                    name: kind_name(ev.kind).into(),
+                    cat: "modeled".into(),
+                    ts: ev.span.start * 1e6,
+                    dur: Some(ev.span.duration() * 1e6),
+                    args: vec![("bytes".into(), Json::Num(ev.bytes as f64))],
+                });
+            }
+        }
+
+        if !measured.is_empty() {
+            events.push(ChromeEvent::meta(
+                PID_MEASURED,
+                0,
+                "process_name",
+                "measured (wall clock)",
+            ));
+            let mut tracks: Vec<Track> = measured.iter().map(|s| s.track).collect();
+            tracks.sort();
+            tracks.dedup();
+            for t in &tracks {
+                events.push(ChromeEvent::meta(
+                    PID_MEASURED,
+                    track_tid(*t),
+                    "thread_name",
+                    &track_name(*t),
+                ));
+            }
+            for s in measured {
+                events.push(ChromeEvent {
+                    ph: "X".into(),
+                    pid: PID_MEASURED,
+                    tid: track_tid(s.track),
+                    name: s.name.into(),
+                    cat: "measured".into(),
+                    ts: s.start_us,
+                    dur: Some(s.dur_us),
+                    args: vec![("stage".into(), Json::Str(s.stage.label().into()))],
+                });
+            }
+        }
+
+        ChromeTrace { events }
+    }
+
+    /// Threads present under a pid (distinct tids of `"X"` events).
+    pub fn threads_of(&self, pid: u64) -> Vec<u64> {
+        let mut tids: Vec<u64> = self
+            .events
+            .iter()
+            .filter(|e| e.pid == pid && e.ph == "X")
+            .map(|e| e.tid)
+            .collect();
+        tids.sort_unstable();
+        tids.dedup();
+        tids
+    }
+
+    /// Serializes as a trace-event document.
+    pub fn to_json(&self) -> Json {
+        let events = self
+            .events
+            .iter()
+            .map(|e| {
+                let mut pairs = vec![
+                    ("ph".to_string(), Json::Str(e.ph.clone())),
+                    ("pid".to_string(), Json::Num(e.pid as f64)),
+                    ("tid".to_string(), Json::Num(e.tid as f64)),
+                    ("name".to_string(), Json::Str(e.name.clone())),
+                    ("cat".to_string(), Json::Str(e.cat.clone())),
+                    ("ts".to_string(), Json::Num(e.ts)),
+                ];
+                if let Some(dur) = e.dur {
+                    pairs.push(("dur".to_string(), Json::Num(dur)));
+                }
+                pairs.push((
+                    "args".to_string(),
+                    Json::Obj(e.args.iter().map(|(k, v)| (k.clone(), v.clone())).collect()),
+                ));
+                Json::Obj(pairs)
+            })
+            .collect();
+        Json::Obj(vec![
+            ("displayTimeUnit".into(), Json::Str("ms".into())),
+            ("traceEvents".into(), Json::Arr(events)),
+        ])
+    }
+
+    /// [`ChromeTrace::to_json`] rendered as a string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Parses a trace-event document emitted by
+    /// [`ChromeTrace::to_json_string`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the text is not valid JSON or lacks the
+    /// trace-event structure (a `traceEvents` array of objects with
+    /// `ph`/`pid`/`tid`/`name`/`ts` members).
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let doc = Json::parse(text)?;
+        let events = doc
+            .get("traceEvents")
+            .and_then(|e| e.as_arr())
+            .ok_or("missing traceEvents array")?;
+        let mut out = Vec::with_capacity(events.len());
+        for (i, ev) in events.iter().enumerate() {
+            let str_member = |key: &str| -> Result<String, String> {
+                ev.get(key)
+                    .and_then(|v| v.as_str())
+                    .map(str::to_string)
+                    .ok_or(format!("event {i}: missing string '{key}'"))
+            };
+            let num_member = |key: &str| -> Result<f64, String> {
+                ev.get(key)
+                    .and_then(|v| v.as_f64())
+                    .ok_or(format!("event {i}: missing number '{key}'"))
+            };
+            let args = match ev.get("args") {
+                Some(Json::Obj(pairs)) => pairs.clone(),
+                _ => Vec::new(),
+            };
+            out.push(ChromeEvent {
+                ph: str_member("ph")?,
+                pid: num_member("pid")? as u64,
+                tid: num_member("tid")? as u64,
+                name: str_member("name")?,
+                cat: str_member("cat")?,
+                ts: num_member("ts")?,
+                dur: ev.get("dur").and_then(|d| d.as_f64()),
+                args,
+            });
+        }
+        Ok(ChromeTrace { events: out })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Stage;
+    use qgpu_device::timeline::Timeline;
+
+    fn sample() -> ChromeTrace {
+        let mut tl = Timeline::with_trace(100);
+        let h2d = tl.schedule(Engine::H2d(0), 0.0, 1e-3, TaskKind::H2dCopy, 4096);
+        tl.schedule(Engine::GpuCompute(0), h2d.end, 5e-4, TaskKind::Kernel, 4096);
+        tl.schedule(Engine::Host, 0.0, 2e-3, TaskKind::HostUpdate, 8192);
+        let measured = [
+            WallSpan {
+                track: Track::Main,
+                stage: Stage::Update,
+                name: "update.local",
+                start_us: 0.0,
+                dur_us: 120.5,
+            },
+            WallSpan {
+                track: Track::Worker(2),
+                stage: Stage::Update,
+                name: "worker.local_run",
+                start_us: 10.0,
+                dur_us: 100.0,
+            },
+        ];
+        ChromeTrace::two_track(tl.trace(), &measured)
+    }
+
+    #[test]
+    fn both_process_tracks_are_present() {
+        let trace = sample();
+        assert!(!trace.threads_of(PID_MODELED).is_empty());
+        assert!(!trace.threads_of(PID_MEASURED).is_empty());
+        // Worker 2 maps to tid 3 on the measured track.
+        assert!(trace.threads_of(PID_MEASURED).contains(&3));
+        // Engines get stable tids: host 0, gpu0 compute 10, gpu0 h2d 11.
+        let modeled = trace.threads_of(PID_MODELED);
+        assert_eq!(modeled, vec![0, 10, 11]);
+    }
+
+    #[test]
+    fn modeled_seconds_become_microseconds() {
+        let trace = sample();
+        let kernel = trace
+            .events
+            .iter()
+            .find(|e| e.name == "kernel")
+            .expect("kernel event");
+        assert!((kernel.ts - 1000.0).abs() < 1e-9);
+        assert!((kernel.dur.expect("dur") - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let trace = sample();
+        let text = trace.to_json_string();
+        let back = ChromeTrace::from_json_str(&text).expect("parse back");
+        assert_eq!(back, trace);
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn empty_sides_are_omitted() {
+        let trace = ChromeTrace::two_track(&[], &[]);
+        assert!(trace.events.is_empty());
+        let parsed = ChromeTrace::from_json_str(&trace.to_json_string()).expect("parse");
+        assert_eq!(parsed, trace);
+    }
+}

@@ -1,0 +1,59 @@
+//! Unified tracing & metrics for the Q-GPU reproduction.
+//!
+//! The paper reads its entire evaluation off `nvprof` traces; the
+//! reproduction models that with `qgpu_device::Timeline`. This crate adds
+//! the *other* half of the instrument panel — what the host engines
+//! actually do, in wall-clock time — and the glue that puts both in one
+//! picture:
+//!
+//! * [`Recorder`] — a lightweight span/counter/histogram sink. Every
+//!   operation takes `Option<&Recorder>`; passing `None` compiles to a
+//!   no-op (no clock reads, no locks), so instrumented hot paths cost
+//!   nothing when observability is off.
+//! * [`export::ChromeTrace`] — a Chrome trace-event / Perfetto JSON
+//!   exporter that emits **two process tracks**: the modeled device
+//!   timeline (one thread per [`qgpu_device::Engine`]) and the measured
+//!   wall-clock spans (one thread per worker), so a single trace file
+//!   shows model and reality side by side. Open with
+//!   <https://ui.perfetto.dev> or `chrome://tracing`.
+//! * [`metrics::MetricsSnapshot`] — counters plus log₂-bucketed
+//!   histograms (chunk bytes, prune decisions, per-chunk compression
+//!   ratio, worker queue occupancy), serialized to JSON.
+//! * [`drift::DriftReport`] — aligns modeled per-phase totals against
+//!   measured wall-clock totals and flags phases where the device model
+//!   mispredicts the phase *share* by more than a configurable
+//!   tolerance.
+//!
+//! No JSON dependency exists in this workspace (the vendored `serde` is a
+//! marker-trait stub), so [`json`] provides the minimal writer/parser the
+//! exporters need.
+//!
+//! # Examples
+//!
+//! ```
+//! use qgpu_obs::{Recorder, Stage, Track};
+//!
+//! let rec = Recorder::new();
+//! {
+//!     let _g = rec.span(Track::Main, Stage::Update, "update.local");
+//!     // ... the instrumented work ...
+//! }
+//! rec.add("chunks.processed", 3);
+//! rec.observe("chunk.bytes", 4096);
+//! let spans = rec.spans();
+//! assert_eq!(spans.len(), 1);
+//! assert_eq!(spans[0].stage, Stage::Update);
+//! assert_eq!(rec.metrics().counter("chunks.processed"), Some(3));
+//! ```
+
+pub mod drift;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use drift::DriftReport;
+pub use export::ChromeTrace;
+pub use json::Json;
+pub use metrics::{LogHistogram, MetricsSnapshot};
+pub use span::{span_opt, Recorder, SpanGuard, Stage, Track, WallSpan};

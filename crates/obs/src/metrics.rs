@@ -1,0 +1,258 @@
+//! Counters and log₂-bucketed histograms, serializable to JSON.
+
+use serde::{Deserialize, Serialize};
+
+use crate::json::Json;
+
+/// A histogram over `u64` values with logarithmic (power-of-two)
+/// buckets: bucket 0 holds zeros, bucket `b ≥ 1` holds values in
+/// `[2^(b-1), 2^b)`. Log scaling fits the quantities the engines record
+/// — chunk bytes, compressed sizes, queue occupancies — whose dynamic
+/// range spans many octaves.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    counts: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records the same value `n` times in one update — the bulk form
+    /// the engines use for per-gate aggregates (e.g. "`k` chunks of
+    /// `chunk_bytes` each") so hot loops pay one histogram touch per
+    /// gate instead of one per chunk.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let bucket = if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        };
+        self.counts[bucket] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 for an empty histogram).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs; bucket
+    /// `[2^(b-1), 2^b)` reports `2^(b-1)` (and the zero bucket, 0).
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(b, &c)| (if b == 0 { 0 } else { 1u64 << (b - 1) }, c))
+            .collect()
+    }
+}
+
+/// A point-in-time copy of a recorder's counters and histograms.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` counters, in first-touch order.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, histogram)` pairs, in first-touch order.
+    pub histograms: Vec<(String, LogHistogram)>,
+}
+
+impl MetricsSnapshot {
+    pub(crate) fn collect(
+        counters: &[(&'static str, u64)],
+        hists: &[(&'static str, LogHistogram)],
+    ) -> Self {
+        MetricsSnapshot {
+            counters: counters.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+            histograms: hists
+                .iter()
+                .map(|(k, h)| (k.to_string(), h.clone()))
+                .collect(),
+        }
+    }
+
+    /// The named counter's value, if it was ever touched.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The named histogram, if it was ever touched.
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Serializes to a JSON document:
+    /// `{"counters": {...}, "histograms": {name: {count, sum, min, max,
+    /// mean, buckets: [[lo, n], ...]}, ...}}`.
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, h)| {
+                    let buckets = Json::Arr(
+                        h.buckets()
+                            .into_iter()
+                            .map(|(lo, n)| {
+                                Json::Arr(vec![Json::Num(lo as f64), Json::Num(n as f64)])
+                            })
+                            .collect(),
+                    );
+                    let obj = Json::Obj(vec![
+                        ("count".into(), Json::Num(h.count() as f64)),
+                        ("sum".into(), Json::Num(h.sum() as f64)),
+                        ("min".into(), Json::Num(h.min() as f64)),
+                        ("max".into(), Json::Num(h.max() as f64)),
+                        ("mean".into(), Json::Num(h.mean())),
+                        ("buckets".into(), buckets),
+                    ]);
+                    (k.clone(), obj)
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("counters".into(), counters),
+            ("histograms".into(), histograms),
+        ])
+    }
+
+    /// [`MetricsSnapshot::to_json`] rendered as a string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1024, 1 << 40] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1 << 40);
+        let buckets = h.buckets();
+        // 0 → bucket 0; 1 → [1,2); 2,3 → [2,4); 4,7 → [4,8); 8 → [8,16);
+        // 1024 → [1024,2048); 2^40 → [2^40, 2^41).
+        assert_eq!(
+            buckets,
+            vec![
+                (0, 1),
+                (1, 1),
+                (2, 2),
+                (4, 2),
+                (8, 1),
+                (1024, 1),
+                (1 << 40, 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.buckets().is_empty());
+    }
+
+    #[test]
+    fn snapshot_serializes_and_parses_back() {
+        let mut h = LogHistogram::new();
+        h.record(5);
+        h.record(4096);
+        let snap = MetricsSnapshot {
+            counters: vec![("chunks.processed".into(), 42)],
+            histograms: vec![("chunk.bytes".into(), h)],
+        };
+        let text = snap.to_json_string();
+        let parsed = Json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("chunks.processed")),
+            Some(&Json::Num(42.0))
+        );
+        let hist = parsed
+            .get("histograms")
+            .and_then(|h| h.get("chunk.bytes"))
+            .expect("histogram present");
+        assert_eq!(hist.get("count"), Some(&Json::Num(2.0)));
+        assert_eq!(hist.get("max"), Some(&Json::Num(4096.0)));
+    }
+}

@@ -1,0 +1,383 @@
+//! Wall-clock spans: the measured counterpart of the modeled timeline.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{LogHistogram, MetricsSnapshot};
+
+/// Default bound on the number of retained spans (see
+/// [`Recorder::with_span_cap`]).
+pub const DEFAULT_SPAN_CAP: usize = 1 << 20;
+
+/// What a measured span was doing — the axis the drift report aligns
+/// against the modeled [`qgpu_device::TaskKind`] categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// Functional amplitude update (the host stand-in for both the
+    /// modeled host update and the modeled GPU kernel).
+    Update,
+    /// GFC compression.
+    Compress,
+    /// GFC decompression.
+    Decompress,
+    /// Scheduling, planning, reordering, fusion — orchestration work the
+    /// model charges as sync/driver overhead.
+    Plan,
+    /// Anything else.
+    Other,
+}
+
+impl Stage {
+    /// All stages (for report iteration).
+    pub const ALL: [Stage; 5] = [
+        Stage::Update,
+        Stage::Compress,
+        Stage::Decompress,
+        Stage::Plan,
+        Stage::Other,
+    ];
+
+    /// Stable lower-case label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Update => "update",
+            Stage::Compress => "compress",
+            Stage::Decompress => "decompress",
+            Stage::Plan => "plan",
+            Stage::Other => "other",
+        }
+    }
+}
+
+/// Which measured thread a span belongs to: the engine's orchestrator
+/// loop, or one of the [`ChunkExecutor`](../../qgpu_statevec/executor/struct.ChunkExecutor.html)
+/// workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Track {
+    /// The engine's single-threaded orchestration loop. Only `Main`
+    /// spans enter per-phase totals (worker spans overlap them).
+    Main,
+    /// Worker `i` of the chunk-executor pool.
+    Worker(usize),
+}
+
+/// One measured wall-clock interval, in microseconds since the
+/// recorder's epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WallSpan {
+    /// Thread the span ran on.
+    pub track: Track,
+    /// Phase category.
+    pub stage: Stage,
+    /// Site label (e.g. `"update.local"`, `"gfc.compress"`).
+    pub name: &'static str,
+    /// Start, µs since the recorder was created.
+    pub start_us: f64,
+    /// Duration in µs.
+    pub dur_us: f64,
+}
+
+/// A thread-safe span/counter/histogram sink.
+///
+/// A `Recorder` is created per observed run and handed down the stack as
+/// `Option<&Recorder>` (or `Option<Arc<Recorder>>` across the executor's
+/// worker threads). All methods are `&self`; recording takes one clock
+/// read per span edge and one short mutex hold.
+///
+/// The retained span list is bounded ([`DEFAULT_SPAN_CAP`] by default):
+/// past the cap, spans still flow into the exact per-stage totals
+/// ([`Recorder::stage_total_s`]) but are dropped from the list, and the
+/// drop count surfaces as the `spans.dropped` counter in
+/// [`Recorder::metrics`]. This keeps memory and trace size bounded on
+/// per-chunk hot paths without silently losing time accounting.
+pub struct Recorder {
+    t0: Option<Instant>,
+    span_cap: usize,
+    spans: Mutex<Vec<WallSpan>>,
+    dropped: AtomicU64,
+    /// Exact Main-track per-stage totals in µs, indexed by
+    /// [`Stage::ALL`] order — kept even for spans the cap drops.
+    main_totals_us: Mutex<[f64; 5]>,
+    counters: Mutex<Vec<(&'static str, u64)>>,
+    hists: Mutex<Vec<(&'static str, LogHistogram)>>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder {
+            t0: None,
+            span_cap: DEFAULT_SPAN_CAP,
+            spans: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+            main_totals_us: Mutex::new([0.0; 5]),
+            counters: Mutex::new(Vec::new()),
+            hists: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("spans", &self.spans.lock().len())
+            .field("counters", &self.counters.lock().len())
+            .field("hists", &self.hists.lock().len())
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// Creates an empty recorder anchored at the current instant.
+    pub fn new() -> Self {
+        Recorder {
+            t0: Some(Instant::now()),
+            ..Recorder::default()
+        }
+    }
+
+    /// Bounds the retained span list to `cap` entries (totals stay
+    /// exact; excess spans count into `spans.dropped`).
+    pub fn with_span_cap(mut self, cap: usize) -> Self {
+        self.span_cap = cap;
+        self
+    }
+
+    fn now_us(&self) -> f64 {
+        self.t0.map_or(0.0, |t0| t0.elapsed().as_secs_f64() * 1e6)
+    }
+
+    /// Wall-clock seconds since the recorder was created.
+    pub fn elapsed_s(&self) -> f64 {
+        self.now_us() / 1e6
+    }
+
+    /// Opens a span; it is recorded when the returned guard drops.
+    pub fn span(&self, track: Track, stage: Stage, name: &'static str) -> SpanGuard<'_> {
+        SpanGuard {
+            rec: self,
+            track,
+            stage,
+            name,
+            start_us: self.now_us(),
+        }
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn add(&self, name: &'static str, n: u64) {
+        let mut counters = self.counters.lock();
+        match counters.iter_mut().find(|(k, _)| *k == name) {
+            Some((_, v)) => *v += n,
+            None => counters.push((name, n)),
+        }
+    }
+
+    /// Records one value into the named log₂-bucketed histogram.
+    pub fn observe(&self, name: &'static str, value: u64) {
+        self.observe_n(name, value, 1);
+    }
+
+    /// Records the same value `n` times into the named histogram in one
+    /// touch (see [`LogHistogram::record_n`]).
+    pub fn observe_n(&self, name: &'static str, value: u64, n: u64) {
+        let mut hists = self.hists.lock();
+        match hists.iter_mut().find(|(k, _)| *k == name) {
+            Some((_, h)) => h.record_n(value, n),
+            None => {
+                let mut h = LogHistogram::new();
+                h.record_n(value, n);
+                hists.push((name, h));
+            }
+        }
+    }
+
+    fn push(&self, span: WallSpan) {
+        if span.track == Track::Main {
+            let idx = Stage::ALL
+                .iter()
+                .position(|&s| s == span.stage)
+                .expect("stage in Stage::ALL");
+            self.main_totals_us.lock()[idx] += span.dur_us;
+        }
+        let mut spans = self.spans.lock();
+        if spans.len() < self.span_cap {
+            spans.push(span);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A copy of every recorded span, in recording order.
+    pub fn spans(&self) -> Vec<WallSpan> {
+        self.spans.lock().clone()
+    }
+
+    /// A snapshot of every counter and histogram. Spans dropped by the
+    /// cap appear as the `spans.dropped` counter.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::collect(&self.counters.lock(), &self.hists.lock());
+        let dropped = self.dropped.load(Ordering::Relaxed);
+        if dropped > 0 {
+            snap.counters.push(("spans.dropped".to_string(), dropped));
+        }
+        snap
+    }
+
+    /// Number of spans the cap dropped from the retained list.
+    pub fn spans_dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Total `Main`-track time spent in a stage, in seconds — exact
+    /// even when the span cap dropped spans from the list. Worker
+    /// spans are excluded: they overlap the orchestrator span that
+    /// dispatched them, and double-counting would inflate phase totals.
+    pub fn stage_total_s(&self, stage: Stage) -> f64 {
+        let idx = Stage::ALL
+            .iter()
+            .position(|&s| s == stage)
+            .expect("stage in Stage::ALL");
+        self.main_totals_us.lock()[idx] / 1e6
+    }
+}
+
+/// Records its span on drop (RAII, so early returns are covered).
+#[must_use = "the span is recorded when the guard drops"]
+pub struct SpanGuard<'a> {
+    rec: &'a Recorder,
+    track: Track,
+    stage: Stage,
+    name: &'static str,
+    start_us: f64,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let end = self.rec.now_us();
+        self.rec.push(WallSpan {
+            track: self.track,
+            stage: self.stage,
+            name: self.name,
+            start_us: self.start_us,
+            dur_us: end - self.start_us,
+        });
+    }
+}
+
+/// Opens a span only when a recorder is present — the instrumentation
+/// idiom for hot paths:
+///
+/// ```
+/// use qgpu_obs::{span_opt, Recorder, Stage, Track};
+///
+/// fn hot_path(rec: Option<&Recorder>) {
+///     let _g = span_opt(rec, Track::Main, Stage::Update, "hot");
+///     // ... work ...
+/// }
+/// hot_path(None); // no clock reads, no allocation
+/// let rec = Recorder::new();
+/// hot_path(Some(&rec));
+/// assert_eq!(rec.spans().len(), 1);
+/// ```
+pub fn span_opt<'a>(
+    rec: Option<&'a Recorder>,
+    track: Track,
+    stage: Stage,
+    name: &'static str,
+) -> Option<SpanGuard<'a>> {
+    rec.map(|r| r.span(track, stage, name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_on_drop_with_monotonic_times() {
+        let rec = Recorder::new();
+        {
+            let _outer = rec.span(Track::Main, Stage::Update, "outer");
+            let _inner = rec.span(Track::Worker(1), Stage::Update, "inner");
+        }
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 2);
+        // Inner guard drops first.
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[1].name, "outer");
+        for s in &spans {
+            assert!(s.dur_us >= 0.0 && s.start_us >= 0.0);
+        }
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let rec = Recorder::new();
+        rec.add("a", 2);
+        rec.add("a", 3);
+        rec.add("b", 1);
+        let m = rec.metrics();
+        assert_eq!(m.counter("a"), Some(5));
+        assert_eq!(m.counter("b"), Some(1));
+        assert_eq!(m.counter("missing"), None);
+    }
+
+    #[test]
+    fn stage_totals_exclude_worker_tracks() {
+        let rec = Recorder::new();
+        drop(rec.span(Track::Main, Stage::Compress, "c"));
+        drop(rec.span(Track::Worker(0), Stage::Compress, "w"));
+        let all: f64 = rec.spans().iter().map(|s| s.dur_us).sum();
+        assert!(rec.stage_total_s(Stage::Compress) * 1e6 <= all);
+        assert_eq!(rec.stage_total_s(Stage::Update), 0.0);
+    }
+
+    #[test]
+    fn span_cap_bounds_the_list_but_totals_stay_exact() {
+        let rec = Recorder::new().with_span_cap(3);
+        for _ in 0..5 {
+            drop(rec.span(Track::Main, Stage::Update, "u"));
+        }
+        assert_eq!(rec.spans().len(), 3);
+        assert_eq!(rec.spans_dropped(), 2);
+        assert_eq!(rec.metrics().counter("spans.dropped"), Some(2));
+        // The stage total still covers all five spans.
+        let listed: f64 = rec.spans().iter().map(|s| s.dur_us).sum();
+        assert!(rec.stage_total_s(Stage::Update) * 1e6 >= listed);
+    }
+
+    #[test]
+    fn bulk_observe_matches_repeated_observe() {
+        let rec = Recorder::new();
+        rec.observe_n("bytes", 4096, 3);
+        rec.observe("bytes", 16);
+        let m = rec.metrics();
+        let h = m.histogram("bytes").expect("recorded");
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 3 * 4096 + 16);
+        assert_eq!(h.max(), 4096);
+        assert_eq!(h.min(), 16);
+    }
+
+    #[test]
+    fn recorder_is_shareable_across_threads() {
+        let rec = std::sync::Arc::new(Recorder::new());
+        crossbeam_scope(&rec);
+        assert_eq!(rec.spans().len(), 4);
+
+        fn crossbeam_scope(rec: &std::sync::Arc<Recorder>) {
+            let handles: Vec<_> = (0..4)
+                .map(|w| {
+                    let rec = std::sync::Arc::clone(rec);
+                    std::thread::spawn(move || {
+                        let _g = rec.span(Track::Worker(w), Stage::Update, "worker");
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("worker");
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Golden-file coverage for the Perfetto exporter: the emitted JSON is
+//! byte-stable, structurally valid Chrome trace-event format, and
+//! round-trips through the serializer.
+//!
+//! Regenerate the golden file after an intentional format change with
+//! `BLESS=1 cargo test -p qgpu-obs --test golden_trace`.
+
+use std::path::Path;
+
+use qgpu_device::timeline::{Engine, TaskKind, Timeline};
+use qgpu_obs::{ChromeTrace, Json, Stage, Track, WallSpan};
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/two_track_trace.json"
+);
+
+/// A small deterministic two-track trace: a 2-GPU modeled pipeline step
+/// plus a measured orchestrator/worker pair.
+fn sample_trace() -> ChromeTrace {
+    let mut tl = Timeline::with_trace(64);
+    let h2d = tl.schedule(Engine::H2d(0), 0.0, 2.0e-3, TaskKind::H2dCopy, 1 << 20);
+    let k0 = tl.schedule(
+        Engine::GpuCompute(0),
+        h2d.end,
+        1.0e-3,
+        TaskKind::Kernel,
+        1 << 20,
+    );
+    tl.schedule(
+        Engine::GpuCompute(0),
+        k0.end,
+        2.5e-4,
+        TaskKind::Compress,
+        1 << 20,
+    );
+    tl.schedule(
+        Engine::GpuCompute(1),
+        0.0,
+        1.0e-3,
+        TaskKind::Kernel,
+        1 << 20,
+    );
+    tl.schedule(Engine::D2h(1), 1.0e-3, 2.0e-3, TaskKind::D2hCopy, 1 << 18);
+    tl.schedule(Engine::Host, 0.0, 4.0e-3, TaskKind::HostUpdate, 1 << 21);
+    tl.schedule(Engine::Host, 4.0e-3, 1.0e-4, TaskKind::Sync, 0);
+
+    let measured = [
+        WallSpan {
+            track: Track::Main,
+            stage: Stage::Plan,
+            name: "sched.plan",
+            start_us: 0.0,
+            dur_us: 35.5,
+        },
+        WallSpan {
+            track: Track::Main,
+            stage: Stage::Update,
+            name: "update.chunk",
+            start_us: 35.5,
+            dur_us: 800.25,
+        },
+        WallSpan {
+            track: Track::Worker(0),
+            stage: Stage::Update,
+            name: "worker.apply",
+            start_us: 40.0,
+            dur_us: 750.0,
+        },
+        WallSpan {
+            track: Track::Main,
+            stage: Stage::Compress,
+            name: "gfc.compress",
+            start_us: 835.75,
+            dur_us: 120.0,
+        },
+    ];
+    ChromeTrace::two_track(tl.trace(), &measured)
+}
+
+#[test]
+fn trace_json_matches_golden_file() {
+    let text = sample_trace().to_json_string();
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(GOLDEN, format!("{text}\n")).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN)
+        .unwrap_or_else(|e| panic!("missing golden file {GOLDEN} ({e}); regenerate with BLESS=1"));
+    assert_eq!(
+        text,
+        golden.trim_end(),
+        "trace JSON drifted from {}",
+        Path::new(GOLDEN).display()
+    );
+}
+
+#[test]
+fn golden_is_valid_chrome_trace_event_format() {
+    let doc = Json::parse(&sample_trace().to_json_string()).expect("valid JSON");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(|v| v.as_str()),
+        Some("ms")
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    for ev in events {
+        let ph = ev.get("ph").and_then(|v| v.as_str()).expect("ph");
+        assert!(ph == "X" || ph == "M", "unexpected phase {ph}");
+        for key in ["pid", "tid", "ts"] {
+            assert!(ev.get(key).and_then(|v| v.as_f64()).is_some(), "no {key}");
+        }
+        assert!(ev.get("name").and_then(|v| v.as_str()).is_some());
+        match ph {
+            // Complete events carry a duration.
+            "X" => assert!(ev.get("dur").and_then(|v| v.as_f64()).is_some()),
+            // Metadata events carry the display name in args.name.
+            _ => assert!(ev
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(|v| v.as_str())
+                .is_some()),
+        }
+    }
+}
+
+#[test]
+fn golden_trace_round_trips_through_serde() {
+    let trace = sample_trace();
+    let text = trace.to_json_string();
+    let back = ChromeTrace::from_json_str(&text).expect("parse");
+    assert_eq!(back, trace);
+    assert_eq!(back.to_json_string(), text);
+}
+
+#[test]
+fn golden_trace_has_both_process_tracks() {
+    use qgpu_obs::export::{PID_MEASURED, PID_MODELED};
+    let trace = sample_trace();
+    // Modeled rows: host + gpu0 compute/h2d + gpu1 compute/d2h.
+    assert_eq!(trace.threads_of(PID_MODELED).len(), 5);
+    // Measured rows: orchestrator + worker 0.
+    assert_eq!(trace.threads_of(PID_MEASURED), vec![0, 1]);
+}

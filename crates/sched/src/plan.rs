@@ -72,6 +72,25 @@ pub struct GatePlan {
 }
 
 impl GatePlan {
+    /// [`GatePlan::new`] under observation: records a
+    /// [`qgpu_obs::Stage::Plan`] span covering plan resolution. With
+    /// `rec == None` this is exactly `new`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_chunks` is not a power of two, like
+    /// [`GatePlan::new`].
+    pub fn new_observed(
+        action: &GateAction,
+        chunk_bits: u32,
+        num_chunks: usize,
+        rec: Option<&qgpu_obs::Recorder>,
+    ) -> Self {
+        use qgpu_obs::{span_opt, Stage, Track};
+        let _g = span_opt(rec, Track::Main, Stage::Plan, "sched.plan");
+        GatePlan::new(action, chunk_bits, num_chunks)
+    }
+
     /// Resolves an action against a chunk layout.
     ///
     /// # Panics

@@ -60,6 +60,15 @@ impl ReorderStrategy {
             }
         }
     }
+
+    /// [`ReorderStrategy::reorder`] under observation: records a
+    /// [`qgpu_obs::Stage::Plan`] span covering the DAG traversal. With
+    /// `rec == None` this is exactly `reorder`.
+    pub fn reorder_observed(self, circuit: &Circuit, rec: Option<&qgpu_obs::Recorder>) -> Circuit {
+        use qgpu_obs::{span_opt, Stage, Track};
+        let _g = span_opt(rec, Track::Main, Stage::Plan, "sched.reorder");
+        self.reorder(circuit)
+    }
 }
 
 impl std::fmt::Display for ReorderStrategy {

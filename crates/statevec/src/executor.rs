@@ -25,12 +25,14 @@
 //!   pairwise tree ([`qgpu_math::reduce::pairwise_sum`]).
 
 use std::ops::Range;
+use std::sync::Arc;
 
 use qgpu_circuit::access::GateAction;
 use qgpu_circuit::Matrix;
 use qgpu_math::bits::insert_zero_bits;
 use qgpu_math::reduce;
 use qgpu_math::Complex64;
+use qgpu_obs::{span_opt, Recorder, Stage, Track};
 
 use crate::chunked::ChunkedState;
 use crate::kernels;
@@ -67,9 +69,12 @@ unsafe impl Sync for AmpPtr {}
 /// ChunkExecutor::new(4).apply_flat(s.amps_mut(), &h);
 /// assert!((s.norm() - 1.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ChunkExecutor {
     threads: usize,
+    /// When set, workers record wall-clock spans and queue-occupancy
+    /// histograms into it (see [`ChunkExecutor::with_recorder`]).
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl ChunkExecutor {
@@ -88,6 +93,7 @@ impl ChunkExecutor {
         let cores = std::thread::available_parallelism().map_or(threads, |n| n.get());
         ChunkExecutor {
             threads: threads.min(cores),
+            recorder: None,
         }
     }
 
@@ -101,7 +107,20 @@ impl ChunkExecutor {
     /// Panics if `threads == 0`.
     pub fn with_exact_threads(threads: usize) -> Self {
         assert!(threads > 0, "need at least one thread");
-        ChunkExecutor { threads }
+        ChunkExecutor {
+            threads,
+            recorder: None,
+        }
+    }
+
+    /// Attaches an observability recorder: each spawned worker records a
+    /// [`Track::Worker`] span around its share of every dispatch, and the
+    /// `worker.queue` histogram tracks how many work items each worker
+    /// received. Without a recorder the instrumentation is a no-op (no
+    /// clock reads).
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// The effective worker count (after the hardware clamp).
@@ -127,10 +146,12 @@ impl ChunkExecutor {
         match action {
             GateAction::Diagonal { qubits, dvec } => {
                 let per = amps.len().div_ceil(self.threads);
+                let rec = self.recorder.as_deref();
                 crossbeam::scope(|scope| {
                     for (t, piece) in amps.chunks_mut(per).enumerate() {
                         let base = t * per;
                         scope.spawn(move |_| {
+                            let _g = span_opt(rec, Track::Worker(t), Stage::Update, "worker.diag");
                             kernels::apply_diagonal(piece, base, qubits, dvec);
                         });
                     }
@@ -203,9 +224,11 @@ impl ChunkExecutor {
             return kernels::apply_diagonal_strided(amps, qubits, dvec);
         }
         let per = nblocks.div_ceil(self.threads) * block;
+        let rec = self.recorder.as_deref();
         crossbeam::scope(|scope| {
-            for piece in amps.chunks_mut(per) {
+            for (t, piece) in amps.chunks_mut(per).enumerate() {
                 scope.spawn(move |_| {
+                    let _g = span_opt(rec, Track::Worker(t), Stage::Update, "worker.diag");
                     kernels::apply_diagonal_strided(piece, qubits, dvec);
                 });
             }
@@ -241,6 +264,7 @@ impl ChunkExecutor {
         let count = amps.len() >> positions.len();
         let per = count.div_ceil(self.threads);
         let ptr = AmpPtr(amps.as_mut_ptr());
+        let rec = self.recorder.as_deref();
         crossbeam::scope(|scope| {
             for t in 0..self.threads {
                 let lo = t * per;
@@ -251,6 +275,7 @@ impl ChunkExecutor {
                 let positions = &positions;
                 let offsets = &offsets;
                 scope.spawn(move |_| {
+                    let _g = span_opt(rec, Track::Worker(t), Stage::Update, "worker.dense");
                     let ptr = ptr; // move the Send wrapper
                     let mut gathered = vec![Complex64::ZERO; dim];
                     for c in lo..hi {
@@ -337,9 +362,13 @@ impl ChunkExecutor {
             return run_blocks(amps, 0, block_len, actions);
         }
         let per = num_blocks.div_ceil(self.threads) << block_bits;
+        let rec = self.recorder.as_deref();
         crossbeam::scope(|scope| {
             for (t, piece) in amps.chunks_mut(per).enumerate() {
-                scope.spawn(move |_| run_blocks(piece, t * per, block_len, actions));
+                scope.spawn(move |_| {
+                    let _g = span_opt(rec, Track::Worker(t), Stage::Update, "worker.run");
+                    run_blocks(piece, t * per, block_len, actions)
+                });
             }
         })
         .expect("worker thread panicked");
@@ -394,9 +423,16 @@ impl ChunkExecutor {
             return run(&work);
         }
         let per = work.len().div_ceil(self.threads);
+        let rec = self.recorder.as_deref();
         crossbeam::scope(|scope| {
-            for piece in work.chunks(per) {
-                scope.spawn(move |_| run(piece));
+            for (t, piece) in work.chunks(per).enumerate() {
+                if let Some(r) = rec {
+                    r.observe("worker.queue", piece.len() as u64);
+                }
+                scope.spawn(move |_| {
+                    let _g = span_opt(rec, Track::Worker(t), Stage::Update, "worker.local");
+                    run(piece)
+                });
             }
         })
         .expect("worker thread panicked");
@@ -479,10 +515,15 @@ impl ChunkExecutor {
             }
         } else {
             let per = work.len().div_ceil(self.threads);
+            let rec = self.recorder.as_deref();
             crossbeam::scope(|scope| {
-                for piece in work.chunks(per) {
+                for (t, piece) in work.chunks(per).enumerate() {
+                    if let Some(r) = rec {
+                        r.observe("worker.queue", piece.len() as u64);
+                    }
                     let process = &process;
                     scope.spawn(move |_| {
+                        let _g = span_opt(rec, Track::Worker(t), Stage::Update, "worker.group");
                         for w in piece {
                             process(w);
                         }
@@ -539,9 +580,11 @@ impl ChunkExecutor {
             return;
         }
         let per = nb.div_ceil(self.threads);
+        let rec = self.recorder.as_deref();
         crossbeam::scope(|scope| {
             for (t, piece) in partials.chunks_mut(per).enumerate() {
                 scope.spawn(move |_| {
+                    let _g = span_opt(rec, Track::Worker(t), Stage::Update, "worker.reduce");
                     for (i, p) in piece.iter_mut().enumerate() {
                         *p = block_sum(reduce::block_range(t * per + i, len));
                     }
@@ -699,6 +742,32 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_panics() {
         ChunkExecutor::new(0);
+    }
+
+    #[test]
+    fn recorder_captures_worker_spans_and_queue_occupancy() {
+        let rec = Arc::new(Recorder::new());
+        let n = 15;
+        let chunk_bits = 8;
+        let c = Benchmark::Qft.generate(n);
+        let mut flat = StateVector::new_zero(n);
+        flat.run(&c);
+        let mut state = ChunkedState::from_flat(&flat, chunk_bits);
+        let chunks: Vec<usize> = (0..state.num_chunks()).collect();
+        let run = actions_of(&[(Gate::H, vec![1]), (Gate::T, vec![2])]);
+        ChunkExecutor::with_exact_threads(4)
+            .with_recorder(Arc::clone(&rec))
+            .apply_local_run(&mut state, &run, &chunks);
+        let spans = rec.spans();
+        assert!(
+            spans.iter().any(|s| matches!(s.track, Track::Worker(_))),
+            "worker spans expected"
+        );
+        let queue = rec.metrics();
+        let hist = queue.histogram("worker.queue").expect("occupancy");
+        // 128 dense chunks over 4 workers: 32 items each.
+        assert_eq!(hist.count(), 4);
+        assert_eq!(hist.max(), 32);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::strategy::{Rejection, Strategy};
 use crate::test_runner::TestRng;
 
-/// Accepted length specifications for [`vec`].
+/// Accepted length specifications for [`vec()`].
 #[derive(Clone, Debug)]
 pub struct SizeRange {
     min: usize,
