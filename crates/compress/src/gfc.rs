@@ -7,11 +7,30 @@
 
 use std::fmt;
 
+use qgpu_faults::Crc32;
 use qgpu_math::Complex64;
 use qgpu_obs::{span_opt, Recorder, Stage, Track};
 use serde::{Deserialize, Serialize};
 
 use crate::stats::CompressionStats;
+
+/// CRC32 (IEEE) over the little-endian bytes of a double slice — the
+/// integrity tag the resilient pipeline computes at encode time and
+/// verifies after decode, catching corruption the format's own structural
+/// checks cannot (a bit flip that still parses).
+pub fn value_crc32(data: &[f64]) -> u32 {
+    let mut crc = Crc32::new();
+    for v in data {
+        crc.update(&v.to_le_bytes());
+    }
+    crc.finish()
+}
+
+/// [`value_crc32`] over interleaved `re, im` amplitude doubles — matches
+/// what [`GfcCodec::try_decompress_amplitudes_verified`] recomputes.
+pub fn amplitude_crc32(amps: &[Complex64]) -> u32 {
+    value_crc32(amps_as_f64(amps))
+}
 
 /// Error returned when a compressed buffer cannot be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -217,6 +236,54 @@ impl GfcCodec {
     ) -> Vec<Complex64> {
         let _g = span_opt(rec, Track::Main, Stage::Decompress, "gfc.decompress");
         self.decompress_amplitudes(c)
+    }
+
+    /// Decompresses and verifies the decoded content against the CRC32
+    /// computed at encode time (see [`value_crc32`]). The structural
+    /// checks in [`GfcCodec::try_decompress`] reject most damage; the CRC
+    /// closes the gap where corrupted bytes still parse into the right
+    /// number of values — without it those would surface as silently
+    /// wrong amplitudes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeGfcError`] on structural corruption or a content
+    /// CRC mismatch.
+    pub fn try_decompress_verified(
+        &self,
+        c: &Compressed,
+        expected_crc: u32,
+    ) -> Result<Vec<f64>, DecodeGfcError> {
+        let out = self.try_decompress(c)?;
+        if value_crc32(&out) != expected_crc {
+            return Err(DecodeGfcError {
+                segment: c.segments.len(),
+                message: "decoded content fails CRC32 verification",
+            });
+        }
+        Ok(out)
+    }
+
+    /// Amplitude counterpart of [`GfcCodec::try_decompress_verified`]:
+    /// the CRC is over the interleaved doubles ([`amplitude_crc32`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeGfcError`] on structural corruption, an odd double
+    /// count, or a content CRC mismatch.
+    pub fn try_decompress_amplitudes_verified(
+        &self,
+        c: &Compressed,
+        expected_crc: u32,
+    ) -> Result<Vec<Complex64>, DecodeGfcError> {
+        let amps = self.try_decompress_amplitudes(c)?;
+        if amplitude_crc32(&amps) != expected_crc {
+            return Err(DecodeGfcError {
+                segment: c.segments.len(),
+                message: "decoded content fails CRC32 verification",
+            });
+        }
+        Ok(amps)
     }
 
     /// Decompresses into complex amplitudes, reporting corruption.

@@ -32,5 +32,5 @@ pub mod gfc;
 pub mod residual;
 pub mod stats;
 
-pub use gfc::{Compressed, GfcCodec};
+pub use gfc::{amplitude_crc32, value_crc32, Compressed, GfcCodec};
 pub use stats::CompressionStats;

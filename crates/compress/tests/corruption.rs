@@ -1,0 +1,117 @@
+//! Adversarial decode robustness: randomly corrupted GFC byte streams
+//! must come back as a typed [`DecodeGfcError`] — never a panic, and
+//! never silently wrong values. Structural checks catch most damage;
+//! the CRC-verified decode closes the rest, which is exactly the
+//! contract the resilient chunk pipeline's retry logic builds on.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use qgpu_compress::gfc::DecodeGfcError;
+use qgpu_compress::{amplitude_crc32, value_crc32, Compressed, GfcCodec};
+use qgpu_math::Complex64;
+
+/// Decodes a (possibly corrupted) buffer with CRC verification and
+/// asserts the only two legal outcomes: a typed error, or a bit-exact
+/// reproduction of the original data (corruption in dead padding bits
+/// may decode harmlessly — that is not "silently wrong").
+fn assert_caught_or_exact(
+    codec: &GfcCodec,
+    corrupted: &Compressed,
+    original: &[f64],
+    crc: u32,
+) -> Result<(), TestCaseError> {
+    match codec.try_decompress_verified(corrupted, crc) {
+        Err(DecodeGfcError { .. }) => Ok(()),
+        Ok(decoded) => {
+            prop_assert_eq!(decoded.len(), original.len());
+            for (a, b) in decoded.iter().zip(original) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "silently wrong value");
+            }
+            Ok(())
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn bit_flips_are_caught_or_harmless(
+        data in proptest::collection::vec(-1.0f64..1.0, 16..400),
+        segs in 1usize..8,
+        seg_pick in 0usize..8,
+        byte_pick in 0usize..4096,
+        bit in 0u8..8,
+    ) {
+        let codec = GfcCodec::new(segs);
+        let crc = value_crc32(&data);
+        let clean = codec.compress(&data);
+        let mut segments: Vec<Vec<u8>> =
+            (0..clean.num_segments()).map(|i| clean.segment(i).to_vec()).collect();
+        let s = seg_pick % segments.len();
+        if !segments[s].is_empty() {
+            let b = byte_pick % segments[s].len();
+            segments[s][b] ^= 1 << bit;
+        }
+        let corrupted = Compressed::from_parts(clean.num_values(), segments);
+        assert_caught_or_exact(&codec, &corrupted, &data, crc)?;
+    }
+
+    #[test]
+    fn truncation_and_garbage_extension_are_caught(
+        data in proptest::collection::vec(proptest::num::f64::ANY, 8..200),
+        cut in 0usize..4096,
+        junk in proptest::collection::vec(0u8..=255, 0..32),
+    ) {
+        let codec = GfcCodec::new(3);
+        let crc = value_crc32(&data);
+        let clean = codec.compress(&data);
+        let mut segments: Vec<Vec<u8>> =
+            (0..clean.num_segments()).map(|i| clean.segment(i).to_vec()).collect();
+        // Truncate one segment, splice garbage onto another.
+        let n = segments.len();
+        let len0 = segments[0].len();
+        segments[0].truncate(cut % (len0 + 1));
+        segments[n - 1].extend_from_slice(&junk);
+        let corrupted = Compressed::from_parts(clean.num_values(), segments);
+        assert_caught_or_exact(&codec, &corrupted, &data, crc)?;
+    }
+
+    #[test]
+    fn arbitrary_byte_soup_never_panics(
+        soup in proptest::collection::vec(
+            proptest::collection::vec(0u8..=255, 0..256), 1..4),
+        declared in 0usize..1024,
+    ) {
+        let codec = GfcCodec::new(soup.len());
+        let buffer = Compressed::from_parts(declared, soup);
+        // Outcome is irrelevant — only that it is an outcome, not a panic.
+        let _ = codec.try_decompress(&buffer);
+        let _ = codec.try_decompress_verified(&buffer, 0xDEAD_BEEF);
+        let _ = codec.try_decompress_amplitudes(&buffer);
+    }
+
+    #[test]
+    fn amplitude_crc_detects_parseable_damage(
+        amps in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 32..256),
+    ) {
+        let amps: Vec<Complex64> =
+            amps.into_iter().map(|(re, im)| Complex64::new(re, im)).collect();
+        let codec = GfcCodec::new(4);
+        let crc = amplitude_crc32(&amps);
+        let clean = codec.compress_amplitudes(&amps);
+        // The clean buffer must verify and roundtrip bit-exactly.
+        let decoded = codec
+            .try_decompress_amplitudes_verified(&clean, crc)
+            .expect("clean buffer must verify");
+        prop_assert_eq!(decoded.len(), amps.len());
+        for (a, b) in decoded.iter().zip(&amps) {
+            prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+            prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        // A wrong CRC must be rejected even on an undamaged buffer.
+        prop_assert!(codec
+            .try_decompress_amplitudes_verified(&clean, crc ^ 1)
+            .is_err());
+    }
+}

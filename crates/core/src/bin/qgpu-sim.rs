@@ -24,13 +24,26 @@
 //!   --drift            print the modeled-vs-measured drift report
 //!   --drift-tol <pp>   drift flagging tolerance in percentage points
 //!   --gantt            print the modeled timeline as an ASCII Gantt chart
+//!
+//! fault injection & resilience:
+//!   --inject-seed <N>      fault injector seed (default 0)
+//!   --inject-transfer <P>  per-transfer corruption probability
+//!   --inject-codec <P>     per-encode codec failure probability
+//!   --inject-mask <P>      per-op involvement-mask corruption probability
+//!   --inject-worker <P>    per-worker death probability
+//!   --inject-fail-at <N>   abort with a fatal fault at program op N
+//!   --checkpoint-every <N> write a checkpoint every N program ops
+//!   --checkpoint-out <p>   checkpoint path (with --checkpoint-every)
+//!   --resume <path>        resume from a checkpoint written by --checkpoint-out
+//!   --compare <path>       after the run, compare the final state against a
+//!                          checkpoint; exit nonzero beyond 1e-12 deviation
 //! ```
 
 use std::env;
 use std::fs;
 use std::process::ExitCode;
 
-use qgpu::{SimConfig, Simulator, Version};
+use qgpu::{FaultConfig, SimConfig, SimError, Simulator, Version};
 use qgpu_circuit::generators::Benchmark;
 use qgpu_circuit::{qasm, Circuit};
 use qgpu_device::Platform;
@@ -58,6 +71,11 @@ struct Options {
     drift: bool,
     drift_tol: f64,
     gantt: bool,
+    faults: FaultConfig,
+    checkpoint_every: u64,
+    checkpoint_out: Option<String>,
+    resume: Option<String>,
+    compare: Option<String>,
 }
 
 enum Source {
@@ -100,6 +118,11 @@ fn parse_args() -> Result<Options, String> {
     let mut drift = false;
     let mut drift_tol = qgpu_obs::drift::DEFAULT_TOLERANCE_PP;
     let mut gantt = false;
+    let mut faults = FaultConfig::default();
+    let mut checkpoint_every = 0u64;
+    let mut checkpoint_out = None;
+    let mut resume = None;
+    let mut compare = None;
 
     let take = |args: &mut std::iter::Peekable<std::iter::Skip<env::Args>>,
                 flag: &str|
@@ -154,6 +177,47 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|_| "bad drift tolerance")?
             }
             "--gantt" => gantt = true,
+            "--inject-seed" => {
+                faults.seed = take(&mut args, "--inject-seed")?
+                    .parse()
+                    .map_err(|_| "bad injection seed")?
+            }
+            "--inject-transfer" => {
+                faults.p_transfer_corrupt = take(&mut args, "--inject-transfer")?
+                    .parse()
+                    .map_err(|_| "bad transfer corruption probability")?
+            }
+            "--inject-codec" => {
+                faults.p_codec_fail = take(&mut args, "--inject-codec")?
+                    .parse()
+                    .map_err(|_| "bad codec failure probability")?
+            }
+            "--inject-mask" => {
+                faults.p_mask_corrupt = take(&mut args, "--inject-mask")?
+                    .parse()
+                    .map_err(|_| "bad mask corruption probability")?
+            }
+            "--inject-worker" => {
+                faults.p_worker_death = take(&mut args, "--inject-worker")?
+                    .parse()
+                    .map_err(|_| "bad worker death probability")?
+            }
+            "--inject-fail-at" => {
+                faults.fail_at_gate = take(&mut args, "--inject-fail-at")?
+                    .parse()
+                    .map_err(|_| "bad fatal fault op index")?
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = take(&mut args, "--checkpoint-every")?
+                    .parse()
+                    .map_err(|_| "bad checkpoint interval")?;
+                if checkpoint_every == 0 {
+                    return Err("--checkpoint-every must be at least 1".into());
+                }
+            }
+            "--checkpoint-out" => checkpoint_out = Some(take(&mut args, "--checkpoint-out")?),
+            "--resume" => resume = Some(take(&mut args, "--resume")?),
+            "--compare" => compare = Some(take(&mut args, "--compare")?),
             "--help" | "-h" => return Err(HELP.to_string()),
             other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
             other => return Err(format!("unknown argument '{other}'\n{HELP}")),
@@ -188,10 +252,15 @@ fn parse_args() -> Result<Options, String> {
         drift,
         drift_tol,
         gantt,
+        faults,
+        checkpoint_every,
+        checkpoint_out,
+        resume,
+        compare,
     })
 }
 
-const HELP: &str = "usage: qgpu-sim <file.qasm> | --benchmark <name> --qubits <N>\n  [--version baseline|naive|overlap|pruning|reorder|qgpu] [--shots N]\n  [--seed N] [--chunks log2] [--top N] [--batching] [--fuse] [--threads N]\n  [--report] [--save path] [--trace-out path] [--metrics-out path]\n  [--drift] [--drift-tol pp] [--gantt]";
+const HELP: &str = "usage: qgpu-sim <file.qasm> | --benchmark <name> --qubits <N>\n  [--version baseline|naive|overlap|pruning|reorder|qgpu] [--shots N]\n  [--seed N] [--chunks log2] [--top N] [--batching] [--fuse] [--threads N]\n  [--report] [--save path] [--trace-out path] [--metrics-out path]\n  [--drift] [--drift-tol pp] [--gantt]\n  [--inject-seed N] [--inject-transfer P] [--inject-codec P]\n  [--inject-mask P] [--inject-worker P] [--inject-fail-at N]\n  [--checkpoint-every N] [--checkpoint-out path] [--resume path]\n  [--compare path]";
 
 fn platform_for(name: &str, qubits: usize) -> Result<Platform, String> {
     let ratio = 496.0 / 8192.0;
@@ -277,7 +346,52 @@ fn main() -> ExitCode {
         // Perfetto loads comfortably; million-chunk runs truncate.
         config = config.with_trace(200_000);
     }
-    let result = Simulator::new(config).run(&circuit);
+    if opts.faults.any_enabled() {
+        config = config.with_faults(opts.faults);
+        eprintln!(
+            "[qgpu-sim] fault injection on (seed {}): transfer {}, codec {}, mask {}, worker {}",
+            opts.faults.seed,
+            opts.faults.p_transfer_corrupt,
+            opts.faults.p_codec_fail,
+            opts.faults.p_mask_corrupt,
+            opts.faults.p_worker_death,
+        );
+    }
+    if opts.checkpoint_every > 0 {
+        let Some(path) = &opts.checkpoint_out else {
+            eprintln!("error: --checkpoint-every requires --checkpoint-out");
+            return ExitCode::FAILURE;
+        };
+        config = config.with_checkpointing(opts.checkpoint_every, path);
+    }
+    let resume_ckpt = match &opts.resume {
+        Some(path) => match qgpu::checkpoint::load_with_progress(path) {
+            Ok(ck) => {
+                eprintln!(
+                    "[qgpu-sim] resuming from {path} ({} ops done)",
+                    ck.gates_done
+                );
+                Some(ck)
+            }
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let result = match Simulator::new(config).try_run_from(&circuit, resume_ckpt.as_ref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: simulation failed: {e}");
+            if matches!(e, SimError::Fatal { .. }) {
+                if let Some(path) = &opts.checkpoint_out {
+                    eprintln!("[qgpu-sim] recover with --resume {path}");
+                }
+            }
+            return ExitCode::FAILURE;
+        }
+    };
     let state = result.state.as_ref().expect("state collected");
 
     // Most likely outcomes.
@@ -311,6 +425,29 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(path) = &opts.compare {
+        let reference = match qgpu::checkpoint::load(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if reference.num_qubits() != n {
+            eprintln!(
+                "error: --compare: checkpoint has {} qubits but the run has {n}",
+                reference.num_qubits()
+            );
+            return ExitCode::FAILURE;
+        }
+        let dev = state.max_deviation(&reference);
+        eprintln!("[qgpu-sim] compare: max deviation {dev:.3e} vs {path}");
+        if dev >= 1e-12 {
+            eprintln!("error: --compare: deviation {dev:.3e} exceeds 1e-12");
+            return ExitCode::FAILURE;
+        }
+    }
+
     if opts.report {
         let r = &result.report;
         println!("\nmodeled execution report ({}):", opts.version);
@@ -328,6 +465,12 @@ fn main() -> ExitCode {
         if opts.fuse {
             println!("  gates fused       : {}", r.gates_fused);
             println!("  fused kernels     : {}", r.fused_kernels);
+        }
+        if opts.faults.any_enabled() {
+            println!("  chunk retries     : {}", r.chunk_retries);
+            println!("  codec fallbacks   : {}", r.codec_fallbacks);
+            println!("  prune fallbacks   : {}", r.prune_fallbacks);
+            println!("  worker restarts   : {}", r.worker_restarts);
         }
     }
 

@@ -6,15 +6,24 @@
 //! the Q-GPU pipeline streams through, so smooth or sparse states persist
 //! at a fraction of their in-memory size, and the restore is bit-exact.
 //!
-//! # Format
+//! # Format (version 2)
 //!
 //! ```text
 //! magic "QGPUSTAT"   8 bytes
-//! version            u32 LE (currently 1)
+//! version            u32 LE (currently 2)
 //! num_qubits         u32 LE
+//! gates_done         u64 LE (program ops already applied; 0 = initial)
 //! segment_count      u32 LE
-//! per segment:       u64 LE length, then the GFC segment bytes
+//! per segment:       u64 LE length, u32 LE CRC32 of the segment bytes,
+//!                    then the GFC segment bytes
+//! file checksum      u32 LE CRC32 over every preceding byte
 //! ```
+//!
+//! Version 1 (no CRCs, no `gates_done`) is still read — old checkpoints
+//! restore with `gates_done = 0`. The per-segment CRCs localize damage
+//! (the error names the segment); the trailing file checksum catches
+//! corruption in the header and framing bytes the segment CRCs do not
+//! cover. Both are verified before any decoded amplitude is trusted.
 //!
 //! # Examples
 //!
@@ -35,10 +44,12 @@ use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 use qgpu_compress::GfcCodec;
+use qgpu_faults::Crc32;
 use qgpu_statevec::StateVector;
 
 const MAGIC: &[u8; 8] = b"QGPUSTAT";
-const VERSION: u32 = 1;
+const VERSION_V1: u32 = 1;
+const VERSION: u32 = 2;
 
 /// Errors produced by checkpoint I/O.
 #[derive(Debug)]
@@ -77,82 +88,218 @@ impl From<io::Error> for CheckpointError {
     }
 }
 
-/// Saves a state vector to `path`, GFC-compressed.
+/// A restored checkpoint: the state plus how far into the program it
+/// was taken (`gates_done` program ops already applied; 0 for a v1 file
+/// or an initial-state snapshot).
+#[derive(Debug)]
+pub struct Checkpoint {
+    /// The restored state vector.
+    pub state: StateVector,
+    /// Program ops applied before the snapshot was taken.
+    pub gates_done: u64,
+}
+
+/// Forwards writes while accumulating a CRC32 of everything written —
+/// how the v2 writer produces the trailing file checksum in one pass.
+struct CrcWriter<'a, W: Write> {
+    inner: &'a mut W,
+    crc: Crc32,
+}
+
+impl<W: Write> Write for CrcWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Saves a state vector to `path`, GFC-compressed, with integrity CRCs
+/// (format v2, `gates_done = 0`).
 ///
 /// # Errors
 ///
 /// Returns [`CheckpointError::Io`] on filesystem failure.
 pub fn save<P: AsRef<Path>>(state: &StateVector, path: P) -> Result<(), CheckpointError> {
+    save_with_progress(state, 0, path)
+}
+
+/// Saves a mid-run snapshot: the state after `gates_done` program ops.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on filesystem failure.
+pub fn save_with_progress<P: AsRef<Path>>(
+    state: &StateVector,
+    gates_done: u64,
+    path: P,
+) -> Result<(), CheckpointError> {
     let mut w = BufWriter::new(File::create(path)?);
-    write_to(state, &mut w)?;
+    write_to_with_progress(state, gates_done, &mut w)?;
     w.flush()?;
     Ok(())
 }
 
-/// Writes a checkpoint to any writer (see module docs for the format).
+/// Writes a v2 checkpoint to any writer (see module docs for the format)
+/// with `gates_done = 0`.
 ///
 /// # Errors
 ///
 /// Returns [`CheckpointError::Io`] on write failure.
 pub fn write_to<W: Write>(state: &StateVector, w: &mut W) -> Result<(), CheckpointError> {
+    write_to_with_progress(state, 0, w)
+}
+
+/// Writes a v2 checkpoint carrying a mid-run progress marker.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on write failure.
+pub fn write_to_with_progress<W: Write>(
+    state: &StateVector,
+    gates_done: u64,
+    w: &mut W,
+) -> Result<(), CheckpointError> {
     let codec = codec_for(state.num_qubits());
     let compressed = codec.compress_amplitudes(state.amps());
-    w.write_all(MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
-    w.write_all(&(state.num_qubits() as u32).to_le_bytes())?;
-    w.write_all(&(compressed.num_segments() as u32).to_le_bytes())?;
+    let mut cw = CrcWriter {
+        inner: w,
+        crc: Crc32::new(),
+    };
+    cw.write_all(MAGIC)?;
+    cw.write_all(&VERSION.to_le_bytes())?;
+    cw.write_all(&(state.num_qubits() as u32).to_le_bytes())?;
+    cw.write_all(&gates_done.to_le_bytes())?;
+    cw.write_all(&(compressed.num_segments() as u32).to_le_bytes())?;
     for i in 0..compressed.num_segments() {
         let seg = compressed.segment(i);
-        w.write_all(&(seg.len() as u64).to_le_bytes())?;
-        w.write_all(seg)?;
+        cw.write_all(&(seg.len() as u64).to_le_bytes())?;
+        cw.write_all(&qgpu_faults::crc32(seg).to_le_bytes())?;
+        cw.write_all(seg)?;
     }
+    let file_crc = cw.crc.finish();
+    cw.inner.write_all(&file_crc.to_le_bytes())?;
     Ok(())
 }
 
-/// Loads a state vector from `path`.
+/// Loads a state vector from `path` (either format version).
 ///
 /// # Errors
 ///
 /// Returns [`CheckpointError`] for I/O failures, structural corruption,
-/// or undecodable payloads.
+/// CRC mismatches, or undecodable payloads.
 pub fn load<P: AsRef<Path>>(path: P) -> Result<StateVector, CheckpointError> {
-    read_from(&mut BufReader::new(File::open(path)?))
+    Ok(load_with_progress(path)?.state)
 }
 
-/// Reads a checkpoint from any reader.
+/// Loads a checkpoint plus its progress marker from `path`.
+///
+/// # Errors
+///
+/// See [`load`].
+pub fn load_with_progress<P: AsRef<Path>>(path: P) -> Result<Checkpoint, CheckpointError> {
+    read_checkpoint(&mut BufReader::new(File::open(path)?))
+}
+
+/// Reads a checkpoint from any reader, discarding the progress marker.
 ///
 /// # Errors
 ///
 /// See [`load`].
 pub fn read_from<R: Read>(r: &mut R) -> Result<StateVector, CheckpointError> {
+    Ok(read_checkpoint(r)?.state)
+}
+
+/// Accumulates a CRC32 of every byte read — the v2 reader's running
+/// checksum, compared against the file trailer after the last segment.
+struct CrcReader<'a, R: Read> {
+    inner: &'a mut R,
+    crc: Crc32,
+}
+
+impl<R: Read> CrcReader<'_, R> {
+    fn read_exact(&mut self, buf: &mut [u8]) -> Result<(), CheckpointError> {
+        self.inner.read_exact(buf)?;
+        self.crc.update(buf);
+        Ok(())
+    }
+
+    fn read_u32(&mut self) -> Result<u32, CheckpointError> {
+        let mut b = [0u8; 4];
+        self.read_exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn read_u64(&mut self) -> Result<u64, CheckpointError> {
+        let mut b = [0u8; 8];
+        self.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+}
+
+/// Reads a checkpoint (v1 or v2) from any reader.
+///
+/// # Errors
+///
+/// See [`load`].
+pub fn read_checkpoint<R: Read>(r: &mut R) -> Result<Checkpoint, CheckpointError> {
+    let mut cr = CrcReader {
+        inner: r,
+        crc: Crc32::new(),
+    };
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
+    cr.read_exact(&mut magic)?;
     if &magic != MAGIC {
         return Err(CheckpointError::Corrupt("bad magic"));
     }
-    let version = read_u32(r)?;
-    if version != VERSION {
+    let version = cr.read_u32()?;
+    if version != VERSION_V1 && version != VERSION {
         return Err(CheckpointError::Corrupt("unsupported version"));
     }
-    let num_qubits = read_u32(r)? as usize;
+    let num_qubits = cr.read_u32()? as usize;
     if num_qubits == 0 || num_qubits >= 48 {
         return Err(CheckpointError::Corrupt("implausible qubit count"));
     }
-    let segment_count = read_u32(r)? as usize;
+    let gates_done = if version >= VERSION {
+        cr.read_u64()?
+    } else {
+        0
+    };
+    let segment_count = cr.read_u32()? as usize;
     if segment_count == 0 || segment_count > 1 << 20 {
         return Err(CheckpointError::Corrupt("implausible segment count"));
     }
     let mut segments = Vec::with_capacity(segment_count);
     for _ in 0..segment_count {
-        let mut len_bytes = [0u8; 8];
-        r.read_exact(&mut len_bytes)?;
-        let len = u64::from_le_bytes(len_bytes) as usize;
+        let len = cr.read_u64()? as usize;
         if len > (1usize << num_qubits) * 20 + 64 {
             return Err(CheckpointError::Corrupt("implausible segment length"));
         }
+        let seg_crc = if version >= VERSION {
+            Some(cr.read_u32()?)
+        } else {
+            None
+        };
         let mut seg = vec![0u8; len];
-        r.read_exact(&mut seg)?;
+        cr.read_exact(&mut seg)?;
+        if let Some(expected) = seg_crc {
+            if qgpu_faults::crc32(&seg) != expected {
+                return Err(CheckpointError::Corrupt("segment CRC mismatch"));
+            }
+        }
         segments.push(seg);
+    }
+    if version >= VERSION {
+        let computed = cr.crc.finish();
+        let mut trailer = [0u8; 4];
+        cr.inner.read_exact(&mut trailer)?;
+        if u32::from_le_bytes(trailer) != computed {
+            return Err(CheckpointError::Corrupt("file checksum mismatch"));
+        }
     }
     let compressed = qgpu_compress::Compressed::from_parts(1usize << (num_qubits + 1), segments);
     let codec = codec_for(num_qubits);
@@ -162,13 +309,10 @@ pub fn read_from<R: Read>(r: &mut R) -> Result<StateVector, CheckpointError> {
     if amps.len() != 1usize << num_qubits {
         return Err(CheckpointError::Corrupt("amplitude count mismatch"));
     }
-    Ok(StateVector::from_amplitudes(amps))
-}
-
-fn read_u32<R: Read>(r: &mut R) -> Result<u32, CheckpointError> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
+    Ok(Checkpoint {
+        state: StateVector::from_amplitudes(amps),
+        gates_done,
+    })
 }
 
 /// Segment count scaled to the state (≥ 8 micro-chunks per segment).
@@ -250,15 +394,82 @@ mod tests {
         write_to(&state, &mut buf).expect("write");
         let mid = buf.len() / 2;
         buf[mid] ^= 0xff;
-        // Either structural (Corrupt/Decode) or count-mismatch — but
-        // never a silent wrong state.
-        match read_from(&mut buf.as_slice()) {
-            Err(_) => {}
-            Ok(restored) => {
-                // A bit flip in payload bytes decodes to different
-                // amplitudes; it must not equal the original.
-                assert!(restored.max_deviation(&state) > 0.0);
-            }
+        // v2 CRCs make this unconditional: any payload bit flip is
+        // caught, never a silently different state.
+        assert!(read_from(&mut buf.as_slice()).is_err());
+    }
+
+    /// Writes the legacy v1 layout (no gates_done, no CRCs) byte by
+    /// byte — the compatibility fixture for the v1 read path.
+    fn write_v1(state: &StateVector, w: &mut Vec<u8>) {
+        let codec = codec_for(state.num_qubits());
+        let compressed = codec.compress_amplitudes(state.amps());
+        w.extend_from_slice(MAGIC);
+        w.extend_from_slice(&VERSION_V1.to_le_bytes());
+        w.extend_from_slice(&(state.num_qubits() as u32).to_le_bytes());
+        w.extend_from_slice(&(compressed.num_segments() as u32).to_le_bytes());
+        for i in 0..compressed.num_segments() {
+            let seg = compressed.segment(i);
+            w.extend_from_slice(&(seg.len() as u64).to_le_bytes());
+            w.extend_from_slice(seg);
+        }
+    }
+
+    #[test]
+    fn still_reads_version_1_files() {
+        let state = benchmark_state(Benchmark::Qft, 9);
+        let mut buf = Vec::new();
+        write_v1(&state, &mut buf);
+        let ckpt = read_checkpoint(&mut buf.as_slice()).expect("v1 read");
+        assert_eq!(ckpt.gates_done, 0, "v1 has no progress marker");
+        for (a, b) in state.amps().iter().zip(ckpt.state.amps().iter()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn progress_marker_roundtrips() {
+        let state = benchmark_state(Benchmark::Qaoa, 9);
+        let path = temp_path("progress");
+        save_with_progress(&state, 137, &path).expect("save");
+        let ckpt = load_with_progress(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(ckpt.gates_done, 137);
+        assert!(ckpt.state.max_deviation(&state) == 0.0);
+    }
+
+    #[test]
+    fn v2_truncation_is_caught_at_every_cut() {
+        let state = benchmark_state(Benchmark::Gs, 8);
+        let mut buf = Vec::new();
+        write_to_with_progress(&state, 5, &mut buf).expect("write");
+        // Chop at a spread of positions, including mid-trailer: all must
+        // error (Io on short reads, Corrupt on checksum damage).
+        for cut in [0, 7, 11, 13, buf.len() / 3, buf.len() / 2, buf.len() - 2] {
+            let mut short = buf.clone();
+            short.truncate(cut);
+            assert!(
+                read_checkpoint(&mut short.as_slice()).is_err(),
+                "truncation at {cut} slipped through"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_single_bit_flips_are_caught_everywhere() {
+        let state = benchmark_state(Benchmark::Hchain, 8);
+        let mut buf = Vec::new();
+        write_to_with_progress(&state, 9, &mut buf).expect("write");
+        // Flip one bit at a sweep of offsets covering the header, the
+        // progress marker, segment framing, payload, and the trailer.
+        for pos in (0..buf.len()).step_by(13).chain([buf.len() - 1]) {
+            let mut bad = buf.clone();
+            bad[pos] ^= 0x10;
+            assert!(
+                read_checkpoint(&mut bad.as_slice()).is_err(),
+                "bit flip at byte {pos} slipped through"
+            );
         }
     }
 }

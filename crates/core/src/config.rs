@@ -1,6 +1,7 @@
 //! Simulation configuration: execution version and platform knobs.
 
 use qgpu_device::Platform;
+use qgpu_faults::{FaultConfig, RetryPolicy};
 use qgpu_sched::reorder::ReorderStrategy;
 use serde::{Deserialize, Serialize};
 
@@ -153,6 +154,28 @@ pub struct SimConfig {
     /// drift report. Off by default: disabled instrumentation is a
     /// branch on `None`.
     pub obs_spans: bool,
+    /// Seeded fault-injection probabilities (all zero by default — no
+    /// faults). Nonzero rates exercise the resilient pipeline: CRC-checked
+    /// transfers with bounded retry, codec-failure fallback to raw
+    /// transfer, corrupted-mask fallback to full-chunk execution, worker
+    /// death recovery, and a deterministic fatal fault for
+    /// checkpoint-resume testing.
+    pub faults: FaultConfig,
+    /// Retry/backoff policy for integrity failures; backoff is charged to
+    /// the modeled timeline as [`qgpu_device::timeline::TaskKind::Backoff`]
+    /// spans.
+    pub retry: RetryPolicy,
+    /// Compute per-chunk CRC32 integrity tags on every streamed transfer
+    /// even when no faults are injected — the always-on cost the
+    /// `fault_overhead` bench bounds. Implied whenever any fault rate is
+    /// nonzero.
+    pub integrity_checks: bool,
+    /// Write a checkpoint every N program ops (0 disables). Requires
+    /// [`SimConfig::checkpoint_path`].
+    pub checkpoint_every: u64,
+    /// Where periodic checkpoints are written (format v2, carrying the
+    /// op index for [`crate::Simulator::try_run_from`] resume).
+    pub checkpoint_path: Option<String>,
 }
 
 impl SimConfig {
@@ -172,6 +195,11 @@ impl SimConfig {
             threads: 1,
             gate_fusion: false,
             obs_spans: false,
+            faults: FaultConfig::default(),
+            retry: RetryPolicy::default(),
+            integrity_checks: false,
+            checkpoint_every: 0,
+            checkpoint_path: None,
         }
     }
 
@@ -259,6 +287,44 @@ impl SimConfig {
     pub fn with_obs_spans(mut self) -> Self {
         self.obs_spans = true;
         self
+    }
+
+    /// Sets the fault-injection configuration (see [`SimConfig::faults`]).
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Overrides the retry/backoff policy (see [`SimConfig::retry`]).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables CRC integrity tags on every transfer even with zero fault
+    /// rates (see [`SimConfig::integrity_checks`]).
+    pub fn with_integrity_checks(mut self) -> Self {
+        self.integrity_checks = true;
+        self
+    }
+
+    /// Enables periodic checkpointing: a v2 checkpoint is written to
+    /// `path` every `every` program ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    pub fn with_checkpointing(mut self, every: u64, path: impl Into<String>) -> Self {
+        assert!(every > 0, "checkpoint interval must be positive");
+        self.checkpoint_every = every;
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// True when the resilient pipeline (CRC tags, retry modeling,
+    /// degradation fallbacks) is active.
+    pub fn resilience_active(&self) -> bool {
+        self.integrity_checks || self.faults.any_enabled()
     }
 
     /// The chunk size in qubits for an `n`-qubit circuit (the *static*

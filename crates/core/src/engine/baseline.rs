@@ -20,10 +20,12 @@ use std::sync::Arc;
 use qgpu_circuit::Circuit;
 use qgpu_device::timeline::{Engine, TaskKind, Timeline};
 use qgpu_device::ExecutionReport;
+use qgpu_faults::{FaultInjector, SimError};
 use qgpu_obs::{span_opt, Recorder, Stage, Track};
 use qgpu_sched::plan::{ChunkTask, GatePlan};
 use qgpu_statevec::{ChunkExecutor, ChunkedState};
 
+use crate::checkpoint::Checkpoint;
 use crate::config::SimConfig;
 use crate::engine::flops_per_amp;
 use crate::engine::streaming::copy_with_dma;
@@ -40,7 +42,8 @@ pub(crate) fn run(
     circuit: &Circuit,
     cfg: &SimConfig,
     recorder: Option<&Arc<Recorder>>,
-) -> RunResult {
+    resume: Option<&Checkpoint>,
+) -> Result<RunResult, SimError> {
     let rec = recorder.map(Arc::as_ref);
     let n = circuit.num_qubits();
     let chunk_bits = cfg.chunk_bits_for(n);
@@ -61,7 +64,33 @@ pub(crate) fn run(
         }
     };
 
-    let mut state = ChunkedState::new_zero(n, chunk_bits);
+    let program = {
+        let _g = span_opt(rec, Track::Main, Stage::Plan, "engine.program");
+        crate::engine::program_for(circuit, cfg)
+    };
+    let start = match resume {
+        Some(ck) => {
+            if ck.state.num_qubits() != n {
+                return Err(SimError::Checkpoint(format!(
+                    "checkpoint has {} qubits but circuit has {n}",
+                    ck.state.num_qubits()
+                )));
+            }
+            if ck.gates_done > program.len() as u64 {
+                return Err(SimError::Checkpoint(format!(
+                    "checkpoint is {} ops in but the program has only {}",
+                    ck.gates_done,
+                    program.len()
+                )));
+            }
+            ck.gates_done as usize
+        }
+        None => 0,
+    };
+    let mut state = match resume {
+        Some(ck) => ChunkedState::from_flat(&ck.state, chunk_bits),
+        None => ChunkedState::new_zero(n, chunk_bits),
+    };
     let mut tl = if cfg.trace_events > 0 {
         Timeline::with_trace(cfg.trace_events)
     } else {
@@ -71,17 +100,38 @@ pub(crate) fn run(
     let host = &cfg.platform.host;
     let mut gate_ready = 0.0f64;
 
-    let mut executor = ChunkExecutor::new(cfg.threads);
+    // A worker-death campaign honors the configured thread count exactly
+    // (no clamping to the host's cores), so the multi-worker partitioning
+    // paths under test run even on small machines.
+    let mut executor = if cfg.faults.p_worker_death > 0.0 {
+        ChunkExecutor::with_exact_threads(cfg.threads)
+            .with_faults(Arc::new(FaultInjector::new(cfg.faults)))
+    } else {
+        ChunkExecutor::new(cfg.threads)
+    };
     if let Some(arc) = recorder {
         executor = executor.with_recorder(Arc::clone(arc));
     }
-    let program = {
-        let _g = span_opt(rec, Track::Main, Stage::Plan, "engine.program");
-        crate::engine::program_for(circuit, cfg)
-    };
     tl.set_gates_fused(qgpu_circuit::fuse::gates_fused(&program) as u64);
+    let mut last_ckpt = start as u64;
 
-    for fop in &program {
+    for (idx, fop) in program.iter().enumerate().skip(start) {
+        if cfg.checkpoint_every > 0 && idx as u64 >= last_ckpt + cfg.checkpoint_every {
+            if let Some(path) = cfg.checkpoint_path.as_deref() {
+                crate::checkpoint::save_with_progress(&state.to_flat(), idx as u64, path)
+                    .map_err(|e| SimError::Checkpoint(e.to_string()))?;
+                last_ckpt = idx as u64;
+                if let Some(r) = rec {
+                    r.add("checkpoints.written", 1);
+                }
+            }
+        }
+        if idx >= cfg.faults.fail_at_gate {
+            return Err(SimError::Fatal {
+                gate: idx,
+                reason: "injected fatal fault".to_string(),
+            });
+        }
         let action = fop.collapsed();
         let plan = GatePlan::new_observed(action, chunk_bits, num_chunks, rec);
         let fpa = flops_per_amp(action);
@@ -217,23 +267,40 @@ pub(crate) fn run(
         }
         if !singles.is_empty() {
             let _g = span_opt(rec, Track::Main, Stage::Update, "update.local");
-            executor.apply_local_run(&mut state, fop.actions(), &singles);
+            let restarts = executor.try_apply_local_run(&mut state, fop.actions(), &singles)?;
+            if restarts > 0 {
+                tl.count_worker_restarts(restarts);
+                if let Some(r) = rec {
+                    r.add("worker.restarts", restarts);
+                }
+            }
         }
         if !groups.is_empty() {
             let _g = span_opt(rec, Track::Main, Stage::Update, "update.group");
-            executor.apply_group_runs(&mut state, fop.actions(), &groups, plan.high_mixing());
+            let restarts = executor.try_apply_group_runs(
+                &mut state,
+                fop.actions(),
+                &groups,
+                plan.high_mixing(),
+            )?;
+            if restarts > 0 {
+                tl.count_worker_restarts(restarts);
+                if let Some(r) = rec {
+                    r.add("worker.restarts", restarts);
+                }
+            }
         }
     }
 
     let report = ExecutionReport::from_timeline(&tl, num_gpus);
-    RunResult {
+    Ok(RunResult {
         version: cfg.version,
         circuit_name: circuit.name().to_string(),
         state: cfg.collect_state.then(|| state.to_flat()),
         report,
         trace: tl.trace().to_vec(),
         obs: None,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -244,7 +311,7 @@ mod tests {
     use qgpu_device::Platform;
 
     fn run_cfg(c: &Circuit, cfg: SimConfig) -> RunResult {
-        run(c, &cfg.with_version(Version::Baseline), None)
+        run(c, &cfg.with_version(Version::Baseline), None, None).expect("baseline run")
     }
 
     #[test]
@@ -266,7 +333,7 @@ mod tests {
         // state fits and the baseline uses only the GPU.
         let c = Benchmark::Qft.generate(10);
         let cfg = SimConfig::new(Platform::paper_p100()).with_version(Version::Baseline);
-        let r = run(&c, &cfg, None);
+        let r = run(&c, &cfg, None, None).expect("baseline run");
         assert_eq!(r.report.host_time, 0.0);
         assert_eq!(r.report.bytes_h2d, 0);
         assert!(r.report.gpu_time > 0.0);

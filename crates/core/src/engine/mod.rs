@@ -26,8 +26,10 @@ use std::sync::Arc;
 use qgpu_circuit::access::GateAction;
 use qgpu_circuit::fuse::{self, FusedOp};
 use qgpu_circuit::Circuit;
+use qgpu_faults::SimError;
 use qgpu_obs::Recorder;
 
+use crate::checkpoint::Checkpoint;
 use crate::config::{SimConfig, Version};
 use crate::result::{ObsData, RunResult};
 
@@ -87,13 +89,40 @@ impl Simulator {
     ///
     /// # Panics
     ///
-    /// Panics if the circuit has zero qubits (unconstructible) or more
-    /// qubits than fit in memory.
+    /// Panics if the circuit has zero qubits (unconstructible), has more
+    /// qubits than fit in memory, or the run fails with a [`SimError`]
+    /// (injected fatal faults, exhausted retries, checkpoint I/O). Use
+    /// [`Simulator::try_run`] to handle failures as values.
     pub fn run(&self, circuit: &Circuit) -> RunResult {
+        self.try_run(circuit).expect("simulation failed")
+    }
+
+    /// Runs a circuit, surfacing resilience failures as a [`SimError`]
+    /// instead of panicking.
+    ///
+    /// Errors are only possible when fault injection or checkpointing is
+    /// configured (or a worker thread genuinely panics); an unconfigured
+    /// run never fails.
+    pub fn try_run(&self, circuit: &Circuit) -> Result<RunResult, SimError> {
+        self.try_run_from(circuit, None)
+    }
+
+    /// Runs a circuit, optionally resuming from a [`Checkpoint`] written
+    /// by a previous (possibly fatally-interrupted) run.
+    ///
+    /// The checkpoint's `gates_done` counts *program ops* — the circuit,
+    /// fusion and reorder settings must match the run that wrote it, or
+    /// an [`SimError::Checkpoint`] is returned / the resumed state is
+    /// meaningless. Timing restarts at zero for the resumed segment.
+    pub fn try_run_from(
+        &self,
+        circuit: &Circuit,
+        resume: Option<&Checkpoint>,
+    ) -> Result<RunResult, SimError> {
         let recorder = self.config.obs_spans.then(|| Arc::new(Recorder::new()));
         let mut result = match self.config.version {
-            Version::Baseline => baseline::run(circuit, &self.config, recorder.as_ref()),
-            _ => streaming::run(circuit, &self.config, recorder.as_ref()),
+            Version::Baseline => baseline::run(circuit, &self.config, recorder.as_ref(), resume)?,
+            _ => streaming::run(circuit, &self.config, recorder.as_ref(), resume)?,
         };
         if let Some(rec) = recorder {
             result.obs = Some(ObsData {
@@ -102,7 +131,7 @@ impl Simulator {
                 wall_s: rec.elapsed_s(),
             });
         }
-        result
+        Ok(result)
     }
 }
 

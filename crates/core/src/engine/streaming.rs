@@ -29,6 +29,7 @@ use qgpu_circuit::Circuit;
 use qgpu_compress::GfcCodec;
 use qgpu_device::timeline::{Engine, TaskKind, Timeline};
 use qgpu_device::ExecutionReport;
+use qgpu_faults::{FaultInjector, FaultSite, RetryPolicy, SimError};
 use qgpu_math::Complex64;
 use qgpu_obs::{span_opt, Recorder, Stage, Track};
 use qgpu_sched::plan::{ChunkTask, GatePlan};
@@ -36,6 +37,7 @@ use qgpu_sched::residency::RoundRobin;
 use qgpu_sched::InvolvementTracker;
 use qgpu_statevec::{ChunkExecutor, ChunkedState};
 
+use crate::checkpoint::Checkpoint;
 use crate::config::SimConfig;
 use crate::engine::flops_per_amp;
 use crate::result::RunResult;
@@ -84,11 +86,260 @@ pub(crate) fn copy_with_dma(
     )
 }
 
+/// Per-chunk compressed size recorded as "the codec failed, move raw"
+/// (see the codec-failure degradation path).
+const RAW_FALLBACK: usize = usize::MAX;
+
+/// Upper bound on `chunk_bits`, sizing the flat all-zero-tag cache.
+const MAX_CHUNK_BITS: usize = 64;
+
+/// A chunk's amplitudes as raw bytes, for checksumming.
+fn amp_bytes(amps: &[Complex64]) -> &[u8] {
+    // SAFETY: `Complex64` is two `f64`s with no padding; an initialized
+    // amplitude slice is readable as plain bytes.
+    unsafe { std::slice::from_raw_parts(amps.as_ptr().cast::<u8>(), std::mem::size_of_val(amps)) }
+}
+
+/// The resilient pipeline's working state: the seeded injector, the retry
+/// policy, deterministic occurrence counters for each fault site (the
+/// engine loop issues them serially, so a given seed replays identically),
+/// and the per-chunk integrity tags.
+///
+/// Tag storage is flat-indexed, not hashed: a qft_20 run visits tens of
+/// millions of (chunk, transfer) pairs, and at that volume per-visit
+/// `HashMap` traffic alone blows the `fault_overhead` budget.
+struct Resilience {
+    inj: FaultInjector,
+    retry: RetryPolicy,
+    transfers: u64,
+    codec_ops: u64,
+    kernels: u64,
+    /// Last tag computed for each chunk (indexed by chunk number),
+    /// refreshed on every arrival.
+    tags: Vec<Option<u32>>,
+    /// Tag of an all-zero chunk, indexed by chunk size — it never changes.
+    zero_tag: [Option<u32>; MAX_CHUNK_BITS],
+}
+
+impl Resilience {
+    fn new(cfg: &SimConfig) -> Self {
+        Resilience {
+            inj: FaultInjector::new(cfg.faults),
+            retry: cfg.retry,
+            transfers: 0,
+            codec_ops: 0,
+            kernels: 0,
+            tags: Vec::new(),
+            zero_tag: [None; MAX_CHUNK_BITS],
+        }
+    }
+
+    /// Tag of an all-zero chunk of `chunk_bits` — computed once per size,
+    /// then a flat array read.
+    fn zero_tag(&mut self, chunk_bits: u32) -> u32 {
+        *self.zero_tag[chunk_bits as usize].get_or_insert_with(|| {
+            let zeros = vec![0u8; 16usize << chunk_bits];
+            qgpu_faults::fast_checksum(&zeros)
+        })
+    }
+
+    /// Grows the tag table to cover chunk indices in `members`.
+    fn reserve_tags(&mut self, members: &[usize]) {
+        let max = members.iter().copied().max().map_or(0, |m| m + 1);
+        if max > self.tags.len() {
+            self.tags.resize(max, None);
+        }
+    }
+
+    /// Encode-time sealing: the GFC encoder computes the chunk's tag in
+    /// the same pass that sizes the compressed stream — the amplitudes
+    /// are cache-hot from the codec walk, so the checksum is nearly free
+    /// (the same fusion zstd uses for its content checksum). The tag
+    /// then travels with the compressed chunk; no separate arrival pass
+    /// is needed.
+    fn seal_at_encode(&mut self, m: usize, amps: &[Complex64]) {
+        if m >= self.tags.len() {
+            self.tags.resize(m + 1, None);
+        }
+        self.tags[m] = Some(qgpu_faults::fast_checksum(amp_bytes(amps)));
+    }
+
+    /// Encode-time sealing of an all-zero chunk (cached per chunk size).
+    fn seal_zero_at_encode(&mut self, m: usize, chunk_bits: u32) {
+        if m >= self.tags.len() {
+            self.tags.resize(m + 1, None);
+        }
+        let zero = self.zero_tag(chunk_bits);
+        self.tags[m] = Some(zero);
+    }
+
+    /// Upload-side integrity: a departing chunk carries the tag computed
+    /// when it last arrived at the host — checksums travel with the data,
+    /// and in the machine being modeled host chunk buffers are written
+    /// only by D2H arrivals, so the arrival tag is still valid at the next
+    /// upload. Chunks never tagged before are sealed now (one real CRC
+    /// pass, mostly the cached all-zero tag early in a run). Members for
+    /// which `skip` returns true are pruned from the transfer and don't
+    /// move.
+    fn seal_for_upload(
+        &mut self,
+        state: &ChunkedState,
+        members: &[usize],
+        chunk_bits: u32,
+        skip: impl Fn(usize) -> bool,
+    ) {
+        self.reserve_tags(members);
+        let zero = self.zero_tag(chunk_bits);
+        for &m in members {
+            if skip(m) || self.tags[m].is_some() {
+                continue;
+            }
+            self.tags[m] = Some(match state.chunk(m) {
+                Some(amps) => qgpu_faults::fast_checksum(amp_bytes(amps)),
+                None => zero,
+            });
+        }
+    }
+
+    /// Arrival-side integrity for chunks that move *without* an encode
+    /// pass (uncompressed versions, and raw codec-failure fallbacks):
+    /// re-tag each chunk that just crossed the link — one real CRC pass
+    /// per round trip, the honest cost the `fault_overhead` bench
+    /// bounds. Compressed chunks skip this: their tag was sealed at
+    /// encode time and travels with the data. Either way the functional
+    /// bytes cannot actually rot in memory, so a *mismatch* is the
+    /// injector's decision, made inside [`transfer_with_integrity`]'s
+    /// retry loop. Members for which `skip` returns true didn't move.
+    fn verify_on_arrival(
+        &mut self,
+        state: &ChunkedState,
+        members: &[usize],
+        chunk_bits: u32,
+        skip: impl Fn(usize) -> bool,
+    ) {
+        self.reserve_tags(members);
+        let zero = self.zero_tag(chunk_bits);
+        for &m in members {
+            if skip(m) {
+                continue;
+            }
+            self.tags[m] = Some(match state.chunk(m) {
+                Some(amps) => qgpu_faults::fast_checksum(amp_bytes(amps)),
+                None => zero,
+            });
+        }
+    }
+
+    /// Chunk-size re-partitioning renumbers chunks: every cached tag is
+    /// stale and must be dropped.
+    fn on_repartition(&mut self) {
+        self.tags.iter_mut().for_each(|t| *t = None);
+    }
+
+    /// Whether this op's involvement mask reads back corrupted — the
+    /// pruning decision is then untrustworthy and the gate falls back to
+    /// full-chunk execution.
+    fn mask_corrupt(&self, op: usize) -> bool {
+        self.inj.fires(FaultSite::MaskCorrupt, op as u64)
+    }
+
+    /// Whether the GFC encoder fails on this chunk occurrence (the
+    /// pipeline then moves the chunk raw).
+    fn codec_fails(&mut self) -> bool {
+        let i = self.codec_ops;
+        self.codec_ops += 1;
+        self.inj.fires(FaultSite::CodecFail, i)
+    }
+
+    /// Modeled-time multiplier for the next kernel (1.0 unless a stage
+    /// slowdown fires).
+    fn kernel_stretch(&mut self) -> f64 {
+        let i = self.kernels;
+        self.kernels += 1;
+        self.inj.slowdown(i)
+    }
+}
+
+/// [`copy_with_dma`] under integrity checking: after each modeled
+/// transfer the injector decides whether the arrival CRC matched. A
+/// mismatch costs a [`TaskKind::Backoff`] span on the link engine and a
+/// full retransmit; after `max_retries` consumed attempts the transfer is
+/// abandoned with [`SimError::ChunkCorrupt`]. With `resil == None` this
+/// is exactly `copy_with_dma`.
+#[allow(clippy::too_many_arguments)]
+fn transfer_with_integrity(
+    tl: &mut Timeline,
+    dma_engine: Engine,
+    link_engine: Engine,
+    kind: TaskKind,
+    mut ready: f64,
+    bytes: u64,
+    link: &qgpu_device::LinkSpec,
+    copy_bw: f64,
+    resil: Option<&mut Resilience>,
+    rec: Option<&Recorder>,
+) -> Result<qgpu_device::Span, SimError> {
+    let Some(rs) = resil else {
+        return Ok(copy_with_dma(
+            tl,
+            dma_engine,
+            link_engine,
+            kind,
+            ready,
+            bytes,
+            link,
+            copy_bw,
+        ));
+    };
+    let index = rs.transfers;
+    rs.transfers += 1;
+    let mut attempt: u32 = 0;
+    loop {
+        let span = copy_with_dma(
+            tl,
+            dma_engine,
+            link_engine,
+            kind,
+            ready,
+            bytes,
+            link,
+            copy_bw,
+        );
+        if !rs
+            .inj
+            .fires_attempt(FaultSite::TransferCorrupt, index, attempt)
+        {
+            return Ok(span);
+        }
+        if attempt >= rs.retry.max_retries {
+            return Err(SimError::ChunkCorrupt {
+                chunk: index as usize,
+                attempts: attempt + 1,
+            });
+        }
+        // Arrival CRC mismatched: back off (modeled), then retransmit.
+        let b = tl.schedule(
+            link_engine,
+            span.end,
+            rs.retry.backoff_s(attempt),
+            TaskKind::Backoff,
+            0,
+        );
+        tl.count_chunk_retry();
+        if let Some(r) = rec {
+            r.add("chunk.retries", 1);
+        }
+        ready = b.end;
+        attempt += 1;
+    }
+}
+
 pub(crate) fn run(
     circuit: &Circuit,
     cfg: &SimConfig,
     recorder: Option<&Arc<Recorder>>,
-) -> RunResult {
+    resume: Option<&Checkpoint>,
+) -> Result<RunResult, SimError> {
     let rec = recorder.map(Arc::as_ref);
     let version = cfg.version;
     let circuit_owned;
@@ -117,7 +368,44 @@ pub(crate) fn run(
     let overhead_bytes = (2.0 * cfg.platform.link(0).latency + cfg.platform.gpu(0).kernel_launch)
         * cfg.platform.link(0).bw_per_direction;
 
+    // The executable program: fused runs (after any reorder) or a 1:1
+    // lowering. Timing and chunk plans come from each op's collapsed
+    // kernel; the functional update replays the member gates exactly.
+    let program = {
+        let _g = span_opt(rec, Track::Main, Stage::Plan, "engine.program");
+        crate::engine::program_for(circuit, cfg)
+    };
+
+    // Resume: pick up at the checkpoint's op index. The checkpoint must
+    // come from a run with the same circuit and config — `gates_done`
+    // counts *program* ops, which depend on fusion and reorder settings.
+    let start = match resume {
+        Some(ck) => {
+            if ck.state.num_qubits() != n {
+                return Err(SimError::Checkpoint(format!(
+                    "checkpoint has {} qubits, circuit has {n}",
+                    ck.state.num_qubits()
+                )));
+            }
+            if ck.gates_done as usize > program.len() {
+                return Err(SimError::Checkpoint(format!(
+                    "checkpoint is {} ops in, program has only {}",
+                    ck.gates_done,
+                    program.len()
+                )));
+            }
+            ck.gates_done as usize
+        }
+        None => 0,
+    };
+
+    // Involvement replays instantly for the skipped prefix: masks are
+    // pure functions of the program, no amplitudes needed.
     let mut tracker = InvolvementTracker::new(n);
+    for f in &program[..start] {
+        tracker.involve_mask(f.qubit_mask());
+    }
+
     let dynamic_chunks = version.has_pruning() && cfg.dynamic_chunk_size;
     let mut chunk_bits = if dynamic_chunks {
         tracker.optimal_chunk_bits(base_chunk_bits, overhead_bytes)
@@ -125,12 +413,18 @@ pub(crate) fn run(
         base_chunk_bits
     };
     let mut codec = codec_for(chunk_bits);
-    let mut state = ChunkedState::new_zero(n, chunk_bits);
+    let mut state = match resume {
+        Some(ck) => ChunkedState::from_flat(&ck.state, chunk_bits),
+        None => ChunkedState::new_zero(n, chunk_bits),
+    };
     let mut tl = if cfg.trace_events > 0 {
         Timeline::with_trace(cfg.trace_events)
     } else {
         Timeline::new()
     };
+
+    let mut resil = cfg.resilience_active().then(|| Resilience::new(cfg));
+    let mut last_ckpt = start as u64;
 
     // Compressed representation held by the CPU, per chunk (bytes).
     let mut compressed: HashMap<usize, usize> = HashMap::new();
@@ -144,21 +438,43 @@ pub(crate) fn run(
     // Compressed size of an all-zero chunk, per chunk_bits (cached).
     let mut zero_chunk_size: HashMap<u32, usize> = HashMap::new();
 
-    // The executable program: fused runs (after any reorder) or a 1:1
-    // lowering. Timing and chunk plans come from each op's collapsed
-    // kernel; the functional update replays the member gates exactly.
-    let mut executor = ChunkExecutor::new(cfg.threads);
+    // A worker-death campaign honors the configured thread count exactly
+    // (no clamping to the host's cores): the multi-worker partitioning
+    // paths under test must run even on small machines, and the recovered
+    // result is bitwise identical at every thread count.
+    let mut executor = if cfg.faults.p_worker_death > 0.0 {
+        ChunkExecutor::with_exact_threads(cfg.threads)
+            .with_faults(Arc::new(FaultInjector::new(cfg.faults)))
+    } else {
+        ChunkExecutor::new(cfg.threads)
+    };
     if let Some(arc) = recorder {
         executor = executor.with_recorder(Arc::clone(arc));
     }
-    let program = {
-        let _g = span_opt(rec, Track::Main, Stage::Plan, "engine.program");
-        crate::engine::program_for(circuit, cfg)
-    };
     tl.set_gates_fused(qgpu_circuit::fuse::gates_fused(&program) as u64);
 
-    let mut idx = 0usize;
+    let mut idx = start;
     while idx < program.len() {
+        // Periodic checkpoint, then the injected fatal fault — in that
+        // order, so a run killed at op `k` resumes from the newest
+        // checkpoint at or before `k`.
+        if cfg.checkpoint_every > 0 && idx as u64 >= last_ckpt + cfg.checkpoint_every {
+            if let Some(path) = &cfg.checkpoint_path {
+                crate::checkpoint::save_with_progress(&state.to_flat(), idx as u64, path)
+                    .map_err(|e| SimError::Checkpoint(e.to_string()))?;
+                last_ckpt = idx as u64;
+                if let Some(r) = rec {
+                    r.add("checkpoints.written", 1);
+                }
+            }
+        }
+        if idx >= cfg.faults.fail_at_gate {
+            return Err(SimError::Fatal {
+                gate: idx,
+                reason: "injected fatal fault".to_string(),
+            });
+        }
+
         // Dynamic chunk sizing (Algorithm 1's getChunkSize).
         if dynamic_chunks {
             let nb = tracker.optimal_chunk_bits(base_chunk_bits, overhead_bytes);
@@ -172,6 +488,9 @@ pub(crate) fn run(
                 chain = chain.max(epoch_floor);
                 last_d2h.clear();
                 compressed.clear();
+                if let Some(rs) = resil.as_mut() {
+                    rs.on_repartition();
+                }
                 for w in &mut windows {
                     w.slots.clear();
                     w.inflight = 0;
@@ -188,6 +507,20 @@ pub(crate) fn run(
         // A run of chunk-local ops shares a single chunk round trip.
         let is_local = |a: &GateAction| a.mixing_qubits().iter().all(|&q| (q as u32) < chunk_bits);
         if cfg.batch_local_gates && is_local(action) {
+            // A corrupted involvement mask (decided once per batch — the
+            // pruning decision is evaluated once per batch) means no chunk
+            // is provably zero: fall back to full-chunk execution.
+            let prune_ok = match &resil {
+                Some(rs) if version.has_pruning() && rs.mask_corrupt(idx) => {
+                    tl.count_prune_fallback();
+                    if let Some(r) = rec {
+                        r.add("prune.fallbacks", 1);
+                    }
+                    false
+                }
+                _ => true,
+            };
+            let pruning = version.has_pruning() && prune_ok;
             let mut batch: Vec<&FusedOp> = vec![fop];
             idx += 1;
             while idx < program.len() && batch.len() < MAX_BATCH {
@@ -219,7 +552,7 @@ pub(crate) fn run(
                 .collect();
 
             for chunk in 0..num_chunks {
-                if version.has_pruning() && tracker.chunk_is_zero(chunk, chunk_bits) {
+                if pruning && tracker.chunk_is_zero(chunk, chunk_bits) {
                     tl.count_pruned(batch.len() as u64);
                     if let Some(r) = rec {
                         r.add("chunks.pruned", batch.len() as u64);
@@ -263,7 +596,10 @@ pub(crate) fn run(
                 } else {
                     ready = ready.max(chain);
                 }
-                let h2d = copy_with_dma(
+                if let Some(rs) = resil.as_mut() {
+                    rs.seal_for_upload(&state, &[chunk], chunk_bits, |_| false);
+                }
+                let h2d = transfer_with_integrity(
                     &mut tl,
                     Engine::HostDmaOut,
                     Engine::H2d(gpu),
@@ -272,7 +608,9 @@ pub(crate) fn run(
                     h2d_bytes,
                     link,
                     cfg.platform.host.copy_bw,
-                );
+                    resil.as_mut(),
+                    rec,
+                )?;
                 let mut compute_ready = h2d.end;
                 if raw_up_compressed > 0 {
                     let d = tl.schedule(
@@ -288,10 +626,12 @@ pub(crate) fn run(
                 {
                     let _g = span_opt(rec, Track::Main, Stage::Update, "update.batch");
                     for &i in &applicable {
+                        let stretch = resil.as_mut().map_or(1.0, Resilience::kernel_stretch);
                         let kernel = tl.schedule(
                             Engine::GpuCompute(gpu),
                             compute_ready,
-                            chunk_bytes as f64 / gspec.update_bw() + gspec.kernel_launch,
+                            (chunk_bytes as f64 / gspec.update_bw() + gspec.kernel_launch)
+                                * stretch,
                             TaskKind::Kernel,
                             chunk_bytes,
                         );
@@ -302,7 +642,17 @@ pub(crate) fn run(
                         if batch[i].is_fused() {
                             tl.count_fused_kernel();
                         }
-                        executor.apply_local_run(&mut state, batch[i].actions(), &[chunk]);
+                        let restarts = executor.try_apply_local_run(
+                            &mut state,
+                            batch[i].actions(),
+                            &[chunk],
+                        )?;
+                        if restarts > 0 {
+                            tl.count_worker_restarts(restarts);
+                            if let Some(r) = rec {
+                                r.add("worker.restarts", restarts);
+                            }
+                        }
                     }
                 }
                 tl.count_processed(applicable.len() as u64);
@@ -314,32 +664,60 @@ pub(crate) fn run(
                 // Download once.
                 let mut d2h_ready = compute_ready;
                 let mut d2h_bytes = 0u64;
-                if version.has_pruning() && tracker_end.chunk_is_zero(chunk, chunk_bits) {
+                let mut sealed_at_encode = false;
+                if pruning && tracker_end.chunk_is_zero(chunk, chunk_bits) {
                     compressed.remove(&chunk);
                 } else if version.has_compression() {
-                    let _g = span_opt(rec, Track::Main, Stage::Compress, "gfc.compress");
-                    let sz = match state.chunk(chunk) {
-                        Some(amps) => compressed_size(&codec, amps, chunk_bytes as usize, rec),
-                        None => *zero_chunk_size.entry(chunk_bits).or_insert_with(|| {
-                            let zeros = vec![Complex64::ZERO; 1 << chunk_bits];
-                            compressed_size(&codec, &zeros, chunk_bytes as usize, rec)
-                        }),
-                    };
-                    tl.record_compression(chunk_bytes, sz as u64);
-                    compressed.insert(chunk, sz);
-                    d2h_bytes = sz as u64;
-                    let cspan = tl.schedule(
-                        Engine::GpuCompute(gpu),
-                        d2h_ready,
-                        chunk_bytes as f64 / gspec.compress_bw(),
-                        TaskKind::Compress,
-                        chunk_bytes,
-                    );
-                    d2h_ready = cspan.end;
+                    // Injected encode failure: degrade to a raw transfer
+                    // for this chunk (no compress kernel, full bytes).
+                    if resil.as_mut().is_some_and(Resilience::codec_fails) {
+                        tl.count_codec_fallback();
+                        if let Some(r) = rec {
+                            r.add("codec.fallbacks", 1);
+                        }
+                        compressed.remove(&chunk);
+                        d2h_bytes = chunk_bytes;
+                    } else {
+                        let _g = span_opt(rec, Track::Main, Stage::Compress, "gfc.compress");
+                        let sz = match state.chunk(chunk) {
+                            Some(amps) => {
+                                if let Some(rs) = resil.as_mut() {
+                                    rs.seal_at_encode(chunk, amps);
+                                }
+                                compressed_size(&codec, amps, chunk_bytes as usize, rec)
+                            }
+                            None => {
+                                if let Some(rs) = resil.as_mut() {
+                                    rs.seal_zero_at_encode(chunk, chunk_bits);
+                                }
+                                *zero_chunk_size.entry(chunk_bits).or_insert_with(|| {
+                                    let zeros = vec![Complex64::ZERO; 1 << chunk_bits];
+                                    compressed_size(&codec, &zeros, chunk_bytes as usize, rec)
+                                })
+                            }
+                        };
+                        sealed_at_encode = true;
+                        tl.record_compression(chunk_bytes, sz as u64);
+                        compressed.insert(chunk, sz);
+                        d2h_bytes = sz as u64;
+                        let cspan = tl.schedule(
+                            Engine::GpuCompute(gpu),
+                            d2h_ready,
+                            chunk_bytes as f64 / gspec.compress_bw(),
+                            TaskKind::Compress,
+                            chunk_bytes,
+                        );
+                        d2h_ready = cspan.end;
+                    }
                 } else {
                     d2h_bytes = chunk_bytes;
                 }
-                let d2h = copy_with_dma(
+                if let Some(rs) = resil.as_mut() {
+                    if !sealed_at_encode {
+                        rs.verify_on_arrival(&state, &[chunk], chunk_bits, |_| false);
+                    }
+                }
+                let d2h = transfer_with_integrity(
                     &mut tl,
                     Engine::HostDmaIn,
                     Engine::D2h(gpu),
@@ -348,7 +726,9 @@ pub(crate) fn run(
                     d2h_bytes,
                     link,
                     cfg.platform.host.copy_bw,
-                );
+                    resil.as_mut(),
+                    rec,
+                )?;
                 last_d2h.insert(chunk, d2h.end);
                 if version.has_overlap() {
                     windows[gpu].slots.push_back((d2h.end, 1));
@@ -379,7 +759,21 @@ pub(crate) fn run(
         let mut tracker_after = tracker;
         tracker_after.involve_mask(fop.qubit_mask());
 
-        let tasks: Vec<&ChunkTask> = if version.has_pruning() {
+        // A corrupted involvement mask (decided once per op) means no chunk
+        // is provably zero: fall back to full-chunk execution for this op.
+        let prune_ok = match &resil {
+            Some(rs) if version.has_pruning() && rs.mask_corrupt(idx) => {
+                tl.count_prune_fallback();
+                if let Some(r) = rec {
+                    r.add("prune.fallbacks", 1);
+                }
+                false
+            }
+            _ => true,
+        };
+        let pruning = version.has_pruning() && prune_ok;
+
+        let tasks: Vec<&ChunkTask> = if pruning {
             plan.pruned_tasks(&tracker).collect()
         } else {
             plan.tasks().iter().collect()
@@ -407,11 +801,28 @@ pub(crate) fn run(
         }
         if !singles.is_empty() {
             let _g = span_opt(rec, Track::Main, Stage::Update, "update.local");
-            executor.apply_local_run(&mut state, fop.actions(), &singles);
+            let restarts = executor.try_apply_local_run(&mut state, fop.actions(), &singles)?;
+            if restarts > 0 {
+                tl.count_worker_restarts(restarts);
+                if let Some(r) = rec {
+                    r.add("worker.restarts", restarts);
+                }
+            }
         }
         if !groups.is_empty() {
             let _g = span_opt(rec, Track::Main, Stage::Update, "update.group");
-            executor.apply_group_runs(&mut state, fop.actions(), &groups, plan.high_mixing());
+            let restarts = executor.try_apply_group_runs(
+                &mut state,
+                fop.actions(),
+                &groups,
+                plan.high_mixing(),
+            )?;
+            if restarts > 0 {
+                tl.count_worker_restarts(restarts);
+                if let Some(r) = rec {
+                    r.add("worker.restarts", restarts);
+                }
+            }
         }
 
         // GFC sizes for every member moving back this gate, computed in
@@ -419,19 +830,41 @@ pub(crate) fn run(
         // per-chunk — granularity. Tasks touch disjoint chunks, so the
         // sizes are identical to compressing inside the task loop below.
         let mut new_sizes: HashMap<usize, usize> = HashMap::new();
+        let mut raw_members = 0usize;
         if version.has_compression() {
             let _g = span_opt(rec, Track::Main, Stage::Compress, "gfc.compress");
             for task in &tasks {
                 for &m in task.chunks() {
-                    if version.has_pruning() && tracker_after.chunk_is_zero(m, chunk_bits) {
+                    if pruning && tracker_after.chunk_is_zero(m, chunk_bits) {
+                        continue;
+                    }
+                    // Injected encode failure: mark the member for a raw
+                    // (uncompressed) download fallback.
+                    if resil.as_mut().is_some_and(Resilience::codec_fails) {
+                        tl.count_codec_fallback();
+                        if let Some(r) = rec {
+                            r.add("codec.fallbacks", 1);
+                        }
+                        new_sizes.insert(m, RAW_FALLBACK);
+                        raw_members += 1;
                         continue;
                     }
                     let sz = match state.chunk(m) {
-                        Some(amps) => compressed_size(&codec, amps, chunk_bytes as usize, rec),
-                        None => *zero_chunk_size.entry(chunk_bits).or_insert_with(|| {
-                            let zeros = vec![Complex64::ZERO; 1 << chunk_bits];
-                            compressed_size(&codec, &zeros, chunk_bytes as usize, rec)
-                        }),
+                        Some(amps) => {
+                            if let Some(rs) = resil.as_mut() {
+                                rs.seal_at_encode(m, amps);
+                            }
+                            compressed_size(&codec, amps, chunk_bytes as usize, rec)
+                        }
+                        None => {
+                            if let Some(rs) = resil.as_mut() {
+                                rs.seal_zero_at_encode(m, chunk_bits);
+                            }
+                            *zero_chunk_size.entry(chunk_bits).or_insert_with(|| {
+                                let zeros = vec![Complex64::ZERO; 1 << chunk_bits];
+                                compressed_size(&codec, &zeros, chunk_bytes as usize, rec)
+                            })
+                        }
                     };
                     new_sizes.insert(m, sz);
                 }
@@ -450,7 +883,7 @@ pub(crate) fn run(
             let mut h2d_bytes = 0u64;
             let mut raw_up_compressed = 0u64; // raw bytes arriving compressed
             for &m in members {
-                let provably_zero = version.has_pruning() && tracker.chunk_is_zero(m, chunk_bits);
+                let provably_zero = pruning && tracker.chunk_is_zero(m, chunk_bits);
                 if provably_zero {
                     continue;
                 }
@@ -488,7 +921,12 @@ pub(crate) fn run(
             }
 
             // ---- H2D → decompress → kernel ------------------------------
-            let h2d = copy_with_dma(
+            if let Some(rs) = resil.as_mut() {
+                rs.seal_for_upload(&state, members, chunk_bits, |m| {
+                    pruning && tracker.chunk_is_zero(m, chunk_bits)
+                });
+            }
+            let h2d = transfer_with_integrity(
                 &mut tl,
                 Engine::HostDmaOut,
                 Engine::H2d(gpu),
@@ -497,7 +935,9 @@ pub(crate) fn run(
                 h2d_bytes,
                 link,
                 cfg.platform.host.copy_bw,
-            );
+                resil.as_mut(),
+                rec,
+            )?;
             let mut compute_ready = h2d.end;
             if raw_up_compressed > 0 {
                 let d = tl.schedule(
@@ -510,10 +950,11 @@ pub(crate) fn run(
                 compute_ready = d.end;
             }
             let task_bytes = members.len() as u64 * chunk_bytes;
+            let stretch = resil.as_mut().map_or(1.0, Resilience::kernel_stretch);
             let kernel = tl.schedule(
                 Engine::GpuCompute(gpu),
                 compute_ready,
-                task_bytes as f64 / gspec.update_bw() + gspec.kernel_launch,
+                (task_bytes as f64 / gspec.update_bw() + gspec.kernel_launch) * stretch,
                 TaskKind::Kernel,
                 task_bytes,
             );
@@ -527,18 +968,24 @@ pub(crate) fn run(
             let mut d2h_bytes = 0u64;
             let mut raw_down_compressed = 0u64;
             for &m in members {
-                let provably_zero =
-                    version.has_pruning() && tracker_after.chunk_is_zero(m, chunk_bits);
+                let provably_zero = pruning && tracker_after.chunk_is_zero(m, chunk_bits);
                 if provably_zero {
                     compressed.remove(&m);
                     continue;
                 }
                 if version.has_compression() {
                     let sz = new_sizes[&m];
-                    tl.record_compression(chunk_bytes, sz as u64);
-                    compressed.insert(m, sz);
-                    d2h_bytes += sz as u64;
-                    raw_down_compressed += chunk_bytes;
+                    if sz == RAW_FALLBACK {
+                        // Encode failed for this member: raw download, no
+                        // compress kernel time, nothing cached as compressed.
+                        compressed.remove(&m);
+                        d2h_bytes += chunk_bytes;
+                    } else {
+                        tl.record_compression(chunk_bytes, sz as u64);
+                        compressed.insert(m, sz);
+                        d2h_bytes += sz as u64;
+                        raw_down_compressed += chunk_bytes;
+                    }
                 } else {
                     d2h_bytes += chunk_bytes;
                 }
@@ -553,7 +1000,20 @@ pub(crate) fn run(
                 );
                 d2h_ready = cspan.end;
             }
-            let d2h = copy_with_dma(
+            if let Some(rs) = resil.as_mut() {
+                if !version.has_compression() {
+                    rs.verify_on_arrival(&state, members, chunk_bits, |m| {
+                        pruning && tracker_after.chunk_is_zero(m, chunk_bits)
+                    });
+                } else if raw_members > 0 {
+                    // Compressed members were sealed at encode time; only
+                    // raw codec-failure fallbacks need an arrival pass.
+                    rs.verify_on_arrival(&state, members, chunk_bits, |m| {
+                        new_sizes.get(&m) != Some(&RAW_FALLBACK)
+                    });
+                }
+            }
+            let d2h = transfer_with_integrity(
                 &mut tl,
                 Engine::HostDmaIn,
                 Engine::D2h(gpu),
@@ -562,7 +1022,9 @@ pub(crate) fn run(
                 d2h_bytes,
                 link,
                 cfg.platform.host.copy_bw,
-            );
+                resil.as_mut(),
+                rec,
+            )?;
 
             for &m in members {
                 last_d2h.insert(m, d2h.end);
@@ -599,14 +1061,14 @@ pub(crate) fn run(
     }
 
     let report = ExecutionReport::from_timeline(&tl, num_gpus);
-    RunResult {
+    Ok(RunResult {
         version,
         circuit_name: circuit.name().to_string(),
         state: cfg.collect_state.then(|| state.to_flat()),
         report,
         trace: tl.trace().to_vec(),
         obs: None,
-    }
+    })
 }
 
 /// Real GFC size of a chunk, capped at raw size (the scheme falls back to
@@ -821,5 +1283,225 @@ mod tests {
         let r = Simulator::new(cfg).run(&c);
         assert!(!r.trace.is_empty());
         assert!(r.trace.len() <= 500);
+    }
+
+    // ---- fault injection & resilience -------------------------------
+
+    use qgpu_faults::{FaultConfig, SimError};
+
+    fn assert_bitwise_eq(a: &qgpu_statevec::StateVector, b: &qgpu_statevec::StateVector) {
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            let (x, y) = (a.amp(i), b.amp(i));
+            assert!(
+                x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                "amplitude {i} differs"
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_injection_is_absorbed_bit_exactly() {
+        // Transfer corruption, codec failures, mask corruption and stage
+        // slowdowns at realistic rates: the run completes, the state is
+        // bit-identical to the fault-free run, and every recovery shows
+        // up in the report with its modeled time cost.
+        let c = Benchmark::Qft.generate(12);
+        let clean = Simulator::new(SimConfig::scaled_paper(12).with_version(Version::QGpu)).run(&c);
+        let faults = FaultConfig {
+            seed: 42,
+            p_transfer_corrupt: 0.01,
+            p_codec_fail: 0.02,
+            p_mask_corrupt: 0.1,
+            p_stage_slowdown: 0.02,
+            ..FaultConfig::default()
+        };
+        let faulty = Simulator::new(
+            SimConfig::scaled_paper(12)
+                .with_version(Version::QGpu)
+                .with_faults(faults),
+        )
+        .try_run(&c)
+        .expect("faults at these rates must be absorbed");
+        assert_bitwise_eq(
+            clean.state.as_ref().expect("collected"),
+            faulty.state.as_ref().expect("collected"),
+        );
+        assert!(faulty.report.chunk_retries > 0, "no transfer retries fired");
+        assert!(
+            faulty.report.codec_fallbacks > 0,
+            "no codec fallbacks fired"
+        );
+        assert!(
+            faulty.report.prune_fallbacks > 0,
+            "no prune fallbacks fired"
+        );
+        assert!(
+            faulty.report.total_time > clean.report.total_time,
+            "recoveries must cost modeled time: {} vs {}",
+            faulty.report.total_time,
+            clean.report.total_time
+        );
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let c = Benchmark::Iqp.generate(11);
+        let faults = FaultConfig {
+            seed: 7,
+            p_transfer_corrupt: 0.02,
+            p_codec_fail: 0.02,
+            ..FaultConfig::default()
+        };
+        let run = || {
+            Simulator::new(
+                SimConfig::scaled_paper(11)
+                    .with_version(Version::QGpu)
+                    .with_faults(faults),
+            )
+            .try_run(&c)
+            .expect("absorbed")
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.report.total_time, b.report.total_time);
+        assert_eq!(a.report.chunk_retries, b.report.chunk_retries);
+        assert_eq!(a.report.codec_fallbacks, b.report.codec_fallbacks);
+        assert!(a.report.chunk_retries > 0);
+    }
+
+    #[test]
+    fn injected_worker_deaths_recover_in_the_engine_loop() {
+        // 15 qubits so per-op dispatches cross the executor's parallel
+        // threshold and the worker pool actually runs (and dies).
+        let c = Benchmark::Qft.generate(15);
+        let base = SimConfig::scaled_paper(15)
+            .with_version(Version::QGpu)
+            .with_threads(4);
+        let clean = Simulator::new(base.clone()).run(&c);
+        let faults = FaultConfig {
+            seed: 9,
+            p_worker_death: 0.05,
+            ..FaultConfig::default()
+        };
+        let faulty = Simulator::new(base.with_faults(faults))
+            .try_run(&c)
+            .expect("worker deaths must be recovered");
+        assert_bitwise_eq(
+            clean.state.as_ref().expect("collected"),
+            faulty.state.as_ref().expect("collected"),
+        );
+        assert!(
+            faulty.report.worker_restarts > 0,
+            "no worker deaths injected at 15 qubits / 5%"
+        );
+    }
+
+    #[test]
+    fn integrity_checks_alone_change_nothing() {
+        // CRC sealing/verification without injected faults: same bits,
+        // same modeled timing, zero recovery events.
+        let c = Benchmark::Qaoa.generate(12);
+        for v in [Version::Naive, Version::QGpu] {
+            let plain = Simulator::new(SimConfig::scaled_paper(12).with_version(v)).run(&c);
+            let checked = Simulator::new(
+                SimConfig::scaled_paper(12)
+                    .with_version(v)
+                    .with_integrity_checks(),
+            )
+            .run(&c);
+            assert_eq!(plain.report.total_time, checked.report.total_time);
+            assert_eq!(plain.report.bytes_h2d, checked.report.bytes_h2d);
+            assert_eq!(plain.report.bytes_d2h, checked.report.bytes_d2h);
+            assert_eq!(checked.report.chunk_retries, 0);
+            assert_eq!(checked.report.codec_fallbacks, 0);
+            assert_bitwise_eq(
+                plain.state.as_ref().expect("collected"),
+                checked.state.as_ref().expect("collected"),
+            );
+        }
+    }
+
+    #[test]
+    fn injected_fatal_checkpoints_and_resumes_bit_exactly() {
+        let c = Benchmark::Iqp.generate(10);
+        let base = SimConfig::scaled_paper(10).with_version(Version::QGpu);
+        let clean = Simulator::new(base.clone()).run(&c);
+        let path =
+            std::env::temp_dir().join(format!("qgpu_resume_test_{}.ckpt", std::process::id()));
+        let path = path.to_str().expect("utf-8 temp path").to_string();
+
+        let kill_at = c.len() / 2;
+        let faults = FaultConfig {
+            fail_at_gate: kill_at,
+            ..FaultConfig::default()
+        };
+        let err = Simulator::new(
+            base.clone()
+                .with_faults(faults)
+                .with_checkpointing(5, &path),
+        )
+        .try_run(&c)
+        .expect_err("fatal fault must abort the run");
+        assert!(
+            matches!(err, SimError::Fatal { gate, .. } if gate == kill_at),
+            "unexpected error: {err}"
+        );
+
+        let ck = crate::checkpoint::load_with_progress(&path).expect("checkpoint written");
+        assert!(ck.gates_done > 0 && ck.gates_done <= kill_at as u64);
+        let resumed = Simulator::new(base)
+            .try_run_from(&c, Some(&ck))
+            .expect("resume");
+        assert_bitwise_eq(
+            clean.state.as_ref().expect("collected"),
+            resumed.state.as_ref().expect("collected"),
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_checkpoints() {
+        let c = Benchmark::Qft.generate(10);
+        let base = SimConfig::scaled_paper(10).with_version(Version::QGpu);
+        // Wrong qubit count.
+        let ck = crate::checkpoint::Checkpoint {
+            state: qgpu_statevec::StateVector::new_zero(8),
+            gates_done: 1,
+        };
+        assert!(matches!(
+            Simulator::new(base.clone()).try_run_from(&c, Some(&ck)),
+            Err(SimError::Checkpoint(_))
+        ));
+        // Progress beyond the end of the program.
+        let ck = crate::checkpoint::Checkpoint {
+            state: qgpu_statevec::StateVector::new_zero(10),
+            gates_done: c.len() as u64 + 1,
+        };
+        assert!(matches!(
+            Simulator::new(base).try_run_from(&c, Some(&ck)),
+            Err(SimError::Checkpoint(_))
+        ));
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_chunk_corrupt() {
+        // Certain corruption on every attempt: the retry budget runs out
+        // and the typed error escapes instead of a hang or a panic.
+        let c = Benchmark::Qft.generate(9);
+        let faults = FaultConfig {
+            p_transfer_corrupt: 1.0,
+            ..FaultConfig::default()
+        };
+        let err = Simulator::new(
+            SimConfig::scaled_paper(9)
+                .with_version(Version::Naive)
+                .with_faults(faults),
+        )
+        .try_run(&c)
+        .expect_err("certain corruption must exhaust retries");
+        assert!(
+            matches!(err, SimError::ChunkCorrupt { attempts, .. } if attempts > 1),
+            "unexpected error: {err}"
+        );
     }
 }

@@ -40,6 +40,8 @@ pub mod engine;
 pub mod experiments;
 pub mod result;
 
+pub use checkpoint::Checkpoint;
 pub use config::{SimConfig, Version};
 pub use engine::Simulator;
+pub use qgpu_faults::{FaultConfig, RetryPolicy, SimError};
 pub use result::{ObsData, RunResult};

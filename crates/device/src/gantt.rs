@@ -31,6 +31,7 @@ fn glyph(kind: TaskKind) -> char {
         TaskKind::Decompress => 'D',
         TaskKind::Sync => 's',
         TaskKind::HostDma => '.',
+        TaskKind::Backoff => 'r',
     }
 }
 
@@ -110,6 +111,7 @@ pub fn legend() -> String {
         (TaskKind::Compress, "compress"),
         (TaskKind::Decompress, "decompress"),
         (TaskKind::Sync, "sync"),
+        (TaskKind::Backoff, "retry backoff"),
     ];
     let mut out = String::from("legend:");
     for (kind, name) in entries {

@@ -60,6 +60,19 @@ pub struct ExecutionReport {
     /// Source gates eliminated by the fusion pass (gates in minus fused
     /// ops out).
     pub gates_fused: u64,
+    /// Chunk transfers re-issued after a CRC mismatch (0 when the
+    /// resilient pipeline is off or no fault fired).
+    pub chunk_retries: u64,
+    /// Chunks that fell back to raw transfer after a GFC encode failure.
+    pub codec_fallbacks: u64,
+    /// Gates that fell back from pruning to full-chunk execution after a
+    /// corrupted involvement mask.
+    pub prune_fallbacks: u64,
+    /// Worker dispatches recovered by serial re-execution after a worker
+    /// death.
+    pub worker_restarts: u64,
+    /// Modeled time spent waiting in retry backoff.
+    pub backoff_time: f64,
     /// Number of GPUs in the platform.
     pub num_gpus: usize,
 }
@@ -95,8 +108,20 @@ impl ExecutionReport {
             bytes_after_compress,
             fused_kernels: tl.fused_kernels(),
             gates_fused: tl.gates_fused(),
+            chunk_retries: tl.chunk_retries(),
+            codec_fallbacks: tl.codec_fallbacks(),
+            prune_fallbacks: tl.prune_fallbacks(),
+            worker_restarts: tl.worker_restarts(),
+            backoff_time: tl.kind_busy(TaskKind::Backoff),
             num_gpus,
         }
+    }
+
+    /// Total degradation events: every time the pipeline kept going in a
+    /// reduced mode instead of failing (codec fallbacks + prune fallbacks
+    /// + worker restarts).
+    pub fn degradation_events(&self) -> u64 {
+        self.codec_fallbacks + self.prune_fallbacks + self.worker_restarts
     }
 
     /// Fraction of total time the host spends updating amplitudes

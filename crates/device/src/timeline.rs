@@ -47,11 +47,14 @@ pub enum TaskKind {
     /// Host-DRAM DMA staging reservation (rate limiting only; the bytes
     /// are counted by the matching copy task).
     HostDma,
+    /// Retry backoff wait after an integrity failure (the resilient
+    /// pipeline's exponential-backoff pauses; bytes = 0).
+    Backoff,
 }
 
 impl TaskKind {
     /// All task kinds (for report iteration).
-    pub const ALL: [TaskKind; 8] = [
+    pub const ALL: [TaskKind; 9] = [
         TaskKind::HostUpdate,
         TaskKind::Kernel,
         TaskKind::H2dCopy,
@@ -60,6 +63,7 @@ impl TaskKind {
         TaskKind::Decompress,
         TaskKind::Sync,
         TaskKind::HostDma,
+        TaskKind::Backoff,
     ];
 }
 
@@ -135,6 +139,10 @@ pub struct Timeline {
     gates_fused: u64,
     bytes_before_compress: u64,
     bytes_after_compress: u64,
+    chunk_retries: u64,
+    codec_fallbacks: u64,
+    prune_fallbacks: u64,
+    worker_restarts: u64,
 }
 
 impl Timeline {
@@ -253,6 +261,33 @@ impl Timeline {
         self.bytes_after_compress += compressed;
     }
 
+    /// Counts one chunk-transfer retry after an integrity failure.
+    pub fn count_chunk_retry(&mut self) {
+        self.chunk_retries += 1;
+    }
+
+    /// Counts one codec-failure fallback to raw transfer.
+    pub fn count_codec_fallback(&mut self) {
+        self.codec_fallbacks += 1;
+    }
+
+    /// Counts one corrupted-mask fallback from pruning to full-chunk
+    /// execution (per gate).
+    pub fn count_prune_fallback(&mut self) {
+        self.prune_fallbacks += 1;
+    }
+
+    /// Counts one worker-death recovery (serial re-execution).
+    pub fn count_worker_restart(&mut self) {
+        self.worker_restarts += 1;
+    }
+
+    /// Counts `n` worker-death recoveries at once (a dispatch reports its
+    /// total).
+    pub fn count_worker_restarts(&mut self, n: u64) {
+        self.worker_restarts += n;
+    }
+
     /// GPU floating-point operations credited so far.
     pub fn flops_gpu(&self) -> f64 {
         self.flops_gpu
@@ -281,6 +316,26 @@ impl Timeline {
     /// `(raw, compressed)` byte totals over all compressor invocations.
     pub fn compression_bytes(&self) -> (u64, u64) {
         (self.bytes_before_compress, self.bytes_after_compress)
+    }
+
+    /// Chunk-transfer retries performed after integrity failures.
+    pub fn chunk_retries(&self) -> u64 {
+        self.chunk_retries
+    }
+
+    /// Codec-failure fallbacks to raw transfer.
+    pub fn codec_fallbacks(&self) -> u64 {
+        self.codec_fallbacks
+    }
+
+    /// Corrupted-mask fallbacks from pruning to full-chunk execution.
+    pub fn prune_fallbacks(&self) -> u64 {
+        self.prune_fallbacks
+    }
+
+    /// Worker-death recoveries (serial re-execution of a dispatch).
+    pub fn worker_restarts(&self) -> u64 {
+        self.worker_restarts
     }
 
     /// Engines that have been used, with their busy time.

@@ -1,0 +1,126 @@
+//! The workspace-wide typed error hierarchy.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong in a simulation run.
+///
+/// The pipeline's contract is that any fault the injector can produce —
+/// and the real-world failures it stands in for — surfaces as one of
+/// these variants instead of a panic, so callers decide between retry,
+/// degradation, checkpoint-resume, or reporting the failure upward.
+#[derive(Debug)]
+pub enum SimError {
+    /// A chunk arrived with a CRC mismatch and exhausted its retries.
+    ChunkCorrupt {
+        /// The chunk index within the state partition.
+        chunk: usize,
+        /// Retry attempts performed before giving up.
+        attempts: u32,
+    },
+    /// The GFC codec failed on a chunk and no fallback was possible.
+    Codec {
+        /// The chunk index, when known (`usize::MAX` for non-chunk data).
+        chunk: usize,
+        /// The codec's diagnosis.
+        reason: String,
+    },
+    /// A worker thread died (panicked) while applying a dispatch.
+    WorkerLost {
+        /// What the pool was doing (e.g. `"apply_local_run"`).
+        dispatch: &'static str,
+    },
+    /// A pipeline stage exceeded its modeled deadline.
+    StageTimeout {
+        /// Stage label (e.g. `"h2d"`, `"compress"`).
+        stage: &'static str,
+        /// The index of the chunk being processed.
+        chunk: usize,
+    },
+    /// The injector (or environment) declared a fatal, unrecoverable
+    /// fault; the run should be resumed from its last checkpoint.
+    Fatal {
+        /// The program-op index the fault struck at.
+        gate: usize,
+        /// Description of the fault.
+        reason: String,
+    },
+    /// Checkpoint save/load failed.
+    Checkpoint(String),
+    /// Underlying file I/O failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ChunkCorrupt { chunk, attempts } => write!(
+                f,
+                "chunk {chunk} failed integrity verification after {attempts} attempts"
+            ),
+            SimError::Codec { chunk, reason } if *chunk == usize::MAX => {
+                write!(f, "codec failure: {reason}")
+            }
+            SimError::Codec { chunk, reason } => {
+                write!(f, "codec failure on chunk {chunk}: {reason}")
+            }
+            SimError::WorkerLost { dispatch } => {
+                write!(f, "worker thread lost during {dispatch}")
+            }
+            SimError::StageTimeout { stage, chunk } => {
+                write!(f, "stage '{stage}' timed out on chunk {chunk}")
+            }
+            SimError::Fatal { gate, reason } => {
+                write!(f, "fatal fault at gate {gate}: {reason}")
+            }
+            SimError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+            SimError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SimError {
+    fn from(e: io::Error) -> Self {
+        SimError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::ChunkCorrupt {
+            chunk: 12,
+            attempts: 4,
+        };
+        assert!(e.to_string().contains("chunk 12"));
+        assert!(e.to_string().contains("4 attempts"));
+        let e = SimError::Codec {
+            chunk: usize::MAX,
+            reason: "payload truncated".into(),
+        };
+        assert!(!e.to_string().contains("chunk"), "{e}");
+        let e = SimError::WorkerLost {
+            dispatch: "apply_local_run",
+        };
+        assert!(e.to_string().contains("apply_local_run"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let e: SimError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, SimError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,284 @@
+//! The deterministic, seeded fault injector.
+//!
+//! Every decision is a pure function of `(seed, site, index, attempt)`:
+//! the injector carries no mutable state, so concurrent workers can share
+//! one instance, and a run with a given seed injects *exactly* the same
+//! faults regardless of thread count, pipeline interleaving, or how many
+//! times a site re-asks (retries bump `attempt` explicitly). That
+//! determinism is what lets the fault-injection tests assert bit-exact
+//! recovery instead of "it usually works".
+
+use serde::{Deserialize, Serialize};
+
+/// Where in the pipeline a fault can strike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// A chunk transfer (H2D or D2H) delivers corrupted bytes; detected
+    /// by the CRC verification on arrival.
+    TransferCorrupt,
+    /// The GFC encoder fails on a chunk; the pipeline falls back to raw
+    /// (uncompressed) transfer.
+    CodecFail,
+    /// The involvement mask for a gate reads back corrupted; the pruning
+    /// decision is untrustworthy and the pipeline falls back to
+    /// full-chunk execution for that gate.
+    MaskCorrupt,
+    /// A worker thread dies mid-dispatch; the executor reports
+    /// [`crate::SimError::WorkerLost`] and the caller re-runs serially.
+    WorkerDeath,
+    /// A pipeline stage runs pathologically slow (modeled-time multiplier,
+    /// standing in for thermal throttling or a contended link).
+    StageSlowdown,
+}
+
+impl FaultSite {
+    fn salt(self) -> u64 {
+        match self {
+            FaultSite::TransferCorrupt => 0x7472_616e_7366_6572, // "transfer"
+            FaultSite::CodecFail => 0x6370_6f64_6563_0000,       // "codec"
+            FaultSite::MaskCorrupt => 0x6d61_736b_0000_0000,     // "mask"
+            FaultSite::WorkerDeath => 0x776f_726b_6572_0000,     // "worker"
+            FaultSite::StageSlowdown => 0x736c_6f77_0000_0000,   // "slow"
+        }
+    }
+}
+
+/// Per-stage fault probabilities plus the seed. All probabilities default
+/// to zero — a default config injects nothing and the pipeline only pays
+/// for the integrity checks it would run anyway.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seed for every injection decision.
+    pub seed: u64,
+    /// Probability a chunk transfer delivers corrupted bytes.
+    pub p_transfer_corrupt: f64,
+    /// Probability a GFC encode fails on a chunk.
+    pub p_codec_fail: f64,
+    /// Probability a gate's involvement mask reads back corrupted.
+    pub p_mask_corrupt: f64,
+    /// Probability a worker dispatch loses a thread.
+    pub p_worker_death: f64,
+    /// Probability a stage runs slowed by [`FaultConfig::slowdown_factor`].
+    pub p_stage_slowdown: f64,
+    /// Modeled-time multiplier applied when a slowdown fires.
+    pub slowdown_factor: f64,
+    /// Inject an unrecoverable [`crate::SimError::Fatal`] at this
+    /// program-op index (`usize::MAX` = never) — the deterministic hook
+    /// the checkpoint-resume tests kill the run with.
+    pub fail_at_gate: usize,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            p_transfer_corrupt: 0.0,
+            p_codec_fail: 0.0,
+            p_mask_corrupt: 0.0,
+            p_worker_death: 0.0,
+            p_stage_slowdown: 0.0,
+            slowdown_factor: 4.0,
+            fail_at_gate: usize::MAX,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// True when any fault can fire under this config.
+    pub fn any_enabled(&self) -> bool {
+        self.p_transfer_corrupt > 0.0
+            || self.p_codec_fail > 0.0
+            || self.p_mask_corrupt > 0.0
+            || self.p_worker_death > 0.0
+            || self.p_stage_slowdown > 0.0
+            || self.fail_at_gate != usize::MAX
+    }
+}
+
+/// The injector: a [`FaultConfig`] with decision methods.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+}
+
+/// `splitmix64` — a statistically solid 64-bit mixer; decisions take the
+/// top 53 bits as a uniform draw in `[0, 1)`.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit_draw(seed: u64, salt: u64, index: u64, attempt: u64) -> f64 {
+    let h = mix(mix(mix(seed ^ salt).wrapping_add(index)).wrapping_add(attempt));
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl FaultInjector {
+    /// Wraps a config into an injector.
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultInjector { cfg }
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Decides whether a fault fires at `site` for occurrence `index`
+    /// (first attempt).
+    pub fn fires(&self, site: FaultSite, index: u64) -> bool {
+        self.fires_attempt(site, index, 0)
+    }
+
+    /// Decides whether a fault fires at `site` for occurrence `index`,
+    /// `attempt` retries in. Each attempt draws independently, so a
+    /// corrupted transfer's retry succeeds with probability `1 - p` —
+    /// retries converge exactly as they would on real hardware.
+    pub fn fires_attempt(&self, site: FaultSite, index: u64, attempt: u32) -> bool {
+        let p = match site {
+            FaultSite::TransferCorrupt => self.cfg.p_transfer_corrupt,
+            FaultSite::CodecFail => self.cfg.p_codec_fail,
+            FaultSite::MaskCorrupt => self.cfg.p_mask_corrupt,
+            FaultSite::WorkerDeath => self.cfg.p_worker_death,
+            FaultSite::StageSlowdown => self.cfg.p_stage_slowdown,
+        };
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        unit_draw(self.cfg.seed, site.salt(), index, attempt as u64) < p
+    }
+
+    /// The slowdown multiplier for a stage occurrence: the configured
+    /// factor when [`FaultSite::StageSlowdown`] fires, 1.0 otherwise.
+    pub fn slowdown(&self, index: u64) -> f64 {
+        if self.fires(FaultSite::StageSlowdown, index) {
+            self.cfg.slowdown_factor
+        } else {
+            1.0
+        }
+    }
+
+    /// True when the deterministic fatal fault strikes this program op.
+    pub fn fatal_at(&self, gate: usize) -> bool {
+        self.cfg.fail_at_gate == gate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn injector(p: f64, seed: u64) -> FaultInjector {
+        FaultInjector::new(FaultConfig {
+            seed,
+            p_transfer_corrupt: p,
+            p_codec_fail: p,
+            ..FaultConfig::default()
+        })
+    }
+
+    #[test]
+    fn default_config_injects_nothing() {
+        let inj = FaultInjector::new(FaultConfig::default());
+        assert!(!FaultConfig::default().any_enabled());
+        for i in 0..1000 {
+            assert!(!inj.fires(FaultSite::TransferCorrupt, i));
+            assert!(!inj.fires(FaultSite::WorkerDeath, i));
+        }
+        assert_eq!(inj.slowdown(3), 1.0);
+        assert!(!inj.fatal_at(0));
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_order_free() {
+        let inj = injector(0.3, 42);
+        let forward: Vec<bool> = (0..200)
+            .map(|i| inj.fires(FaultSite::TransferCorrupt, i))
+            .collect();
+        let backward: Vec<bool> = (0..200)
+            .rev()
+            .map(|i| inj.fires(FaultSite::TransferCorrupt, i))
+            .collect();
+        let backward_reversed: Vec<bool> = backward.into_iter().rev().collect();
+        assert_eq!(forward, backward_reversed);
+    }
+
+    #[test]
+    fn sites_draw_independently() {
+        let inj = injector(0.5, 9);
+        let transfer: Vec<bool> = (0..256)
+            .map(|i| inj.fires(FaultSite::TransferCorrupt, i))
+            .collect();
+        let codec: Vec<bool> = (0..256)
+            .map(|i| inj.fires(FaultSite::CodecFail, i))
+            .collect();
+        assert_ne!(transfer, codec, "sites must not share a decision stream");
+    }
+
+    #[test]
+    fn rate_approximates_probability() {
+        let inj = injector(0.1, 1234);
+        let hits = (0..100_000)
+            .filter(|&i| inj.fires(FaultSite::TransferCorrupt, i))
+            .count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.1).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn attempts_redraw() {
+        // With p = 0.5, some index that fires at attempt 0 must clear at
+        // a later attempt — retries converge.
+        let inj = injector(0.5, 7);
+        let idx = (0..1000)
+            .find(|&i| inj.fires(FaultSite::TransferCorrupt, i))
+            .expect("some fault at p=0.5");
+        assert!(
+            (1..64).any(|a| !inj.fires_attempt(FaultSite::TransferCorrupt, idx, a)),
+            "an attempt must eventually succeed"
+        );
+    }
+
+    #[test]
+    fn extreme_probabilities_clamp() {
+        let always = FaultInjector::new(FaultConfig {
+            p_worker_death: 1.0,
+            ..FaultConfig::default()
+        });
+        let never = FaultInjector::new(FaultConfig {
+            p_worker_death: 0.0,
+            ..FaultConfig::default()
+        });
+        for i in 0..100 {
+            assert!(always.fires(FaultSite::WorkerDeath, i));
+            assert!(!never.fires(FaultSite::WorkerDeath, i));
+        }
+    }
+
+    #[test]
+    fn fatal_gate_matches_exactly() {
+        let inj = FaultInjector::new(FaultConfig {
+            fail_at_gate: 17,
+            ..FaultConfig::default()
+        });
+        assert!(inj.fatal_at(17));
+        assert!(!inj.fatal_at(16));
+        assert!(!inj.fatal_at(18));
+        assert!(inj.config().any_enabled());
+    }
+
+    #[test]
+    fn slowdown_scales_by_factor() {
+        let inj = FaultInjector::new(FaultConfig {
+            p_stage_slowdown: 1.0,
+            slowdown_factor: 3.5,
+            ..FaultConfig::default()
+        });
+        assert_eq!(inj.slowdown(0), 3.5);
+    }
+}

@@ -1,0 +1,49 @@
+//! Fault model for the Q-GPU pipeline.
+//!
+//! A 34-qubit run streams millions of chunks through transfer, prune and
+//! GFC compress/decompress stages for hours; assuming a perfect machine
+//! for that long is wishful thinking. This crate supplies the pieces the
+//! rest of the workspace uses to *survive* an imperfect one:
+//!
+//! * [`SimError`] — the workspace-wide typed error hierarchy. Every path
+//!   a fault can reach propagates one of these instead of panicking.
+//! * [`crc32()`] — the CRC32 (IEEE 802.3) checksum that chunk transfers
+//!   and checkpoint segments carry for integrity verification.
+//! * [`FaultInjector`] — a deterministic, seeded injector with per-stage
+//!   probabilities (transfer corruption, codec failure, stage slowdown,
+//!   worker death). Decisions are pure functions of `(seed, site,
+//!   index)`, so a run with a given seed injects *exactly* the same
+//!   faults no matter the thread count or pipeline interleaving — which
+//!   is what makes fault-injection tests reproducible.
+//! * [`RetryPolicy`] — bounded retry with exponential backoff, expressed
+//!   in modeled seconds so the device timeline can charge retries
+//!   visibly.
+//!
+//! # Examples
+//!
+//! ```
+//! use qgpu_faults::{FaultConfig, FaultInjector, FaultSite, RetryPolicy};
+//!
+//! let inj = FaultInjector::new(FaultConfig {
+//!     seed: 7,
+//!     p_transfer_corrupt: 0.5,
+//!     ..FaultConfig::default()
+//! });
+//! // Deterministic: the same (site, index) always decides the same way.
+//! let a = inj.fires(FaultSite::TransferCorrupt, 42);
+//! let b = inj.fires(FaultSite::TransferCorrupt, 42);
+//! assert_eq!(a, b);
+//!
+//! let policy = RetryPolicy::default();
+//! assert!(policy.backoff_s(2) > policy.backoff_s(1));
+//! ```
+
+pub mod crc32;
+pub mod error;
+pub mod inject;
+pub mod retry;
+
+pub use crc32::{crc32, fast_checksum, Crc32};
+pub use error::SimError;
+pub use inject::{FaultConfig, FaultInjector, FaultSite};
+pub use retry::RetryPolicy;

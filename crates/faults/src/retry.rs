@@ -1,0 +1,92 @@
+//! Bounded retry with exponential backoff.
+
+use serde::{Deserialize, Serialize};
+
+/// Retry policy for integrity failures: up to `max_retries` re-attempts,
+/// waiting `base_backoff_s * multiplier^attempt` (capped) before each.
+///
+/// Backoff is expressed in *modeled* seconds: the engine charges each
+/// wait to the device timeline, so injected faults visibly cost modeled
+/// time and show up in the trace — a retry storm is diagnosable from the
+/// same Perfetto view as any other stall.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_faults::RetryPolicy;
+///
+/// let p = RetryPolicy::default();
+/// assert_eq!(p.backoff_s(1), 2.0 * p.backoff_s(0));
+/// assert!(p.backoff_s(30) <= p.max_backoff_s);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Re-attempts after the first failure before giving up.
+    pub max_retries: u32,
+    /// Wait before the first retry, in modeled seconds.
+    pub base_backoff_s: f64,
+    /// Multiplier applied per further attempt.
+    pub multiplier: f64,
+    /// Ceiling on any single wait.
+    pub max_backoff_s: f64,
+}
+
+impl Default for RetryPolicy {
+    /// 4 retries starting at 50 µs, doubling, capped at 10 ms — sized to
+    /// a PCIe re-transfer (~1 ms for a 2 MB chunk at 12 GB/s): the first
+    /// backoff is cheap against the transfer it guards, and four doublings
+    /// outlast any plausible transient.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_backoff_s: 50e-6,
+            multiplier: 2.0,
+            max_backoff_s: 10e-3,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The wait before retry `attempt` (0-based), in modeled seconds.
+    pub fn backoff_s(&self, attempt: u32) -> f64 {
+        let raw = self.base_backoff_s * self.multiplier.powi(attempt.min(63) as i32);
+        raw.min(self.max_backoff_s)
+    }
+
+    /// Total modeled wait if every retry is consumed.
+    pub fn worst_case_backoff_s(&self) -> f64 {
+        (0..self.max_retries).map(|a| self.backoff_s(a)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_then_caps() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_backoff_s: 1e-3,
+            multiplier: 2.0,
+            max_backoff_s: 8e-3,
+        };
+        assert_eq!(p.backoff_s(0), 1e-3);
+        assert_eq!(p.backoff_s(1), 2e-3);
+        assert_eq!(p.backoff_s(2), 4e-3);
+        assert_eq!(p.backoff_s(3), 8e-3);
+        assert_eq!(p.backoff_s(4), 8e-3, "cap holds");
+        assert_eq!(p.backoff_s(63), 8e-3, "huge attempts stay finite");
+    }
+
+    #[test]
+    fn worst_case_sums_every_attempt() {
+        let p = RetryPolicy {
+            max_retries: 3,
+            base_backoff_s: 1.0,
+            multiplier: 2.0,
+            max_backoff_s: 100.0,
+        };
+        assert_eq!(p.worst_case_backoff_s(), 1.0 + 2.0 + 4.0);
+    }
+}

@@ -108,6 +108,7 @@ fn kind_name(kind: TaskKind) -> &'static str {
         TaskKind::Decompress => "decompress",
         TaskKind::Sync => "sync",
         TaskKind::HostDma => "host-dma",
+        TaskKind::Backoff => "retry-backoff",
     }
 }
 

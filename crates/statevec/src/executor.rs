@@ -25,10 +25,12 @@
 //!   pairwise tree ([`qgpu_math::reduce::pairwise_sum`]).
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use qgpu_circuit::access::GateAction;
 use qgpu_circuit::Matrix;
+use qgpu_faults::{FaultInjector, FaultSite, SimError};
 use qgpu_math::bits::insert_zero_bits;
 use qgpu_math::reduce;
 use qgpu_math::Complex64;
@@ -75,6 +77,13 @@ pub struct ChunkExecutor {
     /// When set, workers record wall-clock spans and queue-occupancy
     /// histograms into it (see [`ChunkExecutor::with_recorder`]).
     recorder: Option<Arc<Recorder>>,
+    /// When set, the fault injector may kill workers at dispatch entry
+    /// (see [`ChunkExecutor::with_faults`]).
+    faults: Option<Arc<FaultInjector>>,
+    /// Monotonic dispatch index shared across clones; the injector's
+    /// worker-death decisions key off it, so a given seed kills the same
+    /// workers of the same dispatches on every run.
+    dispatches: Arc<AtomicU64>,
 }
 
 impl ChunkExecutor {
@@ -94,6 +103,8 @@ impl ChunkExecutor {
         ChunkExecutor {
             threads: threads.min(cores),
             recorder: None,
+            faults: None,
+            dispatches: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -110,6 +121,8 @@ impl ChunkExecutor {
         ChunkExecutor {
             threads,
             recorder: None,
+            faults: None,
+            dispatches: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -120,6 +133,18 @@ impl ChunkExecutor {
     /// clock reads).
     pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
         self.recorder = Some(recorder);
+        self
+    }
+
+    /// Attaches a fault injector: chunk dispatches
+    /// ([`ChunkExecutor::try_apply_local_run`],
+    /// [`ChunkExecutor::try_apply_group_runs`]) consult it at worker
+    /// spawn time and may lose workers to injected deaths — which the
+    /// dispatch then recovers from by re-executing the dead workers'
+    /// (untouched) pieces serially. Without an injector the consult is a
+    /// branch on `None`.
+    pub fn with_faults(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -384,13 +409,37 @@ impl ChunkExecutor {
     ///
     /// # Panics
     ///
-    /// Panics if an action has a mixing qubit at or above the boundary.
+    /// Panics if an action has a mixing qubit at or above the boundary,
+    /// or if a worker thread panics (see
+    /// [`ChunkExecutor::try_apply_local_run`] for the non-panicking form).
     pub fn apply_local_run(
         &self,
         state: &mut ChunkedState,
         actions: &[GateAction],
         chunks: &[usize],
     ) {
+        self.try_apply_local_run(state, actions, chunks)
+            .expect("worker thread panicked");
+    }
+
+    /// Fallible form of [`ChunkExecutor::apply_local_run`]: a genuine
+    /// worker panic surfaces as [`SimError::WorkerLost`] instead of
+    /// aborting the caller, and injected worker deaths (see
+    /// [`ChunkExecutor::with_faults`]) are recovered by re-executing the
+    /// dead workers' untouched pieces serially — bit-exactly, since a
+    /// killed worker exits before mutating anything. Returns the number
+    /// of workers recovered this dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an action has a mixing qubit at or above the boundary
+    /// (a caller contract violation, not a runtime fault).
+    pub fn try_apply_local_run(
+        &self,
+        state: &mut ChunkedState,
+        actions: &[GateAction],
+        chunks: &[usize],
+    ) -> Result<u64, SimError> {
         let chunk_bits = state.chunk_bits();
         for a in actions {
             assert!(
@@ -420,22 +469,13 @@ impl ChunkExecutor {
             }
         };
         if self.threads == 1 || work.len() <= 1 || work.len() * chunk_len < MIN_PARALLEL {
-            return run(&work);
+            run(&work);
+            return Ok(0);
         }
         let per = work.len().div_ceil(self.threads);
-        let rec = self.recorder.as_deref();
-        crossbeam::scope(|scope| {
-            for (t, piece) in work.chunks(per).enumerate() {
-                if let Some(r) = rec {
-                    r.observe("worker.queue", piece.len() as u64);
-                }
-                scope.spawn(move |_| {
-                    let _g = span_opt(rec, Track::Worker(t), Stage::Update, "worker.local");
-                    run(piece)
-                });
-            }
+        self.run_dispatch(&work, per, "apply_local_run", "worker.local", &|piece| {
+            run(piece)
         })
-        .expect("worker thread panicked");
     }
 
     /// Applies a fused run to chunk groups (Case 2: a mixing qubit at or
@@ -451,8 +491,11 @@ impl ChunkExecutor {
     ///
     /// # Panics
     ///
-    /// Panics if a group's size is not `2^high_mixing.len()`, or if a
-    /// dense member mixes a high qubit not listed in `high_mixing`.
+    /// Panics if a group's size is not `2^high_mixing.len()`, if a dense
+    /// member mixes a high qubit not listed in `high_mixing`, or if a
+    /// worker thread panics (see
+    /// [`ChunkExecutor::try_apply_group_runs`] for the non-panicking
+    /// form).
     pub fn apply_group_runs(
         &self,
         state: &mut ChunkedState,
@@ -460,6 +503,27 @@ impl ChunkExecutor {
         groups: &[&[usize]],
         high_mixing: &[usize],
     ) {
+        self.try_apply_group_runs(state, actions, groups, high_mixing)
+            .expect("worker thread panicked");
+    }
+
+    /// Fallible form of [`ChunkExecutor::apply_group_runs`]: worker
+    /// panics surface as [`SimError::WorkerLost`], injected worker
+    /// deaths are recovered serially (a group is processed entirely by
+    /// one worker, so a killed worker leaves its groups untouched).
+    /// Returns the number of workers recovered this dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a group's size is not `2^high_mixing.len()` (a caller
+    /// contract violation, not a runtime fault).
+    pub fn try_apply_group_runs(
+        &self,
+        state: &mut ChunkedState,
+        actions: &[GateAction],
+        groups: &[&[usize]],
+        high_mixing: &[usize],
+    ) -> Result<u64, SimError> {
         let chunk_bits = state.chunk_bits();
         let chunk_len = state.chunk_len();
         let hm = high_mixing.len();
@@ -509,29 +573,19 @@ impl ChunkExecutor {
                 dst.copy_from_slice(&scratch[j * chunk_len..(j + 1) * chunk_len]);
             }
         };
-        if self.threads == 1 || work.len() <= 1 {
+        let restarts = if self.threads == 1 || work.len() <= 1 {
             for w in &work {
                 process(w);
             }
+            0
         } else {
             let per = work.len().div_ceil(self.threads);
-            let rec = self.recorder.as_deref();
-            crossbeam::scope(|scope| {
-                for (t, piece) in work.chunks(per).enumerate() {
-                    if let Some(r) = rec {
-                        r.observe("worker.queue", piece.len() as u64);
-                    }
-                    let process = &process;
-                    scope.spawn(move |_| {
-                        let _g = span_opt(rec, Track::Worker(t), Stage::Update, "worker.group");
-                        for w in piece {
-                            process(w);
-                        }
-                    });
+            self.run_dispatch(&work, per, "apply_group_runs", "worker.group", &|piece| {
+                for w in piece {
+                    process(w);
                 }
-            })
-            .expect("worker thread panicked");
-        }
+            })?
+        };
 
         for w in &work {
             for &(m, _, was_sparse) in &w.members {
@@ -540,6 +594,65 @@ impl ChunkExecutor {
                 }
             }
         }
+        Ok(restarts)
+    }
+
+    /// Shared parallel dispatch with fault awareness: splits `work` into
+    /// `per`-sized pieces, one worker each. An injected worker death (a
+    /// pure decision of the injector keyed on the dispatch counter and
+    /// worker index) makes that worker exit *before touching its piece*;
+    /// after the scope joins, any piece not flagged done is re-executed
+    /// serially — identical result, since the dead worker mutated
+    /// nothing. A genuine worker panic cannot guarantee that, so it maps
+    /// to [`SimError::WorkerLost`] and is not retried. Returns the
+    /// number of recovered workers.
+    fn run_dispatch<T: Sync>(
+        &self,
+        work: &[T],
+        per: usize,
+        dispatch_name: &'static str,
+        span_name: &'static str,
+        run_piece: &(dyn Fn(&[T]) + Sync),
+    ) -> Result<u64, SimError> {
+        let rec = self.recorder.as_deref();
+        let dispatch = self.dispatches.fetch_add(1, Ordering::Relaxed);
+        let n_pieces = work.len().div_ceil(per);
+        let killed: Vec<bool> = (0..n_pieces)
+            .map(|t| {
+                self.faults
+                    .as_deref()
+                    .is_some_and(|f| f.fires_attempt(FaultSite::WorkerDeath, dispatch, t as u32))
+            })
+            .collect();
+        let done: Vec<AtomicBool> = (0..n_pieces).map(|_| AtomicBool::new(false)).collect();
+        let killed = &killed;
+        let done = &done;
+        crossbeam::scope(|scope| {
+            for (t, piece) in work.chunks(per).enumerate() {
+                if let Some(r) = rec {
+                    r.observe("worker.queue", piece.len() as u64);
+                }
+                scope.spawn(move |_| {
+                    if killed[t] {
+                        return;
+                    }
+                    let _g = span_opt(rec, Track::Worker(t), Stage::Update, span_name);
+                    run_piece(piece);
+                    done[t].store(true, Ordering::Release);
+                });
+            }
+        })
+        .map_err(|_| SimError::WorkerLost {
+            dispatch: dispatch_name,
+        })?;
+        let mut restarts = 0u64;
+        for (t, piece) in work.chunks(per).enumerate() {
+            if !done[t].load(Ordering::Acquire) {
+                run_piece(piece);
+                restarts += 1;
+            }
+        }
+        Ok(restarts)
     }
 
     /// Deterministic parallel sum of `block_sum` over fixed-size blocks
@@ -1048,5 +1161,116 @@ mod tests {
         });
         assert_eq!(a.re.to_bits(), b.re.to_bits());
         assert_eq!(a.im.to_bits(), b.im.to_bits());
+    }
+
+    #[test]
+    fn injected_worker_death_recovers_bit_exactly() {
+        use qgpu_faults::FaultConfig;
+        let n = 15;
+        let chunk_bits = 8;
+        let c = Benchmark::Qft.generate(n);
+        let mut flat = StateVector::new_zero(n);
+        flat.run(&c);
+        let run = actions_of(&[(Gate::H, vec![1]), (Gate::T, vec![2]), (Gate::X, vec![0])]);
+        let chunks: Vec<usize> = (0..1usize << (n as u32 - chunk_bits)).collect();
+
+        let mut healthy = ChunkedState::from_flat(&flat, chunk_bits);
+        ChunkExecutor::with_exact_threads(4).apply_local_run(&mut healthy, &run, &chunks);
+
+        // Every worker of every dispatch dies; recovery re-runs all pieces
+        // serially and the result must still be bit-identical.
+        let injector = FaultInjector::new(FaultConfig {
+            p_worker_death: 1.0,
+            ..FaultConfig::default()
+        });
+        let mut faulty = ChunkedState::from_flat(&flat, chunk_bits);
+        let restarts = ChunkExecutor::with_exact_threads(4)
+            .with_faults(Arc::new(injector))
+            .try_apply_local_run(&mut faulty, &run, &chunks)
+            .expect("injected deaths are recoverable");
+        assert!(restarts > 0, "all workers were killed, none restarted?");
+        assert!(bits_equal(&healthy.to_flat(), &faulty.to_flat()));
+    }
+
+    #[test]
+    fn injected_death_in_group_dispatch_recovers() {
+        use qgpu_faults::FaultConfig;
+        let n = 12;
+        let chunk_bits = 8;
+        let c = Benchmark::Qft.generate(n);
+        let mut flat = StateVector::new_zero(n);
+        flat.run(&c);
+        // One high mixing qubit: groups pair chunk k with chunk k + 8.
+        let run = actions_of(&[(Gate::H, vec![(chunk_bits + 3) as usize])]);
+        let groups_owned: Vec<Vec<usize>> = (0..8).map(|k| vec![k, k + 8]).collect();
+        let groups: Vec<&[usize]> = groups_owned.iter().map(Vec::as_slice).collect();
+        let high_mixing = vec![(chunk_bits + 3) as usize];
+
+        let mut healthy = ChunkedState::from_flat(&flat, chunk_bits);
+        ChunkExecutor::with_exact_threads(4).apply_group_runs(
+            &mut healthy,
+            &run,
+            &groups,
+            &high_mixing,
+        );
+
+        let injector = FaultInjector::new(FaultConfig {
+            p_worker_death: 1.0,
+            ..FaultConfig::default()
+        });
+        let mut faulty = ChunkedState::from_flat(&flat, chunk_bits);
+        let restarts = ChunkExecutor::with_exact_threads(4)
+            .with_faults(Arc::new(injector))
+            .try_apply_group_runs(&mut faulty, &run, &groups, &high_mixing)
+            .expect("injected deaths are recoverable");
+        assert!(restarts > 0);
+        assert!(bits_equal(&healthy.to_flat(), &faulty.to_flat()));
+    }
+
+    #[test]
+    fn partial_worker_death_is_deterministic_across_thread_interleavings() {
+        use qgpu_faults::FaultConfig;
+        let n = 15;
+        let chunk_bits = 8;
+        let c = Benchmark::Qft.generate(n);
+        let mut flat = StateVector::new_zero(n);
+        flat.run(&c);
+        let run = actions_of(&[(Gate::H, vec![0]), (Gate::S, vec![3])]);
+        let chunks: Vec<usize> = (0..1usize << (n as u32 - chunk_bits)).collect();
+        let injector = Arc::new(FaultInjector::new(FaultConfig {
+            seed: 7,
+            p_worker_death: 0.5,
+            ..FaultConfig::default()
+        }));
+
+        let mut first = ChunkedState::from_flat(&flat, chunk_bits);
+        let r1 = ChunkExecutor::with_exact_threads(4)
+            .with_faults(Arc::clone(&injector))
+            .try_apply_local_run(&mut first, &run, &chunks)
+            .unwrap();
+        let mut second = ChunkedState::from_flat(&flat, chunk_bits);
+        let r2 = ChunkExecutor::with_exact_threads(4)
+            .with_faults(injector)
+            .try_apply_local_run(&mut second, &run, &chunks)
+            .unwrap();
+        assert_eq!(r1, r2, "same seed, same dispatch → same deaths");
+        assert!(bits_equal(&first.to_flat(), &second.to_flat()));
+    }
+
+    #[test]
+    fn genuine_worker_panic_surfaces_as_worker_lost() {
+        let ex = ChunkExecutor::with_exact_threads(2);
+        let work: Vec<usize> = (0..4).collect();
+        let err = ex
+            .run_dispatch(&work, 2, "test_dispatch", "worker.test", &|piece| {
+                if piece[0] == 2 {
+                    panic!("injected genuine panic");
+                }
+            })
+            .expect_err("a real panic must not be swallowed");
+        match err {
+            SimError::WorkerLost { dispatch } => assert_eq!(dispatch, "test_dispatch"),
+            other => panic!("expected WorkerLost, got {other}"),
+        }
     }
 }
