@@ -11,6 +11,7 @@
 //!   --seed <N>         sampling seed (default 1)
 //!   --chunks <log2>    chunk-count exponent (default 8)
 //!   --platform <p100|v100|a100|4xp4|4xv100>   modeled platform (default p100)
+//!   --devices <N>      replicate device 0 into an N-GPU fleet
 //!   --top <N>          print the N most likely basis states (default 8)
 //!   --batching         enable the gate-batching extension
 //!   --fuse             enable the gate-fusion pass
@@ -32,6 +33,12 @@
 //!   --inject-mask <P>      per-op involvement-mask corruption probability
 //!   --inject-worker <P>    per-worker death probability
 //!   --inject-fail-at <N>   abort with a fatal fault at program op N
+//!   --inject-device-loss <D:OP>  lose device D at program op OP
+//!   --inject-link-degrade <P>    per-transfer link degradation probability
+//!   --inject-straggler <D[:F]>   pin device D as a persistent straggler,
+//!                                optionally stretched by factor F (default 4)
+//!   --mem-budget <BYTES>   per-device chunk-residency budget (enables the
+//!                          memory-pressure governor)
 //!   --checkpoint-every <N> write a checkpoint every N program ops
 //!   --checkpoint-out <p>   checkpoint path (with --checkpoint-every)
 //!   --resume <path>        resume from a checkpoint written by --checkpoint-out
@@ -64,6 +71,8 @@ struct Options {
     report: bool,
     save: Option<String>,
     platform: String,
+    devices: usize,
+    mem_budget: Option<u64>,
     peephole: bool,
     cx_basis: bool,
     trace_out: Option<String>,
@@ -111,6 +120,8 @@ fn parse_args() -> Result<Options, String> {
     let mut report = false;
     let mut save = None;
     let mut platform = "p100".to_string();
+    let mut devices = 1usize;
+    let mut mem_budget = None;
     let mut peephole = false;
     let mut cx_basis = false;
     let mut trace_out = None;
@@ -166,6 +177,21 @@ fn parse_args() -> Result<Options, String> {
             "--report" | "-r" => report = true,
             "--save" => save = Some(take(&mut args, "--save")?),
             "--platform" | "-p" => platform = take(&mut args, "--platform")?,
+            "--devices" => {
+                devices = take(&mut args, "--devices")?
+                    .parse()
+                    .map_err(|_| "bad device count")?;
+                if devices == 0 {
+                    return Err("--devices must be at least 1".into());
+                }
+            }
+            "--mem-budget" => {
+                mem_budget = Some(
+                    take(&mut args, "--mem-budget")?
+                        .parse()
+                        .map_err(|_| "bad memory budget")?,
+                )
+            }
             "--peephole" => peephole = true,
             "--cx-basis" => cx_basis = true,
             "--trace-out" => trace_out = Some(take(&mut args, "--trace-out")?),
@@ -207,6 +233,34 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "bad fatal fault op index")?
             }
+            "--inject-device-loss" => {
+                let spec = take(&mut args, "--inject-device-loss")?;
+                let (d, op) = spec
+                    .split_once(':')
+                    .ok_or("--inject-device-loss wants D:OP (device:program-op)")?;
+                faults.device_lost_id = d.parse().map_err(|_| "bad device id")?;
+                faults.device_lost_at = op.parse().map_err(|_| "bad device-loss op index")?;
+            }
+            "--inject-link-degrade" => {
+                faults.p_link_degraded = take(&mut args, "--inject-link-degrade")?
+                    .parse()
+                    .map_err(|_| "bad link degradation probability")?
+            }
+            "--inject-straggler" => {
+                let spec = take(&mut args, "--inject-straggler")?;
+                let (dev, factor) = match spec.split_once(':') {
+                    Some((d, f)) => (d.to_string(), Some(f.to_string())),
+                    None => (spec, None),
+                };
+                faults.straggler_device = dev.parse().map_err(|_| "bad straggler device id")?;
+                if let Some(f) = factor {
+                    faults.slowdown_factor =
+                        f.parse().map_err(|_| "bad straggler slowdown factor")?;
+                    if faults.slowdown_factor <= 1.0 {
+                        return Err("straggler slowdown factor must exceed 1".into());
+                    }
+                }
+            }
             "--checkpoint-every" => {
                 checkpoint_every = take(&mut args, "--checkpoint-every")?
                     .parse()
@@ -245,6 +299,8 @@ fn parse_args() -> Result<Options, String> {
         report,
         save,
         platform,
+        devices,
+        mem_budget,
         peephole,
         cx_basis,
         trace_out,
@@ -260,7 +316,7 @@ fn parse_args() -> Result<Options, String> {
     })
 }
 
-const HELP: &str = "usage: qgpu-sim <file.qasm> | --benchmark <name> --qubits <N>\n  [--version baseline|naive|overlap|pruning|reorder|qgpu] [--shots N]\n  [--seed N] [--chunks log2] [--top N] [--batching] [--fuse] [--threads N]\n  [--report] [--save path] [--trace-out path] [--metrics-out path]\n  [--drift] [--drift-tol pp] [--gantt]\n  [--inject-seed N] [--inject-transfer P] [--inject-codec P]\n  [--inject-mask P] [--inject-worker P] [--inject-fail-at N]\n  [--checkpoint-every N] [--checkpoint-out path] [--resume path]\n  [--compare path]";
+const HELP: &str = "usage: qgpu-sim <file.qasm> | --benchmark <name> --qubits <N>\n  [--version baseline|naive|overlap|pruning|reorder|qgpu] [--shots N]\n  [--seed N] [--chunks log2] [--top N] [--batching] [--fuse] [--threads N]\n  [--report] [--save path] [--trace-out path] [--metrics-out path]\n  [--drift] [--drift-tol pp] [--gantt] [--devices N] [--mem-budget BYTES]\n  [--inject-seed N] [--inject-transfer P] [--inject-codec P]\n  [--inject-mask P] [--inject-worker P] [--inject-fail-at N]\n  [--inject-device-loss D:OP] [--inject-link-degrade P]\n  [--inject-straggler D[:FACTOR]]\n  [--checkpoint-every N] [--checkpoint-out path] [--resume path]\n  [--compare path]";
 
 fn platform_for(name: &str, qubits: usize) -> Result<Platform, String> {
     let ratio = 496.0 / 8192.0;
@@ -321,13 +377,20 @@ fn main() -> ExitCode {
         opts.version
     );
 
-    let platform = match platform_for(&opts.platform, n) {
+    let mut platform = match platform_for(&opts.platform, n) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if opts.devices > 1 {
+        platform = platform.with_devices(opts.devices);
+        eprintln!(
+            "[qgpu-sim] fleet: {} devices ({})",
+            opts.devices, platform.name
+        );
+    }
     let mut config = SimConfig::new(platform)
         .with_version(opts.version)
         .with_chunk_count_log2(opts.chunks_log2);
@@ -338,6 +401,10 @@ fn main() -> ExitCode {
         config = config.with_gate_fusion();
     }
     config = config.with_threads(opts.threads);
+    if let Some(bytes) = opts.mem_budget {
+        config = config.with_mem_budget(bytes);
+        eprintln!("[qgpu-sim] memory-pressure governor: {bytes} bytes per device");
+    }
     if opts.trace_out.is_some() || opts.metrics_out.is_some() || opts.drift {
         config = config.with_obs_spans();
     }
@@ -471,6 +538,15 @@ fn main() -> ExitCode {
             println!("  codec fallbacks   : {}", r.codec_fallbacks);
             println!("  prune fallbacks   : {}", r.prune_fallbacks);
             println!("  worker restarts   : {}", r.worker_restarts);
+        }
+        if opts.devices > 1 || opts.mem_budget.is_some() || r.orchestration_events() > 0 {
+            println!("  devices           : {}", r.num_gpus);
+            println!("  devices lost      : {}", r.devices_lost);
+            println!("  chunks migrated   : {}", r.chunks_migrated);
+            println!("  steals            : {}", r.steals);
+            println!("  pressure downshifts: {}", r.pressure_downshifts);
+            println!("  link degradations : {}", r.link_degradations);
+            println!("  peak resident     : {} bytes", r.peak_resident_bytes);
         }
     }
 

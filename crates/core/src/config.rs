@@ -2,6 +2,7 @@
 
 use qgpu_device::Platform;
 use qgpu_faults::{FaultConfig, RetryPolicy};
+use qgpu_sched::devicegroup::OrchestratorConfig;
 use qgpu_sched::reorder::ReorderStrategy;
 use serde::{Deserialize, Serialize};
 
@@ -176,6 +177,12 @@ pub struct SimConfig {
     /// Where periodic checkpoints are written (format v2, carrying the
     /// op index for [`crate::Simulator::try_run_from`] resume).
     pub checkpoint_path: Option<String>,
+    /// Resilient multi-device orchestration: device-loss re-sharding,
+    /// straggler work-stealing, and the memory-pressure governor.
+    /// `None` keeps the plain round-robin dealer; the engines also bring
+    /// the orchestrator up with defaults whenever a fleet-level fault
+    /// (device loss, link degradation, straggler) is injected.
+    pub orchestration: Option<OrchestratorConfig>,
 }
 
 impl SimConfig {
@@ -200,6 +207,7 @@ impl SimConfig {
             integrity_checks: false,
             checkpoint_every: 0,
             checkpoint_path: None,
+            orchestration: None,
         }
     }
 
@@ -321,10 +329,55 @@ impl SimConfig {
         self
     }
 
+    /// Enables multi-device orchestration (see
+    /// [`SimConfig::orchestration`]). The orchestrator seed is taken
+    /// from the fault seed so one knob reproduces a whole disrupted run.
+    pub fn with_orchestration(mut self, orch: OrchestratorConfig) -> Self {
+        self.orchestration = Some(orch);
+        self
+    }
+
+    /// Enables the memory-pressure governor with a per-device residency
+    /// budget of `bytes`, bringing orchestration up with defaults if it
+    /// is not already configured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes == 0`.
+    pub fn with_mem_budget(mut self, bytes: u64) -> Self {
+        assert!(bytes > 0, "memory budget must be positive");
+        let mut orch = self.orchestration.unwrap_or_default();
+        orch.mem_budget_bytes = Some(bytes);
+        self.orchestration = Some(orch);
+        self
+    }
+
     /// True when the resilient pipeline (CRC tags, retry modeling,
     /// degradation fallbacks) is active.
     pub fn resilience_active(&self) -> bool {
         self.integrity_checks || self.faults.any_enabled()
+    }
+
+    /// True when the device-group orchestrator should run: explicitly
+    /// configured, or any fleet-level fault is injected.
+    pub fn orchestration_active(&self) -> bool {
+        self.orchestration.is_some() || self.faults.device_faults_enabled()
+    }
+
+    /// The orchestrator configuration to run with (explicit config, or
+    /// defaults seeded from the fault seed when only fleet faults are
+    /// set). `None` when orchestration is inactive.
+    pub fn effective_orchestration(&self) -> Option<OrchestratorConfig> {
+        if let Some(orch) = self.orchestration {
+            Some(orch)
+        } else if self.faults.device_faults_enabled() {
+            Some(OrchestratorConfig {
+                seed: self.faults.seed,
+                ..OrchestratorConfig::default()
+            })
+        } else {
+            None
+        }
     }
 
     /// The chunk size in qubits for an `n`-qubit circuit (the *static*

@@ -22,6 +22,7 @@ use qgpu_device::timeline::{Engine, TaskKind, Timeline};
 use qgpu_device::ExecutionReport;
 use qgpu_faults::{FaultInjector, SimError};
 use qgpu_obs::{span_opt, Recorder, Stage, Track};
+use qgpu_sched::devicegroup::DeviceGroup;
 use qgpu_sched::plan::{ChunkTask, GatePlan};
 use qgpu_statevec::{ChunkExecutor, ChunkedState};
 
@@ -51,18 +52,44 @@ pub(crate) fn run(
     let chunk_bytes = 16u64 << chunk_bits;
     let num_gpus = cfg.platform.num_gpus();
 
-    // Static allocation: as many chunks as fit, striped across GPUs.
+    // Static allocation: as many chunks as fit, striped across GPUs. A
+    // configured residency budget caps each device below its hardware
+    // capacity — the baseline's only degradation rung is keeping fewer
+    // chunks resident (everything else already lives on the host).
+    let ocfg = cfg.effective_orchestration();
+    let budget = ocfg.and_then(|o| o.mem_budget_bytes);
+    let mut budget_capped = 0u64;
     let per_gpu_cap: Vec<usize> = (0..num_gpus)
-        .map(|g| cfg.platform.gpu_chunk_capacity(g, chunk_bytes))
+        .map(|g| {
+            let hw = cfg.platform.gpu_chunk_capacity(g, chunk_bytes);
+            match budget {
+                Some(b) => {
+                    let cap = (((b / chunk_bytes.max(1)) as usize).max(1)).min(hw);
+                    if cap < hw {
+                        budget_capped += 1;
+                    }
+                    cap
+                }
+                None => hw,
+            }
+        })
         .collect();
     let resident: usize = per_gpu_cap.iter().sum::<usize>().min(num_chunks);
-    let loc = |chunk: usize| -> Loc {
+    // Where a chunk lives, given which devices are still alive: a dead
+    // device's stripe re-homes to the host.
+    let loc = |chunk: usize, alive: &[bool]| -> Loc {
         if chunk < resident {
-            Loc::Gpu(chunk % num_gpus)
+            let g = chunk % num_gpus;
+            if alive[g] {
+                Loc::Gpu(g)
+            } else {
+                Loc::Host
+            }
         } else {
             Loc::Host
         }
     };
+    let mut alive = vec![true; num_gpus];
 
     let program = {
         let _g = span_opt(rec, Track::Main, Stage::Plan, "engine.program");
@@ -100,6 +127,37 @@ pub(crate) fn run(
     let host = &cfg.platform.host;
     let mut gate_ready = 0.0f64;
 
+    // Orchestration bookkeeping: the device group tracks liveness and
+    // barriers; the injector draws device-level faults. (Work-stealing
+    // does not apply to a static allocation.)
+    let mut group = ocfg.map(|o| {
+        let mut g = DeviceGroup::new(num_gpus, o);
+        // Replay logs only serve device loss; skip their per-task
+        // pushes when no device fault can fire.
+        g.set_replay_tracking(cfg.faults.device_faults_enabled());
+        g
+    });
+    let mut next_barrier = ocfg.map_or(u64::MAX, |o| start as u64 + o.barrier_interval);
+    let mut barriers = 0u64;
+    let mut loss_fired = false;
+    let dev_inj = cfg
+        .faults
+        .device_faults_enabled()
+        .then(|| FaultInjector::new(cfg.faults));
+    let mut transfer_ix = 0u64;
+    if budget.is_some() {
+        for _ in 0..budget_capped {
+            tl.count_pressure_downshift();
+            if let Some(r) = rec {
+                r.add("orch.pressure_downshifts", 1);
+            }
+        }
+        for g in 0..num_gpus {
+            let cnt = (0..resident).filter(|c| c % num_gpus == g).count() as u64;
+            tl.observe_resident_bytes(cnt * chunk_bytes);
+        }
+    }
+
     // A worker-death campaign honors the configured thread count exactly
     // (no clamping to the host's cores), so the multi-worker partitioning
     // paths under test run even on small machines.
@@ -132,6 +190,53 @@ pub(crate) fn run(
                 reason: "injected fatal fault".to_string(),
             });
         }
+
+        // ---- orchestration: barriers and device loss -----------------
+        if let Some(gr) = group.as_mut() {
+            let mut lost: Option<usize> = None;
+            if !loss_fired && idx >= cfg.faults.device_lost_at {
+                loss_fired = true;
+                if cfg.faults.device_lost_id < num_gpus {
+                    lost = Some(cfg.faults.device_lost_id);
+                }
+            }
+            if idx as u64 >= next_barrier {
+                gr.barrier();
+                barriers += 1;
+                next_barrier = idx as u64 + gr.config().barrier_interval;
+                if let (None, Some(inj)) = (lost, dev_inj.as_ref()) {
+                    lost = (0..num_gpus)
+                        .find(|&d| gr.is_alive(d) && inj.device_lost_fires(d, barriers));
+                }
+            }
+            if let Some(d) = lost {
+                if gr.is_alive(d) {
+                    if gr.lose_device(d).is_none() {
+                        return Err(SimError::AllDevicesLost { device: d });
+                    }
+                    alive[d] = false;
+                    // The dead device's stripe re-homes to the host;
+                    // host state is authoritative, so the cost is a
+                    // modeled restore from the last checkpoint barrier.
+                    let moved = (0..resident).filter(|c| c % num_gpus == d).count() as u64;
+                    tl.count_device_lost();
+                    tl.count_chunks_migrated(moved);
+                    if let Some(r) = rec {
+                        r.add("orch.devices_lost", 1);
+                        r.add("orch.chunks_migrated", moved);
+                    }
+                    let restore = tl.schedule(
+                        Engine::Host,
+                        gate_ready,
+                        moved as f64 * chunk_bytes as f64 / host.copy_bw,
+                        TaskKind::Sync,
+                        moved * chunk_bytes,
+                    );
+                    gate_ready = restore.end;
+                }
+            }
+        }
+
         let action = fop.collapsed();
         let plan = GatePlan::new_observed(action, chunk_bits, num_chunks, rec);
         let fpa = flops_per_amp(action);
@@ -141,7 +246,7 @@ pub(crate) fn run(
         let mut gpu_bytes = vec![0u64; num_gpus];
         let mut mixed: Vec<&ChunkTask> = Vec::new();
         for task in plan.tasks() {
-            let locs: Vec<Loc> = task.chunks().iter().map(|&c| loc(c)).collect();
+            let locs: Vec<Loc> = task.chunks().iter().map(|&c| loc(c, &alive)).collect();
             let bytes = task.len() as u64 * chunk_bytes;
             if locs.iter().all(|&l| l == Loc::Host) {
                 host_bytes += bytes;
@@ -174,8 +279,10 @@ pub(crate) fn run(
             if bytes == 0 {
                 continue;
             }
-            let t =
-                bytes as f64 / cfg.platform.gpu(g).update_bw() + cfg.platform.gpu(g).kernel_launch;
+            let stretch = dev_inj.as_ref().map_or(1.0, |i| i.straggler_stretch(g));
+            let t = (bytes as f64 / cfg.platform.gpu(g).update_bw()
+                + cfg.platform.gpu(g).kernel_launch)
+                * stretch;
             let span = tl.schedule(
                 Engine::GpuCompute(g),
                 gate_ready,
@@ -200,18 +307,29 @@ pub(crate) fn run(
             let primary = task
                 .chunks()
                 .iter()
-                .find_map(|&c| match loc(c) {
+                .find_map(|&c| match loc(c, &alive) {
                     Loc::Gpu(g) => Some(g),
                     Loc::Host => None,
                 })
-                .unwrap_or(0);
+                .unwrap_or_else(|| alive.iter().position(|&a| a).unwrap_or(0));
             let off_device_bytes: u64 = task
                 .chunks()
                 .iter()
-                .filter(|&&c| loc(c) != Loc::Gpu(primary))
+                .filter(|&&c| loc(c, &alive) != Loc::Gpu(primary))
                 .count() as u64
                 * chunk_bytes;
             let link = cfg.platform.link(primary);
+            let link_stretch = dev_inj.as_ref().map_or(1.0, |i| {
+                let s = i.link_stretch(transfer_ix);
+                transfer_ix += 1;
+                s
+            });
+            if link_stretch > 1.0 {
+                tl.count_link_degradation();
+                if let Some(r) = rec {
+                    r.add("link.degradations", 1);
+                }
+            }
             let h2d = copy_with_dma(
                 &mut tl,
                 Engine::HostDmaOut,
@@ -221,10 +339,14 @@ pub(crate) fn run(
                 off_device_bytes,
                 link,
                 cfg.platform.host.copy_bw,
+                link_stretch,
             );
             let group_bytes = task.len() as u64 * chunk_bytes;
-            let kt = group_bytes as f64 / cfg.platform.gpu(primary).update_bw()
-                + cfg.platform.gpu(primary).kernel_launch;
+            let kt = (group_bytes as f64 / cfg.platform.gpu(primary).update_bw()
+                + cfg.platform.gpu(primary).kernel_launch)
+                * dev_inj
+                    .as_ref()
+                    .map_or(1.0, |i| i.straggler_stretch(primary));
             let kernel = tl.schedule(
                 Engine::GpuCompute(primary),
                 h2d.end,
@@ -236,6 +358,17 @@ pub(crate) fn run(
             if fop.is_fused() {
                 tl.count_fused_kernel();
             }
+            let down_stretch = dev_inj.as_ref().map_or(1.0, |i| {
+                let s = i.link_stretch(transfer_ix);
+                transfer_ix += 1;
+                s
+            });
+            if down_stretch > 1.0 {
+                tl.count_link_degradation();
+                if let Some(r) = rec {
+                    r.add("link.degradations", 1);
+                }
+            }
             let d2h = copy_with_dma(
                 &mut tl,
                 Engine::HostDmaIn,
@@ -245,6 +378,7 @@ pub(crate) fn run(
                 off_device_bytes,
                 link,
                 cfg.platform.host.copy_bw,
+                down_stretch,
             );
             chain = d2h.end;
         }

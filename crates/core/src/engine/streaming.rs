@@ -32,6 +32,7 @@ use qgpu_device::ExecutionReport;
 use qgpu_faults::{FaultInjector, FaultSite, RetryPolicy, SimError};
 use qgpu_math::Complex64;
 use qgpu_obs::{span_opt, Recorder, Stage, Track};
+use qgpu_sched::devicegroup::{DeviceGroup, PressureAction, PressureGovernor};
 use qgpu_sched::plan::{ChunkTask, GatePlan};
 use qgpu_sched::residency::RoundRobin;
 use qgpu_sched::InvolvementTracker;
@@ -69,6 +70,7 @@ pub(crate) fn copy_with_dma(
     bytes: u64,
     link: &qgpu_device::LinkSpec,
     copy_bw: f64,
+    link_stretch: f64,
 ) -> qgpu_device::Span {
     let dma = tl.schedule(
         dma_engine,
@@ -80,7 +82,7 @@ pub(crate) fn copy_with_dma(
     tl.schedule(
         link_engine,
         dma.start,
-        link.transfer_time(bytes),
+        link.transfer_time(bytes) * link_stretch,
         kind,
         bytes,
     )
@@ -114,6 +116,11 @@ struct Resilience {
     transfers: u64,
     codec_ops: u64,
     kernels: u64,
+    /// Arrival-side CRC passes actually paid (each one is a real
+    /// checksum over a chunk that moved raw). Compressed chunks are
+    /// sealed at encode time and must never show up here — the
+    /// `integrity.retags` counter makes that invariant observable.
+    retags: u64,
     /// Last tag computed for each chunk (indexed by chunk number),
     /// refreshed on every arrival.
     tags: Vec<Option<u32>>,
@@ -129,6 +136,7 @@ impl Resilience {
             transfers: 0,
             codec_ops: 0,
             kernels: 0,
+            retags: 0,
             tags: Vec::new(),
             zero_tag: [None; MAX_CHUNK_BITS],
         }
@@ -223,6 +231,7 @@ impl Resilience {
             if skip(m) {
                 continue;
             }
+            self.retags += 1;
             self.tags[m] = Some(match state.chunk(m) {
                 Some(amps) => qgpu_faults::fast_checksum(amp_bytes(amps)),
                 None => zero,
@@ -289,10 +298,20 @@ fn transfer_with_integrity(
             bytes,
             link,
             copy_bw,
+            1.0,
         ));
     };
     let index = rs.transfers;
     rs.transfers += 1;
+    // An injected link degradation stretches this transfer's link time —
+    // every retry of the same transfer sees the same degraded link.
+    let stretch = rs.inj.link_stretch(index);
+    if stretch > 1.0 {
+        tl.count_link_degradation();
+        if let Some(r) = rec {
+            r.add("link.degradations", 1);
+        }
+    }
     let mut attempt: u32 = 0;
     loop {
         let span = copy_with_dma(
@@ -304,6 +323,7 @@ fn transfer_with_integrity(
             bytes,
             link,
             copy_bw,
+            stretch,
         );
         if !rs
             .inj
@@ -332,6 +352,138 @@ fn transfer_with_integrity(
         ready = b.end;
         attempt += 1;
     }
+}
+
+/// Engine-side orchestration state: the device group that deals tasks,
+/// the optional memory-pressure governor, and the degradation latches the
+/// governor has pulled so far.
+struct Orchestration {
+    group: DeviceGroup,
+    governor: Option<PressureGovernor>,
+    /// ForceCompress rung pulled: chunks move compressed even on
+    /// versions below Q-GPU (modeled cost only; functional state is
+    /// untouched, so results stay bit-identical).
+    force_compress: bool,
+    /// ShrinkChunks rung pulled: a ceiling on `chunk_bits`.
+    bits_cap: Option<u32>,
+    /// Program-op index at which the next checkpoint barrier closes.
+    next_barrier: u64,
+    /// Barriers closed so far (the probabilistic loss draw's index).
+    barriers: u64,
+    /// The deterministic `device_lost_at` injection already fired.
+    loss_fired: bool,
+}
+
+impl Orchestration {
+    /// The window cap under the per-device residency budget. The cap
+    /// clamps immediately — admission never exceeds the budget — while
+    /// the governor's ladder escalates only after sustained pressure
+    /// ([`PressureGovernor::on_pressure`]'s strike counter), pulling
+    /// ShrinkChunks → ForceCompress → SpillOldest in order.
+    #[allow(clippy::too_many_arguments)]
+    fn governed_cap(
+        &mut self,
+        base_cap: usize,
+        inflight: usize,
+        incoming: usize,
+        chunk_bits: u32,
+        chunk_bytes: u64,
+        compressing: bool,
+        tl: &mut Timeline,
+        rec: Option<&Recorder>,
+    ) -> usize {
+        let Some(gov) = self.governor.as_mut() else {
+            return base_cap;
+        };
+        let fit = gov.cap_chunks(chunk_bytes, 0);
+        if fit < inflight + incoming {
+            let can_shrink = chunk_bits > 1 && self.bits_cap.is_none();
+            let can_compress = !compressing;
+            if let Some(action) = gov.on_pressure(can_shrink, can_compress) {
+                match action {
+                    PressureAction::ShrinkChunks => {
+                        self.bits_cap = Some(chunk_bits.saturating_sub(1).max(1));
+                    }
+                    PressureAction::ForceCompress => self.force_compress = true,
+                    // The clamped cap already forces the admission loop
+                    // to retire (spill) the oldest in-flight slots; the
+                    // terminal rung just keeps doing that.
+                    PressureAction::SpillOldest => {}
+                }
+                tl.count_pressure_downshift();
+                if let Some(r) = rec {
+                    r.add("orch.pressure_downshifts", 1);
+                }
+            }
+        } else {
+            gov.on_relief();
+        }
+        gov.cap_chunks(chunk_bytes, incoming.max(1)).min(base_cap)
+    }
+}
+
+/// A device dropped out: re-shard onto the survivors and replay its
+/// since-barrier log. Host state is authoritative (the functional update
+/// already ran there), so recovery is purely modeled time — each migrated
+/// task re-uploads its bytes and re-runs its kernel on the survivor the
+/// post-loss epoch rotation deals it to — and the recovered result is
+/// bit-identical to an undisturbed run.
+#[allow(clippy::too_many_arguments)]
+fn handle_device_loss(
+    device: usize,
+    o: &mut Orchestration,
+    tl: &mut Timeline,
+    windows: &mut [Window],
+    epoch_floor: &mut f64,
+    chain: &mut f64,
+    cfg: &SimConfig,
+    rec: Option<&Recorder>,
+) -> Result<(), SimError> {
+    if !o.group.is_alive(device) {
+        return Ok(());
+    }
+    let Some(replay) = o.group.lose_device(device) else {
+        return Err(SimError::AllDevicesLost { device });
+    };
+    let _g = span_opt(rec, Track::Main, Stage::Other, "orch.reshard");
+    tl.count_device_lost();
+    tl.count_chunks_migrated(replay.len() as u64);
+    if let Some(r) = rec {
+        r.add("orch.devices_lost", 1);
+        r.add("orch.chunks_migrated", replay.len() as u64);
+    }
+    // The dead device's double-buffer window died with it.
+    windows[device].slots.clear();
+    windows[device].inflight = 0;
+    let floor = tl.makespan();
+    let mut done = floor;
+    for (i, t) in replay.iter().enumerate() {
+        let g = o.group.owner_of(i);
+        let h2d = copy_with_dma(
+            tl,
+            Engine::HostDmaOut,
+            Engine::H2d(g),
+            TaskKind::H2dCopy,
+            floor,
+            t.bytes,
+            cfg.platform.link(g),
+            cfg.platform.host.copy_bw,
+            1.0,
+        );
+        let k = tl.schedule(
+            Engine::GpuCompute(g),
+            h2d.end,
+            t.duration,
+            TaskKind::Kernel,
+            t.bytes,
+        );
+        done = done.max(k.end);
+    }
+    // Recovery is a synchronization point: the pipeline restarts from the
+    // re-shard horizon.
+    *epoch_floor = done.max(*epoch_floor);
+    *chain = chain.max(*epoch_floor);
+    Ok(())
 }
 
 pub(crate) fn run(
@@ -426,6 +578,27 @@ pub(crate) fn run(
     let mut resil = cfg.resilience_active().then(|| Resilience::new(cfg));
     let mut last_ckpt = start as u64;
 
+    // Resilient multi-device orchestration: explicit opt-in, or implied
+    // by any configured device-level fault.
+    let mut orch = cfg.effective_orchestration().map(|ocfg| Orchestration {
+        group: {
+            let mut g = DeviceGroup::new(num_gpus, ocfg);
+            // Replay logs only serve device loss; without device faults
+            // their per-task pushes are the orchestrator's single
+            // biggest fault-free cost.
+            g.set_replay_tracking(cfg.faults.device_faults_enabled());
+            g
+        },
+        governor: ocfg.mem_budget_bytes.map(PressureGovernor::new),
+        force_compress: false,
+        bits_cap: None,
+        next_barrier: start as u64 + ocfg.barrier_interval,
+        barriers: 0,
+        loss_fired: false,
+    });
+    // Per-device modeled compute backlog, refilled at each assignment.
+    let mut backlog: Vec<f64> = vec![0.0; num_gpus];
+
     // Compressed representation held by the CPU, per chunk (bytes).
     let mut compressed: HashMap<usize, usize> = HashMap::new();
     // Pipeline state.
@@ -475,9 +648,54 @@ pub(crate) fn run(
             });
         }
 
-        // Dynamic chunk sizing (Algorithm 1's getChunkSize).
-        if dynamic_chunks {
-            let nb = tracker.optimal_chunk_bits(base_chunk_bits, overhead_bytes);
+        // ---- orchestration: barriers and device loss -----------------
+        if let Some(o) = orch.as_mut() {
+            // Deterministic one-shot loss at a configured op index. The
+            // `>=` (with a latch) tolerates the exact index having been
+            // consumed mid-batch by the gate-batching extension.
+            let mut lost: Option<usize> = None;
+            if !o.loss_fired && idx >= cfg.faults.device_lost_at {
+                o.loss_fired = true;
+                if cfg.faults.device_lost_id < num_gpus {
+                    lost = Some(cfg.faults.device_lost_id);
+                }
+            }
+            // Checkpoint barrier: replay logs truncate here, and the
+            // probabilistic loss draws once per (device, barrier).
+            if idx as u64 >= o.next_barrier {
+                o.group.barrier();
+                o.barriers += 1;
+                o.next_barrier = idx as u64 + o.group.config().barrier_interval;
+                if let (None, Some(rs)) = (lost, resil.as_ref()) {
+                    lost = (0..num_gpus)
+                        .find(|&d| o.group.is_alive(d) && rs.inj.device_lost_fires(d, o.barriers));
+                }
+            }
+            if let Some(d) = lost {
+                handle_device_loss(
+                    d,
+                    o,
+                    &mut tl,
+                    &mut windows,
+                    &mut epoch_floor,
+                    &mut chain,
+                    cfg,
+                    rec,
+                )?;
+            }
+        }
+
+        // Dynamic chunk sizing (Algorithm 1's getChunkSize), with the
+        // governor's ShrinkChunks ceiling applied on top.
+        {
+            let mut nb = if dynamic_chunks {
+                tracker.optimal_chunk_bits(base_chunk_bits, overhead_bytes)
+            } else {
+                base_chunk_bits
+            };
+            if let Some(cap) = orch.as_ref().and_then(|o| o.bits_cap) {
+                nb = nb.min(cap);
+            }
             if nb != chunk_bits {
                 chunk_bits = nb;
                 state.set_chunk_bits(nb);
@@ -500,6 +718,10 @@ pub(crate) fn run(
 
         let num_chunks = 1usize << (n as u32 - chunk_bits);
         let chunk_bytes = 16u64 << chunk_bits;
+        // Whether chunks move compressed this op: the version's own
+        // choice, or the governor's ForceCompress rung.
+        let compressing =
+            version.has_compression() || orch.as_ref().is_some_and(|o| o.force_compress);
         let fop = &program[idx];
         let action = fop.collapsed();
 
@@ -565,25 +787,58 @@ pub(crate) fn run(
                 if applicable.is_empty() {
                     continue;
                 }
-                let gpu = rr.gpu_for_task(task_counter);
+                let gpu = match orch.as_mut() {
+                    Some(o) => {
+                        // Backlogs only matter for victim selection, so a
+                        // healthy (un-armed) fleet skips gathering them.
+                        if o.group.steal_armed() {
+                            for (g, b) in backlog.iter_mut().enumerate() {
+                                *b = tl.engine_available(Engine::GpuCompute(g));
+                            }
+                        }
+                        let (g, stolen) = o.group.assign(task_counter, &backlog);
+                        if stolen {
+                            tl.count_steal();
+                            if let Some(r) = rec {
+                                r.add("orch.steals", 1);
+                            }
+                        }
+                        g
+                    }
+                    None => rr.gpu_for_task(task_counter),
+                };
                 task_counter += 1;
                 let link = cfg.platform.link(gpu);
                 let gspec = cfg.platform.gpu(gpu);
 
                 // Upload once.
-                let (h2d_bytes, raw_up_compressed) =
-                    match (version.has_compression(), compressed.get(&chunk)) {
-                        (true, Some(&sz)) => (sz as u64, chunk_bytes),
-                        _ => (chunk_bytes, 0),
-                    };
+                let (h2d_bytes, raw_up_compressed) = match (compressing, compressed.get(&chunk)) {
+                    (true, Some(&sz)) => (sz as u64, chunk_bytes),
+                    _ => (chunk_bytes, 0),
+                };
                 let mut ready = epoch_floor;
                 if let Some(&t) = last_d2h.get(&chunk) {
                     ready = ready.max(t);
                 }
                 if version.has_overlap() {
-                    let w = &mut windows[gpu];
-                    let cap = ((gspec.mem_bytes as f64 * cfg.buffer_split) as u64 / chunk_bytes)
+                    let base_cap = ((gspec.mem_bytes as f64 * cfg.buffer_split) as u64
+                        / chunk_bytes)
                         .max(1) as usize;
+                    let inflight = windows[gpu].inflight;
+                    let cap = match orch.as_mut() {
+                        Some(o) => o.governed_cap(
+                            base_cap,
+                            inflight,
+                            1,
+                            chunk_bits,
+                            chunk_bytes,
+                            compressing,
+                            &mut tl,
+                            rec,
+                        ),
+                        None => base_cap,
+                    };
+                    let w = &mut windows[gpu];
                     while w.inflight + 1 > cap {
                         match w.slots.pop_front() {
                             Some((end, held)) => {
@@ -593,8 +848,17 @@ pub(crate) fn run(
                             None => break,
                         }
                     }
+                    if orch.as_ref().is_some_and(|o| o.governor.is_some()) {
+                        tl.observe_resident_bytes((w.inflight + 1) as u64 * chunk_bytes);
+                    }
                 } else {
                     ready = ready.max(chain);
+                    if let Some(o) = orch.as_mut() {
+                        o.governed_cap(1, 0, 1, chunk_bits, chunk_bytes, compressing, &mut tl, rec);
+                        if o.governor.is_some() {
+                            tl.observe_resident_bytes(chunk_bytes);
+                        }
+                    }
                 }
                 if let Some(rs) = resil.as_mut() {
                     rs.seal_for_upload(&state, &[chunk], chunk_bits, |_| false);
@@ -623,18 +887,24 @@ pub(crate) fn run(
                     compute_ready = d.end;
                 }
                 // One kernel per applicable op over the resident chunk.
+                let mut kernel_service = 0.0f64;
                 {
                     let _g = span_opt(rec, Track::Main, Stage::Update, "update.batch");
                     for &i in &applicable {
-                        let stretch = resil.as_mut().map_or(1.0, Resilience::kernel_stretch);
+                        let stretch = resil.as_mut().map_or(1.0, |rs| {
+                            rs.kernel_stretch() * rs.inj.straggler_stretch(gpu)
+                        });
+                        let kernel_s = (chunk_bytes as f64 / gspec.update_bw()
+                            + gspec.kernel_launch)
+                            * stretch;
                         let kernel = tl.schedule(
                             Engine::GpuCompute(gpu),
                             compute_ready,
-                            (chunk_bytes as f64 / gspec.update_bw() + gspec.kernel_launch)
-                                * stretch,
+                            kernel_s,
                             TaskKind::Kernel,
                             chunk_bytes,
                         );
+                        kernel_service += kernel_s;
                         compute_ready = kernel.end;
                         tl.add_flops(
                             (chunk_bytes as f64 / 16.0) * flops_per_amp(batch[i].collapsed()),
@@ -660,6 +930,11 @@ pub(crate) fn run(
                     r.add("chunks.processed", applicable.len() as u64);
                     r.observe("chunk.bytes", chunk_bytes);
                 }
+                if let Some(o) = orch.as_mut() {
+                    // Pure kernel service time: queueing and codec spans
+                    // would let backlog leak into the pace estimate.
+                    o.group.record_task(gpu, kernel_service, chunk_bytes);
+                }
 
                 // Download once.
                 let mut d2h_ready = compute_ready;
@@ -667,7 +942,7 @@ pub(crate) fn run(
                 let mut sealed_at_encode = false;
                 if pruning && tracker_end.chunk_is_zero(chunk, chunk_bits) {
                     compressed.remove(&chunk);
-                } else if version.has_compression() {
+                } else if compressing {
                     // Injected encode failure: degrade to a raw transfer
                     // for this chunk (no compress kernel, full bytes).
                     if resil.as_mut().is_some_and(Resilience::codec_fails) {
@@ -712,8 +987,11 @@ pub(crate) fn run(
                 } else {
                     d2h_bytes = chunk_bytes;
                 }
+                // Only a chunk that actually crossed the link raw pays an
+                // arrival re-tag; encode-sealed chunks carried their tag
+                // and a pruned-to-zero chunk never moved at all.
                 if let Some(rs) = resil.as_mut() {
-                    if !sealed_at_encode {
+                    if !sealed_at_encode && d2h_bytes > 0 {
                         rs.verify_on_arrival(&state, &[chunk], chunk_bits, |_| false);
                     }
                 }
@@ -831,7 +1109,7 @@ pub(crate) fn run(
         // sizes are identical to compressing inside the task loop below.
         let mut new_sizes: HashMap<usize, usize> = HashMap::new();
         let mut raw_members = 0usize;
-        if version.has_compression() {
+        if compressing {
             let _g = span_opt(rec, Track::Main, Stage::Compress, "gfc.compress");
             for task in &tasks {
                 for &m in task.chunks() {
@@ -872,7 +1150,26 @@ pub(crate) fn run(
         }
 
         for task in tasks {
-            let gpu = rr.gpu_for_task(task_counter);
+            let gpu = match orch.as_mut() {
+                Some(o) => {
+                    // Backlogs only matter for victim selection, so a
+                    // healthy (un-armed) fleet skips gathering them.
+                    if o.group.steal_armed() {
+                        for (g, b) in backlog.iter_mut().enumerate() {
+                            *b = tl.engine_available(Engine::GpuCompute(g));
+                        }
+                    }
+                    let (g, stolen) = o.group.assign(task_counter, &backlog);
+                    if stolen {
+                        tl.count_steal();
+                        if let Some(r) = rec {
+                            r.add("orch.steals", 1);
+                        }
+                    }
+                    g
+                }
+                None => rr.gpu_for_task(task_counter),
+            };
             task_counter += 1;
             let link = cfg.platform.link(gpu);
             let gspec = cfg.platform.gpu(gpu);
@@ -887,7 +1184,7 @@ pub(crate) fn run(
                 if provably_zero {
                     continue;
                 }
-                match (version.has_compression(), compressed.get(&m)) {
+                match (compressing, compressed.get(&m)) {
                     (true, Some(&sz)) => {
                         h2d_bytes += sz as u64;
                         raw_up_compressed += chunk_bytes;
@@ -904,9 +1201,23 @@ pub(crate) fn run(
                 }
             }
             if version.has_overlap() {
-                let w = &mut windows[gpu];
-                let cap = ((gspec.mem_bytes as f64 * cfg.buffer_split) as u64 / chunk_bytes)
+                let base_cap = ((gspec.mem_bytes as f64 * cfg.buffer_split) as u64 / chunk_bytes)
                     .max(members.len() as u64) as usize;
+                let inflight = windows[gpu].inflight;
+                let cap = match orch.as_mut() {
+                    Some(o) => o.governed_cap(
+                        base_cap,
+                        inflight,
+                        members.len(),
+                        chunk_bits,
+                        chunk_bytes,
+                        compressing,
+                        &mut tl,
+                        rec,
+                    ),
+                    None => base_cap,
+                };
+                let w = &mut windows[gpu];
                 while w.inflight + members.len() > cap {
                     match w.slots.pop_front() {
                         Some((end, held)) => {
@@ -916,8 +1227,26 @@ pub(crate) fn run(
                         None => break,
                     }
                 }
+                if orch.as_ref().is_some_and(|o| o.governor.is_some()) {
+                    tl.observe_resident_bytes((w.inflight + members.len()) as u64 * chunk_bytes);
+                }
             } else {
                 ready = ready.max(chain);
+                if let Some(o) = orch.as_mut() {
+                    o.governed_cap(
+                        members.len(),
+                        0,
+                        members.len(),
+                        chunk_bits,
+                        chunk_bytes,
+                        compressing,
+                        &mut tl,
+                        rec,
+                    );
+                    if o.governor.is_some() {
+                        tl.observe_resident_bytes(members.len() as u64 * chunk_bytes);
+                    }
+                }
             }
 
             // ---- H2D → decompress → kernel ------------------------------
@@ -950,17 +1279,25 @@ pub(crate) fn run(
                 compute_ready = d.end;
             }
             let task_bytes = members.len() as u64 * chunk_bytes;
-            let stretch = resil.as_mut().map_or(1.0, Resilience::kernel_stretch);
+            let stretch = resil.as_mut().map_or(1.0, |rs| {
+                rs.kernel_stretch() * rs.inj.straggler_stretch(gpu)
+            });
+            let kernel_s = (task_bytes as f64 / gspec.update_bw() + gspec.kernel_launch) * stretch;
             let kernel = tl.schedule(
                 Engine::GpuCompute(gpu),
                 compute_ready,
-                (task_bytes as f64 / gspec.update_bw() + gspec.kernel_launch) * stretch,
+                kernel_s,
                 TaskKind::Kernel,
                 task_bytes,
             );
             tl.add_flops((task_bytes as f64 / 16.0) * fpa);
             if fop.is_fused() {
                 tl.count_fused_kernel();
+            }
+            if let Some(o) = orch.as_mut() {
+                // Pure kernel service time: queueing and codec spans
+                // would let backlog leak into the pace estimate.
+                o.group.record_task(gpu, kernel_s, task_bytes);
             }
 
             // ---- compress → D2H ------------------------------------------
@@ -973,7 +1310,7 @@ pub(crate) fn run(
                     compressed.remove(&m);
                     continue;
                 }
-                if version.has_compression() {
+                if compressing {
                     let sz = new_sizes[&m];
                     if sz == RAW_FALLBACK {
                         // Encode failed for this member: raw download, no
@@ -1000,17 +1337,23 @@ pub(crate) fn run(
                 );
                 d2h_ready = cspan.end;
             }
+            // Arrival re-tags are paid only for members that moved raw:
+            // a fully-pruned task (`d2h_bytes == 0`) and a fully-sealed
+            // compressed task skip the pass entirely.
             if let Some(rs) = resil.as_mut() {
-                if !version.has_compression() {
-                    rs.verify_on_arrival(&state, members, chunk_bits, |m| {
-                        pruning && tracker_after.chunk_is_zero(m, chunk_bits)
-                    });
-                } else if raw_members > 0 {
-                    // Compressed members were sealed at encode time; only
-                    // raw codec-failure fallbacks need an arrival pass.
-                    rs.verify_on_arrival(&state, members, chunk_bits, |m| {
-                        new_sizes.get(&m) != Some(&RAW_FALLBACK)
-                    });
+                if d2h_bytes > 0 {
+                    if !compressing {
+                        rs.verify_on_arrival(&state, members, chunk_bits, |m| {
+                            pruning && tracker_after.chunk_is_zero(m, chunk_bits)
+                        });
+                    } else if raw_members > 0 {
+                        // Compressed members were sealed at encode time;
+                        // only raw codec-failure fallbacks need an
+                        // arrival pass.
+                        rs.verify_on_arrival(&state, members, chunk_bits, |m| {
+                            new_sizes.get(&m) != Some(&RAW_FALLBACK)
+                        });
+                    }
                 }
             }
             let d2h = transfer_with_integrity(
@@ -1060,6 +1403,9 @@ pub(crate) fn run(
         tracker = tracker_after;
     }
 
+    if let (Some(rs), Some(r)) = (resil.as_ref(), rec) {
+        r.add("integrity.retags", rs.retags);
+    }
     let report = ExecutionReport::from_timeline(&tl, num_gpus);
     Ok(RunResult {
         version,
@@ -1503,5 +1849,235 @@ mod tests {
             matches!(err, SimError::ChunkCorrupt { attempts, .. } if attempts > 1),
             "unexpected error: {err}"
         );
+    }
+
+    // ---- resilient multi-device orchestration ---------------------------
+
+    use qgpu_device::Platform;
+    use qgpu_sched::devicegroup::OrchestratorConfig;
+
+    /// A miniaturized `d`-device fleet at the paper's residency ratio.
+    fn fleet_cfg(n: usize, d: usize, v: Version) -> SimConfig {
+        let p = Platform::scaled_paper_p100(n).with_devices(d);
+        SimConfig::new(p).with_version(v)
+    }
+
+    #[test]
+    fn orchestrated_fault_free_run_matches_plain_and_never_migrates() {
+        // Turning orchestration on without any fault or budget must be
+        // invisible: same modeled time, same bytes, zero migrations.
+        let n = 11;
+        let c = Benchmark::Qft.generate(n);
+        for v in [Version::Overlap, Version::QGpu] {
+            let plain = Simulator::new(fleet_cfg(n, 4, v)).run(&c);
+            let orch = Simulator::new(
+                fleet_cfg(n, 4, v).with_orchestration(OrchestratorConfig::default()),
+            )
+            .run(&c);
+            assert_bitwise_eq(
+                plain.state.as_ref().expect("collected"),
+                orch.state.as_ref().expect("collected"),
+            );
+            assert_eq!(
+                plain.report.total_time, orch.report.total_time,
+                "{v}: orchestration changed fault-free modeled time"
+            );
+            assert_eq!(orch.report.devices_lost, 0);
+            assert_eq!(orch.report.chunks_migrated, 0);
+            assert_eq!(orch.report.steals, 0, "{v}: healthy run migrated work");
+            assert_eq!(orch.report.pressure_downshifts, 0);
+        }
+    }
+
+    #[test]
+    fn device_loss_recovers_bit_exactly_with_modeled_cost() {
+        let n = 12;
+        let c = Benchmark::Qft.generate(n);
+        for v in [Version::Naive, Version::Overlap, Version::QGpu] {
+            let clean = Simulator::new(fleet_cfg(n, 4, v)).run(&c);
+            let faults = FaultConfig {
+                device_lost_at: 5,
+                device_lost_id: 1,
+                ..FaultConfig::default()
+            };
+            let lossy = Simulator::new(fleet_cfg(n, 4, v).with_faults(faults))
+                .try_run(&c)
+                .expect("three survivors must absorb one loss");
+            assert_bitwise_eq(
+                clean.state.as_ref().expect("collected"),
+                lossy.state.as_ref().expect("collected"),
+            );
+            assert_eq!(lossy.report.devices_lost, 1, "{v}");
+            assert!(
+                lossy.report.total_time > clean.report.total_time,
+                "{v}: recovery must cost modeled time ({} vs {})",
+                lossy.report.total_time,
+                clean.report.total_time
+            );
+        }
+    }
+
+    #[test]
+    fn device_loss_mid_run_migrates_replay_work() {
+        // Lose a device deep enough into the run that its since-barrier
+        // log is non-empty: the replay shows up as migrated chunks.
+        let n = 12;
+        let c = Benchmark::Qft.generate(n);
+        let faults = FaultConfig {
+            device_lost_at: 20,
+            device_lost_id: 2,
+            ..FaultConfig::default()
+        };
+        let lossy = Simulator::new(fleet_cfg(n, 4, Version::Overlap).with_faults(faults))
+            .try_run(&c)
+            .expect("survivors absorb the loss");
+        assert_eq!(lossy.report.devices_lost, 1);
+        assert!(
+            lossy.report.chunks_migrated > 0,
+            "no chunks migrated on a mid-run loss"
+        );
+    }
+
+    #[test]
+    fn losing_the_only_device_is_a_typed_error() {
+        let c = Benchmark::Qft.generate(10);
+        let faults = FaultConfig {
+            device_lost_at: 3,
+            device_lost_id: 0,
+            ..FaultConfig::default()
+        };
+        let err = Simulator::new(fleet_cfg(10, 1, Version::Overlap).with_faults(faults))
+            .try_run(&c)
+            .expect_err("no survivors: the run cannot continue");
+        assert!(
+            matches!(err, SimError::AllDevicesLost { device: 0 }),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn straggler_triggers_steals_and_stays_bit_exact() {
+        let n = 12;
+        let c = Benchmark::Qft.generate(n);
+        let clean = Simulator::new(fleet_cfg(n, 4, Version::Overlap)).run(&c);
+        let faults = FaultConfig {
+            straggler_device: 1,
+            slowdown_factor: 8.0,
+            ..FaultConfig::default()
+        };
+        let slow = Simulator::new(fleet_cfg(n, 4, Version::Overlap).with_faults(faults))
+            .try_run(&c)
+            .expect("a straggler is not fatal");
+        assert_bitwise_eq(
+            clean.state.as_ref().expect("collected"),
+            slow.state.as_ref().expect("collected"),
+        );
+        assert!(
+            slow.report.steals > 0,
+            "an 8x straggler must shed work to its peers"
+        );
+        assert_eq!(slow.report.devices_lost, 0);
+    }
+
+    #[test]
+    fn link_degradation_counts_and_stays_bit_exact() {
+        let n = 11;
+        let c = Benchmark::Qft.generate(n);
+        let clean = Simulator::new(fleet_cfg(n, 2, Version::Overlap)).run(&c);
+        let faults = FaultConfig {
+            p_link_degraded: 0.05,
+            link_degrade_factor: 4.0,
+            ..FaultConfig::default()
+        };
+        let degraded = Simulator::new(fleet_cfg(n, 2, Version::Overlap).with_faults(faults))
+            .try_run(&c)
+            .expect("degraded links only slow the run");
+        assert_bitwise_eq(
+            clean.state.as_ref().expect("collected"),
+            degraded.state.as_ref().expect("collected"),
+        );
+        assert!(degraded.report.link_degradations > 0);
+        assert!(degraded.report.total_time > clean.report.total_time);
+    }
+
+    #[test]
+    fn memory_budget_degrades_but_never_exceeds_the_budget() {
+        let n = 12;
+        let c = Benchmark::Qft.generate(n);
+        let clean = Simulator::new(fleet_cfg(n, 2, Version::Overlap)).run(&c);
+        // A budget of four base chunks per device: tight enough to bind
+        // on a fleet whose window would otherwise hold more.
+        let chunk_bytes = 16u64 << fleet_cfg(n, 2, Version::Overlap).chunk_bits_for(n);
+        let budget = 4 * chunk_bytes;
+        let tight = Simulator::new(fleet_cfg(n, 2, Version::Overlap).with_mem_budget(budget))
+            .try_run(&c)
+            .expect("pressure degrades, never fails");
+        assert_bitwise_eq(
+            clean.state.as_ref().expect("collected"),
+            tight.state.as_ref().expect("collected"),
+        );
+        assert!(
+            tight.report.peak_resident_bytes <= budget,
+            "peak residency {} exceeded budget {budget}",
+            tight.report.peak_resident_bytes
+        );
+        assert!(tight.report.peak_resident_bytes > 0);
+    }
+
+    #[test]
+    fn resumed_compressed_run_pays_no_arrival_retags() {
+        // Satellite regression: every compressed chunk's tag is sealed at
+        // encode time and travels with the data — a resumed Q-GPU run
+        // (whose tag cache starts empty) must not re-tag on arrival, and
+        // must stay bit-exact. An uncompressed run pays honest re-tags.
+        let n = 10;
+        let c = Benchmark::Qft.generate(n);
+        let dir = std::env::temp_dir().join(format!("qgpu-retag-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let ckpt = dir.join("retag.ckpt");
+        let retags = |r: &RunResult| -> u64 {
+            r.obs
+                .as_ref()
+                .expect("obs enabled")
+                .metrics
+                .counters
+                .iter()
+                .find(|(name, _)| name == "integrity.retags")
+                .map_or(0, |&(_, v)| v)
+        };
+        let base = |v: Version| {
+            SimConfig::scaled_paper(n)
+                .with_version(v)
+                .with_obs_spans()
+                .with_integrity_checks()
+                .with_checkpointing(10, ckpt.to_str().expect("utf8 path"))
+        };
+        let clean = Simulator::new(base(Version::QGpu)).run(&c);
+
+        // Kill the run mid-way, then resume from the checkpoint.
+        let faults = FaultConfig {
+            fail_at_gate: 25,
+            ..FaultConfig::default()
+        };
+        let err = Simulator::new(base(Version::QGpu).with_faults(faults)).try_run(&c);
+        assert!(matches!(err, Err(SimError::Fatal { .. })));
+        let ck = crate::checkpoint::load_with_progress(ckpt.to_str().expect("utf8 path"))
+            .expect("checkpoint written");
+        let resumed = Simulator::new(base(Version::QGpu))
+            .try_run_from(&c, Some(&ck))
+            .expect("resume");
+        assert_bitwise_eq(
+            clean.state.as_ref().expect("collected"),
+            resumed.state.as_ref().expect("collected"),
+        );
+        assert_eq!(
+            retags(&resumed),
+            0,
+            "compressed chunks must never re-tag on arrival"
+        );
+        // The uncompressed control run pays real arrival re-tags.
+        let control = Simulator::new(base(Version::Overlap)).run(&c);
+        assert!(retags(&control) > 0, "raw transfers must re-tag");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -44,4 +44,5 @@ pub use checkpoint::Checkpoint;
 pub use config::{SimConfig, Version};
 pub use engine::Simulator;
 pub use qgpu_faults::{FaultConfig, RetryPolicy, SimError};
+pub use qgpu_sched::devicegroup::OrchestratorConfig;
 pub use result::{ObsData, RunResult};

@@ -83,7 +83,12 @@ pub fn render(trace: &[TraceEvent], columns: usize) -> String {
         let mut row = vec![' '; columns];
         let mut busy = 0.0f64;
         for ev in trace.iter().filter(|e| e.engine == engine) {
-            busy += ev.span.duration();
+            // Backoff spans occupy the engine but do no work; drawing
+            // them while excluding them from the busy fraction keeps
+            // reported utilization honest under injected faults.
+            if ev.kind != TaskKind::Backoff {
+                busy += ev.span.duration();
+            }
             let lo = (ev.span.start * scale).floor() as usize;
             let hi = ((ev.span.end * scale).ceil() as usize).min(columns);
             for cell in row.iter_mut().take(hi.max(lo + 1).min(columns)).skip(lo) {
@@ -195,6 +200,20 @@ mod tests {
         }
         // Chart rows plus one legend line.
         assert_eq!(chart.lines().count(), 5);
+    }
+
+    #[test]
+    fn backoff_spans_draw_but_do_not_count_as_busy() {
+        let mut tl = Timeline::with_trace(10);
+        tl.schedule(Engine::H2d(0), 0.0, 1.0, TaskKind::H2dCopy, 0);
+        tl.schedule(Engine::H2d(0), 1.0, 2.0, TaskKind::Backoff, 0);
+        tl.schedule(Engine::H2d(0), 3.0, 1.0, TaskKind::H2dCopy, 0);
+        let chart = render(tl.trace(), 40);
+        let row = chart.lines().find(|l| l.starts_with("h2d0")).expect("row");
+        // Makespan 4.0, real copies 2.0: 50% busy, not the 100% the
+        // backoff wait would inflate it to.
+        assert!(row.ends_with("50.0%"), "row: {row}");
+        assert!(row.contains('r'), "backoff glyph still drawn: {row}");
     }
 
     #[test]

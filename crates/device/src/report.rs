@@ -73,6 +73,19 @@ pub struct ExecutionReport {
     pub worker_restarts: u64,
     /// Modeled time spent waiting in retry backoff.
     pub backoff_time: f64,
+    /// Devices lost from the fleet mid-run (0 without orchestration).
+    pub devices_lost: u64,
+    /// Chunk tasks migrated off lost devices onto survivors.
+    pub chunks_migrated: u64,
+    /// Chunk tasks stolen from straggling devices.
+    pub steals: u64,
+    /// Memory-pressure ladder escalations (shrink/compress/spill).
+    pub pressure_downshifts: u64,
+    /// Transfers that ran over a degraded link.
+    pub link_degradations: u64,
+    /// Peak observed per-device chunk residency in bytes (0 when the
+    /// engine does not track residency).
+    pub peak_resident_bytes: u64,
     /// Number of GPUs in the platform.
     pub num_gpus: usize,
 }
@@ -113,8 +126,21 @@ impl ExecutionReport {
             prune_fallbacks: tl.prune_fallbacks(),
             worker_restarts: tl.worker_restarts(),
             backoff_time: tl.kind_busy(TaskKind::Backoff),
+            devices_lost: tl.devices_lost(),
+            chunks_migrated: tl.chunks_migrated(),
+            steals: tl.steals(),
+            pressure_downshifts: tl.pressure_downshifts(),
+            link_degradations: tl.link_degradations(),
+            peak_resident_bytes: tl.peak_resident_bytes(),
             num_gpus,
         }
+    }
+
+    /// Total orchestration events: every time the device group reacted
+    /// to fleet disruption instead of stalling (losses + migrations +
+    /// steals + pressure downshifts).
+    pub fn orchestration_events(&self) -> u64 {
+        self.devices_lost + self.chunks_migrated + self.steals + self.pressure_downshifts
     }
 
     /// Total degradation events: every time the pipeline kept going in a
@@ -223,6 +249,27 @@ mod tests {
         let r = ExecutionReport::from_timeline(&sample_timeline(), 1);
         assert!((r.host_fraction() - 6.0 / 6.5).abs() < 1e-12);
         assert!((r.transfer_fraction() - 2.0 / 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orchestration_counters_flow_into_the_report() {
+        let mut tl = sample_timeline();
+        tl.count_device_lost();
+        tl.count_chunks_migrated(5);
+        tl.count_steal();
+        tl.count_steal();
+        tl.count_pressure_downshift();
+        tl.count_link_degradation();
+        tl.observe_resident_bytes(1024);
+        tl.observe_resident_bytes(512); // peak keeps the max
+        let r = ExecutionReport::from_timeline(&tl, 1);
+        assert_eq!(r.devices_lost, 1);
+        assert_eq!(r.chunks_migrated, 5);
+        assert_eq!(r.steals, 2);
+        assert_eq!(r.pressure_downshifts, 1);
+        assert_eq!(r.link_degradations, 1);
+        assert_eq!(r.peak_resident_bytes, 1024);
+        assert_eq!(r.orchestration_events(), 9);
     }
 
     #[test]

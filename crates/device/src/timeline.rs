@@ -143,6 +143,12 @@ pub struct Timeline {
     codec_fallbacks: u64,
     prune_fallbacks: u64,
     worker_restarts: u64,
+    devices_lost: u64,
+    chunks_migrated: u64,
+    steals: u64,
+    pressure_downshifts: u64,
+    link_degradations: u64,
+    peak_resident_bytes: u64,
 }
 
 impl Timeline {
@@ -282,6 +288,37 @@ impl Timeline {
         self.worker_restarts += 1;
     }
 
+    /// Counts one device dropping out of the fleet.
+    pub fn count_device_lost(&mut self) {
+        self.devices_lost += 1;
+    }
+
+    /// Counts `n` chunk tasks migrated off a lost device onto survivors.
+    pub fn count_chunks_migrated(&mut self, n: u64) {
+        self.chunks_migrated += n;
+    }
+
+    /// Counts one chunk task stolen from a straggling device.
+    pub fn count_steal(&mut self) {
+        self.steals += 1;
+    }
+
+    /// Counts one memory-pressure ladder escalation.
+    pub fn count_pressure_downshift(&mut self) {
+        self.pressure_downshifts += 1;
+    }
+
+    /// Counts one transfer that ran over a degraded link.
+    pub fn count_link_degradation(&mut self) {
+        self.link_degradations += 1;
+    }
+
+    /// Records an observed per-device chunk residency; the report keeps
+    /// the peak for budget verification.
+    pub fn observe_resident_bytes(&mut self, bytes: u64) {
+        self.peak_resident_bytes = self.peak_resident_bytes.max(bytes);
+    }
+
     /// Counts `n` worker-death recoveries at once (a dispatch reports its
     /// total).
     pub fn count_worker_restarts(&mut self, n: u64) {
@@ -336,6 +373,36 @@ impl Timeline {
     /// Worker-death recoveries (serial re-execution of a dispatch).
     pub fn worker_restarts(&self) -> u64 {
         self.worker_restarts
+    }
+
+    /// Devices lost from the fleet.
+    pub fn devices_lost(&self) -> u64 {
+        self.devices_lost
+    }
+
+    /// Chunk tasks migrated off lost devices.
+    pub fn chunks_migrated(&self) -> u64 {
+        self.chunks_migrated
+    }
+
+    /// Chunk tasks stolen from stragglers.
+    pub fn steals(&self) -> u64 {
+        self.steals
+    }
+
+    /// Memory-pressure ladder escalations.
+    pub fn pressure_downshifts(&self) -> u64 {
+        self.pressure_downshifts
+    }
+
+    /// Transfers that ran over a degraded link.
+    pub fn link_degradations(&self) -> u64 {
+        self.link_degradations
+    }
+
+    /// Peak observed per-device chunk residency in bytes.
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.peak_resident_bytes
     }
 
     /// Engines that have been used, with their busy time.

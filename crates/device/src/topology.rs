@@ -155,6 +155,33 @@ impl Platform {
         self
     }
 
+    /// A fleet of `n` identical devices: GPU 0 and its link replicated.
+    /// The orchestration layer's fleet-size experiments and the CLI's
+    /// `--devices` flag build their topologies this way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qgpu_device::Platform;
+    ///
+    /// let fleet = Platform::paper_p100().with_devices(4);
+    /// assert_eq!(fleet.num_gpus(), 4);
+    /// assert_eq!(fleet.gpu(3), fleet.gpu(0));
+    /// ```
+    pub fn with_devices(mut self, n: usize) -> Self {
+        assert!(n > 0, "a platform needs at least one device");
+        self.gpus = vec![self.gpus[0].clone(); n];
+        self.links = vec![self.links[0].clone(); n];
+        if n > 1 {
+            self.name = format!("{} x{n}", self.name);
+        }
+        self
+    }
+
     /// Number of GPUs.
     pub fn num_gpus(&self) -> usize {
         self.gpus.len()
@@ -231,5 +258,23 @@ mod tests {
     fn multi_gpu_counts() {
         assert_eq!(Platform::quad_p4_pcie().num_gpus(), 4);
         assert_eq!(Platform::quad_v100_nvlink().num_gpus(), 4);
+    }
+
+    #[test]
+    fn with_devices_replicates_device_zero() {
+        let p = Platform::scaled_paper_p100(12).with_devices(3);
+        assert_eq!(p.num_gpus(), 3);
+        assert_eq!(p.gpus.len(), p.links.len());
+        assert_eq!(p.gpu(2), p.gpu(0));
+        assert_eq!(p.link(2), p.link(0));
+        // Single-device "fleet" keeps the original name.
+        let one = Platform::paper_p100().with_devices(1);
+        assert_eq!(one.name, Platform::paper_p100().name);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn with_devices_rejects_zero() {
+        let _ = Platform::paper_p100().with_devices(0);
     }
 }

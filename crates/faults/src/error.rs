@@ -45,6 +45,12 @@ pub enum SimError {
         /// Description of the fault.
         reason: String,
     },
+    /// A device was lost and no survivors remain to re-shard onto; the
+    /// run cannot continue and should be resumed on a fresh fleet.
+    AllDevicesLost {
+        /// The last device to drop out.
+        device: usize,
+    },
     /// Checkpoint save/load failed.
     Checkpoint(String),
     /// Underlying file I/O failed.
@@ -72,6 +78,9 @@ impl fmt::Display for SimError {
             }
             SimError::Fatal { gate, reason } => {
                 write!(f, "fatal fault at gate {gate}: {reason}")
+            }
+            SimError::AllDevicesLost { device } => {
+                write!(f, "device {device} lost with no survivors to re-shard onto")
             }
             SimError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
             SimError::Io(e) => write!(f, "i/o error: {e}"),

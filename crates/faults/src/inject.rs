@@ -29,6 +29,14 @@ pub enum FaultSite {
     /// A pipeline stage runs pathologically slow (modeled-time multiplier,
     /// standing in for thermal throttling or a contended link).
     StageSlowdown,
+    /// A modeled device drops out of the fleet mid-run (ECC storm, driver
+    /// wedge, preemption); the orchestrator must re-shard its partitions
+    /// onto survivors and replay from the last barrier.
+    DeviceLost,
+    /// A host-device link degrades for one transfer occurrence (PCIe
+    /// retraining, oversubscribed switch); the transfer completes but at
+    /// [`FaultConfig::link_degrade_factor`] times the nominal cost.
+    LinkDegraded,
 }
 
 impl FaultSite {
@@ -39,6 +47,8 @@ impl FaultSite {
             FaultSite::MaskCorrupt => 0x6d61_736b_0000_0000,     // "mask"
             FaultSite::WorkerDeath => 0x776f_726b_6572_0000,     // "worker"
             FaultSite::StageSlowdown => 0x736c_6f77_0000_0000,   // "slow"
+            FaultSite::DeviceLost => 0x6465_7669_6365_0000,      // "device"
+            FaultSite::LinkDegraded => 0x6c69_6e6b_0000_0000,    // "link"
         }
     }
 }
@@ -66,6 +76,25 @@ pub struct FaultConfig {
     /// program-op index (`usize::MAX` = never) — the deterministic hook
     /// the checkpoint-resume tests kill the run with.
     pub fail_at_gate: usize,
+    /// Probability a device drops out of the fleet at a checkpoint
+    /// barrier (drawn per `(device, barrier)` occurrence).
+    pub p_device_lost: f64,
+    /// Deterministically lose [`FaultConfig::device_lost_id`] at this
+    /// program-op index (`usize::MAX` = never) — the hook the re-shard
+    /// tests and the CI smoke job kill a device with.
+    pub device_lost_at: usize,
+    /// Which device [`FaultConfig::device_lost_at`] takes down.
+    pub device_lost_id: usize,
+    /// Probability a transfer occurrence runs over a degraded link.
+    pub p_link_degraded: f64,
+    /// Modeled-time multiplier on a transfer when the link degrades.
+    pub link_degrade_factor: f64,
+    /// Pin one device as a persistent straggler: every kernel it runs is
+    /// stretched by [`FaultConfig::slowdown_factor`] (`usize::MAX` =
+    /// none). This reuses the slowdown injector's factor so straggler
+    /// mitigation is exercised by the same knob the stage-slowdown
+    /// tests already calibrate.
+    pub straggler_device: usize,
 }
 
 impl Default for FaultConfig {
@@ -79,6 +108,12 @@ impl Default for FaultConfig {
             p_stage_slowdown: 0.0,
             slowdown_factor: 4.0,
             fail_at_gate: usize::MAX,
+            p_device_lost: 0.0,
+            device_lost_at: usize::MAX,
+            device_lost_id: 0,
+            p_link_degraded: 0.0,
+            link_degrade_factor: 4.0,
+            straggler_device: usize::MAX,
         }
     }
 }
@@ -92,6 +127,18 @@ impl FaultConfig {
             || self.p_worker_death > 0.0
             || self.p_stage_slowdown > 0.0
             || self.fail_at_gate != usize::MAX
+            || self.device_faults_enabled()
+    }
+
+    /// True when any fleet-level fault can fire — device loss, link
+    /// degradation, or a pinned straggler. The engines use this to bring
+    /// the orchestration layer up even without an explicit
+    /// orchestrator config.
+    pub fn device_faults_enabled(&self) -> bool {
+        self.p_device_lost > 0.0
+            || self.device_lost_at != usize::MAX
+            || self.p_link_degraded > 0.0
+            || self.straggler_device != usize::MAX
     }
 }
 
@@ -143,6 +190,8 @@ impl FaultInjector {
             FaultSite::MaskCorrupt => self.cfg.p_mask_corrupt,
             FaultSite::WorkerDeath => self.cfg.p_worker_death,
             FaultSite::StageSlowdown => self.cfg.p_stage_slowdown,
+            FaultSite::DeviceLost => self.cfg.p_device_lost,
+            FaultSite::LinkDegraded => self.cfg.p_link_degraded,
         };
         if p <= 0.0 {
             return false;
@@ -166,6 +215,46 @@ impl FaultInjector {
     /// True when the deterministic fatal fault strikes this program op.
     pub fn fatal_at(&self, gate: usize) -> bool {
         self.cfg.fail_at_gate == gate
+    }
+
+    /// The device deterministically lost at this program op, if any.
+    pub fn device_lost_at_op(&self, op: usize) -> Option<usize> {
+        if self.cfg.device_lost_at == op {
+            Some(self.cfg.device_lost_id)
+        } else {
+            None
+        }
+    }
+
+    /// Decides whether `device` drops out at checkpoint barrier
+    /// `barrier`. The index folds both so every `(device, barrier)` pair
+    /// draws independently and identically across fleet sizes.
+    pub fn device_lost_fires(&self, device: usize, barrier: u64) -> bool {
+        self.fires(
+            FaultSite::DeviceLost,
+            barrier.wrapping_mul(0x1_0000).wrapping_add(device as u64),
+        )
+    }
+
+    /// The link-time multiplier for transfer occurrence `index`: the
+    /// configured degrade factor when [`FaultSite::LinkDegraded`] fires,
+    /// 1.0 otherwise.
+    pub fn link_stretch(&self, index: u64) -> f64 {
+        if self.fires(FaultSite::LinkDegraded, index) {
+            self.cfg.link_degrade_factor
+        } else {
+            1.0
+        }
+    }
+
+    /// The kernel-time multiplier for work placed on `device`: the
+    /// slowdown factor when it is the pinned straggler, 1.0 otherwise.
+    pub fn straggler_stretch(&self, device: usize) -> f64 {
+        if self.cfg.straggler_device == device {
+            self.cfg.slowdown_factor
+        } else {
+            1.0
+        }
     }
 }
 
@@ -270,6 +359,63 @@ mod tests {
         assert!(!inj.fatal_at(16));
         assert!(!inj.fatal_at(18));
         assert!(inj.config().any_enabled());
+    }
+
+    #[test]
+    fn device_faults_default_off() {
+        let cfg = FaultConfig::default();
+        assert!(!cfg.device_faults_enabled());
+        let inj = FaultInjector::new(cfg);
+        for d in 0..4 {
+            for b in 0..64 {
+                assert!(!inj.device_lost_fires(d, b));
+            }
+            assert_eq!(inj.straggler_stretch(d), 1.0);
+        }
+        assert_eq!(inj.link_stretch(0), 1.0);
+        assert_eq!(inj.device_lost_at_op(0), None);
+    }
+
+    #[test]
+    fn deterministic_device_loss_hits_one_op() {
+        let cfg = FaultConfig {
+            device_lost_at: 9,
+            device_lost_id: 2,
+            ..FaultConfig::default()
+        };
+        assert!(cfg.any_enabled() && cfg.device_faults_enabled());
+        let inj = FaultInjector::new(cfg);
+        assert_eq!(inj.device_lost_at_op(9), Some(2));
+        assert_eq!(inj.device_lost_at_op(8), None);
+        assert_eq!(inj.device_lost_at_op(10), None);
+    }
+
+    #[test]
+    fn device_loss_draws_per_device_and_barrier() {
+        let inj = FaultInjector::new(FaultConfig {
+            seed: 11,
+            p_device_lost: 0.5,
+            ..FaultConfig::default()
+        });
+        let a: Vec<bool> = (0..128).map(|b| inj.device_lost_fires(0, b)).collect();
+        let b: Vec<bool> = (0..128).map(|b| inj.device_lost_fires(1, b)).collect();
+        assert_ne!(a, b, "devices must not share a decision stream");
+        let again: Vec<bool> = (0..128).map(|b| inj.device_lost_fires(0, b)).collect();
+        assert_eq!(a, again);
+    }
+
+    #[test]
+    fn link_and_straggler_stretch_by_factor() {
+        let inj = FaultInjector::new(FaultConfig {
+            p_link_degraded: 1.0,
+            link_degrade_factor: 6.0,
+            straggler_device: 1,
+            slowdown_factor: 3.0,
+            ..FaultConfig::default()
+        });
+        assert_eq!(inj.link_stretch(5), 6.0);
+        assert_eq!(inj.straggler_stretch(1), 3.0);
+        assert_eq!(inj.straggler_stretch(0), 1.0);
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //! * [`plan::GatePlan`] — which chunks a gate touches and how they group
 //!   across the chunk boundary (the paper's Case 1 / Case 2);
 //! * [`residency`] — where chunks live: the baseline's static split, and
-//!   round-robin assignment for multi-GPU streaming (paper §V-E).
+//!   round-robin assignment for multi-GPU streaming (paper §V-E);
+//! * [`devicegroup`] — resilient multi-device orchestration: device
+//!   loss re-sharding, straggler work-stealing, and the memory-pressure
+//!   degradation ladder.
 //!
 //! # Examples
 //!
@@ -22,11 +25,13 @@
 //! assert_eq!(reordered.len(), c.len()); // a permutation, same gates
 //! ```
 
+pub mod devicegroup;
 pub mod involvement;
 pub mod plan;
 pub mod reorder;
 pub mod residency;
 
+pub use devicegroup::{DeviceGroup, OrchestratorConfig, PressureAction, PressureGovernor};
 pub use involvement::InvolvementTracker;
 pub use plan::{ChunkTask, GatePlan};
 pub use reorder::ReorderStrategy;

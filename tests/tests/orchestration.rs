@@ -1,0 +1,155 @@
+//! Multi-device orchestration integration: device loss, straggler
+//! mitigation and the memory-pressure governor must all be *silent* in
+//! the functional result — the paper's "optimizations do not affect the
+//! simulation results" invariant extends to fleet disruption. A run
+//! that loses a device re-shards onto survivors and replays from the
+//! last checkpoint barrier; a straggler sheds work; a residency budget
+//! degrades throughput — and every one of them reproduces the
+//! fault-free state bit for bit, at every fleet size and thread count.
+
+use proptest::prelude::*;
+use qgpu::{FaultConfig, SimConfig, Simulator, Version};
+use qgpu_circuit::generators::Benchmark;
+use qgpu_device::Platform;
+use qgpu_statevec::StateVector;
+
+/// A miniaturized `devices`-device fleet at the paper's residency ratio.
+fn fleet_cfg(n: usize, devices: usize, v: Version) -> SimConfig {
+    let p = Platform::scaled_paper_p100(n).with_devices(devices);
+    SimConfig::new(p).with_version(v)
+}
+
+/// Asserts two states are equal down to the last bit of every amplitude.
+fn assert_bitwise_eq(a: &StateVector, b: &StateVector, ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: dimension mismatch");
+    for i in 0..a.len() {
+        let (x, y) = (a.amp(i), b.amp(i));
+        assert!(
+            x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+            "{ctx}: amplitude {i} differs ({x:?} vs {y:?})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        ..ProptestConfig::default()
+    })]
+
+    /// Losing any device at any program op leaves the state bit-identical
+    /// to the fault-free run — across fleet sizes and thread counts. The
+    /// reference is always the single-threaded fault-free run, so thread
+    /// invariance is covered by the same comparison.
+    #[test]
+    fn device_loss_at_any_epoch_is_bit_exact(
+        devices in 2usize..=4,
+        threads in prop_oneof![Just(1usize), Just(4usize)],
+        lost_op in 0usize..50,
+        lost_pick in 0usize..4,
+        seed in 0u64..1024,
+    ) {
+        let n = 10;
+        let c = Benchmark::Qft.generate(n);
+        let lost_dev = lost_pick % devices;
+        let clean =
+            Simulator::new(fleet_cfg(n, devices, Version::QGpu).with_threads(1)).run(&c);
+        let faults = FaultConfig {
+            seed,
+            device_lost_at: lost_op,
+            device_lost_id: lost_dev,
+            ..FaultConfig::default()
+        };
+        let lossy = Simulator::new(
+            fleet_cfg(n, devices, Version::QGpu)
+                .with_threads(threads)
+                .with_faults(faults),
+        )
+        .try_run(&c)
+        .expect("survivors absorb a single device loss");
+        assert_bitwise_eq(
+            clean.state.as_ref().expect("collected"),
+            lossy.state.as_ref().expect("collected"),
+            &format!("{devices} devices, {threads} threads, lose {lost_dev}@{lost_op}"),
+        );
+        prop_assert_eq!(lossy.report.devices_lost, 1);
+        prop_assert!(
+            lossy.report.total_time >= clean.report.total_time,
+            "recovery must not be modeled as free"
+        );
+    }
+}
+
+/// One device loss plus one pinned straggler in the same 4-device run:
+/// the state stays bit-identical to the undisturbed run while the report
+/// shows the loss, the migration, and the steals.
+#[test]
+fn loss_and_straggler_together_recover_bit_exactly() {
+    let n = 12;
+    let c = Benchmark::Qft.generate(n);
+    let clean = Simulator::new(fleet_cfg(n, 4, Version::Overlap)).run(&c);
+    let faults = FaultConfig {
+        seed: 7,
+        device_lost_at: 20,
+        device_lost_id: 3,
+        straggler_device: 1,
+        slowdown_factor: 8.0,
+        ..FaultConfig::default()
+    };
+    let disrupted = Simulator::new(fleet_cfg(n, 4, Version::Overlap).with_faults(faults))
+        .try_run(&c)
+        .expect("loss + straggler must be absorbed");
+    assert_bitwise_eq(
+        clean.state.as_ref().expect("collected"),
+        disrupted.state.as_ref().expect("collected"),
+        "loss + straggler",
+    );
+    assert_eq!(disrupted.report.devices_lost, 1);
+    assert!(
+        disrupted.report.chunks_migrated > 0,
+        "mid-run loss must migrate the dead device's replay work"
+    );
+    assert!(
+        disrupted.report.steals > 0,
+        "an 8x straggler must shed work to its peers"
+    );
+    // The undisturbed control run reacted to nothing.
+    assert_eq!(clean.report.devices_lost, 0);
+    assert_eq!(clean.report.chunks_migrated, 0);
+    assert_eq!(clean.report.steals, 0);
+}
+
+/// The memory-pressure governor holds every version under a per-device
+/// residency budget — degrading (shrink, compress, spill) instead of
+/// failing — without touching the functional result.
+#[test]
+fn governor_never_exceeds_budget_across_versions() {
+    // Debug builds take ~1 min per qft_20 run; keep tier-1 fast there
+    // and exercise the paper-sized circuit in release CI.
+    let n = if cfg!(debug_assertions) { 12 } else { 20 };
+    let c = Benchmark::Qft.generate(n);
+    for v in Version::ALL {
+        let chunk_bytes = 16u64 << fleet_cfg(n, 2, v).chunk_bits_for(n);
+        // Four base chunks per device: tight enough to bind on fleets
+        // whose windows would otherwise hold more.
+        let budget = 4 * chunk_bytes;
+        let clean = Simulator::new(fleet_cfg(n, 2, v)).run(&c);
+        let tight = Simulator::new(fleet_cfg(n, 2, v).with_mem_budget(budget))
+            .try_run(&c)
+            .unwrap_or_else(|e| panic!("{v}: pressure must degrade, not fail: {e}"));
+        assert_bitwise_eq(
+            clean.state.as_ref().expect("collected"),
+            tight.state.as_ref().expect("collected"),
+            &format!("{v} under budget"),
+        );
+        assert!(
+            tight.report.peak_resident_bytes <= budget,
+            "{v}: peak residency {} exceeded budget {budget}",
+            tight.report.peak_resident_bytes
+        );
+        assert!(
+            tight.report.peak_resident_bytes > 0,
+            "{v}: budget run must track residency"
+        );
+    }
+}
