@@ -19,6 +19,7 @@
 //!   --peephole         run the peephole optimizer before simulating
 //!   --cx-basis         transpile to the {1-qubit, CX} basis first
 //!   --report           print the modeled execution report
+//!   --report-json <path>  write the modeled execution report as JSON
 //!   --save <path>      write the final state as a compressed checkpoint
 //!   --trace-out <path> write a two-track Chrome/Perfetto trace JSON
 //!   --metrics-out <path>  write recorded counters/histograms as JSON
@@ -69,6 +70,7 @@ struct Options {
     fuse: bool,
     threads: usize,
     report: bool,
+    report_json: Option<String>,
     save: Option<String>,
     platform: String,
     devices: usize,
@@ -118,6 +120,7 @@ fn parse_args() -> Result<Options, String> {
     let mut fuse = false;
     let mut threads = 1usize;
     let mut report = false;
+    let mut report_json = None;
     let mut save = None;
     let mut platform = "p100".to_string();
     let mut devices = 1usize;
@@ -175,6 +178,7 @@ fn parse_args() -> Result<Options, String> {
                 }
             }
             "--report" | "-r" => report = true,
+            "--report-json" => report_json = Some(take(&mut args, "--report-json")?),
             "--save" => save = Some(take(&mut args, "--save")?),
             "--platform" | "-p" => platform = take(&mut args, "--platform")?,
             "--devices" => {
@@ -297,6 +301,7 @@ fn parse_args() -> Result<Options, String> {
         fuse,
         threads,
         report,
+        report_json,
         save,
         platform,
         devices,
@@ -316,7 +321,7 @@ fn parse_args() -> Result<Options, String> {
     })
 }
 
-const HELP: &str = "usage: qgpu-sim <file.qasm> | --benchmark <name> --qubits <N>\n  [--version baseline|naive|overlap|pruning|reorder|qgpu] [--shots N]\n  [--seed N] [--chunks log2] [--top N] [--batching] [--fuse] [--threads N]\n  [--report] [--save path] [--trace-out path] [--metrics-out path]\n  [--drift] [--drift-tol pp] [--gantt] [--devices N] [--mem-budget BYTES]\n  [--inject-seed N] [--inject-transfer P] [--inject-codec P]\n  [--inject-mask P] [--inject-worker P] [--inject-fail-at N]\n  [--inject-device-loss D:OP] [--inject-link-degrade P]\n  [--inject-straggler D[:FACTOR]]\n  [--checkpoint-every N] [--checkpoint-out path] [--resume path]\n  [--compare path]";
+const HELP: &str = "usage: qgpu-sim <file.qasm> | --benchmark <name> --qubits <N>\n  [--version baseline|naive|overlap|pruning|reorder|qgpu] [--shots N]\n  [--seed N] [--chunks log2] [--top N] [--batching] [--fuse] [--threads N]\n  [--report] [--report-json path] [--save path] [--trace-out path] [--metrics-out path]\n  [--drift] [--drift-tol pp] [--gantt] [--devices N] [--mem-budget BYTES]\n  [--inject-seed N] [--inject-transfer P] [--inject-codec P]\n  [--inject-mask P] [--inject-worker P] [--inject-fail-at N]\n  [--inject-device-loss D:OP] [--inject-link-degrade P]\n  [--inject-straggler D[:FACTOR]]\n  [--checkpoint-every N] [--checkpoint-out path] [--resume path]\n  [--compare path]";
 
 fn platform_for(name: &str, qubits: usize) -> Result<Platform, String> {
     let ratio = 496.0 / 8192.0;
@@ -548,6 +553,14 @@ fn main() -> ExitCode {
             println!("  link degradations : {}", r.link_degradations);
             println!("  peak resident     : {} bytes", r.peak_resident_bytes);
         }
+    }
+
+    if let Some(path) = &opts.report_json {
+        if let Err(e) = fs::write(path, result.report.to_json_string()) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[qgpu-sim] report written to {path}");
     }
 
     if opts.gantt {

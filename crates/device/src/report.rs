@@ -208,6 +208,58 @@ impl ExecutionReport {
             self.flops_gpu / bytes as f64
         }
     }
+
+    /// Serializes the report as a deterministic JSON object.
+    ///
+    /// Field order is fixed and floats use Rust's shortest-roundtrip
+    /// `{:?}` formatting, so two bit-identical reports always produce
+    /// byte-identical JSON — the property the golden-report fixtures
+    /// under `tests/fixtures/golden/` rely on.
+    pub fn to_json_string(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        let mut field = |key: &str, value: String| {
+            if s.len() > 2 {
+                s.push_str(",\n");
+            }
+            s.push_str("  \"");
+            s.push_str(key);
+            s.push_str("\": ");
+            s.push_str(&value);
+        };
+        field("total_time", format!("{:?}", self.total_time));
+        field("host_time", format!("{:?}", self.host_time));
+        field("gpu_time", format!("{:?}", self.gpu_time));
+        field("transfer_time", format!("{:?}", self.transfer_time));
+        field("sync_time", format!("{:?}", self.sync_time));
+        field("compress_time", format!("{:?}", self.compress_time));
+        field("decompress_time", format!("{:?}", self.decompress_time));
+        field("bytes_h2d", self.bytes_h2d.to_string());
+        field("bytes_d2h", self.bytes_d2h.to_string());
+        field("bytes_host", self.bytes_host.to_string());
+        field("bytes_gpu", self.bytes_gpu.to_string());
+        field("flops_gpu", format!("{:?}", self.flops_gpu));
+        field("chunks_pruned", self.chunks_pruned.to_string());
+        field("chunks_processed", self.chunks_processed.to_string());
+        field("bytes_before_compress", self.bytes_before_compress.to_string());
+        field("bytes_after_compress", self.bytes_after_compress.to_string());
+        field("fused_kernels", self.fused_kernels.to_string());
+        field("gates_fused", self.gates_fused.to_string());
+        field("chunk_retries", self.chunk_retries.to_string());
+        field("codec_fallbacks", self.codec_fallbacks.to_string());
+        field("prune_fallbacks", self.prune_fallbacks.to_string());
+        field("worker_restarts", self.worker_restarts.to_string());
+        field("backoff_time", format!("{:?}", self.backoff_time));
+        field("devices_lost", self.devices_lost.to_string());
+        field("chunks_migrated", self.chunks_migrated.to_string());
+        field("steals", self.steals.to_string());
+        field("pressure_downshifts", self.pressure_downshifts.to_string());
+        field("link_degradations", self.link_degradations.to_string());
+        field("peak_resident_bytes", self.peak_resident_bytes.to_string());
+        field("num_gpus", self.num_gpus.to_string());
+        s.push_str("\n}\n");
+        s
+    }
 }
 
 fn safe_div(num: f64, den: f64) -> f64 {
@@ -368,6 +420,24 @@ mod tests {
     fn compression_ratio_defaults_to_one() {
         let r = ExecutionReport::default();
         assert_eq!(r.compression_ratio(), 1.0);
+    }
+
+    #[test]
+    fn json_string_is_deterministic_and_roundtrips_floats() {
+        let mut tl = sample_timeline();
+        tl.add_flops(1.5e9);
+        tl.record_compression(4096, 1024);
+        let r = ExecutionReport::from_timeline(&tl, 1);
+        let a = r.to_json_string();
+        let b = r.clone().to_json_string();
+        assert_eq!(a, b, "same report must serialize byte-identically");
+        // Shortest-roundtrip float formatting: parsing the emitted text
+        // must recover the exact bit pattern.
+        assert!(a.contains("\"total_time\": 6.5"));
+        assert!(a.contains("\"flops_gpu\": 1500000000.0"));
+        assert!(a.contains("\"bytes_after_compress\": 1024"));
+        assert!(a.starts_with("{\n"));
+        assert!(a.ends_with("\n}\n"));
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! Golden-report harness: pins the engine's observable behavior —
+//! final state vectors, modeled `Timeline`s, and `ExecutionReport`s —
+//! against fixtures captured from the pre-refactor engine, so any
+//! engine restructuring can prove itself bit-exact.
+//!
+//! Each scenario runs a benchmark through one engine configuration and
+//! reduces the result to three 64-bit FNV-1a fingerprints:
+//!
+//! - `state`  — the bit patterns of every final amplitude,
+//! - `report` — the deterministic JSON text of the `ExecutionReport`,
+//! - `trace`  — every timeline event (engine, kind, span bits, bytes).
+//!
+//! The fingerprints live in `tests/fixtures/golden/engine_fingerprints.txt`.
+//! A mismatch means the engine's modeled behavior changed; that is only
+//! acceptable with a deliberate fixture regeneration:
+//!
+//! ```text
+//! QGPU_GOLDEN_REGEN=1 cargo test -q -p qgpu-integration --test golden_reports
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+use qgpu::{FaultConfig, SimConfig, Simulator, Version};
+use qgpu_circuit::generators::Benchmark;
+use qgpu_device::timeline::TraceEvent;
+use qgpu_device::Platform;
+
+/// 64-bit FNV-1a — tiny, dependency-free, and stable across runs.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+fn state_fingerprint(state: &qgpu_statevec::StateVector) -> u64 {
+    let mut h = Fnv::new();
+    for i in 0..state.len() {
+        let a = state.amp(i);
+        h.write_u64(a.re.to_bits());
+        h.write_u64(a.im.to_bits());
+    }
+    h.finish()
+}
+
+fn report_fingerprint(report: &qgpu_device::ExecutionReport) -> u64 {
+    let mut h = Fnv::new();
+    h.write(report.to_json_string().as_bytes());
+    h.finish()
+}
+
+fn trace_fingerprint(trace: &[TraceEvent]) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(trace.len() as u64);
+    for ev in trace {
+        h.write(format!("{:?}|{:?}", ev.engine, ev.kind).as_bytes());
+        h.write_u64(ev.span.start.to_bits());
+        h.write_u64(ev.span.end.to_bits());
+        h.write_u64(ev.bytes);
+    }
+    h.finish()
+}
+
+/// One pinned engine configuration: a label plus the config it runs.
+struct Scenario {
+    label: String,
+    benchmark: Benchmark,
+    qubits: usize,
+    config: SimConfig,
+}
+
+/// Every scenario the fixture pins. The core grid is all nine paper
+/// benchmarks × all six versions; extended rows exercise the batching,
+/// fusion, chunk-sizing, multi-device, fault-injection, and
+/// orchestration paths whose timelines must also survive a refactor.
+fn scenarios() -> Vec<Scenario> {
+    let mut out = Vec::new();
+    let n = 10;
+    for b in Benchmark::ALL {
+        for v in Version::ALL {
+            out.push(Scenario {
+                label: format!("{}/{}", b.abbrev(), v.label()),
+                benchmark: b,
+                qubits: n,
+                config: SimConfig::scaled_paper(n).with_version(v),
+            });
+        }
+    }
+    // Gate batching (qgpu + baseline take different batch paths).
+    for v in [Version::Baseline, Version::QGpu] {
+        out.push(Scenario {
+            label: format!("qft/{}+batching", v.label()),
+            benchmark: Benchmark::Qft,
+            qubits: n,
+            config: SimConfig::scaled_paper(n)
+                .with_version(v)
+                .with_gate_batching(),
+        });
+    }
+    // Gate fusion.
+    out.push(Scenario {
+        label: "qft/qgpu+fusion".into(),
+        benchmark: Benchmark::Qft,
+        qubits: n,
+        config: SimConfig::scaled_paper(n)
+            .with_version(Version::QGpu)
+            .with_gate_fusion(),
+    });
+    // Fixed chunk size (the dynamic-sizing ablation path).
+    out.push(Scenario {
+        label: "qft/qgpu+fixed-chunks".into(),
+        benchmark: Benchmark::Qft,
+        qubits: n,
+        config: SimConfig::scaled_paper(n)
+            .with_version(Version::QGpu)
+            .fixed_chunk_size(),
+    });
+    // Multi-device fleets (dealer + per-device windows).
+    for v in [Version::Baseline, Version::Overlap, Version::QGpu] {
+        out.push(Scenario {
+            label: format!("qft/{}+devices2", v.label()),
+            benchmark: Benchmark::Qft,
+            qubits: n,
+            config: SimConfig::new(Platform::scaled_paper_p100(n).with_devices(2)).with_version(v),
+        });
+    }
+    // Seeded fault injection: retries, codec fallbacks, backoff — the
+    // resilient pipeline's modeled timeline must be preserved exactly.
+    let faults = FaultConfig {
+        seed: 42,
+        p_transfer_corrupt: 0.01,
+        p_codec_fail: 0.02,
+        ..FaultConfig::default()
+    };
+    out.push(Scenario {
+        label: "qft/qgpu+faults42".into(),
+        benchmark: Benchmark::Qft,
+        qubits: 12,
+        config: SimConfig::new(Platform::scaled_paper_p100(12).with_devices(2))
+            .with_version(Version::QGpu)
+            .with_faults(faults),
+    });
+    // Deterministic device loss mid-run: re-shard + barrier replay.
+    let loss = FaultConfig {
+        seed: 7,
+        device_lost_id: 2,
+        device_lost_at: 40,
+        ..FaultConfig::default()
+    };
+    out.push(Scenario {
+        label: "qft/overlap+devloss".into(),
+        benchmark: Benchmark::Qft,
+        qubits: 12,
+        config: SimConfig::new(Platform::scaled_paper_p100(12).with_devices(4))
+            .with_version(Version::Overlap)
+            .with_faults(loss),
+    });
+    // Memory-pressure governor.
+    out.push(Scenario {
+        label: "qft/qgpu+membudget".into(),
+        benchmark: Benchmark::Qft,
+        qubits: n,
+        config: SimConfig::scaled_paper(n)
+            .with_version(Version::QGpu)
+            .with_mem_budget(6 * 1024),
+    });
+    out
+}
+
+fn run_fingerprints(s: &Scenario) -> String {
+    let circuit = s.benchmark.generate(s.qubits);
+    let r = Simulator::new(s.config.clone().with_trace(200_000)).run(&circuit);
+    let state = r.state.as_ref().expect("state collected");
+    format!(
+        "{} state={:016x} report={:016x} trace={:016x}",
+        s.label,
+        state_fingerprint(state),
+        report_fingerprint(&r.report),
+        trace_fingerprint(&r.trace),
+    )
+}
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures/golden")
+        .join("engine_fingerprints.txt")
+}
+
+#[test]
+fn engine_matches_golden_fingerprints() {
+    let mut actual = String::new();
+    for s in scenarios() {
+        writeln!(actual, "{}", run_fingerprints(&s)).unwrap();
+    }
+
+    let path = fixture_path();
+    if std::env::var_os("QGPU_GOLDEN_REGEN").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, &actual).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\nrun with QGPU_GOLDEN_REGEN=1 to capture fixtures",
+            path.display()
+        )
+    });
+    let mut mismatches = Vec::new();
+    for (want, got) in expected.lines().zip(actual.lines()) {
+        if want != got {
+            mismatches.push(format!("  expected: {want}\n  actual:   {got}"));
+        }
+    }
+    if expected.lines().count() != actual.lines().count() {
+        mismatches.push(format!(
+            "  scenario count changed: fixture {} vs actual {}",
+            expected.lines().count(),
+            actual.lines().count()
+        ));
+    }
+    assert!(
+        mismatches.is_empty(),
+        "engine behavior diverged from golden fixtures \
+         (deliberate? regenerate with QGPU_GOLDEN_REGEN=1):\n{}",
+        mismatches.join("\n")
+    );
+}
