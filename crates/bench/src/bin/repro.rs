@@ -84,6 +84,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "ablation: greedy vs forward-looking, end to end",
     ),
     ("abl-buffer", "ablation: double-buffer split fraction"),
+    ("abl-grid", "ablation: the full 2^4 optimization-flag grid"),
     ("ext-batching", "extension: gate batching over Q-GPU"),
 ];
 
@@ -131,6 +132,7 @@ fn collect(
         "abl-dynamic" => vec![experiments::ablations::dynamic_chunk_size(q_sim)],
         "abl-reorder" => vec![experiments::ablations::reorder_strategy(q_sim)],
         "abl-buffer" => vec![experiments::ablations::buffer_split(q_sim)],
+        "abl-grid" => vec![experiments::ablations::opt_grid(qubits.unwrap_or(12))],
         "ext-batching" => vec![experiments::ext_batching::run(q_sim)],
         other => return Err(format!("unknown experiment '{other}' — try 'repro list'")),
     };

@@ -7,6 +7,10 @@
 //!
 //! options:
 //!   --version <baseline|naive|overlap|pruning|reorder|qgpu>   (default qgpu)
+//!   --opts <list>      run an explicit optimization subset instead of a
+//!                      named version: a +-separated list drawn from
+//!                      {overlap, pruning, reorder, compression}, or
+//!                      "none"/"all" (e.g. --opts pruning+compression)
 //!   --shots <N>        sample N measurement outcomes (default 0)
 //!   --seed <N>         sampling seed (default 1)
 //!   --chunks <log2>    chunk-count exponent (default 8)
@@ -51,7 +55,7 @@ use std::env;
 use std::fs;
 use std::process::ExitCode;
 
-use qgpu::{FaultConfig, SimConfig, SimError, Simulator, Version};
+use qgpu::{FaultConfig, OptFlags, SimConfig, SimError, Simulator, Version};
 use qgpu_circuit::generators::Benchmark;
 use qgpu_circuit::{qasm, Circuit};
 use qgpu_device::Platform;
@@ -62,6 +66,7 @@ use rand::SeedableRng;
 struct Options {
     source: Source,
     version: Version,
+    opts: Option<OptFlags>,
     shots: usize,
     seed: u64,
     chunks_log2: u32,
@@ -112,6 +117,7 @@ fn parse_args() -> Result<Options, String> {
     let mut benchmark = None;
     let mut qubits = None;
     let mut version = Version::QGpu;
+    let mut opts = None;
     let mut shots = 0usize;
     let mut seed = 1u64;
     let mut chunks_log2 = 8u32;
@@ -155,6 +161,7 @@ fn parse_args() -> Result<Options, String> {
                 )
             }
             "--version" | "-v" => version = parse_version(&take(&mut args, "--version")?)?,
+            "--opts" => opts = Some(OptFlags::parse(&take(&mut args, "--opts")?)?),
             "--shots" => {
                 shots = take(&mut args, "--shots")?
                     .parse()
@@ -293,6 +300,7 @@ fn parse_args() -> Result<Options, String> {
     Ok(Options {
         source,
         version,
+        opts,
         shots,
         seed,
         chunks_log2,
@@ -321,7 +329,7 @@ fn parse_args() -> Result<Options, String> {
     })
 }
 
-const HELP: &str = "usage: qgpu-sim <file.qasm> | --benchmark <name> --qubits <N>\n  [--version baseline|naive|overlap|pruning|reorder|qgpu] [--shots N]\n  [--seed N] [--chunks log2] [--top N] [--batching] [--fuse] [--threads N]\n  [--report] [--report-json path] [--save path] [--trace-out path] [--metrics-out path]\n  [--drift] [--drift-tol pp] [--gantt] [--devices N] [--mem-budget BYTES]\n  [--inject-seed N] [--inject-transfer P] [--inject-codec P]\n  [--inject-mask P] [--inject-worker P] [--inject-fail-at N]\n  [--inject-device-loss D:OP] [--inject-link-degrade P]\n  [--inject-straggler D[:FACTOR]]\n  [--checkpoint-every N] [--checkpoint-out path] [--resume path]\n  [--compare path]";
+const HELP: &str = "usage: qgpu-sim <file.qasm> | --benchmark <name> --qubits <N>\n  [--version baseline|naive|overlap|pruning|reorder|qgpu] [--opts list] [--shots N]\n  [--seed N] [--chunks log2] [--top N] [--batching] [--fuse] [--threads N]\n  [--report] [--report-json path] [--save path] [--trace-out path] [--metrics-out path]\n  [--drift] [--drift-tol pp] [--gantt] [--devices N] [--mem-budget BYTES]\n  [--inject-seed N] [--inject-transfer P] [--inject-codec P]\n  [--inject-mask P] [--inject-worker P] [--inject-fail-at N]\n  [--inject-device-loss D:OP] [--inject-link-degrade P]\n  [--inject-straggler D[:FACTOR]]\n  [--checkpoint-every N] [--checkpoint-out path] [--resume path]\n  [--compare path]";
 
 fn platform_for(name: &str, qubits: usize) -> Result<Platform, String> {
     let ratio = 496.0 / 8192.0;
@@ -375,12 +383,15 @@ fn main() -> ExitCode {
         eprintln!("[qgpu-sim] peephole: {before} -> {} ops", circuit.len());
     }
     let n = circuit.num_qubits();
-    eprintln!(
-        "[qgpu-sim] {} qubits, {} ops, version {}",
-        n,
-        circuit.len(),
-        opts.version
-    );
+    match opts.opts {
+        Some(f) => eprintln!("[qgpu-sim] {} qubits, {} ops, opts {}", n, circuit.len(), f),
+        None => eprintln!(
+            "[qgpu-sim] {} qubits, {} ops, version {}",
+            n,
+            circuit.len(),
+            opts.version
+        ),
+    }
 
     let mut platform = match platform_for(&opts.platform, n) {
         Ok(p) => p,
@@ -399,6 +410,9 @@ fn main() -> ExitCode {
     let mut config = SimConfig::new(platform)
         .with_version(opts.version)
         .with_chunk_count_log2(opts.chunks_log2);
+    if let Some(f) = opts.opts {
+        config = config.with_opts(f);
+    }
     if opts.batching {
         config = config.with_gate_batching();
     }

@@ -81,11 +81,129 @@ impl Version {
     pub fn has_compression(self) -> bool {
         self == Version::QGpu
     }
+
+    /// The version's optimization subset as explicit flags — what the
+    /// pipeline assembler consumes. The six named versions are just six
+    /// points in the 2^4 flag lattice (plus the baseline's static
+    /// allocation, which is an execution *mode*, not a flag).
+    pub fn opt_flags(self) -> OptFlags {
+        OptFlags {
+            overlap: self.has_overlap(),
+            pruning: self.has_pruning(),
+            reorder: self.has_reorder(),
+            compression: self.has_compression(),
+        }
+    }
 }
 
 impl std::fmt::Display for Version {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+/// An arbitrary subset of the paper's four composable optimizations
+/// (§IV-A–D), decoupled from the six named [`Version`]s.
+///
+/// The paper's recipe is explicitly compositional: each optimization
+/// layers independently on the naive streaming loop. `OptFlags` makes
+/// that composition first-class — any of the 2^4 subsets runs through
+/// the same stage-graph pipeline via [`SimConfig::with_opts`].
+///
+/// # Examples
+///
+/// ```
+/// use qgpu::config::OptFlags;
+///
+/// let f = OptFlags::parse("pruning+compression").unwrap();
+/// assert!(f.pruning && f.compression && !f.overlap);
+/// assert_eq!(f.label(), "pruning+compression");
+/// assert_eq!(OptFlags::parse("none").unwrap(), OptFlags::default());
+/// assert_eq!(OptFlags::grid().len(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct OptFlags {
+    /// Proactive double-buffered bidirectional transfer (§IV-A).
+    pub overlap: bool,
+    /// Zero-amplitude chunk pruning (§IV-B); dynamic chunk sizing rides
+    /// on this flag (gated further by [`SimConfig::dynamic_chunk_size`]).
+    pub pruning: bool,
+    /// The forward-looking gate reorder pass (§IV-C).
+    pub reorder: bool,
+    /// GFC compression of non-zero chunks in transit (§IV-D).
+    pub compression: bool,
+}
+
+impl OptFlags {
+    /// Flag names in the paper's presentation order, aligned with the
+    /// bit positions [`OptFlags::from_bits`] uses.
+    const NAMES: [&'static str; 4] = ["overlap", "pruning", "reorder", "compression"];
+
+    /// All 2^4 subsets, ordered by [`OptFlags::from_bits`] index.
+    pub fn grid() -> Vec<OptFlags> {
+        (0..16).map(OptFlags::from_bits).collect()
+    }
+
+    /// The subset encoded by the low four bits of `bits`
+    /// (bit 0 = overlap, 1 = pruning, 2 = reorder, 3 = compression).
+    pub fn from_bits(bits: u8) -> OptFlags {
+        OptFlags {
+            overlap: bits & 1 != 0,
+            pruning: bits & 2 != 0,
+            reorder: bits & 4 != 0,
+            compression: bits & 8 != 0,
+        }
+    }
+
+    /// Parses a `+`- or `,`-separated flag list (e.g.
+    /// `"pruning+compression"`); `"none"` or the empty string is the
+    /// empty subset, `"all"` the full recipe.
+    pub fn parse(s: &str) -> Result<OptFlags, String> {
+        let mut f = OptFlags::default();
+        let trimmed = s.trim().to_ascii_lowercase();
+        if trimmed.is_empty() || trimmed == "none" {
+            return Ok(f);
+        }
+        if trimmed == "all" {
+            return Ok(OptFlags::from_bits(0b1111));
+        }
+        for tok in trimmed.split(['+', ',']) {
+            match tok.trim() {
+                "overlap" => f.overlap = true,
+                "pruning" => f.pruning = true,
+                "reorder" => f.reorder = true,
+                "compression" | "compress" => f.compression = true,
+                other => {
+                    return Err(format!(
+                        "unknown optimization '{other}' (want overlap, pruning, \
+                         reorder, compression, none, or all)"
+                    ))
+                }
+            }
+        }
+        Ok(f)
+    }
+
+    /// Canonical `+`-joined label (`"none"` for the empty subset) —
+    /// inverse of [`OptFlags::parse`].
+    pub fn label(&self) -> String {
+        let set = [self.overlap, self.pruning, self.reorder, self.compression];
+        let names: Vec<&str> = Self::NAMES
+            .iter()
+            .zip(set)
+            .filter_map(|(&n, on)| on.then_some(n))
+            .collect();
+        if names.is_empty() {
+            "none".to_string()
+        } else {
+            names.join("+")
+        }
+    }
+}
+
+impl std::fmt::Display for OptFlags {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
     }
 }
 
@@ -137,6 +255,19 @@ pub struct SimConfig {
     /// which the paper's baseline lineage cites. Off by default to match
     /// the paper's per-gate streaming.
     pub batch_local_gates: bool,
+    /// Longest run of chunk-local gates merged into one chunk visit when
+    /// [`SimConfig::batch_local_gates`] is on (default 64).
+    ///
+    /// This bounds the *involvement-staleness* of the pruning decision: a
+    /// batch evaluates prune-or-keep once, against the involvement mask
+    /// snapshotted at its first gate, so a chunk's zero/non-zero status
+    /// can be up to `max_batch - 1` gates stale by the batch's end. That
+    /// is conservative, never wrong — chunk-local gates cannot move
+    /// amplitude across chunk boundaries, so a chunk provably zero before
+    /// the batch stays zero through it — but a larger cap defers pruning
+    /// of chunks that *become* provably zero mid-batch, trading missed
+    /// prune opportunities for fewer H2D/D2H round trips.
+    pub max_batch: usize,
     /// Worker threads for the functional update (the
     /// [`qgpu_statevec::ChunkExecutor`] pool). Results are bitwise
     /// identical at every thread count; 1 keeps the seed's serial path.
@@ -183,6 +314,13 @@ pub struct SimConfig {
     /// the orchestrator up with defaults whenever a fleet-level fault
     /// (device loss, link degradation, straggler) is injected.
     pub orchestration: Option<OrchestratorConfig>,
+    /// An explicit optimization subset overriding [`SimConfig::version`]'s
+    /// flag set: the streaming pipeline runs with exactly these flags,
+    /// enabling combinations no named version covers (e.g.
+    /// pruning+compression without reorder). `None` (the default) derives
+    /// the flags from the version, including the baseline's static
+    /// allocation mode.
+    pub opts: Option<OptFlags>,
 }
 
 impl SimConfig {
@@ -199,6 +337,7 @@ impl SimConfig {
             reorder_strategy: ReorderStrategy::ForwardLooking,
             buffer_split: 0.5,
             batch_local_gates: false,
+            max_batch: 64,
             threads: 1,
             gate_fusion: false,
             obs_spans: false,
@@ -208,6 +347,7 @@ impl SimConfig {
             checkpoint_every: 0,
             checkpoint_path: None,
             orchestration: None,
+            opts: None,
         }
     }
 
@@ -269,6 +409,24 @@ impl SimConfig {
     /// [`SimConfig::batch_local_gates`]).
     pub fn with_gate_batching(mut self) -> Self {
         self.batch_local_gates = true;
+        self
+    }
+
+    /// Caps the gate-batching run length (see [`SimConfig::max_batch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch == 0`.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        assert!(max_batch > 0, "batches hold at least one gate");
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Runs the streaming pipeline with an explicit optimization subset
+    /// (see [`SimConfig::opts`]), overriding the version-derived flags.
+    pub fn with_opts(mut self, opts: OptFlags) -> Self {
+        self.opts = Some(opts);
         self
     }
 
@@ -407,6 +565,39 @@ mod tests {
         let cfg = SimConfig::scaled_paper(4).with_chunk_count_log2(7);
         assert_eq!(cfg.chunk_bits_for(4), 1);
         assert_eq!(cfg.chunk_bits_for(20), 13);
+    }
+
+    #[test]
+    fn opt_flags_roundtrip_and_match_versions() {
+        for bits in 0..16u8 {
+            let f = OptFlags::from_bits(bits);
+            assert_eq!(OptFlags::parse(&f.label()).unwrap(), f);
+        }
+        assert_eq!(Version::Naive.opt_flags(), OptFlags::default());
+        assert_eq!(Version::QGpu.opt_flags(), OptFlags::from_bits(0b1111));
+        assert_eq!(
+            Version::Pruning.opt_flags(),
+            OptFlags {
+                overlap: true,
+                pruning: true,
+                reorder: false,
+                compression: false,
+            }
+        );
+        assert!(OptFlags::parse("sharding").is_err());
+        assert_eq!(OptFlags::parse("all").unwrap(), OptFlags::from_bits(0b1111));
+    }
+
+    #[test]
+    fn opts_and_max_batch_defaults() {
+        let cfg = SimConfig::scaled_paper(8);
+        assert_eq!(cfg.opts, None);
+        assert_eq!(cfg.max_batch, 64);
+        let cfg = cfg
+            .with_opts(OptFlags::parse("pruning+compression").unwrap())
+            .with_max_batch(8);
+        assert_eq!(cfg.max_batch, 8);
+        assert!(cfg.opts.unwrap().pruning && cfg.opts.unwrap().compression);
     }
 
     #[test]

@@ -1,0 +1,533 @@
+//! Cross-cutting pipeline middleware: concerns that wrap the stage
+//! graph rather than living inside any one stage.
+//!
+//! * [`Resilience`] — seeded fault injection, CRC integrity tags, and
+//!   deterministic occurrence counters;
+//! * [`Orchestration`] — the device group that deals tasks and the
+//!   memory-pressure governor's degradation ladder;
+//! * [`BarrierClock`] — checkpoint barriers and device-loss draws;
+//! * [`CheckpointLayer`] — periodic state checkpoints and the injected
+//!   fatal fault, in resume-safe order;
+//! * [`handle_device_loss`] — re-shard + replay recovery;
+//! * [`apply_functional`] — the bit-exact functional update shared by
+//!   every execution mode.
+
+use std::sync::Arc;
+
+use qgpu_circuit::fuse::FusedOp;
+use qgpu_device::timeline::{Engine, TaskKind, Timeline};
+use qgpu_faults::{FaultInjector, FaultSite, RetryPolicy, SimError};
+use qgpu_math::Complex64;
+use qgpu_obs::{span_opt, Recorder, Stage as ObsStage, Track};
+use qgpu_sched::devicegroup::OrchestratorConfig;
+use qgpu_sched::devicegroup::{DeviceGroup, PressureAction, PressureGovernor};
+use qgpu_statevec::{ChunkExecutor, ChunkedState};
+
+use crate::checkpoint::Checkpoint;
+use crate::config::SimConfig;
+
+use super::transfer::copy_with_dma;
+use super::Window;
+
+/// Upper bound on `chunk_bits`, sizing the flat all-zero-tag cache.
+pub(crate) const MAX_CHUNK_BITS: usize = 64;
+
+/// A chunk's amplitudes as raw bytes, for checksumming.
+fn amp_bytes(amps: &[Complex64]) -> &[u8] {
+    // SAFETY: `Complex64` is two `f64`s with no padding; an initialized
+    // amplitude slice is readable as plain bytes.
+    unsafe { std::slice::from_raw_parts(amps.as_ptr().cast::<u8>(), std::mem::size_of_val(amps)) }
+}
+
+/// The resilient pipeline's working state: the seeded injector, the retry
+/// policy, deterministic occurrence counters for each fault site (the
+/// engine loop issues them serially, so a given seed replays identically),
+/// and the per-chunk integrity tags.
+///
+/// Tag storage is flat-indexed, not hashed: a qft_20 run visits tens of
+/// millions of (chunk, transfer) pairs, and at that volume per-visit
+/// `HashMap` traffic alone blows the `fault_overhead` budget.
+pub(crate) struct Resilience {
+    pub(crate) inj: FaultInjector,
+    pub(crate) retry: RetryPolicy,
+    pub(crate) transfers: u64,
+    codec_ops: u64,
+    kernels: u64,
+    /// Arrival-side CRC passes actually paid (each one is a real
+    /// checksum over a chunk that moved raw). Compressed chunks are
+    /// sealed at encode time and must never show up here — the
+    /// `integrity.retags` counter makes that invariant observable.
+    pub(crate) retags: u64,
+    /// Last tag computed for each chunk (indexed by chunk number),
+    /// refreshed on every arrival.
+    tags: Vec<Option<u32>>,
+    /// Tag of an all-zero chunk, indexed by chunk size — it never changes.
+    zero_tag: [Option<u32>; MAX_CHUNK_BITS],
+}
+
+impl Resilience {
+    pub(crate) fn new(cfg: &SimConfig) -> Self {
+        Resilience {
+            inj: FaultInjector::new(cfg.faults),
+            retry: cfg.retry,
+            transfers: 0,
+            codec_ops: 0,
+            kernels: 0,
+            retags: 0,
+            tags: Vec::new(),
+            zero_tag: [None; MAX_CHUNK_BITS],
+        }
+    }
+
+    /// Tag of an all-zero chunk of `chunk_bits` — computed once per size,
+    /// then a flat array read.
+    fn zero_tag(&mut self, chunk_bits: u32) -> u32 {
+        *self.zero_tag[chunk_bits as usize].get_or_insert_with(|| {
+            let zeros = vec![0u8; 16usize << chunk_bits];
+            qgpu_faults::fast_checksum(&zeros)
+        })
+    }
+
+    /// Grows the tag table to cover chunk indices in `members`.
+    fn reserve_tags(&mut self, members: &[usize]) {
+        let max = members.iter().copied().max().map_or(0, |m| m + 1);
+        if max > self.tags.len() {
+            self.tags.resize(max, None);
+        }
+    }
+
+    /// Encode-time sealing: the GFC encoder computes the chunk's tag in
+    /// the same pass that sizes the compressed stream — the amplitudes
+    /// are cache-hot from the codec walk, so the checksum is nearly free
+    /// (the same fusion zstd uses for its content checksum). The tag
+    /// then travels with the compressed chunk; no separate arrival pass
+    /// is needed.
+    pub(crate) fn seal_at_encode(&mut self, m: usize, amps: &[Complex64]) {
+        if m >= self.tags.len() {
+            self.tags.resize(m + 1, None);
+        }
+        self.tags[m] = Some(qgpu_faults::fast_checksum(amp_bytes(amps)));
+    }
+
+    /// Encode-time sealing of an all-zero chunk (cached per chunk size).
+    pub(crate) fn seal_zero_at_encode(&mut self, m: usize, chunk_bits: u32) {
+        if m >= self.tags.len() {
+            self.tags.resize(m + 1, None);
+        }
+        let zero = self.zero_tag(chunk_bits);
+        self.tags[m] = Some(zero);
+    }
+
+    /// Upload-side integrity: a departing chunk carries the tag computed
+    /// when it last arrived at the host — checksums travel with the data,
+    /// and in the machine being modeled host chunk buffers are written
+    /// only by D2H arrivals, so the arrival tag is still valid at the next
+    /// upload. Chunks never tagged before are sealed now (one real CRC
+    /// pass, mostly the cached all-zero tag early in a run). Members for
+    /// which `skip` returns true are pruned from the transfer and don't
+    /// move.
+    pub(crate) fn seal_for_upload(
+        &mut self,
+        state: &ChunkedState,
+        members: &[usize],
+        chunk_bits: u32,
+        skip: impl Fn(usize) -> bool,
+    ) {
+        self.reserve_tags(members);
+        let zero = self.zero_tag(chunk_bits);
+        for &m in members {
+            if skip(m) || self.tags[m].is_some() {
+                continue;
+            }
+            self.tags[m] = Some(match state.chunk(m) {
+                Some(amps) => qgpu_faults::fast_checksum(amp_bytes(amps)),
+                None => zero,
+            });
+        }
+    }
+
+    /// Arrival-side integrity for chunks that move *without* an encode
+    /// pass (uncompressed subsets, and raw codec-failure fallbacks):
+    /// re-tag each chunk that just crossed the link — one real CRC pass
+    /// per round trip, the honest cost the `fault_overhead` bench
+    /// bounds. Compressed chunks skip this: their tag was sealed at
+    /// encode time and travels with the data. Either way the functional
+    /// bytes cannot actually rot in memory, so a *mismatch* is the
+    /// injector's decision, made inside
+    /// [`super::transfer::transfer_with_integrity`]'s retry loop.
+    /// Members for which `skip` returns true didn't move.
+    pub(crate) fn verify_on_arrival(
+        &mut self,
+        state: &ChunkedState,
+        members: &[usize],
+        chunk_bits: u32,
+        skip: impl Fn(usize) -> bool,
+    ) {
+        self.reserve_tags(members);
+        let zero = self.zero_tag(chunk_bits);
+        for &m in members {
+            if skip(m) {
+                continue;
+            }
+            self.retags += 1;
+            self.tags[m] = Some(match state.chunk(m) {
+                Some(amps) => qgpu_faults::fast_checksum(amp_bytes(amps)),
+                None => zero,
+            });
+        }
+    }
+
+    /// Chunk-size re-partitioning renumbers chunks: every cached tag is
+    /// stale and must be dropped.
+    pub(crate) fn on_repartition(&mut self) {
+        self.tags.iter_mut().for_each(|t| *t = None);
+    }
+
+    /// Whether this op's involvement mask reads back corrupted — the
+    /// pruning decision is then untrustworthy and the gate falls back to
+    /// full-chunk execution.
+    pub(crate) fn mask_corrupt(&self, op: usize) -> bool {
+        self.inj.fires(FaultSite::MaskCorrupt, op as u64)
+    }
+
+    /// Whether the GFC encoder fails on this chunk occurrence (the
+    /// pipeline then moves the chunk raw).
+    pub(crate) fn codec_fails(&mut self) -> bool {
+        let i = self.codec_ops;
+        self.codec_ops += 1;
+        self.inj.fires(FaultSite::CodecFail, i)
+    }
+
+    /// Modeled-time multiplier for the next kernel (1.0 unless a stage
+    /// slowdown fires).
+    pub(crate) fn kernel_stretch(&mut self) -> f64 {
+        let i = self.kernels;
+        self.kernels += 1;
+        self.inj.slowdown(i)
+    }
+}
+
+/// Engine-side orchestration state: the device group that deals tasks,
+/// the optional memory-pressure governor, and the degradation latches the
+/// governor has pulled so far. (Barrier and loss bookkeeping lives in
+/// [`BarrierClock`].)
+pub(crate) struct Orchestration {
+    pub(crate) group: DeviceGroup,
+    pub(crate) governor: Option<PressureGovernor>,
+    /// ForceCompress rung pulled: chunks move compressed even on
+    /// flag subsets without compression (modeled cost only; functional
+    /// state is untouched, so results stay bit-identical).
+    pub(crate) force_compress: bool,
+    /// ShrinkChunks rung pulled: a ceiling on `chunk_bits`.
+    pub(crate) bits_cap: Option<u32>,
+}
+
+impl Orchestration {
+    pub(crate) fn new(num_gpus: usize, ocfg: OrchestratorConfig, cfg: &SimConfig) -> Self {
+        let mut group = DeviceGroup::new(num_gpus, ocfg);
+        // Replay logs only serve device loss; without device faults
+        // their per-task pushes are the orchestrator's single biggest
+        // fault-free cost.
+        group.set_replay_tracking(cfg.faults.device_faults_enabled());
+        Orchestration {
+            group,
+            governor: ocfg.mem_budget_bytes.map(PressureGovernor::new),
+            force_compress: false,
+            bits_cap: None,
+        }
+    }
+
+    /// The window cap under the per-device residency budget. The cap
+    /// clamps immediately — admission never exceeds the budget — while
+    /// the governor's ladder escalates only after sustained pressure
+    /// ([`PressureGovernor::on_pressure`]'s strike counter), pulling
+    /// ShrinkChunks → ForceCompress → SpillOldest in order.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn governed_cap(
+        &mut self,
+        base_cap: usize,
+        inflight: usize,
+        incoming: usize,
+        chunk_bits: u32,
+        chunk_bytes: u64,
+        compressing: bool,
+        tl: &mut Timeline,
+        rec: Option<&Recorder>,
+    ) -> usize {
+        let Some(gov) = self.governor.as_mut() else {
+            return base_cap;
+        };
+        let fit = gov.cap_chunks(chunk_bytes, 0);
+        if fit < inflight + incoming {
+            let can_shrink = chunk_bits > 1 && self.bits_cap.is_none();
+            let can_compress = !compressing;
+            if let Some(action) = gov.on_pressure(can_shrink, can_compress) {
+                match action {
+                    PressureAction::ShrinkChunks => {
+                        self.bits_cap = Some(chunk_bits.saturating_sub(1).max(1));
+                    }
+                    PressureAction::ForceCompress => self.force_compress = true,
+                    // The clamped cap already forces the admission loop
+                    // to retire (spill) the oldest in-flight slots; the
+                    // terminal rung just keeps doing that.
+                    PressureAction::SpillOldest => {}
+                }
+                tl.count_pressure_downshift();
+                if let Some(r) = rec {
+                    r.add("orch.pressure_downshifts", 1);
+                }
+            }
+        } else {
+            gov.on_relief();
+        }
+        gov.cap_chunks(chunk_bytes, incoming.max(1)).min(base_cap)
+    }
+}
+
+/// Periodic checkpoints and the injected fatal fault, applied *in that
+/// order* before each program op — so a run killed at op `k` resumes
+/// from the newest checkpoint at or before `k`.
+pub(crate) struct CheckpointLayer {
+    last_ckpt: u64,
+}
+
+impl CheckpointLayer {
+    pub(crate) fn new(start: usize) -> Self {
+        CheckpointLayer {
+            last_ckpt: start as u64,
+        }
+    }
+
+    pub(crate) fn before_op(
+        &mut self,
+        idx: usize,
+        state: &ChunkedState,
+        cfg: &SimConfig,
+        rec: Option<&Recorder>,
+    ) -> Result<(), SimError> {
+        if cfg.checkpoint_every > 0 && idx as u64 >= self.last_ckpt + cfg.checkpoint_every {
+            if let Some(path) = cfg.checkpoint_path.as_deref() {
+                crate::checkpoint::save_with_progress(&state.to_flat(), idx as u64, path)
+                    .map_err(|e| SimError::Checkpoint(e.to_string()))?;
+                self.last_ckpt = idx as u64;
+                if let Some(r) = rec {
+                    r.add("checkpoints.written", 1);
+                }
+            }
+        }
+        if idx >= cfg.faults.fail_at_gate {
+            return Err(SimError::Fatal {
+                gate: idx,
+                reason: "injected fatal fault".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Checkpoint barriers and device-loss draws: the deterministic one-shot
+/// `device_lost_at` injection (latched, `>=` so the exact index survives
+/// being consumed mid-batch) and the probabilistic once-per-(device,
+/// barrier) draw. The injector exists only when a device-level fault is
+/// configured; [`FaultInjector`] is pure, so this duplicate instance
+/// replays the same draws as any other with the same seed.
+pub(crate) struct BarrierClock {
+    next_barrier: u64,
+    barriers: u64,
+    loss_fired: bool,
+    inj: Option<FaultInjector>,
+}
+
+impl BarrierClock {
+    pub(crate) fn new(cfg: &SimConfig, start: usize) -> Self {
+        BarrierClock {
+            next_barrier: cfg
+                .effective_orchestration()
+                .map_or(u64::MAX, |o| start as u64 + o.barrier_interval),
+            barriers: 0,
+            loss_fired: false,
+            inj: cfg
+                .faults
+                .device_faults_enabled()
+                .then(|| FaultInjector::new(cfg.faults)),
+        }
+    }
+
+    /// Advances barrier state at op `idx` and returns a device to lose,
+    /// if one fires.
+    pub(crate) fn poll(
+        &mut self,
+        idx: usize,
+        cfg: &SimConfig,
+        group: &mut DeviceGroup,
+        num_gpus: usize,
+    ) -> Option<usize> {
+        let mut lost: Option<usize> = None;
+        if !self.loss_fired && idx >= cfg.faults.device_lost_at {
+            self.loss_fired = true;
+            if cfg.faults.device_lost_id < num_gpus {
+                lost = Some(cfg.faults.device_lost_id);
+            }
+        }
+        // Checkpoint barrier: replay logs truncate here, and the
+        // probabilistic loss draws once per (device, barrier).
+        if idx as u64 >= self.next_barrier {
+            group.barrier();
+            self.barriers += 1;
+            self.next_barrier = idx as u64 + group.config().barrier_interval;
+            if let (None, Some(inj)) = (lost, self.inj.as_ref()) {
+                let b = self.barriers;
+                lost = (0..num_gpus).find(|&d| group.is_alive(d) && inj.device_lost_fires(d, b));
+            }
+        }
+        lost
+    }
+}
+
+/// A device dropped out: re-shard onto the survivors and replay its
+/// since-barrier log. Host state is authoritative (the functional update
+/// already ran there), so recovery is purely modeled time — each migrated
+/// task re-uploads its bytes and re-runs its kernel on the survivor the
+/// post-loss epoch rotation deals it to — and the recovered result is
+/// bit-identical to an undisturbed run.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn handle_device_loss(
+    device: usize,
+    o: &mut Orchestration,
+    tl: &mut Timeline,
+    windows: &mut [Window],
+    epoch_floor: &mut f64,
+    chain: &mut f64,
+    cfg: &SimConfig,
+    rec: Option<&Recorder>,
+) -> Result<(), SimError> {
+    if !o.group.is_alive(device) {
+        return Ok(());
+    }
+    let Some(replay) = o.group.lose_device(device) else {
+        return Err(SimError::AllDevicesLost { device });
+    };
+    let _g = span_opt(rec, Track::Main, ObsStage::Other, "orch.reshard");
+    tl.count_device_lost();
+    tl.count_chunks_migrated(replay.len() as u64);
+    if let Some(r) = rec {
+        r.add("orch.devices_lost", 1);
+        r.add("orch.chunks_migrated", replay.len() as u64);
+    }
+    // The dead device's double-buffer window died with it.
+    windows[device].slots.clear();
+    windows[device].inflight = 0;
+    let floor = tl.makespan();
+    let mut done = floor;
+    for (i, t) in replay.iter().enumerate() {
+        let g = o.group.owner_of(i);
+        let h2d = copy_with_dma(
+            tl,
+            Engine::HostDmaOut,
+            Engine::H2d(g),
+            TaskKind::H2dCopy,
+            floor,
+            t.bytes,
+            cfg.platform.link(g),
+            cfg.platform.host.copy_bw,
+            1.0,
+        );
+        let k = tl.schedule(
+            Engine::GpuCompute(g),
+            h2d.end,
+            t.duration,
+            TaskKind::Kernel,
+            t.bytes,
+        );
+        done = done.max(k.end);
+    }
+    // Recovery is a synchronization point: the pipeline restarts from the
+    // re-shard horizon.
+    *epoch_floor = done.max(*epoch_floor);
+    *chain = chain.max(*epoch_floor);
+    Ok(())
+}
+
+/// Validates a resume checkpoint against this run's circuit and program,
+/// returning the op index to resume at. The checkpoint must come from a
+/// run with the same circuit and config — `gates_done` counts *program*
+/// ops, which depend on fusion and reorder settings.
+pub(crate) fn validate_resume(
+    resume: Option<&Checkpoint>,
+    num_qubits: usize,
+    program_len: usize,
+) -> Result<usize, SimError> {
+    match resume {
+        Some(ck) => {
+            if ck.state.num_qubits() != num_qubits {
+                return Err(SimError::Checkpoint(format!(
+                    "checkpoint has {} qubits, circuit has {num_qubits}",
+                    ck.state.num_qubits()
+                )));
+            }
+            if ck.gates_done as usize > program_len {
+                return Err(SimError::Checkpoint(format!(
+                    "checkpoint is {} ops in, program has only {program_len}",
+                    ck.gates_done
+                )));
+            }
+            Ok(ck.gates_done as usize)
+        }
+        None => Ok(0),
+    }
+}
+
+/// Charges recovered worker deaths to the timeline and recorder.
+pub(crate) fn note_restarts(tl: &mut Timeline, rec: Option<&Recorder>, restarts: u64) {
+    if restarts > 0 {
+        tl.count_worker_restarts(restarts);
+        if let Some(r) = rec {
+            r.add("worker.restarts", restarts);
+        }
+    }
+}
+
+/// The functional update (identical across every mode and flag subset):
+/// the executor replays the op's member gates chunk by chunk, bitwise
+/// identical to per-gate application at every thread count.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_functional(
+    executor: &mut ChunkExecutor,
+    state: &mut ChunkedState,
+    tl: &mut Timeline,
+    rec: Option<&Recorder>,
+    fop: &FusedOp,
+    singles: &[usize],
+    groups: &[&[usize]],
+    high_mixing: &[usize],
+) -> Result<(), SimError> {
+    if !singles.is_empty() {
+        let _g = span_opt(rec, Track::Main, ObsStage::Update, "update.local");
+        let restarts = executor.try_apply_local_run(state, fop.actions(), singles)?;
+        note_restarts(tl, rec, restarts);
+    }
+    if !groups.is_empty() {
+        let _g = span_opt(rec, Track::Main, ObsStage::Update, "update.group");
+        let restarts = executor.try_apply_group_runs(state, fop.actions(), groups, high_mixing)?;
+        note_restarts(tl, rec, restarts);
+    }
+    Ok(())
+}
+
+/// Builds the configured functional executor: exact thread counts under a
+/// worker-death campaign (no clamping to the host's cores — the
+/// multi-worker partitioning paths under test must run even on small
+/// machines, and the recovered result is bitwise identical at every
+/// thread count).
+pub(crate) fn build_executor(cfg: &SimConfig, recorder: Option<&Arc<Recorder>>) -> ChunkExecutor {
+    let mut executor = if cfg.faults.p_worker_death > 0.0 {
+        ChunkExecutor::with_exact_threads(cfg.threads)
+            .with_faults(Arc::new(FaultInjector::new(cfg.faults)))
+    } else {
+        ChunkExecutor::new(cfg.threads)
+    };
+    if let Some(arc) = recorder {
+        executor = executor.with_recorder(Arc::clone(arc));
+    }
+    executor
+}

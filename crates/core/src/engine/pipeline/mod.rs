@@ -1,0 +1,536 @@
+//! The composable chunk-pipeline stage graph.
+//!
+//! One engine executes every version. A `PipelineSpec` (see `spec`) reduces
+//! the configured [`crate::Version`] (or an explicit
+//! [`crate::OptFlags`] subset) to an execution mode plus optimization
+//! flags; the streaming driver then walks a fixed list of per-chunk
+//! stages — *Plan → Prune → Deal → Fetch → Decompress → Kernel →
+//! Compress → Writeback → Sync* — each consulting only the flags, never
+//! the version. Per gate the driver runs three hook passes over the
+//! stage list:
+//!
+//! * `begin_gate` — gate-level work: the chunk plan, the pruning
+//!   decision, the functional update, and the compressed-size pass;
+//! * `on_task` — per chunk task, in plan order: deal to a device,
+//!   modeled H2D, decompress, kernel, compress, modeled D2H;
+//! * `end_gate` — window occupancy sampling and the per-gate sync.
+//!
+//! Cross-cutting concerns (integrity + fault injection, orchestration,
+//! checkpoint barriers) are middleware (`middleware`) threaded through
+//! the shared `Env`, not engine forks. The static-allocation baseline
+//! is the one genuinely different execution mode and lives in
+//! `static_alloc`, on the same middleware.
+
+pub(crate) mod batch;
+pub(crate) mod middleware;
+pub(crate) mod spec;
+pub(crate) mod stages;
+pub(crate) mod static_alloc;
+pub(crate) mod transfer;
+pub(crate) mod xfer_stages;
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use qgpu_circuit::fuse::FusedOp;
+use qgpu_circuit::Circuit;
+use qgpu_compress::GfcCodec;
+use qgpu_device::timeline::{Engine, Timeline};
+use qgpu_device::ExecutionReport;
+use qgpu_faults::SimError;
+use qgpu_math::Complex64;
+use qgpu_obs::{span_opt, Recorder, Stage as ObsStage, Track};
+use qgpu_sched::plan::GatePlan;
+use qgpu_sched::residency::RoundRobin;
+use qgpu_sched::InvolvementTracker;
+use qgpu_statevec::{ChunkExecutor, ChunkedState};
+
+use crate::checkpoint::Checkpoint;
+use crate::config::SimConfig;
+use crate::result::RunResult;
+
+use middleware::{BarrierClock, CheckpointLayer, Orchestration, Resilience};
+use spec::{ExecMode, PipelineSpec};
+
+/// Per-chunk compressed size recorded as "the codec failed, move raw"
+/// (see the codec-failure degradation path).
+pub(crate) const RAW_FALLBACK: usize = usize::MAX;
+
+/// Per-GPU double-buffer window: chunks in flight on the device.
+#[derive(Default)]
+pub(crate) struct Window {
+    pub(crate) slots: VecDeque<(f64, usize)>, // (d2h end, chunks held)
+    pub(crate) inflight: usize,
+}
+
+/// The streaming pipeline's shared environment: configuration, the
+/// modeled timeline, functional state, and every piece of cross-gate
+/// bookkeeping the stages read and write. Stages receive `&mut Env`
+/// and borrow disjoint fields.
+pub(crate) struct Env<'a> {
+    pub(crate) cfg: &'a SimConfig,
+    pub(crate) rec: Option<&'a Recorder>,
+    pub(crate) spec: PipelineSpec,
+    pub(crate) num_qubits: usize,
+    pub(crate) num_gpus: usize,
+    pub(crate) base_chunk_bits: u32,
+    /// Fixed per-task cost in byte-equivalents at link speed: a round
+    /// trip pays two transfer latencies and one kernel launch.
+    pub(crate) overhead_bytes: f64,
+    pub(crate) dynamic_chunks: bool,
+    pub(crate) tl: Timeline,
+    pub(crate) state: ChunkedState,
+    pub(crate) executor: ChunkExecutor,
+    pub(crate) tracker: InvolvementTracker,
+    pub(crate) chunk_bits: u32,
+    pub(crate) codec: GfcCodec,
+    pub(crate) resil: Option<Resilience>,
+    pub(crate) orch: Option<Orchestration>,
+    /// Per-device modeled compute backlog, refilled at each assignment.
+    pub(crate) backlog: Vec<f64>,
+    /// Compressed representation held by the CPU, per chunk (bytes).
+    pub(crate) compressed: HashMap<usize, usize>,
+    pub(crate) last_d2h: HashMap<usize, f64>,
+    pub(crate) windows: Vec<Window>,
+    pub(crate) epoch_floor: f64,
+    /// Naive's single-stream chain.
+    pub(crate) chain: f64,
+    pub(crate) task_counter: usize,
+    /// Compressed size of an all-zero chunk, per chunk_bits (cached).
+    pub(crate) zero_chunk_size: HashMap<u32, usize>,
+    pub(crate) rr: RoundRobin,
+}
+
+/// Per-gate context threaded through the stage hooks.
+pub(crate) struct GateCtx<'p> {
+    pub(crate) fop: &'p FusedOp,
+    /// Program index *after* this op (the original loop's post-increment
+    /// index — the injector's mask-corruption draw is keyed on it).
+    pub(crate) idx: usize,
+    pub(crate) plan: Option<GatePlan>,
+    pub(crate) fpa: f64,
+    /// Involvement after this op: decides which members move back.
+    pub(crate) tracker_after: InvolvementTracker,
+    pub(crate) pruning: bool,
+    pub(crate) compressing: bool,
+    pub(crate) num_chunks: usize,
+    pub(crate) chunk_bytes: u64,
+    /// Indices into `plan.tasks()` surviving the prune stage.
+    pub(crate) task_ixs: Vec<usize>,
+    /// GFC sizes for every member moving back this gate
+    /// ([`RAW_FALLBACK`] marks an injected encode failure).
+    pub(crate) new_sizes: HashMap<usize, usize>,
+    /// Members marked [`RAW_FALLBACK`] this gate.
+    pub(crate) raw_members: usize,
+}
+
+impl<'p> GateCtx<'p> {
+    pub(crate) fn new(fop: &'p FusedOp, idx: usize, compressing: bool, env: &Env) -> Self {
+        GateCtx {
+            fop,
+            idx,
+            plan: None,
+            fpa: 0.0,
+            tracker_after: env.tracker,
+            pruning: false,
+            compressing,
+            num_chunks: 1usize << (env.num_qubits as u32 - env.chunk_bits),
+            chunk_bytes: 16u64 << env.chunk_bits,
+            task_ixs: Vec::new(),
+            new_sizes: HashMap::new(),
+            raw_members: 0,
+        }
+    }
+
+    /// The chunk plan, available from the Plan stage onward.
+    pub(crate) fn plan(&self) -> &GatePlan {
+        self.plan.as_ref().expect("Plan stage ran")
+    }
+}
+
+/// Per-task context threaded through the `on_task` hooks.
+pub(crate) struct TaskCtx {
+    pub(crate) task_ix: usize,
+    pub(crate) gpu: usize,
+    pub(crate) compute_ready: f64,
+    pub(crate) h2d_bytes: u64,
+    /// Raw bytes arriving compressed (decompress kernel input).
+    pub(crate) raw_up_compressed: u64,
+    pub(crate) d2h_ready: f64,
+    pub(crate) d2h_bytes: u64,
+    /// Raw bytes departing compressed (compress kernel input).
+    pub(crate) raw_down_compressed: u64,
+}
+
+impl TaskCtx {
+    pub(crate) fn new(task_ix: usize) -> Self {
+        TaskCtx {
+            task_ix,
+            gpu: 0,
+            compute_ready: 0.0,
+            h2d_bytes: 0,
+            raw_up_compressed: 0,
+            d2h_ready: 0.0,
+            d2h_bytes: 0,
+            raw_down_compressed: 0,
+        }
+    }
+}
+
+/// One GFC segment per warp, but never so many that a segment degrades
+/// to a single (history-less) micro-chunk: keep ≥ 8 micro-chunks of 32
+/// doubles per segment. (The paper: "we empirically choose the number
+/// of segments to match the GPU parallelism".)
+pub(crate) fn codec_for(cfg: &SimConfig, chunk_bits: u32) -> GfcCodec {
+    let doubles = 2usize << chunk_bits;
+    GfcCodec::new((doubles / 256).clamp(1, cfg.compress_segments))
+}
+
+/// Deals the next task to a device: the orchestrator's group (with
+/// work-stealing) when present, plain round-robin otherwise.
+pub(crate) fn deal_gpu(env: &mut Env) -> usize {
+    let gpu = match env.orch.as_mut() {
+        Some(o) => {
+            // Backlogs only matter for victim selection, so a
+            // healthy (un-armed) fleet skips gathering them.
+            if o.group.steal_armed() {
+                for (g, b) in env.backlog.iter_mut().enumerate() {
+                    *b = env.tl.engine_available(Engine::GpuCompute(g));
+                }
+            }
+            let (g, stolen) = o.group.assign(env.task_counter, &env.backlog);
+            if stolen {
+                env.tl.count_steal();
+                if let Some(r) = env.rec {
+                    r.add("orch.steals", 1);
+                }
+            }
+            g
+        }
+        None => env.rr.gpu_for_task(env.task_counter),
+    };
+    env.task_counter += 1;
+    gpu
+}
+
+/// Admission control ahead of an upload of `incoming` chunks: under the
+/// overlap flag the per-GPU double-buffer window (half the device memory,
+/// paper §IV-A) drains oldest-first until the task fits; without it the
+/// single-stream chain serializes. Either way the governor's budget cap
+/// clamps on top and residency is sampled for the report.
+pub(crate) fn admit_window(
+    env: &mut Env,
+    gpu: usize,
+    incoming: usize,
+    compressing: bool,
+    chunk_bytes: u64,
+    ready: &mut f64,
+) {
+    if env.spec.flags.overlap {
+        let gspec = env.cfg.platform.gpu(gpu);
+        let base_cap = ((gspec.mem_bytes as f64 * env.cfg.buffer_split) as u64 / chunk_bytes)
+            .max(incoming as u64) as usize;
+        let inflight = env.windows[gpu].inflight;
+        let cap = match env.orch.as_mut() {
+            Some(o) => o.governed_cap(
+                base_cap,
+                inflight,
+                incoming,
+                env.chunk_bits,
+                chunk_bytes,
+                compressing,
+                &mut env.tl,
+                env.rec,
+            ),
+            None => base_cap,
+        };
+        let w = &mut env.windows[gpu];
+        while w.inflight + incoming > cap {
+            match w.slots.pop_front() {
+                Some((end, held)) => {
+                    *ready = (*ready).max(end);
+                    w.inflight -= held;
+                }
+                None => break,
+            }
+        }
+        if env.orch.as_ref().is_some_and(|o| o.governor.is_some()) {
+            env.tl
+                .observe_resident_bytes((w.inflight + incoming) as u64 * chunk_bytes);
+        }
+    } else {
+        *ready = (*ready).max(env.chain);
+        if let Some(o) = env.orch.as_mut() {
+            o.governed_cap(
+                incoming,
+                0,
+                incoming,
+                env.chunk_bits,
+                chunk_bytes,
+                compressing,
+                &mut env.tl,
+                env.rec,
+            );
+            if o.governor.is_some() {
+                env.tl.observe_resident_bytes(incoming as u64 * chunk_bytes);
+            }
+        }
+    }
+}
+
+/// Modeled-time multiplier for the next kernel on `gpu`: the injected
+/// stage slowdown times the device's straggler factor (1.0 without
+/// resilience).
+pub(crate) fn kernel_stretch(env: &mut Env, gpu: usize) -> f64 {
+    env.resil.as_mut().map_or(1.0, |rs| {
+        rs.kernel_stretch() * rs.inj.straggler_stretch(gpu)
+    })
+}
+
+/// Real GFC size of member `m` (the cached all-zero size for untouched
+/// chunks), sealing the integrity tag at encode time.
+pub(crate) fn encode_member(env: &mut Env, m: usize) -> usize {
+    let raw = 16usize << env.chunk_bits;
+    match env.state.chunk(m) {
+        Some(amps) => {
+            if let Some(rs) = env.resil.as_mut() {
+                rs.seal_at_encode(m, amps);
+            }
+            transfer::compressed_size(&env.codec, amps, raw, env.rec)
+        }
+        None => {
+            if let Some(rs) = env.resil.as_mut() {
+                rs.seal_zero_at_encode(m, env.chunk_bits);
+            }
+            let Env {
+                codec,
+                zero_chunk_size,
+                rec,
+                chunk_bits,
+                ..
+            } = env;
+            *zero_chunk_size.entry(*chunk_bits).or_insert_with(|| {
+                let zeros = vec![Complex64::ZERO; 1usize << *chunk_bits];
+                transfer::compressed_size(codec, &zeros, raw, *rec)
+            })
+        }
+    }
+}
+
+/// Dynamic chunk sizing (Algorithm 1's getChunkSize), with the
+/// governor's ShrinkChunks ceiling applied on top. Re-partitioning is a
+/// synchronization point: the pipeline drains and chunk-indexed caches
+/// reset.
+pub(crate) fn resize_chunks(env: &mut Env) {
+    let mut nb = if env.dynamic_chunks {
+        env.tracker
+            .optimal_chunk_bits(env.base_chunk_bits, env.overhead_bytes)
+    } else {
+        env.base_chunk_bits
+    };
+    if let Some(cap) = env.orch.as_ref().and_then(|o| o.bits_cap) {
+        nb = nb.min(cap);
+    }
+    if nb != env.chunk_bits {
+        env.chunk_bits = nb;
+        env.state.set_chunk_bits(nb);
+        env.codec = codec_for(env.cfg, nb);
+        env.epoch_floor = env.tl.makespan();
+        env.chain = env.chain.max(env.epoch_floor);
+        env.last_d2h.clear();
+        env.compressed.clear();
+        if let Some(rs) = env.resil.as_mut() {
+            rs.on_repartition();
+        }
+        for w in &mut env.windows {
+            w.slots.clear();
+            w.inflight = 0;
+        }
+    }
+}
+
+/// Engine entry point: resolve the spec, then dispatch to the static or
+/// streaming mode.
+pub(crate) fn run(
+    circuit: &Circuit,
+    cfg: &SimConfig,
+    recorder: Option<&Arc<Recorder>>,
+    resume: Option<&Checkpoint>,
+) -> Result<RunResult, SimError> {
+    let spec = PipelineSpec::from_config(cfg);
+    match spec.mode {
+        ExecMode::Static => static_alloc::run(circuit, cfg, recorder, resume),
+        ExecMode::Streaming => run_streaming(circuit, cfg, spec, recorder, resume),
+    }
+}
+
+fn run_streaming(
+    circuit: &Circuit,
+    cfg: &SimConfig,
+    spec: PipelineSpec,
+    recorder: Option<&Arc<Recorder>>,
+    resume: Option<&Checkpoint>,
+) -> Result<RunResult, SimError> {
+    let rec = recorder.map(Arc::as_ref);
+    let circuit_owned;
+    let circuit = if spec.flags.reorder {
+        // The forward-looking pass (§IV-C) runs first.
+        circuit_owned = cfg.reorder_strategy.reorder_observed(circuit, rec);
+        &circuit_owned
+    } else {
+        circuit
+    };
+    let n = circuit.num_qubits();
+
+    // The executable program: fused runs (after any reorder) or a 1:1
+    // lowering. Timing and chunk plans come from each op's collapsed
+    // kernel; the functional update replays the member gates exactly.
+    let program = {
+        let _g = span_opt(rec, Track::Main, ObsStage::Plan, "engine.program");
+        crate::engine::program_for(circuit, cfg)
+    };
+    let start = middleware::validate_resume(resume, n, program.len())?;
+
+    let mut env = build_env(spec, cfg, rec, recorder, n, start, &program, resume);
+    let mut ckpt = CheckpointLayer::new(start);
+    let mut clock = BarrierClock::new(cfg, start);
+    let stages = stages::stage_list();
+
+    let mut idx = start;
+    while idx < program.len() {
+        ckpt.before_op(idx, &env.state, cfg, rec)?;
+        if let Some(o) = env.orch.as_mut() {
+            if let Some(d) = clock.poll(idx, cfg, &mut o.group, env.num_gpus) {
+                middleware::handle_device_loss(
+                    d,
+                    o,
+                    &mut env.tl,
+                    &mut env.windows,
+                    &mut env.epoch_floor,
+                    &mut env.chain,
+                    cfg,
+                    rec,
+                )?;
+            }
+        }
+        resize_chunks(&mut env);
+
+        // Whether chunks move compressed this op: the flag subset's own
+        // choice, or the governor's ForceCompress rung.
+        let compressing =
+            spec.flags.compression || env.orch.as_ref().is_some_and(|o| o.force_compress);
+        let fop = &program[idx];
+        let cb = env.chunk_bits;
+        let local = fop
+            .collapsed()
+            .mixing_qubits()
+            .iter()
+            .all(|&q| (q as u32) < cb);
+        if spec.batching && local {
+            idx = batch::run_batch(&mut env, &program, idx, compressing)?;
+            continue;
+        }
+        idx += 1;
+
+        let mut g = GateCtx::new(fop, idx, compressing, &env);
+        for s in &stages {
+            s.begin_gate(&mut g, &mut env)?;
+        }
+        let ixs = g.task_ixs.clone();
+        for task_ix in ixs {
+            let mut t = TaskCtx::new(task_ix);
+            for s in &stages {
+                s.on_task(&mut t, &mut g, &mut env)?;
+            }
+        }
+        for s in &stages {
+            s.end_gate(&mut g, &mut env)?;
+        }
+        env.tracker = g.tracker_after;
+    }
+
+    if let (Some(rs), Some(r)) = (env.resil.as_ref(), rec) {
+        r.add("integrity.retags", rs.retags);
+    }
+    let report = ExecutionReport::from_timeline(&env.tl, env.num_gpus);
+    Ok(RunResult {
+        version: cfg.version,
+        circuit_name: circuit.name().to_string(),
+        state: cfg.collect_state.then(|| env.state.to_flat()),
+        report,
+        trace: env.tl.trace().to_vec(),
+        obs: None,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_env<'a>(
+    spec: PipelineSpec,
+    cfg: &'a SimConfig,
+    rec: Option<&'a Recorder>,
+    recorder: Option<&Arc<Recorder>>,
+    n: usize,
+    start: usize,
+    program: &[FusedOp],
+    resume: Option<&Checkpoint>,
+) -> Env<'a> {
+    let base_chunk_bits = cfg.chunk_bits_for(n);
+    let num_gpus = cfg.platform.num_gpus();
+    let overhead_bytes = (2.0 * cfg.platform.link(0).latency + cfg.platform.gpu(0).kernel_launch)
+        * cfg.platform.link(0).bw_per_direction;
+
+    // Involvement replays instantly for the skipped prefix: masks are
+    // pure functions of the program, no amplitudes needed.
+    let mut tracker = InvolvementTracker::new(n);
+    for f in &program[..start] {
+        tracker.involve_mask(f.qubit_mask());
+    }
+    let dynamic_chunks = spec.flags.pruning && cfg.dynamic_chunk_size;
+    let chunk_bits = if dynamic_chunks {
+        tracker.optimal_chunk_bits(base_chunk_bits, overhead_bytes)
+    } else {
+        base_chunk_bits
+    };
+    let state = match resume {
+        Some(ck) => ChunkedState::from_flat(&ck.state, chunk_bits),
+        None => ChunkedState::new_zero(n, chunk_bits),
+    };
+    let mut tl = if cfg.trace_events > 0 {
+        Timeline::with_trace(cfg.trace_events)
+    } else {
+        Timeline::new()
+    };
+    tl.set_gates_fused(qgpu_circuit::fuse::gates_fused(program) as u64);
+
+    Env {
+        cfg,
+        rec,
+        spec,
+        num_qubits: n,
+        num_gpus,
+        base_chunk_bits,
+        overhead_bytes,
+        dynamic_chunks,
+        tl,
+        state,
+        executor: middleware::build_executor(cfg, recorder),
+        tracker,
+        chunk_bits,
+        codec: codec_for(cfg, chunk_bits),
+        resil: cfg.resilience_active().then(|| Resilience::new(cfg)),
+        // Resilient multi-device orchestration: explicit opt-in, or
+        // implied by any configured device-level fault.
+        orch: cfg
+            .effective_orchestration()
+            .map(|o| Orchestration::new(num_gpus, o, cfg)),
+        backlog: vec![0.0; num_gpus],
+        compressed: HashMap::new(),
+        last_d2h: HashMap::new(),
+        windows: (0..num_gpus).map(|_| Window::default()).collect(),
+        epoch_floor: 0.0,
+        chain: 0.0,
+        task_counter: 0,
+        zero_chunk_size: HashMap::new(),
+        rr: RoundRobin::new(num_gpus),
+    }
+}

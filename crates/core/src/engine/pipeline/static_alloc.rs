@@ -1,0 +1,439 @@
+//! The static-allocation execution mode: Qiskit-Aer-style baseline
+//! (paper §III-B).
+//!
+//! Chunks `0..resident` are pinned in GPU memory (striped round-robin
+//! across devices on multi-GPU platforms); the rest live on the host.
+//! Per gate:
+//!
+//! * chunk tasks entirely on one device update there (GPU kernel or the
+//!   host's *chunked* update path, which is slower than a plain loop —
+//!   see [`qgpu_device::HostSpec::chunk_penalty`]);
+//! * mixed tasks trigger the paper's **reactive chunk exchange**: the
+//!   off-device members are copied in, the group updated, and the
+//!   members copied back — synchronously, one task at a time;
+//! * every gate ends with a host↔device synchronization.
+//!
+//! This reproduces the paper's Figure 2: with a large state vector
+//! almost all time is CPU update, roughly 10% is exchange, and the GPU
+//! is idle. Checkpoints, barriers, device loss, and the functional
+//! update ride the same middleware as the streaming mode.
+
+use std::sync::Arc;
+
+use qgpu_circuit::fuse::FusedOp;
+use qgpu_circuit::Circuit;
+use qgpu_device::timeline::{Engine, TaskKind, Timeline};
+use qgpu_device::ExecutionReport;
+use qgpu_faults::{FaultInjector, SimError};
+use qgpu_obs::{span_opt, Recorder, Stage as ObsStage, Track};
+use qgpu_sched::devicegroup::DeviceGroup;
+use qgpu_sched::plan::{ChunkTask, GatePlan};
+use qgpu_statevec::{ChunkExecutor, ChunkedState};
+
+use crate::checkpoint::Checkpoint;
+use crate::config::SimConfig;
+use crate::engine::flops_per_amp;
+use crate::result::RunResult;
+
+use super::middleware::{self, BarrierClock, CheckpointLayer};
+use super::transfer::copy_with_dma;
+
+/// Where a chunk lives under the striped static allocation.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    Host,
+    Gpu(usize),
+}
+
+/// The static mode's working state, threaded through the per-gate steps.
+struct StaticRun<'a> {
+    cfg: &'a SimConfig,
+    rec: Option<&'a Recorder>,
+    chunk_bits: u32,
+    num_chunks: usize,
+    chunk_bytes: u64,
+    num_gpus: usize,
+    resident: usize,
+    alive: Vec<bool>,
+    state: ChunkedState,
+    tl: Timeline,
+    executor: ChunkExecutor,
+    gate_ready: f64,
+    group: Option<DeviceGroup>,
+    /// The device-fault injector (pure: replays the same draws as any
+    /// other instance with the same seed).
+    dev_inj: Option<FaultInjector>,
+    transfer_ix: u64,
+}
+
+pub(crate) fn run(
+    circuit: &Circuit,
+    cfg: &SimConfig,
+    recorder: Option<&Arc<Recorder>>,
+    resume: Option<&Checkpoint>,
+) -> Result<RunResult, SimError> {
+    let rec = recorder.map(Arc::as_ref);
+    let n = circuit.num_qubits();
+    let program = {
+        let _g = span_opt(rec, Track::Main, ObsStage::Plan, "engine.program");
+        crate::engine::program_for(circuit, cfg)
+    };
+    let start = middleware::validate_resume(resume, n, program.len())?;
+    let mut sr = StaticRun::new(cfg, rec, recorder, n, &program, resume);
+    let mut ckpt = CheckpointLayer::new(start);
+    let mut clock = BarrierClock::new(cfg, start);
+
+    for (idx, fop) in program.iter().enumerate().skip(start) {
+        ckpt.before_op(idx, &sr.state, cfg, rec)?;
+        let lost = match sr.group.as_mut() {
+            Some(gr) => clock.poll(idx, cfg, gr, sr.num_gpus),
+            None => None,
+        };
+        if let Some(d) = lost {
+            sr.on_loss(d)?;
+        }
+        sr.gate_step(fop)?;
+    }
+
+    let report = ExecutionReport::from_timeline(&sr.tl, sr.num_gpus);
+    Ok(RunResult {
+        version: cfg.version,
+        circuit_name: circuit.name().to_string(),
+        state: cfg.collect_state.then(|| sr.state.to_flat()),
+        report,
+        trace: sr.tl.trace().to_vec(),
+        obs: None,
+    })
+}
+
+impl<'a> StaticRun<'a> {
+    fn new(
+        cfg: &'a SimConfig,
+        rec: Option<&'a Recorder>,
+        recorder: Option<&Arc<Recorder>>,
+        n: usize,
+        program: &[FusedOp],
+        resume: Option<&Checkpoint>,
+    ) -> Self {
+        let chunk_bits = cfg.chunk_bits_for(n);
+        let num_chunks = 1usize << (n as u32 - chunk_bits);
+        let chunk_bytes = 16u64 << chunk_bits;
+        let num_gpus = cfg.platform.num_gpus();
+
+        // Static allocation: as many chunks as fit, striped across GPUs.
+        // A configured residency budget caps each device below its
+        // hardware capacity — the baseline's only degradation rung is
+        // keeping fewer chunks resident (everything else already lives
+        // on the host).
+        let ocfg = cfg.effective_orchestration();
+        let budget = ocfg.and_then(|o| o.mem_budget_bytes);
+        let mut budget_capped = 0u64;
+        let per_gpu_cap: Vec<usize> = (0..num_gpus)
+            .map(|g| {
+                let hw = cfg.platform.gpu_chunk_capacity(g, chunk_bytes);
+                match budget {
+                    Some(b) => {
+                        let cap = (((b / chunk_bytes.max(1)) as usize).max(1)).min(hw);
+                        if cap < hw {
+                            budget_capped += 1;
+                        }
+                        cap
+                    }
+                    None => hw,
+                }
+            })
+            .collect();
+        let resident: usize = per_gpu_cap.iter().sum::<usize>().min(num_chunks);
+
+        let state = match resume {
+            Some(ck) => ChunkedState::from_flat(&ck.state, chunk_bits),
+            None => ChunkedState::new_zero(n, chunk_bits),
+        };
+        let mut tl = if cfg.trace_events > 0 {
+            Timeline::with_trace(cfg.trace_events)
+        } else {
+            Timeline::new()
+        };
+
+        // Orchestration bookkeeping: the device group tracks liveness and
+        // barriers; the injector draws device-level faults.
+        // (Work-stealing does not apply to a static allocation.)
+        let group = ocfg.map(|o| {
+            let mut g = DeviceGroup::new(num_gpus, o);
+            // Replay logs only serve device loss; skip their per-task
+            // pushes when no device fault can fire.
+            g.set_replay_tracking(cfg.faults.device_faults_enabled());
+            g
+        });
+        if budget.is_some() {
+            for _ in 0..budget_capped {
+                tl.count_pressure_downshift();
+                if let Some(r) = rec {
+                    r.add("orch.pressure_downshifts", 1);
+                }
+            }
+            for g in 0..num_gpus {
+                let cnt = (0..resident).filter(|c| c % num_gpus == g).count() as u64;
+                tl.observe_resident_bytes(cnt * chunk_bytes);
+            }
+        }
+        tl.set_gates_fused(qgpu_circuit::fuse::gates_fused(program) as u64);
+
+        StaticRun {
+            cfg,
+            rec,
+            chunk_bits,
+            num_chunks,
+            chunk_bytes,
+            num_gpus,
+            resident,
+            alive: vec![true; num_gpus],
+            state,
+            tl,
+            executor: middleware::build_executor(cfg, recorder),
+            gate_ready: 0.0,
+            group,
+            dev_inj: cfg
+                .faults
+                .device_faults_enabled()
+                .then(|| FaultInjector::new(cfg.faults)),
+            transfer_ix: 0,
+        }
+    }
+
+    /// Where a chunk lives, given which devices are still alive: a dead
+    /// device's stripe re-homes to the host.
+    fn loc(&self, chunk: usize) -> Loc {
+        if chunk < self.resident {
+            let g = chunk % self.num_gpus;
+            if self.alive[g] {
+                Loc::Gpu(g)
+            } else {
+                Loc::Host
+            }
+        } else {
+            Loc::Host
+        }
+    }
+
+    /// A device dropped out: its stripe re-homes to the host. Host state
+    /// is authoritative, so the cost is a modeled restore from the last
+    /// checkpoint barrier.
+    fn on_loss(&mut self, d: usize) -> Result<(), SimError> {
+        let gr = self.group.as_mut().expect("orchestrated");
+        if !gr.is_alive(d) {
+            return Ok(());
+        }
+        if gr.lose_device(d).is_none() {
+            return Err(SimError::AllDevicesLost { device: d });
+        }
+        self.alive[d] = false;
+        let moved = (0..self.resident)
+            .filter(|c| c % self.num_gpus == d)
+            .count() as u64;
+        self.tl.count_device_lost();
+        self.tl.count_chunks_migrated(moved);
+        if let Some(r) = self.rec {
+            r.add("orch.devices_lost", 1);
+            r.add("orch.chunks_migrated", moved);
+        }
+        let restore = self.tl.schedule(
+            Engine::Host,
+            self.gate_ready,
+            moved as f64 * self.chunk_bytes as f64 / self.cfg.platform.host.copy_bw,
+            TaskKind::Sync,
+            moved * self.chunk_bytes,
+        );
+        self.gate_ready = restore.end;
+        Ok(())
+    }
+
+    /// One program op: partition, update batches, reactive exchange,
+    /// sync, then the functional update.
+    fn gate_step(&mut self, fop: &FusedOp) -> Result<(), SimError> {
+        let action = fop.collapsed();
+        let plan = GatePlan::new_observed(action, self.chunk_bits, self.num_chunks, self.rec);
+        let fpa = flops_per_amp(action);
+
+        // Partition tasks: same-device batches vs. mixed groups.
+        let mut host_bytes = 0u64;
+        let mut gpu_bytes = vec![0u64; self.num_gpus];
+        let mut mixed: Vec<&ChunkTask> = Vec::new();
+        for task in plan.tasks() {
+            let locs: Vec<Loc> = task.chunks().iter().map(|&c| self.loc(c)).collect();
+            let bytes = task.len() as u64 * self.chunk_bytes;
+            if locs.iter().all(|&l| l == Loc::Host) {
+                host_bytes += bytes;
+            } else if locs.windows(2).all(|w| w[0] == w[1]) {
+                let Loc::Gpu(g) = locs[0] else { unreachable!() };
+                gpu_bytes[g] += bytes;
+            } else {
+                mixed.push(task);
+            }
+            self.tl.count_processed(task.len() as u64);
+            if let Some(r) = self.rec {
+                r.add("chunks.processed", task.len() as u64);
+                r.observe("chunk.bytes", self.chunk_bytes);
+            }
+        }
+
+        let mut gate_end = self.gate_ready;
+        if host_bytes > 0 {
+            let t = host_bytes as f64 / self.cfg.platform.host.chunked_update_bw();
+            let span = self.tl.schedule(
+                Engine::Host,
+                self.gate_ready,
+                t,
+                TaskKind::HostUpdate,
+                host_bytes,
+            );
+            gate_end = gate_end.max(span.end);
+        }
+        for (g, &bytes) in gpu_bytes.iter().enumerate() {
+            if bytes == 0 {
+                continue;
+            }
+            let stretch = self
+                .dev_inj
+                .as_ref()
+                .map_or(1.0, |i| i.straggler_stretch(g));
+            let t = (bytes as f64 / self.cfg.platform.gpu(g).update_bw()
+                + self.cfg.platform.gpu(g).kernel_launch)
+                * stretch;
+            let span = self.tl.schedule(
+                Engine::GpuCompute(g),
+                self.gate_ready,
+                t,
+                TaskKind::Kernel,
+                bytes,
+            );
+            self.tl.add_flops((bytes as f64 / 16.0) * fpa);
+            if fop.is_fused() {
+                self.tl.count_fused_kernel();
+            }
+            gate_end = gate_end.max(span.end);
+        }
+
+        gate_end = gate_end.max(self.exchange(&mixed, fop, fpa, gate_end));
+
+        // Per-gate synchronization between the scheduler and the device.
+        let sync = self.tl.schedule(
+            Engine::Host,
+            gate_end,
+            self.cfg.platform.host.sync_latency,
+            TaskKind::Sync,
+            0,
+        );
+        self.gate_ready = sync.end;
+
+        // Functional update (identical across modes), after the sync.
+        let mut singles: Vec<usize> = Vec::new();
+        let mut groups: Vec<&[usize]> = Vec::new();
+        for task in plan.tasks() {
+            match task {
+                ChunkTask::Single(c) => singles.push(*c),
+                ChunkTask::Group(g) => groups.push(g),
+            }
+        }
+        middleware::apply_functional(
+            &mut self.executor,
+            &mut self.state,
+            &mut self.tl,
+            self.rec,
+            fop,
+            &singles,
+            &groups,
+            plan.high_mixing(),
+        )
+    }
+
+    /// Reactive exchange: mixed groups processed synchronously, one at a
+    /// time, on the primary GPU of the group — *after* the update
+    /// batches, since the scheduler blocks when it reaches the boundary
+    /// (the paper's Figure 2 splits the makespan into CPU time then
+    /// exchange time). Returns the chain's end.
+    fn exchange(&mut self, mixed: &[&ChunkTask], fop: &FusedOp, fpa: f64, gate_end: f64) -> f64 {
+        let mut chain = gate_end;
+        for task in mixed {
+            let primary = task
+                .chunks()
+                .iter()
+                .find_map(|&c| match self.loc(c) {
+                    Loc::Gpu(g) => Some(g),
+                    Loc::Host => None,
+                })
+                .unwrap_or_else(|| self.alive.iter().position(|&a| a).unwrap_or(0));
+            let off_device_bytes: u64 = task
+                .chunks()
+                .iter()
+                .filter(|&&c| self.loc(c) != Loc::Gpu(primary))
+                .count() as u64
+                * self.chunk_bytes;
+            let link = self.cfg.platform.link(primary);
+            let link_stretch = self.next_link_stretch();
+            let h2d = copy_with_dma(
+                &mut self.tl,
+                Engine::HostDmaOut,
+                Engine::H2d(primary),
+                TaskKind::H2dCopy,
+                chain,
+                off_device_bytes,
+                link,
+                self.cfg.platform.host.copy_bw,
+                link_stretch,
+            );
+            let group_bytes = task.len() as u64 * self.chunk_bytes;
+            let kt = (group_bytes as f64 / self.cfg.platform.gpu(primary).update_bw()
+                + self.cfg.platform.gpu(primary).kernel_launch)
+                * self
+                    .dev_inj
+                    .as_ref()
+                    .map_or(1.0, |i| i.straggler_stretch(primary));
+            let kernel = self.tl.schedule(
+                Engine::GpuCompute(primary),
+                h2d.end,
+                kt,
+                TaskKind::Kernel,
+                group_bytes,
+            );
+            self.tl.add_flops((group_bytes as f64 / 16.0) * fpa);
+            if fop.is_fused() {
+                self.tl.count_fused_kernel();
+            }
+            let down_stretch = self.next_link_stretch();
+            let d2h = copy_with_dma(
+                &mut self.tl,
+                Engine::HostDmaIn,
+                Engine::D2h(primary),
+                TaskKind::D2hCopy,
+                kernel.end,
+                off_device_bytes,
+                link,
+                self.cfg.platform.host.copy_bw,
+                down_stretch,
+            );
+            chain = d2h.end;
+        }
+        chain
+    }
+
+    /// The next transfer's injected link stretch (consumes a draw only
+    /// when device faults are configured, matching the counter the
+    /// streaming mode's injector would see).
+    fn next_link_stretch(&mut self) -> f64 {
+        match self.dev_inj.as_ref() {
+            Some(i) => {
+                let s = i.link_stretch(self.transfer_ix);
+                self.transfer_ix += 1;
+                if s > 1.0 {
+                    self.tl.count_link_degradation();
+                    if let Some(r) = self.rec {
+                        r.add("link.degradations", 1);
+                    }
+                }
+                s
+            }
+            None => 1.0,
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Shared host↔device transfer modeling: the DMA-staged copy primitive,
+//! its integrity-checked (retrying) variant, and the real-codec
+//! compressed-size probe.
+//!
+//! Every engine path — streaming stages, the gate-batching extension,
+//! the static-allocation mode, and device-loss replay — routes its
+//! copies through [`copy_with_dma`], so the §V-E host-DMA bottleneck is
+//! modeled once.
+
+use qgpu_compress::GfcCodec;
+use qgpu_device::timeline::{Engine, TaskKind, Timeline};
+use qgpu_faults::{FaultSite, SimError};
+use qgpu_math::Complex64;
+use qgpu_obs::Recorder;
+
+use super::middleware::Resilience;
+
+/// Schedules a CPU↔GPU copy: the transfer holds its per-GPU link engine
+/// for `bytes/link_bw` *and* reserves the shared host-DRAM DMA path for
+/// `bytes/copy_bw`, so aggregate traffic across all GPUs never exceeds
+/// what host memory can stage (the paper's §V-E observation that CPU↔GPU
+/// movement, not GPU↔GPU links, bounds multi-GPU scaling).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn copy_with_dma(
+    tl: &mut Timeline,
+    dma_engine: Engine,
+    link_engine: Engine,
+    kind: TaskKind,
+    ready: f64,
+    bytes: u64,
+    link: &qgpu_device::LinkSpec,
+    copy_bw: f64,
+    link_stretch: f64,
+) -> qgpu_device::Span {
+    let dma = tl.schedule(
+        dma_engine,
+        ready,
+        bytes as f64 / copy_bw,
+        TaskKind::HostDma,
+        0,
+    );
+    tl.schedule(
+        link_engine,
+        dma.start,
+        link.transfer_time(bytes) * link_stretch,
+        kind,
+        bytes,
+    )
+}
+
+/// [`copy_with_dma`] under integrity checking: after each modeled
+/// transfer the injector decides whether the arrival CRC matched. A
+/// mismatch costs a [`TaskKind::Backoff`] span on the link engine and a
+/// full retransmit; after `max_retries` consumed attempts the transfer is
+/// abandoned with [`SimError::ChunkCorrupt`]. With `resil == None` this
+/// is exactly `copy_with_dma`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn transfer_with_integrity(
+    tl: &mut Timeline,
+    dma_engine: Engine,
+    link_engine: Engine,
+    kind: TaskKind,
+    mut ready: f64,
+    bytes: u64,
+    link: &qgpu_device::LinkSpec,
+    copy_bw: f64,
+    resil: Option<&mut Resilience>,
+    rec: Option<&Recorder>,
+) -> Result<qgpu_device::Span, SimError> {
+    let Some(rs) = resil else {
+        return Ok(copy_with_dma(
+            tl,
+            dma_engine,
+            link_engine,
+            kind,
+            ready,
+            bytes,
+            link,
+            copy_bw,
+            1.0,
+        ));
+    };
+    let index = rs.transfers;
+    rs.transfers += 1;
+    // An injected link degradation stretches this transfer's link time —
+    // every retry of the same transfer sees the same degraded link.
+    let stretch = rs.inj.link_stretch(index);
+    if stretch > 1.0 {
+        tl.count_link_degradation();
+        if let Some(r) = rec {
+            r.add("link.degradations", 1);
+        }
+    }
+    let mut attempt: u32 = 0;
+    loop {
+        let span = copy_with_dma(
+            tl,
+            dma_engine,
+            link_engine,
+            kind,
+            ready,
+            bytes,
+            link,
+            copy_bw,
+            stretch,
+        );
+        if !rs
+            .inj
+            .fires_attempt(FaultSite::TransferCorrupt, index, attempt)
+        {
+            return Ok(span);
+        }
+        if attempt >= rs.retry.max_retries {
+            return Err(SimError::ChunkCorrupt {
+                chunk: index as usize,
+                attempts: attempt + 1,
+            });
+        }
+        // Arrival CRC mismatched: back off (modeled), then retransmit.
+        let b = tl.schedule(
+            link_engine,
+            span.end,
+            rs.retry.backoff_s(attempt),
+            TaskKind::Backoff,
+            0,
+        );
+        tl.count_chunk_retry();
+        if let Some(r) = rec {
+            r.add("chunk.retries", 1);
+        }
+        ready = b.end;
+        attempt += 1;
+    }
+}
+
+/// Real GFC size of a chunk, capped at raw size (the scheme falls back to
+/// the raw representation if compression would expand the data). Records
+/// the per-chunk ratio histogram; the wall-clock Compress span is opened
+/// by the caller at per-gate granularity (a span per chunk would swamp
+/// the recorder on million-chunk runs).
+pub(crate) fn compressed_size(
+    codec: &GfcCodec,
+    amps: &[Complex64],
+    raw_bytes: usize,
+    rec: Option<&Recorder>,
+) -> usize {
+    let out = codec.compress_amplitudes(amps).total_bytes().min(raw_bytes);
+    if let Some(r) = rec {
+        r.observe("compress.ratio.x100", (raw_bytes * 100 / out.max(1)) as u64);
+    }
+    out
+}

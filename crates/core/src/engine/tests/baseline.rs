@@ -1,0 +1,67 @@
+//! The paper's §III-B baseline: static chunk allocation, CPU updates for
+//! host-resident chunks, reactive synchronous exchange.
+
+use qgpu_circuit::generators::Benchmark;
+use qgpu_circuit::Circuit;
+use qgpu_device::Platform;
+
+use crate::config::{SimConfig, Version};
+use crate::engine::Simulator;
+use crate::result::RunResult;
+
+fn run_cfg(c: &Circuit, cfg: SimConfig) -> RunResult {
+    Simulator::new(cfg.with_version(Version::Baseline)).run(c)
+}
+
+#[test]
+fn capacity_exceeded_is_host_dominated() {
+    // The paper's Figure 2: ~89% CPU time, ~10% exchange, ~1% GPU.
+    let c = Benchmark::Qft.generate(12);
+    let r = run_cfg(&c, SimConfig::scaled_paper(12));
+    assert!(
+        r.report.host_fraction() > 0.6,
+        "host fraction {:.2} too small",
+        r.report.host_fraction()
+    );
+    assert!(r.report.gpu_fraction() < 0.2);
+}
+
+#[test]
+fn state_fits_gpu_runs_entirely_on_gpu() {
+    // Below 30 qubits (here: GPU memory not scaled down) the whole
+    // state fits and the baseline uses only the GPU.
+    let c = Benchmark::Qft.generate(10);
+    let r = run_cfg(&c, SimConfig::new(Platform::paper_p100()));
+    assert_eq!(r.report.host_time, 0.0);
+    assert_eq!(r.report.bytes_h2d, 0);
+    assert!(r.report.gpu_time > 0.0);
+}
+
+#[test]
+fn exchange_happens_only_with_cross_boundary_mixing() {
+    // A circuit of purely chunk-local gates never exchanges.
+    let mut c = Circuit::new(10);
+    for q in 0..3 {
+        c.h(q);
+    }
+    c.cx(0, 1).cz(1, 2);
+    let r = run_cfg(&c, SimConfig::scaled_paper(10));
+    assert_eq!(r.report.bytes_h2d, 0, "no mixed groups expected");
+}
+
+#[test]
+fn functional_state_is_correct() {
+    let c = Benchmark::Gs.generate(9);
+    let r = run_cfg(&c, SimConfig::scaled_paper(9));
+    let mut reference = qgpu_statevec::StateVector::new_zero(9);
+    reference.run(&c);
+    assert!(r.state.expect("collected").max_deviation(&reference) < 1e-10);
+}
+
+#[test]
+fn sync_time_accumulates_per_gate() {
+    let c = Benchmark::Bv.generate(8);
+    let r = run_cfg(&c, SimConfig::scaled_paper(8));
+    let expected = c.len() as f64 * Platform::scaled_paper_p100(8).host.sync_latency;
+    assert!((r.report.sync_time - expected).abs() < 1e-9);
+}

@@ -1,0 +1,103 @@
+//! The stage-graph pipeline's flag-subset contract: an explicit
+//! [`OptFlags`] subset runs the same composed stage list a named
+//! [`Version`] runs, so matching subsets are indistinguishable — in
+//! bits *and* in the modeled report.
+
+use qgpu_circuit::generators::Benchmark;
+use qgpu_statevec::StateVector;
+
+use super::assert_bitwise_eq;
+use crate::config::{OptFlags, SimConfig, Version};
+use crate::engine::Simulator;
+
+#[test]
+fn explicit_opts_are_indistinguishable_from_their_version() {
+    // Each streaming version is just a named flag subset: configuring
+    // the same subset explicitly must give the identical run.
+    let c = Benchmark::Iqp.generate(10);
+    for v in [
+        Version::Naive,
+        Version::Overlap,
+        Version::Pruning,
+        Version::Reorder,
+        Version::QGpu,
+    ] {
+        let named = Simulator::new(SimConfig::scaled_paper(10).with_version(v)).run(&c);
+        let explicit = Simulator::new(
+            SimConfig::scaled_paper(10)
+                .with_version(v)
+                .with_opts(v.opt_flags()),
+        )
+        .run(&c);
+        assert_bitwise_eq(
+            named.state.as_ref().expect("collected"),
+            explicit.state.as_ref().expect("collected"),
+        );
+        assert_eq!(named.report.total_time, explicit.report.total_time, "{v}");
+        assert_eq!(named.report.bytes_h2d, explicit.report.bytes_h2d, "{v}");
+        assert_eq!(named.report.bytes_d2h, explicit.report.bytes_d2h, "{v}");
+    }
+}
+
+#[test]
+fn explicit_empty_opts_turn_baseline_into_naive() {
+    // An explicit subset always selects the streaming pipeline — even
+    // under Version::Baseline, whose static mode only applies when no
+    // subset is given. The empty subset is exactly Naive.
+    let c = Benchmark::Qft.generate(10);
+    let naive = Simulator::new(SimConfig::scaled_paper(10).with_version(Version::Naive)).run(&c);
+    let explicit = Simulator::new(
+        SimConfig::scaled_paper(10)
+            .with_version(Version::Baseline)
+            .with_opts(OptFlags::default()),
+    )
+    .run(&c);
+    assert_bitwise_eq(
+        naive.state.as_ref().expect("collected"),
+        explicit.state.as_ref().expect("collected"),
+    );
+    assert_eq!(naive.report.total_time, explicit.report.total_time);
+    assert_eq!(naive.report.bytes_h2d, explicit.report.bytes_h2d);
+}
+
+#[test]
+fn arbitrary_subsets_compose_and_stay_correct() {
+    // Subsets no named version covers (e.g. pruning+compression without
+    // overlap) must run end to end and compute the right state.
+    let c = Benchmark::Iqp.generate(10);
+    let mut reference = StateVector::new_zero(10);
+    reference.run(&c);
+    for bits in [0b1010u8, 0b0110, 0b1001, 0b1100] {
+        let f = OptFlags::from_bits(bits);
+        let r = Simulator::new(SimConfig::scaled_paper(10).with_opts(f)).run(&c);
+        let dev = r.state.expect("collected").max_deviation(&reference);
+        assert!(dev < 1e-10, "{f}: deviation {dev}");
+    }
+    // The pruning subsets actually prune on a late-involving circuit.
+    let pruned = Simulator::new(
+        SimConfig::scaled_paper(10).with_opts(OptFlags::parse("pruning+compression").unwrap()),
+    )
+    .run(&c);
+    assert!(pruned.report.chunks_pruned > 0);
+    assert!(pruned.report.compression_ratio() >= 1.0);
+}
+
+#[test]
+fn batching_composes_with_explicit_subsets() {
+    // Gate batching is a pipeline-shape change orthogonal to the flag
+    // subset; it must stay bit-exact under any explicit subset too.
+    let c = Benchmark::Qft.generate(10);
+    let mut reference = StateVector::new_zero(10);
+    reference.run(&c);
+    for bits in [0b0000u8, 0b0011, 0b1011] {
+        let f = OptFlags::from_bits(bits);
+        let r = Simulator::new(
+            SimConfig::scaled_paper(10)
+                .with_opts(f)
+                .with_gate_batching(),
+        )
+        .run(&c);
+        let dev = r.state.expect("collected").max_deviation(&reference);
+        assert!(dev < 1e-10, "{f}+batching: deviation {dev}");
+    }
+}

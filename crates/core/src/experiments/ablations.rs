@@ -10,13 +10,15 @@
 //! * [`reorder_strategy`] — greedy (Algorithm 2) vs. forward-looking
 //!   (Algorithm 3), end to end rather than by involvement curves;
 //! * [`buffer_split`] — the §IV-A half/half split of GPU memory between
-//!   the working and prefetch buffers.
+//!   the working and prefetch buffers;
+//! * [`opt_grid`] — every 2^4 subset of the paper's four optimizations,
+//!   run through the real composed pipeline (not a per-version model).
 
 use qgpu_circuit::generators::Benchmark;
 use qgpu_math::stats::geometric_mean;
 use qgpu_sched::reorder::ReorderStrategy;
 
-use crate::config::{SimConfig, Version};
+use crate::config::{OptFlags, SimConfig, Version};
 use crate::engine::Simulator;
 use crate::experiments::{f2, Table};
 
@@ -147,6 +149,37 @@ pub fn buffer_split(qubits: usize) -> Table {
     table
 }
 
+/// The full 2^4 optimization grid: every subset of {overlap, pruning,
+/// reorder, compression} through the composed stage pipeline. The paper
+/// only reports the four cumulative points (Figure 12); the grid shows
+/// the marginal value of each flag in every context — e.g. compression
+/// without overlap still saves transfer time but can't hide it.
+pub fn opt_grid(qubits: usize) -> Table {
+    let mut table = Table::new(
+        &format!("Ablation: optimization grid, geomean time in ms ({qubits} qubits)"),
+        ["opts", "geomean time", "vs none"],
+    );
+    let geomean_for = |f: OptFlags| -> f64 {
+        geometric_mean(Benchmark::ALL.iter().map(|&b| {
+            let c = b.generate(qubits);
+            Simulator::new(SimConfig::scaled_paper(qubits).with_opts(f).timing_only())
+                .run(&c)
+                .report
+                .total_time
+        }))
+    };
+    let none = geomean_for(OptFlags::default());
+    for f in OptFlags::grid() {
+        let t = geomean_for(f);
+        table.row([
+            f.label(),
+            f2(t * 1e3),
+            format!("{:+.1}%", 100.0 * (t - none) / none),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,5 +228,18 @@ mod tests {
     fn chunk_count_sweep_has_rows() {
         let t = chunk_count(10);
         assert!(t.rows.len() >= 4);
+    }
+
+    #[test]
+    fn opt_grid_covers_all_subsets_and_full_recipe_wins() {
+        let t = opt_grid(10);
+        assert_eq!(t.rows.len(), 16);
+        let time = |label: &str| -> f64 {
+            t.rows.iter().find(|r| r[0] == label).expect("row")[1]
+                .parse()
+                .expect("number")
+        };
+        // The full recipe must beat the empty subset.
+        assert!(time("overlap+pruning+reorder+compression") < time("none"));
     }
 }

@@ -41,7 +41,7 @@ pub mod experiments;
 pub mod result;
 
 pub use checkpoint::Checkpoint;
-pub use config::{SimConfig, Version};
+pub use config::{OptFlags, SimConfig, Version};
 pub use engine::Simulator;
 pub use qgpu_faults::{FaultConfig, RetryPolicy, SimError};
 pub use qgpu_sched::devicegroup::OrchestratorConfig;

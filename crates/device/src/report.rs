@@ -241,8 +241,14 @@ impl ExecutionReport {
         field("flops_gpu", format!("{:?}", self.flops_gpu));
         field("chunks_pruned", self.chunks_pruned.to_string());
         field("chunks_processed", self.chunks_processed.to_string());
-        field("bytes_before_compress", self.bytes_before_compress.to_string());
-        field("bytes_after_compress", self.bytes_after_compress.to_string());
+        field(
+            "bytes_before_compress",
+            self.bytes_before_compress.to_string(),
+        );
+        field(
+            "bytes_after_compress",
+            self.bytes_after_compress.to_string(),
+        );
         field("fused_kernels", self.fused_kernels.to_string());
         field("gates_fused", self.gates_fused.to_string());
         field("chunk_retries", self.chunk_retries.to_string());

@@ -50,6 +50,20 @@ impl Stage {
             Stage::Other => "other",
         }
     }
+
+    /// Maps an engine pipeline-stage name (`plan`, `prune`, `deal`,
+    /// `fetch`, `decompress`, `kernel`, `compress`, `writeback`, `sync`)
+    /// to the measured span category its work is charged under, so span
+    /// attribution follows the stage graph instead of ad-hoc literals.
+    pub fn for_pipeline(name: &str) -> Stage {
+        match name {
+            "plan" | "prune" | "deal" => Stage::Plan,
+            "kernel" => Stage::Update,
+            "compress" => Stage::Compress,
+            "decompress" => Stage::Decompress,
+            _ => Stage::Other,
+        }
+    }
 }
 
 /// Which measured thread a span belongs to: the engine's orchestrator
@@ -293,6 +307,19 @@ pub fn span_opt<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pipeline_stage_names_map_to_span_categories() {
+        assert_eq!(Stage::for_pipeline("plan"), Stage::Plan);
+        assert_eq!(Stage::for_pipeline("prune"), Stage::Plan);
+        assert_eq!(Stage::for_pipeline("deal"), Stage::Plan);
+        assert_eq!(Stage::for_pipeline("kernel"), Stage::Update);
+        assert_eq!(Stage::for_pipeline("compress"), Stage::Compress);
+        assert_eq!(Stage::for_pipeline("decompress"), Stage::Decompress);
+        assert_eq!(Stage::for_pipeline("fetch"), Stage::Other);
+        assert_eq!(Stage::for_pipeline("writeback"), Stage::Other);
+        assert_eq!(Stage::for_pipeline("sync"), Stage::Other);
+    }
 
     #[test]
     fn spans_record_on_drop_with_monotonic_times() {

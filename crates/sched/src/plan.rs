@@ -189,6 +189,23 @@ impl GatePlan {
         })
     }
 
+    /// Indices (into [`GatePlan::tasks`]) of the tasks surviving
+    /// zero-amplitude pruning — the same predicate as
+    /// [`GatePlan::pruned_tasks`], in index form for engines that walk
+    /// tasks positionally.
+    pub fn live_task_indices(&self, tracker: &InvolvementTracker) -> Vec<usize> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                t.chunks()
+                    .iter()
+                    .any(|&c| !tracker.chunk_is_zero(c, self.chunk_bits))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
     /// Number of tasks dropped by pruning under `tracker`.
     pub fn pruned_count(&self, tracker: &InvolvementTracker) -> usize {
         self.tasks.len() - self.pruned_tasks(tracker).count()
@@ -293,6 +310,21 @@ mod tests {
         let survivors: Vec<_> = plan.pruned_tasks(&tracker).collect();
         assert_eq!(survivors.len(), 1);
         assert_eq!(survivors[0].chunks(), &[0, 8]);
+    }
+
+    #[test]
+    fn live_task_indices_agree_with_pruned_tasks() {
+        let plan = GatePlan::new(&action(Gate::H, &[0]), 2, 16);
+        let mut tracker = InvolvementTracker::new(6);
+        let by_index: Vec<&ChunkTask> = plan
+            .live_task_indices(&tracker)
+            .into_iter()
+            .map(|i| &plan.tasks()[i])
+            .collect();
+        let by_filter: Vec<&ChunkTask> = plan.pruned_tasks(&tracker).collect();
+        assert_eq!(by_index, by_filter);
+        tracker.involve_mask(0b111111);
+        assert_eq!(plan.live_task_indices(&tracker).len(), plan.tasks().len());
     }
 
     #[test]
