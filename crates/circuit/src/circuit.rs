@@ -148,6 +148,11 @@ impl Circuit {
     /// `c · c.inverse()` is the identity (up to an unobservable global
     /// phase for `sx`/`sy`).
     ///
+    /// # Panics
+    ///
+    /// Panics if the circuit contains non-unitary operations
+    /// (measurements or resets), which have no inverse.
+    ///
     /// # Examples
     ///
     /// ```
@@ -317,6 +322,25 @@ impl Circuit {
             .cp(-theta / 2.0, c1, t)
             .cx(c0, c1)
             .cp(theta / 2.0, c0, t)
+    }
+
+    // ---- non-unitary operations ---------------------------------------
+
+    /// Mid-circuit measurement of `q` in the computational basis.
+    ///
+    /// The engine collapses the state to the sampled outcome using its
+    /// seeded stochastic stream. Note [`Circuit::inverse`] panics on
+    /// circuits containing measurements (collapse is irreversible).
+    pub fn measure(&mut self, q: usize) -> &mut Self {
+        self.apply(Gate::Measure, &[q])
+    }
+
+    /// Mid-circuit reset of `q` to |0⟩ (measure, then flip on outcome 1).
+    ///
+    /// Like [`Circuit::measure`], this is irreversible and makes
+    /// [`Circuit::inverse`] panic.
+    pub fn reset(&mut self, q: usize) -> &mut Self {
+        self.apply(Gate::Reset, &[q])
     }
 }
 

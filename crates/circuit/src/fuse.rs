@@ -33,7 +33,7 @@ use qgpu_math::Complex64;
 
 use crate::access::GateAction;
 use crate::circuit::Circuit;
-use crate::gate::Matrix;
+use crate::gate::{Gate, Matrix};
 
 /// Cap on the qubit-union size of a fused diagonal run: the merged phase
 /// table has `2^n` entries, and 64 × 16 B = 1 KiB stays comfortably in L1.
@@ -234,14 +234,65 @@ impl Pending {
     }
 }
 
-/// Fuses a circuit into maximal runs of adjacent compatible gates.
+/// One step of an executable program: either a fused unitary kernel or a
+/// non-unitary stochastic operation that the engine must execute as a
+/// synchronization point.
+///
+/// Measurements and resets are **fusion barriers**: no unitary run ever
+/// absorbs across one, because collapse changes the state in a way that
+/// depends on amplitudes at that exact point in the order.
+#[derive(Debug, Clone)]
+pub enum ProgramOp {
+    /// A maximal run of fused unitary gates.
+    Unitary(FusedOp),
+    /// Mid-circuit measurement collapse of `qubit`.
+    Measure {
+        /// The measured qubit.
+        qubit: usize,
+    },
+    /// Mid-circuit reset of `qubit` to |0⟩ (collapse, then flip on
+    /// outcome 1).
+    Reset {
+        /// The reset qubit.
+        qubit: usize,
+    },
+}
+
+impl ProgramOp {
+    /// OR of the qubit masks this step touches.
+    pub fn qubit_mask(&self) -> u64 {
+        match self {
+            ProgramOp::Unitary(f) => f.qubit_mask(),
+            ProgramOp::Measure { qubit } | ProgramOp::Reset { qubit } => 1u64 << qubit,
+        }
+    }
+
+    /// The fused unitary kernel, if this step is one.
+    pub fn unitary(&self) -> Option<&FusedOp> {
+        match self {
+            ProgramOp::Unitary(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+/// Fuses a circuit — which may contain measurements and resets — into a
+/// program of maximal unitary runs separated by non-unitary barriers.
 ///
 /// The flattened member order equals the source order — fusion never
-/// reorders, only groups.
-pub fn fuse(circuit: &Circuit) -> Vec<FusedOp> {
-    let mut program: Vec<FusedOp> = Vec::new();
+/// reorders, only groups — and every [`Gate::Measure`] / [`Gate::Reset`]
+/// becomes its own [`ProgramOp`], flushing any open run first.
+pub fn fuse_program(circuit: &Circuit) -> Vec<ProgramOp> {
+    let mut program: Vec<ProgramOp> = Vec::new();
     let mut open: Option<Pending> = None;
     for op in circuit.ops() {
+        if !op.gate().is_unitary() {
+            if let Some(run) = open.take() {
+                program.push(ProgramOp::Unitary(run.finish()));
+            }
+            program.push(non_unitary_op(op.gate(), op.qubits()[0]));
+            continue;
+        }
         let action = GateAction::from_operation(op);
         let mask = op.qubit_mask();
         open = Some(match open.take() {
@@ -250,31 +301,87 @@ pub fn fuse(circuit: &Circuit) -> Vec<FusedOp> {
                 if run.try_absorb(&action, mask) {
                     run
                 } else {
-                    program.push(run.finish());
+                    program.push(ProgramOp::Unitary(run.finish()));
                     Pending::start(action, mask)
                 }
             }
         });
     }
     if let Some(run) = open {
-        program.push(run.finish());
+        program.push(ProgramOp::Unitary(run.finish()));
     }
     program
 }
 
-/// Lowers a circuit 1:1 into singleton [`FusedOp`]s — the no-fusion
+/// Lowers a circuit 1:1 into singleton [`ProgramOp`]s — the no-fusion
 /// program, so engines can run a single representation either way.
-pub fn lower(circuit: &Circuit) -> Vec<FusedOp> {
+pub fn lower_program(circuit: &Circuit) -> Vec<ProgramOp> {
     circuit
         .ops()
         .iter()
-        .map(|op| Pending::start(GateAction::from_operation(op), op.qubit_mask()).finish())
+        .map(|op| {
+            if op.gate().is_unitary() {
+                ProgramOp::Unitary(
+                    Pending::start(GateAction::from_operation(op), op.qubit_mask()).finish(),
+                )
+            } else {
+                non_unitary_op(op.gate(), op.qubits()[0])
+            }
+        })
+        .collect()
+}
+
+fn non_unitary_op(gate: Gate, qubit: usize) -> ProgramOp {
+    match gate {
+        Gate::Measure => ProgramOp::Measure { qubit },
+        Gate::Reset => ProgramOp::Reset { qubit },
+        other => unreachable!("{} is unitary", other.name()),
+    }
+}
+
+/// Fuses a unitary-only circuit into maximal runs of adjacent compatible
+/// gates. See [`fuse_program`] for circuits with measurements/resets.
+///
+/// # Panics
+///
+/// Panics if the circuit contains non-unitary operations.
+pub fn fuse(circuit: &Circuit) -> Vec<FusedOp> {
+    fuse_program(circuit)
+        .into_iter()
+        .map(|p| match p {
+            ProgramOp::Unitary(f) => f,
+            other => panic!("fuse() requires a unitary circuit, found {other:?}"),
+        })
+        .collect()
+}
+
+/// Lowers a unitary-only circuit 1:1 into singleton [`FusedOp`]s.
+///
+/// # Panics
+///
+/// Panics if the circuit contains non-unitary operations.
+pub fn lower(circuit: &Circuit) -> Vec<FusedOp> {
+    lower_program(circuit)
+        .into_iter()
+        .map(|p| match p {
+            ProgramOp::Unitary(f) => f,
+            other => panic!("lower() requires a unitary circuit, found {other:?}"),
+        })
         .collect()
 }
 
 /// Total source gates saved as separate kernel passes by fusion.
 pub fn gates_fused(program: &[FusedOp]) -> usize {
     program.iter().map(|f| f.source_gates() - 1).sum()
+}
+
+/// [`gates_fused`] over a mixed program: non-unitary steps fuse nothing.
+pub fn program_gates_fused(program: &[ProgramOp]) -> usize {
+    program
+        .iter()
+        .filter_map(ProgramOp::unitary)
+        .map(|f| f.source_gates() - 1)
+        .sum()
 }
 
 /// The 2×2 matrix form of a single-qubit diagonal.
@@ -576,6 +683,67 @@ mod tests {
                 .fold(0usize, |a, (bit, &q)| a | (((idx >> q) & 1) << bit));
             assert!(dvec[s].approx_eq(expect, 1e-13), "index {idx}");
         }
+    }
+
+    #[test]
+    fn measurement_is_a_fusion_barrier() {
+        // T(0), measure(0), T(0): without the barrier the two Ts would
+        // fuse into one kernel, silently moving the second T before the
+        // collapse. The program must keep three separate steps.
+        let mut c = Circuit::new(1);
+        c.t(0).measure(0).t(0);
+        let p = fuse_program(&c);
+        assert_eq!(p.len(), 3);
+        assert!(matches!(p[1], ProgramOp::Measure { qubit: 0 }));
+        assert!(p[0].unitary().is_some_and(|f| !f.is_fused()));
+        assert!(p[2].unitary().is_some_and(|f| !f.is_fused()));
+    }
+
+    #[test]
+    fn reset_is_a_fusion_barrier() {
+        let mut c = Circuit::new(2);
+        c.apply(Gate::Cp(0.2), &[0, 1]);
+        c.reset(1);
+        c.apply(Gate::Cp(0.4), &[0, 1]);
+        let p = fuse_program(&c);
+        assert_eq!(p.len(), 3);
+        assert!(matches!(p[1], ProgramOp::Reset { qubit: 1 }));
+        assert_eq!(p[1].qubit_mask(), 0b10);
+    }
+
+    #[test]
+    fn fuse_program_matches_fuse_on_unitary_circuits() {
+        for b in [Benchmark::Qft, Benchmark::Iqp, Benchmark::Rqc] {
+            let c = b.generate(8);
+            let via_program = fuse_program(&c);
+            let direct = fuse(&c);
+            assert_eq!(via_program.len(), direct.len(), "{}", b.abbrev());
+            assert_eq!(
+                program_gates_fused(&via_program),
+                gates_fused(&direct),
+                "{}",
+                b.abbrev()
+            );
+        }
+    }
+
+    #[test]
+    fn lower_program_is_one_to_one_with_barriers() {
+        let mut c = Circuit::new(2);
+        c.h(0).measure(0).h(1).reset(0).t(1);
+        let p = lower_program(&c);
+        assert_eq!(p.len(), 5);
+        assert_eq!(program_gates_fused(&p), 0);
+        assert!(matches!(p[1], ProgramOp::Measure { qubit: 0 }));
+        assert!(matches!(p[3], ProgramOp::Reset { qubit: 0 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a unitary circuit")]
+    fn fuse_rejects_measure_circuits() {
+        let mut c = Circuit::new(1);
+        c.h(0).measure(0);
+        let _ = fuse(&c);
     }
 
     #[test]

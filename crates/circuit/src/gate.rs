@@ -73,6 +73,17 @@ pub enum Gate {
     Swap,
     /// Toffoli (CCX).
     Ccx,
+    /// Mid-circuit computational-basis measurement with seeded collapse.
+    ///
+    /// Not a unitary: [`Gate::matrix`] and [`Gate::inverse`] panic.
+    /// The engine resolves the outcome from its deterministic
+    /// `(seed, site, shot)` draw stream and renormalizes the state.
+    Measure,
+    /// Reset to |0⟩ (measure, then flip to |0⟩ if the outcome was 1).
+    ///
+    /// Not a unitary: [`Gate::matrix`] and [`Gate::inverse`] panic.
+    /// Inserted by the qubit-loss noise channel, QDK-style.
+    Reset,
 }
 
 impl Gate {
@@ -93,10 +104,23 @@ impl Gate {
             | Gate::Ry(_)
             | Gate::Rz(_)
             | Gate::Phase(_)
-            | Gate::U(..) => 1,
+            | Gate::U(..)
+            | Gate::Measure
+            | Gate::Reset => 1,
             Gate::Cx | Gate::Cy | Gate::Cz | Gate::Cp(_) | Gate::Rzz(_) | Gate::Swap => 2,
             Gate::Ccx => 3,
         }
+    }
+
+    /// Returns `true` for gates with a unitary matrix — everything except
+    /// [`Gate::Measure`] and [`Gate::Reset`].
+    ///
+    /// Transformation passes (fusion, peephole cancellation, dense
+    /// reference simulation) must check this before calling
+    /// [`Gate::matrix`] or [`Gate::inverse`]: non-unitary ops are
+    /// barriers, not matrices.
+    pub fn is_unitary(self) -> bool {
+        !matches!(self, Gate::Measure | Gate::Reset)
     }
 
     /// Returns `true` if the gate's matrix is diagonal in the computational
@@ -147,6 +171,8 @@ impl Gate {
             Gate::Rzz(_) => "rzz",
             Gate::Swap => "swap",
             Gate::Ccx => "ccx",
+            Gate::Measure => "measure",
+            Gate::Reset => "reset",
         }
     }
 
@@ -156,6 +182,11 @@ impl Gate {
     /// Qubit ordering follows the little-endian convention used throughout
     /// the crate: for a two-qubit gate on `(q0, q1)`, basis index bit 0
     /// corresponds to the *first* qubit argument.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the non-unitary ops [`Gate::Measure`] and
+    /// [`Gate::Reset`] — guard call sites with [`Gate::is_unitary`].
     pub fn matrix(self) -> Matrix {
         let h = FRAC_1_SQRT_2;
         let z = Complex64::ZERO;
@@ -270,10 +301,18 @@ impl Gate {
                 m.set(7, 3, o);
                 m
             }
+            Gate::Measure | Gate::Reset => {
+                panic!("{} is not a unitary and has no matrix", self.name())
+            }
         }
     }
 
     /// The inverse gate (`U†`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the non-unitary ops [`Gate::Measure`] and
+    /// [`Gate::Reset`]: collapse destroys information and has no inverse.
     ///
     /// # Examples
     ///
@@ -311,6 +350,9 @@ impl Gate {
             | Gate::Cz
             | Gate::Swap
             | Gate::Ccx) => g,
+            Gate::Measure | Gate::Reset => {
+                panic!("{} is not a unitary and has no inverse", self.name())
+            }
         }
     }
 
@@ -747,6 +789,33 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn only_measure_and_reset_are_non_unitary() {
+        for g in all_gates() {
+            assert!(g.is_unitary(), "{}", g.name());
+        }
+        assert!(!Gate::Measure.is_unitary());
+        assert!(!Gate::Reset.is_unitary());
+        assert_eq!(Gate::Measure.arity(), 1);
+        assert_eq!(Gate::Reset.arity(), 1);
+        assert_eq!(Gate::Measure.name(), "measure");
+        assert_eq!(Gate::Reset.name(), "reset");
+        assert!(!Gate::Measure.is_diagonal());
+        assert!(Gate::Measure.params().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "has no matrix")]
+    fn measure_has_no_matrix() {
+        let _ = Gate::Measure.matrix();
+    }
+
+    #[test]
+    #[should_panic(expected = "has no inverse")]
+    fn reset_has_no_inverse() {
+        let _ = Gate::Reset.inverse();
     }
 
     #[test]

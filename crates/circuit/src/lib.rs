@@ -8,6 +8,8 @@
 //! * [`dag::GateDag`] — the dependency DAG used by gate reordering,
 //! * [`involvement`] — qubit-involvement analysis (the basis of
 //!   zero-amplitude pruning, paper §IV-B),
+//! * [`noise`] — seeded Pauli/depolarizing/loss noise channels that
+//!   rewrite a circuit into a deterministic noisy trajectory,
 //! * [`qasm`] — OpenQASM 2.0 emission and parsing,
 //! * [`generators`] — the nine benchmark circuits of Table I plus the deep
 //!   random circuits of Table III.
@@ -41,8 +43,10 @@ pub mod fuse;
 pub mod gate;
 pub mod generators;
 pub mod involvement;
+pub mod noise;
 pub mod qasm;
 pub mod transpile;
 
 pub use circuit::Circuit;
 pub use gate::{Gate, Matrix, Operation};
+pub use noise::NoiseConfig;

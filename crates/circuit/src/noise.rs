@@ -1,0 +1,288 @@
+//! Seeded noise channels: deterministic rewriting of a circuit into one
+//! noisy trajectory.
+//!
+//! Real devices interleave every gate with error processes; simulators
+//! model them by sampling error operators per gate application. This
+//! module follows the trajectory approach the QDK sparse simulator uses:
+//! [`NoiseConfig::apply`] walks the circuit and, **after** each unitary
+//! operation, inserts concrete error gates (`X`/`Y`/`Z` for Pauli
+//! channels, [`Gate::Reset`] for qubit loss) chosen
+//! by pure seeded draws. The output is an ordinary [`Circuit`] — the
+//! engine needs no density matrices, and every downstream optimization
+//! (fusion, pruning, reordering, compression) sees the noise as plain
+//! gates.
+//!
+//! Determinism discipline: every draw is
+//! `unit_draw(seed, SALT_NOISE, (op_index << 32) | qubit, channel_id)`
+//! from [`qgpu_math::rng`] — a pure function of the key, no RNG state.
+//! The same `(circuit, seed)` pair always produces the identical noisy
+//! circuit, on any thread count, device count, or engine version, so
+//! noisy runs golden-pin exactly like deterministic ones.
+
+use serde::{Deserialize, Serialize};
+
+use qgpu_math::rng::{unit_draw, SALT_NOISE};
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Per-gate noise channel probabilities.
+///
+/// Each field is the probability that the corresponding channel fires on
+/// one qubit of one operation. All channels are evaluated independently
+/// per `(operation, qubit)` site, in a fixed order (depolarizing,
+/// bit-flip, phase-flip, loss), so a spec is a complete description of
+/// the stochastic process.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_circuit::{Circuit, NoiseConfig};
+///
+/// let nc: NoiseConfig = "depolarizing:0.5,loss:0.1".parse()?;
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1);
+/// let noisy = nc.apply(&c, 42);
+/// // Deterministic: the same seed replays the same trajectory.
+/// assert_eq!(noisy, nc.apply(&c, 42));
+/// assert!(noisy.len() >= c.len());
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Depolarizing channel: with this probability, apply X, Y, or Z
+    /// (each a third of the time).
+    pub depolarizing: f64,
+    /// Bit-flip channel: apply X with this probability.
+    pub bit_flip: f64,
+    /// Phase-flip channel: apply Z with this probability.
+    pub phase_flip: f64,
+    /// Qubit loss: the qubit leaks out of the computational subspace and
+    /// is returned as a fresh |0⟩ — modeled as a reset.
+    pub loss: f64,
+}
+
+impl NoiseConfig {
+    /// `true` when any channel has nonzero probability.
+    pub fn is_enabled(&self) -> bool {
+        self.depolarizing > 0.0 || self.bit_flip > 0.0 || self.phase_flip > 0.0 || self.loss > 0.0
+    }
+
+    /// Rewrites `circuit` into the noisy trajectory selected by `seed`.
+    ///
+    /// After every unitary operation, each touched qubit is tested
+    /// against each enabled channel with an independent keyed draw;
+    /// firing channels append their error gate immediately after the
+    /// operation. Non-unitary operations (measure/reset) pass through
+    /// without added noise — their collapse is already stochastic.
+    ///
+    /// The rewrite is a pure function of `(circuit, seed)`: draws are
+    /// keyed by the *original* operation index, so trajectories are
+    /// stable under anything downstream (fusion, reordering) and two
+    /// calls always agree bit-for-bit.
+    pub fn apply(&self, circuit: &Circuit, seed: u64) -> Circuit {
+        let mut out = Circuit::with_name(circuit.num_qubits(), circuit.name().to_string());
+        for (op_index, op) in circuit.iter().enumerate() {
+            out.push(op.clone());
+            if !op.gate().is_unitary() {
+                continue;
+            }
+            for &qubit in op.qubits() {
+                let site = ((op_index as u64) << 32) | qubit as u64;
+                let draw = |channel: u64| unit_draw(seed, SALT_NOISE, site, channel);
+                if self.depolarizing > 0.0 {
+                    let u = draw(0);
+                    if u < self.depolarizing {
+                        // One draw picks both "fires" and which Pauli:
+                        // split [0, p) into three equal thirds.
+                        let third = u / self.depolarizing * 3.0;
+                        let pauli = if third < 1.0 {
+                            Gate::X
+                        } else if third < 2.0 {
+                            Gate::Y
+                        } else {
+                            Gate::Z
+                        };
+                        out.apply(pauli, &[qubit]);
+                    }
+                }
+                if self.bit_flip > 0.0 && draw(1) < self.bit_flip {
+                    out.apply(Gate::X, &[qubit]);
+                }
+                if self.phase_flip > 0.0 && draw(2) < self.phase_flip {
+                    out.apply(Gate::Z, &[qubit]);
+                }
+                if self.loss > 0.0 && draw(3) < self.loss {
+                    out.apply(Gate::Reset, &[qubit]);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::str::FromStr for NoiseConfig {
+    type Err = String;
+
+    /// Parses a spec like `"depolarizing:0.01,loss:0.001"`.
+    ///
+    /// Channels: `depolarizing`, `bit_flip` (alias `bitflip`),
+    /// `phase_flip` (alias `phaseflip`), `loss`. Probabilities must lie
+    /// in `[0, 1]`.
+    fn from_str(s: &str) -> Result<NoiseConfig, String> {
+        let mut nc = NoiseConfig::default();
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (name, value) = part
+                .split_once(':')
+                .ok_or_else(|| format!("bad noise channel '{part}': expected name:prob"))?;
+            let p: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad probability '{value}' for channel '{name}'"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("probability {p} for '{name}' is outside [0, 1]"));
+            }
+            match name.trim() {
+                "depolarizing" => nc.depolarizing = p,
+                "bit_flip" | "bitflip" => nc.bit_flip = p,
+                "phase_flip" | "phaseflip" => nc.phase_flip = p,
+                "loss" => nc.loss = p,
+                other => {
+                    return Err(format!(
+                        "unknown noise channel '{other}' \
+                         (expected depolarizing, bit_flip, phase_flip, or loss)"
+                    ))
+                }
+            }
+        }
+        Ok(nc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::Benchmark;
+
+    #[test]
+    fn parses_full_spec() {
+        let nc: NoiseConfig = "depolarizing:0.01,bit_flip:0.02,phase_flip:0.03,loss:0.004"
+            .parse()
+            .expect("parse");
+        assert_eq!(nc.depolarizing, 0.01);
+        assert_eq!(nc.bit_flip, 0.02);
+        assert_eq!(nc.phase_flip, 0.03);
+        assert_eq!(nc.loss, 0.004);
+        assert!(nc.is_enabled());
+    }
+
+    #[test]
+    fn empty_spec_is_disabled() {
+        let nc: NoiseConfig = "".parse().expect("parse");
+        assert!(!nc.is_enabled());
+        assert_eq!(nc, NoiseConfig::default());
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!("frobnicate:0.1".parse::<NoiseConfig>().is_err());
+        assert!("depolarizing".parse::<NoiseConfig>().is_err());
+        assert!("depolarizing:1.5".parse::<NoiseConfig>().is_err());
+        assert!("depolarizing:x".parse::<NoiseConfig>().is_err());
+    }
+
+    #[test]
+    fn apply_is_deterministic_in_the_seed() {
+        let c = Benchmark::Qft.generate(6);
+        let nc: NoiseConfig = "depolarizing:0.2,loss:0.05".parse().expect("parse");
+        assert_eq!(nc.apply(&c, 7), nc.apply(&c, 7));
+        // A different seed picks a different trajectory (overwhelmingly
+        // likely at these rates on ~36 sites).
+        assert_ne!(nc.apply(&c, 7), nc.apply(&c, 8));
+    }
+
+    #[test]
+    fn zero_noise_is_the_identity_rewrite() {
+        let c = Benchmark::Iqp.generate(6);
+        assert_eq!(NoiseConfig::default().apply(&c, 3), c);
+    }
+
+    #[test]
+    fn inserted_gates_are_errors_on_touched_qubits() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(2);
+        let nc: NoiseConfig = "depolarizing:1.0".parse().expect("parse");
+        let noisy = nc.apply(&c, 1);
+        // p = 1 fires on every site: 1 + 2 + 1 error gates.
+        assert_eq!(noisy.len(), c.len() + 4);
+        for op in noisy.iter() {
+            if matches!(op.gate(), Gate::X | Gate::Y | Gate::Z) {
+                assert_eq!(op.qubits().len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn loss_inserts_resets() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let nc: NoiseConfig = "loss:1.0".parse().expect("parse");
+        let noisy = nc.apply(&c, 0);
+        assert_eq!(noisy.len(), 2);
+        assert_eq!(noisy.ops()[1].gate(), Gate::Reset);
+    }
+
+    #[test]
+    fn measure_sites_get_no_noise() {
+        let mut c = Circuit::new(1);
+        c.measure(0).reset(0);
+        let nc: NoiseConfig = "depolarizing:1.0,loss:1.0".parse().expect("parse");
+        assert_eq!(nc.apply(&c, 5), c);
+    }
+
+    #[test]
+    fn depolarizing_draws_cover_all_three_paulis() {
+        let mut c = Circuit::new(1);
+        for _ in 0..64 {
+            c.h(0);
+        }
+        let nc: NoiseConfig = "depolarizing:1.0".parse().expect("parse");
+        let noisy = nc.apply(&c, 11);
+        let mut seen = [false; 3];
+        for op in noisy.iter() {
+            match op.gate() {
+                Gate::X => seen[0] = true,
+                Gate::Y => seen[1] = true,
+                Gate::Z => seen[2] = true,
+                _ => {}
+            }
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn error_rate_tracks_probability() {
+        // At p = 0.25 over 4000 sites, the observed rate should land
+        // within a few standard deviations of 1000 insertions.
+        let mut c = Circuit::new(4);
+        for i in 0..1000 {
+            c.apply(Gate::Cx, &[i % 4, (i + 1) % 4]);
+            c.h((i + 2) % 4);
+            c.t((i + 3) % 4);
+        }
+        let nc: NoiseConfig = "bit_flip:0.25".parse().expect("parse");
+        let noisy = nc.apply(&c, 21);
+        let inserted = noisy.len() - c.len();
+        let sites = 4 * 1000;
+        let expected = sites as f64 * 0.25;
+        let sd = (sites as f64 * 0.25 * 0.75).sqrt();
+        assert!(
+            ((inserted as f64) - expected).abs() < 5.0 * sd,
+            "inserted {inserted}, expected {expected} ± {sd}"
+        );
+    }
+}

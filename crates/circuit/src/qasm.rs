@@ -5,7 +5,10 @@
 //! same interchange: [`to_qasm`] emits a program using only standard
 //! `qelib1` gates, and [`parse`] reads the subset of OpenQASM 2.0 those
 //! programs use (one quantum register, the gate set of
-//! [`crate::Gate`], `barrier`/`measure`/`creg` accepted and ignored).
+//! [`crate::Gate`], `barrier`/`creg` accepted and ignored).
+//! `measure q[i] -> c[j];` and `reset q[i];` statements become real
+//! [`Gate::Measure`] / [`Gate::Reset`] operations so stochastic circuits
+//! survive the interchange round-trip.
 
 use std::fmt::Write as _;
 
@@ -51,7 +54,16 @@ pub fn to_qasm(circuit: &Circuit) -> String {
     out.push_str("OPENQASM 2.0;\n");
     out.push_str("include \"qelib1.inc\";\n");
     let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
+    if circuit.iter().any(|op| op.gate() == Gate::Measure) {
+        let _ = writeln!(out, "creg c[{}];", circuit.num_qubits());
+    }
     for op in circuit.iter() {
+        if op.gate() == Gate::Measure {
+            // OpenQASM measurement syntax needs a classical target; we
+            // mirror the qubit index into the classical register.
+            let _ = writeln!(out, "measure q[{0}] -> c[{0}];", op.qubits()[0]);
+            continue;
+        }
         let params = op.gate().params();
         if params.is_empty() {
             let _ = write!(out, "{}", op.gate().name());
@@ -123,10 +135,23 @@ pub fn parse(text: &str) -> Result<Circuit, ParseQasmError> {
                 circuit = Some(Circuit::new(size));
                 continue;
             }
-            if stmt.starts_with("creg")
-                || stmt.starts_with("barrier")
-                || stmt.starts_with("measure")
-            {
+            if stmt.starts_with("creg") || stmt.starts_with("barrier") {
+                continue;
+            }
+            if let Some(rest) = stmt.strip_prefix("measure") {
+                let c = circuit
+                    .as_mut()
+                    .ok_or_else(|| err(line, "measure before qreg declaration"))?;
+                // `measure q[i] -> c[j];` — the classical target is
+                // accepted and dropped (outcomes live in the engine's
+                // seeded stochastic stream, not a classical register).
+                let target = rest
+                    .split("->")
+                    .next()
+                    .ok_or_else(|| err(line, "expected measure target"))?
+                    .trim();
+                let q = parse_qubit(target, &reg_name, c.num_qubits(), line)?;
+                c.push(Operation::new(Gate::Measure, vec![q]));
                 continue;
             }
             let c = circuit
@@ -278,6 +303,7 @@ fn gate_from_name(name: &str, params: &[f64]) -> Option<Gate> {
         ("rzz", 1) => Gate::Rzz(params[0]),
         ("swap", 0) => Gate::Swap,
         ("ccx", 0) => Gate::Ccx,
+        ("reset", 0) => Gate::Reset,
         _ => return None,
     })
 }
@@ -477,10 +503,34 @@ mod tests {
     }
 
     #[test]
-    fn ignores_creg_barrier_measure_comments() {
+    fn ignores_creg_barrier_comments_and_parses_measure() {
         let src = "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\n// comment\nh q[0]; barrier q[0];\nmeasure q[0] -> c[0];\n";
         let c = parse(src).expect("parse");
-        assert_eq!(c.len(), 1);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.ops()[1].gate(), Gate::Measure);
+        assert_eq!(c.ops()[1].qubits(), &[0]);
+    }
+
+    #[test]
+    fn roundtrip_measure_and_reset() {
+        let mut c = Circuit::new(3);
+        c.h(0).measure(0).reset(1).cx(0, 2).measure(2);
+        let text = to_qasm(&c);
+        assert!(text.contains("creg c[3];"));
+        assert!(text.contains("measure q[0] -> c[0];"));
+        assert!(text.contains("reset q[1];"));
+        let parsed = parse(&text).expect("parse");
+        assert_eq!(parsed.len(), c.len());
+        for (a, b) in c.iter().zip(parsed.iter()) {
+            assert_eq!(a.gate().name(), b.gate().name());
+            assert_eq!(a.qubits(), b.qubits());
+        }
+    }
+
+    #[test]
+    fn error_measure_before_qreg() {
+        let e = parse("measure q[0] -> c[0];").unwrap_err();
+        assert!(e.message.contains("before qreg"));
     }
 
     #[test]

@@ -39,7 +39,8 @@ pub fn to_cx_basis(circuit: &Circuit) -> Circuit {
 fn decompose_into(op: &Operation, out: &mut Circuit) {
     let q = op.qubits();
     match op.gate() {
-        // Already in the basis.
+        // Already in the basis (measure/reset are arity-1 and pass
+        // through untouched — they have no unitary decomposition).
         g if g.arity() == 1 => {
             out.push(op.clone());
         }
@@ -169,14 +170,17 @@ fn peephole_pass(num_qubits: usize, ops: &[Operation]) -> (Vec<Operation>, bool)
     for op in ops {
         // The candidate predecessor must be the last op on *all* of this
         // op's qubits, must touch exactly the same qubit vector, and must
-        // still be alive.
+        // still be alive. Non-unitary ops (measure/reset) are optimization
+        // barriers: never cancelled or merged, but they still claim their
+        // qubit below so no pair can cancel across them.
         let preds: Vec<Option<usize>> = op.qubits().iter().map(|&q| last_on_qubit[q]).collect();
         let candidate = match preds.first().copied().flatten() {
             Some(i)
-                if preds.iter().all(|&p| p == Some(i))
-                    && out[i]
-                        .as_ref()
-                        .is_some_and(|prev| prev.qubits() == op.qubits()) =>
+                if op.gate().is_unitary()
+                    && preds.iter().all(|&p| p == Some(i))
+                    && out[i].as_ref().is_some_and(|prev| {
+                        prev.gate().is_unitary() && prev.qubits() == op.qubits()
+                    }) =>
             {
                 Some(i)
             }
@@ -329,6 +333,43 @@ mod tests {
     fn peephole_leaves_irreducible_circuits_alone() {
         let c = Benchmark::Qft.generate(6);
         assert_eq!(peephole(&c).len(), c.len());
+    }
+
+    #[test]
+    fn peephole_never_cancels_across_a_measurement() {
+        // h(0) measure(0) h(0): the Hadamards are NOT DAG-adjacent —
+        // collapse sits between them — so fusing/cancelling them would
+        // change the observable distribution. The pass must keep all 3.
+        let mut c = Circuit::new(1);
+        c.h(0).measure(0).h(0);
+        let out = peephole(&c);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.ops()[1].gate(), Gate::Measure);
+    }
+
+    #[test]
+    fn peephole_keeps_measure_and_reset_and_merges_around_them() {
+        // Rotations on an untouched qubit still merge; the barrier only
+        // blocks pairs that would straddle the non-unitary op's qubit.
+        let mut c = Circuit::new(2);
+        c.rz(0.3, 1).reset(0).rz(0.4, 1).t(0).tdg(0);
+        let out = peephole(&c);
+        // rz pair merges (qubit 1 unaffected by reset on qubit 0);
+        // t/tdg cancel only because they are both AFTER the reset.
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().any(|op| op.gate() == Gate::Reset));
+        assert!(out
+            .iter()
+            .any(|op| matches!(op.gate(), Gate::Rz(t) if (t - 0.7).abs() < 1e-12)));
+    }
+
+    #[test]
+    fn to_cx_basis_passes_measure_and_reset_through() {
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2).measure(0).reset(1);
+        let out = to_cx_basis(&c);
+        assert!(out.iter().any(|op| op.gate() == Gate::Measure));
+        assert!(out.iter().any(|op| op.gate() == Gate::Reset));
     }
 
     #[test]

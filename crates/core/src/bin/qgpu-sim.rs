@@ -11,8 +11,13 @@
 //!                      named version: a +-separated list drawn from
 //!                      {overlap, pruning, reorder, compression}, or
 //!                      "none"/"all" (e.g. --opts pruning+compression)
-//!   --shots <N>        sample N measurement outcomes (default 0)
-//!   --seed <N>         sampling seed (default 1)
+//!   --shots <N>        draw N seeded end-of-circuit shots (default 0)
+//!   --sample           print the sampled counts (with --shots)
+//!   --seed <N>         stochastic seed: noise sites, mid-circuit
+//!                      collapse, and shot sampling (default 1)
+//!   --noise <spec>     per-gate noise channels, e.g.
+//!                      "depolarizing:0.01,loss:0.001" (channels:
+//!                      depolarizing, bit_flip, phase_flip, loss)
 //!   --chunks <log2>    chunk-count exponent (default 8)
 //!   --platform <p100|v100|a100|4xp4|4xv100>   modeled platform (default p100)
 //!   --devices <N>      replicate device 0 into an N-GPU fleet
@@ -57,17 +62,16 @@ use std::process::ExitCode;
 
 use qgpu::{FaultConfig, OptFlags, SimConfig, SimError, Simulator, Version};
 use qgpu_circuit::generators::Benchmark;
-use qgpu_circuit::{qasm, Circuit};
+use qgpu_circuit::{qasm, Circuit, NoiseConfig};
 use qgpu_device::Platform;
-use qgpu_statevec::measure;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 struct Options {
     source: Source,
     version: Version,
     opts: Option<OptFlags>,
-    shots: usize,
+    shots: u64,
+    sample: bool,
+    noise: Option<NoiseConfig>,
     seed: u64,
     chunks_log2: u32,
     top: usize,
@@ -118,7 +122,9 @@ fn parse_args() -> Result<Options, String> {
     let mut qubits = None;
     let mut version = Version::QGpu;
     let mut opts = None;
-    let mut shots = 0usize;
+    let mut shots = 0u64;
+    let mut sample = false;
+    let mut noise = None;
     let mut seed = 1u64;
     let mut chunks_log2 = 8u32;
     let mut top = 8usize;
@@ -167,6 +173,8 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "bad shots")?
             }
+            "--sample" => sample = true,
+            "--noise" => noise = Some(take(&mut args, "--noise")?.parse::<NoiseConfig>()?),
             "--seed" => seed = take(&mut args, "--seed")?.parse().map_err(|_| "bad seed")?,
             "--chunks" => {
                 chunks_log2 = take(&mut args, "--chunks")?
@@ -297,11 +305,16 @@ fn parse_args() -> Result<Options, String> {
         (Some(_), Some(_)) => return Err("give either a file or --benchmark, not both".into()),
         (None, None) => return Err(HELP.to_string()),
     };
+    if sample && shots == 0 {
+        return Err("--sample requires --shots".into());
+    }
     Ok(Options {
         source,
         version,
         opts,
         shots,
+        sample,
+        noise,
         seed,
         chunks_log2,
         top,
@@ -329,7 +342,7 @@ fn parse_args() -> Result<Options, String> {
     })
 }
 
-const HELP: &str = "usage: qgpu-sim <file.qasm> | --benchmark <name> --qubits <N>\n  [--version baseline|naive|overlap|pruning|reorder|qgpu] [--opts list] [--shots N]\n  [--seed N] [--chunks log2] [--top N] [--batching] [--fuse] [--threads N]\n  [--report] [--report-json path] [--save path] [--trace-out path] [--metrics-out path]\n  [--drift] [--drift-tol pp] [--gantt] [--devices N] [--mem-budget BYTES]\n  [--inject-seed N] [--inject-transfer P] [--inject-codec P]\n  [--inject-mask P] [--inject-worker P] [--inject-fail-at N]\n  [--inject-device-loss D:OP] [--inject-link-degrade P]\n  [--inject-straggler D[:FACTOR]]\n  [--checkpoint-every N] [--checkpoint-out path] [--resume path]\n  [--compare path]";
+const HELP: &str = "usage: qgpu-sim <file.qasm> | --benchmark <name> --qubits <N>\n  [--version baseline|naive|overlap|pruning|reorder|qgpu] [--opts list] [--shots N]\n  [--sample] [--noise spec] [--seed N] [--chunks log2] [--top N] [--batching] [--fuse] [--threads N]\n  [--report] [--report-json path] [--save path] [--trace-out path] [--metrics-out path]\n  [--drift] [--drift-tol pp] [--gantt] [--devices N] [--mem-budget BYTES]\n  [--inject-seed N] [--inject-transfer P] [--inject-codec P]\n  [--inject-mask P] [--inject-worker P] [--inject-fail-at N]\n  [--inject-device-loss D:OP] [--inject-link-degrade P]\n  [--inject-straggler D[:FACTOR]]\n  [--checkpoint-every N] [--checkpoint-out path] [--resume path]\n  [--compare path]";
 
 fn platform_for(name: &str, qubits: usize) -> Result<Platform, String> {
     let ratio = 496.0 / 8192.0;
@@ -420,6 +433,14 @@ fn main() -> ExitCode {
         config = config.with_gate_fusion();
     }
     config = config.with_threads(opts.threads);
+    config = config.with_shots(opts.shots).with_stoch_seed(opts.seed);
+    if let Some(nc) = opts.noise {
+        config = config.with_noise(nc);
+        eprintln!(
+            "[qgpu-sim] noise on (seed {}): depolarizing {}, bit_flip {}, phase_flip {}, loss {}",
+            opts.seed, nc.depolarizing, nc.bit_flip, nc.phase_flip, nc.loss
+        );
+    }
     if let Some(bytes) = opts.mem_budget {
         config = config.with_mem_budget(bytes);
         eprintln!("[qgpu-sim] memory-pressure governor: {bytes} bytes per device");
@@ -493,10 +514,10 @@ fn main() -> ExitCode {
         println!("  |{basis:0n$b}>  p = {p:.6}");
     }
 
-    if opts.shots > 0 {
-        let mut rng = StdRng::seed_from_u64(opts.seed);
-        println!("\n{} samples:", opts.shots);
-        for (basis, count) in measure::sample_counts(state, opts.shots, &mut rng) {
+    if opts.sample {
+        let samples = result.samples.as_deref().unwrap_or(&[]);
+        println!("\n{} samples ({} distinct):", opts.shots, samples.len());
+        for &(basis, count) in samples {
             println!("  |{basis:0n$b}>  x{count}");
         }
     }
@@ -551,6 +572,11 @@ fn main() -> ExitCode {
         if opts.fuse {
             println!("  gates fused       : {}", r.gates_fused);
             println!("  fused kernels     : {}", r.fused_kernels);
+        }
+        if r.shots > 0 || r.collapses > 0 || r.noise_ops > 0 {
+            println!("  shots             : {}", r.shots);
+            println!("  collapses         : {}", r.collapses);
+            println!("  noise ops         : {}", r.noise_ops);
         }
         if opts.faults.any_enabled() {
             println!("  chunk retries     : {}", r.chunk_retries);

@@ -1,5 +1,6 @@
 //! Simulation configuration: execution version and platform knobs.
 
+use qgpu_circuit::NoiseConfig;
 use qgpu_device::Platform;
 use qgpu_faults::{FaultConfig, RetryPolicy};
 use qgpu_sched::devicegroup::OrchestratorConfig;
@@ -321,6 +322,21 @@ pub struct SimConfig {
     /// the flags from the version, including the baseline's static
     /// allocation mode.
     pub opts: Option<OptFlags>,
+    /// Per-gate noise channels. When set (and enabled), the engine
+    /// rewrites the circuit into the seeded noisy trajectory *before*
+    /// any reordering or fusion, so every execution version runs the
+    /// identical noisy circuit.
+    pub noise: Option<NoiseConfig>,
+    /// End-of-circuit measurement shots. Nonzero makes the engine sample
+    /// seeded shot counts from the final state into
+    /// [`crate::result::RunResult::samples`].
+    pub shots: u64,
+    /// Seed for every stochastic execution decision — noise-channel
+    /// draws, mid-circuit collapse outcomes, and shot sampling. Distinct
+    /// from the fault seed: faults perturb the *machine*, this seed
+    /// perturbs the *physics*. Same seed ⇒ bit-identical stochastic runs
+    /// on every version, thread count, and device count.
+    pub stoch_seed: u64,
 }
 
 impl SimConfig {
@@ -348,6 +364,9 @@ impl SimConfig {
             checkpoint_path: None,
             orchestration: None,
             opts: None,
+            noise: None,
+            shots: 0,
+            stoch_seed: 0,
         }
     }
 
@@ -508,6 +527,29 @@ impl SimConfig {
         orch.mem_budget_bytes = Some(bytes);
         self.orchestration = Some(orch);
         self
+    }
+
+    /// Sets the per-gate noise channels (see [`SimConfig::noise`]).
+    pub fn with_noise(mut self, noise: NoiseConfig) -> Self {
+        self.noise = Some(noise);
+        self
+    }
+
+    /// Sets the end-of-circuit shot count (see [`SimConfig::shots`]).
+    pub fn with_shots(mut self, shots: u64) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Sets the stochastic-execution seed (see [`SimConfig::stoch_seed`]).
+    pub fn with_stoch_seed(mut self, seed: u64) -> Self {
+        self.stoch_seed = seed;
+        self
+    }
+
+    /// The noise channels to apply, if any are enabled.
+    pub fn effective_noise(&self) -> Option<NoiseConfig> {
+        self.noise.filter(NoiseConfig::is_enabled)
     }
 
     /// True when the resilient pipeline (CRC tags, retry modeling,

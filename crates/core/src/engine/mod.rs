@@ -14,14 +14,18 @@
 //!   Writeback → Sync* stage list, with overlap / pruning / reordering /
 //!   compression toggled by flags.
 //!
-//! Both modes walk the same program of [`qgpu_circuit::fuse::FusedOp`]s
-//! (one op per gate unless [`SimConfig::gate_fusion`] collapses runs),
-//! resolve each op's [`qgpu_sched::GatePlan`], apply the amplitudes for
-//! real on a [`qgpu_statevec::ChunkedState`] through the
+//! Both modes walk the same program of [`qgpu_circuit::fuse::ProgramOp`]s
+//! (one op per gate unless [`SimConfig::gate_fusion`] collapses runs;
+//! measurements and resets are barrier steps), resolve each unitary op's
+//! [`qgpu_sched::GatePlan`], apply the amplitudes for real on a
+//! [`qgpu_statevec::ChunkedState`] through the
 //! [`qgpu_statevec::ChunkExecutor`] worker pool, and charge each chunk
-//! task to the [`qgpu_device::Timeline`]. The result is a bit-identical
-//! final state across versions, flag subsets, thread counts and fusion
-//! settings, with version-specific timing.
+//! task to the [`qgpu_device::Timeline`]. Stochastic execution — seeded
+//! noise rewriting, mid-circuit collapse, shot sampling — flows through
+//! the keyed draws of [`qgpu_math::rng`] (see `pipeline::stochastic`).
+//! The result is a bit-identical final state across versions, flag
+//! subsets, thread counts and fusion settings, with version-specific
+//! timing.
 
 // The stage-graph refactor's guard rails: no engine function grows back
 // into a monolith (thresholds in clippy.toml; CI runs -D warnings).
@@ -32,7 +36,7 @@ pub mod pipeline;
 use std::sync::Arc;
 
 use qgpu_circuit::access::GateAction;
-use qgpu_circuit::fuse::{self, FusedOp};
+use qgpu_circuit::fuse::{self, ProgramOp};
 use qgpu_circuit::Circuit;
 use qgpu_faults::SimError;
 use qgpu_obs::Recorder;
@@ -46,11 +50,12 @@ mod tests;
 
 /// Lowers a circuit to the engine's executable program: fused runs when
 /// [`SimConfig::gate_fusion`] is on, a 1:1 lowering otherwise.
-pub(crate) fn program_for(circuit: &Circuit, cfg: &SimConfig) -> Vec<FusedOp> {
+/// Measurements and resets become barrier [`ProgramOp`]s either way.
+pub(crate) fn program_for(circuit: &Circuit, cfg: &SimConfig) -> Vec<ProgramOp> {
     if cfg.gate_fusion {
-        fuse::fuse(circuit)
+        fuse::fuse_program(circuit)
     } else {
-        fuse::lower(circuit)
+        fuse::lower_program(circuit)
     }
 }
 

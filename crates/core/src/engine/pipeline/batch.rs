@@ -7,7 +7,7 @@
 //! fault site composes identically.
 
 use qgpu_circuit::access::GateAction;
-use qgpu_circuit::fuse::FusedOp;
+use qgpu_circuit::fuse::{FusedOp, ProgramOp};
 use qgpu_device::timeline::{Engine, TaskKind};
 use qgpu_faults::SimError;
 use qgpu_obs::{span_opt, Stage as ObsStage, Track};
@@ -25,7 +25,7 @@ use super::Env;
 /// evaluated once per batch.
 pub(crate) fn run_batch(
     env: &mut Env,
-    program: &[FusedOp],
+    program: &[ProgramOp],
     mut idx: usize,
     compressing: bool,
 ) -> Result<usize, SimError> {
@@ -45,10 +45,17 @@ pub(crate) fn run_batch(
     let cb = env.chunk_bits;
     let is_local = |a: &GateAction| a.mixing_qubits().iter().all(|&q| (q as u32) < cb);
 
-    let mut batch: Vec<&FusedOp> = vec![&program[idx]];
+    let first = program[idx]
+        .unitary()
+        .expect("run_batch starts on a unitary op");
+    let mut batch: Vec<&FusedOp> = vec![first];
     idx += 1;
     while idx < program.len() && batch.len() < env.cfg.max_batch {
-        let next = &program[idx];
+        // Measurements and resets end the batch: collapse must see every
+        // preceding kernel's amplitudes landed.
+        let Some(next) = program[idx].unitary() else {
+            break;
+        };
         if !is_local(next.collapsed()) {
             break;
         }

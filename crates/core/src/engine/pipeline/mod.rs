@@ -26,13 +26,14 @@ pub(crate) mod middleware;
 pub(crate) mod spec;
 pub(crate) mod stages;
 pub(crate) mod static_alloc;
+pub(crate) mod stochastic;
 pub(crate) mod transfer;
 pub(crate) mod xfer_stages;
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use qgpu_circuit::fuse::FusedOp;
+use qgpu_circuit::fuse::{FusedOp, ProgramOp};
 use qgpu_circuit::Circuit;
 use qgpu_compress::GfcCodec;
 use qgpu_device::timeline::{Engine, Timeline};
@@ -349,18 +350,31 @@ pub(crate) fn resize_chunks(env: &mut Env) {
     }
 }
 
-/// Engine entry point: resolve the spec, then dispatch to the static or
-/// streaming mode.
+/// Engine entry point: apply the seeded noise rewrite (if configured),
+/// resolve the spec, then dispatch to the static or streaming mode.
+///
+/// Noise is inserted *before* reordering and fusion, so every version
+/// and flag subset executes the identical noisy circuit — the rewrite is
+/// a pure function of `(circuit, stoch_seed)`, never of the engine path.
 pub(crate) fn run(
     circuit: &Circuit,
     cfg: &SimConfig,
     recorder: Option<&Arc<Recorder>>,
     resume: Option<&Checkpoint>,
 ) -> Result<RunResult, SimError> {
+    let noised;
+    let (circuit, noise_ops) = match cfg.effective_noise() {
+        Some(nc) => {
+            noised = nc.apply(circuit, cfg.stoch_seed);
+            let added = (noised.len() - circuit.len()) as u64;
+            (&noised, added)
+        }
+        None => (circuit, 0),
+    };
     let spec = PipelineSpec::from_config(cfg);
     match spec.mode {
-        ExecMode::Static => static_alloc::run(circuit, cfg, recorder, resume),
-        ExecMode::Streaming => run_streaming(circuit, cfg, spec, recorder, resume),
+        ExecMode::Static => static_alloc::run(circuit, cfg, recorder, resume, noise_ops),
+        ExecMode::Streaming => run_streaming(circuit, cfg, spec, recorder, resume, noise_ops),
     }
 }
 
@@ -370,6 +384,7 @@ fn run_streaming(
     spec: PipelineSpec,
     recorder: Option<&Arc<Recorder>>,
     resume: Option<&Checkpoint>,
+    noise_ops: u64,
 ) -> Result<RunResult, SimError> {
     let rec = recorder.map(Arc::as_ref);
     let circuit_owned;
@@ -392,6 +407,7 @@ fn run_streaming(
     let start = middleware::validate_resume(resume, n, program.len())?;
 
     let mut env = build_env(spec, cfg, rec, recorder, n, start, &program, resume);
+    let mut crng = stochastic::CollapseRng::new(cfg.stoch_seed, n, &program[..start]);
     let mut ckpt = CheckpointLayer::new(start);
     let mut clock = BarrierClock::new(cfg, start);
     let stages = stages::stage_list();
@@ -419,7 +435,22 @@ fn run_streaming(
         // choice, or the governor's ForceCompress rung.
         let compressing =
             spec.flags.compression || env.orch.as_ref().is_some_and(|o| o.force_compress);
-        let fop = &program[idx];
+        let fop = match &program[idx] {
+            ProgramOp::Unitary(f) => f,
+            // A collapse barrier: drain the pipeline, draw, project.
+            // (The measured qubit joins the involvement mask so live
+            // and resume-replayed trackers agree; that is conservative
+            // — collapse never creates amplitude — so pruning stays
+            // sound.)
+            &ProgramOp::Measure { qubit } | &ProgramOp::Reset { qubit } => {
+                let is_reset = matches!(program[idx], ProgramOp::Reset { .. });
+                idx += 1;
+                let u = crng.draw(qubit);
+                stochastic::collapse_streaming(&mut env, qubit, is_reset, u);
+                env.tracker.involve_mask(1u64 << qubit);
+                continue;
+            }
+        };
         let cb = env.chunk_bits;
         let local = fop
             .collapsed()
@@ -452,6 +483,8 @@ fn run_streaming(
     if let (Some(rs), Some(r)) = (env.resil.as_ref(), rec) {
         r.add("integrity.retags", rs.retags);
     }
+    let samples = stochastic::sample_readout(&env.state, cfg, &mut env.tl, rec);
+    env.tl.set_noise_ops(noise_ops);
     let report = ExecutionReport::from_timeline(&env.tl, env.num_gpus);
     Ok(RunResult {
         version: cfg.version,
@@ -460,6 +493,7 @@ fn run_streaming(
         report,
         trace: env.tl.trace().to_vec(),
         obs: None,
+        samples,
     })
 }
 
@@ -471,7 +505,7 @@ fn build_env<'a>(
     recorder: Option<&Arc<Recorder>>,
     n: usize,
     start: usize,
-    program: &[FusedOp],
+    program: &[ProgramOp],
     resume: Option<&Checkpoint>,
 ) -> Env<'a> {
     let base_chunk_bits = cfg.chunk_bits_for(n);
@@ -482,8 +516,8 @@ fn build_env<'a>(
     // Involvement replays instantly for the skipped prefix: masks are
     // pure functions of the program, no amplitudes needed.
     let mut tracker = InvolvementTracker::new(n);
-    for f in &program[..start] {
-        tracker.involve_mask(f.qubit_mask());
+    for op in &program[..start] {
+        tracker.involve_mask(op.qubit_mask());
     }
     let dynamic_chunks = spec.flags.pruning && cfg.dynamic_chunk_size;
     let chunk_bits = if dynamic_chunks {
@@ -500,7 +534,7 @@ fn build_env<'a>(
     } else {
         Timeline::new()
     };
-    tl.set_gates_fused(qgpu_circuit::fuse::gates_fused(program) as u64);
+    tl.set_gates_fused(qgpu_circuit::fuse::program_gates_fused(program) as u64);
 
     Env {
         cfg,

@@ -20,7 +20,7 @@
 
 use std::sync::Arc;
 
-use qgpu_circuit::fuse::FusedOp;
+use qgpu_circuit::fuse::{FusedOp, ProgramOp};
 use qgpu_circuit::Circuit;
 use qgpu_device::timeline::{Engine, TaskKind, Timeline};
 use qgpu_device::ExecutionReport;
@@ -36,6 +36,7 @@ use crate::engine::flops_per_amp;
 use crate::result::RunResult;
 
 use super::middleware::{self, BarrierClock, CheckpointLayer};
+use super::stochastic::{self, CollapseRng};
 use super::transfer::copy_with_dma;
 
 /// Where a chunk lives under the striped static allocation.
@@ -71,6 +72,7 @@ pub(crate) fn run(
     cfg: &SimConfig,
     recorder: Option<&Arc<Recorder>>,
     resume: Option<&Checkpoint>,
+    noise_ops: u64,
 ) -> Result<RunResult, SimError> {
     let rec = recorder.map(Arc::as_ref);
     let n = circuit.num_qubits();
@@ -80,10 +82,11 @@ pub(crate) fn run(
     };
     let start = middleware::validate_resume(resume, n, program.len())?;
     let mut sr = StaticRun::new(cfg, rec, recorder, n, &program, resume);
+    let mut crng = CollapseRng::new(cfg.stoch_seed, n, &program[..start]);
     let mut ckpt = CheckpointLayer::new(start);
     let mut clock = BarrierClock::new(cfg, start);
 
-    for (idx, fop) in program.iter().enumerate().skip(start) {
+    for (idx, op) in program.iter().enumerate().skip(start) {
         ckpt.before_op(idx, &sr.state, cfg, rec)?;
         let lost = match sr.group.as_mut() {
             Some(gr) => clock.poll(idx, cfg, gr, sr.num_gpus),
@@ -92,9 +95,15 @@ pub(crate) fn run(
         if let Some(d) = lost {
             sr.on_loss(d)?;
         }
-        sr.gate_step(fop)?;
+        match op {
+            ProgramOp::Unitary(fop) => sr.gate_step(fop)?,
+            &ProgramOp::Measure { qubit } => sr.collapse_step(qubit, false, crng.draw(qubit)),
+            &ProgramOp::Reset { qubit } => sr.collapse_step(qubit, true, crng.draw(qubit)),
+        }
     }
 
+    let samples = stochastic::sample_readout(&sr.state, cfg, &mut sr.tl, rec);
+    sr.tl.set_noise_ops(noise_ops);
     let report = ExecutionReport::from_timeline(&sr.tl, sr.num_gpus);
     Ok(RunResult {
         version: cfg.version,
@@ -103,6 +112,7 @@ pub(crate) fn run(
         report,
         trace: sr.tl.trace().to_vec(),
         obs: None,
+        samples,
     })
 }
 
@@ -112,7 +122,7 @@ impl<'a> StaticRun<'a> {
         rec: Option<&'a Recorder>,
         recorder: Option<&Arc<Recorder>>,
         n: usize,
-        program: &[FusedOp],
+        program: &[ProgramOp],
         resume: Option<&Checkpoint>,
     ) -> Self {
         let chunk_bits = cfg.chunk_bits_for(n);
@@ -177,7 +187,7 @@ impl<'a> StaticRun<'a> {
                 tl.observe_resident_bytes(cnt * chunk_bytes);
             }
         }
-        tl.set_gates_fused(qgpu_circuit::fuse::gates_fused(program) as u64);
+        tl.set_gates_fused(qgpu_circuit::fuse::program_gates_fused(program) as u64);
 
         StaticRun {
             cfg,
@@ -246,6 +256,29 @@ impl<'a> StaticRun<'a> {
         );
         self.gate_ready = restore.end;
         Ok(())
+    }
+
+    /// A mid-circuit collapse: the host owns the authoritative state, so
+    /// the cost is a reduce pass, a scale pass, and the per-gate sync —
+    /// then the functional projection with the seeded draw `u`.
+    fn collapse_step(&mut self, qubit: usize, is_reset: bool, u: f64) {
+        let _g = span_opt(
+            self.rec,
+            Track::Main,
+            ObsStage::Measure,
+            if is_reset {
+                "collapse.reset"
+            } else {
+                "collapse.measure"
+            },
+        );
+        let bytes = self.state.memory_bytes() as u64;
+        self.gate_ready = stochastic::collapse_cost(&mut self.tl, self.cfg, self.gate_ready, bytes);
+        stochastic::collapse_state(&mut self.state, qubit, is_reset, u);
+        self.tl.count_collapse();
+        if let Some(r) = self.rec {
+            r.add("stoch.collapses", 1);
+        }
     }
 
     /// One program op: partition, update batches, reactive exchange,

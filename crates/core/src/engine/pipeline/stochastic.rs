@@ -1,0 +1,185 @@
+//! Stochastic execution: seeded mid-circuit collapse and end-of-circuit
+//! shot sampling, shared by the streaming and static modes.
+//!
+//! All randomness flows through [`qgpu_math::rng::unit_draw`], keyed so
+//! that every draw is a pure function of `(stoch_seed, site)` — never of
+//! execution order, thread count, device count, or flag subset:
+//!
+//! * **collapse draws** are keyed by `(qubit, occurrence)` — the k-th
+//!   measurement/reset of qubit `q` consumes the same draw in any valid
+//!   gate order, because the dependency DAG totally orders operations on
+//!   a shared qubit (reordering can only move *other* qubits' work
+//!   around a collapse, never the collapse itself);
+//! * **sampling draws** are keyed by shot index (see
+//!   [`qgpu_statevec::measure::seeded_counts_chunked`]).
+//!
+//! A collapse is a full pipeline synchronization point: probabilities
+//! are read on the host from the authoritative state, so every in-flight
+//! chunk must land first, and every cached compressed form is stale
+//! after the renormalization pass. The modeled cost is two host passes
+//! over the resident amplitudes (reduce + scale) and a sync.
+
+use qgpu_circuit::fuse::ProgramOp;
+use qgpu_device::timeline::{Engine, TaskKind, Timeline};
+use qgpu_math::rng::{unit_draw, SALT_COLLAPSE};
+use qgpu_obs::{span_opt, Recorder, Stage as ObsStage, Track};
+use qgpu_statevec::{measure, ChunkedState};
+
+use crate::config::SimConfig;
+
+use super::Env;
+
+/// The seeded source of collapse draws for one run.
+///
+/// Occurrence counters replay instantly for a resumed run's skipped
+/// prefix — they are a pure function of the program, no amplitudes
+/// needed — so a run resumed from a checkpoint consumes exactly the
+/// draws the uninterrupted run would have.
+pub(crate) struct CollapseRng {
+    seed: u64,
+    /// Per-qubit count of collapses already drawn.
+    occ: Vec<u64>,
+}
+
+impl CollapseRng {
+    /// A collapse stream for `seed`, fast-forwarded over `prefix` (the
+    /// program ops a resumed run skips).
+    pub(crate) fn new(seed: u64, num_qubits: usize, prefix: &[ProgramOp]) -> Self {
+        let mut occ = vec![0u64; num_qubits];
+        for op in prefix {
+            match op {
+                ProgramOp::Measure { qubit } | ProgramOp::Reset { qubit } => occ[*qubit] += 1,
+                ProgramOp::Unitary(_) => {}
+            }
+        }
+        CollapseRng { seed, occ }
+    }
+
+    /// The next collapse draw for `qubit`, in `[0, 1)`.
+    pub(crate) fn draw(&mut self, qubit: usize) -> f64 {
+        let site = ((qubit as u64) << 32) | self.occ[qubit];
+        self.occ[qubit] += 1;
+        unit_draw(self.seed, SALT_COLLAPSE, site, 0)
+    }
+}
+
+/// Functionally collapses `qubit` using draw `u`: measure semantics
+/// (project + renormalize) or reset semantics (project + renormalize +
+/// move any `|1⟩` amplitude to `|0⟩`). Returns the recorded outcome.
+pub(crate) fn collapse_state(
+    state: &mut ChunkedState,
+    qubit: usize,
+    is_reset: bool,
+    u: f64,
+) -> bool {
+    let p1 = measure::prob_one_chunked(state, qubit);
+    let outcome = u < p1;
+    let p_outcome = if outcome { p1 } else { 1.0 - p1 };
+    if is_reset {
+        measure::reset_chunked(state, qubit, outcome, p_outcome);
+    } else {
+        measure::collapse_chunked(state, qubit, outcome, p_outcome);
+    }
+    outcome
+}
+
+/// Models the collapse's host-side cost starting at `ready`: a reduce
+/// pass (read every resident amplitude for the probability), a scale
+/// pass (renormalize in place), and the host↔device sync. Returns the
+/// sync's end.
+pub(crate) fn collapse_cost(tl: &mut Timeline, cfg: &SimConfig, ready: f64, bytes: u64) -> f64 {
+    let bw = cfg.platform.host.chunked_update_bw();
+    let reduce = tl.schedule(
+        Engine::Host,
+        ready,
+        bytes as f64 / bw,
+        TaskKind::HostUpdate,
+        bytes,
+    );
+    let scale = tl.schedule(
+        Engine::Host,
+        reduce.end,
+        bytes as f64 / bw,
+        TaskKind::HostUpdate,
+        bytes,
+    );
+    let sync = tl.schedule(
+        Engine::Host,
+        scale.end,
+        cfg.platform.host.sync_latency,
+        TaskKind::Sync,
+        0,
+    );
+    sync.end
+}
+
+/// A collapse op in the streaming pipeline: drain every in-flight chunk
+/// (same discipline as a re-partition — chunk-indexed caches reset, the
+/// epoch floor advances), pay the modeled host cost, then collapse the
+/// authoritative state.
+pub(crate) fn collapse_streaming(env: &mut Env, qubit: usize, is_reset: bool, u: f64) {
+    let _g = span_opt(
+        env.rec,
+        Track::Main,
+        ObsStage::Measure,
+        if is_reset {
+            "collapse.reset"
+        } else {
+            "collapse.measure"
+        },
+    );
+    let floor = env.tl.makespan();
+    env.epoch_floor = env.epoch_floor.max(floor);
+    env.last_d2h.clear();
+    env.compressed.clear();
+    if let Some(rs) = env.resil.as_mut() {
+        rs.on_repartition();
+    }
+    for w in &mut env.windows {
+        w.slots.clear();
+        w.inflight = 0;
+    }
+    let bytes = env.state.memory_bytes() as u64;
+    let end = collapse_cost(&mut env.tl, env.cfg, env.epoch_floor, bytes);
+    env.epoch_floor = env.epoch_floor.max(end);
+    env.chain = env.chain.max(end);
+    collapse_state(&mut env.state, qubit, is_reset, u);
+    env.tl.count_collapse();
+    if let Some(r) = env.rec {
+        r.add("stoch.collapses", 1);
+    }
+}
+
+/// End-of-circuit seeded readout: `cfg.shots` draws against the final
+/// distribution, with one modeled host pass over the resident amplitudes
+/// (the CDF sweep). Returns `None` when no shots were requested.
+pub(crate) fn sample_readout(
+    state: &ChunkedState,
+    cfg: &SimConfig,
+    tl: &mut Timeline,
+    rec: Option<&Recorder>,
+) -> Option<Vec<(usize, u64)>> {
+    if cfg.shots == 0 {
+        return None;
+    }
+    let _g = span_opt(rec, Track::Main, ObsStage::Sample, "readout.sample");
+    let bytes = state.memory_bytes() as u64;
+    let bw = cfg.platform.host.chunked_update_bw();
+    tl.schedule(
+        Engine::Host,
+        tl.makespan(),
+        bytes as f64 / bw,
+        TaskKind::HostUpdate,
+        bytes,
+    );
+    tl.set_shots(cfg.shots);
+    if let Some(r) = rec {
+        r.add("stoch.shots", cfg.shots);
+    }
+    Some(measure::seeded_counts_chunked(
+        state,
+        cfg.shots,
+        cfg.stoch_seed,
+        0,
+    ))
+}

@@ -43,6 +43,7 @@ pub mod result;
 pub use checkpoint::Checkpoint;
 pub use config::{OptFlags, SimConfig, Version};
 pub use engine::Simulator;
+pub use qgpu_circuit::NoiseConfig;
 pub use qgpu_faults::{FaultConfig, RetryPolicy, SimError};
 pub use qgpu_sched::devicegroup::OrchestratorConfig;
 pub use result::{ObsData, RunResult};

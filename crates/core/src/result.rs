@@ -36,6 +36,9 @@ pub struct RunResult {
     pub trace: Vec<TraceEvent>,
     /// Measured spans and metrics (when `obs_spans` was enabled).
     pub obs: Option<ObsData>,
+    /// Seeded end-of-circuit shot counts as `(basis_state, count)` pairs,
+    /// descending by count (when [`crate::SimConfig::shots`] was nonzero).
+    pub samples: Option<Vec<(usize, u64)>>,
 }
 
 impl RunResult {
@@ -75,6 +78,7 @@ mod tests {
             report,
             trace: Vec::new(),
             obs: None,
+            samples: None,
         }
     }
 

@@ -86,6 +86,12 @@ pub struct ExecutionReport {
     /// Peak observed per-device chunk residency in bytes (0 when the
     /// engine does not track residency).
     pub peak_resident_bytes: u64,
+    /// End-of-circuit measurement shots sampled (0 when sampling is off).
+    pub shots: u64,
+    /// Mid-circuit measurement/reset collapse sync points executed.
+    pub collapses: u64,
+    /// Error gates inserted by the seeded noise rewrite (0 without noise).
+    pub noise_ops: u64,
     /// Number of GPUs in the platform.
     pub num_gpus: usize,
 }
@@ -132,6 +138,9 @@ impl ExecutionReport {
             pressure_downshifts: tl.pressure_downshifts(),
             link_degradations: tl.link_degradations(),
             peak_resident_bytes: tl.peak_resident_bytes(),
+            shots: tl.shots(),
+            collapses: tl.collapses(),
+            noise_ops: tl.noise_ops(),
             num_gpus,
         }
     }
@@ -262,6 +271,9 @@ impl ExecutionReport {
         field("pressure_downshifts", self.pressure_downshifts.to_string());
         field("link_degradations", self.link_degradations.to_string());
         field("peak_resident_bytes", self.peak_resident_bytes.to_string());
+        field("shots", self.shots.to_string());
+        field("collapses", self.collapses.to_string());
+        field("noise_ops", self.noise_ops.to_string());
         field("num_gpus", self.num_gpus.to_string());
         s.push_str("\n}\n");
         s
@@ -352,6 +364,23 @@ mod tests {
         assert!((r.prune_fraction() - 12.0 / 32.0).abs() < 1e-12);
         assert!((r.compression_ratio() - 8.0 / 3.0).abs() < 1e-12);
         assert!(r.achieved_gpu_flops() > 0.0);
+    }
+
+    #[test]
+    fn stochastic_counters_flow_into_the_report() {
+        let mut tl = sample_timeline();
+        tl.set_shots(256);
+        tl.count_collapse();
+        tl.count_collapse();
+        tl.set_noise_ops(17);
+        let r = ExecutionReport::from_timeline(&tl, 1);
+        assert_eq!(r.shots, 256);
+        assert_eq!(r.collapses, 2);
+        assert_eq!(r.noise_ops, 17);
+        let json = r.to_json_string();
+        assert!(json.contains("\"shots\": 256"));
+        assert!(json.contains("\"collapses\": 2"));
+        assert!(json.contains("\"noise_ops\": 17"));
     }
 
     #[test]

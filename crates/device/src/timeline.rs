@@ -149,6 +149,9 @@ pub struct Timeline {
     pressure_downshifts: u64,
     link_degradations: u64,
     peak_resident_bytes: u64,
+    shots: u64,
+    collapses: u64,
+    noise_ops: u64,
 }
 
 impl Timeline {
@@ -403,6 +406,36 @@ impl Timeline {
     /// Peak observed per-device chunk residency in bytes.
     pub fn peak_resident_bytes(&self) -> u64 {
         self.peak_resident_bytes
+    }
+
+    /// Records the end-of-circuit shot count sampled from the final state.
+    pub fn set_shots(&mut self, n: u64) {
+        self.shots = n;
+    }
+
+    /// Counts one mid-circuit measurement/reset collapse sync point.
+    pub fn count_collapse(&mut self) {
+        self.collapses += 1;
+    }
+
+    /// Records how many error gates the noise rewrite inserted.
+    pub fn set_noise_ops(&mut self, n: u64) {
+        self.noise_ops = n;
+    }
+
+    /// End-of-circuit measurement shots sampled.
+    pub fn shots(&self) -> u64 {
+        self.shots
+    }
+
+    /// Mid-circuit collapse sync points executed.
+    pub fn collapses(&self) -> u64 {
+        self.collapses
+    }
+
+    /// Error gates inserted by the noise rewrite.
+    pub fn noise_ops(&self) -> u64 {
+        self.noise_ops
     }
 
     /// Engines that have been used, with their busy time.

@@ -148,19 +148,11 @@ pub struct FaultInjector {
     cfg: FaultConfig,
 }
 
-/// `splitmix64` — a statistically solid 64-bit mixer; decisions take the
-/// top 53 bits as a uniform draw in `[0, 1)`.
-fn mix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-fn unit_draw(seed: u64, salt: u64, index: u64, attempt: u64) -> f64 {
-    let h = mix(mix(mix(seed ^ salt).wrapping_add(index)).wrapping_add(attempt));
-    (h >> 11) as f64 / (1u64 << 53) as f64
-}
+// All draws go through the workspace-wide splitmix64 primitive: one
+// keyed-hash discipline shared with noise insertion, measurement
+// collapse, and shot sampling (`qgpu_math::rng`), byte-identical to
+// the local implementation this crate used before the hoist.
+use qgpu_math::rng::unit_draw;
 
 impl FaultInjector {
     /// Wraps a config into an injector.

@@ -7,6 +7,9 @@
 //!   by state-vector simulation (no external `num` dependency),
 //! * [`bits`] — bit-manipulation helpers used by gate kernels and chunk
 //!   indexing (inserting zero bits, masks, log2 helpers),
+//! * [`rng`] — the pure splitmix64 keyed-draw primitive behind every
+//!   stochastic decision in the workspace (faults, noise, collapse,
+//!   sampling),
 //! * [`stats`] — small online statistics and histogram types used by the
 //!   experiment harness.
 //!
@@ -23,6 +26,7 @@
 pub mod bits;
 pub mod complex;
 pub mod reduce;
+pub mod rng;
 pub mod stats;
 
 pub use complex::Complex64;

@@ -26,17 +26,24 @@ pub enum Stage {
     /// Scheduling, planning, reordering, fusion — orchestration work the
     /// model charges as sync/driver overhead.
     Plan,
+    /// Mid-circuit measurement/reset collapse (marginal reduction plus
+    /// elementwise renormalization).
+    Measure,
+    /// End-of-circuit seeded shot sampling.
+    Sample,
     /// Anything else.
     Other,
 }
 
 impl Stage {
     /// All stages (for report iteration).
-    pub const ALL: [Stage; 5] = [
+    pub const ALL: [Stage; 7] = [
         Stage::Update,
         Stage::Compress,
         Stage::Decompress,
         Stage::Plan,
+        Stage::Measure,
+        Stage::Sample,
         Stage::Other,
     ];
 
@@ -47,20 +54,25 @@ impl Stage {
             Stage::Compress => "compress",
             Stage::Decompress => "decompress",
             Stage::Plan => "plan",
+            Stage::Measure => "measure",
+            Stage::Sample => "sample",
             Stage::Other => "other",
         }
     }
 
     /// Maps an engine pipeline-stage name (`plan`, `prune`, `deal`,
-    /// `fetch`, `decompress`, `kernel`, `compress`, `writeback`, `sync`)
-    /// to the measured span category its work is charged under, so span
-    /// attribution follows the stage graph instead of ad-hoc literals.
+    /// `fetch`, `decompress`, `kernel`, `compress`, `writeback`, `sync`,
+    /// `measure`, `sample`) to the measured span category its work is
+    /// charged under, so span attribution follows the stage graph instead
+    /// of ad-hoc literals.
     pub fn for_pipeline(name: &str) -> Stage {
         match name {
             "plan" | "prune" | "deal" => Stage::Plan,
             "kernel" => Stage::Update,
             "compress" => Stage::Compress,
             "decompress" => Stage::Decompress,
+            "measure" => Stage::Measure,
+            "sample" => Stage::Sample,
             _ => Stage::Other,
         }
     }
@@ -114,7 +126,7 @@ pub struct Recorder {
     dropped: AtomicU64,
     /// Exact Main-track per-stage totals in µs, indexed by
     /// [`Stage::ALL`] order — kept even for spans the cap drops.
-    main_totals_us: Mutex<[f64; 5]>,
+    main_totals_us: Mutex<[f64; 7]>,
     counters: Mutex<Vec<(&'static str, u64)>>,
     hists: Mutex<Vec<(&'static str, LogHistogram)>>,
 }
@@ -126,7 +138,7 @@ impl Default for Recorder {
             span_cap: DEFAULT_SPAN_CAP,
             spans: Mutex::new(Vec::new()),
             dropped: AtomicU64::new(0),
-            main_totals_us: Mutex::new([0.0; 5]),
+            main_totals_us: Mutex::new([0.0; 7]),
             counters: Mutex::new(Vec::new()),
             hists: Mutex::new(Vec::new()),
         }
@@ -316,6 +328,8 @@ mod tests {
         assert_eq!(Stage::for_pipeline("kernel"), Stage::Update);
         assert_eq!(Stage::for_pipeline("compress"), Stage::Compress);
         assert_eq!(Stage::for_pipeline("decompress"), Stage::Decompress);
+        assert_eq!(Stage::for_pipeline("measure"), Stage::Measure);
+        assert_eq!(Stage::for_pipeline("sample"), Stage::Sample);
         assert_eq!(Stage::for_pipeline("fetch"), Stage::Other);
         assert_eq!(Stage::for_pipeline("writeback"), Stage::Other);
         assert_eq!(Stage::for_pipeline("sync"), Stage::Other);

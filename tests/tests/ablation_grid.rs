@@ -12,8 +12,9 @@
 //! *reordered* circuit — the same program, so still a pure pipeline
 //! comparison.
 
-use qgpu::{OptFlags, SimConfig, Simulator, Version};
+use qgpu::{NoiseConfig, OptFlags, SimConfig, Simulator, Version};
 use qgpu_circuit::generators::Benchmark;
+use qgpu_circuit::Circuit;
 use qgpu_sched::reorder::ReorderStrategy;
 use qgpu_statevec::StateVector;
 
@@ -55,5 +56,56 @@ fn every_flag_subset_is_bit_identical_to_the_baseline() {
                 &format!("{b}_{n}/{f}"),
             );
         }
+    }
+}
+
+#[test]
+fn every_flag_subset_is_bit_identical_under_seeded_noise() {
+    // The stochastic extension of the grid: under a fixed noise seed the
+    // engine applies the same pure circuit rewrite (noise inserted
+    // *before* reorder/fusion) and the same site-keyed collapse draws on
+    // every path — so the static baseline running the explicitly
+    // pre-noised circuit is still the golden state for all 2^4 subsets.
+    let n = 10;
+    let seed = 23u64;
+    let nc = NoiseConfig {
+        depolarizing: 0.05,
+        loss: 0.02,
+        ..NoiseConfig::default()
+    };
+    let mut c = Benchmark::Qft.generate(n);
+    // Explicit mid-circuit collapses on top of the loss-inserted resets.
+    c.measure(0).h(0).measure(1);
+
+    // `NoiseConfig::apply` is the exact rewrite the engine performs.
+    let noised = nc.apply(&c, seed);
+    assert!(noised.len() > c.len(), "seed {seed} inserted no noise");
+    let reordered_c = ReorderStrategy::ForwardLooking.reorder(&noised);
+    let baseline = |circuit: &Circuit| {
+        let cfg = SimConfig::scaled_paper(n)
+            .with_version(Version::Baseline)
+            .with_stoch_seed(seed);
+        Simulator::new(cfg).run(circuit)
+    };
+    let plain = baseline(&noised);
+    let reordered = baseline(&reordered_c);
+    assert!(plain.report.collapses > 0, "no collapse was exercised");
+
+    for f in OptFlags::grid() {
+        let cfg = SimConfig::scaled_paper(n)
+            .with_opts(f)
+            .with_noise(nc)
+            .with_stoch_seed(seed);
+        let r = Simulator::new(cfg).run(&c);
+        let expected = if f.reorder { &reordered } else { &plain };
+        assert_bitwise_eq(
+            expected.state.as_ref().expect("collected"),
+            &r.state.expect("collected"),
+            &format!("noisy qft_{n}/{f}"),
+        );
+        assert_eq!(
+            expected.report.collapses, r.report.collapses,
+            "noisy qft_{n}/{f}: collapse count"
+        );
     }
 }

@@ -4,11 +4,13 @@
 //! engine restructuring can prove itself bit-exact.
 //!
 //! Each scenario runs a benchmark through one engine configuration and
-//! reduces the result to three 64-bit FNV-1a fingerprints:
+//! reduces the result to four 64-bit FNV-1a fingerprints:
 //!
-//! - `state`  — the bit patterns of every final amplitude,
-//! - `report` — the deterministic JSON text of the `ExecutionReport`,
-//! - `trace`  — every timeline event (engine, kind, span bits, bytes).
+//! - `state`   — the bit patterns of every final amplitude,
+//! - `report`  — the deterministic JSON text of the `ExecutionReport`,
+//! - `trace`   — every timeline event (engine, kind, span bits, bytes),
+//! - `samples` — the seeded shot counts (the FNV offset when no shots
+//!   were requested).
 //!
 //! The fingerprints live in `tests/fixtures/golden/engine_fingerprints.txt`.
 //! A mismatch means the engine's modeled behavior changed; that is only
@@ -22,8 +24,9 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
 
-use qgpu::{FaultConfig, SimConfig, Simulator, Version};
+use qgpu::{FaultConfig, NoiseConfig, SimConfig, Simulator, Version};
 use qgpu_circuit::generators::Benchmark;
+use qgpu_circuit::Circuit;
 use qgpu_device::timeline::TraceEvent;
 use qgpu_device::Platform;
 
@@ -79,12 +82,23 @@ fn trace_fingerprint(trace: &[TraceEvent]) -> u64 {
     h.finish()
 }
 
-/// One pinned engine configuration: a label plus the config it runs.
+fn samples_fingerprint(samples: Option<&[(usize, u64)]>) -> u64 {
+    let mut h = Fnv::new();
+    for &(state, count) in samples.unwrap_or(&[]) {
+        h.write_u64(state as u64);
+        h.write_u64(count);
+    }
+    h.finish()
+}
+
+/// One pinned engine configuration: a label plus the config it runs and
+/// an optional circuit edit (e.g. appending mid-circuit measurements).
 struct Scenario {
     label: String,
     benchmark: Benchmark,
     qubits: usize,
     config: SimConfig,
+    prep: Option<fn(&mut Circuit)>,
 }
 
 /// Every scenario the fixture pins. The core grid is all nine paper
@@ -100,6 +114,7 @@ fn scenarios() -> Vec<Scenario> {
                 label: format!("{}/{}", b.abbrev(), v.label()),
                 benchmark: b,
                 qubits: n,
+                prep: None,
                 config: SimConfig::scaled_paper(n).with_version(v),
             });
         }
@@ -110,6 +125,7 @@ fn scenarios() -> Vec<Scenario> {
             label: format!("qft/{}+batching", v.label()),
             benchmark: Benchmark::Qft,
             qubits: n,
+            prep: None,
             config: SimConfig::scaled_paper(n)
                 .with_version(v)
                 .with_gate_batching(),
@@ -120,6 +136,7 @@ fn scenarios() -> Vec<Scenario> {
         label: "qft/qgpu+fusion".into(),
         benchmark: Benchmark::Qft,
         qubits: n,
+        prep: None,
         config: SimConfig::scaled_paper(n)
             .with_version(Version::QGpu)
             .with_gate_fusion(),
@@ -129,6 +146,7 @@ fn scenarios() -> Vec<Scenario> {
         label: "qft/qgpu+fixed-chunks".into(),
         benchmark: Benchmark::Qft,
         qubits: n,
+        prep: None,
         config: SimConfig::scaled_paper(n)
             .with_version(Version::QGpu)
             .fixed_chunk_size(),
@@ -139,6 +157,7 @@ fn scenarios() -> Vec<Scenario> {
             label: format!("qft/{}+devices2", v.label()),
             benchmark: Benchmark::Qft,
             qubits: n,
+            prep: None,
             config: SimConfig::new(Platform::scaled_paper_p100(n).with_devices(2)).with_version(v),
         });
     }
@@ -154,6 +173,7 @@ fn scenarios() -> Vec<Scenario> {
         label: "qft/qgpu+faults42".into(),
         benchmark: Benchmark::Qft,
         qubits: 12,
+        prep: None,
         config: SimConfig::new(Platform::scaled_paper_p100(12).with_devices(2))
             .with_version(Version::QGpu)
             .with_faults(faults),
@@ -169,6 +189,7 @@ fn scenarios() -> Vec<Scenario> {
         label: "qft/overlap+devloss".into(),
         benchmark: Benchmark::Qft,
         qubits: 12,
+        prep: None,
         config: SimConfig::new(Platform::scaled_paper_p100(12).with_devices(4))
             .with_version(Version::Overlap)
             .with_faults(loss),
@@ -178,23 +199,75 @@ fn scenarios() -> Vec<Scenario> {
         label: "qft/qgpu+membudget".into(),
         benchmark: Benchmark::Qft,
         qubits: n,
+        prep: None,
         config: SimConfig::scaled_paper(n)
             .with_version(Version::QGpu)
             .with_mem_budget(6 * 1024),
     });
+    // Stochastic execution: seeded per-gate noise (loss inserts resets,
+    // so mid-circuit collapse is exercised) plus end-of-circuit shot
+    // sampling — state, counters, timeline, and counts all pinned.
+    let noise = NoiseConfig {
+        depolarizing: 0.05,
+        loss: 0.02,
+        ..NoiseConfig::default()
+    };
+    for v in [Version::Baseline, Version::QGpu] {
+        out.push(Scenario {
+            label: format!("qft/{}+noise11", v.label()),
+            benchmark: Benchmark::Qft,
+            qubits: n,
+            prep: None,
+            config: SimConfig::scaled_paper(n)
+                .with_version(v)
+                .with_noise(noise)
+                .with_stoch_seed(11)
+                .with_shots(256),
+        });
+    }
+    // Explicit mid-circuit measurements (no noise): the collapse sync
+    // point on its own, through both execution modes and the batcher.
+    for (v, batching) in [
+        (Version::Baseline, false),
+        (Version::QGpu, false),
+        (Version::QGpu, true),
+    ] {
+        let mut config = SimConfig::scaled_paper(n)
+            .with_version(v)
+            .with_stoch_seed(5)
+            .with_shots(128);
+        let mut label = format!("qft/{}+measure", v.label());
+        if batching {
+            config = config.with_gate_batching();
+            label.push_str("+batching");
+        }
+        out.push(Scenario {
+            label,
+            benchmark: Benchmark::Qft,
+            qubits: n,
+            prep: Some(|c: &mut Circuit| {
+                c.measure(0).h(0).measure(1).reset(2).h(2);
+            }),
+            config,
+        });
+    }
     out
 }
 
 fn run_fingerprints(s: &Scenario) -> String {
-    let circuit = s.benchmark.generate(s.qubits);
+    let mut circuit = s.benchmark.generate(s.qubits);
+    if let Some(prep) = s.prep {
+        prep(&mut circuit);
+    }
     let r = Simulator::new(s.config.clone().with_trace(200_000)).run(&circuit);
     let state = r.state.as_ref().expect("state collected");
     format!(
-        "{} state={:016x} report={:016x} trace={:016x}",
+        "{} state={:016x} report={:016x} trace={:016x} samples={:016x}",
         s.label,
         state_fingerprint(state),
         report_fingerprint(&r.report),
         trace_fingerprint(&r.trace),
+        samples_fingerprint(r.samples.as_deref()),
     )
 }
 

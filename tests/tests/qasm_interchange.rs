@@ -54,6 +54,13 @@ barrier q[0], q[1], q[2];
 measure q[0] -> c[0];
 "#;
     let c = qasm::parse(src).expect("parse external program");
-    assert_eq!(c.len(), 3);
+    // u2, cx, u1, and the measurement — barriers and comments dropped.
+    assert_eq!(c.len(), 4);
     assert_eq!(c.num_qubits(), 3);
+    let last = c.ops().last().expect("non-empty");
+    assert_eq!(
+        (last.gate(), last.qubits()),
+        (qgpu_circuit::Gate::Measure, &[0][..]),
+        "measurement boilerplate must parse as a real op"
+    );
 }
