@@ -4,7 +4,9 @@
 //! The recorder's contract is "zero-cost when disabled, cheap when
 //! enabled": disabled instrumentation is a branch on `None`, and enabled
 //! instrumentation records spans per *gate* (not per chunk) plus O(1)
-//! counter/histogram touches. This bench enforces the enabled side.
+//! counter/histogram touches. This bench enforces the enabled side —
+//! with the full telemetry stack on: spans, the per-stage attribution
+//! registry, and the flight-recorder event ring.
 //!
 //! Invocation follows the workspace's criterion convention:
 //!
@@ -17,7 +19,7 @@
 
 use std::time::Instant;
 
-use qgpu::{SimConfig, Simulator, Version};
+use qgpu::{FlightConfig, SimConfig, Simulator, Version};
 use qgpu_circuit::generators::Benchmark;
 
 /// Maximum tolerated slowdown of the instrumented run (fractional).
@@ -32,7 +34,10 @@ fn run_once(qubits: usize, obs: bool) -> f64 {
         .with_version(Version::QGpu)
         .timing_only();
     if obs {
-        cfg = cfg.with_obs_spans();
+        // Everything a telemetry-on deployment pays for: spans, the
+        // labeled registry, and the flight ring (no faults fire, so the
+        // ring never dumps).
+        cfg = cfg.with_obs_spans().with_flight(FlightConfig::default());
     }
     let circuit = Benchmark::Qft.generate(qubits);
     let sim = Simulator::new(cfg);

@@ -3,11 +3,18 @@
 //! ```text
 //! repro <experiment> [--qubits N] [--json]
 //! repro all [--qubits N] [--json]
+//! repro perf [--qubits N[,N…]] [--out path] [--label name]
+//!            [--compare OLD.json [--current NEW.json]] [--tol F] [--floor-ms F]
 //! repro list
 //! ```
 //!
 //! `--json` emits each table as a JSON object (title/headers/rows) instead
 //! of markdown — for downstream plotting scripts.
+//!
+//! `repro perf` runs the pinned perf-trajectory matrix and writes a
+//! schema-versioned `BENCH_<label>.json`; with `--compare` it exits
+//! nonzero when any scenario regresses beyond the noise tolerance (see
+//! [`qgpu_bench::perf`]).
 //!
 //! Experiments: fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig12 fig13
 //! fig14 fig15 fig16 fig17 fig19 tab2 tab3. Default sizes are chosen so
@@ -155,6 +162,19 @@ fn run_one(name: &str, qubits: Option<usize>, json: bool) -> Result<(), String> 
 }
 
 fn main() -> ExitCode {
+    // `repro perf` has its own argument grammar — intercept before the
+    // table-experiment parser.
+    let raw: Vec<String> = env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("perf") {
+        return match qgpu_bench::perf::cli(&raw[1..]) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {

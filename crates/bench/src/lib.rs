@@ -8,7 +8,10 @@
 //!   reorder passes, and end-to-end version comparisons
 //!   (`cargo bench -p qgpu-bench`).
 //!
-//! The library portion only hosts shared helpers for the benches.
+//! The library portion hosts shared helpers for the benches and the
+//! `repro perf` BENCH-file runner (see [`perf`]).
+
+pub mod perf;
 
 use qgpu_circuit::generators::Benchmark;
 use qgpu_circuit::Circuit;

@@ -1,0 +1,372 @@
+//! The `repro perf` runner: perf-trajectory BENCH files and the
+//! regression gate.
+//!
+//! `repro perf` executes a pinned scenario matrix — every execution
+//! version × {qft, iqp, bv, rqc} × the requested qubit sizes × noise
+//! off/on — with the engine's per-stage attribution middleware enabled,
+//! and writes a schema-versioned `BENCH_<label>.json`:
+//!
+//! ```text
+//! { "schema": "qgpu-bench/v1",
+//!   "meta": { git_sha, label, seed, config_hash, crate_version, host },
+//!   "scenarios": [ { id, circuit, qubits, version, noise,
+//!                    wall_s, modeled_s, stage_sum_s,
+//!                    stages: { plan: s, kernel: s, ... },
+//!                    percentiles: { gate_ns: { p50, p90, p99, p999 } },
+//!                    counters: { ... } }, ... ] }
+//! ```
+//!
+//! `stages` attributes the measured wall clock per pipeline stage from
+//! the registry's `stage.time_ns` histograms; the attribution is
+//! exhaustive, so `stage_sum_s` tracks `wall_s` (CI asserts within
+//! 10%). The JSON writer is canonical, so a parsed document re-renders
+//! byte-identically (pinned by a round-trip test).
+//!
+//! `repro perf --compare OLD.json` re-runs the matrix (or takes
+//! `--current NEW.json`) and exits nonzero when any scenario's
+//! end-to-end or per-stage time regresses beyond the noise tolerance:
+//! `new > old * (1 + tol) + floor`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use qgpu::{FlightConfig, SimConfig, Simulator, Version};
+use qgpu_circuit::generators::Benchmark;
+use qgpu_circuit::NoiseConfig;
+use qgpu_obs::{Json, RunMeta};
+
+/// BENCH document schema tag.
+pub const SCHEMA: &str = "qgpu-bench/v1";
+/// The pinned circuit set.
+pub const CIRCUITS: [Benchmark; 4] = [
+    Benchmark::Qft,
+    Benchmark::Iqp,
+    Benchmark::Bv,
+    Benchmark::Rqc,
+];
+/// Default qubit sizes (override with `--qubits`).
+pub const DEFAULT_QUBITS: [usize; 2] = [10, 12];
+/// The noisy half of the matrix: channel spec, shots, stochastic seed.
+pub const NOISE_SPEC: &str = "depolarizing:0.01,loss:0.02";
+const SHOTS: u64 = 64;
+const STOCH_SEED: u64 = 42;
+/// Default relative noise tolerance for the regression gate (50%:
+/// wall-clock timing on shared CI runners is loud).
+pub const DEFAULT_TOL: f64 = 0.5;
+/// Default absolute regression floor in milliseconds: differences
+/// smaller than this are scheduler noise regardless of ratio.
+pub const DEFAULT_FLOOR_MS: f64 = 5.0;
+
+/// Parsed `repro perf` arguments.
+pub struct PerfArgs {
+    /// Qubit sizes to run.
+    pub qubits: Vec<usize>,
+    /// Output path (default `BENCH_<label>.json`).
+    pub out: Option<String>,
+    /// Run label for the filename and meta block.
+    pub label: String,
+    /// Baseline BENCH file to gate against.
+    pub compare: Option<String>,
+    /// Pre-recorded current BENCH file (skips the run; file-vs-file).
+    pub current: Option<String>,
+    /// Relative tolerance.
+    pub tol: f64,
+    /// Absolute floor in milliseconds.
+    pub floor_ms: f64,
+}
+
+/// Parses everything after `repro perf`.
+///
+/// # Errors
+///
+/// Returns a usage message on unknown flags or malformed values.
+pub fn parse_args(args: &[String]) -> Result<PerfArgs, String> {
+    let mut p = PerfArgs {
+        qubits: Vec::new(),
+        out: None,
+        label: "local".to_string(),
+        compare: None,
+        current: None,
+        tol: DEFAULT_TOL,
+        floor_ms: DEFAULT_FLOOR_MS,
+    };
+    let mut it = args.iter();
+    let take = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or(format!("missing value after {flag}"))
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--qubits" | "-q" => {
+                for part in take(&mut it, "--qubits")?.split(',') {
+                    p.qubits
+                        .push(part.parse().map_err(|_| format!("bad qubit count '{part}'"))?);
+                }
+            }
+            "--out" => p.out = Some(take(&mut it, "--out")?),
+            "--label" => p.label = take(&mut it, "--label")?,
+            "--compare" => p.compare = Some(take(&mut it, "--compare")?),
+            "--current" => p.current = Some(take(&mut it, "--current")?),
+            "--tol" => {
+                p.tol = take(&mut it, "--tol")?
+                    .parse()
+                    .map_err(|_| "bad tolerance")?
+            }
+            "--floor-ms" => {
+                p.floor_ms = take(&mut it, "--floor-ms")?
+                    .parse()
+                    .map_err(|_| "bad floor")?
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument '{other}'\nusage: repro perf [--qubits N[,N…]] [--out path] \
+                     [--label name] [--compare OLD.json [--current NEW.json]] [--tol F] [--floor-ms F]"
+                ))
+            }
+        }
+    }
+    if p.qubits.is_empty() {
+        p.qubits = DEFAULT_QUBITS.to_vec();
+    }
+    if p.current.is_some() && p.compare.is_none() {
+        return Err("--current only makes sense with --compare".into());
+    }
+    Ok(p)
+}
+
+fn version_tag(v: Version) -> &'static str {
+    match v {
+        Version::Baseline => "baseline",
+        Version::Naive => "naive",
+        Version::Overlap => "overlap",
+        Version::Pruning => "pruning",
+        Version::Reorder => "reorder",
+        Version::QGpu => "qgpu",
+    }
+}
+
+/// Runs one scenario and returns its BENCH object.
+pub fn run_scenario(b: Benchmark, qubits: usize, v: Version, noisy: bool) -> Json {
+    let circuit = b.generate(qubits);
+    let mut cfg = SimConfig::scaled_paper(qubits)
+        .with_version(v)
+        .timing_only()
+        .with_obs_spans()
+        // Full telemetry stack enabled, as a deployment would run it —
+        // no faults are injected, so nothing triggers a dump.
+        .with_flight(FlightConfig::default());
+    if noisy {
+        let nc: NoiseConfig = NOISE_SPEC.parse().expect("pinned noise spec parses");
+        cfg = cfg
+            .with_noise(nc)
+            .with_shots(SHOTS)
+            .with_stoch_seed(STOCH_SEED);
+    }
+    let start = Instant::now();
+    let result = Simulator::new(cfg).run(&circuit);
+    let wall_s = start.elapsed().as_secs_f64();
+    let obs = result.obs.as_ref().expect("obs_spans enabled");
+
+    let mut stages: Vec<(String, Json)> = Vec::new();
+    let mut stage_sum_s = 0.0;
+    for e in obs.registry.histograms_named("stage.time_ns") {
+        let stage = e.label("stage").expect("stage label").to_string();
+        let s = e.value.sum as f64 / 1e9;
+        stage_sum_s += s;
+        stages.push((stage, Json::Num(s)));
+    }
+    let gate_ns = obs
+        .registry
+        .histograms_named("gate.ns")
+        .next()
+        .map(|e| e.value.clone())
+        .unwrap_or_default();
+
+    let r = &result.report;
+    Json::Obj(vec![
+        (
+            "id".into(),
+            Json::Str(format!(
+                "{}_q{}_{}_{}",
+                b.abbrev(),
+                qubits,
+                version_tag(v),
+                if noisy { "noisy" } else { "ideal" }
+            )),
+        ),
+        ("circuit".into(), Json::Str(b.abbrev().to_string())),
+        ("qubits".into(), Json::Num(qubits as f64)),
+        ("version".into(), Json::Str(version_tag(v).to_string())),
+        ("noise".into(), Json::Bool(noisy)),
+        ("wall_s".into(), Json::Num(wall_s)),
+        ("modeled_s".into(), Json::Num(r.total_time)),
+        ("stage_sum_s".into(), Json::Num(stage_sum_s)),
+        ("stages".into(), Json::Obj(stages)),
+        (
+            "percentiles".into(),
+            Json::Obj(vec![(
+                "gate_ns".into(),
+                Json::Obj(vec![
+                    ("p50".into(), Json::Num(gate_ns.p50 as f64)),
+                    ("p90".into(), Json::Num(gate_ns.p90 as f64)),
+                    ("p99".into(), Json::Num(gate_ns.p99 as f64)),
+                    ("p999".into(), Json::Num(gate_ns.p999 as f64)),
+                ]),
+            )]),
+        ),
+        (
+            "counters".into(),
+            Json::Obj(vec![
+                (
+                    "chunks_processed".into(),
+                    Json::Num(r.chunks_processed as f64),
+                ),
+                ("chunks_pruned".into(), Json::Num(r.chunks_pruned as f64)),
+                ("bytes_h2d".into(), Json::Num(r.bytes_h2d as f64)),
+                ("bytes_d2h".into(), Json::Num(r.bytes_d2h as f64)),
+                ("collapses".into(), Json::Num(r.collapses as f64)),
+                ("shots".into(), Json::Num(r.shots as f64)),
+            ]),
+        ),
+    ])
+}
+
+/// Runs the full pinned matrix and returns the BENCH document.
+pub fn run_matrix(qubits: &[usize], label: &str) -> Json {
+    let mut scenarios = Vec::new();
+    let total = Version::ALL.len() * CIRCUITS.len() * qubits.len() * 2;
+    for v in Version::ALL {
+        for b in CIRCUITS {
+            for &q in qubits {
+                for noisy in [false, true] {
+                    eprintln!(
+                        "[repro perf] {}/{total} {}_q{}_{}_{}",
+                        scenarios.len() + 1,
+                        b.abbrev(),
+                        q,
+                        version_tag(v),
+                        if noisy { "noisy" } else { "ideal" }
+                    );
+                    scenarios.push(run_scenario(b, q, v, noisy));
+                }
+            }
+        }
+    }
+    let config_text = format!(
+        "versions={:?} circuits={:?} qubits={qubits:?} noise={NOISE_SPEC} shots={SHOTS}",
+        Version::ALL.map(version_tag),
+        CIRCUITS.map(Benchmark::abbrev),
+    );
+    let meta = RunMeta::collect(label, STOCH_SEED, &config_text, env!("CARGO_PKG_VERSION"));
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.to_string())),
+        ("meta".into(), meta.to_json()),
+        ("scenarios".into(), Json::Arr(scenarios)),
+    ])
+}
+
+fn scenario_id(s: &Json) -> &str {
+    s.get("id").and_then(Json::as_str).unwrap_or("?")
+}
+
+fn num(s: &Json, key: &str) -> f64 {
+    s.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+/// Compares two BENCH documents: every scenario of `old` must still
+/// exist in `new`, and neither its end-to-end `wall_s` nor any per-stage
+/// time may exceed `old * (1 + tol) + floor_s`. Returns one line per
+/// regression (empty = gate passes).
+pub fn compare_docs(old: &Json, new: &Json, tol: f64, floor_s: f64) -> Vec<String> {
+    let mut regressions = Vec::new();
+    let empty: [Json; 0] = [];
+    let old_scenarios = old
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    let new_scenarios = new
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    for os in old_scenarios {
+        let id = scenario_id(os);
+        let Some(ns) = new_scenarios.iter().find(|s| scenario_id(s) == id) else {
+            regressions.push(format!("{id}: scenario missing from current run"));
+            continue;
+        };
+        let gate = |label: &str, old_v: f64, new_v: f64, out: &mut Vec<String>| {
+            let limit = old_v * (1.0 + tol) + floor_s;
+            if new_v > limit {
+                let mut line = String::new();
+                let _ = write!(
+                    line,
+                    "{id}: {label} regressed {:.1}ms -> {:.1}ms (limit {:.1}ms)",
+                    old_v * 1e3,
+                    new_v * 1e3,
+                    limit * 1e3
+                );
+                out.push(line);
+            }
+        };
+        gate(
+            "wall_s",
+            num(os, "wall_s"),
+            num(ns, "wall_s"),
+            &mut regressions,
+        );
+        if let Some(Json::Obj(old_stages)) = os.get("stages") {
+            for (stage, v) in old_stages {
+                let old_v = v.as_f64().unwrap_or(0.0);
+                let new_v = ns
+                    .get("stages")
+                    .and_then(|s| s.get(stage))
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0);
+                gate(&format!("stage {stage}"), old_v, new_v, &mut regressions);
+            }
+        }
+    }
+    regressions
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// The `repro perf` entry point. Returns `Ok(true)` when the regression
+/// gate (if requested) passed, `Ok(false)` when it caught a regression.
+///
+/// # Errors
+///
+/// Returns a message on argument, I/O, or JSON errors.
+pub fn cli(args: &[String]) -> Result<bool, String> {
+    let p = parse_args(args)?;
+    let current = match &p.current {
+        Some(path) => load(path)?,
+        None => {
+            let doc = run_matrix(&p.qubits, &p.label);
+            let out = p
+                .out
+                .clone()
+                .unwrap_or_else(|| format!("BENCH_{}.json", p.label));
+            std::fs::write(&out, doc.to_string()).map_err(|e| format!("{out}: {e}"))?;
+            eprintln!("[repro perf] wrote {out}");
+            doc
+        }
+    };
+    let Some(old_path) = &p.compare else {
+        return Ok(true);
+    };
+    let old = load(old_path)?;
+    let regressions = compare_docs(&old, &current, p.tol, p.floor_ms / 1e3);
+    if regressions.is_empty() {
+        eprintln!("[repro perf] no regressions vs {old_path}");
+        return Ok(true);
+    }
+    for r in &regressions {
+        eprintln!("[repro perf] REGRESSION {r}");
+    }
+    Ok(false)
+}

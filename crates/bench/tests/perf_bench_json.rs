@@ -1,0 +1,125 @@
+//! The BENCH-file contracts: schema shape, exhaustive stage
+//! attribution, byte-identical JSON round-trips, and the regression
+//! gate's catch/pass behavior.
+
+use qgpu::Version;
+use qgpu_bench::perf;
+use qgpu_circuit::generators::Benchmark;
+use qgpu_obs::{Json, RunMeta};
+
+/// A small but real BENCH document: two scenarios actually simulated.
+fn small_doc() -> Json {
+    let scenarios = vec![
+        perf::run_scenario(Benchmark::Qft, 8, Version::QGpu, false),
+        perf::run_scenario(Benchmark::Bv, 8, Version::Baseline, true),
+    ];
+    let meta = RunMeta::collect("test", 42, "tiny matrix", env!("CARGO_PKG_VERSION"));
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(perf::SCHEMA.into())),
+        ("meta".into(), meta.to_json()),
+        ("scenarios".into(), Json::Arr(scenarios)),
+    ])
+}
+
+#[test]
+fn scenario_has_the_schema_fields_and_exhaustive_attribution() {
+    let s = perf::run_scenario(Benchmark::Qft, 8, Version::QGpu, false);
+    for key in [
+        "id",
+        "circuit",
+        "qubits",
+        "version",
+        "noise",
+        "wall_s",
+        "modeled_s",
+        "stage_sum_s",
+        "stages",
+        "percentiles",
+        "counters",
+    ] {
+        assert!(s.get(key).is_some(), "scenario missing '{key}'");
+    }
+    assert_eq!(
+        s.get("id").and_then(Json::as_str),
+        Some("qft_q8_qgpu_ideal")
+    );
+    // Attribution is exhaustive: the per-stage sums reconstruct the
+    // measured wall clock (the release-mode CI smoke holds ±10%; keep a
+    // little slack for unoptimized builds).
+    let wall = s.get("wall_s").and_then(Json::as_f64).unwrap();
+    let sum = s.get("stage_sum_s").and_then(Json::as_f64).unwrap();
+    assert!(wall > 0.0 && sum > 0.0);
+    let ratio = sum / wall;
+    assert!((0.8..1.2).contains(&ratio), "stage_sum/wall = {ratio}");
+    // Kernel time exists and the gate-latency percentiles are ordered.
+    assert!(s.get("stages").unwrap().get("kernel").is_some());
+    let p = s.get("percentiles").unwrap().get("gate_ns").unwrap();
+    let (p50, p999) = (
+        p.get("p50").and_then(Json::as_f64).unwrap(),
+        p.get("p999").and_then(Json::as_f64).unwrap(),
+    );
+    assert!(p50 > 0.0 && p50 <= p999);
+}
+
+#[test]
+fn bench_document_round_trips_byte_identically() {
+    let doc = small_doc();
+    let rendered = doc.to_string();
+    let reparsed = Json::parse(&rendered).expect("BENCH JSON parses back");
+    assert_eq!(
+        reparsed.to_string(),
+        rendered,
+        "round-trip must be byte-identical"
+    );
+    assert_eq!(reparsed, doc);
+}
+
+/// Builds a synthetic BENCH doc with one scenario of the given timings.
+fn doc_with(wall_s: f64, kernel_s: f64) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(perf::SCHEMA.into())),
+        (
+            "scenarios".into(),
+            Json::Arr(vec![Json::Obj(vec![
+                ("id".into(), Json::Str("qft_q8_qgpu_ideal".into())),
+                ("wall_s".into(), Json::Num(wall_s)),
+                (
+                    "stages".into(),
+                    Json::Obj(vec![("kernel".into(), Json::Num(kernel_s))]),
+                ),
+            ])]),
+        ),
+    ])
+}
+
+#[test]
+fn gate_catches_a_2x_regression_and_passes_identical_runs() {
+    let old = doc_with(0.100, 0.080);
+    let doubled = doc_with(0.200, 0.160);
+    // Identical runs pass.
+    assert!(perf::compare_docs(&old, &old, perf::DEFAULT_TOL, 0.005).is_empty());
+    // A 2x end-to-end + per-stage regression trips both checks at the
+    // default 50% tolerance.
+    let regressions = perf::compare_docs(&old, &doubled, perf::DEFAULT_TOL, 0.005);
+    assert_eq!(regressions.len(), 2, "{regressions:?}");
+    assert!(regressions[0].contains("wall_s"));
+    assert!(regressions[1].contains("stage kernel"));
+    // The reverse direction (got faster) is not a regression.
+    assert!(perf::compare_docs(&doubled, &old, perf::DEFAULT_TOL, 0.005).is_empty());
+    // A vanished scenario is flagged.
+    let empty = Json::Obj(vec![
+        ("schema".into(), Json::Str(perf::SCHEMA.into())),
+        ("scenarios".into(), Json::Arr(vec![])),
+    ]);
+    let missing = perf::compare_docs(&old, &empty, perf::DEFAULT_TOL, 0.005);
+    assert_eq!(missing.len(), 1);
+    assert!(missing[0].contains("missing"));
+}
+
+#[test]
+fn sub_floor_noise_does_not_trip_the_gate() {
+    // 2x relative but far under the absolute floor: scheduler noise.
+    let old = doc_with(0.0005, 0.0004);
+    let new = doc_with(0.0010, 0.0008);
+    assert!(perf::compare_docs(&old, &new, perf::DEFAULT_TOL, 0.005).is_empty());
+}

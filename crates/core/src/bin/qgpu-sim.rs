@@ -32,6 +32,13 @@
 //!   --save <path>      write the final state as a compressed checkpoint
 //!   --trace-out <path> write a two-track Chrome/Perfetto trace JSON
 //!   --metrics-out <path>  write recorded counters/histograms as JSON
+//!                      (with a `meta` run-provenance block and the
+//!                      labeled `registry` of per-stage histograms)
+//!   --flight-out <path>  always dump the flight-recorder event ring to
+//!                      JSON at <path> after the run. Any fault-injection
+//!                      run arms the recorder automatically and dumps to
+//!                      `qgpu-flight.json` when a retry/fallback/loss
+//!                      trigger fires, even without this flag.
 //!   --drift            print the modeled-vs-measured drift report
 //!   --drift-tol <pp>   drift flagging tolerance in percentage points
 //!   --gantt            print the modeled timeline as an ASCII Gantt chart
@@ -60,7 +67,7 @@ use std::env;
 use std::fs;
 use std::process::ExitCode;
 
-use qgpu::{FaultConfig, OptFlags, SimConfig, SimError, Simulator, Version};
+use qgpu::{FaultConfig, FlightConfig, OptFlags, SimConfig, SimError, Simulator, Version};
 use qgpu_circuit::generators::Benchmark;
 use qgpu_circuit::{qasm, Circuit, NoiseConfig};
 use qgpu_device::Platform;
@@ -88,6 +95,7 @@ struct Options {
     cx_basis: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    flight_out: Option<String>,
     drift: bool,
     drift_tol: f64,
     gantt: bool,
@@ -141,6 +149,7 @@ fn parse_args() -> Result<Options, String> {
     let mut cx_basis = false;
     let mut trace_out = None;
     let mut metrics_out = None;
+    let mut flight_out = None;
     let mut drift = false;
     let mut drift_tol = qgpu_obs::drift::DEFAULT_TOLERANCE_PP;
     let mut gantt = false;
@@ -215,6 +224,7 @@ fn parse_args() -> Result<Options, String> {
             "--cx-basis" => cx_basis = true,
             "--trace-out" => trace_out = Some(take(&mut args, "--trace-out")?),
             "--metrics-out" => metrics_out = Some(take(&mut args, "--metrics-out")?),
+            "--flight-out" => flight_out = Some(take(&mut args, "--flight-out")?),
             "--drift" => drift = true,
             "--drift-tol" => {
                 drift_tol = take(&mut args, "--drift-tol")?
@@ -331,6 +341,7 @@ fn parse_args() -> Result<Options, String> {
         cx_basis,
         trace_out,
         metrics_out,
+        flight_out,
         drift,
         drift_tol,
         gantt,
@@ -342,7 +353,7 @@ fn parse_args() -> Result<Options, String> {
     })
 }
 
-const HELP: &str = "usage: qgpu-sim <file.qasm> | --benchmark <name> --qubits <N>\n  [--version baseline|naive|overlap|pruning|reorder|qgpu] [--opts list] [--shots N]\n  [--sample] [--noise spec] [--seed N] [--chunks log2] [--top N] [--batching] [--fuse] [--threads N]\n  [--report] [--report-json path] [--save path] [--trace-out path] [--metrics-out path]\n  [--drift] [--drift-tol pp] [--gantt] [--devices N] [--mem-budget BYTES]\n  [--inject-seed N] [--inject-transfer P] [--inject-codec P]\n  [--inject-mask P] [--inject-worker P] [--inject-fail-at N]\n  [--inject-device-loss D:OP] [--inject-link-degrade P]\n  [--inject-straggler D[:FACTOR]]\n  [--checkpoint-every N] [--checkpoint-out path] [--resume path]\n  [--compare path]";
+const HELP: &str = "usage: qgpu-sim <file.qasm> | --benchmark <name> --qubits <N>\n  [--version baseline|naive|overlap|pruning|reorder|qgpu] [--opts list] [--shots N]\n  [--sample] [--noise spec] [--seed N] [--chunks log2] [--top N] [--batching] [--fuse] [--threads N]\n  [--report] [--report-json path] [--save path] [--trace-out path] [--metrics-out path]\n  [--flight-out path]\n  [--drift] [--drift-tol pp] [--gantt] [--devices N] [--mem-budget BYTES]\n  [--inject-seed N] [--inject-transfer P] [--inject-codec P]\n  [--inject-mask P] [--inject-worker P] [--inject-fail-at N]\n  [--inject-device-loss D:OP] [--inject-link-degrade P]\n  [--inject-straggler D[:FACTOR]]\n  [--checkpoint-every N] [--checkpoint-out path] [--resume path]\n  [--compare path]";
 
 fn platform_for(name: &str, qubits: usize) -> Result<Platform, String> {
     let ratio = 496.0 / 8192.0;
@@ -464,6 +475,22 @@ fn main() -> ExitCode {
             opts.faults.p_worker_death,
         );
     }
+    // The flight recorder: --flight-out dumps unconditionally to the
+    // given path; any fault-injection run arms it automatically and
+    // dumps to the default path only when a trigger event fires.
+    match &opts.flight_out {
+        Some(path) => {
+            config = config.with_flight(FlightConfig {
+                path: Some(path.clone()),
+                dump_always: true,
+                ..FlightConfig::default()
+            });
+        }
+        None if opts.faults.any_enabled() => {
+            config = config.with_flight(FlightConfig::default());
+        }
+        None => {}
+    }
     if opts.checkpoint_every > 0 {
         let Some(path) = &opts.checkpoint_out else {
             eprintln!("error: --checkpoint-every requires --checkpoint-out");
@@ -487,7 +514,8 @@ fn main() -> ExitCode {
         },
         None => None,
     };
-    let result = match Simulator::new(config).try_run_from(&circuit, resume_ckpt.as_ref()) {
+    let sim = Simulator::new(config);
+    let result = match sim.try_run_from(&circuit, resume_ckpt.as_ref()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: simulation failed: {e}");
@@ -628,7 +656,26 @@ fn main() -> ExitCode {
 
     if let Some(path) = &opts.metrics_out {
         let obs = result.obs.as_ref().expect("obs enabled with --metrics-out");
-        if let Err(e) = fs::write(path, obs.metrics.to_json_string()) {
+        // Provenance first, then the flat counters/histograms (their
+        // keys stay top-level for existing consumers), then the labeled
+        // registry.
+        let label = opts
+            .opts
+            .map(|f| f.label())
+            .unwrap_or_else(|| opts.version.label().to_string());
+        let meta = qgpu_obs::RunMeta::collect(
+            &label,
+            opts.seed,
+            &format!("{:?}", sim.config()),
+            env!("CARGO_PKG_VERSION"),
+        );
+        let mut doc = match obs.metrics.to_json() {
+            qgpu_obs::Json::Obj(pairs) => pairs,
+            other => vec![("metrics".to_string(), other)],
+        };
+        doc.insert(0, ("meta".to_string(), meta.to_json()));
+        doc.push(("registry".to_string(), obs.registry.to_json()));
+        if let Err(e) = fs::write(path, qgpu_obs::Json::Obj(doc).to_string()) {
             eprintln!("error: {path}: {e}");
             return ExitCode::FAILURE;
         }

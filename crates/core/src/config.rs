@@ -208,6 +208,44 @@ impl std::fmt::Display for OptFlags {
     }
 }
 
+/// Flight-recorder configuration: a bounded ring of structured engine
+/// events (retries, fallbacks, device loss, governor downshifts,
+/// collapse outcomes) kept for post-mortems.
+///
+/// The dump policy is trigger-based by default: the ring is written to
+/// `path` only when a fault-class event or a [`qgpu_faults::SimError`]
+/// occurs during the run. `dump_always` (the CLI's `--flight-out`)
+/// writes it unconditionally at the end of the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightConfig {
+    /// Ring capacity in events; old events fall off the front.
+    pub events: usize,
+    /// Dump destination; `None` uses [`FlightConfig::DEFAULT_PATH`].
+    pub path: Option<String>,
+    /// Dump even when nothing triggered (on-demand capture).
+    pub dump_always: bool,
+}
+
+impl FlightConfig {
+    /// Where a triggered dump lands when no path is configured.
+    pub const DEFAULT_PATH: &'static str = "qgpu-flight.json";
+
+    /// The dump destination.
+    pub fn dump_path(&self) -> &str {
+        self.path.as_deref().unwrap_or(Self::DEFAULT_PATH)
+    }
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig {
+            events: qgpu_obs::DEFAULT_FLIGHT_EVENTS,
+            path: None,
+            dump_always: false,
+        }
+    }
+}
+
 /// Everything a [`crate::Simulator`] needs besides the circuit.
 ///
 /// # Examples
@@ -337,6 +375,13 @@ pub struct SimConfig {
     /// perturbs the *physics*. Same seed ⇒ bit-identical stochastic runs
     /// on every version, thread count, and device count.
     pub stoch_seed: u64,
+    /// Flight-recorder configuration (`None` disables it). When set, the
+    /// engine keeps a bounded ring of structured fault/lifecycle events
+    /// and dumps it to JSON on any `SimError`, raw-codec fallback, worker
+    /// loss or governor downshift — or unconditionally with
+    /// [`FlightConfig::dump_always`]. Independent of
+    /// [`SimConfig::obs_spans`]: a flight-only run records no spans.
+    pub flight: Option<FlightConfig>,
 }
 
 impl SimConfig {
@@ -367,6 +412,7 @@ impl SimConfig {
             noise: None,
             shots: 0,
             stoch_seed: 0,
+            flight: None,
         }
     }
 
@@ -544,6 +590,12 @@ impl SimConfig {
     /// Sets the stochastic-execution seed (see [`SimConfig::stoch_seed`]).
     pub fn with_stoch_seed(mut self, seed: u64) -> Self {
         self.stoch_seed = seed;
+        self
+    }
+
+    /// Attaches the flight recorder (see [`SimConfig::flight`]).
+    pub fn with_flight(mut self, flight: FlightConfig) -> Self {
+        self.flight = Some(flight);
         self
     }
 

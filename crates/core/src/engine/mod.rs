@@ -135,15 +135,69 @@ impl Simulator {
         circuit: &Circuit,
         resume: Option<&Checkpoint>,
     ) -> Result<RunResult, SimError> {
-        let recorder = self.config.obs_spans.then(|| Arc::new(Recorder::new()));
-        let mut result = pipeline::run(circuit, &self.config, recorder.as_ref(), resume)?;
+        let recorder = self.make_recorder();
+        let outcome = pipeline::run(circuit, &self.config, recorder.as_ref(), resume);
+        let mut result = match outcome {
+            Ok(result) => result,
+            Err(err) => {
+                if let Some(rec) = &recorder {
+                    rec.flight("error", || err.to_string());
+                    self.dump_flight(rec);
+                }
+                return Err(err);
+            }
+        };
         if let Some(rec) = recorder {
-            result.obs = Some(ObsData {
-                spans: rec.spans(),
-                metrics: rec.metrics(),
-                wall_s: rec.elapsed_s(),
-            });
+            self.dump_flight(&rec);
+            if self.config.obs_spans {
+                result.obs = Some(ObsData {
+                    spans: rec.spans(),
+                    metrics: rec.metrics(),
+                    wall_s: rec.elapsed_s(),
+                    registry: rec.registry().snapshot(),
+                    flight: rec.flight_events(),
+                    flight_triggered: rec.flight_triggered(),
+                });
+            }
         }
         Ok(result)
+    }
+
+    /// Builds the run's recorder: spans when `obs_spans` is on, a flight
+    /// ring when `flight` is configured, nothing when neither is.
+    fn make_recorder(&self) -> Option<Arc<Recorder>> {
+        if !self.config.obs_spans && self.config.flight.is_none() {
+            return None;
+        }
+        let mut rec = Recorder::new();
+        if let Some(fc) = &self.config.flight {
+            rec = rec.with_flight(fc.events);
+        }
+        if !self.config.obs_spans {
+            rec = rec.without_spans();
+        }
+        Some(Arc::new(rec))
+    }
+
+    /// Dumps the flight-recorder ring to its configured JSON path when a
+    /// trigger event fired (or unconditionally with `dump_always`).
+    fn dump_flight(&self, rec: &Recorder) {
+        let Some(fc) = &self.config.flight else {
+            return;
+        };
+        if !(fc.dump_always || rec.flight_triggered()) {
+            return;
+        }
+        let Some(json) = rec.flight_json() else {
+            return;
+        };
+        let path = fc.dump_path();
+        match std::fs::write(path, json.to_string()) {
+            Ok(()) => eprintln!(
+                "[qgpu] flight recorder dumped {} event(s) to {path}",
+                rec.flight_events().len()
+            ),
+            Err(e) => eprintln!("[qgpu] flight recorder dump to {path} failed: {e}"),
+        }
     }
 }

@@ -36,6 +36,9 @@ pub(crate) fn run_batch(
             env.tl.count_prune_fallback();
             if let Some(r) = env.rec {
                 r.add("prune.fallbacks", 1);
+                r.flight("prune_fallback", || {
+                    format!("batch at op {idx}: corrupt involvement mask, full-chunk execution")
+                });
             }
             false
         }
@@ -252,6 +255,9 @@ fn batch_download(
             env.tl.count_codec_fallback();
             if let Some(r) = env.rec {
                 r.add("codec.fallbacks", 1);
+                r.flight("codec_fallback", || {
+                    format!("chunk {chunk}: GFC encode failed, moving raw")
+                });
             }
             env.compressed.remove(&chunk);
             d2h_bytes = chunk_bytes;

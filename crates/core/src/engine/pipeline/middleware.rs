@@ -275,6 +275,7 @@ impl Orchestration {
                 tl.count_pressure_downshift();
                 if let Some(r) = rec {
                     r.add("orch.pressure_downshifts", 1);
+                    r.flight("downshift", || format!("pressure governor: {action:?}"));
                 }
             }
         } else {
@@ -413,6 +414,9 @@ pub(crate) fn handle_device_loss(
     if let Some(r) = rec {
         r.add("orch.devices_lost", 1);
         r.add("orch.chunks_migrated", replay.len() as u64);
+        r.flight("device_loss", || {
+            format!("device {device} lost; replaying {} task(s)", replay.len())
+        });
     }
     // The dead device's double-buffer window died with it.
     windows[device].slots.clear();
@@ -483,6 +487,9 @@ pub(crate) fn note_restarts(tl: &mut Timeline, rec: Option<&Recorder>, restarts:
         tl.count_worker_restarts(restarts);
         if let Some(r) = rec {
             r.add("worker.restarts", restarts);
+            r.flight("worker_restart", || {
+                format!("{restarts} worker thread(s) died and were restarted")
+            });
         }
     }
 }

@@ -23,6 +23,7 @@
 
 pub(crate) mod batch;
 pub(crate) mod middleware;
+pub(crate) mod obs_mw;
 pub(crate) mod spec;
 pub(crate) mod stages;
 pub(crate) mod static_alloc;
@@ -333,6 +334,10 @@ pub(crate) fn resize_chunks(env: &mut Env) {
         nb = nb.min(cap);
     }
     if nb != env.chunk_bits {
+        if let Some(r) = env.rec {
+            let old = env.chunk_bits;
+            r.flight("repartition", || format!("chunk_bits {old} -> {nb}"));
+        }
         env.chunk_bits = nb;
         env.state.set_chunk_bits(nb);
         env.codec = codec_for(env.cfg, nb);
@@ -387,6 +392,7 @@ fn run_streaming(
     noise_ops: u64,
 ) -> Result<RunResult, SimError> {
     let rec = recorder.map(Arc::as_ref);
+    let mut mw = obs_mw::ObsMw::new(rec, cfg, cfg.platform.num_gpus());
     let circuit_owned;
     let circuit = if spec.flags.reorder {
         // The forward-looking pass (§IV-C) runs first.
@@ -411,6 +417,7 @@ fn run_streaming(
     let mut ckpt = CheckpointLayer::new(start);
     let mut clock = BarrierClock::new(cfg, start);
     let stages = stages::stage_list();
+    mw.mark(obs_mw::SETUP);
 
     let mut idx = start;
     while idx < program.len() {
@@ -445,9 +452,11 @@ fn run_streaming(
             &ProgramOp::Measure { qubit } | &ProgramOp::Reset { qubit } => {
                 let is_reset = matches!(program[idx], ProgramOp::Reset { .. });
                 idx += 1;
+                mw.mark(obs_mw::DRIVER);
                 let u = crng.draw(qubit);
                 stochastic::collapse_streaming(&mut env, qubit, is_reset, u);
                 env.tracker.involve_mask(1u64 << qubit);
+                mw.mark(obs_mw::MEASURE);
                 continue;
             }
         };
@@ -458,14 +467,19 @@ fn run_streaming(
             .iter()
             .all(|&q| (q as u32) < cb);
         if spec.batching && local {
+            mw.gate_begin();
             idx = batch::run_batch(&mut env, &program, idx, compressing)?;
+            mw.mark(obs_mw::KERNEL);
+            mw.gate_done();
             continue;
         }
         idx += 1;
 
         let mut g = GateCtx::new(fop, idx, compressing, &env);
-        for s in &stages {
+        mw.gate_begin();
+        for (si, s) in stages.iter().enumerate() {
             s.begin_gate(&mut g, &mut env)?;
+            mw.mark(obs_mw::stage_bucket(si));
         }
         let ixs = g.task_ixs.clone();
         for task_ix in ixs {
@@ -473,17 +487,23 @@ fn run_streaming(
             for s in &stages {
                 s.on_task(&mut t, &mut g, &mut env)?;
             }
+            mw.task_done(t.gpu);
         }
-        for s in &stages {
+        for (si, s) in stages.iter().enumerate() {
             s.end_gate(&mut g, &mut env)?;
+            mw.mark(obs_mw::stage_bucket(si));
         }
+        mw.gate_done();
         env.tracker = g.tracker_after;
     }
 
     if let (Some(rs), Some(r)) = (env.resil.as_ref(), rec) {
         r.add("integrity.retags", rs.retags);
     }
+    mw.mark(obs_mw::DRIVER);
     let samples = stochastic::sample_readout(&env.state, cfg, &mut env.tl, rec);
+    mw.mark(obs_mw::SAMPLE);
+    mw.finish();
     env.tl.set_noise_ops(noise_ops);
     let report = ExecutionReport::from_timeline(&env.tl, env.num_gpus);
     Ok(RunResult {

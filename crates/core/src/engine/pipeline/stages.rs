@@ -97,6 +97,12 @@ impl Stage for PruneStage {
                 env.tl.count_prune_fallback();
                 if let Some(r) = env.rec {
                     r.add("prune.fallbacks", 1);
+                    r.flight("prune_fallback", || {
+                        format!(
+                            "op {}: corrupt involvement mask, full-chunk execution",
+                            g.idx
+                        )
+                    });
                 }
                 false
             }

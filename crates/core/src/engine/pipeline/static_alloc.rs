@@ -36,6 +36,7 @@ use crate::engine::flops_per_amp;
 use crate::result::RunResult;
 
 use super::middleware::{self, BarrierClock, CheckpointLayer};
+use super::obs_mw::{self, ObsMw};
 use super::stochastic::{self, CollapseRng};
 use super::transfer::copy_with_dma;
 
@@ -75,6 +76,7 @@ pub(crate) fn run(
     noise_ops: u64,
 ) -> Result<RunResult, SimError> {
     let rec = recorder.map(Arc::as_ref);
+    let mut mw = ObsMw::new(rec, cfg, cfg.platform.num_gpus());
     let n = circuit.num_qubits();
     let program = {
         let _g = span_opt(rec, Track::Main, ObsStage::Plan, "engine.program");
@@ -85,6 +87,7 @@ pub(crate) fn run(
     let mut crng = CollapseRng::new(cfg.stoch_seed, n, &program[..start]);
     let mut ckpt = CheckpointLayer::new(start);
     let mut clock = BarrierClock::new(cfg, start);
+    mw.mark(obs_mw::SETUP);
 
     for (idx, op) in program.iter().enumerate().skip(start) {
         ckpt.before_op(idx, &sr.state, cfg, rec)?;
@@ -95,14 +98,33 @@ pub(crate) fn run(
         if let Some(d) = lost {
             sr.on_loss(d)?;
         }
+        // Static mode has no per-chunk stage hooks; attribution is
+        // coarse — the whole update lands in `kernel`, collapses in
+        // `measure`.
         match op {
-            ProgramOp::Unitary(fop) => sr.gate_step(fop)?,
-            &ProgramOp::Measure { qubit } => sr.collapse_step(qubit, false, crng.draw(qubit)),
-            &ProgramOp::Reset { qubit } => sr.collapse_step(qubit, true, crng.draw(qubit)),
+            ProgramOp::Unitary(fop) => {
+                mw.gate_begin();
+                sr.gate_step(fop)?;
+                mw.mark(obs_mw::KERNEL);
+                mw.gate_done();
+            }
+            &ProgramOp::Measure { qubit } => {
+                mw.mark(obs_mw::DRIVER);
+                sr.collapse_step(qubit, false, crng.draw(qubit));
+                mw.mark(obs_mw::MEASURE);
+            }
+            &ProgramOp::Reset { qubit } => {
+                mw.mark(obs_mw::DRIVER);
+                sr.collapse_step(qubit, true, crng.draw(qubit));
+                mw.mark(obs_mw::MEASURE);
+            }
         }
     }
 
+    mw.mark(obs_mw::DRIVER);
     let samples = stochastic::sample_readout(&sr.state, cfg, &mut sr.tl, rec);
+    mw.mark(obs_mw::SAMPLE);
+    mw.finish();
     sr.tl.set_noise_ops(noise_ops);
     let report = ExecutionReport::from_timeline(&sr.tl, sr.num_gpus);
     Ok(RunResult {
@@ -246,6 +268,9 @@ impl<'a> StaticRun<'a> {
         if let Some(r) = self.rec {
             r.add("orch.devices_lost", 1);
             r.add("orch.chunks_migrated", moved);
+            r.flight("device_loss", || {
+                format!("device {d} lost; {moved} resident chunk(s) re-homed to host")
+            });
         }
         let restore = self.tl.schedule(
             Engine::Host,
@@ -274,10 +299,14 @@ impl<'a> StaticRun<'a> {
         );
         let bytes = self.state.memory_bytes() as u64;
         self.gate_ready = stochastic::collapse_cost(&mut self.tl, self.cfg, self.gate_ready, bytes);
-        stochastic::collapse_state(&mut self.state, qubit, is_reset, u);
+        let outcome = stochastic::collapse_state(&mut self.state, qubit, is_reset, u);
         self.tl.count_collapse();
         if let Some(r) = self.rec {
             r.add("stoch.collapses", 1);
+            r.flight("collapse", || {
+                let kind = if is_reset { "reset" } else { "measure" };
+                format!("{kind} qubit {qubit} -> {}", u8::from(outcome))
+            });
         }
     }
 
@@ -462,6 +491,9 @@ impl<'a> StaticRun<'a> {
                     self.tl.count_link_degradation();
                     if let Some(r) = self.rec {
                         r.add("link.degradations", 1);
+                        r.flight("link_degraded", || {
+                            format!("transfer {} stretched {s:.2}x", self.transfer_ix - 1)
+                        });
                     }
                 }
                 s

@@ -89,6 +89,9 @@ pub(crate) fn collapse_state(
 /// sync's end.
 pub(crate) fn collapse_cost(tl: &mut Timeline, cfg: &SimConfig, ready: f64, bytes: u64) -> f64 {
     let bw = cfg.platform.host.chunked_update_bw();
+    // The reduce + scale passes are collapse work, not generic host
+    // update: credit them to the Measure drift phase.
+    tl.add_measure_time(2.0 * bytes as f64 / bw);
     let reduce = tl.schedule(
         Engine::Host,
         ready,
@@ -143,10 +146,14 @@ pub(crate) fn collapse_streaming(env: &mut Env, qubit: usize, is_reset: bool, u:
     let end = collapse_cost(&mut env.tl, env.cfg, env.epoch_floor, bytes);
     env.epoch_floor = env.epoch_floor.max(end);
     env.chain = env.chain.max(end);
-    collapse_state(&mut env.state, qubit, is_reset, u);
+    let outcome = collapse_state(&mut env.state, qubit, is_reset, u);
     env.tl.count_collapse();
     if let Some(r) = env.rec {
         r.add("stoch.collapses", 1);
+        r.flight("collapse", || {
+            let kind = if is_reset { "reset" } else { "measure" };
+            format!("{kind} qubit {qubit} -> {}", u8::from(outcome))
+        });
     }
 }
 
@@ -165,6 +172,8 @@ pub(crate) fn sample_readout(
     let _g = span_opt(rec, Track::Main, ObsStage::Sample, "readout.sample");
     let bytes = state.memory_bytes() as u64;
     let bw = cfg.platform.host.chunked_update_bw();
+    // The CDF sweep is sampling work: credit it to the Sample drift phase.
+    tl.add_sample_time(bytes as f64 / bw);
     tl.schedule(
         Engine::Host,
         tl.makespan(),

@@ -89,6 +89,9 @@ pub(crate) fn transfer_with_integrity(
         tl.count_link_degradation();
         if let Some(r) = rec {
             r.add("link.degradations", 1);
+            r.flight("link_degraded", || {
+                format!("transfer {index} stretched {stretch:.2}x")
+            });
         }
     }
     let mut attempt: u32 = 0;
@@ -127,6 +130,9 @@ pub(crate) fn transfer_with_integrity(
         tl.count_chunk_retry();
         if let Some(r) = rec {
             r.add("chunk.retries", 1);
+            r.flight("retry", || {
+                format!("transfer {index} CRC mismatch, attempt {}", attempt + 1)
+            });
         }
         ready = b.end;
         attempt += 1;

@@ -143,6 +143,9 @@ impl Stage for CompressStage {
                 env.tl.count_codec_fallback();
                 if let Some(r) = env.rec {
                     r.add("codec.fallbacks", 1);
+                    r.flight("codec_fallback", || {
+                        format!("chunk {m}: GFC encode failed, moving raw")
+                    });
                 }
                 g.new_sizes.insert(m, RAW_FALLBACK);
                 g.raw_members += 1;

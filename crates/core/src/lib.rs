@@ -41,7 +41,7 @@ pub mod experiments;
 pub mod result;
 
 pub use checkpoint::Checkpoint;
-pub use config::{OptFlags, SimConfig, Version};
+pub use config::{FlightConfig, OptFlags, SimConfig, Version};
 pub use engine::Simulator;
 pub use qgpu_circuit::NoiseConfig;
 pub use qgpu_faults::{FaultConfig, RetryPolicy, SimError};

@@ -2,7 +2,7 @@
 
 use qgpu_device::timeline::TraceEvent;
 use qgpu_device::ExecutionReport;
-use qgpu_obs::{MetricsSnapshot, WallSpan};
+use qgpu_obs::{FlightEvent, MetricsSnapshot, RegistrySnapshot, WallSpan};
 use qgpu_statevec::StateVector;
 
 use crate::config::Version;
@@ -19,6 +19,16 @@ pub struct ObsData {
     pub metrics: MetricsSnapshot,
     /// Wall-clock seconds from recorder creation to run end.
     pub wall_s: f64,
+    /// Labeled metric registry: per-stage wall-time histograms keyed by
+    /// stage × version, per-gate latency percentiles, per-device task
+    /// counters.
+    pub registry: RegistrySnapshot,
+    /// Flight-recorder events captured during the run (empty unless
+    /// [`crate::SimConfig::flight`] was configured).
+    pub flight: Vec<FlightEvent>,
+    /// Whether any flight event was severe enough (retry, fallback,
+    /// device loss, downshift, error) to trigger an automatic dump.
+    pub flight_triggered: bool,
 }
 
 /// The outcome of one simulated execution.

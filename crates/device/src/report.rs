@@ -36,6 +36,12 @@ pub struct ExecutionReport {
     pub compress_time: f64,
     /// Decompression kernel time.
     pub decompress_time: f64,
+    /// Host time spent in mid-circuit collapse passes (marginal
+    /// reduction + renormalization); a subset of `host_time`.
+    pub measure_time: f64,
+    /// Host time spent in the end-of-circuit readout sampling sweep; a
+    /// subset of `host_time`.
+    pub sample_time: f64,
     /// Bytes copied host → device.
     pub bytes_h2d: u64,
     /// Bytes copied device → host.
@@ -116,6 +122,8 @@ impl ExecutionReport {
             sync_time: tl.kind_busy(TaskKind::Sync),
             compress_time: tl.kind_busy(TaskKind::Compress),
             decompress_time: tl.kind_busy(TaskKind::Decompress),
+            measure_time: tl.measure_time(),
+            sample_time: tl.sample_time(),
             bytes_h2d: tl.kind_bytes(TaskKind::H2dCopy),
             bytes_d2h: tl.kind_bytes(TaskKind::D2hCopy),
             bytes_host: tl.kind_bytes(TaskKind::HostUpdate),
@@ -243,6 +251,8 @@ impl ExecutionReport {
         field("sync_time", format!("{:?}", self.sync_time));
         field("compress_time", format!("{:?}", self.compress_time));
         field("decompress_time", format!("{:?}", self.decompress_time));
+        field("measure_time", format!("{:?}", self.measure_time));
+        field("sample_time", format!("{:?}", self.sample_time));
         field("bytes_h2d", self.bytes_h2d.to_string());
         field("bytes_d2h", self.bytes_d2h.to_string());
         field("bytes_host", self.bytes_host.to_string());
@@ -373,14 +383,21 @@ mod tests {
         tl.count_collapse();
         tl.count_collapse();
         tl.set_noise_ops(17);
+        tl.add_measure_time(0.25);
+        tl.add_measure_time(0.25);
+        tl.add_sample_time(0.125);
         let r = ExecutionReport::from_timeline(&tl, 1);
         assert_eq!(r.shots, 256);
         assert_eq!(r.collapses, 2);
         assert_eq!(r.noise_ops, 17);
+        assert_eq!(r.measure_time, 0.5);
+        assert_eq!(r.sample_time, 0.125);
         let json = r.to_json_string();
         assert!(json.contains("\"shots\": 256"));
         assert!(json.contains("\"collapses\": 2"));
         assert!(json.contains("\"noise_ops\": 17"));
+        assert!(json.contains("\"measure_time\": 0.5"));
+        assert!(json.contains("\"sample_time\": 0.125"));
     }
 
     #[test]

@@ -152,6 +152,8 @@ pub struct Timeline {
     shots: u64,
     collapses: u64,
     noise_ops: u64,
+    measure_time: f64,
+    sample_time: f64,
 }
 
 impl Timeline {
@@ -436,6 +438,30 @@ impl Timeline {
     /// Error gates inserted by the noise rewrite.
     pub fn noise_ops(&self) -> u64 {
         self.noise_ops
+    }
+
+    /// Attributes `s` seconds of already-scheduled host time to the
+    /// mid-circuit collapse passes (reduce + renormalize). A side
+    /// accumulator, not a new task kind: the spans themselves stay
+    /// `HostUpdate`, so trace fingerprints are unchanged.
+    pub fn add_measure_time(&mut self, s: f64) {
+        self.measure_time += s;
+    }
+
+    /// Attributes `s` seconds of already-scheduled host time to the
+    /// end-of-circuit readout sampling sweep (see [`Timeline::add_measure_time`]).
+    pub fn add_sample_time(&mut self, s: f64) {
+        self.sample_time += s;
+    }
+
+    /// Host seconds attributed to mid-circuit collapse passes.
+    pub fn measure_time(&self) -> f64 {
+        self.measure_time
+    }
+
+    /// Host seconds attributed to readout sampling.
+    pub fn sample_time(&self) -> f64 {
+        self.sample_time
     }
 
     /// Engines that have been used, with their busy time.

@@ -13,9 +13,11 @@
 //!
 //! | phase        | modeled (from [`ExecutionReport`])                  | measured (Main-track [`WallSpan`]s)   |
 //! |--------------|-----------------------------------------------------|---------------------------------------|
-//! | `update`     | `host_time` + kernel-only GPU busy                  | [`Stage::Update`] spans               |
+//! | `update`     | `host_time` − collapse/sampling passes + kernel-only GPU busy | [`Stage::Update`] spans     |
 //! | `compress`   | `compress_time`                                     | [`Stage::Compress`] spans             |
 //! | `decompress` | `decompress_time`                                   | [`Stage::Decompress`] spans           |
+//! | `measure`    | `measure_time` (collapse reduce + renormalize)      | [`Stage::Measure`] spans              |
+//! | `sample`     | `sample_time` (readout CDF sweep)                   | [`Stage::Sample`] spans               |
 //! | `sync`       | `sync_time`                                         | wall residual outside the above       |
 //!
 //! Worker-track spans are excluded: they overlap the orchestrator span
@@ -80,10 +82,15 @@ impl DriftReport {
         // Kernel-only GPU busy: the compute engines also run the modeled
         // (de)compression kernels, which have their own phases.
         let kernel_s = (report.gpu_time - report.compress_time - report.decompress_time).max(0.0);
+        // Collapse and sampling run as host passes, so their modeled
+        // time sits inside host_time; carve it out into its own phases.
+        let update_host = (report.host_time - report.measure_time - report.sample_time).max(0.0);
         let modeled = [
-            ("update", report.host_time + kernel_s),
+            ("update", update_host + kernel_s),
             ("compress", report.compress_time),
             ("decompress", report.decompress_time),
+            ("measure", report.measure_time),
+            ("sample", report.sample_time),
             ("sync", report.sync_time),
         ];
         let modeled_total_s: f64 = modeled.iter().map(|&(_, s)| s).sum();
@@ -102,13 +109,21 @@ impl DriftReport {
         let upd = stage_measured(Stage::Update);
         let cmp = stage_measured(Stage::Compress);
         let dec = stage_measured(Stage::Decompress);
-        // Everything not measured as update/compress/decompress —
-        // planning, dispatch, allocation — is the measured counterpart
-        // of the model's sync/driver overhead.
+        let meas = stage_measured(Stage::Measure);
+        let samp = stage_measured(Stage::Sample);
+        // Everything not measured under a named phase — planning,
+        // dispatch, allocation — is the measured counterpart of the
+        // model's sync/driver overhead.
         let sync = (wall_s > 0.0).then(|| {
-            (wall_s - upd.unwrap_or(0.0) - cmp.unwrap_or(0.0) - dec.unwrap_or(0.0)).max(0.0)
+            (wall_s
+                - upd.unwrap_or(0.0)
+                - cmp.unwrap_or(0.0)
+                - dec.unwrap_or(0.0)
+                - meas.unwrap_or(0.0)
+                - samp.unwrap_or(0.0))
+            .max(0.0)
         });
-        let measured = [upd, cmp, dec, sync];
+        let measured = [upd, cmp, dec, meas, samp, sync];
 
         let phases = modeled
             .iter()
@@ -232,7 +247,7 @@ mod tests {
         ];
         let d = DriftReport::new(&report(), &spans, 1.0, 5.0);
         assert!(d.flagged().is_empty(), "{}", d.render());
-        let sync = &d.phases[3];
+        let sync = &d.phases[5];
         assert!((sync.measured_s.unwrap() - 0.10).abs() < 1e-9);
     }
 
@@ -277,5 +292,37 @@ mod tests {
         let d = DriftReport::new(&report(), &[], 0.0, 5.0);
         assert!(d.flagged().is_empty());
         assert!(d.render().contains("total"));
+    }
+
+    #[test]
+    fn measure_and_sample_are_phases_not_sync_residual() {
+        // 2 s of modeled collapse and 1 s of modeled sampling sit inside
+        // host_time (the engines run them as host passes); the report
+        // must carve them out of `update` into their own rows.
+        let r = ExecutionReport {
+            host_time: 6.0,
+            gpu_time: 1.0,
+            measure_time: 2.0,
+            sample_time: 1.0,
+            sync_time: 1.0,
+            ..ExecutionReport::default()
+        };
+        // Modeled: update (6−2−1)+1 = 4, measure 2, sample 1, sync 1;
+        // total 8 → shares 50 / 25 / 12.5 / 12.5 %.
+        let spans = [
+            span(Track::Main, Stage::Update, 0.50e6),
+            span(Track::Main, Stage::Measure, 0.25e6),
+            span(Track::Main, Stage::Sample, 0.125e6),
+        ];
+        let d = DriftReport::new(&r, &spans, 1.0, 5.0);
+        assert_eq!(d.phases[3].name, "measure");
+        assert_eq!(d.phases[4].name, "sample");
+        assert!((d.phases[3].measured_share_pct.unwrap() - 25.0).abs() < 1e-9);
+        assert!((d.phases[4].measured_share_pct.unwrap() - 12.5).abs() < 1e-9);
+        // The sync residual no longer swallows the measured collapse
+        // and sampling time: wall 1 − 0.875 accounted = 0.125.
+        let sync = &d.phases[5];
+        assert!((sync.measured_s.unwrap() - 0.125).abs() < 1e-9);
+        assert!(d.flagged().is_empty(), "{}", d.render());
     }
 }

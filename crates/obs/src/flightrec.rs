@@ -1,0 +1,173 @@
+//! Flight recorder: a bounded ring of structured engine events.
+//!
+//! Spans and counters say *how much*; when a resilience path fires you
+//! also need *what happened, in order* — which chunk retried, what the
+//! governor downshifted to, which device was lost, how a collapse came
+//! out. The flight recorder keeps the last N such events in a fixed-size
+//! ring (old events fall off the front, post-mortems care about the
+//! tail) and marks itself **triggered** when any event of a fault class
+//! arrives. The engine dumps the ring to JSON automatically on any
+//! `SimError`, raw-codec fallback, worker loss or governor downshift —
+//! and on demand via `qgpu-sim --flight-out`.
+//!
+//! Event payloads are built lazily: callers pass a closure, so a run
+//! with the recorder disabled never formats a string (see
+//! [`crate::span::Recorder::flight`]).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::json::Json;
+
+/// Schema tag written into every flight dump.
+pub const FLIGHT_SCHEMA: &str = "qgpu-flight/v1";
+
+/// Default ring capacity (events).
+pub const DEFAULT_FLIGHT_EVENTS: usize = 4096;
+
+/// Event kinds that mark the recording as triggered — the fault classes
+/// whose occurrence should leave a post-mortem on disk.
+pub const TRIGGER_KINDS: &[&str] = &[
+    "error",
+    "retry",
+    "codec_fallback",
+    "prune_fallback",
+    "worker_restart",
+    "device_loss",
+    "downshift",
+    "link_degraded",
+];
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightEvent {
+    /// Monotone sequence number over the whole run (survives ring wrap).
+    pub seq: u64,
+    /// Microseconds since the recorder started.
+    pub t_us: f64,
+    /// Event class, e.g. `"retry"` or `"collapse"`.
+    pub kind: &'static str,
+    /// Human-readable payload.
+    pub detail: String,
+}
+
+/// Bounded ring buffer of [`FlightEvent`]s.
+pub struct FlightRecorder {
+    cap: usize,
+    recorded: AtomicU64,
+    triggered: AtomicBool,
+    events: Mutex<VecDeque<FlightEvent>>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping at most `cap` events (clamped to ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        FlightRecorder {
+            cap: cap.max(1),
+            recorded: AtomicU64::new(0),
+            triggered: AtomicBool::new(false),
+            events: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Appends an event, evicting the oldest once the ring is full.
+    /// Fault-class kinds (see [`TRIGGER_KINDS`]) trip the trigger latch.
+    pub fn record(&self, t_us: f64, kind: &'static str, detail: String) {
+        let seq = self.recorded.fetch_add(1, Ordering::Relaxed);
+        if TRIGGER_KINDS.contains(&kind) {
+            self.triggered.store(true, Ordering::Relaxed);
+        }
+        let mut events = self.events.lock();
+        if events.len() == self.cap {
+            events.pop_front();
+        }
+        events.push_back(FlightEvent {
+            seq,
+            t_us,
+            kind,
+            detail,
+        });
+    }
+
+    /// Whether any fault-class event has been recorded.
+    pub fn triggered(&self) -> bool {
+        self.triggered.load(Ordering::Relaxed)
+    }
+
+    /// Total events ever recorded (≥ the ring's current length).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        self.events.lock().iter().cloned().collect()
+    }
+
+    /// Full dump document:
+    /// `{"schema": "qgpu-flight/v1", "triggered": .., "recorded": .., "events": [..]}`.
+    pub fn to_json(&self) -> Json {
+        let events = self
+            .events
+            .lock()
+            .iter()
+            .map(|e| {
+                Json::Obj(vec![
+                    ("seq".to_string(), Json::Num(e.seq as f64)),
+                    ("t_us".to_string(), Json::Num(e.t_us)),
+                    ("kind".to_string(), Json::Str(e.kind.to_string())),
+                    ("detail".to_string(), Json::Str(e.detail.clone())),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".to_string(), Json::Str(FLIGHT_SCHEMA.to_string())),
+            ("triggered".to_string(), Json::Bool(self.triggered())),
+            ("recorded".to_string(), Json::Num(self.recorded() as f64)),
+            ("events".to_string(), Json::Arr(events)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_tail() {
+        let fr = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            fr.record(i as f64, "collapse", format!("event {i}"));
+        }
+        let events = fr.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].seq, 6);
+        assert_eq!(events[3].seq, 9);
+        assert_eq!(fr.recorded(), 10);
+        // "collapse" is informational, not a fault class.
+        assert!(!fr.triggered());
+    }
+
+    #[test]
+    fn fault_kinds_trip_the_trigger() {
+        for &kind in TRIGGER_KINDS {
+            let fr = FlightRecorder::new(8);
+            assert!(!fr.triggered());
+            fr.record(0.0, kind, String::new());
+            assert!(fr.triggered(), "{kind} must trigger");
+        }
+    }
+
+    #[test]
+    fn dump_is_schema_tagged_and_parses_back() {
+        let fr = FlightRecorder::new(8);
+        fr.record(1.5, "retry", "chunk 3 attempt 1".to_string());
+        let text = fr.to_json().to_string();
+        let parsed = Json::parse(&text).expect("dump parses");
+        assert_eq!(parsed.to_string(), text, "round trip is byte-stable");
+        assert!(text.contains("\"schema\":\"qgpu-flight/v1\""));
+        assert!(text.contains("\"triggered\":true"));
+    }
+}

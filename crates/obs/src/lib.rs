@@ -23,6 +23,15 @@
 //!   measured wall-clock totals and flags phases where the device model
 //!   mispredicts the phase *share* by more than a configurable
 //!   tolerance.
+//! * [`registry::Registry`] — typed, labeled metrics (counters, gauges
+//!   and [`hdr::HdrHistogram`] percentile histograms keyed by
+//!   stage × version × device), mergeable across threads and devices,
+//!   frozen into a [`registry::RegistrySnapshot`].
+//! * [`flightrec::FlightRecorder`] — a bounded ring of structured
+//!   events (retries, fallbacks, device loss, downshifts, collapse
+//!   outcomes) dumped to JSON for post-mortems when a fault path fires.
+//! * [`meta::RunMeta`] — the self-describing metadata block (git SHA,
+//!   seed, config hash, host) stamped onto every telemetry artifact.
 //!
 //! No JSON dependency exists in this workspace (the vendored `serde` is a
 //! marker-trait stub), so [`json`] provides the minimal writer/parser the
@@ -48,12 +57,20 @@
 
 pub mod drift;
 pub mod export;
+pub mod flightrec;
+pub mod hdr;
 pub mod json;
+pub mod meta;
 pub mod metrics;
+pub mod registry;
 pub mod span;
 
 pub use drift::DriftReport;
 pub use export::ChromeTrace;
+pub use flightrec::{FlightEvent, FlightRecorder, DEFAULT_FLIGHT_EVENTS, FLIGHT_SCHEMA};
+pub use hdr::{HdrHistogram, HdrSnapshot};
 pub use json::Json;
+pub use meta::RunMeta;
 pub use metrics::{LogHistogram, MetricsSnapshot};
+pub use registry::{MetricEntry, Registry, RegistrySnapshot};
 pub use span::{span_opt, Recorder, SpanGuard, Stage, Track, WallSpan};

@@ -1,0 +1,408 @@
+//! Typed, labeled metrics registry.
+//!
+//! The PR-2 [`crate::span::Recorder`] keeps flat `&'static str` counters
+//! and log2 histograms — enough for "how many retries", not for "p99
+//! kernel-stage latency on device 1 under the Overlap version". This
+//! registry adds the missing dimensions: every metric is a *name* plus
+//! an ordered list of *labels* (`stage`, `version`, `device`, ...), and
+//! histograms are percentile-accurate [`HdrHistogram`]s.
+//!
+//! Three metric kinds, mirroring the usual time-series vocabulary:
+//!
+//! * **counters** — monotone `u64` sums ([`Registry::add`]);
+//! * **gauges** — last-write-wins `f64` levels ([`Registry::set_gauge`]);
+//! * **histograms** — HDR latency distributions ([`Registry::observe`]).
+//!
+//! Registries are [mergeable](Registry::merge) (counters add, gauges
+//! take the other side's writes, histograms merge element-wise), so
+//! per-thread or per-device shards combine into one fleet view. A
+//! [`RegistrySnapshot`] freezes everything into plain sorted data for
+//! run results and JSON.
+
+use std::fmt::Write as _;
+
+use parking_lot::Mutex;
+
+use crate::hdr::{HdrHistogram, HdrSnapshot};
+use crate::json::Json;
+
+/// Metric identity: a static name plus ordered `(key, value)` labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Key {
+    name: &'static str,
+    labels: Vec<(&'static str, String)>,
+}
+
+impl Key {
+    fn matches(&self, name: &str, labels: &[(&'static str, &str)]) -> bool {
+        self.name == name
+            && self.labels.len() == labels.len()
+            && self
+                .labels
+                .iter()
+                .zip(labels)
+                .all(|((ak, av), (bk, bv))| ak == bk && av == bv)
+    }
+
+    fn owned(name: &'static str, labels: &[(&'static str, &str)]) -> Key {
+        Key {
+            name,
+            labels: labels.iter().map(|&(k, v)| (k, v.to_string())).collect(),
+        }
+    }
+
+    /// Prometheus-flavoured rendering: `name{k=v,k=v}` (bare name when
+    /// unlabeled). Used as the stable sort key in snapshots.
+    fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.to_string();
+        }
+        let mut s = String::from(self.name);
+        s.push('{');
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{k}={v}");
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: Vec<(Key, u64)>,
+    gauges: Vec<(Key, f64)>,
+    hists: Vec<(Key, HdrHistogram)>,
+}
+
+/// Thread-safe labeled metrics store. Lookup is a linear scan with a
+/// no-allocation key compare — metric cardinality is tens of series, and
+/// the hot engine path batches its observations per gate, so a lock +
+/// scan is far below measurement noise (see the `obs_overhead` bench).
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter `name{labels}`, creating it at zero first.
+    pub fn add(&self, name: &'static str, labels: &[(&'static str, &str)], n: u64) {
+        let mut inner = self.inner.lock();
+        if let Some((_, v)) = inner
+            .counters
+            .iter_mut()
+            .find(|(k, _)| k.matches(name, labels))
+        {
+            *v += n;
+            return;
+        }
+        inner.counters.push((Key::owned(name, labels), n));
+    }
+
+    /// Sets the gauge `name{labels}` to `v` (last write wins).
+    pub fn set_gauge(&self, name: &'static str, labels: &[(&'static str, &str)], v: f64) {
+        let mut inner = self.inner.lock();
+        if let Some((_, g)) = inner
+            .gauges
+            .iter_mut()
+            .find(|(k, _)| k.matches(name, labels))
+        {
+            *g = v;
+            return;
+        }
+        inner.gauges.push((Key::owned(name, labels), v));
+    }
+
+    /// Records one sample into the HDR histogram `name{labels}`.
+    pub fn observe(&self, name: &'static str, labels: &[(&'static str, &str)], value: u64) {
+        self.observe_n(name, labels, value, 1);
+    }
+
+    /// Records `n` identical samples into the histogram `name{labels}`.
+    pub fn observe_n(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        value: u64,
+        n: u64,
+    ) {
+        let mut inner = self.inner.lock();
+        if let Some((_, h)) = inner
+            .hists
+            .iter_mut()
+            .find(|(k, _)| k.matches(name, labels))
+        {
+            h.record_n(value, n);
+            return;
+        }
+        let mut h = HdrHistogram::new();
+        h.record_n(value, n);
+        inner.hists.push((Key::owned(name, labels), h));
+    }
+
+    /// Merges another registry into this one: counters add, gauges take
+    /// `other`'s value, histograms merge element-wise. This is how
+    /// per-thread / per-device shards collapse into a fleet view.
+    pub fn merge(&self, other: &Registry) {
+        let other = other.inner.lock();
+        let mut inner = self.inner.lock();
+        for (k, n) in &other.counters {
+            if let Some((_, v)) = inner.counters.iter_mut().find(|(ik, _)| ik == &*k) {
+                *v += n;
+            } else {
+                inner.counters.push((k.clone(), *n));
+            }
+        }
+        for (k, g) in &other.gauges {
+            if let Some((_, v)) = inner.gauges.iter_mut().find(|(ik, _)| ik == &*k) {
+                *v = *g;
+            } else {
+                inner.gauges.push((k.clone(), *g));
+            }
+        }
+        for (k, h) in &other.hists {
+            if let Some((_, v)) = inner.hists.iter_mut().find(|(ik, _)| ik == &*k) {
+                v.merge(h);
+            } else {
+                inner.hists.push((k.clone(), h.clone()));
+            }
+        }
+    }
+
+    /// Freezes the registry into plain sorted data.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.inner.lock();
+        let entry = |k: &Key| {
+            (
+                k.name.to_string(),
+                k.labels
+                    .iter()
+                    .map(|(lk, lv)| (lk.to_string(), lv.clone()))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let mut counters: Vec<MetricEntry<u64>> = inner
+            .counters
+            .iter()
+            .map(|(k, v)| {
+                let (name, labels) = entry(k);
+                MetricEntry {
+                    rendered: k.render(),
+                    name,
+                    labels,
+                    value: *v,
+                }
+            })
+            .collect();
+        let mut gauges: Vec<MetricEntry<f64>> = inner
+            .gauges
+            .iter()
+            .map(|(k, v)| {
+                let (name, labels) = entry(k);
+                MetricEntry {
+                    rendered: k.render(),
+                    name,
+                    labels,
+                    value: *v,
+                }
+            })
+            .collect();
+        let mut histograms: Vec<MetricEntry<HdrSnapshot>> = inner
+            .hists
+            .iter()
+            .map(|(k, h)| {
+                let (name, labels) = entry(k);
+                MetricEntry {
+                    rendered: k.render(),
+                    name,
+                    labels,
+                    value: h.snapshot(),
+                }
+            })
+            .collect();
+        counters.sort_by(|a, b| a.rendered.cmp(&b.rendered));
+        gauges.sort_by(|a, b| a.rendered.cmp(&b.rendered));
+        histograms.sort_by(|a, b| a.rendered.cmp(&b.rendered));
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// One frozen metric series: its name, labels, the Prometheus-style
+/// rendered key, and the value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricEntry<T> {
+    /// `name{k=v,...}` rendering — the stable sort / JSON key.
+    pub rendered: String,
+    /// Bare metric name.
+    pub name: String,
+    /// Ordered `(key, value)` labels.
+    pub labels: Vec<(String, String)>,
+    /// The frozen value.
+    pub value: T,
+}
+
+impl<T> MetricEntry<T> {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Frozen view of a [`Registry`], sorted by rendered key so every
+/// serialization of the same state is byte-identical.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RegistrySnapshot {
+    /// Monotone counters.
+    pub counters: Vec<MetricEntry<u64>>,
+    /// Last-write-wins gauges.
+    pub gauges: Vec<MetricEntry<f64>>,
+    /// HDR histogram summaries.
+    pub histograms: Vec<MetricEntry<HdrSnapshot>>,
+}
+
+impl RegistrySnapshot {
+    /// Histogram entries with the given metric name.
+    pub fn histograms_named<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = &'a MetricEntry<HdrSnapshot>> {
+        self.histograms.iter().filter(move |e| e.name == name)
+    }
+
+    /// The counter `name` with exactly the given labels, if recorded.
+    pub fn counter(&self, rendered: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|e| e.rendered == rendered)
+            .map(|e| e.value)
+    }
+
+    /// JSON rendering:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {key: {count,...,p999}}}`.
+    pub fn to_json(&self) -> Json {
+        let counters = self
+            .counters
+            .iter()
+            .map(|e| (e.rendered.clone(), Json::Num(e.value as f64)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|e| (e.rendered.clone(), Json::Num(e.value)))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|e| {
+                let h = &e.value;
+                let fields = vec![
+                    ("count".to_string(), Json::Num(h.count as f64)),
+                    ("sum".to_string(), Json::Num(h.sum as f64)),
+                    ("min".to_string(), Json::Num(h.min as f64)),
+                    ("max".to_string(), Json::Num(h.max as f64)),
+                    ("p50".to_string(), Json::Num(h.p50 as f64)),
+                    ("p90".to_string(), Json::Num(h.p90 as f64)),
+                    ("p99".to_string(), Json::Num(h.p99 as f64)),
+                    ("p999".to_string(), Json::Num(h.p999 as f64)),
+                ];
+                (e.rendered.clone(), Json::Obj(fields))
+            })
+            .collect();
+        Json::Obj(vec![
+            ("counters".to_string(), Json::Obj(counters)),
+            ("gauges".to_string(), Json::Obj(gauges)),
+            ("histograms".to_string(), Json::Obj(histograms)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let r = Registry::new();
+        r.add("tasks", &[("device", "0")], 3);
+        r.add("tasks", &[("device", "1")], 5);
+        r.add("tasks", &[("device", "0")], 4);
+        let s = r.snapshot();
+        assert_eq!(s.counter("tasks{device=0}"), Some(7));
+        assert_eq!(s.counter("tasks{device=1}"), Some(5));
+        assert_eq!(s.counter("tasks{device=2}"), None);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let r = Registry::new();
+        r.set_gauge("window", &[], 4.0);
+        r.set_gauge("window", &[], 2.0);
+        let s = r.snapshot();
+        assert_eq!(s.gauges.len(), 1);
+        assert_eq!(s.gauges[0].value, 2.0);
+    }
+
+    #[test]
+    fn histograms_track_labeled_distributions() {
+        let r = Registry::new();
+        for i in 1..=100u64 {
+            r.observe("lat", &[("stage", "kernel")], i * 1000);
+        }
+        let s = r.snapshot();
+        let e = s.histograms_named("lat").next().expect("recorded");
+        assert_eq!(e.label("stage"), Some("kernel"));
+        assert_eq!(e.value.count, 100);
+        assert!(
+            e.value.p50 >= 45_000 && e.value.p50 <= 55_000,
+            "{}",
+            e.value.p50
+        );
+        assert!(e.value.p99 >= 95_000, "{}", e.value.p99);
+    }
+
+    #[test]
+    fn merge_combines_shards() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.add("n", &[("device", "0")], 1);
+        b.add("n", &[("device", "0")], 2);
+        b.add("n", &[("device", "1")], 8);
+        a.observe("lat", &[], 10);
+        b.observe("lat", &[], 30);
+        a.merge(&b);
+        let s = a.snapshot();
+        assert_eq!(s.counter("n{device=0}"), Some(3));
+        assert_eq!(s.counter("n{device=1}"), Some(8));
+        let lat = s.histograms_named("lat").next().unwrap();
+        assert_eq!(lat.value.count, 2);
+        assert_eq!(lat.value.min, 10);
+        assert_eq!(lat.value.max, 30);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_json_renders() {
+        let r = Registry::new();
+        r.add("z", &[], 1);
+        r.add("a", &[], 1);
+        let s = r.snapshot();
+        assert_eq!(s.counters[0].rendered, "a");
+        assert_eq!(s.counters[1].rendered, "z");
+        let text = s.to_json().to_string();
+        assert!(text.contains("\"counters\""));
+        assert!(text.contains("\"histograms\""));
+    }
+}

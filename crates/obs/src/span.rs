@@ -6,7 +6,10 @@ use std::time::Instant;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
+use crate::flightrec::{FlightEvent, FlightRecorder};
+use crate::json::Json;
 use crate::metrics::{LogHistogram, MetricsSnapshot};
+use crate::registry::Registry;
 
 /// Default bound on the number of retained spans (see
 /// [`Recorder::with_span_cap`]).
@@ -122,6 +125,10 @@ pub struct WallSpan {
 pub struct Recorder {
     t0: Option<Instant>,
     span_cap: usize,
+    /// When false (a flight-only recorder), [`span_opt`] short-circuits:
+    /// no clock reads and no span storage, only counters, the registry
+    /// and the flight ring stay live.
+    spans_enabled: bool,
     spans: Mutex<Vec<WallSpan>>,
     dropped: AtomicU64,
     /// Exact Main-track per-stage totals in µs, indexed by
@@ -129,6 +136,8 @@ pub struct Recorder {
     main_totals_us: Mutex<[f64; 7]>,
     counters: Mutex<Vec<(&'static str, u64)>>,
     hists: Mutex<Vec<(&'static str, LogHistogram)>>,
+    registry: Registry,
+    flight: Option<FlightRecorder>,
 }
 
 impl Default for Recorder {
@@ -136,11 +145,14 @@ impl Default for Recorder {
         Recorder {
             t0: None,
             span_cap: DEFAULT_SPAN_CAP,
+            spans_enabled: true,
             spans: Mutex::new(Vec::new()),
             dropped: AtomicU64::new(0),
             main_totals_us: Mutex::new([0.0; 7]),
             counters: Mutex::new(Vec::new()),
             hists: Mutex::new(Vec::new()),
+            registry: Registry::new(),
+            flight: None,
         }
     }
 }
@@ -169,6 +181,58 @@ impl Recorder {
     pub fn with_span_cap(mut self, cap: usize) -> Self {
         self.span_cap = cap;
         self
+    }
+
+    /// Attaches a flight recorder keeping at most `events` entries.
+    pub fn with_flight(mut self, events: usize) -> Self {
+        self.flight = Some(FlightRecorder::new(events));
+        self
+    }
+
+    /// Disables span recording (used for flight-only runs, where the
+    /// per-span clock reads would be pure overhead). Counters, the
+    /// registry and the flight ring stay live.
+    pub fn without_spans(mut self) -> Self {
+        self.spans_enabled = false;
+        self
+    }
+
+    /// Whether [`span_opt`] records spans through this recorder.
+    pub fn spans_enabled(&self) -> bool {
+        self.spans_enabled
+    }
+
+    /// The labeled metrics registry this recorder carries.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Records a flight event when a flight recorder is attached. The
+    /// detail closure only runs in that case, so disabled runs pay one
+    /// branch and format nothing.
+    pub fn flight<F: FnOnce() -> String>(&self, kind: &'static str, detail: F) {
+        if let Some(fr) = &self.flight {
+            fr.record(self.now_us(), kind, detail());
+        }
+    }
+
+    /// Whether any fault-class flight event was recorded.
+    pub fn flight_triggered(&self) -> bool {
+        self.flight.as_ref().is_some_and(FlightRecorder::triggered)
+    }
+
+    /// The retained flight events, oldest first (empty when no flight
+    /// recorder is attached).
+    pub fn flight_events(&self) -> Vec<FlightEvent> {
+        self.flight
+            .as_ref()
+            .map(FlightRecorder::events)
+            .unwrap_or_default()
+    }
+
+    /// The flight dump document, when a flight recorder is attached.
+    pub fn flight_json(&self) -> Option<Json> {
+        self.flight.as_ref().map(FlightRecorder::to_json)
     }
 
     fn now_us(&self) -> f64 {
@@ -230,8 +294,16 @@ impl Recorder {
         let mut spans = self.spans.lock();
         if spans.len() < self.span_cap {
             spans.push(span);
-        } else {
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+        } else if self.dropped.fetch_add(1, Ordering::Relaxed) == 0 {
+            // Warn exactly once per recorder: the trace is truncated from
+            // here on (totals stay exact, and the final count surfaces as
+            // the `spans.dropped` counter).
+            eprintln!(
+                "[qgpu-obs] span cap ({}) reached; further spans are dropped \
+                 from the trace (stage totals stay exact, see the \
+                 spans.dropped counter)",
+                self.span_cap
+            );
         }
     }
 
@@ -313,7 +385,8 @@ pub fn span_opt<'a>(
     stage: Stage,
     name: &'static str,
 ) -> Option<SpanGuard<'a>> {
-    rec.map(|r| r.span(track, stage, name))
+    rec.filter(|r| r.spans_enabled)
+        .map(|r| r.span(track, stage, name))
 }
 
 #[cfg(test)]
@@ -399,6 +472,30 @@ mod tests {
         assert_eq!(h.sum(), 3 * 4096 + 16);
         assert_eq!(h.max(), 4096);
         assert_eq!(h.min(), 16);
+    }
+
+    #[test]
+    fn flight_only_recorder_skips_spans_but_keeps_events() {
+        let rec = Recorder::new().with_flight(16).without_spans();
+        assert!(span_opt(Some(&rec), Track::Main, Stage::Update, "u").is_none());
+        assert!(rec.spans().is_empty());
+        rec.flight("retry", || "chunk 0 attempt 1".to_string());
+        rec.flight("collapse", || "qubit 2 -> 1".to_string());
+        assert!(rec.flight_triggered());
+        assert_eq!(rec.flight_events().len(), 2);
+        assert!(rec.flight_json().is_some());
+        // Registry stays live regardless of the span switch.
+        rec.registry().add("n", &[], 1);
+        assert_eq!(rec.registry().snapshot().counter("n"), Some(1));
+    }
+
+    #[test]
+    fn flight_detail_closure_is_lazy_without_a_ring() {
+        let rec = Recorder::new();
+        rec.flight("retry", || unreachable!("no flight ring attached"));
+        assert!(!rec.flight_triggered());
+        assert!(rec.flight_events().is_empty());
+        assert!(rec.flight_json().is_none());
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Property tests for the HDR histogram's percentile math.
+//!
+//! Two contracts matter for telemetry built on merged shards:
+//!
+//! 1. **Merge associativity/commutativity** — per-thread and per-device
+//!    histograms must combine into the same fleet view regardless of
+//!    merge order, or cross-device aggregation would depend on thread
+//!    scheduling.
+//! 2. **Rank error bound** — any reported quantile must sit in the same
+//!    log-linear bucket as the exact order-statistic, i.e. within
+//!    `value / 2^PRECISION` (+1 for integer midpoint rounding) of the
+//!    value an exact sort would return.
+
+use proptest::prelude::*;
+use qgpu_obs::hdr::PRECISION;
+use qgpu_obs::HdrHistogram;
+
+fn hist_of(values: &[u64]) -> HdrHistogram {
+    let mut h = HdrHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Exact order statistic matching the histogram's rank definition:
+/// the `ceil(q/100 * n)`-th smallest value (1-based, clamped).
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+        c in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right, "merge must be associative");
+
+        // b ⊕ a == a ⊕ b
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba, "merge must be commutative");
+
+        // Merging shards equals recording the concatenation.
+        let mut all: Vec<u64> = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        prop_assert_eq!(&left, &hist_of(&all));
+    }
+
+    #[test]
+    fn percentiles_stay_within_the_rank_error_bound(
+        mut values in proptest::collection::vec(0u64..10_000_000_000, 1..400),
+        q in 0.1f64..100.0,
+    ) {
+        let h = hist_of(&values);
+        values.sort_unstable();
+        let exact = exact_percentile(&values, q);
+        let approx = h.percentile(q);
+        // Same log-linear bucket as the exact order statistic: relative
+        // error bounded by the bucket width, +1 for midpoint rounding.
+        let bound = exact / (1u64 << PRECISION) + 1;
+        prop_assert!(
+            approx.abs_diff(exact) <= bound,
+            "q={q}: approx {approx} vs exact {exact} (bound {bound})"
+        );
+    }
+
+    #[test]
+    fn standard_quantiles_hold_the_bound_too(
+        mut values in proptest::collection::vec(0u64..1_000_000_000_000, 1..300),
+    ) {
+        let h = hist_of(&values);
+        values.sort_unstable();
+        for q in [50.0, 90.0, 99.0, 99.9] {
+            let exact = exact_percentile(&values, q);
+            let approx = h.percentile(q);
+            let bound = exact / (1u64 << PRECISION) + 1;
+            prop_assert!(
+                approx.abs_diff(exact) <= bound,
+                "q={q}: approx {approx} vs exact {exact} (bound {bound})"
+            );
+        }
+        // Aggregates agree with the exact data.
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), values[0]);
+        prop_assert_eq!(h.max(), *values.last().unwrap());
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+    }
+}
