@@ -2,7 +2,7 @@
 
 use qgpu_circuit::NoiseConfig;
 use qgpu_device::Platform;
-use qgpu_faults::{FaultConfig, RetryPolicy};
+use qgpu_faults::{CancelToken, FaultConfig, RetryPolicy};
 use qgpu_sched::devicegroup::OrchestratorConfig;
 use qgpu_sched::reorder::ReorderStrategy;
 use serde::{Deserialize, Serialize};
@@ -382,6 +382,13 @@ pub struct SimConfig {
     /// [`FlightConfig::dump_always`]. Independent of
     /// [`SimConfig::obs_spans`]: a flight-only run records no spans.
     pub flight: Option<FlightConfig>,
+    /// Cooperative cancellation token, polled at every gate boundary.
+    /// When it trips, the run stops cleanly — chunks released, partial
+    /// stage timings flushed — and returns
+    /// [`qgpu_faults::SimError::JobAborted`] /
+    /// [`qgpu_faults::SimError::DeadlineExceeded`] per the trip reason.
+    /// `None` (the default) polls nothing.
+    pub cancel: Option<CancelToken>,
 }
 
 impl SimConfig {
@@ -413,6 +420,7 @@ impl SimConfig {
             shots: 0,
             stoch_seed: 0,
             flight: None,
+            cancel: None,
         }
     }
 
@@ -596,6 +604,13 @@ impl SimConfig {
     /// Attaches the flight recorder (see [`SimConfig::flight`]).
     pub fn with_flight(mut self, flight: FlightConfig) -> Self {
         self.flight = Some(flight);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token (see
+    /// [`SimConfig::cancel`]).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 

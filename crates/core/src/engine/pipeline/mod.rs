@@ -421,6 +421,9 @@ fn run_streaming(
 
     let mut idx = start;
     while idx < program.len() {
+        if let Some(err) = cfg.cancel.as_ref().and_then(|t| t.poll_abort(idx)) {
+            return Err(abort_run(err, env.state.dense_chunk_count(), rec, mw));
+        }
         ckpt.before_op(idx, &env.state, cfg, rec)?;
         if let Some(o) = env.orch.as_mut() {
             if let Some(d) = clock.poll(idx, cfg, &mut o.group, env.num_gpus) {
@@ -515,6 +518,27 @@ fn run_streaming(
         obs: None,
         samples,
     })
+}
+
+/// The cooperative-cancellation exit, shared by both execution modes:
+/// stopping at a gate boundary means the functional state is consistent
+/// and simply dropped — record what is released, flush the partial
+/// per-stage timings gathered so far (the post-mortem's "where did the
+/// cancelled run spend its time"), then surface the abort error.
+pub(crate) fn abort_run(
+    err: SimError,
+    released_chunks: usize,
+    rec: Option<&Recorder>,
+    mw: obs_mw::ObsMw,
+) -> SimError {
+    if let Some(r) = rec {
+        r.add("cancel.aborts", 1);
+        r.flight("abort", || {
+            format!("{err}; releasing {released_chunks} resident chunk(s)")
+        });
+    }
+    mw.finish();
+    err
 }
 
 #[allow(clippy::too_many_arguments)]

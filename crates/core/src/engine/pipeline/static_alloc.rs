@@ -90,6 +90,9 @@ pub(crate) fn run(
     mw.mark(obs_mw::SETUP);
 
     for (idx, op) in program.iter().enumerate().skip(start) {
+        if let Some(err) = cfg.cancel.as_ref().and_then(|t| t.poll_abort(idx)) {
+            return Err(super::abort_run(err, sr.state.dense_chunk_count(), rec, mw));
+        }
         ckpt.before_op(idx, &sr.state, cfg, rec)?;
         let lost = match sr.group.as_mut() {
             Some(gr) => clock.poll(idx, cfg, gr, sr.num_gpus),

@@ -1,0 +1,121 @@
+//! Cooperative cancellation: a tripped token stops the run at the next
+//! gate boundary, releases its resident chunks, and still reports the
+//! partial per-stage timings gathered before the abort.
+
+use std::sync::Arc;
+
+use qgpu_circuit::generators::Benchmark;
+use qgpu_faults::{CancelToken, SimError};
+use qgpu_obs::Recorder;
+
+use crate::config::{SimConfig, Version};
+use crate::engine::pipeline;
+
+fn run_cancelled(cfg: SimConfig, trip_at: u64) -> (SimError, Arc<Recorder>) {
+    let c = Benchmark::Qft.generate(10);
+    let cfg = cfg.with_cancel(CancelToken::cancelled_at(trip_at));
+    let rec = Arc::new(Recorder::new().with_flight(256));
+    let err =
+        pipeline::run(&c, &cfg, Some(&rec), None).expect_err("armed token must abort the run");
+    (err, rec)
+}
+
+#[test]
+fn cancelled_run_releases_chunks_and_reports_partial_timings() {
+    let (err, rec) = run_cancelled(SimConfig::scaled_paper(10).with_version(Version::QGpu), 5);
+    assert!(
+        matches!(err, SimError::JobAborted { op: 5 }),
+        "abort lands exactly at the armed gate boundary: {err}"
+    );
+
+    // The abort is a fault-class flight event naming the chunks the run
+    // releases — after five QFT gates amplitude has spread, so the
+    // count is nonzero.
+    let events = rec.flight_events();
+    let abort = events
+        .iter()
+        .find(|e| e.kind == "abort")
+        .expect("abort flight event");
+    assert!(
+        abort.detail.contains("releasing"),
+        "abort names what it releases: {}",
+        abort.detail
+    );
+    let released: usize = abort
+        .detail
+        .split_whitespace()
+        .find_map(|w| w.parse().ok())
+        .expect("released-chunk count in detail");
+    assert!(released > 0, "a mid-run abort holds resident chunks");
+    assert!(rec.flight_triggered(), "abort trips the post-mortem latch");
+
+    // Partial stage timings: the five completed gates flushed their
+    // per-stage wall-clock attribution before the abort returned.
+    let counters = rec.metrics().counters;
+    assert!(
+        counters
+            .iter()
+            .any(|(n, v)| n == "cancel.aborts" && *v == 1),
+        "abort counter recorded: {counters:?}"
+    );
+    let snap = rec.registry().snapshot();
+    let stage_samples: u64 = snap
+        .histograms_named("stage.time_ns")
+        .map(|e| e.value.count)
+        .sum();
+    assert!(
+        stage_samples > 0,
+        "partial per-stage timings must be flushed on abort"
+    );
+    let gates: u64 = snap
+        .histograms_named("gate.ns")
+        .map(|e| e.value.count)
+        .sum();
+    assert_eq!(gates, 5, "exactly the gates before the boundary completed");
+}
+
+#[test]
+fn static_mode_honors_the_token_too() {
+    let (err, rec) = run_cancelled(
+        SimConfig::scaled_paper(10).with_version(Version::Baseline),
+        3,
+    );
+    assert!(matches!(err, SimError::JobAborted { op: 3 }));
+    assert!(rec.flight_events().iter().any(|e| e.kind == "abort"));
+    let snap = rec.registry().snapshot();
+    let gates: u64 = snap
+        .histograms_named("gate.ns")
+        .map(|e| e.value.count)
+        .sum();
+    assert_eq!(gates, 3);
+}
+
+#[test]
+fn deadline_trip_surfaces_as_deadline_exceeded() {
+    let c = Benchmark::Qft.generate(8);
+    let token = CancelToken::new();
+    token.expire();
+    let cfg = SimConfig::scaled_paper(8)
+        .with_version(Version::QGpu)
+        .with_cancel(token);
+    let err = pipeline::run(&c, &cfg, None, None).unwrap_err();
+    assert!(matches!(err, SimError::DeadlineExceeded { op: 0 }));
+}
+
+#[test]
+fn untripped_token_is_free_and_bit_exact() {
+    let c = Benchmark::Qft.generate(10);
+    let clean =
+        crate::engine::Simulator::new(SimConfig::scaled_paper(10).with_version(Version::QGpu))
+            .run(&c);
+    let tokened = crate::engine::Simulator::new(
+        SimConfig::scaled_paper(10)
+            .with_version(Version::QGpu)
+            .with_cancel(CancelToken::new()),
+    )
+    .run(&c);
+    super::assert_bitwise_eq(
+        clean.state.as_ref().expect("collected"),
+        tokened.state.as_ref().expect("collected"),
+    );
+}

@@ -9,8 +9,10 @@
 //! * [`resilience`] — fault injection, integrity checking, checkpoints.
 //! * [`orchestration`] — multi-device loss, stealing, budgets.
 //! * [`pipeline`] — the stage-graph spec and explicit `--opts` subsets.
+//! * [`cancel`] — cooperative cancellation at gate boundaries.
 
 mod baseline;
+mod cancel;
 mod core;
 mod orchestration;
 mod pipeline;

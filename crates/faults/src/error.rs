@@ -55,6 +55,34 @@ pub enum SimError {
     Checkpoint(String),
     /// Underlying file I/O failed.
     Io(io::Error),
+    /// The run was cooperatively cancelled at a gate boundary (the
+    /// caller tripped a [`crate::CancelToken`]).
+    JobAborted {
+        /// The program-op index the run stopped at.
+        op: usize,
+    },
+    /// The run's wall-clock deadline passed; the reaper tripped its
+    /// token and the pipeline stopped at the next gate boundary.
+    DeadlineExceeded {
+        /// The program-op index the run stopped at.
+        op: usize,
+    },
+}
+
+impl SimError {
+    /// Whether a retry with the same physics seed (and a fresh machine)
+    /// can plausibly succeed: transient machine faults are recoverable,
+    /// caller decisions (cancellation, deadline) and data-level failures
+    /// are not. Job-level re-execution policies key off this.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            SimError::ChunkCorrupt { .. }
+                | SimError::WorkerLost { .. }
+                | SimError::StageTimeout { .. }
+                | SimError::AllDevicesLost { .. }
+        )
+    }
 }
 
 impl fmt::Display for SimError {
@@ -84,6 +112,12 @@ impl fmt::Display for SimError {
             }
             SimError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
             SimError::Io(e) => write!(f, "i/o error: {e}"),
+            SimError::JobAborted { op } => {
+                write!(f, "job cancelled at gate boundary {op}")
+            }
+            SimError::DeadlineExceeded { op } => {
+                write!(f, "deadline exceeded; run stopped at gate boundary {op}")
+            }
         }
     }
 }
@@ -124,6 +158,32 @@ mod tests {
             dispatch: "apply_local_run",
         };
         assert!(e.to_string().contains("apply_local_run"));
+    }
+
+    #[test]
+    fn recoverability_separates_machine_faults_from_decisions() {
+        assert!(SimError::WorkerLost { dispatch: "x" }.is_recoverable());
+        assert!(SimError::ChunkCorrupt {
+            chunk: 0,
+            attempts: 5
+        }
+        .is_recoverable());
+        assert!(SimError::AllDevicesLost { device: 1 }.is_recoverable());
+        assert!(!SimError::JobAborted { op: 3 }.is_recoverable());
+        assert!(!SimError::DeadlineExceeded { op: 3 }.is_recoverable());
+        assert!(!SimError::Fatal {
+            gate: 0,
+            reason: "x".into()
+        }
+        .is_recoverable());
+    }
+
+    #[test]
+    fn abort_variants_display_the_op() {
+        assert!(SimError::JobAborted { op: 17 }.to_string().contains("17"));
+        assert!(SimError::DeadlineExceeded { op: 9 }
+            .to_string()
+            .contains("deadline"));
     }
 
     #[test]

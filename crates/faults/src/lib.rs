@@ -18,6 +18,9 @@
 //! * [`RetryPolicy`] — bounded retry with exponential backoff, expressed
 //!   in modeled seconds so the device timeline can charge retries
 //!   visibly.
+//! * [`CancelToken`] — a shared, one-shot cancellation token the
+//!   pipeline polls at gate boundaries, so callers (and serving-layer
+//!   reapers) can stop a run cleanly mid-circuit.
 //!
 //! # Examples
 //!
@@ -38,11 +41,13 @@
 //! assert!(policy.backoff_s(2) > policy.backoff_s(1));
 //! ```
 
+pub mod cancel;
 pub mod crc32;
 pub mod error;
 pub mod inject;
 pub mod retry;
 
+pub use cancel::{CancelReason, CancelToken};
 pub use crc32::{crc32, fast_checksum, Crc32};
 pub use error::SimError;
 pub use inject::{FaultConfig, FaultInjector, FaultSite};

@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::SimError;
+
 /// Retry policy for integrity failures: up to `max_retries` re-attempts,
 /// waiting `base_backoff_s * multiplier^attempt` (capped) before each.
 ///
@@ -48,14 +50,53 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// The wait before retry `attempt` (0-based), in modeled seconds.
+    ///
+    /// Safe at any attempt count: the geometric growth is evaluated in
+    /// `f64` for the full exponent (no truncated-exponent wraparound),
+    /// and an overflowed (non-finite) product clamps to
+    /// `max_backoff_s` instead of propagating `inf`/`NaN` into the
+    /// timeline.
     pub fn backoff_s(&self, attempt: u32) -> f64 {
-        let raw = self.base_backoff_s * self.multiplier.powi(attempt.min(63) as i32);
-        raw.min(self.max_backoff_s)
+        let raw = self.base_backoff_s * self.multiplier.powf(f64::from(attempt));
+        if raw.is_finite() {
+            raw.min(self.max_backoff_s)
+        } else {
+            self.max_backoff_s
+        }
     }
 
-    /// Total modeled wait if every retry is consumed.
+    /// Total modeled wait if every retry is consumed. Once the per-try
+    /// wait reaches the cap the remaining terms are all `max_backoff_s`,
+    /// so the sum closes in constant extra work even for huge
+    /// `max_retries`.
     pub fn worst_case_backoff_s(&self) -> f64 {
-        (0..self.max_retries).map(|a| self.backoff_s(a)).sum()
+        let mut total = 0.0;
+        for a in 0..self.max_retries {
+            let b = self.backoff_s(a);
+            if b >= self.max_backoff_s {
+                return total + f64::from(self.max_retries - a) * self.max_backoff_s;
+            }
+            total += b;
+        }
+        total
+    }
+
+    /// Drives `op` under this policy: the closure receives the 0-based
+    /// attempt number; *recoverable* failures (see
+    /// [`SimError::is_recoverable`]) are retried up to `max_retries`
+    /// times. On exhaustion — or on the first non-recoverable failure —
+    /// the **last underlying error** is returned verbatim, never a
+    /// generic retry-failure wrapper, so callers keep the variant and
+    /// its payload for diagnosis.
+    pub fn run<T>(&self, mut op: impl FnMut(u32) -> Result<T, SimError>) -> Result<T, SimError> {
+        let mut attempt = 0u32;
+        loop {
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_recoverable() && attempt < self.max_retries => attempt += 1,
+                Err(e) => return Err(e),
+            }
+        }
     }
 }
 
@@ -80,6 +121,31 @@ mod tests {
     }
 
     #[test]
+    fn backoff_cannot_overflow_at_extreme_attempt_counts() {
+        // Regression: the geometric term must clamp to the cap instead
+        // of overflowing to inf (or wrapping through a truncated
+        // exponent) at high attempt counts.
+        let p = RetryPolicy {
+            max_retries: u32::MAX,
+            base_backoff_s: 1.0,
+            multiplier: 10.0,
+            max_backoff_s: 30.0,
+        };
+        for attempt in [64, 1_000, 1_000_000, u32::MAX] {
+            let b = p.backoff_s(attempt);
+            assert!(b.is_finite(), "attempt {attempt} must stay finite");
+            assert_eq!(b, 30.0, "attempt {attempt} clamps to the cap");
+        }
+        // Even a multiplier whose square alone overflows f64.
+        let huge = RetryPolicy {
+            multiplier: 1e308,
+            ..p
+        };
+        assert_eq!(huge.backoff_s(2), 30.0);
+        assert_eq!(huge.backoff_s(u32::MAX), 30.0);
+    }
+
+    #[test]
     fn worst_case_sums_every_attempt() {
         let p = RetryPolicy {
             max_retries: 3,
@@ -88,5 +154,75 @@ mod tests {
             max_backoff_s: 100.0,
         };
         assert_eq!(p.worst_case_backoff_s(), 1.0 + 2.0 + 4.0);
+    }
+
+    #[test]
+    fn worst_case_is_cheap_and_finite_even_for_huge_retry_budgets() {
+        let p = RetryPolicy {
+            max_retries: u32::MAX,
+            base_backoff_s: 1e-3,
+            multiplier: 2.0,
+            max_backoff_s: 1.0,
+        };
+        let w = p.worst_case_backoff_s();
+        assert!(w.is_finite());
+        assert!(w >= f64::from(u32::MAX - 64));
+    }
+
+    #[test]
+    fn exhaustion_returns_the_last_underlying_error() {
+        // Regression: exhausting the retry budget must surface the final
+        // attempt's actual error, not a generic failure.
+        let p = RetryPolicy {
+            max_retries: 2,
+            ..RetryPolicy::default()
+        };
+        let result: Result<(), _> = p.run(|attempt| {
+            Err(match attempt {
+                0 => SimError::WorkerLost { dispatch: "first" },
+                1 => SimError::WorkerLost { dispatch: "second" },
+                _ => SimError::ChunkCorrupt {
+                    chunk: 42,
+                    attempts: attempt + 1,
+                },
+            })
+        });
+        match result {
+            Err(SimError::ChunkCorrupt {
+                chunk: 42,
+                attempts: 3,
+            }) => {}
+            other => panic!("expected the final ChunkCorrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_retries_recoverable_then_succeeds() {
+        let p = RetryPolicy::default();
+        let got = p
+            .run(|attempt| {
+                if attempt < 2 {
+                    Err(SimError::WorkerLost { dispatch: "w" })
+                } else {
+                    Ok(attempt)
+                }
+            })
+            .unwrap();
+        assert_eq!(got, 2);
+    }
+
+    #[test]
+    fn run_does_not_retry_unrecoverable_errors() {
+        let p = RetryPolicy::default();
+        let mut calls = 0;
+        let result: Result<(), _> = p.run(|_| {
+            calls += 1;
+            Err(SimError::Fatal {
+                gate: 7,
+                reason: "injected".into(),
+            })
+        });
+        assert_eq!(calls, 1, "a fatal error must not consume retries");
+        assert!(matches!(result, Err(SimError::Fatal { gate: 7, .. })));
     }
 }

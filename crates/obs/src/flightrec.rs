@@ -38,6 +38,9 @@ pub const TRIGGER_KINDS: &[&str] = &[
     "device_loss",
     "downshift",
     "link_degraded",
+    "abort",
+    "shed",
+    "deadline",
 ];
 
 /// One recorded event.

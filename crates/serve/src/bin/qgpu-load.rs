@@ -1,0 +1,564 @@
+//! qgpu-load — chaos/load harness for the `qgpu-serve` job server.
+//!
+//! Drives hundreds of concurrent jobs through seeded fault injection
+//! (engine-level transfer/codec/worker faults, serve-level worker
+//! panics, a timed device kill), tight deadlines, and caller
+//! cancellations, then **asserts** the serving contract:
+//!
+//! * every submitted job reaches a terminal state (no hangs);
+//! * every *completed* job is bit-identical (state and shot samples)
+//!   to a fault-free reference run of the same spec;
+//! * decisions are visible: shed/retry/cancel/deadline counters match
+//!   what the run provoked.
+//!
+//! Exit code 0 = contract held; 1 = violation; 2 = bad usage.
+//!
+//! ```text
+//! usage: qgpu-load [--jobs N] [--tenants N] [--workers N] [--devices N]
+//!   [--qubits N] [--shots N] [--seed N] [--queue-cap N] [--mem-budget BYTES]
+//!   [--retries N] [--deadline-ms MS] [--tight-frac F] [--cancel-frac F]
+//!   [--inject-transfer P] [--inject-codec P] [--inject-worker P]
+//!   [--chaos-worker-panic P] [--chaos-fail-first N] [--chaos-device-loss D:MS]
+//!   [--timeout-s S] [--label NAME] [--metrics-out PATH] [--bench-out PATH]
+//! ```
+//!
+//! `--metrics-out` writes the same `{meta, counters, histograms,
+//! registry}` document shape as `qgpu-sim --metrics-out`; `--bench-out`
+//! writes a `qgpu-bench/v1` document with one scenario carrying the
+//! serving percentiles (p50/p90/p99/p999 latency) and throughput.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use qgpu::{SimConfig, Simulator, Version};
+use qgpu_circuit::generators::Benchmark;
+use qgpu_obs::{Json, RunMeta};
+use qgpu_serve::{ChaosConfig, JobSpec, JobStatus, Priority, ServeConfig, Server, ShutdownMode};
+
+struct Opts {
+    jobs: usize,
+    tenants: usize,
+    workers: usize,
+    devices: usize,
+    qubits: usize,
+    shots: u64,
+    seed: u64,
+    queue_cap: usize,
+    mem_budget: Option<u64>,
+    retries: Option<u32>,
+    deadline_ms: Option<u64>,
+    tight_frac: f64,
+    cancel_frac: f64,
+    inject_transfer: f64,
+    inject_codec: f64,
+    inject_worker: f64,
+    chaos_worker_panic: f64,
+    chaos_fail_first: u32,
+    chaos_device_loss: Option<(usize, u64)>,
+    timeout_s: u64,
+    label: String,
+    metrics_out: Option<String>,
+    bench_out: Option<String>,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            jobs: 200,
+            tenants: 4,
+            workers: 4,
+            devices: 2,
+            qubits: 10,
+            shots: 16,
+            seed: 1,
+            queue_cap: usize::MAX,
+            mem_budget: None,
+            retries: None,
+            deadline_ms: None,
+            tight_frac: 0.0,
+            cancel_frac: 0.0,
+            inject_transfer: 0.0,
+            inject_codec: 0.0,
+            inject_worker: 0.0,
+            chaos_worker_panic: 0.0,
+            chaos_fail_first: 0,
+            chaos_device_loss: None,
+            timeout_s: 600,
+            label: "serve_load".to_string(),
+            metrics_out: None,
+            bench_out: None,
+        }
+    }
+}
+
+const USAGE: &str = "usage: qgpu-load [--jobs N] [--tenants N] [--workers N] [--devices N]\n  [--qubits N] [--shots N] [--seed N] [--queue-cap N] [--mem-budget BYTES]\n  [--retries N] [--deadline-ms MS] [--tight-frac F] [--cancel-frac F]\n  [--inject-transfer P] [--inject-codec P] [--inject-worker P]\n  [--chaos-worker-panic P] [--chaos-fail-first N] [--chaos-device-loss D:MS]\n  [--timeout-s S] [--label NAME] [--metrics-out PATH] [--bench-out PATH]";
+
+fn parse_args() -> Result<Opts, String> {
+    let mut o = Opts::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |flag: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--jobs" => {
+                o.jobs = take("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?
+            }
+            "--tenants" => {
+                o.tenants = take("--tenants")?
+                    .parse()
+                    .map_err(|e| format!("--tenants: {e}"))?;
+            }
+            "--workers" => {
+                o.workers = take("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--devices" => {
+                o.devices = take("--devices")?
+                    .parse()
+                    .map_err(|e| format!("--devices: {e}"))?;
+            }
+            "--qubits" => {
+                o.qubits = take("--qubits")?
+                    .parse()
+                    .map_err(|e| format!("--qubits: {e}"))?;
+            }
+            "--shots" => {
+                o.shots = take("--shots")?
+                    .parse()
+                    .map_err(|e| format!("--shots: {e}"))?;
+            }
+            "--seed" => {
+                o.seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--queue-cap" => {
+                o.queue_cap = take("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?;
+            }
+            "--mem-budget" => {
+                o.mem_budget = Some(
+                    take("--mem-budget")?
+                        .parse()
+                        .map_err(|e| format!("--mem-budget: {e}"))?,
+                );
+            }
+            "--retries" => {
+                o.retries = Some(
+                    take("--retries")?
+                        .parse()
+                        .map_err(|e| format!("--retries: {e}"))?,
+                );
+            }
+            "--deadline-ms" => {
+                o.deadline_ms = Some(
+                    take("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                );
+            }
+            "--tight-frac" => {
+                o.tight_frac = take("--tight-frac")?
+                    .parse()
+                    .map_err(|e| format!("--tight-frac: {e}"))?;
+            }
+            "--cancel-frac" => {
+                o.cancel_frac = take("--cancel-frac")?
+                    .parse()
+                    .map_err(|e| format!("--cancel-frac: {e}"))?;
+            }
+            "--inject-transfer" => {
+                o.inject_transfer = take("--inject-transfer")?
+                    .parse()
+                    .map_err(|e| format!("--inject-transfer: {e}"))?;
+            }
+            "--inject-codec" => {
+                o.inject_codec = take("--inject-codec")?
+                    .parse()
+                    .map_err(|e| format!("--inject-codec: {e}"))?;
+            }
+            "--inject-worker" => {
+                o.inject_worker = take("--inject-worker")?
+                    .parse()
+                    .map_err(|e| format!("--inject-worker: {e}"))?;
+            }
+            "--chaos-worker-panic" => {
+                o.chaos_worker_panic = take("--chaos-worker-panic")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-worker-panic: {e}"))?;
+            }
+            "--chaos-fail-first" => {
+                o.chaos_fail_first = take("--chaos-fail-first")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-fail-first: {e}"))?;
+            }
+            "--chaos-device-loss" => {
+                let v = take("--chaos-device-loss")?;
+                let (d, ms) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("--chaos-device-loss wants D:MS, got {v}"))?;
+                o.chaos_device_loss = Some((
+                    d.parse().map_err(|e| format!("--chaos-device-loss: {e}"))?,
+                    ms.parse()
+                        .map_err(|e| format!("--chaos-device-loss: {e}"))?,
+                ));
+            }
+            "--timeout-s" => {
+                o.timeout_s = take("--timeout-s")?
+                    .parse()
+                    .map_err(|e| format!("--timeout-s: {e}"))?;
+            }
+            "--label" => o.label = take("--label")?,
+            "--metrics-out" => o.metrics_out = Some(take("--metrics-out")?),
+            "--bench-out" => o.bench_out = Some(take("--bench-out")?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(o)
+}
+
+/// Keep intentional chaos panics (serve-level worker deaths) from
+/// flooding stderr; real panics still print.
+fn quiet_chaos_panics() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let is_chaos = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("chaos:"))
+            || info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains("chaos:"));
+        if !is_chaos {
+            default(info);
+        }
+    }));
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    quiet_chaos_panics();
+
+    let base_cfg = || {
+        let mut cfg = SimConfig::scaled_paper(opts.qubits).with_version(Version::QGpu);
+        cfg.faults.p_transfer_corrupt = opts.inject_transfer;
+        cfg.faults.p_codec_fail = opts.inject_codec;
+        cfg.faults.p_worker_death = opts.inject_worker;
+        cfg
+    };
+
+    // Fault-free reference for the bit-identity assertion: same circuit,
+    // same physics seed, zero injection.
+    let circuit = Benchmark::Qft.generate(opts.qubits);
+    let reference = {
+        let mut cfg = SimConfig::scaled_paper(opts.qubits).with_version(Version::QGpu);
+        cfg.shots = opts.shots;
+        match Simulator::new(cfg).try_run(&circuit) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("[qgpu-load] fault-free reference run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let mut serve_cfg = ServeConfig::default()
+        .with_workers(opts.workers)
+        .with_devices(opts.devices)
+        .with_chaos(ChaosConfig {
+            seed: opts.seed,
+            p_worker_panic: opts.chaos_worker_panic,
+            fail_first_attempts: opts.chaos_fail_first,
+        });
+    if opts.queue_cap != usize::MAX {
+        serve_cfg = serve_cfg.with_queue_cap(opts.queue_cap);
+    }
+    if let Some(budget) = opts.mem_budget {
+        serve_cfg = serve_cfg.with_mem_budget(budget);
+    }
+    if let Some(n) = opts.retries {
+        let mut retry = serve_cfg.retry;
+        retry.max_retries = n;
+        serve_cfg = serve_cfg.with_retry(retry);
+    }
+    if let Some(ms) = opts.deadline_ms {
+        serve_cfg = serve_cfg.with_default_deadline(Duration::from_millis(ms));
+    }
+    let server = Server::new(serve_cfg);
+    let tenants: Vec<String> = (0..opts.tenants.max(1)).map(|i| format!("t{i}")).collect();
+    for (i, t) in tenants.iter().enumerate() {
+        server.set_tenant_quota(t, (i + 1) as f64);
+    }
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    let mut submit_times = Vec::new();
+    let mut shed_client = 0usize;
+    let mut cancelled_client = 0usize;
+    let mut tight_jobs = 0usize;
+    for i in 0..opts.jobs as u64 {
+        let mut cfg = base_cfg();
+        // Distinct machine-fault seed per job; physics seed stays the
+        // class default so one reference covers every job.
+        cfg.faults.seed = opts.seed ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut spec = JobSpec::new(circuit.clone(), cfg)
+            .with_shots(opts.shots)
+            .with_tenant(tenants[(i as usize) % tenants.len()].clone())
+            .with_priority(match i % 3 {
+                0 => Priority::Low,
+                1 => Priority::Normal,
+                _ => Priority::High,
+            });
+        let tight = opts.tight_frac > 0.0
+            && (i as f64 + 0.5) / opts.jobs as f64 * opts.tight_frac.recip() < 1.0;
+        if tight {
+            spec = spec.with_deadline(Duration::from_micros(50));
+            tight_jobs += 1;
+        }
+        match server.submit(spec) {
+            Ok(handle) => {
+                let cancel = opts.cancel_frac > 0.0
+                    && !tight
+                    && (i % (1.0 / opts.cancel_frac).max(1.0) as u64) == 1;
+                if cancel {
+                    handle.cancel();
+                    cancelled_client += 1;
+                }
+                submit_times.push(Instant::now());
+                handles.push(handle);
+            }
+            Err(reason) => {
+                shed_client += 1;
+                eprintln!("[qgpu-load] job {i} rejected: {reason}");
+            }
+        }
+        // Fire the timed device kill once its moment arrives
+        // (kill_device is idempotent, so re-hitting it is harmless).
+        if let Some((device, ms)) = opts.chaos_device_loss {
+            if start.elapsed() >= Duration::from_millis(ms) {
+                server.kill_device(device);
+            }
+        }
+    }
+    // If submission outran the kill timer, wait for it and fire while
+    // jobs are still in flight.
+    if let Some((device, ms)) = opts.chaos_device_loss {
+        let at = Duration::from_millis(ms);
+        if start.elapsed() < at {
+            std::thread::sleep(at - start.elapsed());
+        }
+        server.kill_device(device);
+    }
+
+    // Wait for every job; collect terminal states and latencies.
+    let timeout = Duration::from_secs(opts.timeout_s);
+    let mut violations = 0usize;
+    let mut latencies_ms = Vec::new();
+    let mut by_label: std::collections::BTreeMap<&'static str, usize> =
+        std::collections::BTreeMap::new();
+    let mut engine_codec_fallbacks = 0u64;
+    let mut engine_chunk_retries = 0u64;
+    let mut bit_mismatches = 0usize;
+    for (handle, submitted) in handles.iter().zip(&submit_times) {
+        let Some(status) = handle.wait_timeout(timeout) else {
+            eprintln!(
+                "[qgpu-load] VIOLATION: job {} non-terminal after {}s ({:?})",
+                handle.id(),
+                opts.timeout_s,
+                handle.status()
+            );
+            violations += 1;
+            continue;
+        };
+        *by_label.entry(status.label()).or_insert(0) += 1;
+        if status == JobStatus::Completed {
+            latencies_ms.push(submitted.elapsed().as_secs_f64() * 1e3);
+            let result = handle.result().expect("completed job has a result");
+            engine_codec_fallbacks += result.report.codec_fallbacks;
+            engine_chunk_retries += result.report.chunk_retries;
+            let state_ok = match (&result.state, &reference.state) {
+                (Some(a), Some(b)) => a.max_deviation(b) == 0.0,
+                _ => false,
+            };
+            if !state_ok || result.samples != reference.samples {
+                eprintln!(
+                    "[qgpu-load] VIOLATION: job {} completed but is not \
+                     bit-identical to the fault-free reference",
+                    handle.id()
+                );
+                bit_mismatches += 1;
+                violations += 1;
+            }
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+
+    // Fold the engine-side recovery counters the completed jobs carried
+    // into the serve recorder so --metrics-out is one document.
+    let rec = server.metrics().recorder().clone();
+    rec.add("engine.codec_fallbacks", engine_codec_fallbacks);
+    rec.add("engine.chunk_retries", engine_chunk_retries);
+
+    let metrics = server.metrics().clone();
+    server.shutdown(ShutdownMode::Drain);
+
+    let flat = metrics.recorder().metrics();
+    let counter = |n: &str| {
+        flat.counters
+            .iter()
+            .find(|(k, _)| k == n)
+            .map_or(0, |(_, v)| *v)
+    };
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let completed = latencies_ms.len();
+    let throughput = completed as f64 / wall_s.max(1e-9);
+    let (p50, p90, p99, p999) = (
+        percentile(&latencies_ms, 50.0),
+        percentile(&latencies_ms, 90.0),
+        percentile(&latencies_ms, 99.0),
+        percentile(&latencies_ms, 99.9),
+    );
+
+    println!("qgpu-load: {} jobs in {wall_s:.2}s", opts.jobs);
+    for (label, n) in &by_label {
+        println!("  {label:>18}: {n}");
+    }
+    println!("  client-side sheds: {shed_client}");
+    println!("  client cancels: {cancelled_client}, tight deadlines: {tight_jobs}");
+    println!(
+        "  serve.retries: {}, serve.shed: {}, serve.worker_panics: {}, serve.devices_lost: {}",
+        counter("serve.retries"),
+        counter("serve.shed"),
+        counter("serve.worker_panics"),
+        counter("serve.devices_lost"),
+    );
+    println!(
+        "  engine recovery on completed jobs: {engine_codec_fallbacks} codec fallback(s), \
+         {engine_chunk_retries} chunk retry(ies)"
+    );
+    println!(
+        "  completed: {completed} ({throughput:.1} jobs/s), latency ms \
+         p50={p50:.1} p90={p90:.1} p99={p99:.1} p999={p999:.1}"
+    );
+    println!(
+        "  bit-identity: {} checked, {} mismatched",
+        completed, bit_mismatches
+    );
+
+    let meta = RunMeta::collect(
+        &opts.label,
+        opts.seed,
+        &format!(
+            "jobs={} tenants={} workers={} devices={} qubits={} shots={} \
+             inject=({},{},{}) chaos_panic={} queue_cap={:?} mem_budget={:?}",
+            opts.jobs,
+            opts.tenants,
+            opts.workers,
+            opts.devices,
+            opts.qubits,
+            opts.shots,
+            opts.inject_transfer,
+            opts.inject_codec,
+            opts.inject_worker,
+            opts.chaos_worker_panic,
+            opts.queue_cap,
+            opts.mem_budget,
+        ),
+        env!("CARGO_PKG_VERSION"),
+    );
+
+    if let Some(path) = &opts.metrics_out {
+        let mut doc = match flat.to_json() {
+            Json::Obj(pairs) => pairs,
+            other => vec![("metrics".to_string(), other)],
+        };
+        doc.insert(0, ("meta".to_string(), meta.to_json()));
+        doc.push((
+            "registry".to_string(),
+            metrics.recorder().registry().snapshot().to_json(),
+        ));
+        if let Err(e) = std::fs::write(path, Json::Obj(doc).to_string()) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[qgpu-load] metrics written to {path}");
+    }
+
+    if let Some(path) = &opts.bench_out {
+        let pctl = |v: f64| Json::Num(v);
+        let scenario = Json::Obj(vec![
+            ("id".into(), Json::Str(opts.label.clone())),
+            ("circuit".into(), Json::Str(format!("qft_{}", opts.qubits))),
+            ("qubits".into(), Json::Num(opts.qubits as f64)),
+            ("jobs".into(), Json::Num(opts.jobs as f64)),
+            ("completed".into(), Json::Num(completed as f64)),
+            ("wall_s".into(), Json::Num(wall_s)),
+            ("throughput_jobs_per_s".into(), Json::Num(throughput)),
+            (
+                "percentiles".into(),
+                Json::Obj(vec![(
+                    "latency_ms".into(),
+                    Json::Obj(vec![
+                        ("p50".into(), pctl(p50)),
+                        ("p90".into(), pctl(p90)),
+                        ("p99".into(), pctl(p99)),
+                        ("p999".into(), pctl(p999)),
+                    ]),
+                )]),
+            ),
+            (
+                "counters".into(),
+                Json::Obj(vec![
+                    ("retries".into(), Json::Num(counter("serve.retries") as f64)),
+                    ("shed".into(), Json::Num(counter("serve.shed") as f64)),
+                    (
+                        "cancelled".into(),
+                        Json::Num(counter("serve.cancelled") as f64),
+                    ),
+                    (
+                        "deadline_exceeded".into(),
+                        Json::Num(counter("serve.deadline_exceeded") as f64),
+                    ),
+                ]),
+            ),
+        ]);
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::Str("qgpu-bench/v1".into())),
+            ("meta".into(), meta.to_json()),
+            ("scenarios".into(), Json::Arr(vec![scenario])),
+        ]);
+        if let Err(e) = std::fs::write(path, doc.to_string()) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[qgpu-load] bench document written to {path}");
+    }
+
+    if violations > 0 {
+        eprintln!("[qgpu-load] FAILED: {violations} contract violation(s)");
+        return ExitCode::FAILURE;
+    }
+    println!("[qgpu-load] OK: all jobs terminal, completions bit-identical");
+    ExitCode::SUCCESS
+}

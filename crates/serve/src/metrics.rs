@@ -1,0 +1,157 @@
+//! Serving-decision telemetry: `serve.*` registry metrics and flight
+//! events from every admission, shed, retry, cancel, deadline, and
+//! shutdown decision.
+//!
+//! All counters also land as flat recorder counters (the same shape
+//! `qgpu-sim --metrics-out` emits), so `jq '.counters["serve.shed"]'`
+//! works on a `qgpu-load --metrics-out` document without unpacking
+//! label sets; the labeled registry versions carry the per-tenant
+//! breakdown.
+
+use std::sync::Arc;
+
+use qgpu_obs::Recorder;
+
+/// The server's shared recorder: counters, labeled registry metrics,
+/// per-tenant latency histograms, and the flight-event ring.
+#[derive(Clone)]
+pub struct ServeMetrics {
+    rec: Arc<Recorder>,
+}
+
+impl ServeMetrics {
+    /// A metrics hub whose flight ring keeps `flight_events` events.
+    pub fn new(flight_events: usize) -> Self {
+        ServeMetrics {
+            rec: Arc::new(Recorder::new().with_flight(flight_events).without_spans()),
+        }
+    }
+
+    /// The underlying recorder (flight ring + registry + counters).
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.rec
+    }
+
+    fn count(&self, name: &'static str, labels: &[(&'static str, &str)]) {
+        self.rec.add(name, 1);
+        self.rec.registry().add(name, labels, 1);
+    }
+
+    /// A job passed admission control.
+    pub fn admitted(&self, tenant: &str) {
+        self.count("serve.admitted", &[("tenant", tenant)]);
+    }
+
+    /// A job was refused; `reason` is the [`crate::RejectReason`] label.
+    /// Queue-full and memory-pressure rejections also count as sheds.
+    pub fn rejected(&self, tenant: &str, reason: &str, shed: bool) {
+        self.count("serve.rejected", &[("tenant", tenant), ("reason", reason)]);
+        if shed {
+            self.rec.add("serve.shed", 1);
+            self.rec
+                .registry()
+                .add("serve.shed", &[("tenant", tenant)], 1);
+            self.rec
+                .flight("shed", || format!("tenant '{tenant}' load-shed: {reason}"));
+        }
+    }
+
+    /// Admission degraded a job's config instead of shedding it.
+    pub fn degraded(&self, tenant: &str, action: &str) {
+        self.count("serve.degraded", &[("tenant", tenant), ("action", action)]);
+        self.rec.flight("downshift", || {
+            format!("admission degraded tenant '{tenant}' job: {action}")
+        });
+    }
+
+    /// A recoverable failure triggered a re-execution.
+    pub fn retried(&self, tenant: &str, job: u64, attempt: u32, err: &str) {
+        self.count("serve.retries", &[("tenant", tenant)]);
+        self.rec.flight("retry", || {
+            format!("job {job} attempt {attempt} retrying after: {err}")
+        });
+    }
+
+    /// A serve-level worker thread died mid-job.
+    pub fn worker_panic(&self, job: u64, attempt: u32) {
+        self.count("serve.worker_panics", &[]);
+        self.rec.flight("worker_restart", || {
+            format!("worker died running job {job} attempt {attempt}")
+        });
+    }
+
+    /// A fleet device was killed; `evicted` jobs were re-queued.
+    pub fn device_lost(&self, device: usize, evicted: usize) {
+        self.count("serve.devices_lost", &[]);
+        self.rec.flight("device_loss", || {
+            format!("device {device} lost; {evicted} running job(s) evicted")
+        });
+    }
+
+    /// A job reached a terminal state; `label` is
+    /// [`crate::JobStatus::label`].
+    pub fn terminal(&self, tenant: &str, label: &'static str) {
+        match label {
+            "completed" => self.count("serve.completed", &[("tenant", tenant)]),
+            "failed" => self.count("serve.failed", &[("tenant", tenant)]),
+            "cancelled" => self.count("serve.cancelled", &[("tenant", tenant)]),
+            "deadline_exceeded" => {
+                self.count("serve.deadline_exceeded", &[("tenant", tenant)]);
+                self.rec
+                    .flight("deadline", || format!("tenant '{tenant}' job deadlined"));
+            }
+            _ => self.count("serve.terminal_other", &[("tenant", tenant)]),
+        }
+    }
+
+    /// Tenant queue depth after an enqueue/dequeue.
+    pub fn queue_depth(&self, tenant: &str, depth: usize) {
+        self.rec
+            .registry()
+            .set_gauge("serve.queue_depth", &[("tenant", tenant)], depth as f64);
+    }
+
+    /// End-to-end latency of a completed job (submit → terminal).
+    pub fn latency_ms(&self, tenant: &str, ms: u64) {
+        self.rec
+            .registry()
+            .observe("serve.latency_ms", &[("tenant", tenant)], ms);
+    }
+
+    /// Queue wait of a job's first attempt (submit → first run).
+    pub fn queue_wait_ms(&self, tenant: &str, ms: u64) {
+        self.rec
+            .registry()
+            .observe("serve.queue_wait_ms", &[("tenant", tenant)], ms);
+    }
+
+    /// Shutdown decision and what it affected.
+    pub fn shutdown(&self, mode: &'static str, drained: usize, aborted: usize) {
+        self.rec.add("serve.shutdowns", 1);
+        self.rec.flight("shutdown", || {
+            format!("{mode} shutdown: {drained} job(s) drained, {aborted} aborted")
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_land_flat_and_labeled() {
+        let m = ServeMetrics::new(64);
+        m.admitted("acme");
+        m.admitted("acme");
+        m.rejected("acme", "queue_full", true);
+        let flat = m.recorder().metrics().counters;
+        assert!(flat.iter().any(|(n, v)| n == "serve.admitted" && *v == 2));
+        assert!(flat.iter().any(|(n, v)| n == "serve.shed" && *v == 1));
+        let snap = m.recorder().registry().snapshot();
+        assert_eq!(snap.counter("serve.admitted{tenant=acme}"), Some(2));
+        assert!(
+            m.recorder().flight_triggered(),
+            "a shed is a fault-class flight event"
+        );
+    }
+}

@@ -1,0 +1,355 @@
+//! Minimal stand-in for `crossbeam-channel`: MPMC channels on the
+//! standard library's `Mutex` + `Condvar`.
+//!
+//! Mirrors exactly the API surface this workspace uses — `bounded`,
+//! `unbounded`, cloneable `Sender`/`Receiver`, blocking `send`/`recv`,
+//! `try_send`/`try_recv`, and `recv_timeout` — with the real crate's
+//! disconnection semantics: a channel counts its live senders and
+//! receivers, and an operation that can never complete (no peer left)
+//! fails instead of blocking forever. Performance is not the point
+//! (the real crate's lock-free queues are); correctness under
+//! concurrent producers and consumers is.
+//!
+//! `bounded(0)` (the real crate's rendezvous channel) is not supported
+//! by this queue-based implementation and panics loudly rather than
+//! silently buffering.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when every receiver is gone; the
+/// unsent message is handed back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity.
+    Full(T),
+    /// Every receiver is gone.
+    Disconnected(T),
+}
+
+/// Error returned by [`Receiver::recv`]: the channel is empty and every
+/// sender is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when a message arrives or the last sender leaves.
+    not_empty: Condvar,
+    /// Signalled when space frees up or the last receiver leaves.
+    not_full: Condvar,
+}
+
+/// The sending half of a channel. Cloneable; the channel disconnects
+/// for receivers once every clone is dropped.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a channel. Cloneable; the channel disconnects
+/// for senders once every clone is dropped.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// A channel holding at most `cap` in-flight messages; `send` blocks
+/// while full. `cap` must be ≥ 1 (rendezvous channels are unsupported).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "bounded(0) rendezvous channels are not supported");
+    channel(Some(cap))
+}
+
+/// A channel with no capacity bound; `send` never blocks.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            cap,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Blocks until the message is queued or every receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            let full = st.cap.is_some_and(|c| st.queue.len() >= c);
+            if !full {
+                st.queue.push_back(value);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.shared.not_full.wait(st).unwrap();
+        }
+    }
+
+    /// Queues the message only if there is room right now.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.shared.state.lock().unwrap();
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if st.cap.is_some_and(|c| st.queue.len() >= c) {
+            return Err(TrySendError::Full(value));
+        }
+        st.queue.push_back(value);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self.shared.not_empty.wait(st).unwrap();
+        }
+    }
+
+    /// Takes a message only if one is queued right now.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.shared.state.lock().unwrap();
+        match st.queue.pop_front() {
+            Some(v) => {
+                self.shared.not_full.notify_one();
+                Ok(v)
+            }
+            None if st.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Blocks up to `timeout` for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _) = self
+                .shared
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .unwrap();
+            st = guard;
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().unwrap().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().unwrap().receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.senders -= 1;
+        if st.senders == 0 {
+            // Wake blocked receivers so they observe the disconnect.
+            drop(st);
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            drop(st);
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_roundtrip() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        let producer = thread::spawn(move || tx.send(3));
+        assert_eq!(rx.recv().unwrap(), 1);
+        producer.join().unwrap().unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn drop_of_all_senders_disconnects() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(7).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn drop_of_all_receivers_fails_send() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(9));
+    }
+
+    #[test]
+    fn mpmc_under_contention_delivers_every_message() {
+        let (tx, rx) = bounded(4);
+        let n_producers = 4;
+        let per = 100;
+        let mut handles = Vec::new();
+        for p in 0..n_producers {
+            let tx = tx.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..per {
+                    tx.send(p * per + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let rx = rx.clone();
+            consumers.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        drop(rx);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut all: Vec<usize> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n_producers * per).collect::<Vec<_>>());
+    }
+}

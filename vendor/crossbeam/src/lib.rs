@@ -1,11 +1,15 @@
-//! Minimal, dependency-free stand-in for `crossbeam`'s scoped threads.
+//! Minimal, dependency-free stand-in for `crossbeam`'s scoped threads
+//! and MPMC channels.
 //!
-//! Only `crossbeam::scope` / `crossbeam::thread::scope` are provided — the
-//! single entry point this workspace uses. The implementation follows the
-//! same strategy as the real crate: spawned closures are lifetime-erased to
-//! `'static` (sound because `scope` joins every spawned thread before it
-//! returns, so no borrow outlives the call), and a panic in any spawned
-//! thread surfaces as the `Err` variant of the scope result.
+//! `crossbeam::scope` / `crossbeam::thread::scope` and
+//! [`channel`] are provided — the API surface this
+//! workspace uses. Scoped threads follow the same strategy as the real
+//! crate: spawned closures are lifetime-erased to `'static` (sound
+//! because `scope` joins every spawned thread before it returns, so no
+//! borrow outlives the call), and a panic in any spawned thread surfaces
+//! as the `Err` variant of the scope result.
+
+pub mod channel;
 
 use std::any::Any;
 use std::marker::PhantomData;
