@@ -50,6 +50,16 @@
 //!   --inject-mask <P>      per-op involvement-mask corruption probability
 //!   --inject-worker <P>    per-worker death probability
 //!   --inject-fail-at <N>   abort with a fatal fault at program op N
+//!   --verify-invariants    run the ABFT invariant checks (per-chunk
+//!                          norms, diagonal magnitudes, zero blocks, and
+//!                          the whole-state norm gate before readout)
+//!   --inject-kernel-flip <OP[:COUNT[:ATTEMPTS[:BIT]]]>
+//!                          XOR one amplitude bit inside kernel output at
+//!                          program op OP (and the COUNT-1 following ops);
+//!                          ATTEMPTS > 1 makes the fault sticky across
+//!                          that many re-executions, BIT picks the flipped
+//!                          bit (default 62, the exponent MSB). Arms the
+//!                          invariant checks and repair automatically.
 //!   --inject-device-loss <D:OP>  lose device D at program op OP
 //!   --inject-link-degrade <P>    per-transfer link degradation probability
 //!   --inject-straggler <D[:F]>   pin device D as a persistent straggler,
@@ -100,6 +110,7 @@ struct Options {
     drift_tol: f64,
     gantt: bool,
     faults: FaultConfig,
+    verify_invariants: bool,
     checkpoint_every: u64,
     checkpoint_out: Option<String>,
     resume: Option<String>,
@@ -154,6 +165,7 @@ fn parse_args() -> Result<Options, String> {
     let mut drift_tol = qgpu_obs::drift::DEFAULT_TOLERANCE_PP;
     let mut gantt = false;
     let mut faults = FaultConfig::default();
+    let mut verify_invariants = false;
     let mut checkpoint_every = 0u64;
     let mut checkpoint_out = None;
     let mut resume = None;
@@ -270,6 +282,32 @@ fn parse_args() -> Result<Options, String> {
                 faults.device_lost_id = d.parse().map_err(|_| "bad device id")?;
                 faults.device_lost_at = op.parse().map_err(|_| "bad device-loss op index")?;
             }
+            "--verify-invariants" => verify_invariants = true,
+            "--inject-kernel-flip" => {
+                let spec = take(&mut args, "--inject-kernel-flip")?;
+                let mut parts = spec.split(':');
+                faults.kernel_flip_at = parts
+                    .next()
+                    .unwrap_or_default()
+                    .parse()
+                    .map_err(|_| "bad kernel-flip op index")?;
+                if let Some(c) = parts.next() {
+                    faults.kernel_flip_count = c.parse().map_err(|_| "bad kernel-flip op count")?;
+                }
+                if let Some(a) = parts.next() {
+                    faults.kernel_flip_attempts =
+                        a.parse().map_err(|_| "bad kernel-flip attempt count")?;
+                }
+                if let Some(b) = parts.next() {
+                    faults.kernel_flip_bit = b.parse().map_err(|_| "bad kernel-flip bit")?;
+                    if faults.kernel_flip_bit > 63 {
+                        return Err("kernel-flip bit must be 0..=63".into());
+                    }
+                }
+                if parts.next().is_some() {
+                    return Err("--inject-kernel-flip wants OP[:COUNT[:ATTEMPTS[:BIT]]]".into());
+                }
+            }
             "--inject-link-degrade" => {
                 faults.p_link_degraded = take(&mut args, "--inject-link-degrade")?
                     .parse()
@@ -346,6 +384,7 @@ fn parse_args() -> Result<Options, String> {
         drift_tol,
         gantt,
         faults,
+        verify_invariants,
         checkpoint_every,
         checkpoint_out,
         resume,
@@ -353,7 +392,7 @@ fn parse_args() -> Result<Options, String> {
     })
 }
 
-const HELP: &str = "usage: qgpu-sim <file.qasm> | --benchmark <name> --qubits <N>\n  [--version baseline|naive|overlap|pruning|reorder|qgpu] [--opts list] [--shots N]\n  [--sample] [--noise spec] [--seed N] [--chunks log2] [--top N] [--batching] [--fuse] [--threads N]\n  [--report] [--report-json path] [--save path] [--trace-out path] [--metrics-out path]\n  [--flight-out path]\n  [--drift] [--drift-tol pp] [--gantt] [--devices N] [--mem-budget BYTES]\n  [--inject-seed N] [--inject-transfer P] [--inject-codec P]\n  [--inject-mask P] [--inject-worker P] [--inject-fail-at N]\n  [--inject-device-loss D:OP] [--inject-link-degrade P]\n  [--inject-straggler D[:FACTOR]]\n  [--checkpoint-every N] [--checkpoint-out path] [--resume path]\n  [--compare path]";
+const HELP: &str = "usage: qgpu-sim <file.qasm> | --benchmark <name> --qubits <N>\n  [--version baseline|naive|overlap|pruning|reorder|qgpu] [--opts list] [--shots N]\n  [--sample] [--noise spec] [--seed N] [--chunks log2] [--top N] [--batching] [--fuse] [--threads N]\n  [--report] [--report-json path] [--save path] [--trace-out path] [--metrics-out path]\n  [--flight-out path]\n  [--drift] [--drift-tol pp] [--gantt] [--devices N] [--mem-budget BYTES]\n  [--inject-seed N] [--inject-transfer P] [--inject-codec P]\n  [--inject-mask P] [--inject-worker P] [--inject-fail-at N]\n  [--inject-device-loss D:OP] [--inject-link-degrade P]\n  [--inject-straggler D[:FACTOR]]\n  [--verify-invariants] [--inject-kernel-flip OP[:COUNT[:ATTEMPTS[:BIT]]]]\n  [--checkpoint-every N] [--checkpoint-out path] [--resume path]\n  [--compare path]";
 
 fn platform_for(name: &str, qubits: usize) -> Result<Platform, String> {
     let ratio = 496.0 / 8192.0;
@@ -474,6 +513,19 @@ fn main() -> ExitCode {
             opts.faults.p_mask_corrupt,
             opts.faults.p_worker_death,
         );
+        if opts.faults.kernel_faults_enabled() {
+            eprintln!(
+                "[qgpu-sim] kernel-flip injection: op {} x{}, {} attempt(s), bit {}",
+                opts.faults.kernel_flip_at,
+                opts.faults.kernel_flip_count,
+                opts.faults.kernel_flip_attempts,
+                opts.faults.kernel_flip_bit,
+            );
+        }
+    }
+    if opts.verify_invariants {
+        config = config.with_verify_invariants();
+        eprintln!("[qgpu-sim] ABFT invariant checks on");
     }
     // The flight recorder: --flight-out dumps unconditionally to the
     // given path; any fault-injection run arms it automatically and
@@ -611,6 +663,17 @@ fn main() -> ExitCode {
             println!("  codec fallbacks   : {}", r.codec_fallbacks);
             println!("  prune fallbacks   : {}", r.prune_fallbacks);
             println!("  worker restarts   : {}", r.worker_restarts);
+        }
+        if let Some(integ) = &result.integrity {
+            println!("  invariant checks  : {}", integ.checks);
+            println!("  violations        : {}", integ.violations);
+            println!("  flips injected    : {}", integ.flips_injected);
+            println!(
+                "  re-executions     : {} same-device, {} cross-device",
+                integ.reexec_same_device, integ.reexec_cross_device
+            );
+            println!("  repairs           : {}", integ.repairs);
+            println!("  quarantines       : {}", integ.quarantines);
         }
         if opts.devices > 1 || opts.mem_budget.is_some() || r.orchestration_events() > 0 {
             println!("  devices           : {}", r.num_gpus);

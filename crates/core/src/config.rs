@@ -341,6 +341,15 @@ pub struct SimConfig {
     /// `fault_overhead` bench bounds. Implied whenever any fault rate is
     /// nonzero.
     pub integrity_checks: bool,
+    /// Run the ABFT invariant checks on every kernel's output — per-chunk
+    /// 2-norm preservation, magnitude preservation for diagonal kernels,
+    /// zero-block checks for pruned chunks, and a whole-state norm gate
+    /// before Measure/Sample. This is the silent-data-corruption defense:
+    /// CRCs ([`SimConfig::integrity_checks`]) only guard *transfers*, so
+    /// a bit flip inside a kernel sails through them; the algebraic
+    /// invariants catch it. Implied whenever a kernel-flip fault is
+    /// injected (detection must be armed to prove itself).
+    pub verify_invariants: bool,
     /// Write a checkpoint every N program ops (0 disables). Requires
     /// [`SimConfig::checkpoint_path`].
     pub checkpoint_every: u64,
@@ -412,6 +421,7 @@ impl SimConfig {
             faults: FaultConfig::default(),
             retry: RetryPolicy::default(),
             integrity_checks: false,
+            verify_invariants: false,
             checkpoint_every: 0,
             checkpoint_path: None,
             orchestration: None,
@@ -547,6 +557,13 @@ impl SimConfig {
         self
     }
 
+    /// Enables the ABFT invariant checks on kernel output (see
+    /// [`SimConfig::verify_invariants`]).
+    pub fn with_verify_invariants(mut self) -> Self {
+        self.verify_invariants = true;
+        self
+    }
+
     /// Enables periodic checkpointing: a v2 checkpoint is written to
     /// `path` every `every` program ops.
     ///
@@ -625,10 +642,28 @@ impl SimConfig {
         self.integrity_checks || self.faults.any_enabled()
     }
 
+    /// True when the ABFT invariant middleware should run: explicitly
+    /// requested, or implied by an injected kernel-flip fault (the
+    /// checks must be armed for injected corruption to be detected and
+    /// repaired rather than silently shipped).
+    pub fn integrity_active(&self) -> bool {
+        self.verify_invariants || self.faults.kernel_faults_enabled()
+    }
+
     /// True when the device-group orchestrator should run: explicitly
-    /// configured, or any fleet-level fault is injected.
+    /// configured, or any fleet-level fault is injected. A kernel-flip
+    /// campaign on a multi-device fleet also counts — the health board's
+    /// quarantine verdicts drain through the orchestrator's re-shard
+    /// path, which must be up for a quarantined device to actually stop
+    /// receiving work.
     pub fn orchestration_active(&self) -> bool {
-        self.orchestration.is_some() || self.faults.device_faults_enabled()
+        self.orchestration.is_some() || self.implied_orchestration()
+    }
+
+    /// Injected faults that imply orchestration without explicit config.
+    fn implied_orchestration(&self) -> bool {
+        self.faults.device_faults_enabled()
+            || (self.faults.kernel_faults_enabled() && self.platform.num_gpus() > 1)
     }
 
     /// The orchestrator configuration to run with (explicit config, or
@@ -637,7 +672,7 @@ impl SimConfig {
     pub fn effective_orchestration(&self) -> Option<OrchestratorConfig> {
         if let Some(orch) = self.orchestration {
             Some(orch)
-        } else if self.faults.device_faults_enabled() {
+        } else if self.implied_orchestration() {
             Some(OrchestratorConfig {
                 seed: self.faults.seed,
                 ..OrchestratorConfig::default()

@@ -51,6 +51,10 @@ pub(crate) fn run_batch(
     let first = program[idx]
         .unitary()
         .expect("run_batch starts on a unitary op");
+    // Program index of `batch[0]`; batch ops are consecutive, so
+    // `batch[i]` is op `base_idx + i` (the integrity checks key their
+    // injection draws and violation reports on it).
+    let base_idx = idx;
     let mut batch: Vec<&FusedOp> = vec![first];
     idx += 1;
     while idx < program.len() && batch.len() < env.cfg.max_batch {
@@ -92,6 +96,12 @@ pub(crate) fn run_batch(
             if let Some(r) = env.rec {
                 r.add("chunks.pruned", batch.len() as u64);
             }
+            if let Some(imw) = env.integ.as_mut() {
+                // Zero (unallocated) chunks trivially hold no amplitude.
+                if !env.state.is_zero_chunk(chunk) {
+                    imw.check_zero_blocks(&env.state, std::iter::once(chunk), base_idx, env.rec)?;
+                }
+            }
             continue;
         }
         let applicable: Vec<usize> = (0..batch.len())
@@ -104,6 +114,7 @@ pub(crate) fn run_batch(
             env,
             chunk,
             &batch,
+            base_idx,
             &applicable,
             &tracker_end,
             pruning,
@@ -126,10 +137,12 @@ pub(crate) fn run_batch(
 
 /// One chunk's round trip through the batch: upload once, one kernel per
 /// applicable op, download once.
+#[allow(clippy::too_many_arguments)]
 fn batch_chunk(
     env: &mut Env,
     chunk: usize,
     batch: &[&FusedOp],
+    base_idx: usize,
     applicable: &[usize],
     tracker_end: &InvolvementTracker,
     pruning: bool,
@@ -199,10 +212,27 @@ fn batch_chunk(
             if batch[i].is_fused() {
                 env.tl.count_fused_kernel();
             }
-            let restarts =
-                env.executor
-                    .try_apply_local_run(&mut env.state, batch[i].actions(), &[chunk])?;
-            middleware::note_restarts(&mut env.tl, env.rec, restarts);
+            if env.integ.is_some() {
+                super::integrity::apply_gate(
+                    &mut env.integ,
+                    &mut env.executor,
+                    &mut env.state,
+                    &mut env.tl,
+                    env.rec,
+                    batch[i],
+                    base_idx + i,
+                    &[chunk],
+                    &[],
+                    &[],
+                )?;
+            } else {
+                let restarts = env.executor.try_apply_local_run(
+                    &mut env.state,
+                    batch[i].actions(),
+                    &[chunk],
+                )?;
+                middleware::note_restarts(&mut env.tl, env.rec, restarts);
+            }
         }
     }
     env.tl.count_processed(applicable.len() as u64);

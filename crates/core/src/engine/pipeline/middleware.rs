@@ -12,6 +12,7 @@
 //! * [`apply_functional`] — the bit-exact functional update shared by
 //!   every execution mode.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use qgpu_circuit::fuse::FusedOp;
@@ -478,6 +479,27 @@ pub(crate) fn validate_resume(
             Ok(ck.gates_done as usize)
         }
         None => Ok(0),
+    }
+}
+
+/// A checkpoint resume restarts at the last op *boundary*: whatever gate
+/// was in progress when the original run stopped is discarded and
+/// replayed from the checkpointed state. The replay is bit-identical, so
+/// nothing in the output betrays it — make it visible instead of silent:
+/// a flight-recorder event plus a one-time stderr warning (the same
+/// convention as qgpu-obs's `spans_dropped` warning).
+pub(crate) fn note_resume_discard(start: usize, rec: Option<&Recorder>) {
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    if let Some(r) = rec {
+        r.add("resume.discarded_ops", 1);
+        r.flight("resume", || {
+            format!("resume discards the in-progress op at index {start}; replaying it")
+        });
+    }
+    if !WARNED.swap(true, Ordering::Relaxed) {
+        eprintln!(
+            "[qgpu] checkpoint resume discards the in-progress op at index {start}; replaying it"
+        );
     }
 }
 

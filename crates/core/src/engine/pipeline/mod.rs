@@ -22,6 +22,7 @@
 //! `static_alloc`, on the same middleware.
 
 pub(crate) mod batch;
+pub(crate) mod integrity;
 pub(crate) mod middleware;
 pub(crate) mod obs_mw;
 pub(crate) mod spec;
@@ -51,6 +52,7 @@ use crate::checkpoint::Checkpoint;
 use crate::config::SimConfig;
 use crate::result::RunResult;
 
+use integrity::IntegrityMw;
 use middleware::{BarrierClock, CheckpointLayer, Orchestration, Resilience};
 use spec::{ExecMode, PipelineSpec};
 
@@ -87,6 +89,7 @@ pub(crate) struct Env<'a> {
     pub(crate) chunk_bits: u32,
     pub(crate) codec: GfcCodec,
     pub(crate) resil: Option<Resilience>,
+    pub(crate) integ: Option<IntegrityMw>,
     pub(crate) orch: Option<Orchestration>,
     /// Per-device modeled compute backlog, refilled at each assignment.
     pub(crate) backlog: Vec<f64>,
@@ -348,11 +351,48 @@ pub(crate) fn resize_chunks(env: &mut Env) {
         if let Some(rs) = env.resil.as_mut() {
             rs.on_repartition();
         }
+        if let Some(mw) = env.integ.as_mut() {
+            // Norm/peak tables are chunk-indexed: recompute for the new
+            // partition.
+            mw.rebuild(&env.state);
+        }
         for w in &mut env.windows {
             w.slots.clear();
             w.inflight = 0;
         }
     }
+}
+
+/// Drains a device the health board quarantined through the
+/// orchestrator's existing device-loss re-shard path. Without
+/// orchestration — or when the quarantined device is the last one
+/// standing — the quarantine is recorded (board state, counters, flight
+/// event) but the device keeps its shard: correctness is already
+/// guaranteed by repair-by-re-execution, so draining is an availability
+/// optimization, never worth killing the run over.
+pub(crate) fn drain_quarantine(env: &mut Env) -> Result<(), SimError> {
+    let Some(dev) = env
+        .integ
+        .as_mut()
+        .and_then(IntegrityMw::take_pending_quarantine)
+    else {
+        return Ok(());
+    };
+    if let Some(o) = env.orch.as_mut() {
+        if o.group.alive_devices() > 1 && o.group.is_alive(dev) {
+            middleware::handle_device_loss(
+                dev,
+                o,
+                &mut env.tl,
+                &mut env.windows,
+                &mut env.epoch_floor,
+                &mut env.chain,
+                env.cfg,
+                env.rec,
+            )?;
+        }
+    }
+    Ok(())
 }
 
 /// Engine entry point: apply the seeded noise rewrite (if configured),
@@ -413,6 +453,13 @@ fn run_streaming(
     let start = middleware::validate_resume(resume, n, program.len())?;
 
     let mut env = build_env(spec, cfg, rec, recorder, n, start, &program, resume);
+    if start > 0 {
+        middleware::note_resume_discard(start, rec);
+        if let Some(mw) = env.integ.as_mut() {
+            // A resumed state is not |0…0⟩: seed the tables from it.
+            mw.rebuild(&env.state);
+        }
+    }
     let mut crng = stochastic::CollapseRng::new(cfg.stoch_seed, n, &program[..start]);
     let mut ckpt = CheckpointLayer::new(start);
     let mut clock = BarrierClock::new(cfg, start);
@@ -454,11 +501,20 @@ fn run_streaming(
             // sound.)
             &ProgramOp::Measure { qubit } | &ProgramOp::Reset { qubit } => {
                 let is_reset = matches!(program[idx], ProgramOp::Reset { .. });
+                // The whole-state norm gate: the state must still be
+                // normalized before a collapse consumes it.
+                if let Some(imw) = env.integ.as_mut() {
+                    imw.check_whole_state(&env.state, idx, rec)?;
+                }
                 idx += 1;
                 mw.mark(obs_mw::DRIVER);
                 let u = crng.draw(qubit);
                 stochastic::collapse_streaming(&mut env, qubit, is_reset, u);
                 env.tracker.involve_mask(1u64 << qubit);
+                if let Some(imw) = env.integ.as_mut() {
+                    // Projection + renormalization reset every norm.
+                    imw.rebuild(&env.state);
+                }
                 mw.mark(obs_mw::MEASURE);
                 continue;
             }
@@ -474,6 +530,7 @@ fn run_streaming(
             idx = batch::run_batch(&mut env, &program, idx, compressing)?;
             mw.mark(obs_mw::KERNEL);
             mw.gate_done();
+            drain_quarantine(&mut env)?;
             continue;
         }
         idx += 1;
@@ -498,10 +555,16 @@ fn run_streaming(
         }
         mw.gate_done();
         env.tracker = g.tracker_after;
+        drain_quarantine(&mut env)?;
     }
 
     if let (Some(rs), Some(r)) = (env.resil.as_ref(), rec) {
         r.add("integrity.retags", rs.retags);
+    }
+    // The whole-state norm gate ahead of readout: the last line of
+    // defense before samples leave the engine.
+    if let Some(imw) = env.integ.as_mut() {
+        imw.check_whole_state(&env.state, program.len(), rec)?;
     }
     mw.mark(obs_mw::DRIVER);
     let samples = stochastic::sample_readout(&env.state, cfg, &mut env.tl, rec);
@@ -517,6 +580,7 @@ fn run_streaming(
         trace: env.tl.trace().to_vec(),
         obs: None,
         samples,
+        integrity: env.integ.as_ref().map(|m| m.summary),
     })
 }
 
@@ -596,6 +660,9 @@ fn build_env<'a>(
         chunk_bits,
         codec: codec_for(cfg, chunk_bits),
         resil: cfg.resilience_active().then(|| Resilience::new(cfg)),
+        integ: cfg
+            .integrity_active()
+            .then(|| IntegrityMw::new(cfg, n, chunk_bits)),
         // Resilient multi-device orchestration: explicit opt-in, or
         // implied by any configured device-level fault.
         orch: cfg

@@ -12,7 +12,6 @@ use qgpu_sched::plan::{ChunkTask, GatePlan};
 
 use crate::engine::flops_per_amp;
 
-use super::middleware;
 use super::xfer_stages::{CompressStage, DecompressStage, FetchStage, WritebackStage};
 use super::{Env, GateCtx, TaskCtx};
 
@@ -168,16 +167,45 @@ impl Stage for KernelStage {
                 ChunkTask::Group(grp) => groups.push(grp),
             }
         }
-        middleware::apply_functional(
+        // `g.idx` is the loop's post-increment index; the op itself is
+        // one back.
+        let op_idx = g.idx.saturating_sub(1);
+        super::integrity::apply_gate(
+            &mut env.integ,
             &mut env.executor,
             &mut env.state,
             &mut env.tl,
             env.rec,
             g.fop,
+            op_idx,
             &singles,
             &groups,
             plan.high_mixing(),
-        )
+        )?;
+        // Zero-block invariant over the chunks the prune stage skipped.
+        // Zero (unallocated) chunks trivially satisfy it, so the sweep
+        // hands the checker only the dense pruned chunks — the ones
+        // that could actually hold stray amplitude.
+        if g.pruning {
+            if let Some(imw) = env.integ.as_mut() {
+                if imw.zero_sweep_due() {
+                    let mut live = vec![false; plan.tasks().len()];
+                    for &i in &g.task_ixs {
+                        live[i] = true;
+                    }
+                    let state = &env.state;
+                    let pruned = plan
+                        .tasks()
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| !live[i])
+                        .flat_map(|(_, t)| t.chunks().iter().copied())
+                        .filter(|&c| !state.is_zero_chunk(c));
+                    imw.check_zero_blocks(state, pruned, op_idx, env.rec)?;
+                }
+            }
+        }
+        Ok(())
     }
 
     fn on_task(&self, t: &mut TaskCtx, g: &mut GateCtx, env: &mut Env) -> Result<(), SimError> {

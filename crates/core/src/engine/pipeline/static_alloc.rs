@@ -35,6 +35,7 @@ use crate::config::SimConfig;
 use crate::engine::flops_per_amp;
 use crate::result::RunResult;
 
+use super::integrity::IntegrityMw;
 use super::middleware::{self, BarrierClock, CheckpointLayer};
 use super::obs_mw::{self, ObsMw};
 use super::stochastic::{self, CollapseRng};
@@ -66,6 +67,7 @@ struct StaticRun<'a> {
     /// other instance with the same seed).
     dev_inj: Option<FaultInjector>,
     transfer_ix: u64,
+    integ: Option<IntegrityMw>,
 }
 
 pub(crate) fn run(
@@ -84,6 +86,13 @@ pub(crate) fn run(
     };
     let start = middleware::validate_resume(resume, n, program.len())?;
     let mut sr = StaticRun::new(cfg, rec, recorder, n, &program, resume);
+    if start > 0 {
+        middleware::note_resume_discard(start, rec);
+        if let Some(imw) = sr.integ.as_mut() {
+            // A resumed state is not |0…0⟩: seed the tables from it.
+            imw.rebuild(&sr.state);
+        }
+    }
     let mut crng = CollapseRng::new(cfg.stoch_seed, n, &program[..start]);
     let mut ckpt = CheckpointLayer::new(start);
     let mut clock = BarrierClock::new(cfg, start);
@@ -107,23 +116,56 @@ pub(crate) fn run(
         match op {
             ProgramOp::Unitary(fop) => {
                 mw.gate_begin();
-                sr.gate_step(fop)?;
+                sr.gate_step(fop, idx)?;
                 mw.mark(obs_mw::KERNEL);
                 mw.gate_done();
             }
             &ProgramOp::Measure { qubit } => {
+                if let Some(imw) = sr.integ.as_mut() {
+                    imw.check_whole_state(&sr.state, idx, rec)?;
+                }
                 mw.mark(obs_mw::DRIVER);
                 sr.collapse_step(qubit, false, crng.draw(qubit));
+                if let Some(imw) = sr.integ.as_mut() {
+                    imw.rebuild(&sr.state);
+                }
                 mw.mark(obs_mw::MEASURE);
             }
             &ProgramOp::Reset { qubit } => {
+                if let Some(imw) = sr.integ.as_mut() {
+                    imw.check_whole_state(&sr.state, idx, rec)?;
+                }
                 mw.mark(obs_mw::DRIVER);
                 sr.collapse_step(qubit, true, crng.draw(qubit));
+                if let Some(imw) = sr.integ.as_mut() {
+                    imw.rebuild(&sr.state);
+                }
                 mw.mark(obs_mw::MEASURE);
+            }
+        }
+        // A quarantine verdict from the board re-homes the device's
+        // stripe to the host through the existing loss path (never for
+        // the last device standing — correctness is already covered by
+        // repair, so draining is purely an availability move).
+        if let Some(d) = sr
+            .integ
+            .as_mut()
+            .and_then(IntegrityMw::take_pending_quarantine)
+        {
+            let can_drain = sr
+                .group
+                .as_ref()
+                .is_some_and(|g| g.alive_devices() > 1 && g.is_alive(d));
+            if can_drain {
+                sr.on_loss(d)?;
             }
         }
     }
 
+    // The whole-state norm gate ahead of readout.
+    if let Some(imw) = sr.integ.as_mut() {
+        imw.check_whole_state(&sr.state, program.len(), rec)?;
+    }
     mw.mark(obs_mw::DRIVER);
     let samples = stochastic::sample_readout(&sr.state, cfg, &mut sr.tl, rec);
     mw.mark(obs_mw::SAMPLE);
@@ -138,6 +180,7 @@ pub(crate) fn run(
         trace: sr.tl.trace().to_vec(),
         obs: None,
         samples,
+        integrity: sr.integ.as_ref().map(|m| m.summary),
     })
 }
 
@@ -233,6 +276,9 @@ impl<'a> StaticRun<'a> {
                 .device_faults_enabled()
                 .then(|| FaultInjector::new(cfg.faults)),
             transfer_ix: 0,
+            integ: cfg
+                .integrity_active()
+                .then(|| IntegrityMw::new(cfg, n, chunk_bits)),
         }
     }
 
@@ -315,7 +361,7 @@ impl<'a> StaticRun<'a> {
 
     /// One program op: partition, update batches, reactive exchange,
     /// sync, then the functional update.
-    fn gate_step(&mut self, fop: &FusedOp) -> Result<(), SimError> {
+    fn gate_step(&mut self, fop: &FusedOp, op_idx: usize) -> Result<(), SimError> {
         let action = fop.collapsed();
         let plan = GatePlan::new_observed(action, self.chunk_bits, self.num_chunks, self.rec);
         let fpa = flops_per_amp(action);
@@ -400,12 +446,14 @@ impl<'a> StaticRun<'a> {
                 ChunkTask::Group(g) => groups.push(g),
             }
         }
-        middleware::apply_functional(
+        super::integrity::apply_gate(
+            &mut self.integ,
             &mut self.executor,
             &mut self.state,
             &mut self.tl,
             self.rec,
             fop,
+            op_idx,
             &singles,
             &groups,
             plan.high_mixing(),

@@ -120,10 +120,15 @@ pub(crate) fn transfer_with_integrity(
             });
         }
         // Arrival CRC mismatched: back off (modeled), then retransmit.
+        // Seeded jitter keyed by the transfer index decorrelates
+        // simultaneous per-device retries (bare exponential backoff
+        // resynchronizes them into retry storms) while keeping replay
+        // under a fixed seed bit-exact.
         let b = tl.schedule(
             link_engine,
             span.end,
-            rs.retry.backoff_s(attempt),
+            rs.retry
+                .jittered_backoff_s(rs.inj.config().seed ^ index, attempt),
             TaskKind::Backoff,
             0,
         );

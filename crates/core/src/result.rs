@@ -2,6 +2,7 @@
 
 use qgpu_device::timeline::TraceEvent;
 use qgpu_device::ExecutionReport;
+use qgpu_faults::IntegritySummary;
 use qgpu_obs::{FlightEvent, MetricsSnapshot, RegistrySnapshot, WallSpan};
 use qgpu_statevec::StateVector;
 
@@ -49,6 +50,10 @@ pub struct RunResult {
     /// Seeded end-of-circuit shot counts as `(basis_state, count)` pairs,
     /// descending by count (when [`crate::SimConfig::shots`] was nonzero).
     pub samples: Option<Vec<(usize, u64)>>,
+    /// ABFT invariant-check tallies (when
+    /// [`crate::SimConfig::integrity_active`] held for the run): checks,
+    /// violations, re-executions, repairs, and quarantines.
+    pub integrity: Option<IntegritySummary>,
 }
 
 impl RunResult {
@@ -89,6 +94,7 @@ mod tests {
             trace: Vec::new(),
             obs: None,
             samples: None,
+            integrity: None,
         }
     }
 

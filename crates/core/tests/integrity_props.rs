@@ -1,0 +1,124 @@
+//! Property tests for the ABFT invariant layer (silent-data-corruption
+//! defense). Two contracts:
+//!
+//! 1. **No false positives** — with `--verify-invariants` on and no
+//!    faults injected, every version × thread count × device count ×
+//!    chunk size completes with zero violations, on ideal and noisy
+//!    circuits alike. A checker that cries wolf would burn the repair
+//!    budget on healthy silicon.
+//! 2. **Detection + audited repair** — a single injected kernel
+//!    bit-flip (at the default high-magnitude bit) is always caught by
+//!    the chunk-norm invariant and repaired by bounded re-execution,
+//!    leaving the final state and shot samples bit-identical to a
+//!    fault-free run of the same seeds.
+
+use proptest::prelude::*;
+use qgpu::config::{SimConfig, Version};
+use qgpu::Simulator;
+use qgpu_circuit::generators::Benchmark;
+use qgpu_circuit::NoiseConfig;
+use qgpu_device::Platform;
+
+const QUBITS: usize = 9;
+
+/// Base config over one or four modeled GPUs, with the physics seed and
+/// execution-shape knobs under test.
+fn base_cfg(version: Version, threads: usize, quad: bool, chunk_log2: u32, seed: u64) -> SimConfig {
+    let mut cfg = if quad {
+        SimConfig::new(Platform::quad_p4_pcie().miniaturize(QUBITS, 0.05))
+    } else {
+        SimConfig::scaled_paper(QUBITS)
+    };
+    cfg = cfg
+        .with_version(version)
+        .with_threads(threads)
+        .with_chunk_count_log2(chunk_log2);
+    cfg.stoch_seed = seed;
+    cfg.shots = 8;
+    cfg
+}
+
+fn assert_bitwise_eq(a: &qgpu_statevec::StateVector, b: &qgpu_statevec::StateVector) {
+    assert_eq!(a.len(), b.len());
+    for i in 0..a.len() {
+        let (x, y) = (a.amp(i), b.amp(i));
+        assert!(
+            x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+            "amplitude {i} differs: {x:?} vs {y:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn invariant_checks_never_false_positive(
+        vi in 0usize..6,
+        shape in 0u8..8,
+        chunk_log2 in 3u32..7,
+        bench in prop_oneof![
+            Just(Benchmark::Qft),
+            Just(Benchmark::Iqp),
+            Just(Benchmark::Hchain),
+        ],
+        seed in 0u64..1024,
+    ) {
+        let version = Version::ALL[vi];
+        // Three packed execution-shape bits (the vendored proptest caps
+        // a strategy tuple at six elements).
+        let threads = if shape & 1 == 0 { 1 } else { 4 };
+        let quad = shape & 2 != 0;
+        let noisy = shape & 4 != 0;
+        let mut cfg = base_cfg(version, threads, quad, chunk_log2, seed);
+        if noisy {
+            cfg = cfg.with_noise(NoiseConfig {
+                depolarizing: 0.02,
+                bit_flip: 0.01,
+                phase_flip: 0.01,
+                loss: 0.005,
+            });
+        }
+        let r = Simulator::new(cfg.with_verify_invariants())
+            .try_run(&bench.generate(QUBITS))
+            .expect("a fault-free run must pass every invariant check");
+        let s = r.integrity.expect("verification attaches a summary");
+        prop_assert!(s.checks > 0, "checks must actually run");
+        prop_assert_eq!(s.violations, 0, "false positive: {:?}", s);
+        prop_assert_eq!(s.flips_injected, 0);
+    }
+
+    #[test]
+    fn single_kernel_flip_is_detected_and_repaired_bit_exactly(
+        vi in 0usize..6,
+        shape in 0u8..4,
+        chunk_log2 in 3u32..7,
+        flip_at in 2usize..12,
+        seeds in 0u64..1024u64.pow(2),
+    ) {
+        let version = Version::ALL[vi];
+        let threads = if shape & 1 == 0 { 1 } else { 4 };
+        let quad = shape & 2 != 0;
+        let (seed, fault_seed) = (seeds % 1024, seeds / 1024);
+        let circuit = Benchmark::Qft.generate(QUBITS);
+        let clean = Simulator::new(base_cfg(version, threads, quad, chunk_log2, seed))
+            .try_run(&circuit)
+            .expect("fault-free reference");
+
+        let mut cfg = base_cfg(version, threads, quad, chunk_log2, seed);
+        cfg.faults.seed = fault_seed;
+        cfg.faults.kernel_flip_at = flip_at;
+        let r = Simulator::new(cfg)
+            .try_run(&circuit)
+            .expect("a single flip must be absorbed, not surfaced");
+        let s = r.integrity.expect("kernel faults attach a summary");
+        prop_assert!(s.flips_injected >= 1, "the flip must actually fire");
+        prop_assert!(s.violations >= 1, "undetected flip: {:?}", s);
+        prop_assert!(s.fully_repaired(), "unrepaired violation: {:?}", s);
+        assert_bitwise_eq(
+            r.state.as_ref().expect("state kept"),
+            clean.state.as_ref().expect("state kept"),
+        );
+        prop_assert_eq!(r.samples, clean.samples);
+    }
+}

@@ -67,6 +67,16 @@ pub enum SimError {
         /// The program-op index the run stopped at.
         op: usize,
     },
+    /// An ABFT invariant check caught silent data corruption in kernel
+    /// output and bounded re-execution could not restore it — the
+    /// hardware is lying persistently. Recoverable at the job level: a
+    /// re-run placed on a different device can succeed.
+    InvariantViolation {
+        /// The program-op index whose kernel output violated the invariant.
+        gate: usize,
+        /// The chunk index the violation was localized to.
+        chunk: usize,
+    },
 }
 
 impl SimError {
@@ -81,6 +91,7 @@ impl SimError {
                 | SimError::WorkerLost { .. }
                 | SimError::StageTimeout { .. }
                 | SimError::AllDevicesLost { .. }
+                | SimError::InvariantViolation { .. }
         )
     }
 }
@@ -118,6 +129,10 @@ impl fmt::Display for SimError {
             SimError::DeadlineExceeded { op } => {
                 write!(f, "deadline exceeded; run stopped at gate boundary {op}")
             }
+            SimError::InvariantViolation { gate, chunk } => write!(
+                f,
+                "invariant violation at gate {gate} chunk {chunk} persisted through re-execution"
+            ),
         }
     }
 }
@@ -169,6 +184,10 @@ mod tests {
         }
         .is_recoverable());
         assert!(SimError::AllDevicesLost { device: 1 }.is_recoverable());
+        assert!(
+            SimError::InvariantViolation { gate: 4, chunk: 2 }.is_recoverable(),
+            "a different device can re-run the job successfully"
+        );
         assert!(!SimError::JobAborted { op: 3 }.is_recoverable());
         assert!(!SimError::DeadlineExceeded { op: 3 }.is_recoverable());
         assert!(!SimError::Fatal {
@@ -184,6 +203,9 @@ mod tests {
         assert!(SimError::DeadlineExceeded { op: 9 }
             .to_string()
             .contains("deadline"));
+        let e = SimError::InvariantViolation { gate: 11, chunk: 5 };
+        assert!(e.to_string().contains("gate 11"));
+        assert!(e.to_string().contains("chunk 5"));
     }
 
     #[test]

@@ -37,6 +37,11 @@ pub enum FaultSite {
     /// retraining, oversubscribed switch); the transfer completes but at
     /// [`FaultConfig::link_degrade_factor`] times the nominal cost.
     LinkDegraded,
+    /// A bit flips inside a kernel's *output amplitudes* — silent data
+    /// corruption the transfer CRCs cannot see, because the corrupted
+    /// value is what gets checksummed. Only the ABFT invariant checks
+    /// (`qgpu-faults::invariant`) can catch it.
+    KernelFlip,
 }
 
 impl FaultSite {
@@ -49,6 +54,7 @@ impl FaultSite {
             FaultSite::StageSlowdown => 0x736c_6f77_0000_0000,   // "slow"
             FaultSite::DeviceLost => 0x6465_7669_6365_0000,      // "device"
             FaultSite::LinkDegraded => 0x6c69_6e6b_0000_0000,    // "link"
+            FaultSite::KernelFlip => 0x6b66_6c69_7000_0000,      // "kflip"
         }
     }
 }
@@ -95,6 +101,28 @@ pub struct FaultConfig {
     /// mitigation is exercised by the same knob the stage-slowdown
     /// tests already calibrate.
     pub straggler_device: usize,
+    /// Probability a kernel occurrence flips a bit in its output
+    /// amplitudes (drawn per `(op, attempt)`, so re-execution converges
+    /// like real transient SDC).
+    pub p_kernel_flip: f64,
+    /// First program-op index of a deterministic kernel-flip window
+    /// (`usize::MAX` = never) — the hook the detection tests and the CI
+    /// smoke job corrupt a kernel with.
+    pub kernel_flip_at: usize,
+    /// How many consecutive unitary ops starting at
+    /// [`FaultConfig::kernel_flip_at`] get flipped (minimum 1). Several
+    /// flips in a row are what drive one device's health score into
+    /// quarantine.
+    pub kernel_flip_count: u32,
+    /// How many re-execution attempts the deterministic flip persists
+    /// for (minimum 1). `1` models a transient — the same-device retry
+    /// already comes back clean; `2` models a sticky lane fault that
+    /// forces escalation to a different device.
+    pub kernel_flip_attempts: u32,
+    /// Which bit of the amplitude's real-component f64 to flip
+    /// (default 62, the exponent MSB — loud). Lower bits probe the
+    /// detection-coverage floor.
+    pub kernel_flip_bit: u32,
 }
 
 impl Default for FaultConfig {
@@ -114,6 +142,11 @@ impl Default for FaultConfig {
             p_link_degraded: 0.0,
             link_degrade_factor: 4.0,
             straggler_device: usize::MAX,
+            p_kernel_flip: 0.0,
+            kernel_flip_at: usize::MAX,
+            kernel_flip_count: 1,
+            kernel_flip_attempts: 1,
+            kernel_flip_bit: 62,
         }
     }
 }
@@ -128,6 +161,14 @@ impl FaultConfig {
             || self.p_stage_slowdown > 0.0
             || self.fail_at_gate != usize::MAX
             || self.device_faults_enabled()
+            || self.kernel_faults_enabled()
+    }
+
+    /// True when a kernel bit-flip can fire — the engines arm the
+    /// integrity middleware (snapshot + re-execution) whenever this
+    /// holds, even if `--verify-invariants` was not asked for.
+    pub fn kernel_faults_enabled(&self) -> bool {
+        self.p_kernel_flip > 0.0 || self.kernel_flip_at != usize::MAX
     }
 
     /// True when any fleet-level fault can fire — device loss, link
@@ -184,6 +225,7 @@ impl FaultInjector {
             FaultSite::StageSlowdown => self.cfg.p_stage_slowdown,
             FaultSite::DeviceLost => self.cfg.p_device_lost,
             FaultSite::LinkDegraded => self.cfg.p_link_degraded,
+            FaultSite::KernelFlip => self.cfg.p_kernel_flip,
         };
         if p <= 0.0 {
             return false;
@@ -237,6 +279,32 @@ impl FaultInjector {
         } else {
             1.0
         }
+    }
+
+    /// Decides whether kernel occurrence `op` flips an output bit on
+    /// re-execution attempt `attempt` (0 = first run).
+    ///
+    /// The deterministic window (`kernel_flip_at` .. `+ kernel_flip_count`)
+    /// persists for the first `kernel_flip_attempts` attempts, then
+    /// clears — so a transient (1 attempt) is repaired by the
+    /// same-device retry and a sticky fault (≥ 2) forces the
+    /// cross-device escalation. The probabilistic site redraws per
+    /// `(op, attempt)` like every other injector decision.
+    pub fn kernel_flip_fires(&self, op: usize, attempt: u32) -> bool {
+        if self.cfg.kernel_flip_at != usize::MAX {
+            let lo = self.cfg.kernel_flip_at;
+            let hi = lo.saturating_add(self.cfg.kernel_flip_count.max(1) as usize);
+            if (lo..hi).contains(&op) && attempt < self.cfg.kernel_flip_attempts.max(1) {
+                return true;
+            }
+        }
+        self.fires_attempt(FaultSite::KernelFlip, op as u64, attempt)
+    }
+
+    /// Which bit of the amplitude's real-component f64 a firing kernel
+    /// flip corrupts (clamped to the 0..=63 f64 bit range).
+    pub fn kernel_flip_bit(&self) -> u32 {
+        self.cfg.kernel_flip_bit.min(63)
     }
 
     /// The kernel-time multiplier for work placed on `device`: the
@@ -408,6 +476,75 @@ mod tests {
         assert_eq!(inj.link_stretch(5), 6.0);
         assert_eq!(inj.straggler_stretch(1), 3.0);
         assert_eq!(inj.straggler_stretch(0), 1.0);
+    }
+
+    #[test]
+    fn kernel_flip_defaults_off() {
+        let cfg = FaultConfig::default();
+        assert!(!cfg.kernel_faults_enabled());
+        let inj = FaultInjector::new(cfg);
+        for op in 0..256 {
+            assert!(!inj.kernel_flip_fires(op, 0));
+        }
+    }
+
+    #[test]
+    fn deterministic_kernel_flip_covers_window_then_clears() {
+        let cfg = FaultConfig {
+            kernel_flip_at: 5,
+            kernel_flip_count: 3,
+            kernel_flip_attempts: 1,
+            ..FaultConfig::default()
+        };
+        assert!(cfg.kernel_faults_enabled() && cfg.any_enabled());
+        let inj = FaultInjector::new(cfg);
+        assert!(!inj.kernel_flip_fires(4, 0));
+        for op in 5..8 {
+            assert!(inj.kernel_flip_fires(op, 0), "op {op} in window");
+            assert!(!inj.kernel_flip_fires(op, 1), "retry runs clean");
+        }
+        assert!(!inj.kernel_flip_fires(8, 0));
+    }
+
+    #[test]
+    fn sticky_kernel_flip_persists_across_attempts() {
+        let inj = FaultInjector::new(FaultConfig {
+            kernel_flip_at: 2,
+            kernel_flip_attempts: 2,
+            ..FaultConfig::default()
+        });
+        assert!(inj.kernel_flip_fires(2, 0));
+        assert!(inj.kernel_flip_fires(2, 1), "sticky fault survives retry");
+        assert!(!inj.kernel_flip_fires(2, 2), "escalated re-run is clean");
+    }
+
+    #[test]
+    fn probabilistic_kernel_flip_redraws_per_attempt() {
+        let cfg = FaultConfig {
+            seed: 13,
+            p_kernel_flip: 0.5,
+            ..FaultConfig::default()
+        };
+        assert!(cfg.kernel_faults_enabled());
+        let inj = FaultInjector::new(cfg);
+        let op = (0..1000)
+            .find(|&op| inj.kernel_flip_fires(op, 0))
+            .expect("some flip at p=0.5");
+        assert!(
+            (1..64).any(|a| !inj.kernel_flip_fires(op, a)),
+            "a re-execution must eventually run clean"
+        );
+    }
+
+    #[test]
+    fn kernel_flip_bit_defaults_to_exponent_and_clamps() {
+        let inj = FaultInjector::new(FaultConfig::default());
+        assert_eq!(inj.kernel_flip_bit(), 62);
+        let wild = FaultInjector::new(FaultConfig {
+            kernel_flip_bit: 900,
+            ..FaultConfig::default()
+        });
+        assert_eq!(wild.kernel_flip_bit(), 63);
     }
 
     #[test]

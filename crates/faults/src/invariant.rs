@@ -1,0 +1,236 @@
+//! ABFT invariants for chunked state-vector simulation.
+//!
+//! State-vector simulation has unusually strong algebraic invariants,
+//! which makes silent data corruption (a bit flip inside a kernel, a
+//! miscompiled SIMD lane, a flaky device) *detectable online* at a
+//! fraction of the cost of full duplication:
+//!
+//! - every unitary gate preserves the 2-norm of the state, and a gate
+//!   whose mixing qubits are chunk-local preserves the 2-norm of **each
+//!   chunk independently** ([`InvariantKind::ChunkNorm`]);
+//! - a high-mixing gate moves amplitude only *within* its chunk group,
+//!   so the summed norm over the group is preserved
+//!   ([`InvariantKind::GroupNorm`]);
+//! - a diagonal kernel multiplies every amplitude by a unit phase, so
+//!   per-amplitude magnitudes — and hence the per-chunk peak |a|² —
+//!   are preserved exactly up to rounding ([`InvariantKind::Magnitude`]);
+//! - a chunk the involvement tracker prunes must hold exactly zero
+//!   amplitude ([`InvariantKind::ZeroBlock`]);
+//! - the whole state must have norm 1 before any Measure/Sample
+//!   consumes it ([`InvariantKind::WholeState`]).
+//!
+//! This module holds the *policy* — the invariant taxonomy, the
+//! tolerance model scaled by precision and work size, and the
+//! serializable [`IntegritySummary`] a run reports — while the engine
+//! crate owns the mechanism (the `IntegrityMw` pipeline middleware that
+//! maintains per-chunk norm tables and drives repair).
+
+use serde::{Deserialize, Serialize};
+
+/// Which algebraic invariant a check exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvariantKind {
+    /// A chunk-local unitary preserved the chunk's squared 2-norm.
+    ChunkNorm,
+    /// A high-mixing unitary preserved the summed norm of its chunk group.
+    GroupNorm,
+    /// A diagonal kernel preserved the chunk's peak per-amplitude |a|².
+    Magnitude,
+    /// A pruned chunk stayed exactly zero.
+    ZeroBlock,
+    /// The whole state has unit norm at a Measure/Sample boundary.
+    WholeState,
+}
+
+impl InvariantKind {
+    /// Stable label used in metrics, flight events, and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            InvariantKind::ChunkNorm => "chunk_norm",
+            InvariantKind::GroupNorm => "group_norm",
+            InvariantKind::Magnitude => "magnitude",
+            InvariantKind::ZeroBlock => "zero_block",
+            InvariantKind::WholeState => "whole_state",
+        }
+    }
+}
+
+/// Tolerance policy for one invariant comparison.
+///
+/// Scaled by precision (`f64::EPSILON`) and by how much rounding the
+/// guarded computation can legitimately accumulate — the number of
+/// fused member gates replayed and the log of the reduction size — so
+/// the checks hold under any legal thread/device/chunk-size reorder
+/// while still catching any exponent-bit flip and most mantissa flips
+/// in non-negligible amplitudes.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_faults::invariant::Tolerance;
+///
+/// let tol = Tolerance::per_gate(1 << 16, 1);
+/// assert!(tol.within(1.0, 1.0 + 1e-14));
+/// assert!(!tol.within(1.0, 1.25)); // a flipped exponent bit is loud
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Allowed relative deviation, in units of the larger magnitude.
+    pub rel: f64,
+    /// Absolute floor below which values count as zero.
+    pub abs: f64,
+}
+
+impl Tolerance {
+    /// Tolerance for a per-gate chunk/group norm comparison over `work`
+    /// amplitudes, where the kernel replays `member_gates` fused gates.
+    ///
+    /// Each member gate perturbs an amplitude by a few ulps; the
+    /// compensated norm reduction adds ~1 ulp more. The budget is a
+    /// generous constant times that bound, far above legitimate
+    /// rounding and far below any detectable corruption.
+    pub fn per_gate(work: usize, member_gates: usize) -> Tolerance {
+        let bits = (work.max(2) as f64).log2();
+        let gates = member_gates.max(1) as f64;
+        let rel = 64.0 * f64::EPSILON * gates * bits;
+        Tolerance {
+            rel,
+            // Absolute floor: a "preserved" norm this small is zero for
+            // all purposes (a dense chunk of pure rounding dust).
+            abs: f64::EPSILON * f64::EPSILON,
+        }
+    }
+
+    /// Tolerance for the whole-state norm gate over `total_amps`
+    /// amplitudes after `gates` checked gates: rounding drift grows at
+    /// most linearly in gate count, so the budget does too.
+    pub fn whole_state(total_amps: usize, gates: u64) -> Tolerance {
+        let bits = (total_amps.max(2) as f64).log2();
+        let rel = 32.0 * f64::EPSILON * bits * (gates.saturating_add(1)) as f64;
+        Tolerance {
+            rel,
+            abs: f64::EPSILON * f64::EPSILON,
+        }
+    }
+
+    /// Whether `after` is an acceptable post-kernel value for a
+    /// quantity whose exact mathematics preserves `before`.
+    pub fn within(&self, before: f64, after: f64) -> bool {
+        let scale = before.abs().max(after.abs());
+        if scale <= self.abs {
+            return true;
+        }
+        (after - before).abs() <= self.rel * scale
+    }
+}
+
+/// Serializable tally of one run's integrity activity, attached to the
+/// engine's `RunResult` so callers (the serve layer, the load driver,
+/// tests) can audit what the defense layer saw and did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntegritySummary {
+    /// Invariant comparisons performed.
+    pub checks: u64,
+    /// Comparisons that failed (before any repair).
+    pub violations: u64,
+    /// Gates re-executed on the same device after a first violation.
+    pub reexec_same_device: u64,
+    /// Gates escalated to re-execution on a different device
+    /// (dual-run vote) after a repeated violation.
+    pub reexec_cross_device: u64,
+    /// Violated gates whose re-execution restored the invariant.
+    pub repairs: u64,
+    /// Kernel bit-flips the injector actually fired (ground truth the
+    /// detection tests compare `violations` against).
+    pub flips_injected: u64,
+    /// Devices the engine-side health board quarantined during the run.
+    pub quarantines: u64,
+}
+
+impl IntegritySummary {
+    /// True when no invariant ever tripped.
+    pub fn clean(&self) -> bool {
+        self.violations == 0
+    }
+
+    /// True when every violation was repaired in place — the run's
+    /// output is trustworthy despite injected or real corruption.
+    pub fn fully_repaired(&self) -> bool {
+        self.violations == 0 || self.repairs > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        let kinds = [
+            InvariantKind::ChunkNorm,
+            InvariantKind::GroupNorm,
+            InvariantKind::Magnitude,
+            InvariantKind::ZeroBlock,
+            InvariantKind::WholeState,
+        ];
+        let labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
+        for (i, a) in labels.iter().enumerate() {
+            for b in &labels[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(InvariantKind::ChunkNorm.label(), "chunk_norm");
+    }
+
+    #[test]
+    fn per_gate_tolerance_admits_rounding_rejects_corruption() {
+        let tol = Tolerance::per_gate(1 << 19, 4);
+        // Legitimate rounding: a few hundred ulps of drift.
+        assert!(tol.within(0.25, 0.25 * (1.0 + 1e-12)));
+        // Corruption: an exponent-bit flip doubles (or worse) a
+        // dominant amplitude's contribution.
+        assert!(!tol.within(0.25, 0.5));
+        assert!(!tol.within(0.25, 0.0));
+        // Zero-norm chunks stay acceptable as exactly zero.
+        assert!(tol.within(0.0, 0.0));
+    }
+
+    #[test]
+    fn tolerance_scales_with_gate_count_and_work() {
+        let small = Tolerance::per_gate(1 << 10, 1);
+        let fused = Tolerance::per_gate(1 << 10, 8);
+        let big = Tolerance::per_gate(1 << 24, 1);
+        assert!(fused.rel > small.rel, "fused kernels earn more budget");
+        assert!(big.rel > small.rel, "bigger reductions earn more budget");
+        let early = Tolerance::whole_state(1 << 20, 1);
+        let late = Tolerance::whole_state(1 << 20, 10_000);
+        assert!(late.rel > early.rel, "drift budget grows with gate count");
+        // Even a 10k-gate whole-state budget stays far below an
+        // exponent flip's signature.
+        assert!(!late.within(1.0, 1.0 + 1e-3));
+    }
+
+    #[test]
+    fn tiny_scales_count_as_zero() {
+        let tol = Tolerance::per_gate(4096, 1);
+        // Both sides beneath the absolute floor: equal as zero, even
+        // though their relative difference is huge.
+        assert!(tol.within(1e-300, 3e-300));
+        assert!(!tol.within(1e-300, 1e-3));
+    }
+
+    #[test]
+    fn summary_classifies_runs() {
+        let mut s = IntegritySummary::default();
+        assert!(s.clean() && s.fully_repaired());
+        s.checks = 100;
+        s.violations = 2;
+        assert!(!s.clean() && !s.fully_repaired());
+        s.repairs = 2;
+        s.reexec_same_device = 1;
+        s.reexec_cross_device = 1;
+        assert!(s.fully_repaired());
+        let copy = s;
+        assert_eq!(copy, s, "summary is a plain copyable tally");
+    }
+}

@@ -15,9 +15,13 @@
 //!   index)`, so a run with a given seed injects *exactly* the same
 //!   faults no matter the thread count or pipeline interleaving — which
 //!   is what makes fault-injection tests reproducible.
-//! * [`RetryPolicy`] — bounded retry with exponential backoff, expressed
-//!   in modeled seconds so the device timeline can charge retries
-//!   visibly.
+//! * [`RetryPolicy`] — bounded retry with exponential backoff (plus
+//!   deterministic seeded jitter), expressed in modeled seconds so the
+//!   device timeline can charge retries visibly.
+//! * [`invariant`] — ABFT invariant taxonomy, tolerance policy, and the
+//!   [`IntegritySummary`] tally behind the silent-data-corruption
+//!   defense: CRCs only guard *transfers*, so kernel-output corruption
+//!   needs algebraic checks (norm/magnitude/zero-block preservation).
 //! * [`CancelToken`] — a shared, one-shot cancellation token the
 //!   pipeline polls at gate boundaries, so callers (and serving-layer
 //!   reapers) can stop a run cleanly mid-circuit.
@@ -45,10 +49,12 @@ pub mod cancel;
 pub mod crc32;
 pub mod error;
 pub mod inject;
+pub mod invariant;
 pub mod retry;
 
 pub use cancel::{CancelReason, CancelToken};
 pub use crc32::{crc32, fast_checksum, Crc32};
 pub use error::SimError;
 pub use inject::{FaultConfig, FaultInjector, FaultSite};
+pub use invariant::{IntegritySummary, InvariantKind, Tolerance};
 pub use retry::RetryPolicy;

@@ -2,7 +2,13 @@
 
 use serde::{Deserialize, Serialize};
 
+use qgpu_math::rng::unit_draw;
+
 use crate::SimError;
+
+/// Salt for the jitter draw — its own decision stream, independent of
+/// every fault-injection site ("jitter" in ASCII).
+const SALT_RETRY_JITTER: u64 = 0x6a69_7474_6572_0000;
 
 /// Retry policy for integrity failures: up to `max_retries` re-attempts,
 /// waiting `base_backoff_s * multiplier^attempt` (capped) before each.
@@ -63,6 +69,31 @@ impl RetryPolicy {
         } else {
             self.max_backoff_s
         }
+    }
+
+    /// The wait before retry `attempt` with deterministic, seeded
+    /// jitter: the nominal [`RetryPolicy::backoff_s`] scaled by a
+    /// pure-splitmix64 draw of `(seed, attempt)` into `[0.75, 1.25)`.
+    ///
+    /// Ungittered exponential backoff resynchronizes: when one glitch
+    /// trips N devices at once, every retry wave lands at the same
+    /// modeled instant and hammers the shared link again. A ±25% spread
+    /// keyed by the caller's seed breaks the phase lock while keeping
+    /// replay bit-exact — the same `(seed, attempt)` always waits the
+    /// same time. Callers decorrelate concurrent sites by folding a
+    /// site index (device, transfer occurrence) into `seed`.
+    ///
+    /// ```
+    /// use qgpu_faults::RetryPolicy;
+    ///
+    /// let p = RetryPolicy::default();
+    /// let j = p.jittered_backoff_s(7, 0);
+    /// assert_eq!(j, p.jittered_backoff_s(7, 0)); // replayable
+    /// assert!(j >= 0.75 * p.backoff_s(0) && j < 1.25 * p.backoff_s(0));
+    /// ```
+    pub fn jittered_backoff_s(&self, seed: u64, attempt: u32) -> f64 {
+        let u = unit_draw(seed, SALT_RETRY_JITTER, u64::from(attempt), 0);
+        (self.backoff_s(attempt) * (0.75 + 0.5 * u)).min(self.max_backoff_s)
     }
 
     /// Total modeled wait if every retry is consumed. Once the per-try
@@ -167,6 +198,39 @@ mod tests {
         let w = p.worst_case_backoff_s();
         assert!(w.is_finite());
         assert!(w >= f64::from(u32::MAX - 64));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_decorrelated() {
+        let p = RetryPolicy::default();
+        for seed in [0u64, 7, 0xDEAD_BEEF] {
+            for attempt in 0..8 {
+                let a = p.jittered_backoff_s(seed, attempt);
+                let b = p.jittered_backoff_s(seed, attempt);
+                assert_eq!(a.to_bits(), b.to_bits(), "replay must be bit-exact");
+                let nominal = p.backoff_s(attempt);
+                assert!(
+                    a >= 0.75 * nominal && a <= 1.25 * nominal,
+                    "{a} vs {nominal}"
+                );
+                assert!(a <= p.max_backoff_s, "jitter must respect the cap");
+            }
+        }
+        // Two sites (different seeds) must not wait in lockstep.
+        let waves_a: Vec<u64> = (0..16)
+            .map(|a| p.jittered_backoff_s(1, a).to_bits())
+            .collect();
+        let waves_b: Vec<u64> = (0..16)
+            .map(|a| p.jittered_backoff_s(2, a).to_bits())
+            .collect();
+        assert_ne!(waves_a, waves_b, "seeds must decorrelate retry waves");
+        // And successive attempts of one site are not a constant scale
+        // of the nominal curve (the jitter actually varies).
+        let f0 = p.jittered_backoff_s(5, 0) / p.backoff_s(0);
+        assert!(
+            (1..8).any(|a| (p.jittered_backoff_s(5, a) / p.backoff_s(a) - f0).abs() > 1e-3),
+            "jitter factor must vary across attempts"
+        );
     }
 
     #[test]

@@ -78,6 +78,83 @@ pub fn block_range(block: usize, len: usize) -> core::ops::Range<usize> {
     start..len.min(start + REDUCE_BLOCK)
 }
 
+/// Neumaier-compensated sum of a block of values, left-to-right.
+///
+/// The improved Kahan scheme: the running compensation absorbs the
+/// rounding error of every addition regardless of which operand is
+/// larger, so the block partial is accurate to ~1 ulp of the true sum
+/// even for ill-conditioned inputs. Order is strictly left-to-right, so
+/// the result depends only on the slice contents.
+fn neumaier_sum(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0f64;
+    let mut comp = 0.0f64;
+    for v in values {
+        let t = sum + v;
+        comp += if sum.abs() >= v.abs() {
+            (sum - t) + v
+        } else {
+            (v - t) + sum
+        };
+        sum = t;
+    }
+    sum + comp
+}
+
+/// Squared 2-norm of `amps` (`Σ |aᵢ|²`) with compensated blockwise
+/// summation: each [`REDUCE_BLOCK`] block is Neumaier-summed, and the
+/// block partials combine through the same deterministic pairwise tree
+/// as every other reduction in the engine.
+///
+/// Deterministic in the strong sense the integrity checks need: the
+/// result depends only on the amplitudes, never on thread count or
+/// evaluation order, and the compensation keeps the error near 1 ulp so
+/// invariant tolerances can be tight without false positives.
+///
+/// # Examples
+///
+/// ```
+/// use qgpu_math::complex::Complex64;
+/// use qgpu_math::reduce::norm_sqr_compensated;
+///
+/// let amps = vec![Complex64::new(0.5, 0.0); 4];
+/// assert_eq!(norm_sqr_compensated(&amps), 1.0);
+/// assert_eq!(norm_sqr_compensated(&[]), 0.0);
+/// ```
+pub fn norm_sqr_compensated(amps: &[Complex64]) -> f64 {
+    let partials: Vec<f64> = (0..num_blocks(amps.len()))
+        .map(|b| {
+            neumaier_sum(
+                amps[block_range(b, amps.len())]
+                    .iter()
+                    .map(|a| a.norm_sqr()),
+            )
+        })
+        .collect();
+    pairwise_sum(&partials)
+}
+
+/// One-pass `(squared 2-norm, max per-amplitude |aᵢ|²)` of `amps`.
+///
+/// The norm uses the same compensated blockwise scheme as
+/// [`norm_sqr_compensated`] (bitwise-identical result); the peak rides
+/// along for free and backs the magnitude-preservation check on
+/// diagonal kernels.
+pub fn norm_and_peak(amps: &[Complex64]) -> (f64, f64) {
+    let mut peak = 0.0f64;
+    let partials: Vec<f64> = (0..num_blocks(amps.len()))
+        .map(|b| {
+            neumaier_sum(amps[block_range(b, amps.len())].iter().map(|a| {
+                let n = a.norm_sqr();
+                if n > peak {
+                    peak = n;
+                }
+                n
+            }))
+        })
+        .collect();
+    (pairwise_sum(&partials), peak)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,6 +206,56 @@ mod tests {
         let im: Vec<f64> = xs.iter().map(|c| c.im).collect();
         assert_eq!(s.re.to_bits(), pairwise_sum(&re).to_bits());
         assert_eq!(s.im.to_bits(), pairwise_sum(&im).to_bits());
+    }
+
+    #[test]
+    fn compensated_norm_is_exact_on_representable_inputs() {
+        // 4 × 0.25 sums exactly; so does a big block of equal powers of 2.
+        let amps = vec![Complex64::new(0.5, 0.0); 4];
+        assert_eq!(norm_sqr_compensated(&amps), 1.0);
+        let n = 1usize << 14;
+        let a = (1.0 / n as f64).sqrt();
+        let amps: Vec<Complex64> = (0..n).map(|_| Complex64::new(a, 0.0)).collect();
+        assert!((norm_sqr_compensated(&amps) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn compensated_norm_beats_serial_on_ill_conditioned_input() {
+        // One dominant amplitude plus a sea of tiny ones: the naive
+        // serial sum drops the tail; the compensated sum keeps it.
+        let mut amps = vec![Complex64::new(1.0, 0.0)];
+        amps.extend(std::iter::repeat_n(Complex64::new(1e-9, 0.0), 1 << 15));
+        let exact = 1.0 + 1e-18 * (1 << 15) as f64;
+        let serial: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        let comp = norm_sqr_compensated(&amps);
+        assert!((comp - exact).abs() <= (serial - exact).abs());
+        // Within a couple of ulps of 1.0 — the best any representable
+        // result can do.
+        assert!((comp - exact).abs() < 4.0 * f64::EPSILON);
+    }
+
+    #[test]
+    fn compensated_norm_is_bitwise_reproducible() {
+        let amps: Vec<Complex64> = (0..10_000)
+            .map(|i| Complex64::new(1.0 / (i as f64 + 1.0), -(i as f64).sin()))
+            .collect();
+        let again = amps.clone();
+        assert_eq!(
+            norm_sqr_compensated(&amps).to_bits(),
+            norm_sqr_compensated(&again).to_bits()
+        );
+    }
+
+    #[test]
+    fn norm_and_peak_matches_norm_and_finds_the_max() {
+        let amps: Vec<Complex64> = (0..5000)
+            .map(|i| Complex64::new((i as f64).cos() / 100.0, (i as f64).sin() / 90.0))
+            .collect();
+        let (norm, peak) = norm_and_peak(&amps);
+        assert_eq!(norm.to_bits(), norm_sqr_compensated(&amps).to_bits());
+        let expect_peak = amps.iter().map(|a| a.norm_sqr()).fold(0.0f64, f64::max);
+        assert_eq!(peak, expect_peak);
+        assert_eq!(norm_and_peak(&[]), (0.0, 0.0));
     }
 
     #[test]

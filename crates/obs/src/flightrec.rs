@@ -41,6 +41,9 @@ pub const TRIGGER_KINDS: &[&str] = &[
     "abort",
     "shed",
     "deadline",
+    "integrity",
+    "quarantine",
+    "resume",
 ];
 
 /// One recorded event.

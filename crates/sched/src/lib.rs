@@ -12,7 +12,11 @@
 //!   round-robin assignment for multi-GPU streaming (paper §V-E);
 //! * [`devicegroup`] — resilient multi-device orchestration: device
 //!   loss re-sharding, straggler work-stealing, and the memory-pressure
-//!   degradation ladder.
+//!   degradation ladder;
+//! * [`health::DeviceHealthBoard`] — the per-device EMA fault
+//!   scoreboard (violations, CRC failures, retries) with quarantine,
+//!   probation probes, and reinstatement, consumed by both the engine
+//!   and the serving scheduler.
 //!
 //! # Examples
 //!
@@ -26,12 +30,14 @@
 //! ```
 
 pub mod devicegroup;
+pub mod health;
 pub mod involvement;
 pub mod plan;
 pub mod reorder;
 pub mod residency;
 
 pub use devicegroup::{DeviceGroup, OrchestratorConfig, PressureAction, PressureGovernor};
+pub use health::{DeviceHealthBoard, HealthConfig, HealthState, HealthTransition};
 pub use involvement::InvolvementTracker;
 pub use plan::{ChunkTask, GatePlan};
 pub use reorder::ReorderStrategy;

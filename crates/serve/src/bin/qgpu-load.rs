@@ -55,6 +55,7 @@ struct Opts {
     chaos_worker_panic: f64,
     chaos_fail_first: u32,
     chaos_device_loss: Option<(usize, u64)>,
+    chaos_kernel_flip: f64,
     timeout_s: u64,
     label: String,
     metrics_out: Option<String>,
@@ -83,6 +84,7 @@ impl Default for Opts {
             chaos_worker_panic: 0.0,
             chaos_fail_first: 0,
             chaos_device_loss: None,
+            chaos_kernel_flip: 0.0,
             timeout_s: 600,
             label: "serve_load".to_string(),
             metrics_out: None,
@@ -91,7 +93,7 @@ impl Default for Opts {
     }
 }
 
-const USAGE: &str = "usage: qgpu-load [--jobs N] [--tenants N] [--workers N] [--devices N]\n  [--qubits N] [--shots N] [--seed N] [--queue-cap N] [--mem-budget BYTES]\n  [--retries N] [--deadline-ms MS] [--tight-frac F] [--cancel-frac F]\n  [--inject-transfer P] [--inject-codec P] [--inject-worker P]\n  [--chaos-worker-panic P] [--chaos-fail-first N] [--chaos-device-loss D:MS]\n  [--timeout-s S] [--label NAME] [--metrics-out PATH] [--bench-out PATH]";
+const USAGE: &str = "usage: qgpu-load [--jobs N] [--tenants N] [--workers N] [--devices N]\n  [--qubits N] [--shots N] [--seed N] [--queue-cap N] [--mem-budget BYTES]\n  [--retries N] [--deadline-ms MS] [--tight-frac F] [--cancel-frac F]\n  [--inject-transfer P] [--inject-codec P] [--inject-worker P]\n  [--chaos-worker-panic P] [--chaos-fail-first N] [--chaos-device-loss D:MS]\n  [--chaos-kernel-flip P] [--timeout-s S] [--label NAME]\n  [--metrics-out PATH] [--bench-out PATH]";
 
 fn parse_args() -> Result<Opts, String> {
     let mut o = Opts::default();
@@ -208,6 +210,11 @@ fn parse_args() -> Result<Opts, String> {
                         .map_err(|e| format!("--chaos-device-loss: {e}"))?,
                 ));
             }
+            "--chaos-kernel-flip" => {
+                o.chaos_kernel_flip = take("--chaos-kernel-flip")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-kernel-flip: {e}"))?;
+            }
             "--timeout-s" => {
                 o.timeout_s = take("--timeout-s")?
                     .parse()
@@ -265,6 +272,10 @@ fn main() -> ExitCode {
         cfg.faults.p_transfer_corrupt = opts.inject_transfer;
         cfg.faults.p_codec_fail = opts.inject_codec;
         cfg.faults.p_worker_death = opts.inject_worker;
+        // Kernel bit-flips force the ABFT invariant layer on: every
+        // completed job must still be bit-identical to the reference,
+        // proving detection + repair end to end under load.
+        cfg.faults.p_kernel_flip = opts.chaos_kernel_flip;
         cfg
     };
 
@@ -379,6 +390,9 @@ fn main() -> ExitCode {
         std::collections::BTreeMap::new();
     let mut engine_codec_fallbacks = 0u64;
     let mut engine_chunk_retries = 0u64;
+    let mut integrity_flips = 0u64;
+    let mut integrity_violations = 0u64;
+    let mut integrity_repairs = 0u64;
     let mut bit_mismatches = 0usize;
     for (handle, submitted) in handles.iter().zip(&submit_times) {
         let Some(status) = handle.wait_timeout(timeout) else {
@@ -397,6 +411,11 @@ fn main() -> ExitCode {
             let result = handle.result().expect("completed job has a result");
             engine_codec_fallbacks += result.report.codec_fallbacks;
             engine_chunk_retries += result.report.chunk_retries;
+            if let Some(s) = result.integrity {
+                integrity_flips += s.flips_injected;
+                integrity_violations += s.violations;
+                integrity_repairs += s.repairs;
+            }
             let state_ok = match (&result.state, &reference.state) {
                 (Some(a), Some(b)) => a.max_deviation(b) == 0.0,
                 _ => false,
@@ -419,6 +438,9 @@ fn main() -> ExitCode {
     let rec = server.metrics().recorder().clone();
     rec.add("engine.codec_fallbacks", engine_codec_fallbacks);
     rec.add("engine.chunk_retries", engine_chunk_retries);
+    rec.add("engine.integrity_flips", integrity_flips);
+    rec.add("engine.integrity_violations", integrity_violations);
+    rec.add("engine.integrity_repairs", integrity_repairs);
 
     let metrics = server.metrics().clone();
     server.shutdown(ShutdownMode::Drain);
@@ -457,6 +479,14 @@ fn main() -> ExitCode {
         "  engine recovery on completed jobs: {engine_codec_fallbacks} codec fallback(s), \
          {engine_chunk_retries} chunk retry(ies)"
     );
+    if opts.chaos_kernel_flip > 0.0 || integrity_flips > 0 {
+        println!(
+            "  integrity on completed jobs: {integrity_flips} flip(s) injected, \
+             {integrity_violations} violation(s) detected, {integrity_repairs} repaired; \
+             serve quarantines: {}",
+            counter("serve.quarantines"),
+        );
+    }
     println!(
         "  completed: {completed} ({throughput:.1} jobs/s), latency ms \
          p50={p50:.1} p90={p90:.1} p99={p99:.1} p999={p999:.1}"

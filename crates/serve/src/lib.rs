@@ -27,6 +27,11 @@
 //!   state.
 //! * **Full observability**: every serving decision lands in `serve.*`
 //!   registry metrics and the flight-event ring ([`ServeMetrics`]).
+//! * **Fleet health quarantine**: a [`qgpu_sched::DeviceHealthBoard`]
+//!   scores each device slot on the invariant violations, CRC retries,
+//!   and recoverable failures its jobs report; quarantined slots are
+//!   skipped by placement (except periodic probes) until clean
+//!   completions earn reinstatement.
 //!
 //! The `qgpu-load` binary (in this crate) is the chaos/load harness:
 //! it drives hundreds of concurrent jobs through seeded faults and
@@ -58,3 +63,6 @@ pub use job::{JobHandle, JobId, JobSpec, JobStatus, Priority, RejectReason};
 pub use metrics::ServeMetrics;
 pub use sched::FairScheduler;
 pub use server::{ChaosConfig, ServeConfig, Server, ShutdownMode};
+
+pub use qgpu_sched::health::HealthSnapshot;
+pub use qgpu_sched::HealthState;

@@ -125,6 +125,60 @@ impl ServeMetrics {
             .observe("serve.queue_wait_ms", &[("tenant", tenant)], ms);
     }
 
+    /// A completed job reported ABFT invariant violations that were
+    /// detected and repaired on `device`.
+    pub fn integrity_violations(&self, device: usize, count: u64) {
+        self.rec.add("serve.integrity_violations", count);
+        let dev = device.to_string();
+        self.rec
+            .registry()
+            .add("serve.integrity_violations", &[("device", &dev)], count);
+    }
+
+    /// A health-board transition for a fleet device; `state` is
+    /// [`qgpu_sched::HealthState::label`]. Quarantines and
+    /// reinstatements are fault-class flight events; the gauge tracks
+    /// how many devices remain schedulable without probing.
+    pub fn health_transition(
+        &self,
+        device: usize,
+        transition: &'static str,
+        state: &'static str,
+        healthy: usize,
+    ) {
+        self.count(
+            "serve.health_transitions",
+            &[("transition", transition), ("state", state)],
+        );
+        match transition {
+            "quarantined" => {
+                self.rec.add("serve.quarantines", 1);
+                self.rec.flight("quarantine", || {
+                    format!("fleet device {device} quarantined; {healthy} device(s) still healthy")
+                });
+            }
+            "reinstated" => {
+                self.rec.add("serve.reinstatements", 1);
+                self.rec.flight("quarantine", || {
+                    format!("fleet device {device} reinstated; {healthy} device(s) healthy")
+                });
+            }
+            _ => {}
+        }
+        self.rec
+            .registry()
+            .set_gauge("serve.fleet_healthy", &[], healthy as f64);
+    }
+
+    /// A placement probe was routed to a quarantined device.
+    pub fn probe(&self, device: usize) {
+        let dev = device.to_string();
+        self.rec.add("serve.probes", 1);
+        self.rec
+            .registry()
+            .add("serve.probes", &[("device", &dev)], 1);
+    }
+
     /// Shutdown decision and what it affected.
     pub fn shutdown(&self, mode: &'static str, drained: usize, aborted: usize) {
         self.rec.add("serve.shutdowns", 1);

@@ -34,6 +34,8 @@ use qgpu::config::OptFlags;
 use qgpu::{RunResult, SimError, Simulator};
 use qgpu_faults::{CancelReason, RetryPolicy};
 use qgpu_sched::devicegroup::{PressureAction, PressureGovernor};
+use qgpu_sched::health::HealthSnapshot;
+use qgpu_sched::{DeviceHealthBoard, HealthState, HealthTransition};
 
 use crate::job::{JobHandle, JobId, JobRecord, JobSpec, JobStatus, RejectReason};
 use crate::metrics::ServeMetrics;
@@ -190,6 +192,11 @@ struct ServeState {
     sched: FairScheduler<PendingJob>,
     jobs: Vec<Arc<JobRecord>>,
     devices: Vec<DeviceSlot>,
+    /// Per-device fault scoreboard: jobs whose results carried repaired
+    /// invariant violations (or that needed recoverable retries) raise
+    /// a device's score; quarantined devices are skipped by
+    /// [`pick_device`] except for periodic probe placements.
+    board: DeviceHealthBoard,
     governor: Option<PressureGovernor>,
     committed_bytes: u64,
     /// Admitted-but-not-terminal jobs per tenant. This (not the raw
@@ -246,6 +253,7 @@ impl Server {
                 sched: FairScheduler::new(),
                 jobs: Vec::new(),
                 devices,
+                board: DeviceHealthBoard::new(cfg.devices),
                 governor,
                 committed_bytes: 0,
                 active: std::collections::HashMap::new(),
@@ -281,6 +289,13 @@ impl Server {
     /// The server's metrics hub (registry, counters, flight ring).
     pub fn metrics(&self) -> &ServeMetrics {
         &self.inner.metrics
+    }
+
+    /// Health-board snapshot for a fleet device slot (EMA score, state,
+    /// and event tallies). Load harnesses and tests use this to assert
+    /// quarantine decisions.
+    pub fn device_health(&self, device: usize) -> HealthSnapshot {
+        self.inner.state.lock().unwrap().board.snapshot(device)
     }
 
     /// Sets a tenant's quota weight in the fair scheduler.
@@ -514,13 +529,47 @@ fn reseed(seed: u64, attempt: u32) -> u64 {
     splitmix64(seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
-fn pick_device(st: &ServeState) -> Option<usize> {
-    st.devices
+/// Least-loaded alive device that the health board will accept.
+/// Quarantined devices only surface when their probe window opens; if
+/// the board refuses every alive device (all quarantined, probes
+/// closed), placement falls back to the least-loaded alive device so
+/// quarantine can never strand a job — the forced placement doubles as
+/// a probe. Callers can tell a probe landed by checking the picked
+/// device's state.
+fn pick_device(st: &mut ServeState) -> Option<usize> {
+    let preferred = st
+        .devices
         .iter()
         .enumerate()
         .filter(|(_, d)| d.alive)
-        .min_by_key(|(_, d)| d.running)
-        .map(|(i, _)| i)
+        .map(|(i, d)| (i, d.running))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .filter(|&(i, _)| st.board.schedulable(i))
+        .min_by_key(|&(_, running)| running)
+        .map(|(i, _)| i);
+    preferred.or_else(|| {
+        st.devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.alive)
+            .min_by_key(|(_, d)| d.running)
+            .map(|(i, _)| i)
+    })
+}
+
+/// Translates a health-board transition into `serve.*` metrics and
+/// flight events (no-op for [`HealthTransition::None`]).
+fn emit_health_transition(inner: &Inner, st: &ServeState, device: usize, tr: HealthTransition) {
+    let (name, state) = match tr {
+        HealthTransition::None => return,
+        HealthTransition::Demoted => ("demoted", HealthState::Probation),
+        HealthTransition::Quarantined => ("quarantined", HealthState::Quarantined),
+        HealthTransition::Reinstated => ("reinstated", HealthState::Healthy),
+    };
+    inner
+        .metrics
+        .health_transition(device, name, state.label(), st.board.healthy_count());
 }
 
 /// Releases a job's admission charge and its tenant's queue-bound slot.
@@ -567,8 +616,11 @@ fn scheduler_loop(inner: &Arc<Inner>, tx: channel::Sender<Dispatch>) {
                         finalize_queued(inner, &mut st, p, JobStatus::DeadlineExceeded);
                         continue;
                     }
-                    match pick_device(&st) {
+                    match pick_device(&mut st) {
                         Some(d) => {
+                            if st.board.state(d) == HealthState::Quarantined {
+                                inner.metrics.probe(d);
+                            }
                             st.devices[d].running += 1;
                             picked = Some(Dispatch { job: p, device: d });
                         }
@@ -688,9 +740,13 @@ fn run_job(inner: &Arc<Inner>, d: Dispatch) {
             .metrics
             .retried(&rec.tenant, rec.id, attempt, &err.to_string());
         attempt += 1;
-        // Re-place on the least-loaded surviving device.
+        // Re-place on the least-loaded surviving device. The retry is
+        // attributed to the device the failed attempt ran on — enough
+        // of them tip it into probation/quarantine.
         let mut st = inner.state.lock().unwrap();
-        match pick_device(&st) {
+        let tr = st.board.record_retry(device);
+        emit_health_transition(inner, &st, device, tr);
+        match pick_device(&mut st) {
             Some(nd) if nd != device => {
                 st.devices[device].running -= 1;
                 st.devices[nd].running += 1;
@@ -714,6 +770,26 @@ fn run_job(inner: &Arc<Inner>, d: Dispatch) {
         let mut st = inner.state.lock().unwrap();
         st.devices[device].running -= 1;
         release_job(&mut st, &rec.tenant, p.charged);
+        // Feed the health board: repaired invariant violations inside a
+        // completed result still indict the device that produced them
+        // (the answer is bit-exact, the silicon is suspect); a clean
+        // completion decays the score back toward reinstatement.
+        if matches!(status, JobStatus::Completed) {
+            let violations = result
+                .as_ref()
+                .and_then(|r| r.integrity)
+                .map_or(0, |s| s.violations);
+            if violations > 0 {
+                inner.metrics.integrity_violations(device, violations);
+                for _ in 0..violations {
+                    let tr = st.board.record_violation(device);
+                    emit_health_transition(inner, &st, device, tr);
+                }
+            } else {
+                let tr = st.board.record_success(device);
+                emit_health_transition(inner, &st, device, tr);
+            }
+        }
     }
     let label = status.label();
     if rec.finish(status, result) {

@@ -163,3 +163,77 @@ fn chaos_soak_all_jobs_terminal_and_completions_bit_exact() {
         "every admitted job accounted for exactly once"
     );
 }
+
+/// Jobs whose kernels keep flipping bits (detected and repaired by the
+/// engine's ABFT layer) must still complete bit-exact — and the fleet
+/// health board must quarantine the slot that kept producing them, so
+/// new placements avoid it.
+#[test]
+fn kernel_flip_jobs_quarantine_their_device_and_stay_bit_exact() {
+    let qubits = 8;
+    let circuit = Benchmark::Qft.generate(qubits);
+    let reference = {
+        let mut cfg = SimConfig::scaled_paper(qubits).with_version(Version::QGpu);
+        cfg.shots = 16;
+        Simulator::new(cfg)
+            .try_run(&circuit)
+            .expect("fault-free reference")
+    };
+
+    // One worker serializes execution, so the least-loaded pick keeps
+    // landing jobs on slot 0 until the board pulls it out of rotation.
+    let server = Server::new(ServeConfig::default().with_workers(1).with_devices(2));
+    let mut handles = Vec::new();
+    for i in 0..8u64 {
+        let mut cfg = SimConfig::scaled_paper(qubits).with_version(Version::QGpu);
+        cfg.faults.seed = 0x5DC + i;
+        // Deterministic single flip per job; the engine detects it via
+        // the chunk-norm invariant and repairs it by re-execution.
+        cfg.faults.kernel_flip_at = 5;
+        let spec = JobSpec::new(circuit.clone(), cfg)
+            .with_tenant("sdc")
+            .with_shots(16);
+        handles.push(server.submit(spec).expect("admitted"));
+    }
+    for h in &handles {
+        let status = h
+            .wait_timeout(Duration::from_secs(120))
+            .expect("job must reach a terminal state");
+        assert_eq!(status, JobStatus::Completed, "repaired job completes");
+        let result = h.result().expect("completed job has a result");
+        let summary = result.integrity.expect("integrity summary attached");
+        assert!(summary.violations >= 1, "the injected flip was detected");
+        assert!(summary.fully_repaired(), "every violation was repaired");
+        let (state, ref_state) = (
+            result.state.as_ref().expect("state kept"),
+            reference.state.as_ref().expect("reference state kept"),
+        );
+        assert_eq!(
+            state.max_deviation(ref_state),
+            0.0,
+            "repaired state is bit-identical to the fault-free reference"
+        );
+        assert_eq!(result.samples, reference.samples, "samples bit-identical");
+    }
+
+    let quarantined: Vec<usize> = (0..2)
+        .filter(|&d| server.device_health(d).state == qgpu_serve::HealthState::Quarantined)
+        .collect();
+    assert!(
+        !quarantined.is_empty(),
+        "repeated violations on one slot must quarantine it"
+    );
+    let metrics = server.metrics().clone();
+    server.shutdown(ShutdownMode::Drain);
+    let flat = metrics.recorder().metrics().counters;
+    let get = |n: &str| flat.iter().find(|(k, _)| k == n).map_or(0, |(_, v)| *v);
+    assert!(get("serve.quarantines") >= 1, "quarantine decision counted");
+    assert!(
+        get("serve.integrity_violations") >= handles.len() as u64,
+        "each job's repaired violations surfaced in serve metrics"
+    );
+    assert!(
+        metrics.recorder().flight_triggered(),
+        "quarantine is a fault-class flight event"
+    );
+}
