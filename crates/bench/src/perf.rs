@@ -13,19 +13,25 @@
 //!                    wall_s, modeled_s, stage_sum_s,
 //!                    stages: { plan: s, kernel: s, ... },
 //!                    percentiles: { gate_ns: { p50, p90, p99, p999 } },
-//!                    counters: { ... } }, ... ] }
+//!                    counters: { ... } }, ... ],
+//!   "codecs": { "gfc": { iqp_dense_ratio, iqp_dense_gbps,
+//!                        bv_pruned_ratio, bv_pruned_gbps }, ... } }
 //! ```
 //!
 //! `stages` attributes the measured wall clock per pipeline stage from
 //! the registry's `stage.time_ns` histograms; the attribution is
 //! exhaustive, so `stage_sum_s` tracks `wall_s` (CI asserts within
-//! 10%). The JSON writer is canonical, so a parsed document re-renders
-//! byte-identically (pinned by a round-trip test).
+//! 10%). `codecs` is a pinned per-codec microbenchmark (see
+//! [`codec_section`]). The JSON writer is canonical, so a parsed
+//! document re-renders byte-identically (pinned by a round-trip test).
 //!
 //! `repro perf --compare OLD.json` re-runs the matrix (or takes
 //! `--current NEW.json`) and exits nonzero when any scenario's
 //! end-to-end or per-stage time regresses beyond the noise tolerance:
-//! `new > old * (1 + tol) + floor`.
+//! `new > old * (1 + tol) + floor`. Codec ratio and throughput are
+//! higher-is-better and gate in the opposite direction
+//! (`new < old / (1 + tol)`); a baseline predating the `codecs` section
+//! gates nothing codec-side, so old BENCH files keep working.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -33,6 +39,7 @@ use std::time::Instant;
 use qgpu::{FlightConfig, SimConfig, Simulator, Version};
 use qgpu_circuit::generators::Benchmark;
 use qgpu_circuit::NoiseConfig;
+use qgpu_compress::{codec_for_kind, CodecKind};
 use qgpu_obs::{Json, RunMeta};
 
 /// BENCH document schema tag.
@@ -227,9 +234,53 @@ pub fn run_scenario(b: Benchmark, qubits: usize, v: Version, noisy: bool) -> Jso
                 ("bytes_d2h".into(), Json::Num(r.bytes_d2h as f64)),
                 ("collapses".into(), Json::Num(r.collapses as f64)),
                 ("shots".into(), Json::Num(r.shots as f64)),
+                ("compression_ratio".into(), Json::Num(r.compression_ratio())),
             ]),
         ),
     ])
+}
+
+/// Pinned buffer size for the per-codec microbenchmark: 2^14 amplitudes
+/// (256 KiB) spans many segments while keeping the measurement fast.
+const CODEC_BENCH_QUBITS: usize = 14;
+/// Timed encode repetitions per (codec, buffer) pair.
+const CODEC_BENCH_REPS: usize = 4;
+
+/// Measures every codec's compression ratio and encode throughput on two
+/// pinned buffers — a dense IQP state (every amplitude occupied) and a
+/// pruning-heavy Bernstein–Vazirani state (amplitude concentrated on a
+/// few basis states with long zero runs, the layout chunk pruning
+/// leaves behind) — and returns the BENCH `codecs` object.
+///
+/// Ratio and GB/s are higher-is-better; [`compare_docs`] gates them in
+/// that direction.
+pub fn codec_section() -> Json {
+    let dense = crate::bench_state(Benchmark::Iqp, CODEC_BENCH_QUBITS);
+    let sparse = crate::bench_state(Benchmark::Bv, CODEC_BENCH_QUBITS);
+    let buffers = [("iqp_dense", dense.amps()), ("bv_pruned", sparse.amps())];
+    let mut codecs = Vec::new();
+    for kind in CodecKind::ALL {
+        let codec = codec_for_kind(kind, 32);
+        let mut fields = Vec::new();
+        for (name, amps) in buffers {
+            let raw = amps.len() * 16;
+            // Warm-up pass pages in the buffer before the timed loop.
+            let mut bytes = codec.encode_amplitudes(amps).total_bytes();
+            let start = Instant::now();
+            for _ in 0..CODEC_BENCH_REPS {
+                bytes = codec.encode_amplitudes(amps).total_bytes();
+            }
+            let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+            // The pipeline moves raw bytes when the encode doesn't win,
+            // so the achievable ratio is floored at 1.0.
+            let ratio = raw as f64 / bytes.clamp(1, raw) as f64;
+            let gbps = (raw * CODEC_BENCH_REPS) as f64 / elapsed / 1e9;
+            fields.push((format!("{name}_ratio"), Json::Num(ratio)));
+            fields.push((format!("{name}_gbps"), Json::Num(gbps)));
+        }
+        codecs.push((kind.name().to_string(), Json::Obj(fields)));
+    }
+    Json::Obj(codecs)
 }
 
 /// Runs the full pinned matrix and returns the BENCH document.
@@ -259,10 +310,12 @@ pub fn run_matrix(qubits: &[usize], label: &str) -> Json {
         CIRCUITS.map(Benchmark::abbrev),
     );
     let meta = RunMeta::collect(label, STOCH_SEED, &config_text, env!("CARGO_PKG_VERSION"));
+    eprintln!("[repro perf] codec microbenchmark");
     Json::Obj(vec![
         ("schema".into(), Json::Str(SCHEMA.to_string())),
         ("meta".into(), meta.to_json()),
         ("scenarios".into(), Json::Arr(scenarios)),
+        ("codecs".into(), codec_section()),
     ])
 }
 
@@ -276,8 +329,9 @@ fn num(s: &Json, key: &str) -> f64 {
 
 /// Compares two BENCH documents: every scenario of `old` must still
 /// exist in `new`, and neither its end-to-end `wall_s` nor any per-stage
-/// time may exceed `old * (1 + tol) + floor_s`. Returns one line per
-/// regression (empty = gate passes).
+/// time may exceed `old * (1 + tol) + floor_s`. Codec ratio/throughput
+/// entries present in `old` must stay above `old / (1 + tol)`. Returns
+/// one line per regression (empty = gate passes).
 pub fn compare_docs(old: &Json, new: &Json, tol: f64, floor_s: f64) -> Vec<String> {
     let mut regressions = Vec::new();
     let empty: [Json; 0] = [];
@@ -324,6 +378,32 @@ pub fn compare_docs(old: &Json, new: &Json, tol: f64, floor_s: f64) -> Vec<Strin
                     .and_then(Json::as_f64)
                     .unwrap_or(0.0);
                 gate(&format!("stage {stage}"), old_v, new_v, &mut regressions);
+            }
+        }
+    }
+    // Codec ratio and throughput are higher-is-better, so they gate in
+    // the opposite direction — and only when the baseline carries the
+    // section, keeping pre-codec BENCH files comparable.
+    if let Some(Json::Obj(old_codecs)) = old.get("codecs") {
+        for (codec, ov) in old_codecs {
+            let Json::Obj(old_fields) = ov else { continue };
+            for (field, v) in old_fields {
+                let old_v = v.as_f64().unwrap_or(0.0);
+                let new_v = new
+                    .get("codecs")
+                    .and_then(|c| c.get(codec))
+                    .and_then(|f| f.get(field))
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0);
+                let limit = old_v / (1.0 + tol);
+                if new_v < limit {
+                    let mut line = String::new();
+                    let _ = write!(
+                        line,
+                        "codec {codec}: {field} regressed {old_v:.3} -> {new_v:.3} (limit {limit:.3})"
+                    );
+                    regressions.push(line);
+                }
             }
         }
     }

@@ -117,6 +117,80 @@ fn gate_catches_a_2x_regression_and_passes_identical_runs() {
 }
 
 #[test]
+fn codec_section_measures_every_codec_on_both_buffers() {
+    let c = perf::codec_section();
+    for codec in ["gfc", "zero-run", "alp", "cascade"] {
+        let e = c
+            .get(codec)
+            .unwrap_or_else(|| panic!("codecs missing '{codec}'"));
+        for field in [
+            "iqp_dense_ratio",
+            "iqp_dense_gbps",
+            "bv_pruned_ratio",
+            "bv_pruned_gbps",
+        ] {
+            let v = e.get(field).and_then(Json::as_f64).unwrap();
+            assert!(v > 0.0, "{codec}.{field} = {v}");
+        }
+        // The raw fallback floors every ratio at 1.0.
+        let r = e.get("bv_pruned_ratio").and_then(Json::as_f64).unwrap();
+        assert!(r >= 1.0, "{codec}: bv_pruned_ratio = {r}");
+    }
+    // The pruning-heavy buffer is where the cascade must pay off: at
+    // least match GFC's ratio there (it may pick GFC itself).
+    let ratio = |codec: &str| {
+        c.get(codec)
+            .unwrap()
+            .get("bv_pruned_ratio")
+            .and_then(Json::as_f64)
+            .unwrap()
+    };
+    assert!(ratio("cascade") >= ratio("gfc"));
+}
+
+/// Builds a synthetic BENCH doc whose only content is one gfc codec entry.
+fn codec_doc(ratio: f64, gbps: f64) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(perf::SCHEMA.into())),
+        ("scenarios".into(), Json::Arr(vec![])),
+        (
+            "codecs".into(),
+            Json::Obj(vec![(
+                "gfc".into(),
+                Json::Obj(vec![
+                    ("iqp_dense_ratio".into(), Json::Num(ratio)),
+                    ("iqp_dense_gbps".into(), Json::Num(gbps)),
+                ]),
+            )]),
+        ),
+    ])
+}
+
+#[test]
+fn codec_gate_is_higher_is_better_and_backward_compatible() {
+    let old = codec_doc(2.0, 8.0);
+    // Identical and improved runs pass.
+    assert!(perf::compare_docs(&old, &old, perf::DEFAULT_TOL, 0.005).is_empty());
+    assert!(perf::compare_docs(&old, &codec_doc(3.0, 12.0), perf::DEFAULT_TOL, 0.005).is_empty());
+    // Halving either metric is beyond the 50% tolerance (limit = old/1.5).
+    let slow = perf::compare_docs(&old, &codec_doc(2.0, 4.0), perf::DEFAULT_TOL, 0.005);
+    assert_eq!(slow.len(), 1, "{slow:?}");
+    assert!(slow[0].contains("iqp_dense_gbps"));
+    let weak = perf::compare_docs(&old, &codec_doc(1.0, 8.0), perf::DEFAULT_TOL, 0.005);
+    assert_eq!(weak.len(), 1, "{weak:?}");
+    assert!(weak[0].contains("iqp_dense_ratio"));
+    // A baseline predating the codecs section gates nothing codec-side;
+    // a current run that lost the section regresses every field to 0.
+    let pre_codec = Json::Obj(vec![
+        ("schema".into(), Json::Str(perf::SCHEMA.into())),
+        ("scenarios".into(), Json::Arr(vec![])),
+    ]);
+    assert!(perf::compare_docs(&pre_codec, &old, perf::DEFAULT_TOL, 0.005).is_empty());
+    let gone = perf::compare_docs(&old, &pre_codec, perf::DEFAULT_TOL, 0.005);
+    assert_eq!(gone.len(), 2, "{gone:?}");
+}
+
+#[test]
 fn sub_floor_noise_does_not_trip_the_gate() {
     // 2x relative but far under the absolute floor: scheduler noise.
     let old = doc_with(0.0005, 0.0004);

@@ -1,0 +1,153 @@
+//! Per-codec property suite over the [`Codec`] trait: every registered
+//! encoding must (1) roundtrip arbitrary doubles and amplitudes
+//! bit-exactly, (2) surface payload corruption through the CRC-verified
+//! decode as a typed error — never a panic, never silently wrong values —
+//! and (3), for the cascade, always emit a buffer that
+//! [`try_decode_any`] can bring back without knowing the picker ran.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use qgpu_compress::{
+    amplitude_crc32, codec_for_kind, try_decode_any, value_crc32, Codec, CodecKind, DecodeError,
+    Encoded,
+};
+use qgpu_math::Complex64;
+
+/// The concrete (non-meta) kinds plus the cascade, with a fixed GFC
+/// segment count so failures reproduce.
+fn all_codecs() -> Vec<Box<dyn Codec>> {
+    CodecKind::ALL
+        .into_iter()
+        .map(|kind| codec_for_kind(kind, 4))
+        .collect()
+}
+
+fn assert_caught_or_exact(
+    codec: &dyn Codec,
+    corrupted: &Encoded,
+    original: &[f64],
+    crc: u32,
+) -> Result<(), TestCaseError> {
+    match codec.try_decode_verified(corrupted, crc) {
+        Err(DecodeError { .. }) => Ok(()),
+        Ok(decoded) => {
+            // Corruption in dead padding bits may decode harmlessly —
+            // that is not "silently wrong".
+            prop_assert_eq!(decoded.len(), original.len());
+            for (a, b) in decoded.iter().zip(original) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "silently wrong value");
+            }
+            Ok(())
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_codec_roundtrips_f64_bit_exactly(
+        data in proptest::collection::vec(proptest::num::f64::ANY, 0..600),
+    ) {
+        for codec in all_codecs() {
+            let enc = codec.encode(&data);
+            let dec = codec.try_decode(&enc).expect("clean buffer");
+            prop_assert_eq!(dec.len(), data.len());
+            for (a, b) in data.iter().zip(dec.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "codec {}", codec.kind());
+            }
+        }
+    }
+
+    #[test]
+    fn every_codec_roundtrips_amplitudes_bit_exactly(
+        amps in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 0..300),
+    ) {
+        let amps: Vec<Complex64> =
+            amps.into_iter().map(|(re, im)| Complex64::new(re, im)).collect();
+        for codec in all_codecs() {
+            let crc = amplitude_crc32(&amps);
+            let enc = codec.encode_amplitudes(&amps);
+            let dec = codec
+                .try_decode_amplitudes_verified(&enc, crc)
+                .expect("clean buffer must verify");
+            prop_assert_eq!(dec.len(), amps.len());
+            for (a, b) in dec.iter().zip(&amps) {
+                prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+                prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+            prop_assert!(codec.try_decode_amplitudes_verified(&enc, crc ^ 1).is_err());
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected_by_verified_decode(
+        data in proptest::collection::vec(-1.0f64..1.0, 16..400),
+        byte_pick in 0usize..8192,
+        bit in 0u8..8,
+    ) {
+        for codec in all_codecs() {
+            let crc = value_crc32(&data);
+            let clean = codec.encode(&data);
+            let mut segments: Vec<Vec<u8>> = (0..clean.num_segments())
+                .map(|i| clean.segment(i).to_vec())
+                .collect();
+            let total: usize = segments.iter().map(|s| s.len()).sum();
+            if total == 0 {
+                continue;
+            }
+            // Flip one bit somewhere in the concatenated payload.
+            let mut target = byte_pick % total;
+            for seg in segments.iter_mut() {
+                if target < seg.len() {
+                    seg[target] ^= 1 << bit;
+                    break;
+                }
+                target -= seg.len();
+            }
+            let corrupted =
+                Encoded::from_parts(clean.codec(), clean.num_values(), segments);
+            assert_caught_or_exact(codec.as_ref(), &corrupted, &data, crc)?;
+        }
+    }
+
+    #[test]
+    fn byte_soup_never_panics(
+        soup in proptest::collection::vec(
+            proptest::collection::vec(0u8..=255, 0..256), 1..4),
+        declared in 0usize..1024,
+        kind_pick in 0usize..4,
+    ) {
+        let kind = CodecKind::ALL[kind_pick];
+        let codec = codec_for_kind(kind, soup.len().max(1));
+        let buffer = Encoded::from_parts(kind, declared, soup);
+        // Outcome is irrelevant — only that it is an outcome, not a panic.
+        let _ = codec.try_decode(&buffer);
+        let _ = codec.try_decode_verified(&buffer, 0xDEAD_BEEF);
+        let _ = codec.try_decode_amplitudes(&buffer);
+        let _ = try_decode_any(&buffer);
+    }
+
+    #[test]
+    fn cascade_always_picks_a_decodable_encoding(
+        data in proptest::collection::vec(proptest::num::f64::ANY, 0..800),
+        segs in 1usize..12,
+    ) {
+        let cascade = codec_for_kind(CodecKind::Cascade, segs);
+        let enc = cascade.encode(&data);
+        prop_assert_ne!(enc.codec(), CodecKind::Cascade);
+        // Decodable by the dispatcher, by the cascade itself, and by a
+        // fresh instance of the winning codec.
+        let via_any = try_decode_any(&enc).expect("dispatcher decode");
+        let via_cascade = cascade.try_decode(&enc).expect("cascade decode");
+        let via_winner = codec_for_kind(enc.codec(), segs)
+            .try_decode(&enc)
+            .expect("winner decode");
+        for decoded in [via_any, via_cascade, via_winner] {
+            prop_assert_eq!(decoded.len(), data.len());
+            for (a, b) in data.iter().zip(decoded.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+}

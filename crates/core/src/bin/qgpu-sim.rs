@@ -11,6 +11,9 @@
 //!                      named version: a +-separated list drawn from
 //!                      {overlap, pruning, reorder, compression}, or
 //!                      "none"/"all" (e.g. --opts pruning+compression)
+//!   --codec <gfc|zero-run|alp|cascade>   compression codec for chunks
+//!                      moving over the link (default gfc; cascade
+//!                      samples each chunk and picks the best codec)
 //!   --shots <N>        draw N seeded end-of-circuit shots (default 0)
 //!   --sample           print the sampled counts (with --shots)
 //!   --seed <N>         stochastic seed: noise sites, mid-circuit
@@ -77,7 +80,9 @@ use std::env;
 use std::fs;
 use std::process::ExitCode;
 
-use qgpu::{FaultConfig, FlightConfig, OptFlags, SimConfig, SimError, Simulator, Version};
+use qgpu::{
+    CodecKind, FaultConfig, FlightConfig, OptFlags, SimConfig, SimError, Simulator, Version,
+};
 use qgpu_circuit::generators::Benchmark;
 use qgpu_circuit::{qasm, Circuit, NoiseConfig};
 use qgpu_device::Platform;
@@ -86,6 +91,7 @@ struct Options {
     source: Source,
     version: Version,
     opts: Option<OptFlags>,
+    codec: Option<CodecKind>,
     shots: u64,
     sample: bool,
     noise: Option<NoiseConfig>,
@@ -141,6 +147,7 @@ fn parse_args() -> Result<Options, String> {
     let mut qubits = None;
     let mut version = Version::QGpu;
     let mut opts = None;
+    let mut codec = None;
     let mut shots = 0u64;
     let mut sample = false;
     let mut noise = None;
@@ -189,6 +196,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--version" | "-v" => version = parse_version(&take(&mut args, "--version")?)?,
             "--opts" => opts = Some(OptFlags::parse(&take(&mut args, "--opts")?)?),
+            "--codec" => codec = Some(take(&mut args, "--codec")?.parse::<CodecKind>()?),
             "--shots" => {
                 shots = take(&mut args, "--shots")?
                     .parse()
@@ -360,6 +368,7 @@ fn parse_args() -> Result<Options, String> {
         source,
         version,
         opts,
+        codec,
         shots,
         sample,
         noise,
@@ -392,7 +401,7 @@ fn parse_args() -> Result<Options, String> {
     })
 }
 
-const HELP: &str = "usage: qgpu-sim <file.qasm> | --benchmark <name> --qubits <N>\n  [--version baseline|naive|overlap|pruning|reorder|qgpu] [--opts list] [--shots N]\n  [--sample] [--noise spec] [--seed N] [--chunks log2] [--top N] [--batching] [--fuse] [--threads N]\n  [--report] [--report-json path] [--save path] [--trace-out path] [--metrics-out path]\n  [--flight-out path]\n  [--drift] [--drift-tol pp] [--gantt] [--devices N] [--mem-budget BYTES]\n  [--inject-seed N] [--inject-transfer P] [--inject-codec P]\n  [--inject-mask P] [--inject-worker P] [--inject-fail-at N]\n  [--inject-device-loss D:OP] [--inject-link-degrade P]\n  [--inject-straggler D[:FACTOR]]\n  [--verify-invariants] [--inject-kernel-flip OP[:COUNT[:ATTEMPTS[:BIT]]]]\n  [--checkpoint-every N] [--checkpoint-out path] [--resume path]\n  [--compare path]";
+const HELP: &str = "usage: qgpu-sim <file.qasm> | --benchmark <name> --qubits <N>\n  [--version baseline|naive|overlap|pruning|reorder|qgpu] [--opts list]\n  [--codec gfc|zero-run|alp|cascade] [--shots N]\n  [--sample] [--noise spec] [--seed N] [--chunks log2] [--top N] [--batching] [--fuse] [--threads N]\n  [--report] [--report-json path] [--save path] [--trace-out path] [--metrics-out path]\n  [--flight-out path]\n  [--drift] [--drift-tol pp] [--gantt] [--devices N] [--mem-budget BYTES]\n  [--inject-seed N] [--inject-transfer P] [--inject-codec P]\n  [--inject-mask P] [--inject-worker P] [--inject-fail-at N]\n  [--inject-device-loss D:OP] [--inject-link-degrade P]\n  [--inject-straggler D[:FACTOR]]\n  [--verify-invariants] [--inject-kernel-flip OP[:COUNT[:ATTEMPTS[:BIT]]]]\n  [--checkpoint-every N] [--checkpoint-out path] [--resume path]\n  [--compare path]";
 
 fn platform_for(name: &str, qubits: usize) -> Result<Platform, String> {
     let ratio = 496.0 / 8192.0;
@@ -475,6 +484,16 @@ fn main() -> ExitCode {
         .with_chunk_count_log2(opts.chunks_log2);
     if let Some(f) = opts.opts {
         config = config.with_opts(f);
+    }
+    if let Some(k) = opts.codec {
+        config = config.with_codec(k);
+        if config.codec() == k {
+            eprintln!("[qgpu-sim] codec: {k}");
+        } else {
+            // The baseline's static allocation never moves chunks over
+            // the link, so there is nothing to compress.
+            eprintln!("[qgpu-sim] codec: {k} ignored (baseline does not stream chunks)");
+        }
     }
     if opts.batching {
         config = config.with_gate_batching();
@@ -603,7 +622,8 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = &opts.save {
-        match qgpu::checkpoint::save(state, path) {
+        let save_codec = opts.codec.unwrap_or_default();
+        match qgpu::checkpoint::save_with_codec(state, 0, save_codec, path) {
             Ok(()) => eprintln!("[qgpu-sim] checkpoint written to {path}"),
             Err(e) => {
                 eprintln!("error: {e}");

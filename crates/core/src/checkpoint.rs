@@ -1,29 +1,42 @@
-//! State-vector checkpointing: save and restore simulation states with
-//! GFC compression.
+//! State-vector checkpointing: save and restore simulation states
+//! through the same lossless [`qgpu_compress::Codec`] family the Q-GPU
+//! pipeline streams through.
 //!
 //! Long simulations (the paper's 34-qubit runs take hours) benefit from
-//! resumable checkpoints. The format reuses the same lossless GFC codec
-//! the Q-GPU pipeline streams through, so smooth or sparse states persist
-//! at a fraction of their in-memory size, and the restore is bit-exact.
+//! resumable checkpoints. Smooth or sparse states persist at a fraction
+//! of their in-memory size, and the restore is bit-exact.
 //!
-//! # Format (version 2)
+//! # Format (version 3)
 //!
 //! ```text
 //! magic "QGPUSTAT"   8 bytes
-//! version            u32 LE (currently 2)
+//! version            u32 LE (currently 3)
 //! num_qubits         u32 LE
 //! gates_done         u64 LE (program ops already applied; 0 = initial)
-//! segment_count      u32 LE
-//! per segment:       u64 LE length, u32 LE CRC32 of the segment bytes,
-//!                    then the GFC segment bytes
+//! block_count        u32 LE
+//! per block:         u8 codec id (see `CodecKind::id`) — the encoding
+//!                    this block's bytes are in (the cascade stamps the
+//!                    winning inner codec, so every block is decodable
+//!                    without re-running the picker),
+//!                    u64 LE value count, u32 LE segment_count,
+//!                    per segment: u64 LE length, u32 LE CRC32 of the
+//!                    segment bytes, then the segment bytes
 //! file checksum      u32 LE CRC32 over every preceding byte
 //! ```
 //!
-//! Version 1 (no CRCs, no `gates_done`) is still read — old checkpoints
-//! restore with `gates_done = 0`. The per-segment CRCs localize damage
-//! (the error names the segment); the trailing file checksum catches
-//! corruption in the header and framing bytes the segment CRCs do not
-//! cover. Both are verified before any decoded amplitude is trusted.
+//! The state is split into contiguous amplitude blocks (the same ≥ 8
+//! micro-chunks-per-segment sizing GFC uses) and each block is encoded
+//! independently, so a cascade checkpoint can mix encodings — zero-run
+//! for the pruned regions, GFC for the dense ones — and the per-block
+//! codec id is what makes the file self-describing.
+//!
+//! Version 2 (whole-state GFC, per-segment CRCs, trailing file checksum)
+//! and version 1 (no CRCs, no `gates_done`) are still read — old
+//! checkpoints restore bit-exactly, v1 with `gates_done = 0`. The
+//! per-segment CRCs localize damage (the error names the segment); the
+//! trailing file checksum catches corruption in the header and framing
+//! bytes the segment CRCs do not cover. Both are verified before any
+//! decoded amplitude is trusted.
 //!
 //! # Examples
 //!
@@ -43,13 +56,15 @@ use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use qgpu_compress::GfcCodec;
+use qgpu_compress::{codec_for_kind, try_decode_any, CodecKind, Encoded, GfcCodec};
 use qgpu_faults::Crc32;
+use qgpu_math::Complex64;
 use qgpu_statevec::StateVector;
 
 const MAGIC: &[u8; 8] = b"QGPUSTAT";
 const VERSION_V1: u32 = 1;
-const VERSION: u32 = 2;
+const VERSION_V2: u32 = 2;
+const VERSION_V3: u32 = 3;
 
 /// Errors produced by checkpoint I/O.
 #[derive(Debug)]
@@ -58,8 +73,10 @@ pub enum CheckpointError {
     Io(io::Error),
     /// The file is not a checkpoint or is structurally damaged.
     Corrupt(&'static str),
-    /// The GFC payload failed to decode.
+    /// The GFC payload of a v1/v2 checkpoint failed to decode.
     Decode(qgpu_compress::gfc::DecodeGfcError),
+    /// A v3 block payload failed to decode under its declared codec.
+    Codec(qgpu_compress::DecodeError),
 }
 
 impl fmt::Display for CheckpointError {
@@ -68,6 +85,7 @@ impl fmt::Display for CheckpointError {
             CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
             CheckpointError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
             CheckpointError::Decode(e) => write!(f, "corrupt checkpoint payload: {e}"),
+            CheckpointError::Codec(e) => write!(f, "corrupt checkpoint payload: {e}"),
         }
     }
 }
@@ -77,6 +95,7 @@ impl std::error::Error for CheckpointError {
         match self {
             CheckpointError::Io(e) => Some(e),
             CheckpointError::Decode(e) => Some(e),
+            CheckpointError::Codec(e) => Some(e),
             CheckpointError::Corrupt(_) => None,
         }
     }
@@ -119,7 +138,7 @@ impl<W: Write> Write for CrcWriter<'_, W> {
 }
 
 /// Saves a state vector to `path`, GFC-compressed, with integrity CRCs
-/// (format v2, `gates_done = 0`).
+/// (format v3, `gates_done = 0`).
 ///
 /// # Errors
 ///
@@ -128,7 +147,8 @@ pub fn save<P: AsRef<Path>>(state: &StateVector, path: P) -> Result<(), Checkpoi
     save_with_progress(state, 0, path)
 }
 
-/// Saves a mid-run snapshot: the state after `gates_done` program ops.
+/// Saves a mid-run snapshot: the state after `gates_done` program ops,
+/// GFC-compressed.
 ///
 /// # Errors
 ///
@@ -138,14 +158,30 @@ pub fn save_with_progress<P: AsRef<Path>>(
     gates_done: u64,
     path: P,
 ) -> Result<(), CheckpointError> {
+    save_with_codec(state, gates_done, CodecKind::Gfc, path)
+}
+
+/// Saves a mid-run snapshot encoded with the given codec — what the
+/// engine's checkpoint middleware calls so a `--codec cascade` run
+/// writes cascade-picked blocks.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on filesystem failure.
+pub fn save_with_codec<P: AsRef<Path>>(
+    state: &StateVector,
+    gates_done: u64,
+    codec: CodecKind,
+    path: P,
+) -> Result<(), CheckpointError> {
     let mut w = BufWriter::new(File::create(path)?);
-    write_to_with_progress(state, gates_done, &mut w)?;
+    write_checkpoint(state, gates_done, codec, &mut w)?;
     w.flush()?;
     Ok(())
 }
 
-/// Writes a v2 checkpoint to any writer (see module docs for the format)
-/// with `gates_done = 0`.
+/// Writes a v3 checkpoint to any writer (see module docs for the format)
+/// with `gates_done = 0`, GFC-compressed.
 ///
 /// # Errors
 ///
@@ -154,7 +190,8 @@ pub fn write_to<W: Write>(state: &StateVector, w: &mut W) -> Result<(), Checkpoi
     write_to_with_progress(state, 0, w)
 }
 
-/// Writes a v2 checkpoint carrying a mid-run progress marker.
+/// Writes a v3 checkpoint carrying a mid-run progress marker,
+/// GFC-compressed.
 ///
 /// # Errors
 ///
@@ -164,22 +201,49 @@ pub fn write_to_with_progress<W: Write>(
     gates_done: u64,
     w: &mut W,
 ) -> Result<(), CheckpointError> {
-    let codec = codec_for(state.num_qubits());
-    let compressed = codec.compress_amplitudes(state.amps());
+    write_checkpoint(state, gates_done, CodecKind::Gfc, w)
+}
+
+/// Writes a v3 checkpoint: the state split into blocks, each encoded
+/// independently with `codec` and stamped with the id of the encoding
+/// its bytes are actually in (for the cascade, the per-block winner).
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on write failure.
+pub fn write_checkpoint<W: Write>(
+    state: &StateVector,
+    gates_done: u64,
+    codec: CodecKind,
+    w: &mut W,
+) -> Result<(), CheckpointError> {
+    let amps = state.amps();
+    // Blocks small enough that one damaged block localizes, but never so
+    // small that GFC degrades to history-less micro-chunks; the inner
+    // codec runs with a single segment because the block IS the segment.
+    let block_len = amps.len().div_ceil(block_count_for(state.num_qubits()));
+    let enc = codec_for_kind(codec, 1);
+    let blocks: Vec<&[Complex64]> = amps.chunks(block_len.max(1)).collect();
     let mut cw = CrcWriter {
         inner: w,
         crc: Crc32::new(),
     };
     cw.write_all(MAGIC)?;
-    cw.write_all(&VERSION.to_le_bytes())?;
+    cw.write_all(&VERSION_V3.to_le_bytes())?;
     cw.write_all(&(state.num_qubits() as u32).to_le_bytes())?;
     cw.write_all(&gates_done.to_le_bytes())?;
-    cw.write_all(&(compressed.num_segments() as u32).to_le_bytes())?;
-    for i in 0..compressed.num_segments() {
-        let seg = compressed.segment(i);
-        cw.write_all(&(seg.len() as u64).to_le_bytes())?;
-        cw.write_all(&qgpu_faults::crc32(seg).to_le_bytes())?;
-        cw.write_all(seg)?;
+    cw.write_all(&(blocks.len() as u32).to_le_bytes())?;
+    for block in blocks {
+        let e = enc.encode_amplitudes(block);
+        cw.write_all(&[e.codec().id()])?;
+        cw.write_all(&(e.num_values() as u64).to_le_bytes())?;
+        cw.write_all(&(e.num_segments() as u32).to_le_bytes())?;
+        for i in 0..e.num_segments() {
+            let seg = e.segment(i);
+            cw.write_all(&(seg.len() as u64).to_le_bytes())?;
+            cw.write_all(&qgpu_faults::crc32(seg).to_le_bytes())?;
+            cw.write_all(seg)?;
+        }
     }
     let file_crc = cw.crc.finish();
     cw.inner.write_all(&file_crc.to_le_bytes())?;
@@ -241,7 +305,7 @@ impl<R: Read> CrcReader<'_, R> {
     }
 }
 
-/// Reads a checkpoint (v1 or v2) from any reader.
+/// Reads a checkpoint (v1, v2, or v3) from any reader.
 ///
 /// # Errors
 ///
@@ -257,18 +321,97 @@ pub fn read_checkpoint<R: Read>(r: &mut R) -> Result<Checkpoint, CheckpointError
         return Err(CheckpointError::Corrupt("bad magic"));
     }
     let version = cr.read_u32()?;
-    if version != VERSION_V1 && version != VERSION {
+    if !(VERSION_V1..=VERSION_V3).contains(&version) {
         return Err(CheckpointError::Corrupt("unsupported version"));
     }
     let num_qubits = cr.read_u32()? as usize;
     if num_qubits == 0 || num_qubits >= 48 {
         return Err(CheckpointError::Corrupt("implausible qubit count"));
     }
-    let gates_done = if version >= VERSION {
+    let gates_done = if version >= VERSION_V2 {
         cr.read_u64()?
     } else {
         0
     };
+    let amps = if version >= VERSION_V3 {
+        read_v3_blocks(&mut cr, num_qubits)?
+    } else {
+        read_legacy_segments(&mut cr, num_qubits, version)?
+    };
+    if version >= VERSION_V2 {
+        let computed = cr.crc.finish();
+        let mut trailer = [0u8; 4];
+        cr.inner.read_exact(&mut trailer)?;
+        if u32::from_le_bytes(trailer) != computed {
+            return Err(CheckpointError::Corrupt("file checksum mismatch"));
+        }
+    }
+    if amps.len() != 1usize << num_qubits {
+        return Err(CheckpointError::Corrupt("amplitude count mismatch"));
+    }
+    Ok(Checkpoint {
+        state: StateVector::from_amplitudes(amps),
+        gates_done,
+    })
+}
+
+/// Reads the v3 block list: each block names its own codec and decodes
+/// independently through the codec-agnostic dispatcher.
+fn read_v3_blocks<R: Read>(
+    cr: &mut CrcReader<'_, R>,
+    num_qubits: usize,
+) -> Result<Vec<Complex64>, CheckpointError> {
+    let block_count = cr.read_u32()? as usize;
+    if block_count == 0 || block_count > 1 << 20 {
+        return Err(CheckpointError::Corrupt("implausible block count"));
+    }
+    let total = 1usize << num_qubits;
+    let mut amps: Vec<Complex64> = Vec::with_capacity(total);
+    for _ in 0..block_count {
+        let mut id = [0u8; 1];
+        cr.read_exact(&mut id)?;
+        let kind = CodecKind::from_id(id[0]).ok_or(CheckpointError::Corrupt("unknown codec id"))?;
+        let num_values = cr.read_u64()? as usize;
+        if !num_values.is_multiple_of(2) || num_values > total * 2 {
+            return Err(CheckpointError::Corrupt("implausible block value count"));
+        }
+        let segment_count = cr.read_u32()? as usize;
+        if segment_count == 0 || segment_count > 1 << 20 {
+            return Err(CheckpointError::Corrupt("implausible segment count"));
+        }
+        let mut segments = Vec::with_capacity(segment_count);
+        for _ in 0..segment_count {
+            let len = cr.read_u64()? as usize;
+            if len > total * 20 + 64 {
+                return Err(CheckpointError::Corrupt("implausible segment length"));
+            }
+            let expected = cr.read_u32()?;
+            let mut seg = vec![0u8; len];
+            cr.read_exact(&mut seg)?;
+            if qgpu_faults::crc32(&seg) != expected {
+                return Err(CheckpointError::Corrupt("segment CRC mismatch"));
+            }
+            segments.push(seg);
+        }
+        let enc = Encoded::from_parts(kind, num_values, segments);
+        let values = try_decode_any(&enc).map_err(CheckpointError::Codec)?;
+        if values.len() != num_values {
+            return Err(CheckpointError::Corrupt("block value count mismatch"));
+        }
+        amps.extend(values.chunks_exact(2).map(|p| Complex64::new(p[0], p[1])));
+        if amps.len() > total {
+            return Err(CheckpointError::Corrupt("amplitude count mismatch"));
+        }
+    }
+    Ok(amps)
+}
+
+/// Reads the v1/v2 whole-state GFC segment list.
+fn read_legacy_segments<R: Read>(
+    cr: &mut CrcReader<'_, R>,
+    num_qubits: usize,
+    version: u32,
+) -> Result<Vec<Complex64>, CheckpointError> {
     let segment_count = cr.read_u32()? as usize;
     if segment_count == 0 || segment_count > 1 << 20 {
         return Err(CheckpointError::Corrupt("implausible segment count"));
@@ -279,7 +422,7 @@ pub fn read_checkpoint<R: Read>(r: &mut R) -> Result<Checkpoint, CheckpointError
         if len > (1usize << num_qubits) * 20 + 64 {
             return Err(CheckpointError::Corrupt("implausible segment length"));
         }
-        let seg_crc = if version >= VERSION {
+        let seg_crc = if version >= VERSION_V2 {
             Some(cr.read_u32()?)
         } else {
             None
@@ -293,32 +436,24 @@ pub fn read_checkpoint<R: Read>(r: &mut R) -> Result<Checkpoint, CheckpointError
         }
         segments.push(seg);
     }
-    if version >= VERSION {
-        let computed = cr.crc.finish();
-        let mut trailer = [0u8; 4];
-        cr.inner.read_exact(&mut trailer)?;
-        if u32::from_le_bytes(trailer) != computed {
-            return Err(CheckpointError::Corrupt("file checksum mismatch"));
-        }
-    }
     let compressed = qgpu_compress::Compressed::from_parts(1usize << (num_qubits + 1), segments);
     let codec = codec_for(num_qubits);
-    let amps = codec
+    codec
         .try_decompress_amplitudes(&compressed)
-        .map_err(CheckpointError::Decode)?;
-    if amps.len() != 1usize << num_qubits {
-        return Err(CheckpointError::Corrupt("amplitude count mismatch"));
-    }
-    Ok(Checkpoint {
-        state: StateVector::from_amplitudes(amps),
-        gates_done,
-    })
+        .map_err(CheckpointError::Decode)
 }
 
-/// Segment count scaled to the state (≥ 8 micro-chunks per segment).
-fn codec_for(num_qubits: usize) -> GfcCodec {
+/// Block/segment count scaled to the state (≥ 8 micro-chunks per
+/// segment) — shared by the v3 block split and the legacy v1/v2 GFC
+/// segmenting.
+fn block_count_for(num_qubits: usize) -> usize {
     let doubles = 2usize << num_qubits;
-    GfcCodec::new((doubles / 256).clamp(1, 64))
+    (doubles / 256).clamp(1, 64)
+}
+
+/// The legacy whole-state GFC codec for v1/v2 reads.
+fn codec_for(num_qubits: usize) -> GfcCodec {
+    GfcCodec::new(block_count_for(num_qubits))
 }
 
 #[cfg(test)]
@@ -415,6 +550,37 @@ mod tests {
         }
     }
 
+    /// Writes the legacy v2 layout (whole-state GFC, per-segment CRCs,
+    /// trailing file checksum) — the compatibility fixture for the v2
+    /// read path, byte-identical to what the previous writer produced.
+    fn write_v2(state: &StateVector, gates_done: u64, w: &mut Vec<u8>) {
+        let codec = codec_for(state.num_qubits());
+        let compressed = codec.compress_amplitudes(state.amps());
+        let mut cw = CrcWriter {
+            inner: w,
+            crc: Crc32::new(),
+        };
+        cw.write_all(MAGIC).expect("vec write");
+        cw.write_all(&VERSION_V2.to_le_bytes()).expect("vec write");
+        cw.write_all(&(state.num_qubits() as u32).to_le_bytes())
+            .expect("vec write");
+        cw.write_all(&gates_done.to_le_bytes()).expect("vec write");
+        cw.write_all(&(compressed.num_segments() as u32).to_le_bytes())
+            .expect("vec write");
+        for i in 0..compressed.num_segments() {
+            let seg = compressed.segment(i);
+            cw.write_all(&(seg.len() as u64).to_le_bytes())
+                .expect("vec write");
+            cw.write_all(&qgpu_faults::crc32(seg).to_le_bytes())
+                .expect("vec write");
+            cw.write_all(seg).expect("vec write");
+        }
+        let file_crc = cw.crc.finish();
+        cw.inner
+            .write_all(&file_crc.to_le_bytes())
+            .expect("vec write");
+    }
+
     #[test]
     fn still_reads_version_1_files() {
         let state = benchmark_state(Benchmark::Qft, 9);
@@ -426,6 +592,91 @@ mod tests {
             assert_eq!(a.re.to_bits(), b.re.to_bits());
             assert_eq!(a.im.to_bits(), b.im.to_bits());
         }
+    }
+
+    #[test]
+    fn mixed_versions_restore_the_same_state() {
+        // One state written in every format generation the reader
+        // supports: all three must restore bit-identically, and v2/v3
+        // must carry the progress marker through.
+        let state = benchmark_state(Benchmark::Qft, 9);
+        let mut v1 = Vec::new();
+        write_v1(&state, &mut v1);
+        let mut v2 = Vec::new();
+        write_v2(&state, 21, &mut v2);
+        let mut v3 = Vec::new();
+        write_checkpoint(&state, 21, CodecKind::Gfc, &mut v3).expect("v3 write");
+        for (label, buf, gates) in [("v1", &v1, 0), ("v2", &v2, 21), ("v3", &v3, 21)] {
+            let ckpt = read_checkpoint(&mut buf.as_slice()).expect(label);
+            assert_eq!(ckpt.gates_done, gates, "{label} progress marker");
+            for (a, b) in state.amps().iter().zip(ckpt.state.amps().iter()) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "{label} re");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "{label} im");
+            }
+        }
+    }
+
+    #[test]
+    fn every_codec_roundtrips_a_checkpoint() {
+        let state = benchmark_state(Benchmark::Iqp, 10);
+        for kind in CodecKind::ALL {
+            let mut buf = Vec::new();
+            write_checkpoint(&state, 7, kind, &mut buf).expect("write");
+            let ckpt = read_checkpoint(&mut buf.as_slice()).expect("read");
+            assert_eq!(ckpt.gates_done, 7);
+            for (a, b) in state.amps().iter().zip(ckpt.state.amps().iter()) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "codec {kind}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "codec {kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn cascade_checkpoints_mix_codec_ids_on_sparse_states() {
+        // A freshly-zeroed state touched by a handful of gates is mostly
+        // zero blocks: the cascade must stamp zero-run on those, never
+        // its own id, and the file must undercut the all-GFC encoding.
+        let c = Benchmark::Bv.generate(12);
+        let mut s = StateVector::new_zero(12);
+        s.run(&c);
+        let mut cascade_buf = Vec::new();
+        write_checkpoint(&s, 0, CodecKind::Cascade, &mut cascade_buf).expect("write");
+        let mut gfc_buf = Vec::new();
+        write_checkpoint(&s, 0, CodecKind::Gfc, &mut gfc_buf).expect("write");
+        assert!(
+            cascade_buf.len() <= gfc_buf.len(),
+            "cascade {} B vs gfc {} B",
+            cascade_buf.len(),
+            gfc_buf.len()
+        );
+        // Walk the block headers: ids must all be inner codecs.
+        let ids = block_ids(&cascade_buf);
+        assert!(!ids.is_empty());
+        assert!(
+            ids.iter().all(|&id| id != CodecKind::Cascade.id()),
+            "cascade id leaked to disk: {ids:?}"
+        );
+        let restored = read_from(&mut cascade_buf.as_slice()).expect("read");
+        assert_eq!(restored.max_deviation(&s), 0.0);
+    }
+
+    /// Extracts the per-block codec ids from a v3 buffer.
+    fn block_ids(buf: &[u8]) -> Vec<u8> {
+        let mut ids = Vec::new();
+        let mut pos = 8 + 4 + 4 + 8; // magic, version, qubits, gates_done
+        let block_count = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("u32")) as usize;
+        pos += 4;
+        for _ in 0..block_count {
+            ids.push(buf[pos]);
+            pos += 1 + 8; // id, num_values
+            let segs = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("u32")) as usize;
+            pos += 4;
+            for _ in 0..segs {
+                let len = u64::from_le_bytes(buf[pos..pos + 8].try_into().expect("u64")) as usize;
+                pos += 8 + 4 + len; // len, crc, payload
+            }
+        }
+        ids
     }
 
     #[test]

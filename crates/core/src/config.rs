@@ -1,6 +1,7 @@
 //! Simulation configuration: execution version and platform knobs.
 
 use qgpu_circuit::NoiseConfig;
+use qgpu_compress::CodecKind;
 use qgpu_device::Platform;
 use qgpu_faults::{CancelToken, FaultConfig, RetryPolicy};
 use qgpu_sched::devicegroup::OrchestratorConfig;
@@ -93,6 +94,7 @@ impl Version {
             pruning: self.has_pruning(),
             reorder: self.has_reorder(),
             compression: self.has_compression(),
+            codec: CodecKind::Gfc,
         }
     }
 }
@@ -121,6 +123,10 @@ impl std::fmt::Display for Version {
 /// assert_eq!(f.label(), "pruning+compression");
 /// assert_eq!(OptFlags::parse("none").unwrap(), OptFlags::default());
 /// assert_eq!(OptFlags::grid().len(), 16);
+///
+/// let f = OptFlags::parse("compression+cascade").unwrap();
+/// assert_eq!(f.codec, qgpu::CodecKind::Cascade);
+/// assert_eq!(f.label(), "compression+cascade");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct OptFlags {
@@ -131,8 +137,14 @@ pub struct OptFlags {
     pub pruning: bool,
     /// The forward-looking gate reorder pass (§IV-C).
     pub reorder: bool,
-    /// GFC compression of non-zero chunks in transit (§IV-D).
+    /// Compression of non-zero chunks in transit (§IV-D).
     pub compression: bool,
+    /// Which codec the compression flag runs (GFC is the paper's choice
+    /// and the bit-exact golden default). Parsed from tokens like
+    /// `"cascade"` or `"codec=cascade"`; only meaningful when
+    /// [`OptFlags::compression`] is on.
+    #[serde(default)]
+    pub codec: CodecKind,
 }
 
 impl OptFlags {
@@ -153,12 +165,15 @@ impl OptFlags {
             pruning: bits & 2 != 0,
             reorder: bits & 4 != 0,
             compression: bits & 8 != 0,
+            codec: CodecKind::Gfc,
         }
     }
 
     /// Parses a `+`- or `,`-separated flag list (e.g.
     /// `"pruning+compression"`); `"none"` or the empty string is the
-    /// empty subset, `"all"` the full recipe.
+    /// empty subset, `"all"` the full recipe. Codec names (`gfc`,
+    /// `zero-run`, `alp`, `cascade`, optionally prefixed `codec=`) select
+    /// the compression codec.
     pub fn parse(s: &str) -> Result<OptFlags, String> {
         let mut f = OptFlags::default();
         let trimmed = s.trim().to_ascii_lowercase();
@@ -169,16 +184,24 @@ impl OptFlags {
             return Ok(OptFlags::from_bits(0b1111));
         }
         for tok in trimmed.split(['+', ',']) {
-            match tok.trim() {
+            let tok = tok.trim();
+            match tok {
                 "overlap" => f.overlap = true,
                 "pruning" => f.pruning = true,
                 "reorder" => f.reorder = true,
                 "compression" | "compress" => f.compression = true,
                 other => {
-                    return Err(format!(
-                        "unknown optimization '{other}' (want overlap, pruning, \
-                         reorder, compression, none, or all)"
-                    ))
+                    let name = other.strip_prefix("codec=").unwrap_or(other);
+                    match name.parse::<CodecKind>() {
+                        Ok(codec) => f.codec = codec,
+                        Err(_) => {
+                            return Err(format!(
+                                "unknown optimization '{other}' (want overlap, pruning, \
+                                 reorder, compression, a codec name \
+                                 (gfc|zero-run|alp|cascade), none, or all)"
+                            ))
+                        }
+                    }
                 }
             }
         }
@@ -186,14 +209,19 @@ impl OptFlags {
     }
 
     /// Canonical `+`-joined label (`"none"` for the empty subset) —
-    /// inverse of [`OptFlags::parse`].
+    /// inverse of [`OptFlags::parse`]. A non-default codec appends its
+    /// name; the GFC default stays invisible so historical labels (and
+    /// the golden fixtures keyed on them) are unchanged.
     pub fn label(&self) -> String {
         let set = [self.overlap, self.pruning, self.reorder, self.compression];
-        let names: Vec<&str> = Self::NAMES
+        let mut names: Vec<&str> = Self::NAMES
             .iter()
             .zip(set)
             .filter_map(|(&n, on)| on.then_some(n))
             .collect();
+        if self.codec != CodecKind::Gfc {
+            names.push(self.codec.name());
+        }
         if names.is_empty() {
             "none".to_string()
         } else {
@@ -513,6 +541,27 @@ impl SimConfig {
         self
     }
 
+    /// Selects the transfer-compression codec (the CLI's `--codec`),
+    /// carried on the [`OptFlags`] so explicit subsets and the ablation
+    /// grid cover it. No-op on a Baseline config without explicit opts:
+    /// static allocation never compresses, and forcing `opts` there would
+    /// silently switch the run to the streaming mode.
+    pub fn with_codec(mut self, codec: CodecKind) -> Self {
+        if self.opts.is_none() && self.version == Version::Baseline {
+            return self;
+        }
+        let mut flags = self.opts.unwrap_or_else(|| self.version.opt_flags());
+        flags.codec = codec;
+        self.opts = Some(flags);
+        self
+    }
+
+    /// The codec this run compresses with — the explicit [`OptFlags`]
+    /// choice, or GFC (the paper's codec) when none is set.
+    pub fn codec(&self) -> CodecKind {
+        self.opts.map(|o| o.codec).unwrap_or_default()
+    }
+
     /// Sets the functional-update worker-thread count (see
     /// [`SimConfig::threads`]).
     ///
@@ -726,10 +775,43 @@ mod tests {
                 pruning: true,
                 reorder: false,
                 compression: false,
+                codec: CodecKind::Gfc,
             }
         );
         assert!(OptFlags::parse("sharding").is_err());
         assert_eq!(OptFlags::parse("all").unwrap(), OptFlags::from_bits(0b1111));
+    }
+
+    #[test]
+    fn codec_selection_rides_on_opt_flags() {
+        for (token, kind) in [
+            ("gfc", CodecKind::Gfc),
+            ("zero-run", CodecKind::ZeroRun),
+            ("alp", CodecKind::Alp),
+            ("cascade", CodecKind::Cascade),
+        ] {
+            let f = OptFlags::parse(&format!("compression+{token}")).unwrap();
+            assert_eq!(f.codec, kind);
+            assert_eq!(OptFlags::parse(&f.label()).unwrap(), f);
+            let g = OptFlags::parse(&format!("compression+codec={token}")).unwrap();
+            assert_eq!(g.codec, kind);
+        }
+        // Default stays invisible in labels (golden fixtures key on them).
+        assert_eq!(
+            OptFlags::parse("all").unwrap().label(),
+            OptFlags::from_bits(0b1111).label()
+        );
+
+        let cfg = SimConfig::scaled_paper(8).with_codec(CodecKind::Cascade);
+        assert_eq!(cfg.codec(), CodecKind::Cascade);
+        assert!(cfg.opts.unwrap().compression);
+
+        // Baseline without explicit opts must not be flipped to streaming.
+        let base = SimConfig::scaled_paper(8)
+            .with_version(Version::Baseline)
+            .with_codec(CodecKind::Cascade);
+        assert_eq!(base.opts, None);
+        assert_eq!(base.codec(), CodecKind::Gfc);
     }
 
     #[test]

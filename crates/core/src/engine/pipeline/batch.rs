@@ -185,7 +185,7 @@ fn batch_chunk(
         let d = env.tl.schedule(
             Engine::GpuCompute(gpu),
             compute_ready,
-            raw_up_compressed as f64 / gspec.compress_bw(),
+            raw_up_compressed as f64 / gspec.codec_bw(env.codec_class),
             TaskKind::Decompress,
             raw_up_compressed,
         );
@@ -284,16 +284,22 @@ fn batch_download(
         if env.resil.as_mut().is_some_and(Resilience::codec_fails) {
             env.tl.count_codec_fallback();
             if let Some(r) = env.rec {
+                let cname = env.codec.kind().name();
                 r.add("codec.fallbacks", 1);
                 r.flight("codec_fallback", || {
-                    format!("chunk {chunk}: GFC encode failed, moving raw")
+                    format!("chunk {chunk}: {cname} encode failed, moving raw")
                 });
             }
             env.compressed.remove(&chunk);
             d2h_bytes = chunk_bytes;
         } else {
             let sz = {
-                let _g = span_opt(env.rec, Track::Main, ObsStage::Compress, "gfc.compress");
+                let _g = span_opt(
+                    env.rec,
+                    Track::Main,
+                    ObsStage::Compress,
+                    env.codec.kind().compress_span(),
+                );
                 super::encode_member(env, chunk)
             };
             sealed_at_encode = true;
@@ -303,7 +309,7 @@ fn batch_download(
             let cspan = env.tl.schedule(
                 Engine::GpuCompute(gpu),
                 d2h_ready,
-                chunk_bytes as f64 / gspec.compress_bw(),
+                chunk_bytes as f64 / gspec.codec_bw(env.codec_class),
                 TaskKind::Compress,
                 chunk_bytes,
             );

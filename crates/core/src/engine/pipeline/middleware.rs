@@ -309,7 +309,7 @@ impl CheckpointLayer {
     ) -> Result<(), SimError> {
         if cfg.checkpoint_every > 0 && idx as u64 >= self.last_ckpt + cfg.checkpoint_every {
             if let Some(path) = cfg.checkpoint_path.as_deref() {
-                crate::checkpoint::save_with_progress(&state.to_flat(), idx as u64, path)
+                crate::checkpoint::save_with_codec(&state.to_flat(), idx as u64, cfg.codec(), path)
                     .map_err(|e| SimError::Checkpoint(e.to_string()))?;
                 self.last_ckpt = idx as u64;
                 if let Some(r) = rec {

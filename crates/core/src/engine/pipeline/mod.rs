@@ -37,9 +37,9 @@ use std::sync::Arc;
 
 use qgpu_circuit::fuse::{FusedOp, ProgramOp};
 use qgpu_circuit::Circuit;
-use qgpu_compress::GfcCodec;
+use qgpu_compress::{codec_for_kind, Codec, CodecKind};
 use qgpu_device::timeline::{Engine, Timeline};
-use qgpu_device::ExecutionReport;
+use qgpu_device::{CodecClass, ExecutionReport};
 use qgpu_faults::SimError;
 use qgpu_math::Complex64;
 use qgpu_obs::{span_opt, Recorder, Stage as ObsStage, Track};
@@ -87,7 +87,14 @@ pub(crate) struct Env<'a> {
     pub(crate) executor: ChunkExecutor,
     pub(crate) tracker: InvolvementTracker,
     pub(crate) chunk_bits: u32,
-    pub(crate) codec: GfcCodec,
+    pub(crate) codec: Box<dyn Codec>,
+    /// The configured codec's modeled-bandwidth class, cached so the
+    /// Compress/Decompress stages don't re-derive it per task. The
+    /// cascade uses its own blended class rather than per-pick classes:
+    /// the modeled kernel time reflects the sampling pass plus the
+    /// average winner, keeping the timeline independent of amplitude
+    /// content ordering.
+    pub(crate) codec_class: CodecClass,
     pub(crate) resil: Option<Resilience>,
     pub(crate) integ: Option<IntegrityMw>,
     pub(crate) orch: Option<Orchestration>,
@@ -182,13 +189,26 @@ impl TaskCtx {
     }
 }
 
-/// One GFC segment per warp, but never so many that a segment degrades
-/// to a single (history-less) micro-chunk: keep ≥ 8 micro-chunks of 32
-/// doubles per segment. (The paper: "we empirically choose the number
-/// of segments to match the GPU parallelism".)
-pub(crate) fn codec_for(cfg: &SimConfig, chunk_bits: u32) -> GfcCodec {
+/// The configured codec, sized for the current chunk width. For GFC (and
+/// the cascade's GFC member): one segment per warp, but never so many
+/// that a segment degrades to a single (history-less) micro-chunk — keep
+/// ≥ 8 micro-chunks of 32 doubles per segment. (The paper: "we
+/// empirically choose the number of segments to match the GPU
+/// parallelism".)
+pub(crate) fn codec_for(cfg: &SimConfig, chunk_bits: u32) -> Box<dyn Codec> {
     let doubles = 2usize << chunk_bits;
-    GfcCodec::new((doubles / 256).clamp(1, cfg.compress_segments))
+    codec_for_kind(cfg.codec(), (doubles / 256).clamp(1, cfg.compress_segments))
+}
+
+/// Maps the configured codec to its modeled-bandwidth class in the
+/// device specs.
+pub(crate) fn codec_class_of(kind: CodecKind) -> CodecClass {
+    match kind {
+        CodecKind::Gfc => CodecClass::Gfc,
+        CodecKind::ZeroRun => CodecClass::ZeroRun,
+        CodecKind::Alp => CodecClass::Alp,
+        CodecKind::Cascade => CodecClass::Cascade,
+    }
 }
 
 /// Deals the next task to a device: the orchestrator's group (with
@@ -292,8 +312,9 @@ pub(crate) fn kernel_stretch(env: &mut Env, gpu: usize) -> f64 {
     })
 }
 
-/// Real GFC size of member `m` (the cached all-zero size for untouched
-/// chunks), sealing the integrity tag at encode time.
+/// Real compressed size of member `m` under the configured codec (the
+/// cached all-zero size for untouched chunks), sealing the integrity tag
+/// at encode time.
 pub(crate) fn encode_member(env: &mut Env, m: usize) -> usize {
     let raw = 16usize << env.chunk_bits;
     match env.state.chunk(m) {
@@ -301,7 +322,7 @@ pub(crate) fn encode_member(env: &mut Env, m: usize) -> usize {
             if let Some(rs) = env.resil.as_mut() {
                 rs.seal_at_encode(m, amps);
             }
-            transfer::compressed_size(&env.codec, amps, raw, env.rec)
+            transfer::compressed_size(&*env.codec, amps, raw, env.rec)
         }
         None => {
             if let Some(rs) = env.resil.as_mut() {
@@ -316,7 +337,7 @@ pub(crate) fn encode_member(env: &mut Env, m: usize) -> usize {
             } = env;
             *zero_chunk_size.entry(*chunk_bits).or_insert_with(|| {
                 let zeros = vec![Complex64::ZERO; 1usize << *chunk_bits];
-                transfer::compressed_size(codec, &zeros, raw, *rec)
+                transfer::compressed_size(&**codec, &zeros, raw, *rec)
             })
         }
     }
@@ -659,6 +680,7 @@ fn build_env<'a>(
         tracker,
         chunk_bits,
         codec: codec_for(cfg, chunk_bits),
+        codec_class: codec_class_of(cfg.codec()),
         resil: cfg.resilience_active().then(|| Resilience::new(cfg)),
         integ: cfg
             .integrity_active()

@@ -7,7 +7,7 @@
 //! copies through [`copy_with_dma`], so the §V-E host-DMA bottleneck is
 //! modeled once.
 
-use qgpu_compress::GfcCodec;
+use qgpu_compress::Codec;
 use qgpu_device::timeline::{Engine, TaskKind, Timeline};
 use qgpu_faults::{FaultSite, SimError};
 use qgpu_math::Complex64;
@@ -144,20 +144,27 @@ pub(crate) fn transfer_with_integrity(
     }
 }
 
-/// Real GFC size of a chunk, capped at raw size (the scheme falls back to
-/// the raw representation if compression would expand the data). Records
-/// the per-chunk ratio histogram; the wall-clock Compress span is opened
-/// by the caller at per-gate granularity (a span per chunk would swamp
-/// the recorder on million-chunk runs).
+/// Real compressed size of a chunk under the configured codec, capped at
+/// raw size (the scheme falls back to the raw representation if
+/// compression would expand the data). Records the per-chunk ratio
+/// histogram; the wall-clock Compress span is opened by the caller at
+/// per-gate granularity (a span per chunk would swamp the recorder on
+/// million-chunk runs).
 pub(crate) fn compressed_size(
-    codec: &GfcCodec,
+    codec: &dyn Codec,
     amps: &[Complex64],
     raw_bytes: usize,
     rec: Option<&Recorder>,
 ) -> usize {
-    let out = codec.compress_amplitudes(amps).total_bytes().min(raw_bytes);
+    let enc = codec.encode_amplitudes(amps);
+    let out = enc.total_bytes().min(raw_bytes);
     if let Some(r) = rec {
         r.observe("compress.ratio.x100", (raw_bytes * 100 / out.max(1)) as u64);
+        if codec.kind() == qgpu_compress::CodecKind::Cascade {
+            // The sizing pass is where the cascade actually runs in the
+            // engine: publish which inner codec won this chunk.
+            qgpu_compress::record_cascade_pick(r, enc.codec());
+        }
     }
     out
 }

@@ -94,7 +94,7 @@ impl Stage for DecompressStage {
             let d = env.tl.schedule(
                 Engine::GpuCompute(t.gpu),
                 t.compute_ready,
-                t.raw_up_compressed as f64 / gspec.compress_bw(),
+                t.raw_up_compressed as f64 / gspec.codec_bw(env.codec_class),
                 TaskKind::Decompress,
                 t.raw_up_compressed,
             );
@@ -124,7 +124,7 @@ impl Stage for CompressStage {
             env.rec,
             Track::Main,
             ObsStage::for_pipeline(self.name()),
-            "gfc.compress",
+            env.codec.kind().compress_span(),
         );
         let members: Vec<usize> = {
             let plan = g.plan.as_ref().expect("Plan stage ran");
@@ -142,9 +142,10 @@ impl Stage for CompressStage {
             if env.resil.as_mut().is_some_and(Resilience::codec_fails) {
                 env.tl.count_codec_fallback();
                 if let Some(r) = env.rec {
+                    let cname = env.codec.kind().name();
                     r.add("codec.fallbacks", 1);
                     r.flight("codec_fallback", || {
-                        format!("chunk {m}: GFC encode failed, moving raw")
+                        format!("chunk {m}: {cname} encode failed, moving raw")
                     });
                 }
                 g.new_sizes.insert(m, RAW_FALLBACK);
@@ -186,7 +187,7 @@ impl Stage for CompressStage {
             let cspan = env.tl.schedule(
                 Engine::GpuCompute(t.gpu),
                 t.d2h_ready,
-                t.raw_down_compressed as f64 / gspec.compress_bw(),
+                t.raw_down_compressed as f64 / gspec.codec_bw(env.codec_class),
                 TaskKind::Compress,
                 t.raw_down_compressed,
             );

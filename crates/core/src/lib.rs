@@ -44,6 +44,7 @@ pub use checkpoint::Checkpoint;
 pub use config::{FlightConfig, OptFlags, SimConfig, Version};
 pub use engine::Simulator;
 pub use qgpu_circuit::NoiseConfig;
+pub use qgpu_compress::CodecKind;
 pub use qgpu_faults::{FaultConfig, RetryPolicy, SimError};
 pub use qgpu_sched::devicegroup::OrchestratorConfig;
 pub use result::{ObsData, RunResult};

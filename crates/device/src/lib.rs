@@ -41,6 +41,6 @@ pub mod timeline;
 pub mod topology;
 
 pub use report::ExecutionReport;
-pub use specs::{GpuSpec, HostSpec, LinkSpec};
+pub use specs::{CodecClass, GpuSpec, HostSpec, LinkSpec};
 pub use timeline::{Engine, Span, TaskKind, Timeline};
 pub use topology::Platform;

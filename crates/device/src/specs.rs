@@ -15,6 +15,23 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Which compression kernel family a modeled bandwidth applies to.
+///
+/// The engine maps its configured codec onto one of these classes so the
+/// `Timeline` charges Compress/Decompress spans at that codec's modeled
+/// throughput instead of pretending everything runs at GFC speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CodecClass {
+    /// GFC warp-parallel residual coder (the paper's kernel).
+    Gfc,
+    /// Run-length zero/constant shortcut — a read-bound scan.
+    ZeroRun,
+    /// ALP-style adaptive decimal coder — exponent probing + bit packing.
+    Alp,
+    /// Sampling cascade — probes candidates, then runs the winner.
+    Cascade,
+}
+
 /// A GPU device model.
 ///
 /// # Examples
@@ -43,6 +60,25 @@ pub struct GpuSpec {
     /// ≈ 42% of peak; the kernel is bandwidth-bound, so the fraction
     /// carries over to newer parts.
     pub compress_efficiency: f64,
+    /// Fraction of peak bandwidth achieved by the zero/constant run-length
+    /// scan: reads every byte once and writes almost nothing, so it runs
+    /// much closer to peak than GFC's residual + prefix packing.
+    /// Every stock spec uses 0.80.
+    #[serde(default)]
+    pub zero_run_efficiency: f64,
+    /// Fraction of peak bandwidth achieved by the ALP kernel: exponent
+    /// probing plus frame-of-reference bit packing costs noticeably more
+    /// than GFC per byte.
+    /// Every stock spec uses 0.30.
+    #[serde(default)]
+    pub alp_efficiency: f64,
+    /// Fraction of peak bandwidth achieved by the cascade on a dense
+    /// chunk: slightly below GFC because the sample probe is paid before
+    /// the winning kernel runs (sparse chunks win back far more through
+    /// the bytes they no longer move).
+    /// Every stock spec uses 0.40.
+    #[serde(default)]
+    pub cascade_efficiency: f64,
     /// Per-kernel launch overhead in seconds (CUDA launch + driver
     /// queueing).
     pub kernel_launch: f64,
@@ -56,8 +92,22 @@ impl GpuSpec {
     }
 
     /// Effective GFC compression/decompression throughput in bytes/s.
+    /// Identical to `codec_bw(CodecClass::Gfc)`.
     pub fn compress_bw(&self) -> f64 {
         self.mem_bw * self.compress_efficiency
+    }
+
+    /// Effective compression/decompression throughput of the given codec
+    /// class in bytes/s — what the `Timeline` charges Compress and
+    /// Decompress spans when a run selects a non-default codec.
+    pub fn codec_bw(&self, class: CodecClass) -> f64 {
+        let efficiency = match class {
+            CodecClass::Gfc => self.compress_efficiency,
+            CodecClass::ZeroRun => self.zero_run_efficiency,
+            CodecClass::Alp => self.alp_efficiency,
+            CodecClass::Cascade => self.cascade_efficiency,
+        };
+        self.mem_bw * efficiency
     }
 
     /// NVIDIA Tesla P100 (16 GB HBM2) — the paper's main platform.
@@ -69,6 +119,9 @@ impl GpuSpec {
             mem_bw: 732e9,
             kernel_efficiency: 0.40,
             compress_efficiency: 0.42,
+            zero_run_efficiency: 0.80,
+            alp_efficiency: 0.30,
+            cascade_efficiency: 0.40,
             kernel_launch: 8e-6,
         }
     }
@@ -82,6 +135,9 @@ impl GpuSpec {
             mem_bw: 900e9,
             kernel_efficiency: 0.40,
             compress_efficiency: 0.42,
+            zero_run_efficiency: 0.80,
+            alp_efficiency: 0.30,
+            cascade_efficiency: 0.40,
             kernel_launch: 8e-6,
         }
     }
@@ -103,6 +159,9 @@ impl GpuSpec {
             mem_bw: 1555e9,
             kernel_efficiency: 0.40,
             compress_efficiency: 0.42,
+            zero_run_efficiency: 0.80,
+            alp_efficiency: 0.30,
+            cascade_efficiency: 0.40,
             kernel_launch: 8e-6,
         }
     }
@@ -117,6 +176,9 @@ impl GpuSpec {
             mem_bw: 192e9,
             kernel_efficiency: 0.40,
             compress_efficiency: 0.42,
+            zero_run_efficiency: 0.80,
+            alp_efficiency: 0.30,
+            cascade_efficiency: 0.40,
             kernel_launch: 8e-6,
         }
     }
@@ -272,6 +334,17 @@ mod tests {
         let g = GpuSpec::p100();
         assert!(g.update_bw() < g.mem_bw);
         assert!(g.compress_bw() < g.mem_bw);
+    }
+
+    #[test]
+    fn codec_bw_classes_bracket_gfc() {
+        let g = GpuSpec::p100();
+        // The Gfc class must be *exactly* the legacy compress_bw — the
+        // golden timelines depend on it.
+        assert_eq!(g.codec_bw(CodecClass::Gfc), g.compress_bw());
+        assert!(g.codec_bw(CodecClass::ZeroRun) > g.compress_bw());
+        assert!(g.codec_bw(CodecClass::Alp) < g.compress_bw());
+        assert!(g.codec_bw(CodecClass::Cascade) < g.codec_bw(CodecClass::ZeroRun));
     }
 
     #[test]
